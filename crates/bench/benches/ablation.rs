@@ -1,0 +1,107 @@
+//! B-ablate: design-choice ablations called out in DESIGN.md —
+//! domain-splitting on/off, HC4 contraction rounds, sequential vs rayon
+//! recursion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xcv_conditions::Condition;
+use xcv_core::{Encoder, Verifier, VerifierConfig};
+use xcv_functionals::Dfa;
+use xcv_solver::{contract::Hc4, BoxDomain, DeltaSolver, SolveBudget};
+
+/// Domain splitting on/off: with splitting disabled the verifier makes a
+/// single solver call on the whole domain (the paper reports dReal timing out
+/// on most whole-domain formulas — the motivation for Algorithm 1's split).
+fn bench_domain_splitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_domain_split");
+    g.sample_size(10);
+    let problem = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+    let budget = SolveBudget {
+        max_nodes: 3_000,
+        max_millis: 100,
+    };
+    let with_split = Verifier::new(VerifierConfig {
+        split_threshold: 1.25,
+        solver: DeltaSolver::new(1e-3, budget),
+        parallel: false,
+        max_depth: 4,
+        pair_deadline_ms: None,
+    });
+    let no_split = Verifier::new(VerifierConfig {
+        split_threshold: f64::INFINITY, // never split
+        solver: DeltaSolver::new(1e-3, budget),
+        parallel: false,
+        max_depth: 0,
+        pair_deadline_ms: None,
+    });
+    g.bench_function("split_on", |b| {
+        b.iter(|| black_box(with_split.verify(&problem)))
+    });
+    g.bench_function("split_off", |b| {
+        b.iter(|| black_box(no_split.verify(&problem)))
+    });
+    g.finish();
+}
+
+/// HC4 rounds per contraction call: 1 vs 3 (more propagation per box vs more
+/// boxes).
+fn bench_hc4_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hc4_rounds");
+    let problem = Encoder::encode(Dfa::Pbe, Condition::EcNonPositivity).unwrap();
+    let b0 = BoxDomain::from_bounds(&[(1.0, 3.0), (0.0, 2.0)]);
+    for rounds in [1usize, 3, 6] {
+        g.bench_function(format!("rounds_{rounds}"), |b| {
+            b.iter(|| {
+                let mut hc4 = Hc4::new(black_box(&problem.negation));
+                hc4.max_rounds = rounds;
+                black_box(hc4.contract(black_box(&b0)))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Sequential vs rayon-parallel recursion over sub-boxes.
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_parallel");
+    g.sample_size(10);
+    let problem = Encoder::encode(Dfa::Pbe, Condition::ConjTcUpperBound).unwrap();
+    for (name, parallel) in [("sequential", false), ("rayon", true)] {
+        let v = Verifier::new(VerifierConfig {
+            split_threshold: 0.6,
+            solver: DeltaSolver::new(1e-3, SolveBudget::nodes(800)),
+            parallel,
+            max_depth: 4,
+            pair_deadline_ms: None,
+        });
+        g.bench_function(name, |b| b.iter(|| black_box(v.verify(&problem))));
+    }
+    g.finish();
+}
+
+/// HC4 alone vs HC4 + mean-value-form pruning (the solver's optional second
+/// contractor).
+fn bench_mean_value(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mean_value");
+    g.sample_size(10);
+    let problem = Encoder::encode(Dfa::Pbe, Condition::EcNonPositivity).unwrap();
+    // A sub-domain away from the ε_c → 0 margins so both variants decide.
+    let dom = BoxDomain::from_bounds(&[(1.0, 5.0), (0.0, 2.0)]);
+    for (name, mv) in [("hc4_only", false), ("hc4_plus_mv", true)] {
+        let solver =
+            DeltaSolver::new(1e-3, SolveBudget::nodes(400_000)).with_mean_value(mv);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(solver.solve(black_box(&dom), &problem.negation)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domain_splitting,
+    bench_hc4_rounds,
+    bench_parallel,
+    bench_mean_value
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! B-substrate: evaluation throughput of the functional implementations —
+//! closed-form scalar code vs memoized DAG walk vs compiled tape, plus
+//! symbolic differentiation cost (the encoder's one-time work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xcv_expr::Tape;
+use xcv_functionals::{Dfa, RS};
+
+fn bench_eval_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_eval");
+    for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Scan] {
+        let expr = dfa.eps_c_expr();
+        let tape = Tape::compile(&expr);
+        let mut scratch = tape.scratch();
+        let p = [1.3_f64, 0.7, 0.9];
+        g.bench_function(format!("{dfa}_scalar"), |b| {
+            b.iter(|| black_box(dfa.eps_c(black_box(1.3), 0.7, 0.9)))
+        });
+        g.bench_function(format!("{dfa}_dag"), |b| {
+            b.iter(|| black_box(expr.eval(black_box(&p)).unwrap()))
+        });
+        g.bench_function(format!("{dfa}_tape"), |b| {
+            b.iter(|| black_box(tape.eval(black_box(&p), &mut scratch)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_symbolic_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symbolic_diff");
+    g.sample_size(20);
+    for dfa in [Dfa::Pbe, Dfa::Scan] {
+        g.bench_function(format!("{dfa}_d_drs"), |b| {
+            b.iter(|| {
+                let fc = black_box(dfa.f_c_expr());
+                black_box(fc.diff(RS))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval_paths, bench_symbolic_diff);
+criterion_main!(benches);

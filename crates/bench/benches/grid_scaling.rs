@@ -1,0 +1,43 @@
+//! B-substrate: PB grid-search scaling in grid resolution (the paper uses
+//! 10⁵ samples per axis; the sweep shows the cost is quadratic in the
+//! per-axis resolution while conclusions stabilize far earlier).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xcv_conditions::Condition;
+use xcv_functionals::Dfa;
+use xcv_grid::{pb_check, GridConfig};
+
+fn bench_grid_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_scaling");
+    g.sample_size(10);
+    for n in [64usize, 128, 256, 512] {
+        let cfg = GridConfig {
+            n_rs: n,
+            n_s: n,
+            n_alpha: 3,
+            tol: 1e-9,
+        };
+        g.bench_with_input(BenchmarkId::new("lyp_ec1", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(pb_check(Dfa::Lyp, Condition::EcNonPositivity, cfg)))
+        });
+    }
+    // The derivative-heavy condition at one resolution, per DFA.
+    let cfg = GridConfig {
+        n_rs: 128,
+        n_s: 128,
+        n_alpha: 3,
+        tol: 1e-9,
+    };
+    for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa] {
+        g.bench_with_input(
+            BenchmarkId::new("tc_bound", format!("{dfa}")),
+            &dfa,
+            |b, &dfa| b.iter(|| black_box(pb_check(dfa, Condition::TcUpperBound, &cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grid_resolution);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! Reproduction harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1 [--budget-ms N]          Table I  (verification outcomes)
+//! repro table2 [--budget-ms N]          Table II (PB vs XCVerifier)
+//! repro fig1   [--budget-ms N]          Figure 1 (PBE region maps, PB + verifier)
+//! repro fig2   [--budget-ms N]          Figure 2 (LYP region maps, PB + verifier)
+//! repro all    [--budget-ms N] [--out DIR]
+//! ```
+//!
+//! ASCII maps go to stdout; SVG renderings and markdown tables are written
+//! under `--out` (default `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+use xcv_bench::{default_grid, verifier_for};
+use xcv_conditions::Condition;
+use xcv_core::{Encoder, TableMark};
+use xcv_functionals::Dfa;
+use xcv_report as report;
+
+struct Opts {
+    budget_ms: u64,
+    out: PathBuf,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        budget_ms: 150,
+        out: PathBuf::from("results"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget-ms" => {
+                i += 1;
+                o.budget_ms = args[i].parse().expect("--budget-ms takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                o.out = PathBuf::from(&args[i]);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!(
+            "usage: repro <table1|table2|fig1|fig2|regularization|all> \
+             [--budget-ms N] [--out DIR]"
+        );
+        std::process::exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    fs::create_dir_all(&opts.out).expect("create output dir");
+    match cmd.as_str() {
+        "table1" => {
+            table1(&opts);
+        }
+        "table2" => {
+            table2(&opts);
+        }
+        "fig1" => figure(&opts, Dfa::Pbe, 1),
+        "fig2" => figure(&opts, Dfa::Lyp, 2),
+        "regularization" => regularization(&opts),
+        "all" => {
+            table1(&opts);
+            table2(&opts);
+            figure(&opts, Dfa::Pbe, 1);
+            figure(&opts, Dfa::Lyp, 2);
+            regularization(&opts);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The figure panels: (figure number, conditions shown).
+fn figure_conditions(fig: u32) -> [Condition; 3] {
+    match fig {
+        1 => [
+            Condition::EcNonPositivity,
+            Condition::LiebOxfordExt,
+            Condition::ConjTcUpperBound,
+        ],
+        _ => [
+            Condition::EcNonPositivity,
+            Condition::EcScaling,
+            Condition::TcUpperBound,
+        ],
+    }
+}
+
+fn table1(opts: &Opts) {
+    println!("== Table I (per-box budget {} ms) ==", opts.budget_ms);
+    let start = Instant::now();
+    let mut cells = Vec::new();
+    for cond in Condition::all() {
+        for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa] {
+            let t0 = Instant::now();
+            let mark = match Encoder::encode(dfa, cond) {
+                Some(p) => verifier_for(dfa, opts.budget_ms).verify(&p).table_mark(),
+                None => TableMark::NotApplicable,
+            };
+            eprintln!(
+                "  {dfa:8} / {:28} -> {:3}  ({:.1?})",
+                cond.name(),
+                mark.symbol(),
+                t0.elapsed()
+            );
+            cells.push((dfa, cond, mark));
+        }
+    }
+    let t1 = report::Table1 { cells };
+    let md = t1.render_markdown();
+    println!("{md}");
+    let decided = t1.count(|m| matches!(m, TableMark::Verified | TableMark::Counterexample));
+    let partial = t1.count(|m| m == TableMark::PartiallyVerified);
+    let unknown = t1.count(|m| m == TableMark::Unknown);
+    println!(
+        "summary: {decided} verified-or-refuted, {partial} partially verified, \
+         {unknown} timeout/inconclusive (paper: 13 / 7 / 11)"
+    );
+    println!("total wall time: {:.1?}", start.elapsed());
+    fs::write(opts.out.join("table1.md"), md).expect("write table1.md");
+}
+
+fn table2(opts: &Opts) {
+    println!("== Table II (per-box budget {} ms) ==", opts.budget_ms);
+    let grid_cfg = default_grid();
+    let mut cells = Vec::new();
+    for cond in Condition::all() {
+        for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa] {
+            let pr = report::run_pair(dfa, cond, &verifier_for(dfa, opts.budget_ms), &grid_cfg);
+            let c = pr.consistency();
+            eprintln!("  {dfa:8} / {:28} -> {}", cond.name(), c.symbol());
+            cells.push((dfa, cond, c));
+        }
+    }
+    let t2 = report::Table2 { cells };
+    let md = t2.render_markdown();
+    println!("{md}");
+    fs::write(opts.out.join("table2.md"), md).expect("write table2.md");
+}
+
+fn figure(opts: &Opts, dfa: Dfa, fig: u32) {
+    println!("== Figure {fig}: {dfa} region maps (PB top, XCVerifier bottom) ==");
+    let grid_cfg = default_grid();
+    for (panel, cond) in figure_conditions(fig).into_iter().enumerate() {
+        let letter = (b'a' + panel as u8) as char;
+        println!("\n--- Fig {fig}{letter}: {dfa} / {cond} — PB grid ---");
+        if let Some(grid) = xcv_grid::pb_check(dfa, cond, &grid_cfg) {
+            println!("{}", report::ascii_grid_map(&grid, 60, 20));
+            println!(
+                "PB: {} ({} of {} grid points violate)",
+                if grid.satisfied() { "no violations" } else { "violations found" },
+                grid.n_violations(),
+                grid.pass.len()
+            );
+        }
+        let letter2 = (b'd' + panel as u8) as char;
+        println!("--- Fig {fig}{letter2}: {dfa} / {cond} — XCVerifier ---");
+        if let Some(p) = Encoder::encode(dfa, cond) {
+            let map = verifier_for(dfa, opts.budget_ms).verify(&p);
+            println!("{}", report::ascii_region_map(&map, 60, 20));
+            println!(
+                "verifier: {} | verified {:.0}% of the domain volume, \
+                 counterexample {:.0}%, undecided {:.0}%",
+                map.table_mark(),
+                100.0 * map.volume_fraction(|s| matches!(s, xcv_core::RegionStatus::Verified)),
+                100.0 * map.volume_fraction(
+                    |s| matches!(s, xcv_core::RegionStatus::Counterexample(_))
+                ),
+                100.0 * map.volume_fraction(|s| matches!(
+                    s,
+                    xcv_core::RegionStatus::Timeout | xcv_core::RegionStatus::Inconclusive
+                )),
+            );
+            let name = format!(
+                "fig{fig}{letter2}_{}_{}.svg",
+                dfa.info().name.to_lowercase().replace(' ', "_"),
+                cond.name().to_lowercase().replace(' ', "_")
+            );
+            let svg = report::svg_region_map(&map, &format!("{dfa} / {cond}"));
+            fs::write(opts.out.join(&name), svg).expect("write svg");
+            println!("wrote {}", opts.out.join(&name).display());
+        }
+    }
+}
+
+/// Section VI-A experiment: does regularizing SCAN's α-switch (the rSCAN
+/// family) restore solver decidability? Runs SCAN and the regularized
+/// variant on the same conditions at the same budget and compares decided
+/// domain volume.
+fn regularization(opts: &Opts) {
+    println!("== Regularization experiment (SCAN vs rSCAN-style, Section VI-A) ==");
+    let conds = [
+        Condition::EcNonPositivity,
+        Condition::EcScaling,
+        Condition::ConjTcUpperBound,
+    ];
+    let mut lines = Vec::new();
+    lines.push("| condition | SCAN decided vol. | rSCAN(reg) decided vol. |".to_string());
+    lines.push("|---|---|---|".to_string());
+    for cond in conds {
+        let mut decided = Vec::new();
+        for dfa in [Dfa::Scan, Dfa::RScan] {
+            let p = Encoder::encode(dfa, cond).expect("applies");
+            let map = verifier_for(dfa, opts.budget_ms).verify(&p);
+            let frac = map.volume_fraction(|s| {
+                matches!(
+                    s,
+                    xcv_core::RegionStatus::Verified
+                        | xcv_core::RegionStatus::Counterexample(_)
+                )
+            });
+            eprintln!("  {dfa:12} / {:28} decided {:.1}%", cond.name(), 100.0 * frac);
+            decided.push(frac);
+        }
+        lines.push(format!(
+            "| {} | {:.1}% | {:.1}% |",
+            cond.name(),
+            100.0 * decided[0],
+            100.0 * decided[1]
+        ));
+    }
+    let md = lines.join("\n");
+    println!("{md}");
+    fs::write(opts.out.join("regularization.md"), md).expect("write regularization.md");
+}

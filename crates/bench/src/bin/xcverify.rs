@@ -1,0 +1,160 @@
+//! `xcverify` — a CI-style command-line checker, the integration mode the
+//! paper proposes for LIBXC's continuous integration (Section VI-B).
+//!
+//! ```text
+//! xcverify --dfa PBE --condition ec1 [--budget-ms 100] [--threshold 0.3] [--quiet]
+//! xcverify --dfa LYP --all
+//! xcverify --list
+//! ```
+//!
+//! Exit status: 0 when every checked condition is verified or partially
+//! verified; 1 when any counterexample is found; 2 on usage errors. A CI job
+//! can therefore gate a functional-implementation change on `xcverify`.
+
+use std::process::ExitCode;
+use xcv_bench::repro_verifier;
+use xcv_conditions::Condition;
+use xcv_core::{Encoder, TableMark};
+use xcv_functionals::Dfa;
+
+fn parse_dfa(name: &str) -> Option<Dfa> {
+    match name.to_ascii_uppercase().as_str() {
+        "PBE" => Some(Dfa::Pbe),
+        "SCAN" => Some(Dfa::Scan),
+        "LYP" => Some(Dfa::Lyp),
+        "AM05" => Some(Dfa::Am05),
+        "VWN" | "VWN_RPA" | "VWNRPA" => Some(Dfa::VwnRpa),
+        "RSCAN" | "RSCAN_REG" => Some(Dfa::RScan),
+        "BLYP" => Some(Dfa::Blyp),
+        _ => None,
+    }
+}
+
+fn parse_condition(name: &str) -> Option<Condition> {
+    match name.to_ascii_lowercase().as_str() {
+        "ec1" | "nonpositivity" => Some(Condition::EcNonPositivity),
+        "ec2" | "scaling" => Some(Condition::EcScaling),
+        "ec3" | "uc" => Some(Condition::UcMonotonicity),
+        "ec4" | "lo" => Some(Condition::LiebOxford),
+        "ec5" | "lo-ext" => Some(Condition::LiebOxfordExt),
+        "ec6" | "tc" => Some(Condition::TcUpperBound),
+        "ec7" | "conj-tc" => Some(Condition::ConjTcUpperBound),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN> \
+         (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] [--quiet]\n\
+         \u{20}      xcverify --list"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dfa: Option<Dfa> = None;
+    let mut condition: Option<Condition> = None;
+    let mut all = false;
+    let mut budget_ms = 100u64;
+    let mut threshold = 0.3f64;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("DFAs: PBE SCAN LYP AM05 VWN_RPA RSCAN BLYP");
+                println!("conditions:");
+                for c in Condition::all() {
+                    println!("  {:8} {}", short_name(c), c);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--dfa" => {
+                i += 1;
+                dfa = args.get(i).and_then(|s| parse_dfa(s));
+                if dfa.is_none() {
+                    return usage();
+                }
+            }
+            "--condition" => {
+                i += 1;
+                condition = args.get(i).and_then(|s| parse_condition(s));
+                if condition.is_none() {
+                    return usage();
+                }
+            }
+            "--all" => all = true,
+            "--budget-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => budget_ms = v,
+                    None => return usage(),
+                }
+            }
+            "--threshold" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => threshold = v,
+                    None => return usage(),
+                }
+            }
+            "--quiet" => quiet = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(dfa) = dfa else { return usage() };
+    let conditions: Vec<Condition> = if all {
+        Condition::all()
+            .into_iter()
+            .filter(|c| c.applies_to(dfa))
+            .collect()
+    } else {
+        match condition {
+            Some(c) if c.applies_to(dfa) => vec![c],
+            Some(c) => {
+                eprintln!("{c} does not apply to {dfa}");
+                return ExitCode::from(2);
+            }
+            None => return usage(),
+        }
+    };
+
+    let max_depth = if dfa.arity() >= 3 { 3 } else { 5 };
+    let verifier = repro_verifier(budget_ms, threshold, max_depth);
+    let mut failed = false;
+    for cond in conditions {
+        let problem = Encoder::encode(dfa, cond).expect("applicability checked");
+        let map = verifier.verify(&problem);
+        let mark = map.table_mark();
+        if !quiet {
+            println!("{dfa} / {cond}: {mark}");
+            for ce in map.counterexamples().into_iter().take(5) {
+                let coords: Vec<String> = ce.iter().map(|v| format!("{v:.4}")).collect();
+                println!("  counterexample at ({})", coords.join(", "));
+            }
+        }
+        if mark == TableMark::Counterexample {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn short_name(c: Condition) -> &'static str {
+    match c {
+        Condition::EcNonPositivity => "ec1",
+        Condition::EcScaling => "ec2",
+        Condition::UcMonotonicity => "ec3",
+        Condition::TcUpperBound => "ec6",
+        Condition::ConjTcUpperBound => "ec7",
+        Condition::LiebOxford => "ec4",
+        Condition::LiebOxfordExt => "ec5",
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared presets for the benchmark harness and the `repro` binary.
+
+use xcv_core::{Verifier, VerifierConfig};
+use xcv_functionals::{Dfa, Family};
+use xcv_grid::GridConfig;
+use xcv_solver::{DeltaSolver, SolveBudget};
+
+/// Verifier preset for reproduction runs: per-box wall-clock budget in
+/// milliseconds, recursion floor `t`, and a depth cap.
+pub fn repro_verifier(budget_ms: u64, threshold: f64, max_depth: u32) -> Verifier {
+    Verifier::new(VerifierConfig {
+        split_threshold: threshold,
+        solver: DeltaSolver::new(
+            1e-3,
+            SolveBudget {
+                max_nodes: 60_000,
+                max_millis: budget_ms,
+            },
+        ),
+        parallel: true,
+        max_depth,
+        // Bound each pair's total run at 400x the per-box budget: enough for
+        // several recursion levels, small enough that broad-timeout cells
+        // (the paper's "?" columns) finish in interactive time.
+        pair_deadline_ms: Some(budget_ms.saturating_mul(400)),
+    })
+}
+
+/// Per-family verifier settings for full-table runs. 3-D (meta-GGA) domains
+/// split into 8 children per level, so their recursion is capped earlier —
+/// the paper's SCAN rows time out at every size anyway.
+pub fn verifier_for(dfa: Dfa, budget_ms: u64) -> Verifier {
+    match dfa.info().family {
+        Family::Lda => repro_verifier(budget_ms, 0.05, 8),
+        Family::Gga => repro_verifier(budget_ms, 0.15, 6),
+        Family::MetaGga => repro_verifier(budget_ms, 0.625, 3),
+    }
+}
+
+/// Grid preset for reproduction runs (the paper meshes 10⁵ samples per axis;
+/// 200 per axis keeps full-table runs interactive while preserving every
+/// region-level conclusion — the resolution is swept in `grid_scaling`).
+pub fn default_grid() -> GridConfig {
+    GridConfig {
+        n_rs: 200,
+        n_s: 200,
+        n_alpha: 9,
+        tol: 1e-9,
+    }
+}
+
+/// Fast verifier for Criterion timing loops.
+pub fn bench_verifier() -> Verifier {
+    repro_verifier(50, 1.25, 3)
+}

@@ -1,0 +1,350 @@
+//! The seven DFT exact conditions of Pederson–Burke, as *local conditions*
+//! over enhancement factors (Section II of the paper).
+//!
+//! Each exact condition on the global functional `E_xc[n]` has a local
+//! sufficient condition on the DFA `ε̃_xc`: if the local condition holds
+//! pointwise on the reduced-variable domain, the exact condition holds for
+//! the functional (the converse is not true). The local conditions are
+//! expressed in the exchange/correlation enhancement factors
+//! `F_c = ε_c/ε_x^unif`, `F_xc = F_x + F_c`, and their `rs`-derivatives —
+//! which this crate computes **symbolically** via `xcv_expr::Expr::diff`,
+//! exactly as XCEncoder does with SymPy (no numerical differentiation).
+//!
+//! | id | exact condition | local condition |
+//! |----|-----------------|-----------------|
+//! | EC1 | `E_c[n] <= 0` | `F_c >= 0` (Eq. 4) |
+//! | EC2 | `E_c` scaling inequality | `∂F_c/∂rs >= 0` (Eq. 5) |
+//! | EC3 | `U_c(λ)` monotonicity | `∂²F_c/∂rs² >= -(2/rs)·∂F_c/∂rs` (Eq. 6) |
+//! | EC4 | Lieb–Oxford bound on `U_xc` | `F_xc + rs·∂F_c/∂rs <= C_LO` (Eq. 7) |
+//! | EC5 | Lieb–Oxford extension to `E_xc` | `F_xc <= C_LO` (Eq. 8) |
+//! | EC6 | `T_c` upper bound | `∂F_c/∂rs <= (F_c(∞) - F_c)/rs` (Eq. 9) |
+//! | EC7 | conjectured `T_c` bound | `∂F_c/∂rs <= F_c/rs` (Eq. 10) |
+//!
+//! `F_c(∞)` is approximated by `F_c|rs=100`, following Section III-A of the
+//! paper. Conditions EC3, EC6, EC7 are encoded multiplied through by the
+//! positive quantities `rs` (and `rs²` for EC3), which is equivalent on the
+//! domain `rs > 0` and keeps the solver's expressions division-free.
+
+use xcv_expr::constant;
+use xcv_functionals::{Dfa, RS};
+use xcv_solver::{Atom, BoxDomain, Rel};
+
+/// The Lieb–Oxford constant used by Pederson–Burke.
+pub const C_LO: f64 = 2.27;
+
+/// The `rs` value substituted for the `rs → ∞` limit (paper, Section III-A).
+pub const RS_INF: f64 = 100.0;
+
+/// Lower edge of the `rs` domain.
+pub const RS_MIN: f64 = 1e-4;
+/// Upper edge of the `rs` domain.
+pub const RS_MAX: f64 = 5.0;
+/// `s` domain is `[0, S_MAX]`.
+pub const S_MAX: f64 = 5.0;
+/// `α` domain is `[0, ALPHA_MAX]` (meta-GGA only).
+pub const ALPHA_MAX: f64 = 5.0;
+
+/// The seven exact conditions, in the paper's row order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// EC1 — `E_c` non-positivity.
+    EcNonPositivity,
+    /// EC2 — `E_c` scaling inequality.
+    EcScaling,
+    /// EC3 — `U_c(λ)` monotonicity.
+    UcMonotonicity,
+    /// EC6 — `T_c` upper bound.
+    TcUpperBound,
+    /// EC7 — conjectured `T_c` upper bound.
+    ConjTcUpperBound,
+    /// EC4 — Lieb–Oxford bound (on `U_xc`).
+    LiebOxford,
+    /// EC5 — Lieb–Oxford extension to `E_xc`.
+    LiebOxfordExt,
+}
+
+impl Condition {
+    /// All seven, in the paper's Table I row order.
+    pub fn all() -> [Condition; 7] {
+        [
+            Condition::EcNonPositivity,
+            Condition::EcScaling,
+            Condition::UcMonotonicity,
+            Condition::TcUpperBound,
+            Condition::ConjTcUpperBound,
+            Condition::LiebOxford,
+            Condition::LiebOxfordExt,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Condition::EcNonPositivity => "Ec non-positivity",
+            Condition::EcScaling => "Ec scaling inequality",
+            Condition::UcMonotonicity => "Uc monotonicity",
+            Condition::TcUpperBound => "Tc upper bound",
+            Condition::ConjTcUpperBound => "Conjectured Tc upper bound",
+            Condition::LiebOxford => "LO bound",
+            Condition::LiebOxfordExt => "LO extension to Exc",
+        }
+    }
+
+    /// The equation number of the local condition in the paper.
+    pub fn equation(&self) -> &'static str {
+        match self {
+            Condition::EcNonPositivity => "Equation 4",
+            Condition::EcScaling => "Equation 5",
+            Condition::UcMonotonicity => "Equation 6",
+            Condition::TcUpperBound => "Equation 9",
+            Condition::ConjTcUpperBound => "Equation 10",
+            Condition::LiebOxford => "Equation 7",
+            Condition::LiebOxfordExt => "Equation 8",
+        }
+    }
+
+    /// The Lieb–Oxford conditions require both exchange and correlation
+    /// parts; every other condition applies to any DFA with correlation.
+    pub fn applies_to(&self, dfa: Dfa) -> bool {
+        match self {
+            Condition::LiebOxford | Condition::LiebOxfordExt => dfa.info().has_exchange,
+            _ => dfa.info().has_correlation,
+        }
+    }
+
+    /// Encode the local condition `ψ` for a DFA as a sign atom over the
+    /// canonical variables. Returns `None` when the condition does not apply.
+    ///
+    /// The verifier refutes `¬ψ` ([`Atom::negate`]) over the PB domain.
+    pub fn encode(&self, dfa: Dfa) -> Option<Atom> {
+        if !self.applies_to(dfa) {
+            return None;
+        }
+        let fc = dfa.f_c_expr();
+        Some(match self {
+            // F_c >= 0
+            Condition::EcNonPositivity => Atom::new(fc, Rel::Ge),
+            // ∂F_c/∂rs >= 0
+            Condition::EcScaling => Atom::new(fc.diff(RS), Rel::Ge),
+            // rs²·∂²F_c/∂rs² + 2 rs·∂F_c/∂rs >= 0
+            Condition::UcMonotonicity => {
+                let d1 = fc.diff(RS);
+                let d2 = d1.diff(RS);
+                let rs = xcv_expr::var(RS);
+                Atom::new(rs.powi(2) * d2 + constant(2.0) * rs * d1, Rel::Ge)
+            }
+            // rs·∂F_c/∂rs - (F_c(∞) - F_c) <= 0
+            Condition::TcUpperBound => {
+                let d1 = fc.diff(RS);
+                let fc_inf = fc.subst_var(RS, &constant(RS_INF));
+                let rs = xcv_expr::var(RS);
+                Atom::new(rs * d1 - (fc_inf - fc), Rel::Le)
+            }
+            // rs·∂F_c/∂rs - F_c <= 0
+            Condition::ConjTcUpperBound => {
+                let d1 = fc.diff(RS);
+                let rs = xcv_expr::var(RS);
+                Atom::new(rs * d1 - fc, Rel::Le)
+            }
+            // F_xc + rs·∂F_c/∂rs <= C_LO
+            Condition::LiebOxford => {
+                let fxc = dfa.f_xc_expr()?;
+                let d1 = fc.diff(RS);
+                let rs = xcv_expr::var(RS);
+                Atom::new(fxc + rs * d1 - constant(C_LO), Rel::Le)
+            }
+            // F_xc <= C_LO
+            Condition::LiebOxfordExt => {
+                let fxc = dfa.f_xc_expr()?;
+                Atom::new(fxc - constant(C_LO), Rel::Le)
+            }
+        })
+    }
+
+    /// Scalar check of the local condition at a point, using the symbolic
+    /// encoding (exact semantics; the PB baseline has its own grid-gradient
+    /// version in `xcv-grid`).
+    pub fn holds_at(&self, dfa: Dfa, point: &[f64]) -> Option<bool> {
+        self.encode(dfa).map(|a| a.holds_at(point))
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name(), self.equation())
+    }
+}
+
+/// The Pederson–Burke input domain for a DFA: `rs ∈ [1e-4, 5]`, `s ∈ [0, 5]`
+/// (GGA and above), `α ∈ [0, 5]` (meta-GGA).
+pub fn pb_domain(dfa: Dfa) -> BoxDomain {
+    let mut bounds = vec![(RS_MIN, RS_MAX)];
+    if dfa.arity() >= 2 {
+        bounds.push((0.0, S_MAX));
+    }
+    if dfa.arity() >= 3 {
+        bounds.push((0.0, ALPHA_MAX));
+    }
+    BoxDomain::from_bounds(&bounds)
+}
+
+/// Every applicable (DFA, condition) pair — the paper's 31 rows.
+pub fn applicable_pairs() -> Vec<(Dfa, Condition)> {
+    let mut out = Vec::new();
+    for dfa in Dfa::all() {
+        for cond in Condition::all() {
+            if cond.applies_to(dfa) {
+                out.push((dfa, cond));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_one_applicable_pairs() {
+        // 5 correlation conditions × 5 DFAs + 2 LO conditions × 3 DFAs = 31.
+        assert_eq!(applicable_pairs().len(), 31);
+    }
+
+    #[test]
+    fn lo_only_for_xc_functionals() {
+        assert!(Condition::LiebOxford.applies_to(Dfa::Pbe));
+        assert!(Condition::LiebOxford.applies_to(Dfa::Am05));
+        assert!(Condition::LiebOxford.applies_to(Dfa::Scan));
+        assert!(!Condition::LiebOxford.applies_to(Dfa::Lyp));
+        assert!(!Condition::LiebOxfordExt.applies_to(Dfa::VwnRpa));
+        assert!(Condition::LiebOxford.encode(Dfa::Lyp).is_none());
+    }
+
+    #[test]
+    fn pb_domain_by_family() {
+        assert_eq!(pb_domain(Dfa::VwnRpa).ndim(), 1);
+        assert_eq!(pb_domain(Dfa::Pbe).ndim(), 2);
+        assert_eq!(pb_domain(Dfa::Scan).ndim(), 3);
+        let d = pb_domain(Dfa::Pbe);
+        assert_eq!(d.dim(0).lo, RS_MIN);
+        assert_eq!(d.dim(0).hi, RS_MAX);
+        assert_eq!(d.dim(1).lo, 0.0);
+    }
+
+    #[test]
+    fn ec1_vwn_holds_lyp_fails() {
+        // VWN RPA: ε_c < 0 everywhere ⇒ F_c >= 0 holds.
+        assert_eq!(
+            Condition::EcNonPositivity.holds_at(Dfa::VwnRpa, &[1.0]),
+            Some(true)
+        );
+        // LYP violates at large s (paper Fig. 2d).
+        assert_eq!(
+            Condition::EcNonPositivity.holds_at(Dfa::Lyp, &[2.0, 2.5]),
+            Some(false)
+        );
+        assert_eq!(
+            Condition::EcNonPositivity.holds_at(Dfa::Lyp, &[2.0, 0.5]),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn ec2_holds_for_pbe_sampled() {
+        // PBE satisfies the scaling inequality (Table I shows ✓* — verified
+        // where decided); sample points must satisfy it.
+        for &(rs, s) in &[(0.5, 0.5), (1.0, 2.0), (3.0, 1.0), (4.9, 4.9)] {
+            assert_eq!(
+                Condition::EcScaling.holds_at(Dfa::Pbe, &[rs, s]),
+                Some(true),
+                "({rs}, {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn ec7_pbe_violated_in_upper_left() {
+        // Fig. 1f: the conjectured Tc bound fails for PBE at small rs /
+        // large s and holds at large rs / small s.
+        assert_eq!(
+            Condition::ConjTcUpperBound.holds_at(Dfa::Pbe, &[0.1, 4.0]),
+            Some(false)
+        );
+        assert_eq!(
+            Condition::ConjTcUpperBound.holds_at(Dfa::Pbe, &[4.0, 0.5]),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn ec5_pbe_holds_everywhere_sampled() {
+        // F_xc^{PBE} <= 2.27: PBE exchange is bounded by 1.804 and F_c is
+        // small — the paper verifies this condition fully (Fig. 1e).
+        for &(rs, s) in &[(0.001, 0.0), (0.5, 2.0), (5.0, 5.0), (1.0, 1.0)] {
+            assert_eq!(
+                Condition::LiebOxfordExt.holds_at(Dfa::Pbe, &[rs, s]),
+                Some(true),
+                "({rs}, {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn ec1_scan_holds_sampled() {
+        for &(rs, s, a) in &[(0.5, 1.0, 0.5), (2.0, 3.0, 2.0), (1.0, 0.0, 1.0)] {
+            assert_eq!(
+                Condition::EcNonPositivity.holds_at(Dfa::Scan, &[rs, s, a]),
+                Some(true)
+            );
+        }
+    }
+
+    #[test]
+    fn ec6_uses_rs_inf_substitution() {
+        let atom = Condition::TcUpperBound.encode(Dfa::VwnRpa).unwrap();
+        let v = atom.expr.eval(&[1.0]).unwrap();
+        assert!(v.is_finite());
+        // For VWN RPA the condition holds on the domain (Table I ✓).
+        for &rs in &[0.001, 0.1, 1.0, 4.9] {
+            assert!(atom.rel.holds(atom.expr.eval(&[rs]).unwrap()), "rs={rs}");
+        }
+    }
+
+    #[test]
+    fn ec3_lda_condition_holds_for_vwn() {
+        // Uc monotonicity for VWN RPA: ✓ in Table I.
+        let atom = Condition::UcMonotonicity.encode(Dfa::VwnRpa).unwrap();
+        for &rs in &[0.01, 0.5, 1.0, 3.0, 5.0] {
+            let v = atom.expr.eval(&[rs]).unwrap();
+            assert!(atom.rel.holds(v), "rs={rs}: {v}");
+        }
+    }
+
+    #[test]
+    fn lyp_violates_all_five_applicable_sampled() {
+        // The paper's headline: LYP has counterexamples for every applicable
+        // condition. Check a known-violating point for each.
+        let pts: &[(Condition, [f64; 2])] = &[
+            (Condition::EcNonPositivity, [2.0, 2.5]),
+            (Condition::EcScaling, [1.0, 2.0]),
+            (Condition::UcMonotonicity, [0.5, 2.5]),
+            (Condition::TcUpperBound, [4.95, 3.0]),
+            (Condition::ConjTcUpperBound, [2.0, 2.0]),
+        ];
+        for (cond, p) in pts {
+            assert_eq!(
+                cond.holds_at(Dfa::Lyp, p),
+                Some(false),
+                "{cond} should fail at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            format!("{}", Condition::EcNonPositivity),
+            "Ec non-positivity (Equation 4)"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! XCEncoder: from (DFA, exact condition) to a solver problem.
+
+use xcv_conditions::{pb_domain, Condition};
+use xcv_functionals::Dfa;
+use xcv_solver::{Atom, BoxDomain, Formula};
+
+/// An encoded verification problem: the local condition `ψ`, the negated
+/// formula handed to the δ-complete solver, and the input domain.
+#[derive(Clone, Debug)]
+pub struct EncodedProblem {
+    pub dfa: Dfa,
+    pub condition: Condition,
+    /// The local condition `ψ` (a single sign atom).
+    pub psi: Atom,
+    /// `¬ψ` as a conjunction for the solver (Equation 12 of the paper: the
+    /// domain constraints are carried separately as the search box).
+    pub negation: Formula,
+    /// The Pederson–Burke domain for this DFA's family.
+    pub domain: BoxDomain,
+}
+
+/// The encoder. Stateless; methods are associated functions grouped for
+/// fidelity to the paper's architecture (XCEncoder + Verifier).
+pub struct Encoder;
+
+impl Encoder {
+    /// Encode one DFA-condition pair; `None` when the condition does not
+    /// apply to the DFA (the `−` entries of Table I).
+    pub fn encode(dfa: Dfa, condition: Condition) -> Option<EncodedProblem> {
+        let psi = condition.encode(dfa)?;
+        let negation = Formula::single(psi.negate());
+        Some(EncodedProblem {
+            dfa,
+            condition,
+            psi,
+            negation,
+            domain: pb_domain(dfa),
+        })
+    }
+
+    /// Encode every applicable pair (31 in the paper's evaluation).
+    pub fn encode_all() -> Vec<EncodedProblem> {
+        let mut out = Vec::new();
+        for dfa in Dfa::all() {
+            for cond in Condition::all() {
+                if let Some(p) = Self::encode(dfa, cond) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_all_yields_31() {
+        assert_eq!(Encoder::encode_all().len(), 31);
+    }
+
+    #[test]
+    fn negation_flips_relation() {
+        let p = Encoder::encode(Dfa::VwnRpa, Condition::EcNonPositivity).unwrap();
+        // ψ: F_c >= 0; ¬ψ: F_c < 0.
+        assert_eq!(p.psi.rel, xcv_solver::Rel::Ge);
+        assert_eq!(p.negation.atoms[0].rel, xcv_solver::Rel::Lt);
+        assert!(p.psi.expr.same(&p.negation.atoms[0].expr));
+    }
+
+    #[test]
+    fn domain_matches_family() {
+        assert_eq!(
+            Encoder::encode(Dfa::Scan, Condition::EcScaling)
+                .unwrap()
+                .domain
+                .ndim(),
+            3
+        );
+        assert_eq!(
+            Encoder::encode(Dfa::VwnRpa, Condition::EcScaling)
+                .unwrap()
+                .domain
+                .ndim(),
+            1
+        );
+    }
+
+    #[test]
+    fn inapplicable_pair_is_none() {
+        assert!(Encoder::encode(Dfa::Lyp, Condition::LiebOxford).is_none());
+    }
+
+    #[test]
+    fn psi_and_negation_disagree_pointwise() {
+        let p = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+        // At a violating point, ψ fails and ¬ψ holds.
+        let pt = [2.0, 2.5, 0.0];
+        assert!(!p.psi.holds_at(&pt));
+        assert!(p.negation.holds_at(&pt));
+        // At a satisfying point, the reverse.
+        let pt = [2.0, 0.5, 0.0];
+        assert!(p.psi.holds_at(&pt));
+        assert!(!p.negation.holds_at(&pt));
+    }
+}

@@ -1,0 +1,24 @@
+//! XCVerifier core: the encoder and the domain-splitting verifier
+//! (Algorithm 1 of the paper).
+//!
+//! * [`Encoder`] — pairs a DFA with an exact condition, producing the local
+//!   condition `ψ` (a sign atom over `rs, s, α`), its negation `¬ψ` (the
+//!   formula the δ-complete solver refutes), and the Pederson–Burke domain.
+//! * [`Verifier`] — Algorithm 1: call the solver on `φ_D ∧ ¬ψ`; `UNSAT`
+//!   verifies the box; a δ-SAT model that exactly violates `ψ` is a
+//!   counterexample; an invalid model is inconclusive; a timeout is recorded
+//!   as such. On anything but `UNSAT` the box is split in every dimension
+//!   (`split(D)`) and the verifier recurses, down to the width floor
+//!   `t = 0.05`, isolating the regions where the implementation violates the
+//!   condition. The recursion parallelizes across sub-boxes with rayon.
+//! * [`RegionMap`] — the resulting partition of the domain into
+//!   verified / counterexample / inconclusive / timeout regions, with the
+//!   aggregation rules that produce the paper's Table I marks.
+
+mod encoder;
+mod region;
+mod verifier;
+
+pub use encoder::{EncodedProblem, Encoder};
+pub use region::{Region, RegionMap, RegionStatus, TableMark};
+pub use verifier::{Verifier, VerifierConfig};

@@ -1,0 +1,291 @@
+//! Region bookkeeping: the verifier's output is a partition of the input
+//! domain into labeled boxes.
+
+use xcv_solver::BoxDomain;
+
+/// The verdict for one box of the domain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegionStatus {
+    /// The solver proved `¬ψ` unsatisfiable on the box: the DFA satisfies
+    /// the condition everywhere in it.
+    Verified,
+    /// A point in the box at which the implementation *exactly* violates the
+    /// condition.
+    Counterexample(Vec<f64>),
+    /// The solver returned a δ-SAT model that failed the exact re-check
+    /// (`valid(x)` false — the paper's "inconclusive").
+    Inconclusive,
+    /// Solver budget exhausted on this box.
+    Timeout,
+}
+
+impl RegionStatus {
+    /// Single-character glyph used by the ASCII region maps.
+    pub fn glyph(&self) -> char {
+        match self {
+            RegionStatus::Verified => '+',
+            RegionStatus::Counterexample(_) => 'x',
+            RegionStatus::Inconclusive => '?',
+            RegionStatus::Timeout => 'T',
+        }
+    }
+}
+
+/// One labeled box.
+#[derive(Clone, Debug)]
+pub struct Region {
+    pub domain: BoxDomain,
+    pub status: RegionStatus,
+}
+
+/// Aggregate Table I mark for a DFA-condition pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableMark {
+    /// ✓ — verified on the entire domain.
+    Verified,
+    /// ✓* — verified on part of the domain, rest timed out / inconclusive.
+    PartiallyVerified,
+    /// ✗ — counterexample found.
+    Counterexample,
+    /// ? — timeout/inconclusive everywhere.
+    Unknown,
+    /// − — condition does not apply.
+    NotApplicable,
+}
+
+impl TableMark {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TableMark::Verified => "OK",
+            TableMark::PartiallyVerified => "OK*",
+            TableMark::Counterexample => "CE",
+            TableMark::Unknown => "?",
+            TableMark::NotApplicable => "-",
+        }
+    }
+}
+
+impl std::fmt::Display for TableMark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// The verifier's output: a disjoint cover of the original domain.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    pub domain: BoxDomain,
+    pub regions: Vec<Region>,
+}
+
+impl RegionMap {
+    pub fn new(domain: BoxDomain, regions: Vec<Region>) -> Self {
+        RegionMap { domain, regions }
+    }
+
+    /// The paper's Table I aggregation: any counterexample ⇒ ✗; everything
+    /// verified ⇒ ✓; some verified ⇒ ✓*; nothing verified ⇒ ?.
+    pub fn table_mark(&self) -> TableMark {
+        let mut any_ce = false;
+        let mut any_verified = false;
+        let mut any_undecided = false;
+        for r in &self.regions {
+            match &r.status {
+                RegionStatus::Counterexample(_) => any_ce = true,
+                RegionStatus::Verified => any_verified = true,
+                RegionStatus::Inconclusive | RegionStatus::Timeout => any_undecided = true,
+            }
+        }
+        if any_ce {
+            TableMark::Counterexample
+        } else if any_verified && !any_undecided {
+            TableMark::Verified
+        } else if any_verified {
+            TableMark::PartiallyVerified
+        } else {
+            TableMark::Unknown
+        }
+    }
+
+    /// The status of the region containing a point (first match).
+    pub fn status_at(&self, point: &[f64]) -> Option<&RegionStatus> {
+        self.regions
+            .iter()
+            .find(|r| r.domain.contains_point(point))
+            .map(|r| &r.status)
+    }
+
+    /// Fraction of the domain volume with a given predicate on the status
+    /// (dimensions with infinite width are ignored in the volume).
+    pub fn volume_fraction(&self, pred: impl Fn(&RegionStatus) -> bool) -> f64 {
+        let vol = |b: &BoxDomain| -> f64 {
+            (0..b.ndim())
+                .map(|i| b.dim(i).width())
+                .filter(|w| w.is_finite())
+                .product()
+        };
+        let total = vol(&self.domain);
+        if total == 0.0 {
+            return 0.0;
+        }
+        let matched: f64 = self
+            .regions
+            .iter()
+            .filter(|r| pred(&r.status))
+            .map(|r| vol(&r.domain))
+            .sum();
+        matched / total
+    }
+
+    /// All counterexample witness points.
+    pub fn counterexamples(&self) -> Vec<&[f64]> {
+        self.regions
+            .iter()
+            .filter_map(|r| match &r.status {
+                RegionStatus::Counterexample(x) => Some(x.as_slice()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Check the partition invariant: every probe point of the domain is
+    /// covered by at least one region (used by integration tests).
+    pub fn covers_probe_grid(&self, per_dim: usize) -> bool {
+        let n = self.domain.ndim();
+        let mut idx = vec![0usize; n];
+        loop {
+            let point: Vec<f64> = (0..n)
+                .map(|i| {
+                    let d = self.domain.dim(i);
+                    let frac = (idx[i] as f64 + 0.5) / per_dim as f64;
+                    d.lo + frac * (d.hi - d.lo)
+                })
+                .collect();
+            if self.status_at(&point).is_none() {
+                return false;
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return true;
+                }
+                idx[i] += 1;
+                if idx[i] < per_dim {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom1() -> BoxDomain {
+        BoxDomain::from_bounds(&[(0.0, 1.0)])
+    }
+
+    fn region(lo: f64, hi: f64, status: RegionStatus) -> Region {
+        Region {
+            domain: BoxDomain::from_bounds(&[(lo, hi)]),
+            status,
+        }
+    }
+
+    #[test]
+    fn mark_verified() {
+        let m = RegionMap::new(dom1(), vec![region(0.0, 1.0, RegionStatus::Verified)]);
+        assert_eq!(m.table_mark(), TableMark::Verified);
+    }
+
+    #[test]
+    fn mark_partial() {
+        let m = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.5, RegionStatus::Verified),
+                region(0.5, 1.0, RegionStatus::Timeout),
+            ],
+        );
+        assert_eq!(m.table_mark(), TableMark::PartiallyVerified);
+    }
+
+    #[test]
+    fn mark_ce_wins() {
+        let m = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.5, RegionStatus::Verified),
+                region(0.5, 1.0, RegionStatus::Counterexample(vec![0.75])),
+            ],
+        );
+        assert_eq!(m.table_mark(), TableMark::Counterexample);
+    }
+
+    #[test]
+    fn mark_unknown() {
+        let m = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.5, RegionStatus::Timeout),
+                region(0.5, 1.0, RegionStatus::Inconclusive),
+            ],
+        );
+        assert_eq!(m.table_mark(), TableMark::Unknown);
+    }
+
+    #[test]
+    fn volume_fraction_and_lookup() {
+        let m = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.25, RegionStatus::Verified),
+                region(0.25, 1.0, RegionStatus::Timeout),
+            ],
+        );
+        let f = m.volume_fraction(|s| matches!(s, RegionStatus::Verified));
+        assert!((f - 0.25).abs() < 1e-12);
+        assert_eq!(m.status_at(&[0.1]), Some(&RegionStatus::Verified));
+        assert_eq!(m.status_at(&[0.9]), Some(&RegionStatus::Timeout));
+        assert_eq!(m.status_at(&[2.0]), None);
+    }
+
+    #[test]
+    fn counterexample_collection() {
+        let m = RegionMap::new(
+            dom1(),
+            vec![region(0.0, 1.0, RegionStatus::Counterexample(vec![0.3]))],
+        );
+        assert_eq!(m.counterexamples(), vec![&[0.3][..]]);
+    }
+
+    #[test]
+    fn probe_grid_coverage() {
+        let m = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.5, RegionStatus::Verified),
+                region(0.5, 1.0, RegionStatus::Verified),
+            ],
+        );
+        assert!(m.covers_probe_grid(8));
+        let gap = RegionMap::new(dom1(), vec![region(0.0, 0.5, RegionStatus::Verified)]);
+        assert!(!gap.covers_probe_grid(8));
+    }
+
+    #[test]
+    fn glyphs_distinct() {
+        let gs = [
+            RegionStatus::Verified.glyph(),
+            RegionStatus::Counterexample(vec![]).glyph(),
+            RegionStatus::Inconclusive.glyph(),
+            RegionStatus::Timeout.glyph(),
+        ];
+        let set: std::collections::HashSet<_> = gs.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

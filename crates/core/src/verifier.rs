@@ -1,0 +1,231 @@
+//! Algorithm 1: the recursive domain-splitting verifier.
+
+use crate::encoder::EncodedProblem;
+use crate::region::{Region, RegionMap, RegionStatus};
+use rayon::prelude::*;
+use std::time::Instant;
+use xcv_solver::{BoxDomain, DeltaSolver, Formula, Outcome};
+
+/// Configuration of the verifier.
+#[derive(Clone, Debug)]
+pub struct VerifierConfig {
+    /// The recursion floor `t` on sub-domain width (the paper used 0.05).
+    pub split_threshold: f64,
+    /// The δ-complete solver (δ and per-box budget).
+    pub solver: DeltaSolver,
+    /// Fan the recursion out over rayon's thread pool.
+    pub parallel: bool,
+    /// Cap on the recursion depth (safety net; the width floor normally
+    /// terminates first).
+    pub max_depth: u32,
+    /// Total wall-clock deadline for one `verify` call, in milliseconds.
+    /// Boxes reached after the deadline are recorded as `Timeout` without
+    /// solving (the whole-run analogue of the paper's per-call dReal limit).
+    pub pair_deadline_ms: Option<u64>,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            split_threshold: 0.05,
+            solver: DeltaSolver::default(),
+            parallel: true,
+            max_depth: 12,
+            pair_deadline_ms: None,
+        }
+    }
+}
+
+/// The VERIFIER component of XCVerifier (Algorithm 1).
+#[derive(Clone, Debug, Default)]
+pub struct Verifier {
+    pub config: VerifierConfig,
+}
+
+impl Verifier {
+    pub fn new(config: VerifierConfig) -> Self {
+        Verifier { config }
+    }
+
+    /// Verify an encoded problem over its own PB domain.
+    pub fn verify(&self, problem: &EncodedProblem) -> RegionMap {
+        self.verify_on(&problem.domain, problem)
+    }
+
+    /// Verify an encoded problem over a caller-supplied domain.
+    pub fn verify_on(&self, domain: &BoxDomain, problem: &EncodedProblem) -> RegionMap {
+        let start = Instant::now();
+        let regions = self.go(domain, &problem.negation, &problem.psi, 0, start);
+        RegionMap::new(domain.clone(), regions)
+    }
+
+    fn past_deadline(&self, start: Instant) -> bool {
+        self.config
+            .pair_deadline_ms
+            .is_some_and(|ms| start.elapsed().as_millis() as u64 > ms)
+    }
+
+    /// One step of Algorithm 1 on box `d`:
+    ///
+    /// * solve `φ_D ∧ ¬ψ` — `Unsat` verifies the box outright;
+    /// * `δ-SAT` with a model that exactly violates `ψ` is a counterexample,
+    ///   an invalid model is inconclusive; a timeout is recorded;
+    /// * on everything but `Unsat`, split every dimension (`split(D)`) and
+    ///   recurse until the width floor `t`, isolating the violating regions.
+    fn go(
+        &self,
+        d: &BoxDomain,
+        negation: &Formula,
+        psi: &xcv_solver::Atom,
+        depth: u32,
+        start: Instant,
+    ) -> Vec<Region> {
+        if self.past_deadline(start) {
+            return vec![Region {
+                domain: d.clone(),
+                status: RegionStatus::Timeout,
+            }];
+        }
+        let outcome = self.config.solver.solve(d, negation);
+        let status = match outcome {
+            Outcome::Unsat => RegionStatus::Verified,
+            Outcome::DeltaSat(model) => {
+                // valid(x): does the model *exactly* violate ψ?
+                if !psi.holds_at(&model) {
+                    RegionStatus::Counterexample(model)
+                } else {
+                    RegionStatus::Inconclusive
+                }
+            }
+            Outcome::Timeout => RegionStatus::Timeout,
+        };
+        // Verified boxes are final; others split until the width floor.
+        let can_split = d.max_width() / 2.0 >= self.config.split_threshold
+            && depth < self.config.max_depth;
+        if matches!(status, RegionStatus::Verified) || !can_split {
+            return vec![Region {
+                domain: d.clone(),
+                status,
+            }];
+        }
+        let children = d.split_all();
+        if self.config.parallel && depth <= 3 {
+            children
+                .par_iter()
+                .map(|c| self.go(c, negation, psi, depth + 1, start))
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+        } else {
+            let mut out = Vec::new();
+            for c in &children {
+                out.extend(self.go(c, negation, psi, depth + 1, start));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::region::TableMark;
+    use xcv_conditions::Condition;
+    use xcv_functionals::Dfa;
+    use xcv_solver::SolveBudget;
+
+    fn quick_verifier(budget_nodes: u64) -> Verifier {
+        Verifier::new(VerifierConfig {
+            split_threshold: 0.6, // coarse for test speed
+            solver: DeltaSolver::new(1e-3, SolveBudget::nodes(budget_nodes)),
+            parallel: false,
+            max_depth: 6,
+            pair_deadline_ms: None,
+        })
+    }
+
+    #[test]
+    fn vwn_ec1_fully_verified() {
+        let p = Encoder::encode(Dfa::VwnRpa, Condition::EcNonPositivity).unwrap();
+        let map = quick_verifier(50_000).verify(&p);
+        assert_eq!(map.table_mark(), TableMark::Verified);
+    }
+
+    #[test]
+    fn lyp_ec1_counterexample_found() {
+        let p = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+        let map = quick_verifier(50_000).verify(&p);
+        assert_eq!(map.table_mark(), TableMark::Counterexample);
+        // Every witness must exactly violate ψ and lie at large s.
+        for ce in map.counterexamples() {
+            assert!(!p.psi.holds_at(ce), "witness must violate the condition");
+            assert!(ce[1] > 1.0, "LYP EC1 violations live at large s: {ce:?}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_times_out_everywhere() {
+        let p = Encoder::encode(Dfa::VwnRpa, Condition::EcNonPositivity).unwrap();
+        let v = Verifier::new(VerifierConfig {
+            split_threshold: 2.0,
+            solver: DeltaSolver::new(1e-3, SolveBudget::nodes(0)),
+            parallel: false,
+            max_depth: 3,
+            pair_deadline_ms: None,
+        });
+        let map = v.verify(&p);
+        assert_eq!(map.table_mark(), TableMark::Unknown);
+        assert!(map
+            .regions
+            .iter()
+            .all(|r| matches!(r.status, RegionStatus::Timeout)));
+    }
+
+    #[test]
+    fn region_map_partitions_domain() {
+        let p = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+        let map = quick_verifier(20_000).verify(&p);
+        assert!(map.covers_probe_grid(6), "region map must cover the domain");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_mark() {
+        let p = Encoder::encode(Dfa::VwnRpa, Condition::EcScaling).unwrap();
+        let seq = quick_verifier(50_000).verify(&p);
+        let mut cfg = quick_verifier(50_000).config;
+        cfg.parallel = true;
+        let par = Verifier::new(cfg).verify(&p);
+        assert_eq!(seq.table_mark(), par.table_mark());
+    }
+
+    #[test]
+    fn pair_deadline_caps_work() {
+        // A 1 ms pair deadline must leave most of a hard problem undecided,
+        // quickly, while keeping the region map a partition.
+        let p = Encoder::encode(Dfa::Scan, Condition::UcMonotonicity).unwrap();
+        let v = Verifier::new(VerifierConfig {
+            split_threshold: 0.3,
+            solver: DeltaSolver::new(1e-3, SolveBudget::nodes(1_000)),
+            parallel: false,
+            max_depth: 8,
+            pair_deadline_ms: Some(1),
+        });
+        let t0 = std::time::Instant::now();
+        let map = v.verify(&p);
+        assert!(t0.elapsed().as_secs() < 30);
+        assert!(map.covers_probe_grid(4));
+    }
+
+    #[test]
+    fn pbe_ec7_finds_upper_left_counterexample() {
+        let p = Encoder::encode(Dfa::Pbe, Condition::ConjTcUpperBound).unwrap();
+        let map = quick_verifier(30_000).verify(&p);
+        assert_eq!(map.table_mark(), TableMark::Counterexample);
+        let ces = map.counterexamples();
+        assert!(!ces.is_empty());
+        // Fig. 1f: violations in the small-rs / large-s corner.
+        assert!(ces.iter().any(|c| c[0] < 2.5 && c[1] > 1.0), "{ces:?}");
+    }
+}

@@ -1,0 +1,428 @@
+//! Smart constructors with local algebraic simplification.
+//!
+//! Simplifications are restricted to rules that are *value-preserving over
+//! the extended reals on the natural domain* (constant folding, neutral and
+//! absorbing elements, double negation, power fusion). Nothing here changes
+//! where an expression is defined — e.g. `0 * ln(x)` is **not** rewritten to
+//! `0`, because the two differ at `x <= 0` and the solver's natural-domain
+//! semantics must be preserved.
+
+use crate::node::{intern, Expr, Kind};
+
+/// A literal constant.
+pub fn constant(c: f64) -> Expr {
+    assert!(!c.is_nan(), "NaN constant");
+    intern(Kind::Const(c))
+}
+
+/// The variable with the given index (see [`crate::VarSet`] for naming).
+pub fn var(index: u32) -> Expr {
+    intern(Kind::Var(index))
+}
+
+impl Expr {
+    pub fn add(&self, rhs: &Expr) -> Expr {
+        match (self.as_const(), rhs.as_const()) {
+            (Some(a), Some(b)) if (a + b).is_finite() => return constant(a + b),
+            (Some(0.0), _) => return rhs.clone(),
+            (_, Some(0.0)) => return self.clone(),
+            _ => {}
+        }
+        // x + (-y) is kept as-is; display handles it. Canonicalize constant to
+        // the right so `c + x` and `x + c` intern identically.
+        if self.as_const().is_some() && rhs.as_const().is_none() {
+            return intern(Kind::Add(rhs.clone(), self.clone()));
+        }
+        intern(Kind::Add(self.clone(), rhs.clone()))
+    }
+
+    pub fn sub(&self, rhs: &Expr) -> Expr {
+        if self.same(rhs) {
+            // x - x = 0 is safe: both sides share the identical domain.
+            return constant(0.0);
+        }
+        self.add(&rhs.neg())
+    }
+
+    pub fn neg(&self) -> Expr {
+        if let Some(c) = self.as_const() {
+            return constant(-c);
+        }
+        if let Kind::Neg(inner) = self.kind() {
+            return inner.clone();
+        }
+        intern(Kind::Neg(self.clone()))
+    }
+
+    pub fn mul(&self, rhs: &Expr) -> Expr {
+        match (self.as_const(), rhs.as_const()) {
+            (Some(a), Some(b)) if (a * b).is_finite() => return constant(a * b),
+            (Some(1.0), _) => return rhs.clone(),
+            (_, Some(1.0)) => return self.clone(),
+            (Some(-1.0), _) => return rhs.neg(),
+            (_, Some(-1.0)) => return self.neg(),
+            _ => {}
+        }
+        // x * x -> x^2 keeps derivative DAGs compact.
+        if self.same(rhs) {
+            return self.powi(2);
+        }
+        if self.as_const().is_some() && rhs.as_const().is_none() {
+            return intern(Kind::Mul(rhs.clone(), self.clone()));
+        }
+        intern(Kind::Mul(self.clone(), rhs.clone()))
+    }
+
+    pub fn div(&self, rhs: &Expr) -> Expr {
+        if let Some(1.0) = rhs.as_const() {
+            return self.clone();
+        }
+        if let (Some(a), Some(b)) = (self.as_const(), rhs.as_const()) {
+            if b != 0.0 && (a / b).is_finite() {
+                return constant(a / b);
+            }
+        }
+        intern(Kind::Div(self.clone(), rhs.clone()))
+    }
+
+    /// Integer power.
+    pub fn powi(&self, n: i32) -> Expr {
+        match n {
+            0 => return constant(1.0),
+            1 => return self.clone(),
+            _ => {}
+        }
+        if let Some(c) = self.as_const() {
+            let v = c.powi(n);
+            if v.is_finite() {
+                return constant(v);
+            }
+        }
+        // (x^a)^b -> x^(a*b) for integer powers (value-preserving on the
+        // extended reals, including sign bookkeeping).
+        if let Kind::PowI(base, m) = self.kind() {
+            if let Some(nm) = m.checked_mul(n) {
+                return base.powi(nm);
+            }
+        }
+        intern(Kind::PowI(self.clone(), n))
+    }
+
+    /// Real power `self^rhs` (natural-domain: base must be non-negative
+    /// unless the exponent is a literal integer, which callers should express
+    /// with [`Expr::powi`]).
+    pub fn pow(&self, rhs: &Expr) -> Expr {
+        if let Some(e) = rhs.as_const() {
+            if e == 0.0 {
+                return constant(1.0);
+            }
+            if e == 1.0 {
+                return self.clone();
+            }
+            if e == 0.5 {
+                return self.sqrt();
+            }
+            // Exact small integers route to powi only when the base is known
+            // non-negative is NOT required for odd/even powi — powi is total.
+            if e.fract() == 0.0 && e.abs() <= 64.0 {
+                return self.powi(e as i32);
+            }
+            if let Some(b) = self.as_const() {
+                let v = b.powf(e);
+                if v.is_finite() && b >= 0.0 {
+                    return constant(v);
+                }
+            }
+        }
+        intern(Kind::Pow(self.clone(), rhs.clone()))
+    }
+
+    pub fn exp(&self) -> Expr {
+        if let Some(0.0) = self.as_const() {
+            return constant(1.0);
+        }
+        intern(Kind::Exp(self.clone()))
+    }
+
+    pub fn ln(&self) -> Expr {
+        if let Some(1.0) = self.as_const() {
+            return constant(0.0);
+        }
+        intern(Kind::Ln(self.clone()))
+    }
+
+    pub fn sqrt(&self) -> Expr {
+        if let Some(c) = self.as_const() {
+            if c >= 0.0 {
+                let r = c.sqrt();
+                if r * r == c {
+                    return constant(r);
+                }
+            }
+        }
+        intern(Kind::Sqrt(self.clone()))
+    }
+
+    pub fn cbrt(&self) -> Expr {
+        intern(Kind::Cbrt(self.clone()))
+    }
+
+    pub fn atan(&self) -> Expr {
+        if let Some(0.0) = self.as_const() {
+            return constant(0.0);
+        }
+        intern(Kind::Atan(self.clone()))
+    }
+
+    pub fn sin(&self) -> Expr {
+        if let Some(0.0) = self.as_const() {
+            return constant(0.0);
+        }
+        intern(Kind::Sin(self.clone()))
+    }
+
+    pub fn cos(&self) -> Expr {
+        if let Some(0.0) = self.as_const() {
+            return constant(1.0);
+        }
+        intern(Kind::Cos(self.clone()))
+    }
+
+    pub fn tanh(&self) -> Expr {
+        if let Some(0.0) = self.as_const() {
+            return constant(0.0);
+        }
+        intern(Kind::Tanh(self.clone()))
+    }
+
+    pub fn abs(&self) -> Expr {
+        if let Some(c) = self.as_const() {
+            return constant(c.abs());
+        }
+        if let Kind::Abs(_) = self.kind() {
+            return self.clone();
+        }
+        intern(Kind::Abs(self.clone()))
+    }
+
+    pub fn min(&self, rhs: &Expr) -> Expr {
+        if self.same(rhs) {
+            return self.clone();
+        }
+        intern(Kind::Min(self.clone(), rhs.clone()))
+    }
+
+    pub fn max(&self, rhs: &Expr) -> Expr {
+        if self.same(rhs) {
+            return self.clone();
+        }
+        intern(Kind::Max(self.clone(), rhs.clone()))
+    }
+
+    pub fn lambert_w(&self) -> Expr {
+        if let Some(0.0) = self.as_const() {
+            return constant(0.0);
+        }
+        intern(Kind::LambertW(self.clone()))
+    }
+
+    /// `if cond >= 0 { then } else { otherwise }`.
+    pub fn ite(cond: &Expr, then: &Expr, otherwise: &Expr) -> Expr {
+        if let Some(c) = cond.as_const() {
+            return if c >= 0.0 {
+                then.clone()
+            } else {
+                otherwise.clone()
+            };
+        }
+        if then.same(otherwise) {
+            return then.clone();
+        }
+        intern(Kind::Ite {
+            cond: cond.clone(),
+            then: then.clone(),
+            otherwise: otherwise.clone(),
+        })
+    }
+
+    /// Reciprocal `1 / self`.
+    pub fn recip(&self) -> Expr {
+        constant(1.0).div(self)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $builder:ident) => {
+        impl std::ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$builder(&self, &rhs)
+            }
+        }
+        impl std::ops::$trait<&Expr> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                Expr::$builder(&self, rhs)
+            }
+        }
+        impl std::ops::$trait<Expr> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$builder(self, &rhs)
+            }
+        }
+        impl std::ops::$trait<&Expr> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                Expr::$builder(self, rhs)
+            }
+        }
+        impl std::ops::$trait<f64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                Expr::$builder(&self, &constant(rhs))
+            }
+        }
+        impl std::ops::$trait<f64> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                Expr::$builder(self, &constant(rhs))
+            }
+        }
+        impl std::ops::$trait<Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$builder(&constant(self), &rhs)
+            }
+        }
+        impl std::ops::$trait<&Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                Expr::$builder(&constant(self), rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add);
+impl_binop!(Sub, sub, sub);
+impl_binop!(Mul, mul, mul);
+impl_binop!(Div, div, div);
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::neg(&self)
+    }
+}
+impl std::ops::Neg for &Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let e = constant(2.0) + constant(3.0);
+        assert_eq!(e.as_const(), Some(5.0));
+        let e = constant(2.0) * constant(3.0);
+        assert_eq!(e.as_const(), Some(6.0));
+        let e = constant(6.0) / constant(3.0);
+        assert_eq!(e.as_const(), Some(2.0));
+    }
+
+    #[test]
+    fn neutral_elements() {
+        let x = var(0);
+        assert!((x.clone() + 0.0).same(&x));
+        assert!((0.0 + x.clone()).same(&x));
+        assert!((x.clone() * 1.0).same(&x));
+        assert!((x.clone() / 1.0).same(&x));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = constant(1.0) / constant(0.0);
+        assert!(e.as_const().is_none(), "1/0 must remain symbolic");
+    }
+
+    #[test]
+    fn double_negation() {
+        let x = var(0);
+        assert!((-(-x.clone())).same(&x));
+    }
+
+    #[test]
+    fn x_minus_x_is_zero() {
+        let x = var(0);
+        let e = x.clone() - x;
+        assert_eq!(e.as_const(), Some(0.0));
+    }
+
+    #[test]
+    fn zero_times_symbolic_not_folded() {
+        // 0 * ln(x) must not fold to 0 (domain differs at x <= 0).
+        let e = constant(0.0) * var(0).ln();
+        assert!(e.as_const().is_none());
+    }
+
+    #[test]
+    fn square_via_mul() {
+        let x = var(0);
+        let e = x.clone() * x.clone();
+        assert!(matches!(e.kind(), Kind::PowI(_, 2)));
+    }
+
+    #[test]
+    fn powi_fusion() {
+        let x = var(0);
+        let e = x.powi(2).powi(3);
+        assert!(matches!(e.kind(), Kind::PowI(_, 6)));
+    }
+
+    #[test]
+    fn pow_const_exponent_rewrites() {
+        let x = var(0);
+        assert!(matches!(x.pow(&constant(2.0)).kind(), Kind::PowI(_, 2)));
+        assert!(matches!(x.pow(&constant(0.5)).kind(), Kind::Sqrt(_)));
+        assert_eq!(x.pow(&constant(0.0)).as_const(), Some(1.0));
+        assert!(x.pow(&constant(1.0)).same(&x));
+    }
+
+    #[test]
+    fn ite_const_cond() {
+        let t = var(0);
+        let e = var(1);
+        assert!(Expr::ite(&constant(1.0), &t, &e).same(&t));
+        assert!(Expr::ite(&constant(-1.0), &t, &e).same(&e));
+        assert!(Expr::ite(&constant(0.0), &t, &e).same(&t)); // >= 0 branch
+        assert!(Expr::ite(&var(2), &t, &t).same(&t));
+    }
+
+    #[test]
+    fn abs_idempotent() {
+        let x = var(0);
+        let a = x.abs();
+        assert!(a.abs().same(&a));
+    }
+
+    #[test]
+    fn scalar_op_overloads() {
+        let x = var(0);
+        let e = 2.0 * x.clone() + 1.0;
+        assert!(e.as_const().is_none());
+        let e = x / 2.0;
+        assert!(matches!(e.kind(), Kind::Div(_, _)));
+    }
+
+    #[test]
+    fn exp_ln_special_values() {
+        assert_eq!(constant(0.0).exp().as_const(), Some(1.0));
+        assert_eq!(constant(1.0).ln().as_const(), Some(0.0));
+    }
+}

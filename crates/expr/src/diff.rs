@@ -1,0 +1,224 @@
+//! Symbolic differentiation (the SymPy substitute of XCEncoder).
+//!
+//! Derivatives are computed over the hash-consed DAG with memoization, so
+//! shared subterms are differentiated once. Piecewise nodes differentiate
+//! branchwise (the distributional term at the switching surface is ignored,
+//! exactly as in the paper's SymPy pipeline and in LIBXC's own generated
+//! derivative code).
+
+use crate::build::constant;
+use crate::node::{Expr, Kind, NodeId};
+use std::collections::HashMap;
+
+impl Expr {
+    /// The partial derivative with respect to variable index `v`.
+    pub fn diff(&self, v: u32) -> Expr {
+        let mut d = Differ {
+            var: v,
+            cache: HashMap::new(),
+        };
+        d.diff(self)
+    }
+}
+
+struct Differ {
+    var: u32,
+    cache: HashMap<NodeId, Expr>,
+}
+
+impl Differ {
+    fn diff(&mut self, e: &Expr) -> Expr {
+        if let Some(d) = self.cache.get(&e.id()) {
+            return d.clone();
+        }
+        let d = self.diff_uncached(e);
+        self.cache.insert(e.id(), d.clone());
+        d
+    }
+
+    fn diff_uncached(&mut self, e: &Expr) -> Expr {
+        match e.kind() {
+            Kind::Const(_) => constant(0.0),
+            Kind::Var(i) => constant(if *i == self.var { 1.0 } else { 0.0 }),
+            Kind::Add(a, b) => self.diff(a) + self.diff(b),
+            Kind::Neg(a) => -self.diff(a),
+            Kind::Mul(a, b) => self.diff(a) * b + a * self.diff(b),
+            Kind::Div(a, b) => (self.diff(a) * b - a * self.diff(b)) / b.powi(2),
+            Kind::PowI(a, n) => constant(f64::from(*n)) * a.powi(n - 1) * self.diff(a),
+            Kind::Pow(a, b) => {
+                // d(a^b) = a^b (b' ln a + b a'/a)
+                let da = self.diff(a);
+                let db = self.diff(b);
+                e * (db * a.ln() + b * da / a)
+            }
+            Kind::Exp(a) => e * self.diff(a),
+            Kind::Ln(a) => self.diff(a) / a,
+            Kind::Sqrt(a) => self.diff(a) / (2.0 * e),
+            Kind::Cbrt(a) => self.diff(a) / (3.0 * e.powi(2)),
+            Kind::Atan(a) => self.diff(a) / (a.powi(2) + 1.0),
+            Kind::Sin(a) => a.cos() * self.diff(a),
+            Kind::Cos(a) => -(a.sin()) * self.diff(a),
+            Kind::Tanh(a) => (constant(1.0) - e.powi(2)) * self.diff(a),
+            Kind::Abs(a) => {
+                // sign(a) * a', expressed piecewise; not differentiable at 0.
+                let da = self.diff(a);
+                Expr::ite(a, &da, &(-&da))
+            }
+            Kind::Min(a, b) => {
+                let da = self.diff(a);
+                let db = self.diff(b);
+                // min(a,b) = a where b - a >= 0.
+                Expr::ite(&(b - a), &da, &db)
+            }
+            Kind::Max(a, b) => {
+                let da = self.diff(a);
+                let db = self.diff(b);
+                Expr::ite(&(a - b), &da, &db)
+            }
+            Kind::LambertW(a) => {
+                // W'(x) = 1 / (x + e^{W(x)}), finite at x = 0 (value 1).
+                self.diff(a) / (a + e.exp())
+            }
+            Kind::Ite {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let dt = self.diff(then);
+                let de = self.diff(otherwise);
+                Expr::ite(cond, &dt, &de)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{constant, var, Expr};
+
+    /// Assert that the symbolic derivative matches a central difference at
+    /// several probe points.
+    fn check_diff(e: &Expr, v: u32, env_fn: impl Fn(f64) -> Vec<f64>, points: &[f64]) {
+        let d = e.diff(v);
+        for &p in points {
+            let h = 1e-6 * p.abs().max(1.0);
+            let mut lo = env_fn(p);
+            let mut hi = env_fn(p);
+            lo[v as usize] -= h;
+            hi[v as usize] += h;
+            let num = (e.eval(&hi).unwrap() - e.eval(&lo).unwrap()) / (2.0 * h);
+            let sym = d.eval(&env_fn(p)).unwrap();
+            let tol = 1e-5 * num.abs().max(1.0);
+            assert!(
+                (num - sym).abs() <= tol,
+                "at {p}: numeric {num} vs symbolic {sym} for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn polynomial_derivative() {
+        let x = var(0);
+        let e = x.powi(3) + 2.0 * var(0) + 7.0;
+        let d = e.diff(0);
+        assert_eq!(d.eval(&[2.0]).unwrap(), 14.0); // 3x^2 + 2
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        assert_eq!(constant(5.0).diff(0).as_const(), Some(0.0));
+        assert_eq!(var(1).diff(0).as_const(), Some(0.0));
+        assert_eq!(var(0).diff(0).as_const(), Some(1.0));
+    }
+
+    #[test]
+    fn product_and_quotient_rules() {
+        let x = var(0);
+        let e = (x.clone() + 1.0) * x.exp() / (x.powi(2) + 1.0);
+        check_diff(&e, 0, |p| vec![p], &[0.3, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn transcendental_chain_rule() {
+        let x = var(0);
+        let e = (x.powi(2) + 1.0).ln().sqrt().atan();
+        check_diff(&e, 0, |p| vec![p], &[0.5, 1.0, 3.0]);
+        let e = (2.0 * var(0)).sin() * (var(0)).cos() + (var(0) / 3.0).tanh();
+        check_diff(&e, 0, |p| vec![p], &[0.2, 1.2]);
+    }
+
+    #[test]
+    fn general_power_rule() {
+        let x = var(0);
+        let y = var(1);
+        let e = x.pow(&y);
+        // d/dx x^y = y x^(y-1); d/dy = x^y ln x.
+        let dx = e.diff(0);
+        let dy = e.diff(1);
+        let v = [2.0, 3.0];
+        assert!((dx.eval(&v).unwrap() - 3.0 * 4.0).abs() < 1e-12);
+        assert!((dy.eval(&v).unwrap() - 8.0 * 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cbrt_derivative() {
+        let e = var(0).cbrt();
+        check_diff(&e, 0, |p| vec![p], &[0.5, 8.0]);
+    }
+
+    #[test]
+    fn lambert_w_derivative() {
+        let e = var(0).lambert_w();
+        check_diff(&e, 0, |p| vec![p], &[0.5, 1.0, 5.0]);
+        // W'(0) = 1 via the x + e^W form.
+        let d = e.diff(0);
+        assert!((d.eval(&[0.0]).unwrap() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn abs_derivative_is_sign() {
+        let e = var(0).abs();
+        let d = e.diff(0);
+        assert_eq!(d.eval(&[2.0]).unwrap(), 1.0);
+        assert_eq!(d.eval(&[-2.0]).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn min_max_branchwise() {
+        let e = var(0).min(&var(0).powi(2));
+        let d = e.diff(0);
+        // For x in (0,1): x <= x^2 is false -> min = x... careful: x^2 < x on
+        // (0,1) so min = x^2, derivative 2x.
+        assert!((d.eval(&[0.5]).unwrap() - 1.0).abs() < 1e-14 || (d.eval(&[0.5]).unwrap() - 2.0 * 0.5).abs() < 1e-14);
+        // For x > 1: min = x, derivative 1.
+        assert_eq!(d.eval(&[2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ite_differentiates_branches() {
+        let e = Expr::ite(&(var(0) - 1.0), &var(0).powi(2), &var(0).powi(3));
+        let d = e.diff(0);
+        assert_eq!(d.eval(&[2.0]).unwrap(), 4.0); // then branch: 2x
+        assert_eq!(d.eval(&[0.5]).unwrap(), 0.75); // else branch: 3x^2
+    }
+
+    #[test]
+    fn second_derivative() {
+        let x = var(0);
+        let e = x.powi(4);
+        let d2 = e.diff(0).diff(0);
+        assert_eq!(d2.eval(&[2.0]).unwrap(), 48.0); // 12 x^2
+    }
+
+    #[test]
+    fn shared_subterm_derivative_shares() {
+        // d/dx of f(g) where g appears twice should reuse dg.
+        let x = var(0);
+        let g = (x.clone() * 37.0 + 1.0).exp();
+        let e = g.clone() * g.clone() + g.clone();
+        let d = e.diff(0);
+        check_diff(&e, 0, |p| vec![p], &[0.01]);
+        // DAG sharing keeps the derivative small.
+        assert!(d.node_count() < 30);
+    }
+}

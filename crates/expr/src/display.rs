@@ -1,0 +1,135 @@
+//! Infix pretty-printing with minimal parenthesization.
+
+use crate::node::{Expr, Kind};
+use std::fmt;
+
+/// Operator precedence for parenthesization decisions.
+fn prec(kind: &Kind) -> u8 {
+    match kind {
+        Kind::Add(..) => 1,
+        Kind::Neg(..) => 2,
+        Kind::Mul(..) | Kind::Div(..) => 3,
+        Kind::PowI(..) | Kind::Pow(..) => 4,
+        _ => 5, // atoms and function applications
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if prec(child.kind()) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            Kind::Const(c) => {
+                if *c < 0.0 {
+                    write!(f, "({c})")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Kind::Var(v) => write!(f, "x{v}"),
+            Kind::Add(a, b) => {
+                write_child(f, a, 1)?;
+                if let Kind::Neg(inner) = b.kind() {
+                    write!(f, " - ")?;
+                    write_child(f, inner, 2)
+                } else {
+                    write!(f, " + ")?;
+                    write_child(f, b, 1)
+                }
+            }
+            Kind::Neg(a) => {
+                write!(f, "-")?;
+                write_child(f, a, 3)
+            }
+            Kind::Mul(a, b) => {
+                write_child(f, a, 3)?;
+                write!(f, "*")?;
+                write_child(f, b, 4)
+            }
+            Kind::Div(a, b) => {
+                write_child(f, a, 3)?;
+                write!(f, "/")?;
+                write_child(f, b, 4)
+            }
+            Kind::PowI(a, n) => {
+                write_child(f, a, 5)?;
+                write!(f, "^{n}")
+            }
+            Kind::Pow(a, b) => {
+                write_child(f, a, 5)?;
+                write!(f, "^(")?;
+                write!(f, "{b})")
+            }
+            Kind::Exp(a) => write!(f, "exp({a})"),
+            Kind::Ln(a) => write!(f, "ln({a})"),
+            Kind::Sqrt(a) => write!(f, "sqrt({a})"),
+            Kind::Cbrt(a) => write!(f, "cbrt({a})"),
+            Kind::Atan(a) => write!(f, "atan({a})"),
+            Kind::Sin(a) => write!(f, "sin({a})"),
+            Kind::Cos(a) => write!(f, "cos({a})"),
+            Kind::Tanh(a) => write!(f, "tanh({a})"),
+            Kind::Abs(a) => write!(f, "abs({a})"),
+            Kind::Min(a, b) => write!(f, "min({a}, {b})"),
+            Kind::Max(a, b) => write!(f, "max({a}, {b})"),
+            Kind::LambertW(a) => write!(f, "W({a})"),
+            Kind::Ite {
+                cond,
+                then,
+                otherwise,
+            } => write!(f, "ite({cond} >= 0, {then}, {otherwise})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{constant, var, Expr};
+
+    #[test]
+    fn renders_infix() {
+        let x = var(0);
+        let e = (x.clone() + 1.0) * x.clone();
+        let s = format!("{e}");
+        assert!(s.contains('+') && s.contains('*'), "{s}");
+        assert!(s.contains("(x0 + 1)"), "{s}");
+    }
+
+    #[test]
+    fn subtraction_renders_minus() {
+        let e = var(0) - var(1);
+        assert_eq!(format!("{e}"), "x0 - x1");
+    }
+
+    #[test]
+    fn functions_render() {
+        let e = var(0).exp().ln().sqrt();
+        assert_eq!(format!("{e}"), "sqrt(ln(exp(x0)))");
+    }
+
+    #[test]
+    fn power_renders() {
+        let e = var(0).powi(3);
+        assert_eq!(format!("{e}"), "x0^3");
+        let e = var(0).pow(&(var(1) + 1.0));
+        assert_eq!(format!("{e}"), "x0^(x1 + 1)");
+    }
+
+    #[test]
+    fn negative_constant_parenthesized() {
+        let e = var(0) * constant(-2.0);
+        let s = format!("{e}");
+        assert!(s.contains("(-2)"), "{s}");
+    }
+
+    #[test]
+    fn ite_renders() {
+        let e = Expr::ite(&var(0), &constant(1.0), &constant(2.0));
+        assert_eq!(format!("{e}"), "ite(x0 >= 0, 1, 2)");
+    }
+}

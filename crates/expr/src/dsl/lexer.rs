@@ -1,0 +1,466 @@
+//! Tokenizer with Python-style indentation handling.
+//!
+//! Produces a flat token stream in which block structure is made explicit by
+//! `Indent`/`Dedent` tokens, so the parser never needs to look at whitespace.
+
+use super::{DslError, Pos};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    // Literals and names
+    Number(f64),
+    Name(String),
+    // Punctuation
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    // Operators
+    Assign,    // =
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    DoubleStar, // **
+    Slash,     // /
+    Le,        // <=
+    Ge,        // >=
+    Lt,        // <
+    Gt,        // >
+    // Layout
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+/// Streaming tokenizer; use [`Lexer::tokenize`] for the full stream.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    indent_stack: Vec<u32>,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+            indent_stack: vec![0],
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError::Lex {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    /// Tokenize the entire source.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, DslError> {
+        let mut out = Vec::new();
+        let mut at_line_start = true;
+        loop {
+            if at_line_start {
+                // Measure indentation; skip blank / comment-only lines.
+                let mut width = 0u32;
+                loop {
+                    match self.peek() {
+                        Some(b' ') => {
+                            self.bump();
+                            width += 1;
+                        }
+                        Some(b'\t') => {
+                            return Err(self.err("tabs are not allowed; indent with spaces"));
+                        }
+                        _ => break,
+                    }
+                }
+                match self.peek() {
+                    None => break,
+                    Some(b'\n') => {
+                        self.bump();
+                        continue;
+                    }
+                    Some(b'#') => {
+                        while let Some(c) = self.peek() {
+                            if c == b'\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                let current = *self.indent_stack.last().unwrap();
+                if width > current {
+                    self.indent_stack.push(width);
+                    out.push(Token {
+                        kind: TokenKind::Indent,
+                        pos: self.pos(),
+                    });
+                } else if width < current {
+                    while *self.indent_stack.last().unwrap() > width {
+                        self.indent_stack.pop();
+                        out.push(Token {
+                            kind: TokenKind::Dedent,
+                            pos: self.pos(),
+                        });
+                    }
+                    if *self.indent_stack.last().unwrap() != width {
+                        return Err(self.err("inconsistent dedent"));
+                    }
+                }
+                at_line_start = false;
+            }
+            let pos = self.pos();
+            let Some(c) = self.peek() else { break };
+            match c {
+                b'\n' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Newline,
+                        pos,
+                    });
+                    at_line_start = true;
+                }
+                b' ' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'(' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::LParen,
+                        pos,
+                    });
+                }
+                b')' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::RParen,
+                        pos,
+                    });
+                }
+                b',' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Comma,
+                        pos,
+                    });
+                }
+                b':' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Colon,
+                        pos,
+                    });
+                }
+                b'+' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Plus,
+                        pos,
+                    });
+                }
+                b'-' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        pos,
+                    });
+                }
+                b'/' => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Slash,
+                        pos,
+                    });
+                }
+                b'*' => {
+                    self.bump();
+                    if self.peek() == Some(b'*') {
+                        self.bump();
+                        out.push(Token {
+                            kind: TokenKind::DoubleStar,
+                            pos,
+                        });
+                    } else {
+                        out.push(Token {
+                            kind: TokenKind::Star,
+                            pos,
+                        });
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        out.push(Token {
+                            kind: TokenKind::Le,
+                            pos,
+                        });
+                    } else {
+                        out.push(Token {
+                            kind: TokenKind::Lt,
+                            pos,
+                        });
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        out.push(Token {
+                            kind: TokenKind::Ge,
+                            pos,
+                        });
+                    } else {
+                        out.push(Token {
+                            kind: TokenKind::Gt,
+                            pos,
+                        });
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        return Err(self.err("'==' comparisons are not supported"));
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Assign,
+                        pos,
+                    });
+                }
+                b'0'..=b'9' | b'.' => {
+                    out.push(Token {
+                        kind: self.number()?,
+                        pos,
+                    });
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    out.push(Token {
+                        kind: self.name(),
+                        pos,
+                    });
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)));
+                }
+            }
+        }
+        // Close the file: final newline + pending dedents.
+        let pos = self.pos();
+        if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
+            out.push(Token {
+                kind: TokenKind::Newline,
+                pos,
+            });
+        }
+        while self.indent_stack.len() > 1 {
+            self.indent_stack.pop();
+            out.push(Token {
+                kind: TokenKind::Dedent,
+                pos,
+            });
+        }
+        out.push(Token {
+            kind: TokenKind::Eof,
+            pos,
+        });
+        Ok(out)
+    }
+
+    fn number(&mut self) -> Result<TokenKind, DslError> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9') | Some(b'.')) {
+            self.bump();
+        }
+        // Exponent part.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.i;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `2*euler_e`): rewind.
+                self.i = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).unwrap();
+        text.parse::<f64>()
+            .map(TokenKind::Number)
+            .map_err(|_| self.err(format!("invalid number literal {text:?}")))
+    }
+
+    fn name(&mut self) -> TokenKind {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).unwrap();
+        match text {
+            "def" => TokenKind::Def,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "elif" => TokenKind::Elif,
+            "else" => TokenKind::Else,
+            _ => TokenKind::Name(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn simple_expression() {
+        let k = kinds("x + 2.5 * y\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Name("x".into()),
+                TokenKind::Plus,
+                TokenKind::Number(2.5),
+                TokenKind::Star,
+                TokenKind::Name("y".into()),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn power_and_comparison_operators() {
+        let k = kinds("a ** 2 <= b >= c < d > e\n");
+        assert!(k.contains(&TokenKind::DoubleStar));
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::Lt));
+        assert!(k.contains(&TokenKind::Gt));
+    }
+
+    #[test]
+    fn indentation_tokens() {
+        let k = kinds("def f(x):\n    y = 1\n    return y\n");
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_blocks_dedent_fully_at_eof() {
+        let k = kinds("def f(x):\n    if x >= 0:\n        y = 1\n");
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let k = kinds("x = 1\n\n# a comment\n   # indented comment\ny = 2\n");
+        assert!(!k.contains(&TokenKind::Indent));
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokenKind::Name(_)))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let k = kinds("a = 6.672455060314922e-2\n");
+        assert!(k.contains(&TokenKind::Number(6.672455060314922e-2)));
+        let k = kinds("a = 1e5\n");
+        assert!(k.contains(&TokenKind::Number(1e5)));
+    }
+
+    #[test]
+    fn name_starting_with_e_not_exponent() {
+        let k = kinds("x = 2 * euler_e\n");
+        assert!(k.contains(&TokenKind::Name("euler_e".into())));
+    }
+
+    #[test]
+    fn tabs_rejected() {
+        assert!(Lexer::new("def f(x):\n\ty = 1\n").tokenize().is_err());
+    }
+
+    #[test]
+    fn inconsistent_dedent_rejected() {
+        assert!(Lexer::new("def f(x):\n    y = 1\n  z = 2\n").tokenize().is_err());
+    }
+
+    #[test]
+    fn eof_without_trailing_newline() {
+        let k = kinds("x = 1");
+        assert_eq!(k.last(), Some(&TokenKind::Eof));
+        assert!(k.contains(&TokenKind::Newline));
+    }
+}

@@ -1,0 +1,129 @@
+//! A Python-subset DSL with a symbolic executor.
+//!
+//! XCVerifier's XCEncoder translates each LIBXC functional's Maple source to
+//! Python (via Maple's `CodeGeneration` package) and then *symbolically
+//! executes* that Python — straight-line code with non-recursive function
+//! calls and if-then-else — into a solver expression. This module reproduces
+//! the pipeline: functional sources are written in the same Python subset and
+//! compiled to [`crate::Expr`] DAGs.
+//!
+//! Supported language:
+//!
+//! ```python
+//! def pbe_x(rs, s):
+//!     kappa = 0.804
+//!     mu = 0.2195149727645171
+//!     fx = 1 + kappa - kappa / (1 + mu * s**2 / kappa)
+//!     if s - 1 >= 0:          # both branches symbolically executed,
+//!         g = fx * 2          # merged into an if-then-else term
+//!     else:
+//!         g = fx
+//!     return g
+//! ```
+//!
+//! * statements: assignment, `if`/`elif`/`else` (on a single comparison),
+//!   `return`;
+//! * expressions: `+ - * / **`, unary minus, parentheses, number literals,
+//!   names, calls to builtins (`exp`, `log`, `ln`, `sqrt`, `cbrt`, `atan`,
+//!   `sin`, `cos`, `tanh`, `abs`, `min`, `max`, `lambertw`) and to previously
+//!   defined functions (inlined; recursion is rejected);
+//! * the names `pi` and `euler_e` are predefined constants.
+//!
+//! Strict-inequality conditions (`<`, `>`) are normalized to their non-strict
+//! counterparts on the branch expression — the two differ only on the
+//! measure-zero switching surface, where LIBXC implementations are themselves
+//! branch-order dependent.
+
+mod lexer;
+mod parser;
+mod symexec;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_program, CmpOp, FuncDef, PExpr, Program, Stmt};
+pub use symexec::compile_function;
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from any stage of the DSL pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    Lex { pos: Pos, message: String },
+    Parse { pos: Pos, message: String },
+    Exec { message: String },
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            DslError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            DslError::Exec { message } => write!(f, "symbolic execution error: {message}"),
+        }
+    }
+}
+impl std::error::Error for DslError {}
+
+/// Parse a program and symbolically execute `func` into an expression; the
+/// function's parameters are interned into `vars` in declaration order.
+pub fn compile(
+    source: &str,
+    func: &str,
+    vars: &mut crate::VarSet,
+) -> Result<crate::Expr, DslError> {
+    let program = parse_program(source)?;
+    compile_function(&program, func, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarSet;
+
+    #[test]
+    fn end_to_end_simple() {
+        let src = "def f(x):\n    y = x * x + 1\n    return y\n";
+        let mut vars = VarSet::new();
+        let e = compile(src, "f", &mut vars).unwrap();
+        assert_eq!(e.eval(&[3.0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn end_to_end_branches_and_calls() {
+        let src = "\
+def sq(x):
+    return x ** 2
+
+def f(a, b):
+    t = sq(a) + sq(b)
+    if a - b >= 0:
+        r = t
+    else:
+        r = -t
+    return r
+";
+        let mut vars = VarSet::new();
+        let e = compile(src, "f", &mut vars).unwrap();
+        assert_eq!(e.eval(&[3.0, 2.0]).unwrap(), 13.0);
+        assert_eq!(e.eval(&[2.0, 3.0]).unwrap(), -13.0);
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let mut vars = VarSet::new();
+        let err = compile("def f(x):\n    return x\n", "g", &mut vars).unwrap_err();
+        assert!(matches!(err, DslError::Exec { .. }));
+    }
+}

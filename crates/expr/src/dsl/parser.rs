@@ -1,0 +1,449 @@
+//! Recursive-descent parser for the Python-subset DSL.
+
+use super::lexer::{Lexer, Token, TokenKind};
+use super::{DslError, Pos};
+
+/// Comparison operators allowed in `if` conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Le,
+    Ge,
+    Lt,
+    Gt,
+}
+
+/// Surface-syntax expression (pre symbolic execution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    Num(f64),
+    Name(String),
+    Neg(Box<PExpr>),
+    Add(Box<PExpr>, Box<PExpr>),
+    Sub(Box<PExpr>, Box<PExpr>),
+    Mul(Box<PExpr>, Box<PExpr>),
+    Div(Box<PExpr>, Box<PExpr>),
+    Pow(Box<PExpr>, Box<PExpr>),
+    Call(String, Vec<PExpr>),
+}
+
+/// A statement in a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Assign(String, PExpr),
+    If {
+        lhs: PExpr,
+        op: CmpOp,
+        rhs: PExpr,
+        then: Vec<Stmt>,
+        otherwise: Vec<Stmt>,
+    },
+    Return(PExpr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: an ordered list of function definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub funcs: Vec<FuncDef>,
+}
+
+impl Program {
+    pub fn get(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// Parse a complete program.
+pub fn parse_program(source: &str) -> Result<Program, DslError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut p = Parser { tokens, i: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.i].kind.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), DslError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, DslError> {
+        let mut funcs = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Def => funcs.push(self.func_def()?),
+                _ => return Err(self.err("expected 'def' at top level")),
+            }
+        }
+        Ok(Program { funcs })
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, DslError> {
+        self.expect(&TokenKind::Def, "'def'")?;
+        let name = self.name_token()?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                params.push(self.name_token()?);
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect(&TokenKind::Colon, "':'")?;
+        self.expect(&TokenKind::Newline, "newline after ':'")?;
+        let body = self.block()?;
+        Ok(FuncDef { name, params, body })
+    }
+
+    fn name_token(&mut self) -> Result<String, DslError> {
+        match self.bump() {
+            TokenKind::Name(n) => Ok(n),
+            other => Err(self.err(format!("expected name, found {other:?}"))),
+        }
+    }
+
+    /// An indented block of statements.
+    fn block(&mut self) -> Result<Vec<Stmt>, DslError> {
+        self.skip_newlines();
+        self.expect(&TokenKind::Indent, "indented block")?;
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                TokenKind::Dedent => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Eof => break,
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        if stmts.is_empty() {
+            return Err(self.err("empty block"));
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, DslError> {
+        match self.peek().clone() {
+            TokenKind::Return => {
+                self.bump();
+                let e = self.expr()?;
+                self.end_of_line()?;
+                Ok(Stmt::Return(e))
+            }
+            TokenKind::If => {
+                self.bump();
+                self.if_tail()
+            }
+            TokenKind::Name(n) => {
+                self.bump();
+                self.expect(&TokenKind::Assign, "'='")?;
+                let e = self.expr()?;
+                self.end_of_line()?;
+                Ok(Stmt::Assign(n, e))
+            }
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    /// Parses everything after `if`/`elif`: condition, block, optional
+    /// `elif`/`else` continuation.
+    fn if_tail(&mut self) -> Result<Stmt, DslError> {
+        let lhs = self.expr()?;
+        let op = match self.bump() {
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Gt => CmpOp::Gt,
+            other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        self.expect(&TokenKind::Colon, "':'")?;
+        self.expect(&TokenKind::Newline, "newline after ':'")?;
+        let then = self.block()?;
+        self.skip_newlines();
+        let otherwise = match self.peek() {
+            TokenKind::Elif => {
+                self.bump();
+                vec![self.if_tail()?]
+            }
+            TokenKind::Else => {
+                self.bump();
+                self.expect(&TokenKind::Colon, "':'")?;
+                self.expect(&TokenKind::Newline, "newline after ':'")?;
+                self.block()?
+            }
+            _ => Vec::new(),
+        };
+        Ok(Stmt::If {
+            lhs,
+            op,
+            rhs,
+            then,
+            otherwise,
+        })
+    }
+
+    fn end_of_line(&mut self) -> Result<(), DslError> {
+        match self.peek() {
+            TokenKind::Newline => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Eof | TokenKind::Dedent => Ok(()),
+            other => Err(self.err(format!("expected end of line, found {other:?}"))),
+        }
+    }
+
+    // Expression grammar (precedence climbing):
+    //   expr   := term (('+'|'-') term)*
+    //   term   := factor (('*'|'/') factor)*
+    //   factor := '-' factor | power
+    //   power  := atom ('**' factor)?          (right-associative)
+    //   atom   := number | name | name '(' args ')' | '(' expr ')'
+    fn expr(&mut self) -> Result<PExpr, DslError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = PExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = PExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<PExpr, DslError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = PExpr::Mul(Box::new(lhs), Box::new(rhs));
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = PExpr::Div(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<PExpr, DslError> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.bump();
+            let inner = self.factor()?;
+            return Ok(PExpr::Neg(Box::new(inner)));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<PExpr, DslError> {
+        let base = self.atom()?;
+        if matches!(self.peek(), TokenKind::DoubleStar) {
+            self.bump();
+            // Python: ** binds tighter than unary minus on the left but the
+            // exponent may itself be signed; right associative.
+            let exp = self.factor()?;
+            return Ok(PExpr::Pow(Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<PExpr, DslError> {
+        match self.bump() {
+            TokenKind::Number(v) => Ok(PExpr::Num(v)),
+            TokenKind::Name(n) => {
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if matches!(self.peek(), TokenKind::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    Ok(PExpr::Call(n, args))
+                } else {
+                    Ok(PExpr::Name(n))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse_program("def f(a, b):\n    return a + b\n").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].params, vec!["a", "b"]);
+        assert!(matches!(p.funcs[0].body[0], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_program("def f(x):\n    return 1 + x * 2\n").unwrap();
+        let Stmt::Return(e) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, PExpr::Add(_, _)));
+    }
+
+    #[test]
+    fn power_right_associative_and_tight() {
+        let p = parse_program("def f(x):\n    return -x ** 2\n").unwrap();
+        let Stmt::Return(e) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // Python semantics: -(x**2).
+        assert!(matches!(e, PExpr::Neg(_)));
+        let p = parse_program("def f(x):\n    return x ** -2\n").unwrap();
+        let Stmt::Return(PExpr::Pow(_, exp)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(**exp, PExpr::Neg(_)));
+    }
+
+    #[test]
+    fn if_elif_else_chain() {
+        let src = "\
+def f(x):
+    if x >= 1:
+        y = 1
+    elif x >= 0:
+        y = 2
+    else:
+        y = 3
+    return y
+";
+        let p = parse_program(src).unwrap();
+        let Stmt::If { otherwise, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // elif nests as a single If statement in the else block.
+        assert_eq!(otherwise.len(), 1);
+        assert!(matches!(otherwise[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn if_without_else() {
+        let src = "def f(x):\n    y = 0\n    if x >= 0:\n        y = 1\n    return y\n";
+        let p = parse_program(src).unwrap();
+        let Stmt::If { otherwise, .. } = &p.funcs[0].body[1] else {
+            panic!()
+        };
+        assert!(otherwise.is_empty());
+    }
+
+    #[test]
+    fn call_with_multiple_args() {
+        let p = parse_program("def f(x):\n    return max(x, 0)\n").unwrap();
+        let Stmt::Return(PExpr::Call(name, args)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(name, "max");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn multiple_functions() {
+        let p = parse_program("def f(x):\n    return x\n\ndef g(y):\n    return f(y)\n").unwrap();
+        assert_eq!(p.funcs.len(), 2);
+        assert!(p.get("g").is_some());
+        assert!(p.get("h").is_none());
+    }
+
+    #[test]
+    fn error_on_missing_colon() {
+        assert!(parse_program("def f(x)\n    return x\n").is_err());
+    }
+
+    #[test]
+    fn error_on_statement_at_top_level() {
+        assert!(parse_program("x = 1\n").is_err());
+    }
+
+    #[test]
+    fn error_on_bad_condition() {
+        assert!(parse_program("def f(x):\n    if x:\n        y = 1\n    return x\n").is_err());
+    }
+}

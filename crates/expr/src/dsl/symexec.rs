@@ -1,0 +1,442 @@
+//! Symbolic execution of the Python-subset DSL into expression DAGs.
+//!
+//! Mirrors XCEncoder's treatment of LIBXC functionals: straight-line code is
+//! evaluated over symbolic values, non-recursive function calls are inlined,
+//! and `if`/`else` executes *both* branches and merges every variable the
+//! branches define through an if-then-else term on the branch condition.
+
+use super::parser::{CmpOp, FuncDef, PExpr, Program, Stmt};
+use super::DslError;
+use crate::{constant, Expr, VarSet};
+use std::collections::HashMap;
+
+/// Symbolically execute `func` from `program`, interning its parameters into
+/// `vars` (in declaration order) and returning the function's value as an
+/// expression over those variables.
+pub fn compile_function(
+    program: &Program,
+    func: &str,
+    vars: &mut VarSet,
+) -> Result<Expr, DslError> {
+    let def = program.get(func).ok_or_else(|| DslError::Exec {
+        message: format!("function {func:?} not defined"),
+    })?;
+    let args: Vec<Expr> = def
+        .params
+        .iter()
+        .map(|p| crate::var(vars.intern(p)))
+        .collect();
+    let mut exec = Executor {
+        program,
+        call_stack: vec![func.to_string()],
+    };
+    exec.run(def, &args)
+}
+
+struct Executor<'a> {
+    program: &'a Program,
+    call_stack: Vec<String>,
+}
+
+/// A lexical environment: names in scope mapped to symbolic values.
+type Env = HashMap<String, Expr>;
+
+/// Result of executing a statement list: either it fell through (with the
+/// updated environment) or it returned a value.
+enum Flow {
+    Fallthrough,
+    Returned(Expr),
+}
+
+impl<'a> Executor<'a> {
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError::Exec {
+            message: message.into(),
+        }
+    }
+
+    fn run(&mut self, def: &FuncDef, args: &[Expr]) -> Result<Expr, DslError> {
+        if args.len() != def.params.len() {
+            return Err(self.err(format!(
+                "{} expects {} arguments, got {}",
+                def.name,
+                def.params.len(),
+                args.len()
+            )));
+        }
+        let mut env: Env = def
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().cloned())
+            .collect();
+        env.insert("pi".to_string(), constant(std::f64::consts::PI));
+        env.insert("euler_e".to_string(), constant(std::f64::consts::E));
+        match self.exec_block(&def.body, &mut env)? {
+            Flow::Returned(e) => Ok(e),
+            Flow::Fallthrough => Err(self.err(format!(
+                "function {} can fall off the end without returning",
+                def.name
+            ))),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env) -> Result<Flow, DslError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign(name, pe) => {
+                    let v = self.eval(pe, env)?;
+                    env.insert(name.clone(), v);
+                }
+                Stmt::Return(pe) => {
+                    let v = self.eval(pe, env)?;
+                    return Ok(Flow::Returned(v));
+                }
+                Stmt::If {
+                    lhs,
+                    op,
+                    rhs,
+                    then,
+                    otherwise,
+                } => {
+                    let l = self.eval(lhs, env)?;
+                    let r = self.eval(rhs, env)?;
+                    // Normalize to `cond >= 0` selecting the then branch.
+                    // Strict and non-strict comparisons coincide except on the
+                    // measure-zero switching surface.
+                    let cond = match op {
+                        CmpOp::Ge | CmpOp::Gt => &l - &r,
+                        CmpOp::Le | CmpOp::Lt => &r - &l,
+                    };
+                    // Constant conditions select a branch outright (this also
+                    // prevents spurious merge errors for dead branches).
+                    if let Some(c) = cond.as_const() {
+                        let taken = if c >= 0.0 { then } else { otherwise };
+                        if let Flow::Returned(v) = self.exec_block(taken, env)? {
+                            return Ok(Flow::Returned(v));
+                        }
+                        continue;
+                    }
+                    let mut then_env = env.clone();
+                    let mut else_env = env.clone();
+                    let tflow = self.exec_block(then, &mut then_env)?;
+                    let eflow = if otherwise.is_empty() {
+                        Flow::Fallthrough
+                    } else {
+                        self.exec_block(otherwise, &mut else_env)?
+                    };
+                    match (tflow, eflow) {
+                        (Flow::Returned(tv), Flow::Returned(ev)) => {
+                            return Ok(Flow::Returned(Expr::ite(&cond, &tv, &ev)));
+                        }
+                        (Flow::Fallthrough, Flow::Fallthrough) => {
+                            // Merge every name defined in either branch.
+                            let names: std::collections::BTreeSet<&String> =
+                                then_env.keys().chain(else_env.keys()).collect();
+                            let mut merged = Env::new();
+                            for name in names {
+                                // Names defined on one path only are dropped:
+                                // referencing them later is an "undefined
+                                // name" error, the same judgement Python
+                                // would make dynamically on the missing path.
+                                if let (Some(t), Some(e)) =
+                                    (then_env.get(name), else_env.get(name))
+                                {
+                                    let v = if t.same(e) {
+                                        t.clone()
+                                    } else {
+                                        Expr::ite(&cond, t, e)
+                                    };
+                                    merged.insert(name.clone(), v);
+                                }
+                            }
+                            *env = merged;
+                        }
+                        _ => {
+                            return Err(self.err(
+                                "branches of 'if' must either both return or both fall through",
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Flow::Fallthrough)
+    }
+
+    fn eval(&mut self, pe: &PExpr, env: &Env) -> Result<Expr, DslError> {
+        Ok(match pe {
+            PExpr::Num(v) => constant(*v),
+            PExpr::Name(n) => env
+                .get(n)
+                .cloned()
+                .ok_or_else(|| self.err(format!("undefined name {n:?}")))?,
+            PExpr::Neg(a) => -self.eval(a, env)?,
+            PExpr::Add(a, b) => self.eval(a, env)? + self.eval(b, env)?,
+            PExpr::Sub(a, b) => self.eval(a, env)? - self.eval(b, env)?,
+            PExpr::Mul(a, b) => self.eval(a, env)? * self.eval(b, env)?,
+            PExpr::Div(a, b) => self.eval(a, env)? / self.eval(b, env)?,
+            PExpr::Pow(a, b) => {
+                let base = self.eval(a, env)?;
+                let exp = self.eval(b, env)?;
+                base.pow(&exp)
+            }
+            PExpr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.call(name, &vals)?
+            }
+        })
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<Expr, DslError> {
+        let arity = |n: usize| -> Result<(), DslError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(self.err(format!("{name} expects {n} argument(s), got {}", args.len())))
+            }
+        };
+        match name {
+            "exp" => {
+                arity(1)?;
+                Ok(args[0].exp())
+            }
+            "log" | "ln" => {
+                arity(1)?;
+                Ok(args[0].ln())
+            }
+            "sqrt" => {
+                arity(1)?;
+                Ok(args[0].sqrt())
+            }
+            "cbrt" => {
+                arity(1)?;
+                Ok(args[0].cbrt())
+            }
+            "atan" | "arctan" => {
+                arity(1)?;
+                Ok(args[0].atan())
+            }
+            "sin" => {
+                arity(1)?;
+                Ok(args[0].sin())
+            }
+            "cos" => {
+                arity(1)?;
+                Ok(args[0].cos())
+            }
+            "tanh" => {
+                arity(1)?;
+                Ok(args[0].tanh())
+            }
+            "abs" => {
+                arity(1)?;
+                Ok(args[0].abs())
+            }
+            "lambertw" => {
+                arity(1)?;
+                Ok(args[0].lambert_w())
+            }
+            "min" => {
+                arity(2)?;
+                Ok(args[0].min(&args[1]))
+            }
+            "max" => {
+                arity(2)?;
+                Ok(args[0].max(&args[1]))
+            }
+            _ => {
+                // User-defined function: inline by symbolic execution.
+                let def = self
+                    .program
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown function {name:?}")))?;
+                if self.call_stack.iter().any(|f| f == name) {
+                    return Err(self.err(format!(
+                        "recursive call to {name:?} (DFA implementations are non-recursive)"
+                    )));
+                }
+                self.call_stack.push(name.to_string());
+                let result = self.run(def, args);
+                self.call_stack.pop();
+                result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_program;
+    use super::*;
+
+    fn compile(src: &str, f: &str) -> (Expr, VarSet) {
+        let p = parse_program(src).unwrap();
+        let mut vars = VarSet::new();
+        let e = compile_function(&p, f, &mut vars).unwrap();
+        (e, vars)
+    }
+
+    #[test]
+    fn straight_line_assignments() {
+        let (e, vars) = compile(
+            "def f(x):\n    a = x * 2\n    b = a + 1\n    a = b * b\n    return a\n",
+            "f",
+        );
+        assert_eq!(vars.len(), 1);
+        assert_eq!(e.eval(&[3.0]).unwrap(), 49.0);
+    }
+
+    #[test]
+    fn builtins_map_to_expr_ops() {
+        let (e, _) = compile(
+            "def f(x):\n    return exp(log(sqrt(x))) + atan(0) + max(x, 2)\n",
+            "f",
+        );
+        assert!((e.eval(&[4.0]).unwrap() - (2.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_available() {
+        let (e, _) = compile("def f(x):\n    return pi * x\n", "f");
+        assert!((e.eval(&[2.0]).unwrap() - 2.0 * std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn if_merges_assignments() {
+        let src = "\
+def f(x):
+    if x >= 0:
+        y = x
+    else:
+        y = -x
+    return y
+";
+        let (e, _) = compile(src, "f");
+        assert_eq!(e.eval(&[3.0]).unwrap(), 3.0);
+        assert_eq!(e.eval(&[-3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn if_with_returns_in_both_branches() {
+        let src = "\
+def f(x):
+    if x - 1 > 0:
+        return x * 10
+    else:
+        return x
+";
+        let (e, _) = compile(src, "f");
+        assert_eq!(e.eval(&[2.0]).unwrap(), 20.0);
+        assert_eq!(e.eval(&[0.5]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn if_without_else_keeps_prior_value() {
+        let src = "\
+def f(x):
+    y = 0
+    if x >= 2:
+        y = 1
+    return y
+";
+        let (e, _) = compile(src, "f");
+        assert_eq!(e.eval(&[3.0]).unwrap(), 1.0);
+        assert_eq!(e.eval(&[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn elif_chain_compiles_to_nested_ite() {
+        let src = "\
+def f(x):
+    if x >= 1:
+        y = 10
+    elif x >= 0:
+        y = 20
+    else:
+        y = 30
+    return y
+";
+        let (e, _) = compile(src, "f");
+        assert_eq!(e.eval(&[1.5]).unwrap(), 10.0);
+        assert_eq!(e.eval(&[0.5]).unwrap(), 20.0);
+        assert_eq!(e.eval(&[-0.5]).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn user_calls_inline() {
+        let src = "\
+def helper(t):
+    return t * t + 1
+
+def f(x):
+    return helper(x) + helper(2 * x)
+";
+        let (e, vars) = compile(src, "f");
+        assert_eq!(vars.len(), 1, "helper params must not leak into the varset");
+        assert_eq!(e.eval(&[1.0]).unwrap(), 2.0 + 5.0);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let src = "def f(x):\n    return f(x - 1)\n";
+        let p = parse_program(src).unwrap();
+        let mut vars = VarSet::new();
+        let err = compile_function(&p, "f", &mut vars).unwrap_err();
+        assert!(format!("{err}").contains("recursive"));
+    }
+
+    #[test]
+    fn undefined_name_rejected() {
+        let src = "def f(x):\n    return x + zz\n";
+        let p = parse_program(src).unwrap();
+        let mut vars = VarSet::new();
+        assert!(compile_function(&p, "f", &mut vars).is_err());
+    }
+
+    #[test]
+    fn one_sided_definition_unusable_after_join() {
+        let src = "\
+def f(x):
+    if x >= 0:
+        y = 1
+    return y
+";
+        let p = parse_program(src).unwrap();
+        let mut vars = VarSet::new();
+        assert!(compile_function(&p, "f", &mut vars).is_err());
+    }
+
+    #[test]
+    fn branch_return_mismatch_rejected() {
+        let src = "\
+def f(x):
+    if x >= 0:
+        return 1
+    else:
+        y = 2
+    return y
+";
+        let p = parse_program(src).unwrap();
+        let mut vars = VarSet::new();
+        assert!(compile_function(&p, "f", &mut vars).is_err());
+    }
+
+    #[test]
+    fn constant_condition_selects_branch() {
+        let src = "\
+def f(x):
+    if 1 >= 0:
+        y = x
+    else:
+        y = undefined_name_never_evaluated
+    return y
+";
+        // The else branch references an undefined name but is dead.
+        let (e, _) = compile(src, "f");
+        assert_eq!(e.eval(&[5.0]).unwrap(), 5.0);
+    }
+}

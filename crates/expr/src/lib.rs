@@ -1,0 +1,35 @@
+//! Hash-consed symbolic expression DAG for real-valued functions.
+//!
+//! This crate reproduces the symbolic layer of XCVerifier's XCEncoder:
+//!
+//! * [`Expr`] — an immutable, globally hash-consed expression node. Building
+//!   the same expression twice yields pointer-identical nodes, so structural
+//!   equality is O(1) and downstream passes (differentiation, evaluation,
+//!   interval contraction) can memoize by node id.
+//! * [`diff`](Expr::diff) — symbolic differentiation (the SymPy substitute);
+//!   derivatives required by the DFT local conditions are computed exactly,
+//!   never by finite differences.
+//! * [`Expr::eval`] / [`Expr::eval_interval`] — memoized evaluation over
+//!   `f64` and over [`xcv_interval::Interval`].
+//! * [`dsl`] — a small Python-subset frontend with a symbolic executor,
+//!   mirroring the paper's Maple → Python → symbolic-execution pipeline for
+//!   LIBXC functional sources.
+//!
+//! Expressions support the operation set found in LIBXC DFA implementations:
+//! field operations, powers (integer and real), `exp`, `ln`, `sqrt`, `cbrt`,
+//! `atan`, `sin`, `cos`, `tanh`, `abs`, `min`/`max`, the Lambert W function
+//! (AM05), and if-then-else on sign conditions (SCAN).
+
+mod build;
+mod diff;
+mod display;
+pub mod dsl;
+mod eval;
+mod node;
+mod subst;
+mod vars;
+
+pub use build::{constant, var};
+pub use eval::{EvalError, IntervalEnv, Tape};
+pub use node::{Expr, Kind, NodeId};
+pub use vars::VarSet;

@@ -1,0 +1,377 @@
+//! Expression nodes and the global hash-consing interner.
+//!
+//! Every distinct expression structure exists exactly once in the process:
+//! constructing `x + 1` twice returns the *same* `Arc`. This gives
+//!
+//! * O(1) structural equality (pointer/id comparison),
+//! * maximal sharing in derivative DAGs (SCAN's second derivatives reuse
+//!   thousands of subterms),
+//! * stable [`NodeId`]s usable as memoization keys across passes.
+//!
+//! The interner stores weak references so dropped expressions are reclaimed;
+//! a `Mutex` guards it (construction is a cold path compared to evaluation,
+//! which never touches the interner).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Stable identifier of an interned node (unique per structure, process-wide).
+pub type NodeId = u64;
+
+/// An immutable, hash-consed expression.
+#[derive(Clone)]
+pub struct Expr(pub(crate) Arc<Node>);
+
+pub(crate) struct Node {
+    pub id: NodeId,
+    pub kind: Kind,
+}
+
+/// The operation set of LIBXC DFA implementations (after Maple → Python
+/// translation), as consumed by the δ-complete solver.
+#[derive(Clone)]
+pub enum Kind {
+    /// A literal constant (the nearest `f64` to the source literal, exactly as
+    /// a C/LIBXC implementation would hold it).
+    Const(f64),
+    /// A free variable, identified by index into a [`crate::VarSet`].
+    Var(u32),
+    Add(Expr, Expr),
+    Mul(Expr, Expr),
+    Div(Expr, Expr),
+    Neg(Expr),
+    /// Integer power (kept distinct from `Pow` for exact differentiation and
+    /// tighter interval enclosures on even powers).
+    PowI(Expr, i32),
+    /// Real power `a^b`.
+    Pow(Expr, Expr),
+    Exp(Expr),
+    Ln(Expr),
+    Sqrt(Expr),
+    Cbrt(Expr),
+    Atan(Expr),
+    Sin(Expr),
+    Cos(Expr),
+    Tanh(Expr),
+    Abs(Expr),
+    Min(Expr, Expr),
+    Max(Expr, Expr),
+    /// Principal Lambert W (needed by AM05's Airy/LAA factor).
+    LambertW(Expr),
+    /// `if cond >= 0 { then } else { otherwise }` — the normal form for the
+    /// piecewise definitions in SCAN-family functionals.
+    Ite {
+        cond: Expr,
+        then: Expr,
+        otherwise: Expr,
+    },
+}
+
+impl Expr {
+    /// The node id (stable for the lifetime of the process).
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.0.id
+    }
+
+    /// The node operation.
+    #[inline]
+    pub fn kind(&self) -> &Kind {
+        &self.0.kind
+    }
+
+    /// Pointer equality — equivalent to structural equality thanks to
+    /// hash-consing.
+    #[inline]
+    pub fn same(&self, other: &Expr) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Constant value if this node is a literal.
+    pub fn as_const(&self) -> Option<f64> {
+        match self.kind() {
+            Kind::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Variable index if this node is a variable.
+    pub fn as_var(&self) -> Option<u32> {
+        match self.kind() {
+            Kind::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct operation nodes in the DAG (constants and variables
+    /// excluded) — the metric the paper uses to describe functional
+    /// complexity ("over 300 operations", "over 1000 operations").
+    pub fn op_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.clone()];
+        let mut count = 0usize;
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e.id()) {
+                continue;
+            }
+            match e.kind() {
+                Kind::Const(_) | Kind::Var(_) => {}
+                _ => count += 1,
+            }
+            e.for_each_child(|c| stack.push(c.clone()));
+        }
+        count
+    }
+
+    /// Total distinct nodes in the DAG.
+    pub fn node_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e.id()) {
+                continue;
+            }
+            e.for_each_child(|c| stack.push(c.clone()));
+        }
+        seen.len()
+    }
+
+    /// The set of free variable indices.
+    pub fn free_vars(&self) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e.id()) {
+                continue;
+            }
+            if let Kind::Var(v) = e.kind() {
+                vars.insert(*v);
+            }
+            e.for_each_child(|c| stack.push(c.clone()));
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Visit each direct child.
+    pub fn for_each_child<F: FnMut(&Expr)>(&self, mut f: F) {
+        match self.kind() {
+            Kind::Const(_) | Kind::Var(_) => {}
+            Kind::Add(a, b)
+            | Kind::Mul(a, b)
+            | Kind::Div(a, b)
+            | Kind::Pow(a, b)
+            | Kind::Min(a, b)
+            | Kind::Max(a, b) => {
+                f(a);
+                f(b);
+            }
+            Kind::Neg(a)
+            | Kind::PowI(a, _)
+            | Kind::Exp(a)
+            | Kind::Ln(a)
+            | Kind::Sqrt(a)
+            | Kind::Cbrt(a)
+            | Kind::Atan(a)
+            | Kind::Sin(a)
+            | Kind::Cos(a)
+            | Kind::Tanh(a)
+            | Kind::Abs(a)
+            | Kind::LambertW(a) => f(a),
+            Kind::Ite {
+                cond,
+                then,
+                otherwise,
+            } => {
+                f(cond);
+                f(then);
+                f(otherwise);
+            }
+        }
+    }
+
+    /// Topological order (children before parents) of the reachable DAG.
+    pub fn topo_order(&self) -> Vec<Expr> {
+        let mut order = Vec::new();
+        let mut state: HashMap<NodeId, u8> = HashMap::new(); // 1 = visiting, 2 = done
+        let mut stack: Vec<(Expr, bool)> = vec![(self.clone(), false)];
+        while let Some((e, expanded)) = stack.pop() {
+            if expanded {
+                state.insert(e.id(), 2);
+                order.push(e);
+                continue;
+            }
+            match state.get(&e.id()) {
+                Some(2) => continue,
+                Some(1) => continue, // DAG: already scheduled
+                _ => {}
+            }
+            state.insert(e.id(), 1);
+            stack.push((e.clone(), true));
+            e.for_each_child(|c| {
+                if state.get(&c.id()) != Some(&2) {
+                    stack.push((c.clone(), false));
+                }
+            });
+        }
+        // Deduplicate (a node can be pushed twice before being marked done).
+        let mut seen = std::collections::HashSet::new();
+        order.retain(|e| seen.insert(e.id()));
+        order
+    }
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.same(other)
+    }
+}
+impl Eq for Expr {}
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id().hash(state);
+    }
+}
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Structural key used by the interner: operation discriminant + child ids +
+/// payload bits.
+#[derive(PartialEq, Eq, Hash)]
+enum InternKey {
+    Const(u64),
+    Var(u32),
+    Unary(u8, NodeId),
+    Binary(u8, NodeId, NodeId),
+    PowI(NodeId, i32),
+    Ite(NodeId, NodeId, NodeId),
+}
+
+fn intern_key(kind: &Kind) -> InternKey {
+    match kind {
+        Kind::Const(c) => InternKey::Const(c.to_bits()),
+        Kind::Var(v) => InternKey::Var(*v),
+        Kind::Add(a, b) => InternKey::Binary(0, a.id(), b.id()),
+        Kind::Mul(a, b) => InternKey::Binary(1, a.id(), b.id()),
+        Kind::Div(a, b) => InternKey::Binary(2, a.id(), b.id()),
+        Kind::Pow(a, b) => InternKey::Binary(3, a.id(), b.id()),
+        Kind::Min(a, b) => InternKey::Binary(4, a.id(), b.id()),
+        Kind::Max(a, b) => InternKey::Binary(5, a.id(), b.id()),
+        Kind::Neg(a) => InternKey::Unary(0, a.id()),
+        Kind::Exp(a) => InternKey::Unary(1, a.id()),
+        Kind::Ln(a) => InternKey::Unary(2, a.id()),
+        Kind::Sqrt(a) => InternKey::Unary(3, a.id()),
+        Kind::Cbrt(a) => InternKey::Unary(4, a.id()),
+        Kind::Atan(a) => InternKey::Unary(5, a.id()),
+        Kind::Sin(a) => InternKey::Unary(6, a.id()),
+        Kind::Cos(a) => InternKey::Unary(7, a.id()),
+        Kind::Tanh(a) => InternKey::Unary(8, a.id()),
+        Kind::Abs(a) => InternKey::Unary(9, a.id()),
+        Kind::LambertW(a) => InternKey::Unary(10, a.id()),
+        Kind::PowI(a, n) => InternKey::PowI(a.id(), *n),
+        Kind::Ite {
+            cond,
+            then,
+            otherwise,
+        } => InternKey::Ite(cond.id(), then.id(), otherwise.id()),
+    }
+}
+
+struct Interner {
+    map: Mutex<HashMap<InternKey, Weak<Node>>>,
+    next_id: AtomicU64,
+}
+
+static INTERNER: OnceLock<Interner> = OnceLock::new();
+
+fn interner() -> &'static Interner {
+    INTERNER.get_or_init(|| Interner {
+        map: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(1),
+    })
+}
+
+/// Intern a node, returning the canonical `Expr` for its structure.
+pub(crate) fn intern(kind: Kind) -> Expr {
+    let key = intern_key(&kind);
+    let it = interner();
+    let mut map = it.map.lock().expect("interner poisoned");
+    if let Some(weak) = map.get(&key) {
+        if let Some(strong) = weak.upgrade() {
+            return Expr(strong);
+        }
+    }
+    let id = it.next_id.fetch_add(1, Ordering::Relaxed);
+    let node = Arc::new(Node { id, kind });
+    map.insert(key, Arc::downgrade(&node));
+    // Opportunistic cleanup when the table accumulates many dead entries.
+    if map.len() > 1 << 20 {
+        map.retain(|_, w| w.strong_count() > 0);
+    }
+    Expr(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{constant, var};
+
+    #[test]
+    fn hash_consing_dedups() {
+        let x = var(0);
+        let a = x.clone() + constant(1.0);
+        let b = var(0) + constant(1.0);
+        assert!(a.same(&b));
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_structures_distinct_ids() {
+        let x = var(0);
+        let a = x.clone() + constant(1.0);
+        let b = x * constant(2.0);
+        assert!(!a.same(&b));
+    }
+
+    #[test]
+    fn op_count_shares_dag() {
+        let x = var(0);
+        let t = x.clone() * x.clone(); // 1 op
+        let e = t.clone() + t.clone(); // add counts once, t counts once
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn free_vars_sorted_unique() {
+        let e = var(2) + var(0) * var(2);
+        assert_eq!(e.free_vars(), vec![0, 2]);
+    }
+
+    #[test]
+    fn topo_order_children_first() {
+        let x = var(0);
+        let sq = x.clone() * x.clone();
+        let e = sq.clone() + constant(1.0);
+        let order = e.topo_order();
+        let pos = |n: &crate::Expr| order.iter().position(|o| o.same(n)).unwrap();
+        assert!(pos(&x) < pos(&sq));
+        assert!(pos(&sq) < pos(&e));
+        // Every node exactly once.
+        let ids: std::collections::HashSet<_> = order.iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), order.len());
+    }
+
+    #[test]
+    fn node_count_on_shared_tree() {
+        let x = var(0);
+        let t = x.clone() * x.clone();
+        let e = t.clone() + t.clone();
+        // nodes: x, t, e  (plus none for constants)
+        assert_eq!(e.node_count(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Substitution of variables by expressions.
+//!
+//! Used by the condition encoder to form limits such as `F_c(rs → ∞)`, which
+//! the paper approximates by substituting `rs = 100` (Section III-A), and by
+//! the DSL symbolic executor to inline non-recursive function calls.
+
+use crate::node::{Expr, Kind, NodeId};
+use std::collections::HashMap;
+
+impl Expr {
+    /// Replace every occurrence of variable `v` with `replacement`.
+    pub fn subst_var(&self, v: u32, replacement: &Expr) -> Expr {
+        let mut map = HashMap::new();
+        map.insert(v, replacement.clone());
+        self.subst_vars(&map)
+    }
+
+    /// Replace several variables simultaneously.
+    pub fn subst_vars(&self, map: &HashMap<u32, Expr>) -> Expr {
+        let mut cache: HashMap<NodeId, Expr> = HashMap::new();
+        self.subst_cached(map, &mut cache)
+    }
+
+    fn subst_cached(&self, map: &HashMap<u32, Expr>, cache: &mut HashMap<NodeId, Expr>) -> Expr {
+        if let Some(r) = cache.get(&self.id()) {
+            return r.clone();
+        }
+        let result = match self.kind() {
+            Kind::Const(_) => self.clone(),
+            Kind::Var(i) => map.get(i).cloned().unwrap_or_else(|| self.clone()),
+            Kind::Add(a, b) => a.subst_cached(map, cache) + b.subst_cached(map, cache),
+            Kind::Mul(a, b) => a.subst_cached(map, cache) * b.subst_cached(map, cache),
+            Kind::Div(a, b) => a.subst_cached(map, cache) / b.subst_cached(map, cache),
+            Kind::Neg(a) => -a.subst_cached(map, cache),
+            Kind::PowI(a, n) => a.subst_cached(map, cache).powi(*n),
+            Kind::Pow(a, b) => a
+                .subst_cached(map, cache)
+                .pow(&b.subst_cached(map, cache)),
+            Kind::Exp(a) => a.subst_cached(map, cache).exp(),
+            Kind::Ln(a) => a.subst_cached(map, cache).ln(),
+            Kind::Sqrt(a) => a.subst_cached(map, cache).sqrt(),
+            Kind::Cbrt(a) => a.subst_cached(map, cache).cbrt(),
+            Kind::Atan(a) => a.subst_cached(map, cache).atan(),
+            Kind::Sin(a) => a.subst_cached(map, cache).sin(),
+            Kind::Cos(a) => a.subst_cached(map, cache).cos(),
+            Kind::Tanh(a) => a.subst_cached(map, cache).tanh(),
+            Kind::Abs(a) => a.subst_cached(map, cache).abs(),
+            Kind::Min(a, b) => a
+                .subst_cached(map, cache)
+                .min(&b.subst_cached(map, cache)),
+            Kind::Max(a, b) => a
+                .subst_cached(map, cache)
+                .max(&b.subst_cached(map, cache)),
+            Kind::LambertW(a) => a.subst_cached(map, cache).lambert_w(),
+            Kind::Ite {
+                cond,
+                then,
+                otherwise,
+            } => Expr::ite(
+                &cond.subst_cached(map, cache),
+                &then.subst_cached(map, cache),
+                &otherwise.subst_cached(map, cache),
+            ),
+        };
+        cache.insert(self.id(), result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{constant, var};
+    use std::collections::HashMap;
+
+    #[test]
+    fn subst_constant_folds() {
+        let e = var(0).powi(2) + var(1);
+        let r = e.subst_var(0, &constant(3.0));
+        assert_eq!(r.eval(&[0.0, 5.0]).unwrap(), 14.0);
+        // Fully substituting yields a literal.
+        let r2 = r.subst_var(1, &constant(1.0));
+        assert_eq!(r2.as_const(), Some(10.0));
+    }
+
+    #[test]
+    fn subst_expression() {
+        let e = var(0).exp();
+        let r = e.subst_var(0, &(var(1) * 2.0));
+        assert!((r.eval(&[0.0, 1.5]).unwrap() - 3.0_f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simultaneous_subst_no_chaining() {
+        // {x -> y, y -> x} swaps, it must not chain x -> y -> x.
+        let e = var(0) - var(1);
+        let mut map = HashMap::new();
+        map.insert(0, var(1));
+        map.insert(1, var(0));
+        let r = e.subst_vars(&map);
+        assert_eq!(r.eval(&[3.0, 10.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn untouched_vars_remain() {
+        let e = var(0) + var(1);
+        let r = e.subst_var(0, &constant(1.0));
+        assert_eq!(r.free_vars(), vec![1]);
+    }
+
+    #[test]
+    fn subst_preserves_sharing() {
+        let x = var(0);
+        let g = (x.clone() + 1.0).exp();
+        let e = g.clone() * g.clone();
+        let r = e.subst_var(0, &(var(1) * var(1)));
+        // Still a single shared exp node: y, 1, y^2, y^2+1, exp, exp^2.
+        assert!(r.node_count() <= 6);
+    }
+}

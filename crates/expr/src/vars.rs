@@ -1,0 +1,96 @@
+//! Variable naming.
+//!
+//! Expressions refer to variables by dense index (`Kind::Var(u32)`); a
+//! [`VarSet`] maps indices to human-readable names for display and for the
+//! DSL frontend. The verifier's domains ([`xcv_interval::Interval`] boxes)
+//! are indexed the same way.
+
+use std::collections::HashMap;
+
+/// An ordered set of named variables.
+#[derive(Clone, Debug, Default)]
+pub struct VarSet {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl VarSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a list of names.
+    pub fn from_names<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Self {
+        let mut vs = Self::new();
+        for n in names {
+            vs.intern(&n.into());
+        }
+        vs
+    }
+
+    /// Get or create the index for `name`.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Index of an existing name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of an index.
+    pub fn name(&self, index: u32) -> Option<&str> {
+        self.names.get(index as usize).map(|s| s.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The variable expression for an existing name.
+    pub fn var(&self, name: &str) -> Option<crate::Expr> {
+        self.get(name).map(crate::var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut vs = VarSet::new();
+        let a = vs.intern("rs");
+        let b = vs.intern("s");
+        assert_eq!(vs.intern("rs"), a);
+        assert_ne!(a, b);
+        assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn lookup_round_trip() {
+        let vs = VarSet::from_names(["rs", "s", "alpha"]);
+        assert_eq!(vs.get("s"), Some(1));
+        assert_eq!(vs.name(2), Some("alpha"));
+        assert_eq!(vs.get("zeta"), None);
+        assert_eq!(vs.name(9), None);
+    }
+
+    #[test]
+    fn var_builder() {
+        let vs = VarSet::from_names(["rs"]);
+        let e = vs.var("rs").unwrap();
+        assert_eq!(e.as_var(), Some(0));
+        assert!(vs.var("nope").is_none());
+    }
+}

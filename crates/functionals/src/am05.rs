@@ -1,0 +1,169 @@
+//! Armiento–Mattsson 2005 GGA (exchange and correlation), unpolarized.
+//!
+//! Reference: Armiento & Mattsson, Phys. Rev. B 72, 085108 (2005); constants
+//! follow LIBXC's `GGA_X_AM05` / `GGA_C_AM05`. The exchange refinement
+//! factor is built from the Airy-gas local approximation and involves the
+//! principal Lambert W function — the reason this reproduction carries a
+//! certified W enclosure in its interval substrate.
+//!
+//! ```text
+//! X(s)      = 1/(1 + α s²)                          α = 2.804
+//! ξ(s)      = ( (3/2)·W( s^{3/2}/√24 ) )^{2/3}
+//! F_b(s)    = (π/3)·s / ( ξ (D + ξ²)^{1/4} )        D = 28.23705740248932
+//! F_LAA(s)  = (c s² + 1) / (c s²/F_b(s) + 1)        c = 0.7168
+//! F_x(s)    = X + (1 - X)·F_LAA
+//! ε_c(rs,s) = ε_c^{PW92}(rs) · ( X + γ(1 - X) )     γ = 0.8098
+//! ```
+
+#[cfg(test)]
+use crate::registry::RS;
+use crate::registry::S;
+use crate::{lda_x, pw92};
+use xcv_expr::{constant, var, Expr};
+use xcv_interval::lambert_w0_f64;
+
+pub const ALPHA: f64 = 2.804;
+pub const C: f64 = 0.716_8;
+pub const GAMMA: f64 = 0.809_8;
+pub const D: f64 = 28.237_057_402_489_32;
+
+/// Symbolic interpolation index `X(s)`.
+pub fn x_index_expr() -> Expr {
+    constant(1.0) / (constant(1.0) + constant(ALPHA) * var(S).powi(2))
+}
+
+/// Symbolic `F_x^{AM05}(s)`.
+pub fn f_x_expr() -> Expr {
+    let s = var(S);
+    let s2 = s.powi(2);
+    let xi = (constant(1.5) * (s.pow(&constant(1.5)) / constant(24.0_f64.sqrt())).lambert_w())
+        .pow(&constant(2.0 / 3.0));
+    let fb = constant(std::f64::consts::PI / 3.0) * &s
+        / (&xi * (constant(D) + xi.powi(2)).pow(&constant(0.25)));
+    let flaa = (constant(C) * &s2 + constant(1.0))
+        / (constant(C) * &s2 / fb + constant(1.0));
+    let x = x_index_expr();
+    &x + (constant(1.0) - &x) * flaa
+}
+
+/// Scalar `F_x^{AM05}(s)`. Independent closed-form code path.
+pub fn f_x(s: f64) -> f64 {
+    if s == 0.0 {
+        return 1.0;
+    }
+    let x = 1.0 / (1.0 + ALPHA * s * s);
+    let w = lambert_w0_f64(s.powf(1.5) / 24.0_f64.sqrt());
+    let xi = (1.5 * w).powf(2.0 / 3.0);
+    let fb = std::f64::consts::FRAC_PI_3 * s / (xi * (D + xi * xi).powf(0.25));
+    let cs2 = C * s * s;
+    let flaa = (cs2 + 1.0) / (cs2 / fb + 1.0);
+    x + (1.0 - x) * flaa
+}
+
+/// Symbolic `ε_x^{AM05}(rs, s)`.
+pub fn eps_x_expr() -> Expr {
+    lda_x::eps_x_unif_expr() * f_x_expr()
+}
+
+/// Scalar `ε_x^{AM05}(rs, s)`.
+pub fn eps_x(rs: f64, s: f64) -> f64 {
+    lda_x::eps_x_unif(rs) * f_x(s)
+}
+
+/// Symbolic `ε_c^{AM05}(rs, s)`.
+pub fn eps_c_expr() -> Expr {
+    let x = x_index_expr();
+    let factor = &x + constant(GAMMA) * (constant(1.0) - &x);
+    pw92::eps_c_expr() * factor
+}
+
+/// Scalar `ε_c^{AM05}(rs, s)`. Independent closed-form code path.
+pub fn eps_c(rs: f64, s: f64) -> f64 {
+    let x = 1.0 / (1.0 + ALPHA * s * s);
+    pw92::eps_c(rs) * (x + GAMMA * (1.0 - x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_expr_matches_scalar() {
+        let e = f_x_expr();
+        for &s in &[1e-6, 0.1, 0.5, 1.0, 2.0, 5.0] {
+            let sym = e.eval(&[1.0, s, 0.0]).unwrap();
+            let num = f_x(s);
+            assert!(
+                (sym - num).abs() <= 1e-11 * num.abs().max(1e-10),
+                "s={s}: {sym} vs {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlation_expr_matches_scalar() {
+        let e = eps_c_expr();
+        for &rs in &[1e-4, 0.5, 1.0, 5.0] {
+            for &s in &[0.0, 0.5, 2.0, 5.0] {
+                let sym = e.eval(&[rs, s, 0.0]).unwrap();
+                let num = eps_c(rs, s);
+                assert!(
+                    (sym - num).abs() <= 1e-11 * num.abs().max(1e-12),
+                    "rs={rs}, s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lda_limit() {
+        // s -> 0: F_x -> 1 (the Airy LAA interpolation is normalized so that
+        // F_b(0) ≈ 1 via the constant D) and ε_c -> ε_c^{PW92}.
+        assert!((f_x(1e-8) - 1.0).abs() < 1e-3);
+        assert!((eps_c(1.0, 0.0) - pw92::eps_c(1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exchange_growth_moderate() {
+        // AM05 exchange grows with s but stays modest on the PB domain —
+        // F_x(5) is below the Lieb–Oxford-ish scale ≈ 2.
+        let v = f_x(5.0);
+        assert!(v > 1.2 && v < 2.1, "F_x(5) = {v}");
+        assert!(f_x(2.0) > f_x(1.0));
+    }
+
+    #[test]
+    fn correlation_interpolates_between_full_and_gamma() {
+        // Factor ranges between 1 (s=0) and γ (s -> inf).
+        let full = pw92::eps_c(2.0);
+        assert!((eps_c(2.0, 0.0) - full).abs() < 1e-14);
+        let damped = eps_c(2.0, 100.0);
+        assert!((damped - GAMMA * full).abs() < 1e-4 * full.abs());
+        // Monotone in between.
+        assert!(eps_c(2.0, 1.0) > full && eps_c(2.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn correlation_nonpositive_everywhere() {
+        // AM05 verifies EC1 in the paper (Table I ✓).
+        for i in 0..30 {
+            for j in 0..30 {
+                let rs = 1e-4 + 5.0 * (i as f64) / 29.0;
+                let s = 5.0 * (j as f64) / 29.0;
+                assert!(eps_c(rs, s) <= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fc_rs_derivative_nonnegative() {
+        // EC2 for AM05 holds because the s-factor is rs-independent.
+        let fc = lda_x::enhancement_from_eps(&eps_c_expr());
+        let d = fc.diff(RS);
+        for &rs in &[0.01, 0.5, 2.0, 4.9] {
+            for &s in &[0.0, 1.0, 4.0] {
+                assert!(d.eval(&[rs, s, 0.0]).unwrap() >= -1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Becke 1988 exchange GGA (empirical), unpolarized — combined with LYP
+//! correlation this is the ubiquitous **BLYP** functional.
+//!
+//! Reference: A. D. Becke, Phys. Rev. A 38, 3098 (1988); `β = 0.0042` a.u.
+//!
+//! ```text
+//! E_x^{B88} = E_x^{LDA} − β Σ_σ ∫ n_σ^{4/3} x_σ² / (1 + 6β x_σ asinh x_σ) dr,
+//! x_σ = |∇n_σ| / n_σ^{4/3}
+//! ```
+//!
+//! For the closed-shell case (`n_σ = n/2`) the enhancement factor depends on
+//! `s` alone:
+//!
+//! ```text
+//! F_x^{B88}(s) = 1 + (β / C_X) · 2^{-1/3} · x_σ² / (1 + 6β x_σ asinh x_σ),
+//! x_σ = 2^{1/3} · 2 (3π²)^{1/3} · s,     C_X = (3/4)(3/π)^{1/3}
+//! ```
+//!
+//! `asinh` is expressed as `ln(x + √(x²+1))` (exactly what a Maple → C
+//! translation emits), so no new solver operation is needed.
+//!
+//! B88's enhancement grows like `s/ln s` without bound — it **locally
+//! violates the Lieb–Oxford conditions** at large reduced gradients
+//! (`F_x(5) ≈ 2.30 > 2.27`). The paper's DFA set contains no LO violation;
+//! BLYP provides one, exercising the EC4/EC5 counterexample paths.
+
+use crate::registry::S;
+use crate::{lda_x, lyp};
+use xcv_expr::{constant, var, Expr};
+
+/// Becke's empirical gradient coefficient.
+pub const BETA: f64 = 0.004_2;
+
+/// `C_X = (3/4)(3/π)^{1/3}`, the LDA exchange prefactor in density form.
+pub fn c_x() -> f64 {
+    0.75 * (3.0 / std::f64::consts::PI).cbrt()
+}
+
+/// `x_σ = 2^{1/3} · 2 (3π²)^{1/3} · s`.
+pub fn x_sigma(s: f64) -> f64 {
+    2.0_f64.cbrt() * 2.0 * (3.0 * std::f64::consts::PI.powi(2)).cbrt() * s
+}
+
+/// Symbolic `F_x^{B88}(s)`.
+pub fn f_x_expr() -> Expr {
+    let xs = constant(x_sigma(1.0)) * var(S);
+    // asinh(x) = ln(x + sqrt(x^2 + 1))
+    let asinh = (&xs + (xs.powi(2) + constant(1.0)).sqrt()).ln();
+    let denom = constant(1.0) + constant(6.0 * BETA) * &xs * asinh;
+    constant(1.0)
+        + constant(BETA / c_x() * 2.0_f64.powf(-1.0 / 3.0)) * xs.powi(2) / denom
+}
+
+/// Scalar `F_x^{B88}(s)`. Independent closed-form code path.
+pub fn f_x(s: f64) -> f64 {
+    let xs = x_sigma(s);
+    let denom = 1.0 + 6.0 * BETA * xs * xs.asinh();
+    1.0 + BETA / c_x() * 2.0_f64.powf(-1.0 / 3.0) * xs * xs / denom
+}
+
+/// Symbolic `ε_x^{B88}(rs, s)`.
+pub fn eps_x_expr() -> Expr {
+    lda_x::eps_x_unif_expr() * f_x_expr()
+}
+
+/// Scalar `ε_x^{B88}(rs, s)`.
+pub fn eps_x(rs: f64, s: f64) -> f64 {
+    lda_x::eps_x_unif(rs) * f_x(s)
+}
+
+/// Symbolic BLYP correlation = LYP (re-exported for the registry).
+pub fn eps_c_expr() -> Expr {
+    lyp::eps_c_expr()
+}
+
+/// Scalar BLYP correlation.
+pub fn eps_c(rs: f64, s: f64) -> f64 {
+    lyp::eps_c(rs, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_matches_scalar() {
+        let e = f_x_expr();
+        for &s in &[0.0, 0.1, 0.5, 1.0, 2.0, 5.0] {
+            let a = e.eval(&[1.0, s, 0.0]).unwrap();
+            let b = f_x(s);
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1e-12),
+                "s={s}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lda_limit() {
+        assert_eq!(f_x(0.0), 1.0);
+        // Small-s: F_x ≈ 1 + (β 2^{-1/3}/C_X) x_σ² (asinh term second order).
+        let s = 1e-5;
+        let xs = x_sigma(s);
+        let expected = 1.0 + BETA / c_x() * 2.0_f64.powf(-1.0 / 3.0) * xs * xs;
+        assert!((f_x(s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moderate_gradient_matches_pbe_scale() {
+        // B88 and PBE were fit to similar data; at s = 1 both give ≈ 1.18.
+        let v = f_x(1.0);
+        assert!((1.15..1.21).contains(&v), "F_x(1) = {v}");
+        let pbe = crate::pbe::f_x(1.0);
+        assert!((v - pbe).abs() < 0.02, "B88 {v} vs PBE {pbe}");
+    }
+
+    #[test]
+    fn violates_lieb_oxford_at_domain_edge() {
+        // The paper's DFA set satisfies EC5 wherever decided; B88 does not:
+        // F_x alone exceeds C_LO = 2.27 before s = 5.
+        assert!(f_x(5.0) > 2.27, "F_x(5) = {}", f_x(5.0));
+        assert!(f_x(4.0) < 2.27, "violation onset should be near the edge");
+        // Unbounded growth (s/ln s): still increasing.
+        assert!(f_x(50.0) > f_x(5.0));
+    }
+
+    #[test]
+    fn monotone_increasing_in_s() {
+        let mut prev = f_x(0.0);
+        for i in 1..100 {
+            let v = f_x(0.06 * i as f64);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn asinh_identity_in_expr() {
+        // The composite ln(x + sqrt(x²+1)) must equal f64::asinh.
+        let e = f_x_expr();
+        let d = e.diff(S);
+        for &s in &[0.3, 1.7, 4.2] {
+            let h = 1e-6;
+            let num = (f_x(s + h) - f_x(s - h)) / (2.0 * h);
+            let sym = d.eval(&[1.0, s, 0.0]).unwrap();
+            assert!((num - sym).abs() < 1e-5, "s={s}: {num} vs {sym}");
+        }
+    }
+}

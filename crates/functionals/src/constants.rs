@@ -1,0 +1,96 @@
+//! Shared physical constants of the reduced-variable formulation (Hartree
+//! atomic units, unpolarized `ζ = 0`).
+
+/// Exchange prefactor: `ε_x^unif(rs) = -A_X / rs` with
+/// `A_X = (3/4) (9/(4π²))^{1/3}`.
+pub const A_X: f64 = 0.458_165_293_283_142_9;
+
+/// `t² = C_T s²/rs` — conversion between the reduced gradient `s` (normalized
+/// by `2 k_F n`) and PBE's screening-normalized gradient `t` (normalized by
+/// `2 k_s n`), at `ζ = 0`: `C_T = (π/4)(9π/4)^{1/3}`.
+pub const C_T: f64 = 1.507_303_398_337_901_2;
+
+/// Thomas–Fermi kinetic prefactor `C_F = (3/10)(3π²)^{2/3}`.
+pub const C_F: f64 = 2.871_234_000_188_191;
+
+/// `k_F·rs = (9π/4)^{1/3}`.
+pub const KF_RS: f64 = 1.919_158_292_677_512_8;
+
+/// Electron density from the Wigner–Seitz radius: `n = 3/(4π rs³)`.
+pub fn density_from_rs(rs: f64) -> f64 {
+    3.0 / (4.0 * std::f64::consts::PI * rs.powi(3))
+}
+
+/// Wigner–Seitz radius from the density.
+pub fn rs_from_density(n: f64) -> f64 {
+    (3.0 / (4.0 * std::f64::consts::PI * n)).cbrt()
+}
+
+/// `|∇n|` corresponding to a reduced gradient `s` at density `n`:
+/// `|∇n| = 2 (3π²)^{1/3} n^{4/3} s`.
+pub fn grad_norm_from_s(n: f64, s: f64) -> f64 {
+    2.0 * (3.0 * std::f64::consts::PI.powi(2)).cbrt() * n.powf(4.0 / 3.0) * s
+}
+
+/// The uniform-gas exchange energy per particle, `ε_x^unif(rs)`.
+pub fn eps_x_unif(rs: f64) -> f64 {
+    -A_X / rs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn a_x_matches_definition() {
+        let expected = 0.75 * (9.0 / (4.0 * PI * PI)).cbrt();
+        assert!((A_X - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn c_t_matches_definition() {
+        let expected = (PI / 4.0) * (9.0 * PI / 4.0).cbrt();
+        assert!((C_T - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn c_f_matches_definition() {
+        let expected = 0.3 * (3.0 * PI * PI).powf(2.0 / 3.0);
+        assert!((C_F - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn kf_rs_matches_definition() {
+        let expected = (9.0 * PI / 4.0).cbrt();
+        assert!((KF_RS - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_round_trip() {
+        for &rs in &[0.1, 1.0, 2.5, 5.0] {
+            let n = density_from_rs(rs);
+            assert!((rs_from_density(n) - rs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eps_x_unif_known_value() {
+        // ε_x^unif at rs = 1 equals -A_X.
+        assert_eq!(eps_x_unif(1.0), -A_X);
+        // And via the density form: ε_x = -(3/4)(3n/π)^{1/3}.
+        let rs = 2.0;
+        let n = density_from_rs(rs);
+        let direct = -0.75 * (3.0 * n / PI).cbrt();
+        assert!((eps_x_unif(rs) - direct).abs() < 1e-14);
+    }
+
+    #[test]
+    fn grad_norm_consistent_with_s_definition() {
+        let (rs, s) = (1.3, 0.7);
+        let n = density_from_rs(rs);
+        let g = grad_norm_from_s(n, s);
+        let s_back = g / (2.0 * (3.0 * PI * PI).cbrt() * n.powf(4.0 / 3.0));
+        assert!((s_back - s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Uniform electron gas (LDA) exchange — the denominator of every
+//! enhancement factor.
+
+use crate::constants::A_X;
+use crate::registry::RS;
+use xcv_expr::{constant, var, Expr};
+
+/// Symbolic `ε_x^unif(rs) = -A_X / rs`.
+pub fn eps_x_unif_expr() -> Expr {
+    -(constant(A_X) / var(RS))
+}
+
+/// Scalar `ε_x^unif(rs)`.
+pub fn eps_x_unif(rs: f64) -> f64 {
+    -A_X / rs
+}
+
+/// Divide a local energy-per-particle by `ε_x^unif` to form an enhancement
+/// factor: `F = ε / ε_x^unif = -ε rs / A_X`.
+///
+/// Written multiplicatively (rather than as a division by the ε_x expression)
+/// so the solver sees the benign form; both are mathematically identical on
+/// `rs > 0`.
+pub fn enhancement_from_eps(eps: &Expr) -> Expr {
+    -(eps * var(RS)) / constant(A_X)
+}
+
+/// Scalar version of [`enhancement_from_eps`].
+pub fn enhancement_from_eps_scalar(eps: f64, rs: f64) -> f64 {
+    -eps * rs / A_X
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_matches_scalar() {
+        let e = eps_x_unif_expr();
+        for &rs in &[1e-4, 0.1, 1.0, 5.0] {
+            let sym = e.eval(&[rs, 0.0, 0.0]).unwrap();
+            assert!((sym - eps_x_unif(rs)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn enhancement_of_unif_exchange_is_one() {
+        let f = enhancement_from_eps(&eps_x_unif_expr());
+        for &rs in &[0.01, 1.0, 4.2] {
+            let v = f.eval(&[rs, 0.0, 0.0]).unwrap();
+            assert!((v - 1.0).abs() < 1e-14, "F_x[unif]({rs}) = {v}");
+        }
+    }
+
+    #[test]
+    fn enhancement_sign_convention() {
+        // ε_c <= 0 corresponds to F_c >= 0 (Equation 4 of the paper).
+        assert!(enhancement_from_eps_scalar(-0.05, 1.0) > 0.0);
+        assert!(enhancement_from_eps_scalar(0.05, 1.0) < 0.0);
+    }
+}

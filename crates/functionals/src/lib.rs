@@ -1,0 +1,47 @@
+//! Density functional approximations (DFAs) as symbolic expressions and as
+//! closed-form scalar code — the LIBXC substitute for the XCVerifier
+//! reproduction.
+//!
+//! The five DFAs evaluated in the paper are implemented for the unpolarized
+//! (`ζ = 0`) case used by Pederson–Burke, in the reduced variables
+//!
+//! * `rs` — Wigner–Seitz radius, `rs = (4πn/3)^{-1/3}` (variable index 0),
+//! * `s`  — reduced density gradient `|∇n| / (2 (3π²)^{1/3} n^{4/3})`
+//!   (index 1),
+//! * `α`  — SCAN's iso-orbital indicator (index 2, meta-GGA only).
+//!
+//! | DFA | family | design | exchange | correlation |
+//! |-----|--------|--------|----------|-------------|
+//! | PBE | GGA | non-empirical | yes | yes |
+//! | SCAN | meta-GGA | non-empirical | yes | yes |
+//! | LYP | GGA | empirical | no | yes |
+//! | AM05 | GGA | non-empirical | yes | yes |
+//! | VWN RPA | LDA | non-empirical | no | yes |
+//!
+//! Each functional module provides (a) a builder producing the symbolic
+//! expression DAG the verifier analyses (the analogue of symbolically
+//! executing the LIBXC Maple/Python source) and (b) an independent
+//! closed-form `f64` implementation (the analogue of calling LIBXC's C
+//! evaluation, used by the grid-search baseline). Unit tests cross-validate
+//! the two code paths to <= 1e-10 relative error.
+
+pub mod am05;
+pub mod b88;
+pub mod constants;
+pub mod dsl_sources;
+pub mod lda_x;
+pub mod lyp;
+pub mod pbe;
+pub mod pw92;
+pub mod registry;
+pub mod rscan;
+pub mod scan;
+pub mod spin;
+pub mod vwn;
+
+pub use registry::{Design, Dfa, DfaInfo, Family, ALPHA, RS, S};
+
+/// The canonical variable set shared by every functional: `rs`, `s`, `alpha`.
+pub fn canonical_vars() -> xcv_expr::VarSet {
+    xcv_expr::VarSet::from_names(["rs", "s", "alpha"])
+}

@@ -1,0 +1,141 @@
+//! Lee–Yang–Parr correlation GGA (empirical), unpolarized.
+//!
+//! Reference: Lee, Yang, Parr, Phys. Rev. B 37, 785 (1988), in the
+//! density-only (Miehlich et al., Chem. Phys. Lett. 157, 200 (1989))
+//! reformulation used by LIBXC's `GGA_C_LYP`, reduced to the closed-shell
+//! `ζ = 0` case.
+//!
+//! Starting from the Miehlich spin form with `n_α = n_β = n/2`,
+//! `|∇n_σ|² = |∇n|²/4`, the energy density collapses to (derivation in the
+//! module tests and DESIGN.md):
+//!
+//! ```text
+//! ε_c(rs, s) = -a/(1 + dq·rs)
+//!              - a·b·exp(-cq·rs)/(1 + dq·rs) · [ C_F - G(rs)·s² ]
+//! G(rs)  = 4·K(rs)·(k_F rs)²·q²,     (the explicit rs powers cancel)
+//! K(rs)  = 1/24 + 7δ(rs)/72,
+//! δ(rs)  = cq·rs + dq·rs/(1 + dq·rs),
+//! q      = (4π/3)^{1/3}  (so n^{-1/3} = q·rs).
+//! ```
+//!
+//! The positive `s²` term is what drives LYP's violation of the `E_c`
+//! non-positivity condition at large reduced gradients — the headline LYP
+//! finding of the paper (Fig. 2).
+
+use crate::constants::{C_F, KF_RS};
+use crate::registry::{RS, S};
+use xcv_expr::{constant, var, Expr};
+
+pub const A: f64 = 0.049_18;
+pub const B: f64 = 0.132;
+pub const C: f64 = 0.253_3;
+pub const D: f64 = 0.349;
+
+/// `q = (4π/3)^{1/3}`: converts `rs` to `n^{-1/3}`.
+fn q() -> f64 {
+    (4.0 * std::f64::consts::PI / 3.0).cbrt()
+}
+
+/// Symbolic `ε_c^{LYP}(rs, s)`.
+pub fn eps_c_expr() -> Expr {
+    let qv = q();
+    let rs = var(RS);
+    let s2 = var(S).powi(2);
+    let cq_rs = constant(C * qv) * &rs;
+    let dq_rs = constant(D * qv) * &rs;
+    let denom = constant(1.0) + &dq_rs;
+    let delta = &cq_rs + &dq_rs / &denom;
+    let k = constant(1.0 / 24.0) + constant(7.0 / 72.0) * &delta;
+    let g = constant(4.0 * KF_RS * KF_RS * qv * qv) * &k;
+    let bracket = constant(C_F) - g * s2;
+    -(constant(A) / &denom) - constant(A * B) * (-cq_rs).exp() / denom * bracket
+}
+
+/// Scalar `ε_c^{LYP}(rs, s)`. Independent closed-form code path (computed in
+/// the original density variables, not the reduced form above, so agreement
+/// between the two validates the algebraic reduction).
+pub fn eps_c(rs: f64, s: f64) -> f64 {
+    let n = crate::constants::density_from_rs(rs);
+    let grad2 = {
+        let g = crate::constants::grad_norm_from_s(n, s);
+        g * g
+    };
+    let n13 = n.powf(-1.0 / 3.0);
+    let denom = 1.0 + D * n13;
+    let omega = (-C * n13).exp() * n.powf(-11.0 / 3.0) / denom;
+    let delta = C * n13 + D * n13 / denom;
+    let k = 1.0 / 24.0 + 7.0 * delta / 72.0;
+    let bracket = C_F * n.powf(14.0 / 3.0) - k * n * n * grad2;
+    (-A * n / denom - A * B * omega * bracket) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_form_matches_density_form() {
+        // The symbolic expression uses the (rs, s)-reduced algebra; the
+        // scalar path works in (n, |∇n|²). Their agreement validates the
+        // reduction documented in the module header.
+        let e = eps_c_expr();
+        for &rs in &[1e-4, 0.05, 0.5, 1.0, 2.5, 5.0] {
+            for &s in &[0.0, 0.4, 1.0, 1.7, 3.0, 5.0] {
+                let sym = e.eval(&[rs, s, 0.0]).unwrap();
+                let num = eps_c(rs, s);
+                assert!(
+                    (sym - num).abs() <= 1e-10 * num.abs().max(1e-10),
+                    "rs={rs}, s={s}: {sym} vs {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_at_small_gradient() {
+        for &rs in &[0.1, 1.0, 5.0] {
+            assert!(eps_c(rs, 0.0) < 0.0);
+            assert!(eps_c(rs, 1.0) < 0.0);
+        }
+    }
+
+    #[test]
+    fn violates_non_positivity_at_large_s() {
+        // The paper's central LYP finding (EC1 row of Table I): ε_c becomes
+        // positive at large reduced gradients, roughly s ≳ 1.7 around rs ≈ 2.
+        assert!(eps_c(2.0, 2.0) > 0.0, "{}", eps_c(2.0, 2.0));
+        assert!(eps_c(1.0, 2.5) > 0.0);
+        assert!(eps_c(5.0, 3.0) > 0.0);
+        // And the crossing sits in the right band.
+        let mut crossing = None;
+        for i in 0..5000 {
+            let s = (i as f64) * 0.001;
+            if eps_c(2.0, s) > 0.0 {
+                crossing = Some(s);
+                break;
+            }
+        }
+        let c = crossing.expect("must cross");
+        assert!(
+            (1.4..2.1).contains(&c),
+            "crossing at rs=2 should be near s≈1.7, got {c}"
+        );
+    }
+
+    #[test]
+    fn heg_value_reasonable() {
+        // LYP is not exact for the uniform gas; its HEG limit at rs = 1 is
+        // ≈ -0.039 Ha (vs PW92's -0.060).
+        let v = eps_c(1.0, 0.0);
+        assert!((-0.045..=-0.034).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn empirical_tail_behaviour() {
+        // exp(-cq rs) kills the gradient term at low density: at rs = 5 the
+        // s-dependence is weak relative to rs = 0.5.
+        let spread_low_rs = (eps_c(0.5, 1.0) - eps_c(0.5, 0.0)).abs();
+        let spread_high_rs = (eps_c(5.0, 1.0) - eps_c(5.0, 0.0)).abs();
+        assert!(spread_high_rs < spread_low_rs);
+    }
+}

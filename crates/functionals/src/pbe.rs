@@ -1,0 +1,159 @@
+//! Perdew–Burke–Ernzerhof GGA (exchange and correlation), unpolarized.
+//!
+//! Reference: Perdew, Burke, Ernzerhof, Phys. Rev. Lett. 77, 3865 (1996).
+//! Exchange: Eq. (14); correlation: Eqs. (7)–(8) with `φ(ζ=0) = 1` and the
+//! PW92 LDA backbone.
+
+use crate::constants::C_T;
+use crate::registry::{RS, S};
+use crate::{lda_x, pw92};
+use xcv_expr::{constant, var, Expr};
+
+pub const KAPPA: f64 = 0.804;
+pub const MU: f64 = 0.219_514_972_764_517_1;
+/// `β` of the correlation gradient term.
+pub const BETA: f64 = 0.066_724_550_603_149_22;
+/// `γ = (1 - ln 2)/π²`.
+pub const GAMMA: f64 = 0.031_090_690_869_654_895;
+
+/// Symbolic exchange enhancement factor `F_x^{PBE}(s)`.
+pub fn f_x_expr() -> Expr {
+    let s2 = var(S).powi(2);
+    constant(1.0 + KAPPA) - constant(KAPPA) / (constant(1.0) + constant(MU / KAPPA) * s2)
+}
+
+/// Scalar `F_x^{PBE}(s)`.
+pub fn f_x(s: f64) -> f64 {
+    1.0 + KAPPA - KAPPA / (1.0 + MU * s * s / KAPPA)
+}
+
+/// Symbolic exchange energy per particle `ε_x^{PBE}(rs, s)`.
+pub fn eps_x_expr() -> Expr {
+    lda_x::eps_x_unif_expr() * f_x_expr()
+}
+
+/// Scalar `ε_x^{PBE}(rs, s)`.
+pub fn eps_x(rs: f64, s: f64) -> f64 {
+    lda_x::eps_x_unif(rs) * f_x(s)
+}
+
+/// Symbolic gradient correction `H(rs, t²)` of PBE correlation (`φ = 1`).
+fn h_expr(ec_lda: &Expr, t2: &Expr) -> Expr {
+    let beta_over_gamma = constant(BETA / GAMMA);
+    // A = (β/γ) / (exp(-ε_c^{LDA}/γ) - 1)
+    let a = &beta_over_gamma / ((-(ec_lda.clone()) / constant(GAMMA)).exp() - constant(1.0));
+    let at2 = &a * t2;
+    let num = constant(1.0) + &at2;
+    let den = constant(1.0) + &at2 + at2.powi(2);
+    let inner = constant(1.0) + &beta_over_gamma * t2 * (num / den);
+    constant(GAMMA) * inner.ln()
+}
+
+/// Symbolic correlation energy per particle `ε_c^{PBE}(rs, s)`.
+pub fn eps_c_expr() -> Expr {
+    let ec_lda = pw92::eps_c_expr();
+    let t2 = constant(C_T) * var(S).powi(2) / var(RS);
+    &ec_lda + h_expr(&ec_lda, &t2)
+}
+
+/// Scalar `ε_c^{PBE}(rs, s)`. Independent closed-form code path.
+pub fn eps_c(rs: f64, s: f64) -> f64 {
+    let ec_lda = pw92::eps_c(rs);
+    let t2 = C_T * s * s / rs;
+    let a = BETA / GAMMA / ((-ec_lda / GAMMA).exp() - 1.0);
+    let at2 = a * t2;
+    let inner = 1.0 + BETA / GAMMA * t2 * (1.0 + at2) / (1.0 + at2 + at2 * at2);
+    ec_lda + GAMMA * inner.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_expr_matches_scalar() {
+        let e = f_x_expr();
+        for &s in &[0.0, 0.5, 1.0, 2.0, 5.0] {
+            let sym = e.eval(&[1.0, s, 0.0]).unwrap();
+            assert!((sym - f_x(s)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn correlation_expr_matches_scalar() {
+        let e = eps_c_expr();
+        for &rs in &[1e-4, 0.1, 1.0, 5.0] {
+            for &s in &[0.0, 0.3, 1.0, 3.0, 5.0] {
+                let sym = e.eval(&[rs, s, 0.0]).unwrap();
+                let num = eps_c(rs, s);
+                assert!(
+                    (sym - num).abs() <= 1e-11 * num.abs().max(1e-10),
+                    "rs={rs}, s={s}: {sym} vs {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_limits() {
+        // F_x(0) = 1 (LDA limit); F_x is bounded by 1 + κ (Lieb–Oxford by
+        // design).
+        assert_eq!(f_x(0.0), 1.0);
+        assert!(f_x(1e6) < 1.0 + KAPPA + 1e-12);
+        // Small-s expansion: F_x ≈ 1 + μ s².
+        let s = 1e-4;
+        assert!((f_x(s) - (1.0 + MU * s * s)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn correlation_reduces_to_pw92_at_zero_gradient() {
+        for &rs in &[0.1, 1.0, 4.0] {
+            assert!((eps_c(rs, 0.0) - pw92::eps_c(rs)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn correlation_vanishes_at_large_gradient() {
+        // H -> -ε_c^{LDA} as t -> inf, so ε_c^{PBE} -> 0^- (non-positive).
+        let v = eps_c(1.0, 50.0);
+        assert!(v <= 0.0 && v > -1e-2, "{v}");
+    }
+
+    #[test]
+    fn correlation_nonpositive_on_domain() {
+        // PBE satisfies EC1 by construction — spot-check a dense grid.
+        for i in 0..40 {
+            for j in 0..40 {
+                let rs = 1e-4 + 5.0 * (i as f64) / 39.0;
+                let s = 5.0 * (j as f64) / 39.0;
+                assert!(eps_c(rs, s) <= 1e-15, "ε_c({rs},{s}) > 0");
+            }
+        }
+    }
+
+    #[test]
+    fn h_term_is_positive() {
+        // The gradient correction raises ε_c toward zero.
+        for &rs in &[0.1, 1.0, 5.0] {
+            for &s in &[0.5, 1.0, 3.0] {
+                assert!(eps_c(rs, s) > eps_c(rs, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn known_value_rs1_s0() {
+        // ε_c^{PBE}(rs=1, s=0) = ε_c^{PW92}(1) ≈ -0.0600 Ha.
+        assert!((eps_c(1.0, 0.0) + 0.0600).abs() < 5e-4);
+    }
+
+    #[test]
+    fn op_count_in_paper_range() {
+        // The paper quotes "over 300 operations" for the LIBXC PBE
+        // correlation (which carries spin scaling we fix at ζ=0); ours is the
+        // same functional form and must be substantial but finite.
+        let n = eps_c_expr().op_count();
+        assert!(n > 30, "suspiciously small PBE correlation DAG: {n}");
+        assert!(n < 1000);
+    }
+}

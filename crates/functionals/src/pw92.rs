@@ -1,0 +1,94 @@
+//! Perdew–Wang 1992 parametrization of the uniform-gas correlation energy
+//! (unpolarized), `ε_c^{PW}(rs)` — the LDA backbone of PBE, AM05 and SCAN.
+//!
+//! Reference: J. P. Perdew and Y. Wang, Phys. Rev. B 45, 13244 (1992),
+//! Eq. (10) with the `ζ = 0` parameter set.
+
+use crate::registry::RS;
+use xcv_expr::{constant, var, Expr};
+
+/// `A` in Eq. (10) (called `2A` in some tabulations; here ε_c =
+/// `-2A(1+α₁rs)ln[1 + 1/(2A(β₁√rs + β₂rs + β₃rs^{3/2} + β₄rs²))]`).
+pub const A: f64 = 0.031_091;
+pub const ALPHA1: f64 = 0.213_70;
+pub const BETA1: f64 = 7.595_7;
+pub const BETA2: f64 = 3.587_6;
+pub const BETA3: f64 = 1.638_2;
+pub const BETA4: f64 = 0.492_94;
+
+/// Symbolic `ε_c^{PW}(rs)` (unpolarized).
+pub fn eps_c_expr() -> Expr {
+    let rs = var(RS);
+    let sqrt_rs = rs.sqrt();
+    let poly = constant(BETA1) * &sqrt_rs
+        + constant(BETA2) * &rs
+        + constant(BETA3) * &rs * &sqrt_rs
+        + constant(BETA4) * rs.powi(2);
+    let inner = constant(1.0) + constant(1.0) / (constant(2.0 * A) * poly);
+    -(constant(2.0 * A) * (constant(1.0) + constant(ALPHA1) * &rs)) * inner.ln()
+}
+
+/// Scalar `ε_c^{PW}(rs)` (unpolarized). Independent closed-form code path.
+pub fn eps_c(rs: f64) -> f64 {
+    let sq = rs.sqrt();
+    let poly = BETA1 * sq + BETA2 * rs + BETA3 * rs * sq + BETA4 * rs * rs;
+    let inner = 1.0 + 1.0 / (2.0 * A * poly);
+    -2.0 * A * (1.0 + ALPHA1 * rs) * inner.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_matches_scalar() {
+        let e = eps_c_expr();
+        for &rs in &[1e-4, 0.01, 0.5, 1.0, 2.0, 5.0, 100.0] {
+            let sym = e.eval(&[rs, 0.0, 0.0]).unwrap();
+            let num = eps_c(rs);
+            assert!(
+                (sym - num).abs() <= 1e-12 * num.abs().max(1e-12),
+                "rs={rs}: {sym} vs {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // PW92 unpolarized ε_c at rs = 1, 2, 5 (standard tabulated values,
+        // Hartree): ≈ -0.0600, -0.0448, -0.0282.
+        assert!((eps_c(1.0) - (-0.060_0)).abs() < 5e-4, "{}", eps_c(1.0));
+        assert!((eps_c(2.0) - (-0.044_8)).abs() < 5e-4, "{}", eps_c(2.0));
+        assert!((eps_c(5.0) - (-0.028_2)).abs() < 5e-4, "{}", eps_c(5.0));
+    }
+
+    #[test]
+    fn always_negative_and_increasing() {
+        // ε_c < 0 and monotonically increasing toward 0 with rs.
+        let mut prev = eps_c(1e-4);
+        assert!(prev < 0.0);
+        for i in 1..200 {
+            let rs = 1e-4 + (i as f64) * 0.05;
+            let v = eps_c(rs);
+            assert!(v < 0.0, "ε_c({rs}) = {v} must be negative");
+            assert!(v > prev, "ε_c must increase with rs");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn high_density_log_divergence() {
+        // As rs -> 0, ε_c ~ A ln rs -> -inf slowly; check it keeps falling.
+        assert!(eps_c(1e-6) < eps_c(1e-4));
+        assert!(eps_c(1e-4) < eps_c(1e-2));
+    }
+
+    #[test]
+    fn derivative_positive() {
+        // dε_c/drs > 0 everywhere on the PB domain (needed by EC2 for LDA).
+        let d = eps_c_expr().diff(RS);
+        for &rs in &[1e-4, 0.1, 1.0, 5.0] {
+            assert!(d.eval(&[rs, 0.0, 0.0]).unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The DFA registry: one handle per functional, with metadata and uniform
+//! access to symbolic and scalar forms.
+
+use crate::{am05, b88, lda_x, lyp, pbe, rscan, scan, vwn};
+use xcv_expr::Expr;
+
+/// Variable indices of the canonical variable order (`rs`, `s`, `alpha`).
+pub const RS: u32 = 0;
+pub const S: u32 = 1;
+pub const ALPHA: u32 = 2;
+
+/// Rung of Jacob's ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    Lda,
+    Gga,
+    MetaGga,
+}
+
+/// Design philosophy (Section I of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Design {
+    Empirical,
+    NonEmpirical,
+}
+
+/// Static metadata for a DFA.
+#[derive(Clone, Copy, Debug)]
+pub struct DfaInfo {
+    pub name: &'static str,
+    pub family: Family,
+    pub design: Design,
+    pub has_exchange: bool,
+    pub has_correlation: bool,
+}
+
+/// The five DFAs evaluated in the paper, plus the regularized-SCAN
+/// extension (paper Section VI-A; not part of [`Dfa::all`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dfa {
+    Pbe,
+    Scan,
+    Lyp,
+    Am05,
+    VwnRpa,
+    /// rSCAN-style regularization of SCAN (see `crate::rscan`).
+    RScan,
+    /// B88 exchange + LYP correlation (see `crate::b88`).
+    Blyp,
+}
+
+impl Dfa {
+    /// The paper's five DFAs, in its column order.
+    pub fn all() -> [Dfa; 5] {
+        [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa]
+    }
+
+    /// The paper's five plus the extensions (regularized SCAN and BLYP).
+    pub fn extended() -> [Dfa; 7] {
+        [
+            Dfa::Pbe,
+            Dfa::Lyp,
+            Dfa::Blyp,
+            Dfa::Am05,
+            Dfa::Scan,
+            Dfa::RScan,
+            Dfa::VwnRpa,
+        ]
+    }
+
+    pub fn info(&self) -> DfaInfo {
+        match self {
+            Dfa::Pbe => DfaInfo {
+                name: "PBE",
+                family: Family::Gga,
+                design: Design::NonEmpirical,
+                has_exchange: true,
+                has_correlation: true,
+            },
+            Dfa::Scan => DfaInfo {
+                name: "SCAN",
+                family: Family::MetaGga,
+                design: Design::NonEmpirical,
+                has_exchange: true,
+                has_correlation: true,
+            },
+            Dfa::Lyp => DfaInfo {
+                name: "LYP",
+                family: Family::Gga,
+                design: Design::Empirical,
+                has_exchange: false,
+                has_correlation: true,
+            },
+            Dfa::Am05 => DfaInfo {
+                name: "AM05",
+                family: Family::Gga,
+                design: Design::NonEmpirical,
+                has_exchange: true,
+                has_correlation: true,
+            },
+            Dfa::VwnRpa => DfaInfo {
+                name: "VWN RPA",
+                family: Family::Lda,
+                design: Design::NonEmpirical,
+                has_exchange: false,
+                has_correlation: true,
+            },
+            Dfa::RScan => DfaInfo {
+                name: "rSCAN(reg)",
+                family: Family::MetaGga,
+                design: Design::NonEmpirical,
+                has_exchange: true,
+                has_correlation: true,
+            },
+            Dfa::Blyp => DfaInfo {
+                name: "BLYP",
+                family: Family::Gga,
+                design: Design::Empirical,
+                has_exchange: true,
+                has_correlation: true,
+            },
+        }
+    }
+
+    /// Number of input variables (`rs` | `rs, s` | `rs, s, α`).
+    pub fn arity(&self) -> usize {
+        match self.info().family {
+            Family::Lda => 1,
+            Family::Gga => 2,
+            Family::MetaGga => 3,
+        }
+    }
+
+    /// Symbolic correlation energy per particle `ε_c`.
+    pub fn eps_c_expr(&self) -> Expr {
+        match self {
+            Dfa::Pbe => pbe::eps_c_expr(),
+            Dfa::Scan => scan::eps_c_expr(),
+            Dfa::Lyp => lyp::eps_c_expr(),
+            Dfa::Am05 => am05::eps_c_expr(),
+            Dfa::VwnRpa => vwn::eps_c_expr(),
+            Dfa::RScan => rscan::eps_c_expr(),
+            Dfa::Blyp => b88::eps_c_expr(),
+        }
+    }
+
+    /// Symbolic exchange enhancement `F_x`, if the DFA has an exchange part.
+    pub fn f_x_expr(&self) -> Option<Expr> {
+        match self {
+            Dfa::Pbe => Some(pbe::f_x_expr()),
+            Dfa::Scan => Some(scan::f_x_expr()),
+            Dfa::Am05 => Some(am05::f_x_expr()),
+            Dfa::RScan => Some(rscan::f_x_expr()),
+            Dfa::Blyp => Some(b88::f_x_expr()),
+            Dfa::Lyp | Dfa::VwnRpa => None,
+        }
+    }
+
+    /// Symbolic correlation enhancement `F_c = ε_c / ε_x^unif`.
+    pub fn f_c_expr(&self) -> Expr {
+        lda_x::enhancement_from_eps(&self.eps_c_expr())
+    }
+
+    /// Symbolic total enhancement `F_xc = F_x + F_c` (None when the DFA has
+    /// no exchange part — the Lieb–Oxford conditions then do not apply).
+    pub fn f_xc_expr(&self) -> Option<Expr> {
+        self.f_x_expr().map(|fx| fx + self.f_c_expr())
+    }
+
+    /// Scalar `ε_c(rs, s, α)` — the LIBXC-call analogue used by the
+    /// grid-search baseline. Extra variables are ignored by lower rungs.
+    pub fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        match self {
+            Dfa::Pbe => pbe::eps_c(rs, s),
+            Dfa::Scan => scan::eps_c(rs, s, alpha),
+            Dfa::Lyp => lyp::eps_c(rs, s),
+            Dfa::Am05 => am05::eps_c(rs, s),
+            Dfa::VwnRpa => vwn::eps_c(rs),
+            Dfa::RScan => rscan::eps_c(rs, s, alpha),
+            Dfa::Blyp => b88::eps_c(rs, s),
+        }
+    }
+
+    /// Scalar `F_x(s, α)`.
+    pub fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        match self {
+            Dfa::Pbe => Some(pbe::f_x(s)),
+            Dfa::Scan => Some(scan::f_x(s, alpha)),
+            Dfa::Am05 => Some(am05::f_x(s)),
+            Dfa::RScan => Some(rscan::f_x(s, alpha)),
+            Dfa::Blyp => Some(b88::f_x(s)),
+            Dfa::Lyp | Dfa::VwnRpa => None,
+        }
+    }
+
+    /// Scalar `F_c(rs, s, α)`.
+    pub fn f_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        lda_x::enhancement_from_eps_scalar(self.eps_c(rs, s, alpha), rs)
+    }
+
+    /// Scalar `F_xc(rs, s, α)`.
+    pub fn f_xc(&self, rs: f64, s: f64, alpha: f64) -> Option<f64> {
+        self.f_x(s, alpha).map(|fx| fx + self.f_c(rs, s, alpha))
+    }
+}
+
+impl std::fmt::Display for Dfa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.info().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_matches_paper_table() {
+        assert_eq!(Dfa::Pbe.info().family, Family::Gga);
+        assert_eq!(Dfa::Scan.info().family, Family::MetaGga);
+        assert_eq!(Dfa::VwnRpa.info().family, Family::Lda);
+        assert_eq!(Dfa::Lyp.info().design, Design::Empirical);
+        assert!(!Dfa::Lyp.info().has_exchange);
+        assert!(!Dfa::VwnRpa.info().has_exchange);
+        assert!(Dfa::Am05.info().has_exchange);
+    }
+
+    #[test]
+    fn arity_by_family() {
+        assert_eq!(Dfa::VwnRpa.arity(), 1);
+        assert_eq!(Dfa::Pbe.arity(), 2);
+        assert_eq!(Dfa::Scan.arity(), 3);
+    }
+
+    #[test]
+    fn symbolic_scalar_agreement_all_dfas() {
+        for dfa in Dfa::all() {
+            let e = dfa.eps_c_expr();
+            for &(rs, s, a) in &[(0.5, 0.3, 0.5), (1.0, 1.0, 1.5), (4.0, 2.0, 0.0)] {
+                let sym = e.eval(&[rs, s, a]).unwrap();
+                let num = dfa.eps_c(rs, s, a);
+                assert!(
+                    (sym - num).abs() <= 1e-9 * num.abs().max(1e-10),
+                    "{dfa}: ({rs},{s},{a})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f_c_sign_mirrors_eps_c() {
+        for dfa in Dfa::all() {
+            let (rs, s, a) = (1.0, 1.0, 1.0);
+            let ec = dfa.eps_c(rs, s, a);
+            let fc = dfa.f_c(rs, s, a);
+            assert_eq!(ec <= 0.0, fc >= 0.0, "{dfa}");
+        }
+    }
+
+    #[test]
+    fn f_xc_only_for_xc_functionals() {
+        assert!(Dfa::Pbe.f_xc(1.0, 1.0, 1.0).is_some());
+        assert!(Dfa::Scan.f_xc(1.0, 1.0, 1.0).is_some());
+        assert!(Dfa::Am05.f_xc(1.0, 1.0, 1.0).is_some());
+        assert!(Dfa::Lyp.f_xc(1.0, 1.0, 1.0).is_none());
+        assert!(Dfa::VwnRpa.f_xc(1.0, 1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn free_vars_respect_family() {
+        // LDA correlation depends only on rs; GGA adds s; SCAN adds α.
+        assert_eq!(Dfa::VwnRpa.eps_c_expr().free_vars(), vec![RS]);
+        assert_eq!(Dfa::Pbe.eps_c_expr().free_vars(), vec![RS, S]);
+        assert_eq!(Dfa::Scan.eps_c_expr().free_vars(), vec![RS, S, ALPHA]);
+    }
+}

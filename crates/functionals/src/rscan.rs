@@ -1,0 +1,253 @@
+//! A regularized-SCAN variant (rSCAN-style), following the paper's
+//! Section VI-A future-work direction.
+//!
+//! The paper's solver times out on every SCAN condition and attributes the
+//! blow-up to SCAN's interpolation function `f(α)`, whose two branches
+//! `exp(-c₁α/(1-α))` / `-d·exp(c₂/(1-α))` have an essential singularity at
+//! the `α = 1` switch. The rSCAN family (Bartók & Yates 2019; Furness et al.
+//! 2020/2022) regularizes exactly this: the switch is replaced by a
+//! polynomial on `α ∈ [0, 2.5]` joined to the smooth outer branch, and `α`
+//! itself is regularized to `α' = α³/(α² + α_reg)`.
+//!
+//! This module applies that regularization to our ζ=0 SCAN form: the same
+//! `h⁰/h¹` endpoints and gradient terms, with `f(α)` replaced by the rSCAN
+//! switch (exchange coefficients below; correlation uses the rSCAN
+//! correlation polynomial). It is *not* a digit-for-digit r²SCAN — the
+//! gradient-expansion restoration terms of r²SCAN are out of scope — but it
+//! reproduces the property under study: **removing the essential
+//! singularity makes the verification problem tractable**, which the
+//! `regularization` experiment in EXPERIMENTS.md measures.
+
+use crate::registry::ALPHA;
+use crate::scan;
+use xcv_expr::{constant, var, Expr};
+
+/// rSCAN regularization constant for `α' = α³/(α² + α_reg)`.
+pub const ALPHA_REG: f64 = 1e-3;
+
+/// Exchange interpolation polynomial coefficients on `α ∈ [0, 2.5]`
+/// (Bartók & Yates, J. Chem. Phys. 150, 161101 (2019), Eq. (6)).
+pub const FX_POLY: [f64; 8] = [
+    1.0,
+    -0.667,
+    -0.4445555,
+    -0.663_086_601_049,
+    1.451_297_044_490,
+    -0.887_998_041_597,
+    0.234_528_941_479,
+    -0.023_185_843_322,
+];
+
+/// Correlation interpolation polynomial coefficients on `α ∈ [0, 2.5]`
+/// (same reference, correlation channel).
+pub const FC_POLY: [f64; 8] = [
+    1.0,
+    -0.64,
+    -0.4352,
+    -1.535_685_604_549,
+    3.061_560_252_175,
+    -1.915_710_236_206,
+    0.516_884_468_372,
+    -0.051_848_879_792,
+];
+
+/// Where the polynomial hands over to the smooth outer branch.
+pub const ALPHA_SWITCH: f64 = 2.5;
+
+/// The regularized iso-orbital indicator `α' = α³/(α² + α_reg)` (symbolic).
+pub fn alpha_prime_expr() -> Expr {
+    let a = var(ALPHA);
+    a.powi(3) / (a.powi(2) + constant(ALPHA_REG))
+}
+
+/// Scalar `α'`.
+pub fn alpha_prime(alpha: f64) -> f64 {
+    alpha * alpha * alpha / (alpha * alpha + ALPHA_REG)
+}
+
+/// The regularized switch `f(α')`: polynomial below `α' = 2.5`, smooth
+/// exponential tail above. Unlike SCAN's switch this is C¹ at the join and
+/// has no singular inner limit.
+fn f_regularized_expr(poly: &[f64; 8], c2: f64, d: f64) -> Expr {
+    let ap = alpha_prime_expr();
+    // Horner evaluation of the polynomial in α'.
+    let mut p = constant(poly[7]);
+    for i in (0..7).rev() {
+        p = p * &ap + constant(poly[i]);
+    }
+    let tail = -(constant(d) * (constant(c2) / (constant(1.0) - &ap)).exp());
+    // α' <= 2.5 ⇔ 2.5 - α' >= 0.
+    Expr::ite(&(constant(ALPHA_SWITCH) - &ap), &p, &tail)
+}
+
+/// Scalar version of the regularized switch.
+fn f_regularized(alpha: f64, poly: &[f64; 8], c2: f64, d: f64) -> f64 {
+    let ap = alpha_prime(alpha);
+    if ap <= ALPHA_SWITCH {
+        let mut p = poly[7];
+        for i in (0..7).rev() {
+            p = p * ap + poly[i];
+        }
+        p
+    } else {
+        -d * (c2 / (1.0 - ap)).exp()
+    }
+}
+
+/// Symbolic regularized-SCAN exchange enhancement `F_x(s, α)`.
+pub fn f_x_expr() -> Expr {
+    // Reuse SCAN's h0/h1/g machinery with the regularized switch: build
+    // F_x = (h1x + f(α)(h0x - h1x))·g(s) by replacing only the switch. The
+    // SCAN x-term's explicit (1-α) quadratic is kept with α' for the same
+    // regularity reason.
+    let fa = f_regularized_expr(&FX_POLY, scan::C2X, scan::DX);
+    scan_like_fx(&fa)
+}
+
+/// Scalar regularized-SCAN exchange.
+pub fn f_x(s: f64, alpha: f64) -> f64 {
+    let fa = f_regularized(alpha, &FX_POLY, scan::C2X, scan::DX);
+    scan_like_fx_scalar(s, alpha, fa)
+}
+
+fn scan_like_fx(fa: &Expr) -> Expr {
+    use crate::registry::S;
+    let s2 = var(S).powi(2);
+    let term_b4 = (constant(scan::B4 / scan::MU_AK) * &s2)
+        * (-(constant(scan::B4.abs() / scan::MU_AK) * &s2)).exp();
+    let one_minus_a = constant(1.0) - alpha_prime_expr();
+    let quad = constant(scan::B1) * &s2
+        + constant(scan::B2) * &one_minus_a * (-(constant(scan::B3) * one_minus_a.powi(2))).exp();
+    let x = constant(scan::MU_AK) * &s2 * (constant(1.0) + term_b4) + quad.powi(2);
+    let h1x = constant(1.0 + scan::K1) - constant(scan::K1) / (constant(1.0) + x / constant(scan::K1));
+    let gx = constant(1.0) - (-(constant(scan::A1) / var(S).sqrt())).exp();
+    (&h1x + fa * (constant(scan::H0X) - &h1x)) * gx
+}
+
+fn scan_like_fx_scalar(s: f64, alpha: f64, fa: f64) -> f64 {
+    let s2 = s * s;
+    let term_b4 = scan::B4 / scan::MU_AK * s2 * (-scan::B4.abs() / scan::MU_AK * s2).exp();
+    let oma = 1.0 - alpha_prime(alpha);
+    let quad = scan::B1 * s2 + scan::B2 * oma * (-scan::B3 * oma * oma).exp();
+    let x = scan::MU_AK * s2 * (1.0 + term_b4) + quad * quad;
+    let h1x = 1.0 + scan::K1 - scan::K1 / (1.0 + x / scan::K1);
+    let gx = if s == 0.0 {
+        1.0
+    } else {
+        1.0 - (-scan::A1 / s.sqrt()).exp()
+    };
+    (h1x + fa * (scan::H0X - h1x)) * gx
+}
+
+/// Symbolic regularized-SCAN correlation `ε_c(rs, s, α)`: SCAN's two
+/// endpoint energies interpolated by the regularized correlation switch.
+pub fn eps_c_expr() -> Expr {
+    let ec0 = scan::eps_c0_expr_pub();
+    let ec1 = scan::eps_c1_expr_pub();
+    let fc = f_regularized_expr(&FC_POLY, scan::C2C, scan::DC);
+    &ec1 + fc * (ec0 - &ec1)
+}
+
+/// Scalar regularized-SCAN correlation.
+pub fn eps_c(rs: f64, s: f64, alpha: f64) -> f64 {
+    let (ec0, ec1) = scan::eps_c_endpoints(rs, s);
+    let fc = f_regularized(alpha, &FC_POLY, scan::C2C, scan::DC);
+    ec1 + fc * (ec0 - ec1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_matches_scalar() {
+        let ex = f_x_expr();
+        let ec = eps_c_expr();
+        for &rs in &[0.1, 1.0, 4.0] {
+            for &s in &[0.05, 0.5, 2.0, 5.0] {
+                for &alpha in &[0.0, 0.5, 1.0, 1.001, 2.0, 5.0] {
+                    let a = ex.eval(&[rs, s, alpha]).unwrap();
+                    let b = f_x(s, alpha);
+                    assert!(
+                        (a - b).abs() <= 1e-10 * b.abs().max(1e-10),
+                        "F_x at ({rs},{s},{alpha}): {a} vs {b}"
+                    );
+                    let a = ec.eval(&[rs, s, alpha]).unwrap();
+                    let b = eps_c(rs, s, alpha);
+                    assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1e-10),
+                        "ε_c at ({rs},{s},{alpha}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_prime_regularizes_origin() {
+        // α' ≈ α away from 0, and α' → 0 smoothly (no 0/0) at the origin.
+        assert_eq!(alpha_prime(0.0), 0.0);
+        assert!((alpha_prime(2.0) - 2.0).abs() < 1e-3);
+        assert!(alpha_prime(1e-6) < 1e-6);
+    }
+
+    #[test]
+    fn switch_value_at_alpha_zero_matches_scan() {
+        // Both SCAN's and rSCAN's exchange switches equal 1 at α = 0
+        // (single-orbital limit) and decay through 0 near α = 1.
+        assert!((f_regularized(0.0, &FX_POLY, scan::C2X, scan::DX) - 1.0).abs() < 1e-12);
+        let near_one = f_regularized(1.0, &FX_POLY, scan::C2X, scan::DX);
+        assert!(near_one.abs() < 0.2, "f(1) should be small, got {near_one}");
+    }
+
+    #[test]
+    fn switch_is_smooth_across_alpha_one() {
+        // The essential singularity is gone: finite difference slope through
+        // α = 1 is bounded (SCAN's switch has unbounded one-sided
+        // derivatives there).
+        let h = 1e-4;
+        let fm = f_regularized(1.0 - h, &FX_POLY, scan::C2X, scan::DX);
+        let fp = f_regularized(1.0 + h, &FX_POLY, scan::C2X, scan::DX);
+        let slope = (fp - fm) / (2.0 * h);
+        assert!(slope.abs() < 10.0, "slope {slope}");
+    }
+
+    #[test]
+    fn tracks_scan_away_from_switch() {
+        // At α = 0 the two functionals share their endpoints, so the
+        // energies agree to the polynomial-vs-exponential difference.
+        for &(rs, s) in &[(0.5, 0.5), (2.0, 1.0)] {
+            let a = eps_c(rs, s, 0.0);
+            let b = crate::scan::eps_c(rs, s, 0.0);
+            assert!(
+                (a - b).abs() < 5e-3 * b.abs().max(1e-3),
+                "({rs},{s}): {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlation_nonpositive_sampled() {
+        for i in 0..15 {
+            for j in 0..15 {
+                for k in 0..8 {
+                    let rs = 1e-4 + 5.0 * (i as f64) / 14.0;
+                    let s = 5.0 * (j as f64) / 14.0;
+                    let alpha = 5.0 * (k as f64) / 7.0;
+                    let v = eps_c(rs, s, alpha);
+                    assert!(v <= 1e-12, "ε_c({rs},{s},{alpha}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_ite_on_raw_alpha_singularity() {
+        // The regularized switch's ITE condition is on 2.5 - α', far from
+        // the dense part of the domain — the expression still contains an
+        // exp(c/(1-α')) tail but it is only active for α' > 2.5.
+        let e = f_x_expr();
+        let v = e.eval(&[1.0, 1.0, 1.0]).unwrap();
+        assert!(v.is_finite());
+    }
+}

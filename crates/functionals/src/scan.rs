@@ -1,0 +1,299 @@
+//! SCAN meta-GGA (exchange and correlation), unpolarized.
+//!
+//! Reference: Sun, Ruzsinszky, Perdew, Phys. Rev. Lett. 115, 036402 (2015)
+//! and its supplemental material. SCAN depends on `rs`, `s`, and the
+//! iso-orbital indicator `α`; its interpolation function `f(α)` switches
+//! functional form at `α = 1`, which our expression DAG represents with an
+//! explicit if-then-else node — exactly the structure XCEncoder extracts
+//! from the LIBXC Maple source, and (together with the essential
+//! singularities `exp(±c/(1-α))` at the switch) the reason the paper's
+//! solver times out on every SCAN condition.
+
+use crate::constants::C_T;
+use crate::registry::{ALPHA, RS, S};
+use crate::{lda_x, pw92};
+use xcv_expr::{constant, var, Expr};
+
+// --- exchange constants (SCAN paper, supplemental) ---
+pub const K1: f64 = 0.065;
+/// `μ_AK = 10/81`, the tight gradient-expansion coefficient.
+pub const MU_AK: f64 = 10.0 / 81.0;
+pub const B2: f64 = 0.120_830_459_735_945_72; // sqrt(5913/405000)
+pub const B1: f64 = 0.156_632_077_435_485_18; // (511/13500)/(2 b2)
+pub const B3: f64 = 0.5;
+pub const B4: f64 = 0.121_831_510_205_995_78; // mu^2/k1 - 1606/18225 - b1^2
+pub const C1X: f64 = 0.667;
+pub const C2X: f64 = 0.8;
+pub const DX: f64 = 1.24;
+pub const H0X: f64 = 1.174;
+pub const A1: f64 = 4.947_9;
+
+// --- correlation constants ---
+pub const B1C: f64 = 0.028_576_4;
+pub const B2C: f64 = 0.088_9;
+pub const B3C: f64 = 0.125_541;
+pub const C1C: f64 = 0.64;
+pub const C2C: f64 = 1.5;
+pub const DC: f64 = 0.7;
+/// `χ_∞` for the `g_∞` gradient damping of the low-density limit.
+pub const CHI_INF: f64 = 0.128_025_852_626_258_15;
+/// `γ` of the H1 term (same as PBE's γ).
+pub const GAMMA: f64 = 0.031_091;
+
+/// The α-interpolation switch `f(α)`: `exp(-c1 α/(1-α))` for `α < 1`,
+/// `-d exp(c2/(1-α))` for `α > 1` (both branches tend to 0 at `α = 1`).
+fn f_alpha_expr(c1: f64, c2: f64, d: f64) -> Expr {
+    let alpha = var(ALPHA);
+    let one_minus = constant(1.0) - &alpha;
+    let lo = (-(constant(c1) * &alpha) / &one_minus).exp();
+    let hi = -(constant(d) * (constant(c2) / &one_minus).exp());
+    Expr::ite(&one_minus, &lo, &hi)
+}
+
+/// Scalar `f(α)`.
+fn f_alpha(alpha: f64, c1: f64, c2: f64, d: f64) -> f64 {
+    if alpha <= 1.0 {
+        if alpha == 1.0 {
+            0.0
+        } else {
+            (-c1 * alpha / (1.0 - alpha)).exp()
+        }
+    } else {
+        -d * (c2 / (1.0 - alpha)).exp()
+    }
+}
+
+/// Symbolic exchange enhancement `F_x^{SCAN}(s, α)`.
+pub fn f_x_expr() -> Expr {
+    let s2 = var(S).powi(2);
+    let alpha = var(ALPHA);
+    // x(s, α)
+    let term_b4 = (constant(B4 / MU_AK) * &s2) * (-(constant(B4.abs() / MU_AK) * &s2)).exp();
+    let one_minus_a = constant(1.0) - &alpha;
+    let quad = constant(B1) * &s2
+        + constant(B2) * &one_minus_a * (-(constant(B3) * one_minus_a.powi(2))).exp();
+    let x = constant(MU_AK) * &s2 * (constant(1.0) + term_b4) + quad.powi(2);
+    // h1x
+    let h1x = constant(1.0 + K1) - constant(K1) / (constant(1.0) + x / constant(K1));
+    // gx(s) = 1 - exp(-a1 / sqrt(s))
+    let gx = constant(1.0) - (-(constant(A1) / var(S).sqrt())).exp();
+    let fa = f_alpha_expr(C1X, C2X, DX);
+    (&h1x + fa * (constant(H0X) - &h1x)) * gx
+}
+
+/// Scalar `F_x^{SCAN}(s, α)`. Independent closed-form code path.
+pub fn f_x(s: f64, alpha: f64) -> f64 {
+    let s2 = s * s;
+    let term_b4 = B4 / MU_AK * s2 * (-B4.abs() / MU_AK * s2).exp();
+    let oma = 1.0 - alpha;
+    let quad = B1 * s2 + B2 * oma * (-B3 * oma * oma).exp();
+    let x = MU_AK * s2 * (1.0 + term_b4) + quad * quad;
+    let h1x = 1.0 + K1 - K1 / (1.0 + x / K1);
+    let gx = if s == 0.0 {
+        1.0
+    } else {
+        1.0 - (-A1 / s.sqrt()).exp()
+    };
+    let fa = f_alpha(alpha, C1X, C2X, DX);
+    (h1x + fa * (H0X - h1x)) * gx
+}
+
+/// Symbolic `ε_x^{SCAN}(rs, s, α)`.
+pub fn eps_x_expr() -> Expr {
+    lda_x::eps_x_unif_expr() * f_x_expr()
+}
+
+/// Scalar `ε_x^{SCAN}`.
+pub fn eps_x(rs: f64, s: f64, alpha: f64) -> f64 {
+    lda_x::eps_x_unif(rs) * f_x(s, alpha)
+}
+
+/// Symbolic single-orbital limit `ε_c^{0}(rs, s)` (α = 0 endpoint).
+fn eps_c0_expr() -> Expr {
+    let rs = var(RS);
+    let s2 = var(S).powi(2);
+    let ec_lda0 =
+        -(constant(B1C)) / (constant(1.0) + constant(B2C) * rs.sqrt() + constant(B3C) * &rs);
+    let w0 = (-(ec_lda0.clone()) / constant(B1C)).exp() - constant(1.0);
+    let ginf = constant(1.0)
+        / (constant(1.0) + constant(4.0 * CHI_INF) * s2).pow(&constant(0.25));
+    let h0 = constant(B1C) * (constant(1.0) + w0 * (constant(1.0) - ginf)).ln();
+    ec_lda0 + h0
+}
+
+/// Symbolic PBE-like limit `ε_c^{1}(rs, s)` (α = 1 endpoint) with the
+/// rs-dependent β of SCAN.
+fn eps_c1_expr() -> Expr {
+    let rs = var(RS);
+    let ec_lda = pw92::eps_c_expr();
+    let w1 = (-(ec_lda.clone()) / constant(GAMMA)).exp() - constant(1.0);
+    let beta = constant(0.066_725) * (constant(1.0) + constant(0.1) * &rs)
+        / (constant(1.0) + constant(0.177_8) * &rs);
+    let t2 = constant(C_T) * var(S).powi(2) / &rs;
+    let a = beta / (constant(GAMMA) * &w1);
+    let g = constant(1.0)
+        / (constant(1.0) + constant(4.0) * a * t2).pow(&constant(0.25));
+    let h1 = constant(GAMMA) * (constant(1.0) + w1 * (constant(1.0) - g)).ln();
+    ec_lda + h1
+}
+
+/// The α = 0 endpoint energy, exposed for the regularized-SCAN variant.
+pub fn eps_c0_expr_pub() -> Expr {
+    eps_c0_expr()
+}
+
+/// The α = 1 endpoint energy, exposed for the regularized-SCAN variant.
+pub fn eps_c1_expr_pub() -> Expr {
+    eps_c1_expr()
+}
+
+/// Scalar endpoint energies `(ε_c⁰, ε_c¹)` at `(rs, s)`.
+pub fn eps_c_endpoints(rs: f64, s: f64) -> (f64, f64) {
+    let s2 = s * s;
+    let ec_lda0 = -B1C / (1.0 + B2C * rs.sqrt() + B3C * rs);
+    let w0 = (-ec_lda0 / B1C).exp() - 1.0;
+    let ginf = (1.0 + 4.0 * CHI_INF * s2).powf(-0.25);
+    let ec0 = ec_lda0 + B1C * (1.0 + w0 * (1.0 - ginf)).ln();
+    let ec_lda = pw92::eps_c(rs);
+    let w1 = (-ec_lda / GAMMA).exp() - 1.0;
+    let beta = 0.066_725 * (1.0 + 0.1 * rs) / (1.0 + 0.177_8 * rs);
+    let t2 = C_T * s2 / rs;
+    let a = beta / (GAMMA * w1);
+    let g = (1.0 + 4.0 * a * t2).powf(-0.25);
+    let ec1 = ec_lda + GAMMA * (1.0 + w1 * (1.0 - g)).ln();
+    (ec0, ec1)
+}
+
+/// Symbolic `ε_c^{SCAN}(rs, s, α)`.
+pub fn eps_c_expr() -> Expr {
+    let ec0 = eps_c0_expr();
+    let ec1 = eps_c1_expr();
+    let fc = f_alpha_expr(C1C, C2C, DC);
+    &ec1 + fc * (ec0 - &ec1)
+}
+
+/// Scalar `ε_c^{SCAN}(rs, s, α)`. Independent closed-form code path.
+pub fn eps_c(rs: f64, s: f64, alpha: f64) -> f64 {
+    let (ec0, ec1) = eps_c_endpoints(rs, s);
+    let fc = f_alpha(alpha, C1C, C2C, DC);
+    ec1 + fc * (ec0 - ec1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants() {
+        assert!((B2 - (5913.0_f64 / 405000.0).sqrt()).abs() < 1e-15);
+        assert!((B1 - (511.0 / 13500.0) / (2.0 * B2)).abs() < 1e-15);
+        assert!((B4 - (MU_AK * MU_AK / K1 - 1606.0 / 18225.0 - B1 * B1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exchange_expr_matches_scalar() {
+        let e = f_x_expr();
+        for &s in &[0.01, 0.3, 1.0, 3.0, 5.0] {
+            for &alpha in &[0.0, 0.3, 0.9, 1.0, 1.5, 5.0] {
+                let sym = e.eval(&[1.0, s, alpha]).unwrap();
+                let num = f_x(s, alpha);
+                assert!(
+                    (sym - num).abs() <= 1e-10 * num.abs().max(1e-10),
+                    "s={s}, α={alpha}: {sym} vs {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_expr_matches_scalar() {
+        let e = eps_c_expr();
+        for &rs in &[1e-3, 0.5, 1.0, 5.0] {
+            for &s in &[0.0, 0.5, 2.0] {
+                for &alpha in &[0.0, 0.5, 1.0, 2.0] {
+                    let sym = e.eval(&[rs, s, alpha]).unwrap();
+                    let num = eps_c(rs, s, alpha);
+                    assert!(
+                        (sym - num).abs() <= 1e-9 * num.abs().max(1e-10),
+                        "rs={rs}, s={s}, α={alpha}: {sym} vs {num}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_switch_continuous_at_alpha_one() {
+        // f(α) -> 0 from both sides of α = 1.
+        for &eps in &[1e-3, 1e-6] {
+            assert!(f_alpha(1.0 - eps, C1X, C2X, DX).abs() < 1e-100 / eps.min(1.0) + 1e-3);
+            assert!(f_alpha(1.0 + eps, C1X, C2X, DX).abs() < 1e-3);
+        }
+        // F_x continuous across the switch.
+        let below = f_x(1.0, 1.0 - 1e-9);
+        let at = f_x(1.0, 1.0);
+        let above = f_x(1.0, 1.0 + 1e-9);
+        assert!((below - at).abs() < 1e-6 && (above - at).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exchange_bounded_by_design() {
+        // SCAN's tightened Lieb–Oxford bound: F_x <= 1.174 everywhere.
+        for i in 0..25 {
+            for j in 0..25 {
+                let s = 0.01 + 5.0 * (i as f64) / 24.0;
+                let alpha = 5.0 * (j as f64) / 24.0;
+                let v = f_x(s, alpha);
+                assert!(v <= H0X + 1e-10, "F_x({s}, {alpha}) = {v} > 1.174");
+                assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_nonpositive_sampled() {
+        // SCAN satisfies EC1 by construction (the paper's solver merely
+        // cannot prove it); sample a grid.
+        for i in 0..20 {
+            for j in 0..20 {
+                for k in 0..8 {
+                    let rs = 1e-4 + 5.0 * (i as f64) / 19.0;
+                    let s = 5.0 * (j as f64) / 19.0;
+                    let alpha = 5.0 * (k as f64) / 7.0;
+                    let v = eps_c(rs, s, alpha);
+                    assert!(v <= 1e-12, "ε_c({rs},{s},{alpha}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_one_reduces_to_pbe_like_form() {
+        // At α = 1 the correlation is exactly ε_c^1 (the GGA-like branch).
+        let v = eps_c(1.0, 0.5, 1.0);
+        // Compare against directly computed ε_c^1.
+        let e = super::eps_c1_expr();
+        let direct = e.eval(&[1.0, 0.5, 1.0]).unwrap();
+        assert!((v - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_gas_norm() {
+        // At s = 0, α = 1: ε_c = ε_c^{PW92} (the HEG norm SCAN reproduces).
+        for &rs in &[0.5, 1.0, 2.0] {
+            assert!((eps_c(rs, 0.0, 1.0) - pw92::eps_c(rs)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn op_count_largest_of_all() {
+        // The paper: SCAN has "over 1000 operations" in LIBXC (spin-general).
+        // Our ζ=0 form must still dwarf PBE's.
+        let scan_ops = eps_c_expr().op_count() + f_x_expr().op_count();
+        let pbe_ops = crate::pbe::eps_c_expr().op_count() + crate::pbe::f_x_expr().op_count();
+        assert!(
+            scan_ops > 2 * pbe_ops,
+            "SCAN ({scan_ops} ops) should dwarf PBE ({pbe_ops} ops)"
+        );
+    }
+}

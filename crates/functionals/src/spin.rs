@@ -1,0 +1,284 @@
+//! Spin-polarization extension (`ζ ≠ 0`).
+//!
+//! The paper (following Pederson–Burke) verifies the unpolarized `ζ = 0`
+//! restriction of each functional; LIBXC implementations are spin-general.
+//! This module provides the spin machinery needed to extend the verification
+//! to polarized densities:
+//!
+//! * exact spin scaling of exchange,
+//!   `E_x[n↑, n↓] = (E_x[2n↑] + E_x[2n↓])/2`, giving the LSDA exchange
+//!   `ε_x(rs, ζ) = ε_x^unif(rs)·((1+ζ)^{4/3} + (1−ζ)^{4/3})/2`;
+//! * the full PW92 spin interpolation
+//!   `ε_c(rs, ζ) = ε_c⁰ + α_c·f(ζ)/f''(0)·(1−ζ⁴) + (ε_c¹ − ε_c⁰)·f(ζ)·ζ⁴`
+//!   with the three PW92 `G`-function fits;
+//! * PBE correlation at general ζ via `φ(ζ) = ((1+ζ)^{2/3}+(1−ζ)^{2/3})/2`
+//!   entering both `t²` and the `H` term.
+//!
+//! The spin variable is a fourth canonical variable (`ζ`, index 3), so the
+//! existing solver and verifier run unchanged on spin-resolved conditions —
+//! see the `spin_conditions` integration test.
+
+use crate::constants::{A_X, C_T};
+use crate::registry::{RS, S};
+use xcv_expr::{constant, var, Expr};
+
+/// Canonical variable index for ζ.
+pub const ZETA: u32 = 3;
+
+/// `f''(0) = 8 / (9 (2^{4/3} − 2))`.
+pub fn fpp0() -> f64 {
+    8.0 / (9.0 * (2.0_f64.powf(4.0 / 3.0) - 2.0))
+}
+
+/// The spin interpolation function
+/// `f(ζ) = ((1+ζ)^{4/3} + (1−ζ)^{4/3} − 2)/(2^{4/3} − 2)`.
+pub fn f_zeta(z: f64) -> f64 {
+    (((1.0 + z).powf(4.0 / 3.0) + (1.0 - z).powf(4.0 / 3.0)) - 2.0)
+        / (2.0_f64.powf(4.0 / 3.0) - 2.0)
+}
+
+/// Symbolic `f(ζ)`.
+pub fn f_zeta_expr() -> Expr {
+    let z = var(ZETA);
+    let p = constant(4.0 / 3.0);
+    ((constant(1.0) + &z).pow(&p) + (constant(1.0) - &z).pow(&p) - constant(2.0))
+        / constant(2.0_f64.powf(4.0 / 3.0) - 2.0)
+}
+
+/// `φ(ζ) = ((1+ζ)^{2/3} + (1−ζ)^{2/3})/2` (PBE's spin factor).
+pub fn phi_zeta(z: f64) -> f64 {
+    0.5 * ((1.0 + z).powf(2.0 / 3.0) + (1.0 - z).powf(2.0 / 3.0))
+}
+
+/// Symbolic `φ(ζ)`.
+pub fn phi_zeta_expr() -> Expr {
+    let z = var(ZETA);
+    let p = constant(2.0 / 3.0);
+    constant(0.5) * ((constant(1.0) + &z).pow(&p) + (constant(1.0) - &z).pow(&p))
+}
+
+/// LSDA exchange `ε_x(rs, ζ)` by exact spin scaling.
+pub fn eps_x_lsda(rs: f64, z: f64) -> f64 {
+    let scale = 0.5 * ((1.0 + z).powf(4.0 / 3.0) + (1.0 - z).powf(4.0 / 3.0));
+    -A_X / rs * scale
+}
+
+/// Symbolic LSDA exchange.
+pub fn eps_x_lsda_expr() -> Expr {
+    let z = var(ZETA);
+    let p = constant(4.0 / 3.0);
+    let scale = constant(0.5) * ((constant(1.0) + &z).pow(&p) + (constant(1.0) - &z).pow(&p));
+    -(constant(A_X) / var(RS)) * scale
+}
+
+/// One PW92 `G` function: `-2A(1+α₁rs)ln[1 + 1/(2A(β₁√rs + β₂rs + β₃rs^{3/2}
+/// + β₄rs²))]`.
+fn pw92_g(rs: f64, a: f64, a1: f64, b1: f64, b2: f64, b3: f64, b4: f64) -> f64 {
+    let sq = rs.sqrt();
+    let poly = b1 * sq + b2 * rs + b3 * rs * sq + b4 * rs * rs;
+    -2.0 * a * (1.0 + a1 * rs) * (1.0 + 1.0 / (2.0 * a * poly)).ln()
+}
+
+fn pw92_g_expr(a: f64, a1: f64, b1: f64, b2: f64, b3: f64, b4: f64) -> Expr {
+    let rs = var(RS);
+    let sq = rs.sqrt();
+    let poly = constant(b1) * &sq
+        + constant(b2) * &rs
+        + constant(b3) * &rs * &sq
+        + constant(b4) * rs.powi(2);
+    -(constant(2.0 * a) * (constant(1.0) + constant(a1) * &rs))
+        * (constant(1.0) + constant(1.0) / (constant(2.0 * a) * poly)).ln()
+}
+
+/// PW92 parameter sets: (A, α₁, β₁, β₂, β₃, β₄) for ε_c(ζ=0), ε_c(ζ=1) and
+/// −α_c (the spin stiffness).
+pub const PW92_EC0: [f64; 6] = [0.031_091, 0.213_70, 7.595_7, 3.587_6, 1.638_2, 0.492_94];
+pub const PW92_EC1: [f64; 6] = [0.015_545, 0.205_48, 14.118_9, 6.197_7, 3.366_2, 0.625_17];
+pub const PW92_MALPHA: [f64; 6] = [0.016_887, 0.111_25, 10.357, 3.623_1, 0.880_26, 0.496_71];
+
+/// Full PW92 correlation `ε_c(rs, ζ)`.
+pub fn eps_c_pw92(rs: f64, z: f64) -> f64 {
+    let [a, a1, b1, b2, b3, b4] = PW92_EC0;
+    let ec0 = pw92_g(rs, a, a1, b1, b2, b3, b4);
+    let [a, a1, b1, b2, b3, b4] = PW92_EC1;
+    let ec1 = pw92_g(rs, a, a1, b1, b2, b3, b4);
+    let [a, a1, b1, b2, b3, b4] = PW92_MALPHA;
+    let malpha = pw92_g(rs, a, a1, b1, b2, b3, b4);
+    let f = f_zeta(z);
+    let z4 = z.powi(4);
+    ec0 - malpha * f / fpp0() * (1.0 - z4) + (ec1 - ec0) * f * z4
+}
+
+/// Symbolic full PW92 correlation over (rs, ζ).
+pub fn eps_c_pw92_expr() -> Expr {
+    let [a, a1, b1, b2, b3, b4] = PW92_EC0;
+    let ec0 = pw92_g_expr(a, a1, b1, b2, b3, b4);
+    let [a, a1, b1, b2, b3, b4] = PW92_EC1;
+    let ec1 = pw92_g_expr(a, a1, b1, b2, b3, b4);
+    let [a, a1, b1, b2, b3, b4] = PW92_MALPHA;
+    let malpha = pw92_g_expr(a, a1, b1, b2, b3, b4);
+    let f = f_zeta_expr();
+    let z4 = var(ZETA).powi(4);
+    &ec0 - malpha * &f / constant(fpp0()) * (constant(1.0) - &z4) + (ec1 - &ec0) * f * z4
+}
+
+/// PBE correlation at general spin polarization `ε_c^{PBE}(rs, s, ζ)`.
+pub fn eps_c_pbe(rs: f64, s: f64, z: f64) -> f64 {
+    let phi = phi_zeta(z);
+    let phi3 = phi * phi * phi;
+    let ec_lda = eps_c_pw92(rs, z);
+    let t2 = C_T * s * s / rs / (phi * phi);
+    let gamma = crate::pbe::GAMMA;
+    let beta = crate::pbe::BETA;
+    let a = beta / gamma / ((-ec_lda / (gamma * phi3)).exp() - 1.0);
+    let at2 = a * t2;
+    let inner = 1.0 + beta / gamma * t2 * (1.0 + at2) / (1.0 + at2 + at2 * at2);
+    ec_lda + gamma * phi3 * inner.ln()
+}
+
+/// Symbolic PBE correlation over (rs, s, ζ).
+pub fn eps_c_pbe_expr() -> Expr {
+    let phi = phi_zeta_expr();
+    let phi3 = phi.powi(3);
+    let ec_lda = eps_c_pw92_expr();
+    let gamma = crate::pbe::GAMMA;
+    let beta = crate::pbe::BETA;
+    let t2 = constant(C_T) * var(S).powi(2) / var(RS) / phi.powi(2);
+    let a = constant(beta / gamma)
+        / ((-(ec_lda.clone()) / (constant(gamma) * &phi3)).exp() - constant(1.0));
+    let at2 = &a * &t2;
+    let num = constant(1.0) + &at2;
+    let den = constant(1.0) + &at2 + at2.powi(2);
+    let inner = constant(1.0) + constant(beta / gamma) * t2 * (num / den);
+    ec_lda + constant(gamma) * phi3 * inner.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_zeta_endpoints() {
+        assert!(f_zeta(0.0).abs() < 1e-15);
+        assert!((f_zeta(1.0) - 1.0).abs() < 1e-15);
+        assert!((f_zeta(-1.0) - 1.0).abs() < 1e-15);
+        // Symmetric and convex-ish in between.
+        assert!((f_zeta(0.5) - f_zeta(-0.5)).abs() < 1e-15);
+        assert!(f_zeta(0.5) > 0.0 && f_zeta(0.5) < 1.0);
+    }
+
+    #[test]
+    fn fpp0_value() {
+        // Standard value ≈ 1.709920934.
+        assert!((fpp0() - 1.709_920_934_161_37).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_endpoints() {
+        assert!((phi_zeta(0.0) - 1.0).abs() < 1e-15);
+        let p1 = 0.5 * 2.0_f64.powf(2.0 / 3.0);
+        assert!((phi_zeta(1.0) - p1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exchange_spin_scaling_limits() {
+        // ζ = 0 reduces to the unpolarized gas; ζ = ±1 scales by 2^{1/3}.
+        let rs = 1.7;
+        assert!((eps_x_lsda(rs, 0.0) - crate::lda_x::eps_x_unif(rs)).abs() < 1e-15);
+        let expected = crate::lda_x::eps_x_unif(rs) * 2.0_f64.powf(1.0 / 3.0);
+        assert!((eps_x_lsda(rs, 1.0) - expected).abs() < 1e-14);
+        assert!((eps_x_lsda(rs, -1.0) - eps_x_lsda(rs, 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pw92_zeta0_matches_unpolarized_module() {
+        for &rs in &[1e-3, 0.5, 1.0, 5.0, 50.0] {
+            assert!((eps_c_pw92(rs, 0.0) - crate::pw92::eps_c(rs)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn pw92_ferromagnetic_weaker_correlation() {
+        // |ε_c(ζ=1)| < |ε_c(ζ=0)| — correlation is weaker in the fully
+        // polarized gas (same-spin electrons already avoid each other).
+        for &rs in &[0.5, 1.0, 2.0, 5.0] {
+            let e0 = eps_c_pw92(rs, 0.0);
+            let e1 = eps_c_pw92(rs, 1.0);
+            assert!(e1 < 0.0 && e1 > e0, "rs={rs}: {e1} vs {e0}");
+        }
+    }
+
+    #[test]
+    fn pw92_known_ferromagnetic_value() {
+        // PW92 tabulate ε_c(rs=1, ζ=1) ≈ -0.03206 Ha.
+        let v = eps_c_pw92(1.0, 1.0);
+        assert!((v + 0.0321).abs() < 1e-3, "{v}");
+    }
+
+    #[test]
+    fn pw92_symmetric_in_zeta() {
+        for &z in &[0.3, 0.7, 0.95] {
+            assert!((eps_c_pw92(1.0, z) - eps_c_pw92(1.0, -z)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pbe_zeta0_matches_unpolarized_module() {
+        for &(rs, s) in &[(0.5, 0.5), (1.0, 1.0), (3.0, 2.0)] {
+            let a = eps_c_pbe(rs, s, 0.0);
+            let b = crate::pbe::eps_c(rs, s);
+            assert!((a - b).abs() < 1e-13, "({rs},{s}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exprs_match_scalars() {
+        let epw = eps_c_pw92_expr();
+        let epbe = eps_c_pbe_expr();
+        let ex = eps_x_lsda_expr();
+        for &rs in &[0.3, 1.0, 4.0] {
+            for &s in &[0.0, 1.0, 3.0] {
+                for &z in &[0.0, 0.4, 0.9] {
+                    let env = [rs, s, 0.0, z];
+                    let a = epw.eval(&env).unwrap();
+                    let b = eps_c_pw92(rs, z);
+                    assert!((a - b).abs() < 1e-12 * b.abs().max(1e-12));
+                    let a = epbe.eval(&env).unwrap();
+                    let b = eps_c_pbe(rs, s, z);
+                    assert!(
+                        (a - b).abs() < 1e-11 * b.abs().max(1e-11),
+                        "({rs},{s},{z}): {a} vs {b}"
+                    );
+                    let a = ex.eval(&env).unwrap();
+                    let b = eps_x_lsda(rs, z);
+                    assert!((a - b).abs() < 1e-13 * b.abs().max(1e-13));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_resolved_ec1_nonpositive_sampled() {
+        // The Ec non-positivity condition extends to all ζ for PBE.
+        for i in 0..12 {
+            for j in 0..12 {
+                for k in 0..9 {
+                    let rs = 1e-3 + 5.0 * (i as f64) / 11.0;
+                    let s = 5.0 * (j as f64) / 11.0;
+                    let z = -0.99 + 1.98 * (k as f64) / 8.0;
+                    let v = eps_c_pbe(rs, s, z);
+                    assert!(v <= 1e-12, "ε_c({rs},{s},ζ={z}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_derivative_wrt_zeta_is_symbolic() {
+        // The ζ-derivative exists symbolically and vanishes at ζ = 0 by
+        // symmetry.
+        let d = eps_c_pw92_expr().diff(ZETA);
+        let v = d.eval(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(v.abs() < 1e-10, "dε_c/dζ at ζ=0 should vanish, got {v}");
+    }
+}

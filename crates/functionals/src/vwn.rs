@@ -1,0 +1,90 @@
+//! Vosko–Wilk–Nusair fit to the RPA correlation energy of the uniform gas
+//! (paramagnetic) — the paper's LDA functional "VWN RPA".
+//!
+//! Reference: S. H. Vosko, L. Wilk, M. Nusair, Can. J. Phys. 58, 1200 (1980),
+//! Eq. (4.4) with the RPA (not Ceperley–Alder) parameter set; this is LIBXC's
+//! `LDA_C_VWN_RPA` at `ζ = 0`.
+
+use crate::registry::RS;
+use xcv_expr::{constant, var, Expr};
+
+/// `A` in Hartree (VWN tabulate 0.0621814 Ry = 0.0310907 Ha).
+pub const A: f64 = 0.031_090_7;
+pub const X0: f64 = -0.409_286;
+pub const B: f64 = 13.072_0;
+pub const C: f64 = 42.719_8;
+
+/// Symbolic `ε_c^{VWN-RPA}(rs)`.
+pub fn eps_c_expr() -> Expr {
+    let x = var(RS).sqrt();
+    let xx = x.powi(2) + constant(B) * &x + constant(C); // X(x)
+    let q = constant((4.0 * C - B * B).sqrt());
+    let xx0 = constant(X0 * X0 + B * X0 + C); // X(x0)
+    let atan_term = (&q / (constant(2.0) * &x + constant(B))).atan();
+    let term1 = (x.powi(2) / &xx).ln();
+    let term2 = (constant(2.0 * B) / &q) * &atan_term;
+    let term3a = ((&x - constant(X0)).powi(2) / &xx).ln();
+    let term3b = (constant(2.0 * (B + 2.0 * X0)) / &q) * &atan_term;
+    let term3 = (constant(B * X0) / xx0) * (term3a + term3b);
+    constant(A) * (term1 + term2 - term3)
+}
+
+/// Scalar `ε_c^{VWN-RPA}(rs)`. Independent closed-form code path.
+pub fn eps_c(rs: f64) -> f64 {
+    let x = rs.sqrt();
+    let xx = x * x + B * x + C;
+    let q = (4.0 * C - B * B).sqrt();
+    let xx0 = X0 * X0 + B * X0 + C;
+    let atan_term = (q / (2.0 * x + B)).atan();
+    let term1 = (x * x / xx).ln();
+    let term2 = 2.0 * B / q * atan_term;
+    let term3 =
+        B * X0 / xx0 * (((x - X0) * (x - X0) / xx).ln() + 2.0 * (B + 2.0 * X0) / q * atan_term);
+    A * (term1 + term2 - term3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_matches_scalar() {
+        let e = eps_c_expr();
+        for &rs in &[1e-4, 0.01, 0.5, 1.0, 2.0, 5.0, 100.0] {
+            let sym = e.eval(&[rs, 0.0, 0.0]).unwrap();
+            let num = eps_c(rs);
+            assert!(
+                (sym - num).abs() <= 1e-12 * num.abs().max(1e-12),
+                "rs={rs}: {sym} vs {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn rpa_reference_values() {
+        // RPA correlation energy of the uniform gas: ε_c(rs=1) ≈ -0.0787 Ha,
+        // ε_c(rs=5) ≈ -0.0427 Ha (von Barth–Hedin / VWN RPA tabulations).
+        assert!((eps_c(1.0) + 0.0787).abs() < 2e-3, "{}", eps_c(1.0));
+        assert!((eps_c(5.0) + 0.0427).abs() < 2e-3, "{}", eps_c(5.0));
+    }
+
+    #[test]
+    fn negative_and_increasing() {
+        let mut prev = eps_c(1e-4);
+        for i in 1..100 {
+            let rs = 1e-4 + (i as f64) * 0.05;
+            let v = eps_c(rs);
+            assert!(v < 0.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn more_negative_than_pw92() {
+        // RPA overbinds: |ε_c^{RPA}| > |ε_c^{PW92}| across the domain.
+        for &rs in &[0.1, 1.0, 5.0] {
+            assert!(eps_c(rs) < crate::pw92::eps_c(rs));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! NumPy-`gradient`-compatible finite differences on uniform grids.
+//!
+//! Interior points use second-order central differences; boundary points use
+//! one-sided second-order differences (NumPy's `edge_order=2`), which is what
+//! derivative-based condition checks need to avoid spurious edge violations.
+
+/// Gradient of a 1-D array sampled with uniform spacing `h`.
+pub fn gradient_1d(f: &[f64], h: f64) -> Vec<f64> {
+    let n = f.len();
+    assert!(n >= 2, "gradient needs at least two samples");
+    assert!(h > 0.0);
+    let mut g = vec![0.0; n];
+    if n == 2 {
+        let d = (f[1] - f[0]) / h;
+        g[0] = d;
+        g[1] = d;
+        return g;
+    }
+    for i in 1..n - 1 {
+        g[i] = (f[i + 1] - f[i - 1]) / (2.0 * h);
+    }
+    // Second-order one-sided stencils at the edges.
+    g[0] = (-3.0 * f[0] + 4.0 * f[1] - f[2]) / (2.0 * h);
+    g[n - 1] = (3.0 * f[n - 1] - 4.0 * f[n - 2] + f[n - 3]) / (2.0 * h);
+    g
+}
+
+/// Gradient along axis 0 of a row-major 2-D array (`n0` rows of length `n1`),
+/// with uniform row spacing `h`.
+pub fn gradient_axis0(f: &[f64], n0: usize, n1: usize, h: f64) -> Vec<f64> {
+    assert_eq!(f.len(), n0 * n1);
+    assert!(n0 >= 2);
+    let mut g = vec![0.0; f.len()];
+    let at = |i: usize, j: usize| f[i * n1 + j];
+    for j in 0..n1 {
+        if n0 == 2 {
+            let d = (at(1, j) - at(0, j)) / h;
+            g[j] = d;
+            g[n1 + j] = d;
+            continue;
+        }
+        for i in 1..n0 - 1 {
+            g[i * n1 + j] = (at(i + 1, j) - at(i - 1, j)) / (2.0 * h);
+        }
+        g[j] = (-3.0 * at(0, j) + 4.0 * at(1, j) - at(2, j)) / (2.0 * h);
+        g[(n0 - 1) * n1 + j] =
+            (3.0 * at(n0 - 1, j) - 4.0 * at(n0 - 2, j) + at(n0 - 3, j)) / (2.0 * h);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_linear() {
+        let h = 0.1;
+        let f: Vec<f64> = (0..11).map(|i| 2.0 + 3.0 * (i as f64) * h).collect();
+        for g in gradient_1d(&f, h) {
+            assert!((g - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_on_quadratic_including_edges() {
+        // Second-order stencils differentiate quadratics exactly.
+        let h = 0.05;
+        let xs: Vec<f64> = (0..21).map(|i| (i as f64) * h).collect();
+        let f: Vec<f64> = xs.iter().map(|x| x * x - x + 1.0).collect();
+        let g = gradient_1d(&f, h);
+        for (x, gi) in xs.iter().zip(&g) {
+            assert!((gi - (2.0 * x - 1.0)).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn converges_on_smooth_function() {
+        let check = |n: usize| -> f64 {
+            let h = 1.0 / (n - 1) as f64;
+            let f: Vec<f64> = (0..n).map(|i| ((i as f64) * h).exp()).collect();
+            let g = gradient_1d(&f, h);
+            (0..n)
+                .map(|i| (g[i] - ((i as f64) * h).exp()).abs())
+                .fold(0.0, f64::max)
+        };
+        let coarse = check(51);
+        let fine = check(201);
+        assert!(fine < coarse / 8.0, "2nd order: {coarse} -> {fine}");
+    }
+
+    #[test]
+    fn two_point_fallback() {
+        let g = gradient_1d(&[1.0, 3.0], 0.5);
+        assert_eq!(g, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn axis0_matches_columnwise_1d() {
+        let (n0, n1, h) = (7, 3, 0.2);
+        let mut f = vec![0.0; n0 * n1];
+        for i in 0..n0 {
+            for j in 0..n1 {
+                let x = (i as f64) * h;
+                f[i * n1 + j] = (1.0 + j as f64) * x * x + x;
+            }
+        }
+        let g = gradient_axis0(&f, n0, n1, h);
+        for j in 0..n1 {
+            let col: Vec<f64> = (0..n0).map(|i| f[i * n1 + j]).collect();
+            let g1 = gradient_1d(&col, h);
+            for i in 0..n0 {
+                assert!((g[i * n1 + j] - g1[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_samples_panics() {
+        gradient_1d(&[1.0], 0.1);
+    }
+}

@@ -1,0 +1,18 @@
+//! The Pederson–Burke (PB) grid-search baseline (Section IV-A of the paper).
+//!
+//! For a DFA and a condition, PB samples the reduced-variable domain on a
+//! uniform grid, evaluates the LIBXC implementation (here: the closed-form
+//! scalar code paths of `xcv-functionals`) at every grid point, forms the
+//! derivatives the local conditions need **numerically** — NumPy-`gradient`
+//! style finite differences on the grid — and checks the condition pointwise.
+//! The condition is declared satisfied when every grid point passes.
+//!
+//! This is exactly the methodology XCVerifier is compared against in
+//! Table II: it scales effortlessly but proves nothing between grid points
+//! and inherits finite-difference error in the derivative conditions.
+
+mod gradient;
+mod pb;
+
+pub use gradient::{gradient_1d, gradient_axis0};
+pub use pb::{pb_check, GridConfig, GridResult};

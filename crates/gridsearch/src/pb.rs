@@ -1,0 +1,341 @@
+//! The PB condition checker: uniform grids, numerical derivatives, pointwise
+//! checks.
+
+use crate::gradient::{gradient_1d, gradient_axis0};
+use rayon::prelude::*;
+use xcv_conditions::{Condition, ALPHA_MAX, C_LO, RS_INF, RS_MAX, RS_MIN, S_MAX};
+use xcv_functionals::{Dfa, Family};
+
+/// Grid resolution. The paper draws 10⁵ samples per axis; the default here
+/// is 200×200 (tests and figures), with the resolution a parameter so the
+/// benchmark harness can sweep it.
+#[derive(Clone, Copy, Debug)]
+pub struct GridConfig {
+    pub n_rs: usize,
+    pub n_s: usize,
+    /// Number of α slices for meta-GGA functionals.
+    pub n_alpha: usize,
+    /// Absolute tolerance absorbing floating-point noise in the pointwise
+    /// checks (the numerical-derivative conditions are otherwise hypersensitive
+    /// at the grid edges).
+    pub tol: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            n_rs: 200,
+            n_s: 200,
+            n_alpha: 9,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// The outcome of a PB grid check over the `(rs, s)` plane (α is reduced by
+/// "fails if any slice fails", matching a meshed 3-D grid's projection).
+#[derive(Clone, Debug)]
+pub struct GridResult {
+    pub dfa: Dfa,
+    pub condition: Condition,
+    pub rs: Vec<f64>,
+    pub s: Vec<f64>,
+    /// Row-major pass/fail over `(rs_i, s_j)`; for LDA `s` has one dummy
+    /// column.
+    pub pass: Vec<bool>,
+    /// The α slices meshed for meta-GGA functionals (empty otherwise); a
+    /// point fails if it fails on any slice.
+    pub alphas: Vec<f64>,
+}
+
+impl GridResult {
+    pub fn n_rs(&self) -> usize {
+        self.rs.len()
+    }
+
+    pub fn n_s(&self) -> usize {
+        self.s.len()
+    }
+
+    pub fn pass_at(&self, i_rs: usize, i_s: usize) -> bool {
+        self.pass[i_rs * self.s.len() + i_s]
+    }
+
+    /// PB's verdict: satisfied iff every grid point passes.
+    pub fn satisfied(&self) -> bool {
+        self.pass.iter().all(|&p| p)
+    }
+
+    pub fn n_violations(&self) -> usize {
+        self.pass.iter().filter(|&&p| !p).count()
+    }
+
+    pub fn violation_fraction(&self) -> f64 {
+        self.n_violations() as f64 / self.pass.len() as f64
+    }
+
+    /// Bounding box `((rs_min, rs_max), (s_min, s_max))` of the violating
+    /// points, if any.
+    pub fn violation_bbox(&self) -> Option<((f64, f64), (f64, f64))> {
+        let mut bb: Option<((f64, f64), (f64, f64))> = None;
+        for i in 0..self.rs.len() {
+            for j in 0..self.s.len() {
+                if !self.pass_at(i, j) {
+                    let (rs, s) = (self.rs[i], self.s[j]);
+                    bb = Some(match bb {
+                        None => ((rs, rs), (s, s)),
+                        Some(((r0, r1), (s0, s1))) => {
+                            ((r0.min(rs), r1.max(rs)), (s0.min(s), s1.max(s)))
+                        }
+                    });
+                }
+            }
+        }
+        bb
+    }
+}
+
+fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    let h = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + h * i as f64).collect()
+}
+
+/// Run the PB grid check for one DFA-condition pair; `None` when the
+/// condition does not apply.
+pub fn pb_check(dfa: Dfa, condition: Condition, config: &GridConfig) -> Option<GridResult> {
+    if !condition.applies_to(dfa) {
+        return None;
+    }
+    let rs = linspace(RS_MIN, RS_MAX, config.n_rs);
+    let h_rs = rs[1] - rs[0];
+    match dfa.info().family {
+        Family::Lda => {
+            let fc: Vec<f64> = rs.iter().map(|&r| dfa.f_c(r, 0.0, 0.0)).collect();
+            let dfc = gradient_1d(&fc, h_rs);
+            let d2fc = gradient_1d(&dfc, h_rs);
+            let fc_inf = dfa.f_c(RS_INF, 0.0, 0.0);
+            let pass: Vec<bool> = (0..rs.len())
+                .map(|i| {
+                    point_pass(
+                        condition, rs[i], fc[i], dfc[i], d2fc[i], fc_inf, None, config.tol,
+                    )
+                })
+                .collect();
+            Some(GridResult {
+                dfa,
+                condition,
+                rs,
+                s: vec![0.0],
+                pass,
+                alphas: Vec::new(),
+            })
+        }
+        Family::Gga => {
+            let s = linspace(0.0, S_MAX, config.n_s);
+            let pass = check_slice(dfa, condition, &rs, &s, h_rs, 0.0, config.tol);
+            Some(GridResult {
+                dfa,
+                condition,
+                rs,
+                s,
+                pass,
+                alphas: Vec::new(),
+            })
+        }
+        Family::MetaGga => {
+            // Meshing α as well; a point passes only if it passes on every
+            // α slice (projection of the 3-D grid).
+            let s = linspace(0.0, S_MAX, config.n_s);
+            let alphas = linspace(0.0, ALPHA_MAX, config.n_alpha.max(2));
+            let mut pass = vec![true; rs.len() * s.len()];
+            for &a in &alphas {
+                let slice = check_slice(dfa, condition, &rs, &s, h_rs, a, config.tol);
+                for (p, q) in pass.iter_mut().zip(slice) {
+                    *p &= q;
+                }
+            }
+            Some(GridResult {
+                dfa,
+                condition,
+                rs,
+                s,
+                pass,
+                alphas,
+            })
+        }
+    }
+}
+
+/// Check one (rs × s) slice at fixed α. Parallelized over rows with rayon.
+#[allow(clippy::too_many_arguments)]
+fn check_slice(
+    dfa: Dfa,
+    condition: Condition,
+    rs: &[f64],
+    s: &[f64],
+    h_rs: f64,
+    alpha: f64,
+    tol: f64,
+) -> Vec<bool> {
+    let (n0, n1) = (rs.len(), s.len());
+    // F_c on the grid (row-major over rs).
+    let fc: Vec<f64> = rs
+        .par_iter()
+        .flat_map_iter(|&r| s.iter().map(move |&sv| dfa.f_c(r, sv, alpha)))
+        .collect();
+    let dfc = gradient_axis0(&fc, n0, n1, h_rs);
+    let d2fc = gradient_axis0(&dfc, n0, n1, h_rs);
+    // F_c(∞) per s column.
+    let fc_inf: Vec<f64> = s.iter().map(|&sv| dfa.f_c(RS_INF, sv, alpha)).collect();
+    // F_xc where needed.
+    let needs_fxc = matches!(condition, Condition::LiebOxford | Condition::LiebOxfordExt);
+    let fxc: Option<Vec<f64>> = needs_fxc.then(|| {
+        rs.par_iter()
+            .flat_map_iter(|&r| {
+                s.iter()
+                    .map(move |&sv| dfa.f_xc(r, sv, alpha).unwrap_or(f64::NAN))
+            })
+            .collect()
+    });
+    (0..n0 * n1)
+        .into_par_iter()
+        .map(|k| {
+            let i = k / n1;
+            let j = k % n1;
+            point_pass(
+                condition,
+                rs[i],
+                fc[k],
+                dfc[k],
+                d2fc[k],
+                fc_inf[j],
+                fxc.as_ref().map(|v| v[k]),
+                tol,
+            )
+        })
+        .collect()
+}
+
+/// The pointwise local-condition check, given grid-derived derivatives.
+#[allow(clippy::too_many_arguments)]
+fn point_pass(
+    condition: Condition,
+    rs: f64,
+    fc: f64,
+    dfc: f64,
+    d2fc: f64,
+    fc_inf: f64,
+    fxc: Option<f64>,
+    tol: f64,
+) -> bool {
+    match condition {
+        Condition::EcNonPositivity => fc >= -tol,
+        Condition::EcScaling => dfc >= -tol,
+        Condition::UcMonotonicity => d2fc >= -2.0 / rs * dfc - tol,
+        Condition::TcUpperBound => dfc <= (fc_inf - fc) / rs + tol,
+        Condition::ConjTcUpperBound => dfc <= fc / rs + tol,
+        Condition::LiebOxford => fxc.is_some_and(|f| f + rs * dfc <= C_LO + tol),
+        Condition::LiebOxfordExt => fxc.is_some_and(|f| f <= C_LO + tol),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GridConfig {
+        GridConfig {
+            n_rs: 120,
+            n_s: 120,
+            n_alpha: 5,
+            tol: 1e-9,
+        }
+    }
+
+    #[test]
+    fn inapplicable_is_none() {
+        assert!(pb_check(Dfa::Lyp, Condition::LiebOxford, &cfg()).is_none());
+        assert!(pb_check(Dfa::VwnRpa, Condition::LiebOxfordExt, &cfg()).is_none());
+    }
+
+    #[test]
+    fn vwn_satisfies_all_applicable() {
+        for cond in Condition::all() {
+            if let Some(r) = pb_check(Dfa::VwnRpa, cond, &cfg()) {
+                assert!(r.satisfied(), "{cond} should pass for VWN RPA");
+            }
+        }
+    }
+
+    #[test]
+    fn lyp_fails_all_applicable() {
+        // Table II row LYP: PB finds counterexamples for every applicable
+        // condition.
+        for cond in Condition::all() {
+            if let Some(r) = pb_check(Dfa::Lyp, cond, &cfg()) {
+                assert!(!r.satisfied(), "{cond} should fail for LYP");
+                assert!(r.n_violations() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lyp_ec1_violation_region_matches_paper() {
+        // Fig. 2a/2d: violations at s ≳ 1.66, across rs.
+        let r = pb_check(Dfa::Lyp, Condition::EcNonPositivity, &cfg()).unwrap();
+        let ((_, _), (s_min, s_max)) = r.violation_bbox().unwrap();
+        assert!(
+            (1.3..2.2).contains(&s_min),
+            "violations should start near s≈1.7, got {s_min}"
+        );
+        assert!((s_max - S_MAX).abs() < 0.1, "violations reach the s edge");
+    }
+
+    #[test]
+    fn pbe_ec1_and_ec5_pass() {
+        let r = pb_check(Dfa::Pbe, Condition::EcNonPositivity, &cfg()).unwrap();
+        assert!(r.satisfied());
+        let r = pb_check(Dfa::Pbe, Condition::LiebOxfordExt, &cfg()).unwrap();
+        assert!(r.satisfied());
+    }
+
+    #[test]
+    fn pbe_ec7_fails_in_upper_left() {
+        let r = pb_check(Dfa::Pbe, Condition::ConjTcUpperBound, &cfg()).unwrap();
+        assert!(!r.satisfied());
+        let ((rs_min, _), (_, s_max)) = r.violation_bbox().unwrap();
+        assert!(rs_min < 1.0, "violations reach small rs");
+        assert!(s_max > 3.0, "violations reach large s");
+        // And the small-s / large-rs corner passes (Fig. 1c).
+        assert!(r.pass_at(r.n_rs() - 1, 3));
+    }
+
+    #[test]
+    fn scan_passes_ec1_on_grid() {
+        // PB (testing) finds no SCAN violations even though the verifier
+        // times out — the "not inconsistent" cells of Table II.
+        let small = GridConfig {
+            n_rs: 60,
+            n_s: 60,
+            n_alpha: 5,
+            tol: 1e-9,
+        };
+        let r = pb_check(Dfa::Scan, Condition::EcNonPositivity, &small).unwrap();
+        assert!(r.satisfied());
+    }
+
+    #[test]
+    fn lda_grid_is_one_dimensional() {
+        let r = pb_check(Dfa::VwnRpa, Condition::EcScaling, &cfg()).unwrap();
+        assert_eq!(r.n_s(), 1);
+        assert_eq!(r.pass.len(), r.n_rs());
+    }
+
+    #[test]
+    fn violation_bbox_none_when_clean() {
+        let r = pb_check(Dfa::Pbe, Condition::EcNonPositivity, &cfg()).unwrap();
+        assert!(r.violation_bbox().is_none());
+        assert_eq!(r.violation_fraction(), 0.0);
+    }
+}

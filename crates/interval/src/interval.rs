@@ -1,0 +1,735 @@
+//! The core [`Interval`] type and its ring operations.
+
+use crate::round::{next, prev};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` of extended reals, or the empty set.
+///
+/// Invariants:
+/// * non-empty intervals satisfy `lo <= hi` and neither bound is NaN;
+/// * the empty interval is canonically `[+inf, -inf]`;
+/// * bounds may be infinite (`[-inf, +inf]` is [`Interval::ENTIRE`]).
+///
+/// All arithmetic is *outward rounded*: the result interval contains the exact
+/// real-arithmetic image of the operands.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{:e}, {:e}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Interval {
+    /// The empty interval.
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+
+    /// The whole extended real line `[-inf, +inf]`.
+    pub const ENTIRE: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// `[1, 1]`.
+    pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
+
+    /// Construct `[lo, hi]`. Panics on NaN bounds or `lo > hi`.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(!lo.is_nan() && !hi.is_nan(), "NaN interval bound");
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Construct `[lo, hi]`, returning [`Interval::EMPTY`] when `lo > hi` or a
+    /// bound is NaN, instead of panicking.
+    #[inline]
+    pub fn checked(lo: f64, hi: f64) -> Interval {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The point interval `[x, x]`. Panics if `x` is NaN.
+    #[inline]
+    pub fn point(x: f64) -> Interval {
+        assert!(!x.is_nan(), "NaN point interval");
+        Interval { lo: x, hi: x }
+    }
+
+    /// An interval containing `x` widened by one ULP on each side; used to
+    /// represent decimal constants whose exact value may not be an `f64`.
+    #[inline]
+    pub fn widened_point(x: f64) -> Interval {
+        Interval {
+            lo: prev(x),
+            hi: next(x),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when both bounds are finite.
+    #[inline]
+    pub fn is_bounded(&self) -> bool {
+        !self.is_empty() && self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Width `hi - lo` (outward rounded up); 0 for empty, may be `inf`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            next(self.hi - self.lo).max(0.0)
+        }
+    }
+
+    /// A finite midpoint; for half-infinite intervals returns a large finite
+    /// proxy so that bisection still makes progress.
+    pub fn midpoint(&self) -> f64 {
+        debug_assert!(!self.is_empty());
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (true, true) => {
+                let m = 0.5 * (self.lo + self.hi);
+                if m.is_finite() {
+                    m
+                } else {
+                    // Overflow: average of huge bounds.
+                    0.5 * self.lo + 0.5 * self.hi
+                }
+            }
+            (true, false) => (self.lo.abs().max(1.0)) * 2.0_f64.min(f64::MAX),
+            (false, true) => -(self.hi.abs().max(1.0)) * 2.0,
+            (false, false) => 0.0,
+        }
+    }
+
+    /// Magnitude: `max(|lo|, |hi|)`.
+    #[inline]
+    pub fn mag(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Mignitude: the smallest absolute value attained in the interval.
+    #[inline]
+    pub fn mig(&self) -> f64 {
+        if self.contains(0.0) {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        !self.is_empty() && self.lo <= x && x <= self.hi
+    }
+
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (!self.is_empty() && self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::checked(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Convex hull of the union.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            *other
+        } else if other.is_empty() {
+            *self
+        } else {
+            Interval {
+                lo: self.lo.min(other.lo),
+                hi: self.hi.max(other.hi),
+            }
+        }
+    }
+
+    /// Split at the midpoint into two halves (for branch-and-prune).
+    pub fn bisect(&self) -> (Interval, Interval) {
+        let m = self.midpoint();
+        (
+            Interval::checked(self.lo, m),
+            Interval::checked(m, self.hi),
+        )
+    }
+
+    /// True when every element is `<= x`.
+    #[inline]
+    pub fn certainly_le(&self, x: f64) -> bool {
+        !self.is_empty() && self.hi <= x
+    }
+
+    /// True when every element is `>= x`.
+    #[inline]
+    pub fn certainly_ge(&self, x: f64) -> bool {
+        !self.is_empty() && self.lo >= x
+    }
+
+    /// True when every element is `< x`.
+    #[inline]
+    pub fn certainly_lt(&self, x: f64) -> bool {
+        !self.is_empty() && self.hi < x
+    }
+
+    /// True when every element is `> x`.
+    #[inline]
+    pub fn certainly_gt(&self, x: f64) -> bool {
+        !self.is_empty() && self.lo > x
+    }
+
+    /// Elementwise negation.
+    #[inline]
+    pub fn neg(&self) -> Interval {
+        if self.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval {
+                lo: -self.hi,
+                hi: -self.lo,
+            }
+        }
+    }
+
+    /// Outward-rounded addition.
+    pub fn add(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: sum_lo(self.lo, rhs.lo),
+            hi: sum_hi(self.hi, rhs.hi),
+        }
+    }
+
+    /// Outward-rounded subtraction.
+    pub fn sub(&self, rhs: &Interval) -> Interval {
+        self.add(&rhs.neg())
+    }
+
+    /// Outward-rounded multiplication (with the `0 * inf = 0` endpoint
+    /// convention, which is the correct image convention for closed sets of
+    /// reals).
+    pub fn mul(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::EMPTY;
+        }
+        let cands = [
+            prod(self.lo, rhs.lo),
+            prod(self.lo, rhs.hi),
+            prod(self.hi, rhs.lo),
+            prod(self.hi, rhs.hi),
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval {
+            lo: prev(lo),
+            hi: next(hi),
+        }
+    }
+
+    /// Outward-rounded division. When the divisor contains zero in its
+    /// interior the true preimage is a union of two rays; this returns the
+    /// hull (possibly [`Interval::ENTIRE`]). Use [`Interval::div_parts`] when
+    /// the two branches must be kept separate (backward contraction).
+    pub fn div(&self, rhs: &Interval) -> Interval {
+        match self.div_parts(rhs) {
+            (None, None) => Interval::EMPTY,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.hull(&b),
+        }
+    }
+
+    /// Extended division returning up to two disjoint pieces.
+    pub fn div_parts(&self, rhs: &Interval) -> (Option<Interval>, Option<Interval>) {
+        if self.is_empty() || rhs.is_empty() {
+            return (None, None);
+        }
+        // Divisor does not straddle zero: single piece.
+        if rhs.lo > 0.0 || rhs.hi < 0.0 {
+            return (Some(div_simple(self, rhs)), None);
+        }
+        // rhs contains 0.
+        if rhs.lo == 0.0 && rhs.hi == 0.0 {
+            // Division by exactly zero: empty unless numerator contains 0, in
+            // which case 0/0 is undefined over the reals — conventionally the
+            // whole line for contractor purposes.
+            return if self.contains(0.0) {
+                (Some(Interval::ENTIRE), None)
+            } else {
+                (None, None)
+            };
+        }
+        if self.contains(0.0) {
+            return (Some(Interval::ENTIRE), None);
+        }
+        // Numerator strictly positive or strictly negative, divisor straddles 0:
+        // result is two rays.
+        let pos_part = Interval::checked(next(0.0_f64.max(rhs.lo)), rhs.hi); // (0, hi]
+        let neg_part = Interval::checked(rhs.lo, prev(0.0_f64.min(rhs.hi))); // [lo, 0)
+        let mut first = None;
+        let mut second = None;
+        if !neg_part.is_empty() && neg_part.lo < 0.0 {
+            let piece = div_simple(self, &Interval::new(rhs.lo, prev(0.0)));
+            first = Some(piece);
+        }
+        if !pos_part.is_empty() && pos_part.hi > 0.0 {
+            let piece = div_simple(self, &Interval::new(next(0.0), rhs.hi));
+            if first.is_none() {
+                first = Some(piece);
+            } else {
+                second = Some(piece);
+            }
+        }
+        // Extend the rays to include the infinite limit.
+        let fix = |iv: Interval| -> Interval {
+            let mut iv = iv;
+            if self.lo > 0.0 {
+                // numerator > 0
+                if rhs.hi > 0.0 && iv.lo > 0.0 {
+                    iv.hi = f64::INFINITY;
+                }
+                if rhs.lo < 0.0 && iv.hi < 0.0 {
+                    iv.lo = f64::NEG_INFINITY;
+                }
+            } else {
+                if rhs.hi > 0.0 && iv.hi < 0.0 {
+                    iv.lo = f64::NEG_INFINITY;
+                }
+                if rhs.lo < 0.0 && iv.lo > 0.0 {
+                    iv.hi = f64::INFINITY;
+                }
+            }
+            iv
+        };
+        (first.map(fix), second.map(fix))
+    }
+
+    /// Multiplicative inverse `1 / self`.
+    pub fn recip(&self) -> Interval {
+        Interval::div(&Interval::ONE, self)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval {
+                lo: 0.0,
+                hi: self.mag(),
+            }
+        }
+    }
+
+    /// Elementwise minimum with another interval.
+    pub fn min_i(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.min(rhs.hi),
+        }
+    }
+
+    /// Elementwise maximum with another interval.
+    pub fn max_i(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
+    }
+
+    /// Integer power with the exact even/odd case analysis.
+    pub fn powi(&self, n: i32) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        match n {
+            0 => Interval::ONE,
+            1 => *self,
+            _ if n < 0 => self.powi(-n).recip(),
+            _ => {
+                let even = n % 2 == 0;
+                if even {
+                    let lo_p = pow_mag(self.lo.abs(), n);
+                    let hi_p = pow_mag(self.hi.abs(), n);
+                    if self.contains(0.0) {
+                        Interval {
+                            lo: 0.0,
+                            hi: next(lo_p.max(hi_p)),
+                        }
+                    } else {
+                        let a = lo_p.min(hi_p);
+                        let b = lo_p.max(hi_p);
+                        Interval {
+                            lo: prev(a),
+                            hi: next(b),
+                        }
+                    }
+                } else {
+                    let a = pow_signed(self.lo, n);
+                    let b = pow_signed(self.hi, n);
+                    Interval {
+                        lo: prev(a),
+                        hi: next(b),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn sum_lo(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        // (+inf) + (-inf): only possible for crossed infinite bounds; the
+        // sound lower bound is -inf.
+        f64::NEG_INFINITY
+    } else if s.is_infinite() {
+        s
+    } else {
+        prev(s)
+    }
+}
+
+#[inline]
+fn sum_hi(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        f64::INFINITY
+    } else if s.is_infinite() {
+        s
+    } else {
+        next(s)
+    }
+}
+
+/// Endpoint product with the `0 * inf = 0` convention.
+#[inline]
+fn prod(a: f64, b: f64) -> f64 {
+    let p = a * b;
+    if p.is_nan() {
+        0.0
+    } else {
+        p
+    }
+}
+
+#[inline]
+fn pow_mag(x: f64, n: i32) -> f64 {
+    x.powi(n)
+}
+
+#[inline]
+fn pow_signed(x: f64, n: i32) -> f64 {
+    x.powi(n)
+}
+
+/// Division when the divisor does not contain zero.
+fn div_simple(num: &Interval, den: &Interval) -> Interval {
+    debug_assert!(den.lo > 0.0 || den.hi < 0.0);
+    let cands = [
+        quot(num.lo, den.lo),
+        quot(num.lo, den.hi),
+        quot(num.hi, den.lo),
+        quot(num.hi, den.hi),
+    ];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for c in cands {
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    Interval {
+        lo: prev(lo),
+        hi: next(hi),
+    }
+}
+
+#[inline]
+fn quot(a: f64, b: f64) -> f64 {
+    let q = a / b;
+    if q.is_nan() {
+        // inf/inf: the candidate set convention treats it as 0 (the limit of
+        // finite/inf); sound because other candidates bound the range.
+        0.0
+    } else {
+        q
+    }
+}
+
+// Operator sugar so expression-heavy code reads naturally.
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::add(&self, &rhs)
+    }
+}
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::sub(&self, &rhs)
+    }
+}
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        Interval::mul(&self, &rhs)
+    }
+}
+impl Div for Interval {
+    type Output = Interval;
+    fn div(self, rhs: Interval) -> Interval {
+        Interval::div(&self, &rhs)
+    }
+}
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval::neg(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn construction_and_predicates() {
+        let a = iv(1.0, 2.0);
+        assert!(!a.is_empty());
+        assert!(a.contains(1.5));
+        assert!(!a.contains(2.5));
+        assert!(Interval::EMPTY.is_empty());
+        assert!(Interval::ENTIRE.contains(0.0));
+        assert!(Interval::ENTIRE.contains(f64::MAX));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_panic() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn checked_inverted_is_empty() {
+        assert!(Interval::checked(2.0, 1.0).is_empty());
+        assert!(Interval::checked(f64::NAN, 1.0).is_empty());
+    }
+
+    #[test]
+    fn add_contains_exact() {
+        let a = iv(0.1, 0.2);
+        let b = iv(0.3, 0.4);
+        let c = a + b;
+        assert!(c.lo <= 0.1 + 0.3 && 0.2 + 0.4 <= c.hi);
+        assert!(c.lo < c.hi); // strictly widened
+    }
+
+    #[test]
+    fn sub_anti_symmetric() {
+        let a = iv(1.0, 2.0);
+        let b = iv(0.5, 0.75);
+        let c = a - b;
+        assert!(c.contains(1.0 - 0.75));
+        assert!(c.contains(2.0 - 0.5));
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        assert!((iv(2.0, 3.0) * iv(4.0, 5.0)).contains(10.0));
+        assert!((iv(-3.0, -2.0) * iv(4.0, 5.0)).contains(-12.0));
+        assert!((iv(-2.0, 3.0) * iv(-5.0, 4.0)).contains(-15.0));
+        assert!((iv(-2.0, 3.0) * iv(-5.0, 4.0)).contains(12.0));
+    }
+
+    #[test]
+    fn mul_zero_times_unbounded() {
+        let z = Interval::ZERO;
+        let u = iv(0.0, f64::INFINITY);
+        let p = z * u;
+        assert!(p.contains(0.0));
+        assert!(p.hi.is_finite() || p.hi == 0.0 || p.hi.is_infinite());
+        // The canonical convention gives exactly [0,0] up to rounding slop.
+        assert!(p.lo <= 0.0 && p.hi >= 0.0);
+    }
+
+    #[test]
+    fn div_no_zero() {
+        let q = iv(1.0, 2.0) / iv(4.0, 8.0);
+        assert!(q.contains(0.125) && q.contains(0.5));
+        assert!(!q.contains(1.0));
+    }
+
+    #[test]
+    fn div_straddling_zero_gives_two_parts() {
+        let (a, b) = iv(1.0, 2.0).div_parts(&iv(-1.0, 1.0));
+        let a = a.unwrap();
+        let b = b.unwrap();
+        // One ray is (-inf, -1], the other [1, +inf).
+        assert!(a.lo == f64::NEG_INFINITY || b.hi == f64::INFINITY);
+        let hull = a.hull(&b);
+        assert!(hull.contains(100.0) && hull.contains(-100.0));
+    }
+
+    #[test]
+    fn div_by_zero_point() {
+        let (a, b) = iv(1.0, 2.0).div_parts(&Interval::ZERO);
+        assert!(a.is_none() && b.is_none());
+        let (a, _) = iv(-1.0, 2.0).div_parts(&Interval::ZERO);
+        assert_eq!(a.unwrap(), Interval::ENTIRE);
+    }
+
+    #[test]
+    fn recip_basic() {
+        let r = iv(2.0, 4.0).recip();
+        assert!(r.contains(0.25) && r.contains(0.5));
+    }
+
+    #[test]
+    fn abs_cases() {
+        assert_eq!(iv(1.0, 2.0).abs(), iv(1.0, 2.0));
+        assert_eq!(iv(-2.0, -1.0).abs(), iv(1.0, 2.0));
+        let a = iv(-2.0, 1.0).abs();
+        assert_eq!(a.lo, 0.0);
+        assert_eq!(a.hi, 2.0);
+    }
+
+    #[test]
+    fn powi_even_through_zero() {
+        let p = iv(-2.0, 3.0).powi(2);
+        assert_eq!(p.lo, 0.0);
+        assert!(p.contains(9.0));
+        assert!(p.contains(4.0));
+    }
+
+    #[test]
+    fn powi_odd_monotone() {
+        let p = iv(-2.0, 3.0).powi(3);
+        assert!(p.contains(-8.0) && p.contains(27.0));
+    }
+
+    #[test]
+    fn powi_negative_exponent() {
+        let p = iv(2.0, 4.0).powi(-2);
+        assert!(p.contains(1.0 / 16.0) && p.contains(0.25));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = iv(0.0, 2.0);
+        let b = iv(1.0, 3.0);
+        assert_eq!(a.intersect(&b), iv(1.0, 2.0));
+        assert_eq!(a.hull(&b), iv(0.0, 3.0));
+        assert!(a.intersect(&iv(5.0, 6.0)).is_empty());
+        assert_eq!(a.hull(&Interval::EMPTY), a);
+    }
+
+    #[test]
+    fn bisect_covers() {
+        let a = iv(0.0, 1.0);
+        let (l, r) = a.bisect();
+        assert_eq!(l.hi, r.lo);
+        assert!(l.hull(&r) == a);
+    }
+
+    #[test]
+    fn midpoint_half_infinite() {
+        let a = Interval::new(3.0, f64::INFINITY);
+        let m = a.midpoint();
+        assert!(m.is_finite() && m > 3.0);
+        let b = Interval::new(f64::NEG_INFINITY, -3.0);
+        let m = b.midpoint();
+        assert!(m.is_finite() && m < -3.0);
+    }
+
+    #[test]
+    fn certainty_predicates() {
+        let a = iv(1.0, 2.0);
+        assert!(a.certainly_le(2.0));
+        assert!(!a.certainly_lt(2.0));
+        assert!(a.certainly_ge(1.0));
+        assert!(a.certainly_gt(0.5));
+        assert!(!Interval::EMPTY.certainly_le(10.0));
+    }
+
+    #[test]
+    fn mig_mag() {
+        assert_eq!(iv(-3.0, 2.0).mag(), 3.0);
+        assert_eq!(iv(-3.0, 2.0).mig(), 0.0);
+        assert_eq!(iv(2.0, 5.0).mig(), 2.0);
+        assert_eq!(iv(-5.0, -2.0).mig(), 2.0);
+    }
+
+    #[test]
+    fn min_max_elementwise() {
+        let a = iv(0.0, 3.0);
+        let b = iv(1.0, 2.0);
+        assert_eq!(a.min_i(&b), iv(0.0, 2.0));
+        assert_eq!(a.max_i(&b), iv(1.0, 3.0));
+    }
+
+    #[test]
+    fn widened_point_strictly_contains() {
+        let w = Interval::widened_point(0.1);
+        assert!(w.lo < 0.1 && 0.1 < w.hi);
+    }
+}

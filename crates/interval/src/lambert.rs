@@ -1,0 +1,206 @@
+//! Certified enclosure of the Lambert W function (principal branch) on
+//! non-negative arguments.
+//!
+//! The AM05 exchange functional evaluates `W(s^{3/2} / √24)` with `s >= 0`,
+//! so only `W0` on `[0, ∞)` is needed. `W0` is strictly increasing there,
+//! which makes a certified enclosure straightforward: an approximation `w` of
+//! `W0(x)` is correct to within a bracket `[w_lo, w_hi]` exactly when
+//! `w_lo e^{w_lo} <= x <= w_hi e^{w_hi}`, and both products can be bounded
+//! rigorously with interval arithmetic. The bracket is expanded ULP by ULP
+//! until the defining inequality is *proved*, so the enclosure does not trust
+//! the floating-point iteration.
+
+use crate::interval::Interval;
+use crate::round::{next_n, prev_n};
+
+/// Approximate `W0(x)` for `x >= 0` by Halley's method.
+///
+/// Returns NaN for negative or NaN input (principal-branch arguments below
+/// `-1/e` are outside this crate's scope).
+pub fn lambert_w0_f64(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    // Initial guess: series near 0, a log-based bridge in the middle, and the
+    // asymptotic log form for large x (where ln ln x is well defined).
+    let mut w = if x < 0.5 {
+        // W(x) ≈ x - x^2 + 3/2 x^3 for small x.
+        x * (1.0 - x * (1.0 - 1.5 * x))
+    } else if x < 10.0 {
+        let l = (1.0 + x).ln();
+        l * (1.0 - (1.0 + l).ln() / (2.0 + l))
+    } else {
+        let l1 = x.ln();
+        let l2 = l1.ln();
+        l1 - l2 + l2 / l1
+    };
+    // Halley iteration: w <- w - f/(f' - f f''/(2 f')), f(w) = w e^w - x.
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f == 0.0 {
+            break;
+        }
+        let denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        let step = f / denom;
+        let w_next = w - step;
+        if !w_next.is_finite() {
+            break;
+        }
+        if (w_next - w).abs() <= 2.0 * f64::EPSILON * w_next.abs().max(1e-300) {
+            w = w_next;
+            break;
+        }
+        w = w_next;
+    }
+    w
+}
+
+/// Check (rigorously) that `w e^w <= x`.
+fn we_w_certainly_le(w: f64, x: f64) -> bool {
+    if w < 0.0 {
+        // For x >= 0 any negative w is a valid lower bound of W0(x).
+        return true;
+    }
+    let p = Interval::point(w);
+    let val = p.mul(&p.exp());
+    val.hi <= x
+}
+
+/// Check (rigorously) that `w e^w >= x`.
+fn we_w_certainly_ge(w: f64, x: f64) -> bool {
+    if w == f64::INFINITY {
+        return true;
+    }
+    let p = Interval::point(w);
+    let val = p.mul(&p.exp());
+    val.lo >= x
+}
+
+/// A certified bracket of `W0(x)` for a single `x >= 0`.
+fn certified_w0(x: f64) -> (f64, f64) {
+    if x == 0.0 {
+        return (0.0, 0.0);
+    }
+    if x == f64::INFINITY {
+        return (f64::INFINITY, f64::INFINITY);
+    }
+    let w = lambert_w0_f64(x);
+    let mut lo = prev_n(w, 2);
+    let mut hi = next_n(w, 2);
+    let mut ulps = 2u32;
+    while !we_w_certainly_le(lo, x) {
+        ulps = ulps.saturating_mul(2).min(1 << 20);
+        lo = prev_n(lo, ulps);
+        if ulps >= 1 << 20 {
+            lo = 0.0_f64.min(lo - lo.abs() * 1e-9 - 1e-300);
+            break;
+        }
+    }
+    let mut ulps = 2u32;
+    while !we_w_certainly_ge(hi, x) {
+        ulps = ulps.saturating_mul(2).min(1 << 20);
+        hi = next_n(hi, ulps);
+        if ulps >= 1 << 20 {
+            hi += hi.abs() * 1e-9 + 1e-300;
+            break;
+        }
+    }
+    (lo.max(0.0).min(w), hi)
+}
+
+impl Interval {
+    /// Certified enclosure of the principal Lambert W on the non-negative
+    /// part of the interval. Negative parts are discarded (natural-domain
+    /// semantics, consistent with [`Interval::ln`]).
+    pub fn lambert_w0(&self) -> Interval {
+        if self.is_empty() || self.hi < 0.0 {
+            return Interval::EMPTY;
+        }
+        let dom = self.intersect(&Interval::new(0.0, f64::INFINITY));
+        let (lo, _) = certified_w0(dom.lo);
+        let (_, hi) = certified_w0(dom.hi);
+        Interval::checked(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_known_values() {
+        // W(0) = 0, W(e) = 1, W(1) = Ω ≈ 0.5671432904097838.
+        assert_eq!(lambert_w0_f64(0.0), 0.0);
+        assert!((lambert_w0_f64(std::f64::consts::E) - 1.0).abs() < 1e-14);
+        assert!((lambert_w0_f64(1.0) - 0.567_143_290_409_783_8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn scalar_defining_equation() {
+        for &x in &[1e-8, 1e-3, 0.1, 0.5, 1.0, 2.0, 10.0, 1e3, 1e8, 1e150] {
+            let w = lambert_w0_f64(x);
+            let resid = (w * w.exp() - x).abs() / x;
+            assert!(resid < 1e-12, "x={x}, w={w}, resid={resid}");
+        }
+    }
+
+    #[test]
+    fn scalar_negative_is_nan() {
+        assert!(lambert_w0_f64(-0.1).is_nan());
+    }
+
+    #[test]
+    fn enclosure_contains_truth() {
+        for &x in &[0.0, 1e-10, 0.25, 1.0, 2.282, 10.0, 1e5] {
+            let enc = Interval::point(x).lambert_w0();
+            let w = lambert_w0_f64(x);
+            assert!(
+                enc.lo <= w && w <= enc.hi,
+                "x={x}: {w} not in {enc:?}"
+            );
+            // And the bracket is certified: endpoints straddle x under w e^w.
+            if x > 0.0 {
+                assert!(enc.lo * enc.lo.exp() <= x * (1.0 + 1e-12));
+                assert!(enc.hi * enc.hi.exp() >= x * (1.0 - 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn enclosure_monotone_interval() {
+        let e = Interval::new(1.0, std::f64::consts::E).lambert_w0();
+        assert!(e.contains(0.567_143_290_409_783_8));
+        assert!(e.contains(1.0));
+        assert!(e.lo > 0.5 && e.hi < 1.01);
+    }
+
+    #[test]
+    fn enclosure_negative_clipped() {
+        assert!(Interval::new(-2.0, -1.0).lambert_w0().is_empty());
+        let e = Interval::new(-1.0, 1.0).lambert_w0();
+        assert_eq!(e.lo, 0.0);
+        assert!(e.contains(0.567_143_290_409_783_8));
+    }
+
+    #[test]
+    fn enclosure_unbounded() {
+        let e = Interval::new(1.0, f64::INFINITY).lambert_w0();
+        assert_eq!(e.hi, f64::INFINITY);
+        assert!(e.lo > 0.5);
+    }
+
+    #[test]
+    fn enclosure_tightness() {
+        // The certified bracket should be within a few ULPs for ordinary x.
+        let x = 2.282;
+        let e = Interval::point(x).lambert_w0();
+        assert!(e.width() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Directed-rounding helpers.
+//!
+//! IEEE-754 arithmetic in Rust rounds to nearest-even; interval arithmetic
+//! needs outward rounding. Rather than toggling the FPU rounding mode (which
+//! is not portable and interacts badly with the optimizer), we compute in
+//! round-to-nearest and then step the result outward by one ULP. That yields
+//! slightly wider intervals than true directed rounding, but containment — the
+//! only property soundness needs — is preserved.
+
+/// Number of ULPs by which transcendental results from the platform libm are
+/// widened. glibc documents worst-case errors below 2 ULP for the functions we
+/// use (`exp`, `ln`, `atan`, `sin`, `cos`, `tanh`, `powf`, `cbrt`); 4 leaves a
+/// generous margin for other libms.
+pub const LIBM_SLOP_ULPS: u32 = 4;
+
+/// The largest float strictly less than `x` (identity on infinities of the
+/// matching sign, NaN-propagating).
+#[inline]
+pub fn prev(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        x
+    } else {
+        x.next_down()
+    }
+}
+
+/// The smallest float strictly greater than `x`.
+#[inline]
+pub fn next(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        x
+    } else {
+        x.next_up()
+    }
+}
+
+/// Step `x` down by `n` ULPs.
+#[inline]
+pub fn prev_n(mut x: f64, n: u32) -> f64 {
+    for _ in 0..n {
+        x = prev(x);
+    }
+    x
+}
+
+/// Step `x` up by `n` ULPs.
+#[inline]
+pub fn next_n(mut x: f64, n: u32) -> f64 {
+    for _ in 0..n {
+        x = next(x);
+    }
+    x
+}
+
+/// Lower bound for a libm-computed value: step down by [`LIBM_SLOP_ULPS`].
+#[inline]
+pub fn libm_lo(x: f64) -> f64 {
+    prev_n(x, LIBM_SLOP_ULPS)
+}
+
+/// Upper bound for a libm-computed value: step up by [`LIBM_SLOP_ULPS`].
+#[inline]
+pub fn libm_hi(x: f64) -> f64 {
+    next_n(x, LIBM_SLOP_ULPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prev_next_are_adjacent() {
+        let x = 1.0_f64;
+        assert!(prev(x) < x);
+        assert!(next(x) > x);
+        assert_eq!(next(prev(x)), x);
+        assert_eq!(prev(next(x)), x);
+    }
+
+    #[test]
+    fn prev_next_at_zero() {
+        assert!(prev(0.0) < 0.0);
+        assert!(next(0.0) > 0.0);
+        assert_eq!(next(prev(0.0)), 0.0);
+    }
+
+    #[test]
+    fn infinities_are_fixed_points() {
+        assert_eq!(next(f64::INFINITY), f64::INFINITY);
+        assert_eq!(prev(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        // But stepping *inward* from infinity works.
+        assert!(prev(f64::INFINITY).is_finite());
+        assert!(next(f64::NEG_INFINITY).is_finite());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(prev(f64::NAN).is_nan());
+        assert!(next(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn n_step_monotone() {
+        let x = 2.5_f64;
+        assert!(prev_n(x, 3) < prev_n(x, 2));
+        assert!(next_n(x, 3) > next_n(x, 2));
+        assert_eq!(prev_n(x, 0), x);
+        assert_eq!(next_n(x, 0), x);
+    }
+
+    #[test]
+    fn libm_slop_brackets() {
+        let x = std::f64::consts::E;
+        assert!(libm_lo(x) < x && x < libm_hi(x));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests of the interval kernel: containment (the fundamental
+//! theorem) per operation, algebraic relations, and edge-direction checks.
+
+use proptest::prelude::*;
+use xcv_interval::{lambert_w0_f64, Interval};
+
+/// Strategy: an interval with finite bounds in a moderate range plus the
+/// point inside it (as a fraction).
+fn iv_and_point() -> impl Strategy<Value = (Interval, f64)> {
+    (-50.0f64..50.0, 0.0f64..20.0, 0.0f64..1.0).prop_map(|(lo, w, frac)| {
+        let hi = lo + w;
+        (Interval::new(lo, hi), lo + frac * w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_contains((a, x) in iv_and_point(), (b, y) in iv_and_point()) {
+        let r = a.add(&b);
+        prop_assert!(r.contains(x + y));
+    }
+
+    #[test]
+    fn sub_contains((a, x) in iv_and_point(), (b, y) in iv_and_point()) {
+        prop_assert!(a.sub(&b).contains(x - y));
+    }
+
+    #[test]
+    fn mul_contains((a, x) in iv_and_point(), (b, y) in iv_and_point()) {
+        prop_assert!(a.mul(&b).contains(x * y));
+    }
+
+    #[test]
+    fn div_contains((a, x) in iv_and_point(), (b, y) in iv_and_point()) {
+        if y != 0.0 {
+            let q = x / y;
+            if q.is_finite() {
+                prop_assert!(a.div(&b).contains(q), "{a:?}/{b:?} ∌ {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn neg_abs_contains((a, x) in iv_and_point()) {
+        prop_assert!(a.neg().contains(-x));
+        prop_assert!(a.abs().contains(x.abs()));
+    }
+
+    #[test]
+    fn powi_contains((a, x) in iv_and_point(), n in 1i32..6) {
+        let p = x.powi(n);
+        if p.is_finite() {
+            prop_assert!(a.powi(n).contains(p));
+        }
+    }
+
+    #[test]
+    fn exp_ln_contains((a, x) in iv_and_point()) {
+        let e = x.exp();
+        if e.is_finite() {
+            prop_assert!(a.exp().contains(e));
+        }
+        if x > 0.0 {
+            prop_assert!(a.ln().contains(x.ln()));
+        }
+    }
+
+    #[test]
+    fn sqrt_cbrt_contains((a, x) in iv_and_point()) {
+        if x >= 0.0 {
+            prop_assert!(a.sqrt().contains(x.sqrt()));
+        }
+        prop_assert!(a.cbrt().contains(x.cbrt()));
+    }
+
+    #[test]
+    fn atan_tanh_contains((a, x) in iv_and_point()) {
+        prop_assert!(a.atan().contains(x.atan()));
+        prop_assert!(a.tanh().contains(x.tanh()));
+    }
+
+    #[test]
+    fn sin_cos_contains((a, x) in iv_and_point()) {
+        prop_assert!(a.sin().contains(x.sin()));
+        prop_assert!(a.cos().contains(x.cos()));
+    }
+
+    #[test]
+    fn lambert_contains((a, x) in iv_and_point()) {
+        if x >= 0.0 {
+            let w = lambert_w0_f64(x);
+            prop_assert!(a.lambert_w0().contains(w), "{a:?} W ∌ {w}");
+        }
+    }
+
+    #[test]
+    fn powf_contains((a, x) in iv_and_point(), e in -3.0f64..3.0) {
+        if x > 0.0 {
+            let p = x.powf(e);
+            if p.is_finite() {
+                let ei = Interval::point(e);
+                prop_assert!(a.powf(&ei).contains(p), "{a:?}^{e} ∌ {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn nth_root_inverts_powi((a, x) in iv_and_point(), n in 2i32..5) {
+        // For x in a, x is in nth_root(a.powi(n)) when signs permit.
+        let p = a.powi(n);
+        let r = p.nth_root(n);
+        if n % 2 == 1 || x >= 0.0 {
+            prop_assert!(r.contains(x) || r.contains(-x), "{r:?} ∌ ±{x}");
+        }
+    }
+
+    #[test]
+    fn intersect_hull_laws((a, _x) in iv_and_point(), (b, _y) in iv_and_point()) {
+        let i = a.intersect(&b);
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a) && h.contains_interval(&b));
+        prop_assert!(a.contains_interval(&i) && b.contains_interval(&i));
+    }
+
+    #[test]
+    fn bisect_partitions((a, x) in iv_and_point()) {
+        if a.width() > 0.0 {
+            let (l, r) = a.bisect();
+            prop_assert!(l.contains(x) || r.contains(x));
+            prop_assert!(l.hull(&r) == a);
+        }
+    }
+
+    #[test]
+    fn width_nonneg_and_monotone((a, _x) in iv_and_point()) {
+        prop_assert!(a.width() >= 0.0);
+        let wider = a.hull(&Interval::new(a.lo - 1.0, a.lo));
+        prop_assert!(wider.width() >= a.width());
+    }
+
+    #[test]
+    fn mul_zero_annihilates_up_to_rounding((a, _x) in iv_and_point()) {
+        let z = a.mul(&Interval::ZERO);
+        prop_assert!(z.contains(0.0));
+        prop_assert!(z.mag() < 1e-300 || z.mag() == 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Table II: classifying agreement between XCVerifier and the PB baseline.
+
+use xcv_core::{RegionMap, TableMark};
+use xcv_grid::GridResult;
+
+/// The paper's Table II cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Consistency {
+    /// Both methods find counterexamples, in overlapping regions (the
+    /// paper's ⊙).
+    Consistent,
+    /// Neither method finds a counterexample (the paper's ⊙*, "not
+    /// inconsistent": PB passes; the verifier verifies or partially
+    /// verifies).
+    NotInconsistent,
+    /// The verifier timed out everywhere — no comparison possible (?).
+    Unknown,
+    /// The verifier found a (re-checked, exact) counterexample at a point the
+    /// grid never sampled. Not a contradiction — the grid only claims its
+    /// sample points pass — but worth distinguishing: it is precisely the
+    /// failure mode of testing that formal verification exists to close.
+    VerifierOnly,
+    /// The two methods genuinely contradict (a grid violation inside a
+    /// verified region, or overlapping claims that cannot both hold). Does
+    /// not occur in the paper's evaluation; kept as a soundness alarm.
+    Inconsistent,
+    /// The condition does not apply to the DFA (−).
+    NotApplicable,
+}
+
+impl Consistency {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Consistency::Consistent => "C",
+            Consistency::NotInconsistent => "C*",
+            Consistency::Unknown => "?",
+            Consistency::VerifierOnly => "C+",
+            Consistency::Inconsistent => "X!",
+            Consistency::NotApplicable => "-",
+        }
+    }
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Classify one DFA-condition pair from the verifier's region map and the
+/// PB grid result.
+///
+/// "Consistent" for counterexample pairs additionally requires spatial
+/// agreement: some PB-violating grid point must fall inside (or near) a
+/// verifier counterexample region, and vice versa at the bounding-box level.
+pub fn classify(map: &RegionMap, grid: &GridResult) -> Consistency {
+    let mark = map.table_mark();
+    match mark {
+        TableMark::NotApplicable => Consistency::NotApplicable,
+        TableMark::Unknown => Consistency::Unknown,
+        TableMark::Counterexample => {
+            if grid.satisfied() {
+                // Verifier found a violation the grid missed — possible
+                // because the grid proves nothing between its points.
+                return Consistency::VerifierOnly;
+            }
+            if ce_regions_overlap(map, grid) {
+                Consistency::Consistent
+            } else {
+                Consistency::Inconsistent
+            }
+        }
+        TableMark::Verified | TableMark::PartiallyVerified => {
+            if grid.satisfied() {
+                Consistency::NotInconsistent
+            } else {
+                // PB reports violations where the verifier saw none. Check
+                // whether those violations fall only in undecided regions —
+                // then the methods are still not inconsistent.
+                if grid_violations_only_in_undecided(map, grid) {
+                    Consistency::NotInconsistent
+                } else {
+                    Consistency::Inconsistent
+                }
+            }
+        }
+    }
+}
+
+/// Probe points for a failing grid cell: for meta-GGA grids (where a cell
+/// fails when *any* α slice fails) every meshed α is probed.
+fn probe_points(map: &RegionMap, grid: &GridResult, i: usize, j: usize) -> Vec<Vec<f64>> {
+    match map.domain.ndim() {
+        1 => vec![vec![grid.rs[i]]],
+        2 => vec![vec![grid.rs[i], grid.s[j]]],
+        _ => {
+            let alphas: Vec<f64> = if grid.alphas.is_empty() {
+                vec![map.domain.dim(2).midpoint()]
+            } else {
+                grid.alphas.clone()
+            };
+            alphas
+                .into_iter()
+                .map(|a| vec![grid.rs[i], grid.s[j], a])
+                .collect()
+        }
+    }
+}
+
+/// Does some PB-violating grid point land in a verifier counterexample
+/// region (on any α slice for meta-GGA)?
+fn ce_regions_overlap(map: &RegionMap, grid: &GridResult) -> bool {
+    for i in 0..grid.n_rs() {
+        for j in 0..grid.n_s() {
+            if !grid.pass_at(i, j) {
+                for point in probe_points(map, grid, i, j) {
+                    if let Some(xcv_core::RegionStatus::Counterexample(_)) =
+                        map.status_at(&point)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Are all PB violations compatible with the verifier's map? A violation
+/// contradicts only when *every* probe for its cell lies in a verified
+/// region (the meta-GGA grid does not record which α slice failed, so a
+/// single non-verified probe keeps the methods compatible).
+fn grid_violations_only_in_undecided(map: &RegionMap, grid: &GridResult) -> bool {
+    for i in 0..grid.n_rs() {
+        for j in 0..grid.n_s() {
+            if !grid.pass_at(i, j) {
+                let all_verified = probe_points(map, grid, i, j).iter().all(|p| {
+                    matches!(
+                        map.status_at(p),
+                        Some(xcv_core::RegionStatus::Verified)
+                    )
+                });
+                if all_verified {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcv_core::{Region, RegionStatus};
+    use xcv_solver::BoxDomain;
+
+    fn map_with(status: RegionStatus) -> RegionMap {
+        let dom = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        RegionMap::new(
+            dom.clone(),
+            vec![Region {
+                domain: dom,
+                status,
+            }],
+        )
+    }
+
+    fn grid(pass: Vec<bool>, n: usize) -> GridResult {
+        let step = 1.0 / (n - 1) as f64;
+        GridResult {
+            dfa: xcv_functionals::Dfa::Pbe,
+            condition: xcv_conditions::Condition::EcNonPositivity,
+            rs: (0..n).map(|i| i as f64 * step).collect(),
+            s: (0..n).map(|i| i as f64 * step).collect(),
+            pass,
+            alphas: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn both_clean_is_not_inconsistent() {
+        let m = map_with(RegionStatus::Verified);
+        let g = grid(vec![true; 16], 4);
+        assert_eq!(classify(&m, &g), Consistency::NotInconsistent);
+    }
+
+    #[test]
+    fn both_find_ce_consistent() {
+        let m = map_with(RegionStatus::Counterexample(vec![0.5, 0.5]));
+        let g = grid(vec![false; 16], 4);
+        assert_eq!(classify(&m, &g), Consistency::Consistent);
+    }
+
+    #[test]
+    fn verifier_timeout_is_unknown() {
+        let m = map_with(RegionStatus::Timeout);
+        let g = grid(vec![true; 16], 4);
+        assert_eq!(classify(&m, &g), Consistency::Unknown);
+    }
+
+    #[test]
+    fn verifier_ce_grid_clean_is_verifier_only() {
+        let m = map_with(RegionStatus::Counterexample(vec![0.5, 0.5]));
+        let g = grid(vec![true; 16], 4);
+        assert_eq!(classify(&m, &g), Consistency::VerifierOnly);
+    }
+
+    #[test]
+    fn grid_violation_inside_verified_region_is_inconsistent() {
+        let m = map_with(RegionStatus::Verified);
+        let g = grid(vec![false; 16], 4);
+        assert_eq!(classify(&m, &g), Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn grid_violation_in_timeout_region_tolerated() {
+        // Half verified, half timeout; violations only in the timeout half.
+        let dom = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let m = RegionMap::new(
+            dom,
+            vec![
+                Region {
+                    domain: BoxDomain::from_bounds(&[(0.0, 0.5), (0.0, 1.0)]),
+                    status: RegionStatus::Verified,
+                },
+                Region {
+                    domain: BoxDomain::from_bounds(&[(0.5, 1.0), (0.0, 1.0)]),
+                    status: RegionStatus::Timeout,
+                },
+            ],
+        );
+        let n = 4;
+        // Violations only where rs > 0.5 (i >= 2).
+        let pass: Vec<bool> = (0..n * n).map(|k| (k / n) < 2).collect();
+        assert_eq!(classify(&m, &grid(pass, n)), Consistency::NotInconsistent);
+    }
+}

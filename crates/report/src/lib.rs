@@ -1,0 +1,11 @@
+//! Reporting: region-map rendering (the paper's Figures 1 and 2), Table I
+//! and Table II generation, and the PB-vs-verifier consistency
+//! classification.
+
+mod consistency;
+mod render;
+mod tables;
+
+pub use consistency::{classify, Consistency};
+pub use render::{ascii_grid_map, ascii_region_map, svg_region_map};
+pub use tables::{run_pair, run_table1, run_table2, PairResult, Table1, Table2};

@@ -1,0 +1,249 @@
+//! ASCII and SVG rendering of region maps (Figures 1 and 2 of the paper).
+//!
+//! Conventions follow the paper's figures: the horizontal axis is `s`
+//! (0 → S_MAX left to right), the vertical axis is `rs` (RS_MAX at the top,
+//! RS_MIN at the bottom). For LDA functionals (1-D domain) the map collapses
+//! to a single column.
+//!
+//! ASCII glyphs: `+` verified, `x` counterexample, `?` inconclusive,
+//! `T` timeout, `.` grid-pass, `#` grid-fail.
+
+use xcv_core::{RegionMap, RegionStatus};
+use xcv_grid::GridResult;
+
+/// Render a verifier region map as ASCII art (`width` × `height` character
+/// cells sampled at cell midpoints).
+pub fn ascii_region_map(map: &RegionMap, width: usize, height: usize) -> String {
+    let ndim = map.domain.ndim();
+    let rs_dim = map.domain.dim(0);
+    let mut out = String::with_capacity((width + 8) * (height + 2));
+    let rows = height;
+    for row in 0..rows {
+        // rs decreases downward in the paper's figures — top row = RS_MAX.
+        let frac_rs = 1.0 - (row as f64 + 0.5) / rows as f64;
+        let rs = rs_dim.lo + frac_rs * (rs_dim.hi - rs_dim.lo);
+        out.push_str(&format!("{rs:5.2} |"));
+        if ndim == 1 {
+            let status = map.status_at(&[rs]);
+            out.push(status.map_or(' ', RegionStatus::glyph));
+        } else {
+            let s_dim = map.domain.dim(1);
+            for col in 0..width {
+                let frac_s = (col as f64 + 0.5) / width as f64;
+                let s = s_dim.lo + frac_s * (s_dim.hi - s_dim.lo);
+                // Meta-GGA maps are rendered at the α mid-slice.
+                let point: Vec<f64> = match ndim {
+                    2 => vec![rs, s],
+                    _ => vec![rs, s, map.domain.dim(2).midpoint()],
+                };
+                out.push(map.status_at(&point).map_or(' ', RegionStatus::glyph));
+            }
+        }
+        out.push('\n');
+    }
+    if ndim >= 2 {
+        let s_dim = map.domain.dim(1);
+        out.push_str("      +");
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "       s: {:.2} .. {:.2}   (rows: rs, top = {:.2})\n",
+            s_dim.lo, s_dim.hi, rs_dim.hi
+        ));
+    } else {
+        out.push_str(&format!("       (rs column, top = {:.2})\n", rs_dim.hi));
+    }
+    out
+}
+
+/// Render a PB grid result as ASCII art (`.` pass, `#` fail), same
+/// orientation as [`ascii_region_map`].
+pub fn ascii_grid_map(grid: &GridResult, width: usize, height: usize) -> String {
+    let n_rs = grid.n_rs();
+    let n_s = grid.n_s();
+    let mut out = String::new();
+    for row in 0..height {
+        let frac_rs = 1.0 - (row as f64 + 0.5) / height as f64;
+        let i_rs = ((frac_rs * (n_rs - 1) as f64).round() as usize).min(n_rs - 1);
+        out.push_str(&format!("{:5.2} |", grid.rs[i_rs]));
+        if n_s == 1 {
+            out.push(if grid.pass_at(i_rs, 0) { '.' } else { '#' });
+        } else {
+            for col in 0..width {
+                let frac_s = (col as f64 + 0.5) / width as f64;
+                let i_s = ((frac_s * (n_s - 1) as f64).round() as usize).min(n_s - 1);
+                out.push(if grid.pass_at(i_rs, i_s) { '.' } else { '#' });
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(width.max(1)));
+    out.push('\n');
+    out
+}
+
+fn status_color(status: &RegionStatus) -> &'static str {
+    match status {
+        RegionStatus::Verified => "#4daf4a",          // green
+        RegionStatus::Counterexample(_) => "#e41a1c", // red
+        RegionStatus::Inconclusive => "#ffdd55",      // yellow
+        RegionStatus::Timeout => "#999999",           // gray
+    }
+}
+
+/// Render a verifier region map as an SVG document (2-D domains; meta-GGA
+/// maps use the α mid-slice by drawing each region's (rs, s) footprint).
+pub fn svg_region_map(map: &RegionMap, title: &str) -> String {
+    let w = 640.0;
+    let h = 480.0;
+    let rs_dim = map.domain.dim(0);
+    let (s_lo, s_hi) = if map.domain.ndim() >= 2 {
+        let d = map.domain.dim(1);
+        (d.lo, d.hi)
+    } else {
+        (0.0, 1.0)
+    };
+    let sx = |s: f64| (s - s_lo) / (s_hi - s_lo) * w;
+    // rs increases upward.
+    let sy = |rs: f64| h - (rs - rs_dim.lo) / (rs_dim.hi - rs_dim.lo) * h;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {w} {h2}\">\n",
+        w as u32,
+        (h as u32) + 40,
+        h2 = h + 40.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"8\" y=\"{}\" font-size=\"14\" font-family=\"sans-serif\">{}</text>\n",
+        h + 24.0,
+        xml_escape(title)
+    ));
+    for r in &map.regions {
+        let rs0 = r.domain.dim(0).lo.max(rs_dim.lo);
+        let rs1 = r.domain.dim(0).hi.min(rs_dim.hi);
+        let (s0, s1) = if map.domain.ndim() >= 2 {
+            (r.domain.dim(1).lo.max(s_lo), r.domain.dim(1).hi.min(s_hi))
+        } else {
+            (s_lo, s_hi)
+        };
+        let x = sx(s0);
+        let y = sy(rs1);
+        let rw = (sx(s1) - sx(s0)).max(0.5);
+        let rh = (sy(rs0) - sy(rs1)).max(0.5);
+        svg.push_str(&format!(
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{rw:.1}\" height=\"{rh:.1}\" \
+             fill=\"{}\" stroke=\"white\" stroke-width=\"0.3\"/>\n",
+            status_color(&r.status)
+        ));
+        if let RegionStatus::Counterexample(pt) = &r.status {
+            let (cx, cy) = if map.domain.ndim() >= 2 {
+                (sx(pt[1]), sy(pt[0]))
+            } else {
+                (w / 2.0, sy(pt[0]))
+            };
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"middle\">x</text>\n",
+                cx,
+                cy + 3.0
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcv_core::Region;
+    use xcv_solver::BoxDomain;
+
+    fn demo_map() -> RegionMap {
+        let dom = BoxDomain::from_bounds(&[(0.0, 4.0), (0.0, 4.0)]);
+        let mk = |b: [(f64, f64); 2], st: RegionStatus| Region {
+            domain: BoxDomain::from_bounds(&b),
+            status: st,
+        };
+        RegionMap::new(
+            dom,
+            vec![
+                mk([(0.0, 2.0), (0.0, 4.0)], RegionStatus::Verified),
+                mk(
+                    [(2.0, 4.0), (0.0, 2.0)],
+                    RegionStatus::Counterexample(vec![3.0, 1.0]),
+                ),
+                mk([(2.0, 4.0), (2.0, 4.0)], RegionStatus::Timeout),
+            ],
+        )
+    }
+
+    #[test]
+    fn ascii_map_has_expected_glyphs() {
+        let art = ascii_region_map(&demo_map(), 16, 8);
+        assert!(art.contains('+'), "{art}");
+        assert!(art.contains('x'), "{art}");
+        assert!(art.contains('T'), "{art}");
+        // Top-left of the art = high rs, low s = the counterexample quadrant.
+        let first_row = art.lines().next().unwrap();
+        assert!(first_row.contains('x'), "{art}");
+    }
+
+    #[test]
+    fn ascii_map_row_count() {
+        let art = ascii_region_map(&demo_map(), 10, 5);
+        // 5 data rows + axis + caption.
+        assert_eq!(art.lines().count(), 7);
+    }
+
+    #[test]
+    fn svg_well_formed_and_colored() {
+        let svg = svg_region_map(&demo_map(), "PBE <Ec non-positivity>");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("#4daf4a") && svg.contains("#e41a1c") && svg.contains("#999999"));
+        assert!(svg.contains("&lt;Ec non-positivity&gt;"));
+        assert_eq!(svg.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn grid_map_renders_fail_band() {
+        let cfg = xcv_grid::GridConfig {
+            n_rs: 60,
+            n_s: 60,
+            n_alpha: 3,
+            tol: 1e-9,
+        };
+        let g = xcv_grid::pb_check(
+            xcv_functionals::Dfa::Lyp,
+            xcv_conditions::Condition::EcNonPositivity,
+            &cfg,
+        )
+        .unwrap();
+        let art = ascii_grid_map(&g, 40, 16);
+        assert!(art.contains('#'), "LYP EC1 must show a failing band\n{art}");
+        assert!(art.contains('.'));
+        // Fails on the right side (large s): the last data column glyphs.
+        let first_row: &str = art.lines().next().unwrap();
+        assert!(first_row.trim_end().ends_with('#'), "{art}");
+    }
+
+    #[test]
+    fn lda_map_single_column() {
+        let dom = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        let map = RegionMap::new(
+            dom.clone(),
+            vec![Region {
+                domain: dom,
+                status: RegionStatus::Verified,
+            }],
+        );
+        let art = ascii_region_map(&map, 10, 4);
+        assert!(art.contains('+'));
+    }
+}

@@ -1,0 +1,244 @@
+//! Table I and Table II generation.
+
+use crate::consistency::{classify, Consistency};
+use xcv_conditions::Condition;
+use xcv_core::{Encoder, RegionMap, TableMark, Verifier};
+use xcv_functionals::Dfa;
+use xcv_grid::{pb_check, GridConfig, GridResult};
+
+/// Everything computed for one DFA-condition pair.
+pub struct PairResult {
+    pub dfa: Dfa,
+    pub condition: Condition,
+    pub map: Option<RegionMap>,
+    pub grid: Option<GridResult>,
+}
+
+impl PairResult {
+    pub fn mark(&self) -> TableMark {
+        self.map
+            .as_ref()
+            .map_or(TableMark::NotApplicable, RegionMap::table_mark)
+    }
+
+    pub fn consistency(&self) -> Consistency {
+        match (&self.map, &self.grid) {
+            (Some(m), Some(g)) => classify(m, g),
+            _ => Consistency::NotApplicable,
+        }
+    }
+}
+
+/// Run the verifier and the PB baseline for one pair.
+pub fn run_pair(
+    dfa: Dfa,
+    condition: Condition,
+    verifier: &Verifier,
+    grid_cfg: &GridConfig,
+) -> PairResult {
+    let map = Encoder::encode(dfa, condition).map(|p| verifier.verify(&p));
+    let grid = pb_check(dfa, condition, grid_cfg);
+    PairResult {
+        dfa,
+        condition,
+        map,
+        grid,
+    }
+}
+
+/// Table I: verification outcomes for all DFA-condition pairs.
+pub struct Table1 {
+    pub cells: Vec<(Dfa, Condition, TableMark)>,
+}
+
+/// Table II: consistency between the verifier and PB.
+pub struct Table2 {
+    pub cells: Vec<(Dfa, Condition, Consistency)>,
+}
+
+/// The paper's column order.
+fn columns() -> [Dfa; 5] {
+    [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa]
+}
+
+/// Run Table I (the verifier over all 35 cells; `−` where inapplicable).
+pub fn run_table1(verifier: &Verifier) -> Table1 {
+    let mut cells = Vec::new();
+    for cond in Condition::all() {
+        for dfa in columns() {
+            let mark = match Encoder::encode(dfa, cond) {
+                Some(p) => verifier.verify(&p).table_mark(),
+                None => TableMark::NotApplicable,
+            };
+            cells.push((dfa, cond, mark));
+        }
+    }
+    Table1 { cells }
+}
+
+/// Run Table II (verifier + PB on every cell).
+pub fn run_table2(verifier: &Verifier, grid_cfg: &GridConfig) -> Table2 {
+    let mut cells = Vec::new();
+    for cond in Condition::all() {
+        for dfa in columns() {
+            let pr = run_pair(dfa, cond, verifier, grid_cfg);
+            cells.push((dfa, cond, pr.consistency()));
+        }
+    }
+    Table2 { cells }
+}
+
+fn render_grid<T: std::fmt::Display>(
+    title: &str,
+    cells: &[(Dfa, Condition, T)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str("| Local condition | PBE | LYP | AM05 | SCAN | VWN RPA |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for cond in Condition::all() {
+        out.push_str(&format!("| {} ({}) ", cond.name(), cond.equation()));
+        for dfa in columns() {
+            let cell = cells
+                .iter()
+                .find(|(d, c, _)| *d == dfa && *c == cond)
+                .map(|(_, _, m)| format!("{m}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("| {cell} "));
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+impl Table1 {
+    /// Markdown in the layout of the paper's Table I.
+    pub fn render_markdown(&self) -> String {
+        render_grid(
+            "Table I: verifying local conditions for DFT exact conditions (OK = verified, OK* = partially verified, CE = counterexample, ? = timeout/inconclusive, - = not applicable)",
+            &self.cells,
+        )
+    }
+
+    pub fn mark(&self, dfa: Dfa, cond: Condition) -> Option<TableMark> {
+        self.cells
+            .iter()
+            .find(|(d, c, _)| *d == dfa && *c == cond)
+            .map(|(_, _, m)| *m)
+    }
+
+    /// Count cells by predicate (for summary lines like the paper's
+    /// "13 verified or refuted, 7 partial, 11 timeouts").
+    pub fn count(&self, pred: impl Fn(TableMark) -> bool) -> usize {
+        self.cells.iter().filter(|(_, _, m)| pred(*m)).count()
+    }
+}
+
+impl Table2 {
+    /// Markdown in the layout of the paper's Table II.
+    pub fn render_markdown(&self) -> String {
+        render_grid(
+            "Table II: comparison between XCVerifier and the PB approach (C = consistent, C* = not inconsistent, ? = verifier timeout, - = not applicable)",
+            &self.cells,
+        )
+    }
+
+    pub fn cell(&self, dfa: Dfa, cond: Condition) -> Option<Consistency> {
+        self.cells
+            .iter()
+            .find(|(d, c, _)| *d == dfa && *c == cond)
+            .map(|(_, _, m)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcv_core::VerifierConfig;
+    use xcv_solver::{DeltaSolver, SolveBudget};
+
+    fn fast_verifier() -> Verifier {
+        Verifier::new(VerifierConfig {
+            split_threshold: 1.25,
+            solver: DeltaSolver::new(1e-3, SolveBudget::nodes(4_000)),
+            parallel: true,
+            max_depth: 4,
+            pair_deadline_ms: None,
+        })
+    }
+
+    fn small_grid() -> GridConfig {
+        GridConfig {
+            n_rs: 60,
+            n_s: 60,
+            n_alpha: 3,
+            tol: 1e-9,
+        }
+    }
+
+    #[test]
+    fn run_pair_lyp_ec1() {
+        let pr = run_pair(
+            Dfa::Lyp,
+            Condition::EcNonPositivity,
+            &fast_verifier(),
+            &small_grid(),
+        );
+        assert_eq!(pr.mark(), TableMark::Counterexample);
+        assert_eq!(pr.consistency(), Consistency::Consistent);
+    }
+
+    #[test]
+    fn run_pair_inapplicable() {
+        let pr = run_pair(
+            Dfa::VwnRpa,
+            Condition::LiebOxford,
+            &fast_verifier(),
+            &small_grid(),
+        );
+        assert_eq!(pr.mark(), TableMark::NotApplicable);
+        assert_eq!(pr.consistency(), Consistency::NotApplicable);
+    }
+
+    #[test]
+    fn table1_markdown_shape() {
+        // Only check rendering mechanics here (full runs live in the repro
+        // binary): build a table with stub marks.
+        let t = Table1 {
+            cells: vec![(Dfa::Pbe, Condition::EcNonPositivity, TableMark::Verified)],
+        };
+        let md = t.render_markdown();
+        assert!(md.contains("| Local condition | PBE | LYP | AM05 | SCAN | VWN RPA |"));
+        assert!(md.lines().count() >= 10, "{md}");
+        assert!(md.contains("Ec non-positivity"));
+        assert!(md.contains("| OK "));
+    }
+
+    #[test]
+    fn table2_lookup() {
+        let t = Table2 {
+            cells: vec![(
+                Dfa::Lyp,
+                Condition::EcScaling,
+                Consistency::Consistent,
+            )],
+        };
+        assert_eq!(
+            t.cell(Dfa::Lyp, Condition::EcScaling),
+            Some(Consistency::Consistent)
+        );
+        assert_eq!(t.cell(Dfa::Pbe, Condition::EcScaling), None);
+    }
+
+    #[test]
+    fn count_helper() {
+        let t = Table1 {
+            cells: vec![
+                (Dfa::Pbe, Condition::EcNonPositivity, TableMark::Verified),
+                (Dfa::Lyp, Condition::EcNonPositivity, TableMark::Counterexample),
+            ],
+        };
+        assert_eq!(t.count(|m| m == TableMark::Verified), 1);
+        assert_eq!(t.count(|m| m != TableMark::NotApplicable), 2);
+    }
+}

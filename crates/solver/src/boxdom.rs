@@ -1,0 +1,192 @@
+//! Axis-aligned boxes (products of intervals) — the solver's search regions
+//! and the verifier's domains.
+
+use xcv_interval::Interval;
+
+/// A box: one interval per variable, indexed consistently with
+/// `xcv_expr::Kind::Var` indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoxDomain {
+    dims: Vec<Interval>,
+}
+
+impl BoxDomain {
+    pub fn new(dims: Vec<Interval>) -> Self {
+        BoxDomain { dims }
+    }
+
+    /// A box from `(lo, hi)` pairs.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Self {
+        BoxDomain {
+            dims: bounds
+                .iter()
+                .map(|&(lo, hi)| Interval::new(lo, hi))
+                .collect(),
+        }
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn dims(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    pub fn dim(&self, i: usize) -> Interval {
+        self.dims[i]
+    }
+
+    pub fn set_dim(&mut self, i: usize, v: Interval) {
+        self.dims[i] = v;
+    }
+
+    /// True when any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(|d| d.is_empty())
+    }
+
+    /// The widest dimension and its width.
+    pub fn widest_dim(&self) -> (usize, f64) {
+        let mut best = (0, 0.0);
+        for (i, d) in self.dims.iter().enumerate() {
+            let w = d.width();
+            if w > best.1 {
+                best = (i, w);
+            }
+        }
+        best
+    }
+
+    /// Maximum width over dimensions.
+    pub fn max_width(&self) -> f64 {
+        self.dims.iter().map(|d| d.width()).fold(0.0, f64::max)
+    }
+
+    /// The midpoint of every dimension.
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.dims.iter().map(|d| d.midpoint()).collect()
+    }
+
+    /// Does the box contain this point (componentwise)?
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        p.len() == self.dims.len() && self.dims.iter().zip(p).all(|(d, &x)| d.contains(x))
+    }
+
+    /// Bisect along the widest dimension.
+    pub fn bisect_widest(&self) -> (BoxDomain, BoxDomain) {
+        let (i, _) = self.widest_dim();
+        self.bisect_dim(i)
+    }
+
+    /// Bisect along dimension `i`.
+    pub fn bisect_dim(&self, i: usize) -> (BoxDomain, BoxDomain) {
+        let (l, r) = self.dims[i].bisect();
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.dims[i] = l;
+        right.dims[i] = r;
+        (left, right)
+    }
+
+    /// Split *every* dimension at its midpoint into `2^n` sub-boxes — the
+    /// `split(D)` operation of the paper's Algorithm 1.
+    pub fn split_all(&self) -> Vec<BoxDomain> {
+        let n = self.dims.len();
+        let halves: Vec<(Interval, Interval)> = self.dims.iter().map(|d| d.bisect()).collect();
+        let mut out = Vec::with_capacity(1 << n);
+        for mask in 0..(1u32 << n) {
+            let dims: Vec<Interval> = (0..n)
+                .map(|i| {
+                    if mask & (1 << i) == 0 {
+                        halves[i].0
+                    } else {
+                        halves[i].1
+                    }
+                })
+                .collect();
+            let b = BoxDomain::new(dims);
+            if !b.is_empty() {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Componentwise intersection.
+    pub fn intersect(&self, other: &BoxDomain) -> BoxDomain {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        BoxDomain {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for BoxDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widest_and_bisect() {
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 4.0)]);
+        assert_eq!(b.widest_dim().0, 1);
+        let (l, r) = b.bisect_widest();
+        assert_eq!(l.dim(0), b.dim(0));
+        assert!(l.dim(1).hi <= r.dim(1).lo + 1e-12);
+        assert!((l.dim(1).hi - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_all_covers() {
+        let b = BoxDomain::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]);
+        let parts = b.split_all();
+        assert_eq!(parts.len(), 4);
+        for p in &[(0.5, 0.5), (1.5, 0.5), (0.5, 1.5), (1.5, 1.5)] {
+            let pt = [p.0, p.1];
+            assert!(parts.iter().any(|q| q.contains_point(&pt)));
+        }
+    }
+
+    #[test]
+    fn contains_point_boundary() {
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        assert!(b.contains_point(&[0.0]));
+        assert!(b.contains_point(&[1.0]));
+        assert!(!b.contains_point(&[1.1]));
+        assert!(!b.contains_point(&[0.5, 0.5])); // wrong arity
+    }
+
+    #[test]
+    fn intersection() {
+        let a = BoxDomain::from_bounds(&[(0.0, 2.0)]);
+        let b = BoxDomain::from_bounds(&[(1.0, 3.0)]);
+        let c = a.intersect(&b);
+        assert_eq!(c.dim(0), xcv_interval::interval(1.0, 2.0));
+        let d = a.intersect(&BoxDomain::from_bounds(&[(5.0, 6.0)]));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn midpoint_inside() {
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0), (-2.0, 2.0)]);
+        assert!(b.contains_point(&b.midpoint()));
+    }
+}

@@ -1,0 +1,246 @@
+//! Constraint formulas: conjunctions of sign atoms over expressions.
+//!
+//! The local conditions of Section II of the paper are single inequalities
+//! `e(rs, s, …) ≥ 0` (after moving everything to one side), so a formula here
+//! is a conjunction of [`Atom`]s and negation is performed atom-wise by the
+//! encoder (¬(e ≥ 0) = e < 0).
+
+use xcv_expr::Expr;
+use xcv_interval::Interval;
+
+/// Sign relation of an atom's expression against zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rel {
+    /// `e <= 0`
+    Le,
+    /// `e < 0`
+    Lt,
+    /// `e >= 0`
+    Ge,
+    /// `e > 0`
+    Gt,
+}
+
+impl Rel {
+    /// The negated relation.
+    pub fn negate(self) -> Rel {
+        match self {
+            Rel::Le => Rel::Gt,
+            Rel::Lt => Rel::Ge,
+            Rel::Ge => Rel::Lt,
+            Rel::Gt => Rel::Le,
+        }
+    }
+
+    /// The set of allowed values (closure of the relation — sound for
+    /// pruning: a strict relation's solutions are inside the closed set).
+    pub fn allowed(self) -> Interval {
+        match self {
+            Rel::Le | Rel::Lt => Interval::new(f64::NEG_INFINITY, 0.0),
+            Rel::Ge | Rel::Gt => Interval::new(0.0, f64::INFINITY),
+        }
+    }
+
+    /// Exact satisfaction at a value.
+    pub fn holds(self, v: f64) -> bool {
+        match self {
+            Rel::Le => v <= 0.0,
+            Rel::Lt => v < 0.0,
+            Rel::Ge => v >= 0.0,
+            Rel::Gt => v > 0.0,
+        }
+    }
+
+    /// δ-relaxed satisfaction at a value (the dReal weakening: each atom's
+    /// bound is loosened by δ).
+    pub fn holds_delta(self, v: f64, delta: f64) -> bool {
+        if v.is_nan() {
+            return false;
+        }
+        match self {
+            Rel::Le | Rel::Lt => v <= delta,
+            Rel::Ge | Rel::Gt => v >= -delta,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Rel::Le => "<=",
+            Rel::Lt => "<",
+            Rel::Ge => ">=",
+            Rel::Gt => ">",
+        }
+    }
+}
+
+/// One constraint: `expr REL 0`.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    pub expr: Expr,
+    pub rel: Rel,
+}
+
+impl Atom {
+    pub fn new(expr: Expr, rel: Rel) -> Self {
+        Atom { expr, rel }
+    }
+
+    /// `lhs <= rhs` as an atom.
+    pub fn le(lhs: &Expr, rhs: &Expr) -> Self {
+        Atom::new(lhs - rhs, Rel::Le)
+    }
+
+    /// `lhs >= rhs` as an atom.
+    pub fn ge(lhs: &Expr, rhs: &Expr) -> Self {
+        Atom::new(lhs - rhs, Rel::Ge)
+    }
+
+    /// `lhs < rhs` as an atom.
+    pub fn lt(lhs: &Expr, rhs: &Expr) -> Self {
+        Atom::new(lhs - rhs, Rel::Lt)
+    }
+
+    /// `lhs > rhs` as an atom.
+    pub fn gt(lhs: &Expr, rhs: &Expr) -> Self {
+        Atom::new(lhs - rhs, Rel::Gt)
+    }
+
+    /// The negated atom.
+    pub fn negate(&self) -> Atom {
+        Atom {
+            expr: self.expr.clone(),
+            rel: self.rel.negate(),
+        }
+    }
+
+    /// Exact satisfaction at a point (NaN fails every relation).
+    pub fn holds_at(&self, point: &[f64]) -> bool {
+        match self.expr.eval(point) {
+            Ok(v) if !v.is_nan() => self.rel.holds(v),
+            _ => false,
+        }
+    }
+
+    /// δ-relaxed satisfaction at a point.
+    pub fn holds_delta_at(&self, point: &[f64], delta: f64) -> bool {
+        match self.expr.eval(point) {
+            Ok(v) => self.rel.holds_delta(v, delta),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} 0", self.expr, self.rel.symbol())
+    }
+}
+
+/// A conjunction of atoms.
+#[derive(Clone, Debug, Default)]
+pub struct Formula {
+    pub atoms: Vec<Atom>,
+}
+
+impl Formula {
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Formula { atoms }
+    }
+
+    pub fn single(atom: Atom) -> Self {
+        Formula { atoms: vec![atom] }
+    }
+
+    pub fn and(mut self, atom: Atom) -> Self {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Exact satisfaction at a point.
+    pub fn holds_at(&self, point: &[f64]) -> bool {
+        self.atoms.iter().all(|a| a.holds_at(point))
+    }
+
+    /// δ-relaxed satisfaction at a point.
+    pub fn holds_delta_at(&self, point: &[f64], delta: f64) -> bool {
+        self.atoms.iter().all(|a| a.holds_delta_at(point, delta))
+    }
+}
+
+impl std::fmt::Display for Formula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcv_expr::var;
+
+    #[test]
+    fn rel_negation_round_trip() {
+        for r in [Rel::Le, Rel::Lt, Rel::Ge, Rel::Gt] {
+            assert_eq!(r.negate().negate(), r);
+        }
+        assert_eq!(Rel::Ge.negate(), Rel::Lt);
+    }
+
+    #[test]
+    fn rel_holds_semantics() {
+        assert!(Rel::Le.holds(0.0));
+        assert!(!Rel::Lt.holds(0.0));
+        assert!(Rel::Ge.holds(0.0));
+        assert!(!Rel::Gt.holds(0.0));
+        assert!(Rel::Lt.holds(-1.0));
+        assert!(Rel::Gt.holds(1.0));
+    }
+
+    #[test]
+    fn delta_relaxation() {
+        assert!(Rel::Le.holds_delta(0.0005, 1e-3));
+        assert!(!Rel::Le.holds_delta(0.01, 1e-3));
+        assert!(Rel::Ge.holds_delta(-0.0005, 1e-3));
+        assert!(!Rel::Ge.holds_delta(f64::NAN, 1e-3));
+    }
+
+    #[test]
+    fn atom_builders_and_eval() {
+        // x <= 3  ⇔  x - 3 <= 0
+        let a = Atom::le(&var(0), &xcv_expr::constant(3.0));
+        assert!(a.holds_at(&[2.0]));
+        assert!(a.holds_at(&[3.0]));
+        assert!(!a.holds_at(&[4.0]));
+        let n = a.negate();
+        assert!(!n.holds_at(&[3.0]));
+        assert!(n.holds_at(&[4.0]));
+    }
+
+    #[test]
+    fn atom_nan_fails() {
+        let a = Atom::new(var(0).ln(), Rel::Ge);
+        assert!(!a.holds_at(&[-1.0])); // ln(-1) = NaN
+        assert!(a.holds_at(&[2.0]));
+    }
+
+    #[test]
+    fn formula_conjunction() {
+        let f = Formula::single(Atom::ge(&var(0), &xcv_expr::constant(0.0)))
+            .and(Atom::le(&var(0), &xcv_expr::constant(1.0)));
+        assert!(f.holds_at(&[0.5]));
+        assert!(!f.holds_at(&[2.0]));
+        assert!(!f.holds_at(&[-0.5]));
+    }
+
+    #[test]
+    fn allowed_region_closed() {
+        assert_eq!(Rel::Lt.allowed(), Interval::new(f64::NEG_INFINITY, 0.0));
+        assert_eq!(Rel::Gt.allowed(), Interval::new(0.0, f64::INFINITY));
+    }
+}

@@ -1,0 +1,37 @@
+//! A δ-complete decision procedure for conjunctions of nonlinear real
+//! constraints — the dReal substitute used by the XCVerifier reproduction.
+//!
+//! dReal (Gao, Kong, Clarke; CADE 2013) decides nonlinear formulas over the
+//! reals *up to a numerical relaxation δ*: it answers either
+//!
+//! * **UNSAT** — the formula has no real solution (a sound proof), or
+//! * **δ-SAT** — the δ-weakening of the formula is satisfiable, witnessed by
+//!   a model point (which may fail the *exact* formula; XCVerifier re-checks
+//!   it and reports "inconclusive" when it does).
+//!
+//! Internally dReal is an interval constraint propagation (ICP) loop:
+//! contract the search box against each constraint with interval arithmetic,
+//! and branch when contraction stalls. [`DeltaSolver`] implements exactly
+//! that architecture:
+//!
+//! * [`contract::Hc4`] — the HC4-revise forward–backward contractor over the
+//!   shared expression DAG;
+//! * [`DeltaSolver::solve`] — branch-and-prune with a node *and* wall-clock
+//!   budget, returning [`Outcome::Unsat`], [`Outcome::DeltaSat`] or
+//!   [`Outcome::Timeout`] — the same three-way interface Algorithm 1 of the
+//!   paper consumes.
+//!
+//! Soundness invariant: a box is discarded only when interval reasoning
+//! *proves* it contains no solution, so `Unsat` is trustworthy regardless of
+//! rounding; `DeltaSat` models are validated downstream.
+
+mod boxdom;
+pub mod contract;
+mod formula;
+pub mod meanvalue;
+mod solve;
+
+pub use boxdom::BoxDomain;
+pub use formula::{Atom, Formula, Rel};
+pub use meanvalue::MeanValue;
+pub use solve::{DeltaSolver, Outcome, SolveBudget, SolveStats};

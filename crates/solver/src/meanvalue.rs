@@ -1,0 +1,259 @@
+//! Mean-value-form infeasibility test — an optional second contractor.
+//!
+//! For a constraint `g(x) REL 0` on a box `B` with midpoint `m`, the
+//! mean-value theorem gives the enclosure
+//!
+//! ```text
+//! g(B) ⊆ g(m) + Σ_i (∂g/∂x_i)(B) · (B_i − m_i)
+//! ```
+//!
+//! with every term evaluated in interval arithmetic (so the bound is
+//! rigorous). On narrow boxes this first-order form is frequently *tighter*
+//! than the natural interval extension HC4 uses — the classic way to beat
+//! the dependency problem — at the cost of evaluating the symbolic gradient.
+//! `DeltaSolver` can enable it as an extra pruning test; the
+//! `ablation_mean_value` benchmark measures the trade-off.
+
+use crate::boxdom::BoxDomain;
+use crate::formula::{Formula, Rel};
+use xcv_expr::{Expr, IntervalEnv};
+use xcv_interval::Interval;
+
+struct MvAtom {
+    rel: Rel,
+    /// Shared evaluation environment over `g` and all its partials.
+    env: IntervalEnv,
+    g: Expr,
+    grads: Vec<(u32, Expr)>,
+}
+
+/// Prepared mean-value tester for a fixed formula.
+pub struct MeanValue {
+    atoms: Vec<MvAtom>,
+}
+
+impl MeanValue {
+    /// Differentiate every atom with respect to every free variable.
+    pub fn new(formula: &Formula) -> MeanValue {
+        let atoms = formula
+            .atoms
+            .iter()
+            .map(|a| {
+                let grads: Vec<(u32, Expr)> = a
+                    .expr
+                    .free_vars()
+                    .into_iter()
+                    .map(|v| (v, a.expr.diff(v)))
+                    .collect();
+                let mut roots: Vec<Expr> = vec![a.expr.clone()];
+                roots.extend(grads.iter().map(|(_, d)| d.clone()));
+                MvAtom {
+                    rel: a.rel,
+                    env: IntervalEnv::new(&roots),
+                    g: a.expr.clone(),
+                    grads,
+                }
+            })
+            .collect();
+        MeanValue { atoms }
+    }
+
+    /// Rigorous first-order enclosure of one atom's expression over `b`.
+    fn enclosure(atom: &mut MvAtom, b: &BoxDomain) -> Interval {
+        let mid = b.midpoint();
+        // g(m): evaluate over the point box.
+        let point_domains: Vec<Interval> = mid.iter().map(|&x| Interval::point(x)).collect();
+        atom.env.forward(&point_domains);
+        let g_m = atom.env.value(&atom.g);
+        if g_m.is_empty() {
+            // Midpoint outside the natural domain: fall back to "unknown".
+            return Interval::ENTIRE;
+        }
+        // Gradient over the full box.
+        atom.env.forward(b.dims());
+        let mut total = g_m;
+        for (v, d) in &atom.grads {
+            let grad_range = atom.env.value(d);
+            let dim = b.dim(*v as usize);
+            let offset = dim.sub(&Interval::point(mid[*v as usize]));
+            total = total.add(&grad_range.mul(&offset));
+        }
+        total
+    }
+
+    /// True when the mean-value enclosure *proves* some atom unsatisfiable on
+    /// the box (sound pruning signal).
+    pub fn certainly_infeasible(&mut self, b: &BoxDomain) -> bool {
+        for atom in &mut self.atoms {
+            let enc = Self::enclosure(atom, b);
+            if enc.is_empty() {
+                continue; // no information
+            }
+            if enc.intersect(&atom.rel.allowed()).is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Interval-Newton-style contraction: for each atom `g REL 0` and each
+    /// variable `x_i`, solve the first-order relaxation
+    ///
+    /// ```text
+    /// g(m) + g_i'(B)·(x_i − m_i) + Σ_{j≠i} g_j'(B)·(B_j − m_j)  ∈  allowed
+    /// ```
+    ///
+    /// for `x_i` with extended interval division. Returns `None` when some
+    /// variable's domain becomes empty (box proven infeasible), otherwise the
+    /// (possibly) narrowed box. Sound: every solution of the constraint in
+    /// `b` satisfies the relaxation, so it survives the contraction.
+    pub fn contract(&mut self, b: &BoxDomain) -> Option<BoxDomain> {
+        let mut current = b.clone();
+        for atom in &mut self.atoms {
+            let mid = current.midpoint();
+            let point_domains: Vec<Interval> =
+                mid.iter().map(|&x| Interval::point(x)).collect();
+            atom.env.forward(&point_domains);
+            let g_m = atom.env.value(&atom.g);
+            if g_m.is_empty() {
+                continue;
+            }
+            atom.env.forward(current.dims());
+            // Precompute gradient ranges and per-variable offsets.
+            let grads: Vec<(usize, Interval)> = atom
+                .grads
+                .iter()
+                .filter(|(v, _)| (*v as usize) < current.ndim())
+                .map(|(v, d)| (*v as usize, atom.env.value(d)))
+                .collect();
+            let offsets: Vec<Interval> = grads
+                .iter()
+                .map(|&(v, g)| g.mul(&current.dim(v).sub(&Interval::point(mid[v]))))
+                .collect();
+            let allowed = atom.rel.allowed();
+            for (k, &(v, grad)) in grads.iter().enumerate() {
+                if grad.contains(0.0) && !grad.is_point() {
+                    // Extended division would return ENTIRE unless the rest
+                    // already pins things down; skip cheaply.
+                    continue;
+                }
+                // rest = g(m) + Σ_{j≠k} offsets[j]
+                let mut rest = g_m;
+                for (j, off) in offsets.iter().enumerate() {
+                    if j != k {
+                        rest = rest.add(off);
+                    }
+                }
+                // allowed ∋ rest + grad·(x_v − m_v)
+                // ⇒ x_v ∈ m_v + (allowed − rest)/grad
+                let rhs = allowed.sub(&rest).div(&grad);
+                let newdom = current
+                    .dim(v)
+                    .intersect(&rhs.add(&Interval::point(mid[v])));
+                if newdom.is_empty() {
+                    return None;
+                }
+                current.set_dim(v, newdom);
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Atom;
+    use xcv_expr::var;
+
+    #[test]
+    fn tighter_than_natural_extension_on_dependency() {
+        // g(x) = x - x² on [0.4, 0.6]: natural extension gives
+        // [0.4,0.6] - [0.16,0.36] = [0.04, 0.44]; the true range is
+        // [0.24, 0.2496]. Mean value: g(0.5) = 0.25, g' = 1-2x ∈ [-0.2, 0.2],
+        // enclosure 0.25 + [-0.2,0.2]*[-0.1,0.1] = [0.23, 0.27]. So the
+        // constraint g <= 0.2 is refuted by MV but not by natural extension.
+        let g = var(0) - var(0).powi(2);
+        let f = Formula::single(Atom::new(g.clone() - 0.2, Rel::Le));
+        let b = BoxDomain::from_bounds(&[(0.4, 0.6)]);
+        // Natural extension cannot refute:
+        let natural = (g - 0.2).eval_interval(&[b.dim(0)]);
+        assert!(natural.lo < 0.0, "natural extension too wide: {natural:?}");
+        // Mean value refutes:
+        let mut mv = MeanValue::new(&f);
+        assert!(mv.certainly_infeasible(&b));
+    }
+
+    #[test]
+    fn never_prunes_a_feasible_box() {
+        // g(x, y) = x² + y² - 1 <= 0 with the feasible point (0.5, 0.5).
+        let g = var(0).powi(2) + var(1).powi(2) - 1.0;
+        let f = Formula::single(Atom::new(g, Rel::Le));
+        let mut mv = MeanValue::new(&f);
+        let b = BoxDomain::from_bounds(&[(0.3, 0.7), (0.3, 0.7)]);
+        assert!(!mv.certainly_infeasible(&b));
+    }
+
+    #[test]
+    fn prunes_clearly_infeasible_box() {
+        // x + y >= 0 on a box where x + y <= -1 everywhere.
+        let f = Formula::single(Atom::new(var(0) + var(1), Rel::Ge));
+        let mut mv = MeanValue::new(&f);
+        let b = BoxDomain::from_bounds(&[(-2.0, -1.0), (-2.0, -0.5)]);
+        assert!(mv.certainly_infeasible(&b));
+    }
+
+    #[test]
+    fn newton_contraction_narrows_linear() {
+        // x + 1 <= 0 on [-5, 5]: the first-order form is exact for linear
+        // constraints, so contraction should cut to [-5, -1].
+        let f = Formula::single(Atom::new(var(0) + 1.0, Rel::Le));
+        let mut mv = MeanValue::new(&f);
+        let b = BoxDomain::from_bounds(&[(-5.0, 5.0)]);
+        let nb = mv.contract(&b).expect("feasible");
+        assert!(nb.dim(0).hi <= -1.0 + 1e-9, "{:?}", nb.dim(0));
+        assert!(nb.dim(0).lo <= -5.0 + 1e-9);
+    }
+
+    #[test]
+    fn newton_contraction_never_loses_solutions() {
+        // x² - 2 <= 0: solutions are |x| <= √2; every feasible sample must
+        // survive contraction of a box with nonzero gradient (x in [0.5, 5]).
+        let f = Formula::single(Atom::new(var(0).powi(2) - 2.0, Rel::Le));
+        let mut mv = MeanValue::new(&f);
+        let b = BoxDomain::from_bounds(&[(0.5, 5.0)]);
+        let nb = mv.contract(&b).expect("feasible");
+        for i in 0..50 {
+            let x = 0.5 + (2.0f64.sqrt() - 0.5) * (i as f64) / 49.0;
+            if x * x <= 2.0 {
+                assert!(nb.contains_point(&[x]), "lost {x}");
+            }
+        }
+        // And it actually narrowed the infeasible tail.
+        assert!(nb.dim(0).hi < 5.0);
+    }
+
+    #[test]
+    fn newton_contraction_detects_infeasible() {
+        // x >= 0 and x + 10 <= 0 cannot hold.
+        let f = Formula::new(vec![
+            Atom::new(var(0), Rel::Ge),
+            Atom::new(var(0) + 10.0, Rel::Le),
+        ]);
+        let mut mv = MeanValue::new(&f);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]);
+        assert!(mv.contract(&b).is_none());
+    }
+
+    #[test]
+    fn domain_violation_at_midpoint_is_no_information() {
+        // ln(x) on a box straddling 0: midpoint may be <= 0; must not panic
+        // and must not claim infeasibility it cannot prove.
+        let f = Formula::single(Atom::new(var(0).ln(), Rel::Le));
+        let mut mv = MeanValue::new(&f);
+        let b = BoxDomain::from_bounds(&[(-1.0, 0.5)]);
+        let _ = mv.certainly_infeasible(&b); // just must be sound / not panic
+        let feasible = BoxDomain::from_bounds(&[(0.1, 0.9)]);
+        assert!(!mv.certainly_infeasible(&feasible));
+    }
+}

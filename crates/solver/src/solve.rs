@@ -1,0 +1,434 @@
+//! Branch-and-prune δ-complete search.
+
+use crate::boxdom::BoxDomain;
+use crate::contract::{Contraction, Hc4};
+use crate::formula::Formula;
+use std::time::Instant;
+
+/// Result of a [`DeltaSolver::solve`] call — the same three-way interface
+/// the paper's Algorithm 1 consumes from dReal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The formula has no solution in the box (sound).
+    Unsat,
+    /// The δ-weakening is satisfiable; the witness point satisfies every atom
+    /// within δ (it may fail the exact formula — callers re-check).
+    DeltaSat(Vec<f64>),
+    /// Budget exhausted before a decision.
+    Timeout,
+}
+
+/// Resource limits for one solve call (the paper used a 2-hour wall-clock
+/// limit per dReal invocation; a node budget gives deterministic tests).
+#[derive(Debug, Clone, Copy)]
+pub struct SolveBudget {
+    pub max_nodes: u64,
+    pub max_millis: u64,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget {
+            max_nodes: 200_000,
+            max_millis: 2_000,
+        }
+    }
+}
+
+impl SolveBudget {
+    pub fn nodes(n: u64) -> Self {
+        SolveBudget {
+            max_nodes: n,
+            max_millis: u64::MAX,
+        }
+    }
+
+    pub fn millis(ms: u64) -> Self {
+        SolveBudget {
+            max_nodes: u64::MAX,
+            max_millis: ms,
+        }
+    }
+}
+
+/// Search statistics, for benchmarking and ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Boxes popped from the work stack.
+    pub nodes: u64,
+    /// Boxes discarded by contraction.
+    pub pruned: u64,
+    /// Boxes split.
+    pub branched: u64,
+    /// Maximum depth reached.
+    pub max_depth: u32,
+}
+
+/// The δ-complete solver: HC4 contraction + branch-and-prune.
+#[derive(Debug, Clone)]
+pub struct DeltaSolver {
+    /// Numerical relaxation of atom bounds (dReal's δ); also the box-width
+    /// scale at which undecided boxes are declared δ-SAT.
+    pub delta: f64,
+    pub budget: SolveBudget,
+    /// Enable the mean-value-form infeasibility test as a second pruning
+    /// signal (see [`crate::meanvalue::MeanValue`]); off by default.
+    pub mean_value: bool,
+}
+
+impl Default for DeltaSolver {
+    fn default() -> Self {
+        DeltaSolver {
+            delta: 1e-3,
+            budget: SolveBudget::default(),
+            mean_value: false,
+        }
+    }
+}
+
+impl DeltaSolver {
+    pub fn new(delta: f64, budget: SolveBudget) -> Self {
+        DeltaSolver {
+            delta,
+            budget,
+            mean_value: false,
+        }
+    }
+
+    /// Enable or disable the mean-value pruning test.
+    pub fn with_mean_value(mut self, on: bool) -> Self {
+        self.mean_value = on;
+        self
+    }
+
+    /// Decide `formula` over `domain`.
+    pub fn solve(&self, domain: &BoxDomain, formula: &Formula) -> Outcome {
+        self.solve_with_stats(domain, formula).0
+    }
+
+    /// Decide `formula` over `domain`, returning search statistics.
+    pub fn solve_with_stats(&self, domain: &BoxDomain, formula: &Formula) -> (Outcome, SolveStats) {
+        let mut stats = SolveStats::default();
+        if domain.is_empty() {
+            return (Outcome::Unsat, stats);
+        }
+        let start = Instant::now();
+        let mut hc4 = Hc4::new(formula);
+        let mut mv = self
+            .mean_value
+            .then(|| crate::meanvalue::MeanValue::new(formula));
+        let mut stack: Vec<(BoxDomain, u32)> = vec![(domain.clone(), 0)];
+        // Boxes narrower than this in every dimension are δ-decided.
+        let width_floor = self.delta.max(1e-12);
+        while let Some((b, depth)) = stack.pop() {
+            stats.nodes += 1;
+            stats.max_depth = stats.max_depth.max(depth);
+            if stats.nodes > self.budget.max_nodes
+                || (stats.nodes % 64 == 0
+                    && start.elapsed().as_millis() as u64 > self.budget.max_millis)
+            {
+                return (Outcome::Timeout, stats);
+            }
+            let contracted = match hc4.contract(&b) {
+                Contraction::Empty => {
+                    stats.pruned += 1;
+                    continue;
+                }
+                Contraction::Box(nb) => nb,
+            };
+            if contracted.is_empty() {
+                stats.pruned += 1;
+                continue;
+            }
+            let contracted = if let Some(mv) = mv.as_mut() {
+                match mv.contract(&contracted) {
+                    None => {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    Some(nb) if mv.certainly_infeasible(&nb) => {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    Some(nb) => nb,
+                }
+            } else {
+                contracted
+            };
+            // Fast model check: an exact solution at the midpoint settles it.
+            let mid = contracted.midpoint();
+            if formula.holds_at(&mid) {
+                return (Outcome::DeltaSat(mid), stats);
+            }
+            // δ-decision on small boxes: contraction could not rule the box
+            // out, so the δ-weakening is satisfiable here (dReal's semantics).
+            if contracted.max_width() <= width_floor {
+                return (Outcome::DeltaSat(mid), stats);
+            }
+            // Branch on the widest dimension; search the half whose midpoint
+            // is closer to satisfying the formula first (DFS order: push it
+            // last).
+            let (l, r) = contracted.bisect_widest();
+            stats.branched += 1;
+            let score = |bx: &BoxDomain| -> f64 {
+                let m = bx.midpoint();
+                formula
+                    .atoms
+                    .iter()
+                    .map(|a| match a.expr.eval(&m) {
+                        Ok(v) if !v.is_nan() => {
+                            // Signed violation: positive means unsatisfied.
+                            match a.rel {
+                                crate::Rel::Le | crate::Rel::Lt => v.max(0.0),
+                                crate::Rel::Ge | crate::Rel::Gt => (-v).max(0.0),
+                            }
+                        }
+                        _ => f64::INFINITY,
+                    })
+                    .fold(0.0, f64::max)
+            };
+            let (sl, sr) = (score(&l), score(&r));
+            if sl <= sr {
+                if !r.is_empty() {
+                    stack.push((r, depth + 1));
+                }
+                if !l.is_empty() {
+                    stack.push((l, depth + 1));
+                }
+            } else {
+                if !l.is_empty() {
+                    stack.push((l, depth + 1));
+                }
+                if !r.is_empty() {
+                    stack.push((r, depth + 1));
+                }
+            }
+        }
+        (Outcome::Unsat, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Atom, Rel};
+    use xcv_expr::{constant, var};
+
+    fn solver() -> DeltaSolver {
+        DeltaSolver::new(1e-4, SolveBudget::nodes(200_000))
+    }
+
+    #[test]
+    fn unsat_simple() {
+        // x^2 + 1 <= 0 has no real solution.
+        let f = Formula::single(Atom::new(var(0).powi(2) + 1.0, Rel::Le));
+        let b = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        assert_eq!(solver().solve(&b, &f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn sat_with_exact_model() {
+        // x^2 - 4 <= 0 and x - 1 >= 0: satisfiable on [1, 2].
+        let f = Formula::new(vec![
+            Atom::new(var(0).powi(2) - 4.0, Rel::Le),
+            Atom::new(var(0) - 1.0, Rel::Ge),
+        ]);
+        let b = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        match solver().solve(&b, &f) {
+            Outcome::DeltaSat(m) => {
+                assert!(f.holds_at(&m), "model {m:?} must satisfy exactly here");
+                assert!((1.0..=2.0).contains(&m[0]));
+            }
+            other => panic!("expected DeltaSat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_transcendental() {
+        // exp(x) <= 0 is unsatisfiable.
+        let f = Formula::single(Atom::new(var(0).exp(), Rel::Le));
+        let b = BoxDomain::from_bounds(&[(-50.0, 50.0)]);
+        assert_eq!(solver().solve(&b, &f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn tight_feasible_sliver_found() {
+        // | sin-free thin band: 1e-6 <= x - y <= 2e-6 inside [0,1]^2.
+        let d = var(0) - var(1);
+        let f = Formula::new(vec![
+            Atom::new(d.clone() - 1e-6, Rel::Ge),
+            Atom::new(d - 2e-6, Rel::Le),
+        ]);
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let s = DeltaSolver::new(1e-9, SolveBudget::nodes(500_000));
+        match s.solve(&b, &f) {
+            Outcome::DeltaSat(m) => {
+                let v = m[0] - m[1];
+                assert!((1e-6 - 1e-9..=2e-6 + 1e-9).contains(&v), "v = {v}");
+            }
+            other => panic!("expected DeltaSat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_respected() {
+        // A hard equality-like band with a zero node budget must time out.
+        let f = Formula::new(vec![
+            Atom::new(var(0).powi(2) + var(1).powi(2) - 1.0, Rel::Ge),
+            Atom::new(var(0).powi(2) + var(1).powi(2) - 1.0, Rel::Le),
+        ]);
+        let b = BoxDomain::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]);
+        let s = DeltaSolver::new(1e-12, SolveBudget::nodes(2));
+        assert_eq!(s.solve(&b, &f), Outcome::Timeout);
+    }
+
+    #[test]
+    fn circle_boundary_delta_sat() {
+        // The unit circle as two inequalities: only δ-solutions exist.
+        let r2 = var(0).powi(2) + var(1).powi(2);
+        let f = Formula::new(vec![
+            Atom::new(r2.clone() - 1.0, Rel::Ge),
+            Atom::new(r2 - 1.0, Rel::Le),
+        ]);
+        let b = BoxDomain::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]);
+        let s = DeltaSolver::new(1e-3, SolveBudget::nodes(1_000_000));
+        match s.solve(&b, &f) {
+            Outcome::DeltaSat(m) => {
+                let r = m[0] * m[0] + m[1] * m[1];
+                assert!((r - 1.0).abs() < 0.05, "model radius^2 {r}");
+            }
+            other => panic!("expected DeltaSat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_domain_is_unsat() {
+        let f = Formula::single(Atom::new(var(0), Rel::Ge));
+        let b = BoxDomain::new(vec![xcv_interval::Interval::EMPTY]);
+        assert_eq!(solver().solve(&b, &f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn point_domain() {
+        let f = Formula::single(Atom::new(var(0) - 2.0, Rel::Ge));
+        let hit = BoxDomain::from_bounds(&[(2.0, 2.0)]);
+        let miss = BoxDomain::from_bounds(&[(1.0, 1.0)]);
+        assert!(matches!(solver().solve(&hit, &f), Outcome::DeltaSat(_)));
+        assert_eq!(solver().solve(&miss, &f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn lambert_constraint_end_to_end() {
+        // W(x) >= 1 and x <= 2: unsat since W(2) ≈ 0.852.
+        let f = Formula::new(vec![
+            Atom::new(var(0).lambert_w() - 1.0, Rel::Ge),
+            Atom::new(var(0) - 2.0, Rel::Le),
+        ]);
+        let b = BoxDomain::from_bounds(&[(0.0, 100.0)]);
+        assert_eq!(solver().solve(&b, &f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn ite_constraint_end_to_end() {
+        // ite(x >= 0, x - 5, -x - 5) >= 0  means |x| >= 5.
+        let e = xcv_expr::Expr::ite(&var(0), &(var(0) - 5.0), &(-var(0) - 5.0));
+        let f = Formula::single(Atom::new(e, Rel::Ge));
+        let inside = BoxDomain::from_bounds(&[(-4.0, 4.0)]);
+        assert_eq!(solver().solve(&inside, &f), Outcome::Unsat);
+        let outside = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        match solver().solve(&outside, &f) {
+            Outcome::DeltaSat(m) => assert!(m[0].abs() >= 5.0 - 1e-3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_populated() {
+        let f = Formula::single(Atom::new(var(0).powi(2) + 1.0, Rel::Le));
+        let b = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        let (out, stats) = solver().solve_with_stats(&b, &f);
+        assert_eq!(out, Outcome::Unsat);
+        assert!(stats.nodes >= 1);
+        assert!(stats.pruned >= 1);
+    }
+
+    #[test]
+    fn strict_vs_nonstrict_boundary() {
+        // x >= 0 and -x >= 0 has the single solution x = 0.
+        let f = Formula::new(vec![
+            Atom::new(var(0), Rel::Ge),
+            Atom::new(-var(0), Rel::Ge),
+        ]);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]);
+        match solver().solve(&b, &f) {
+            Outcome::DeltaSat(m) => assert!(m[0].abs() <= 1e-3),
+            other => panic!("{other:?}"),
+        }
+        // Strict version x > 0 and -x > 0 — contraction alone cannot prove
+        // emptiness of the closed relaxation, so a δ-SAT near 0 or Unsat are
+        // both acceptable dReal-style answers; exact recheck must fail.
+        let f = Formula::new(vec![
+            Atom::new(var(0), Rel::Gt),
+            Atom::new(-var(0), Rel::Gt),
+        ]);
+        match solver().solve(&b, &f) {
+            Outcome::DeltaSat(m) => assert!(!f.holds_at(&m)),
+            Outcome::Unsat | Outcome::Timeout => {}
+        }
+    }
+
+    #[test]
+    fn mean_value_agrees_with_plain_on_outcomes() {
+        // MV is a pruning accelerator; it must never change Unsat/Sat
+        // answers, only how fast they arrive.
+        let cases = [
+            Formula::single(Atom::new(var(0).powi(2) + 1.0, Rel::Le)), // unsat
+            Formula::new(vec![
+                Atom::new(var(0).powi(2) - 4.0, Rel::Le),
+                Atom::new(var(0) - 1.0, Rel::Ge),
+            ]), // sat
+        ];
+        let b = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        for f in cases {
+            let plain = solver().solve(&b, &f);
+            let mv = solver().with_mean_value(true).solve(&b, &f);
+            match (plain, mv) {
+                (Outcome::Unsat, Outcome::Unsat) => {}
+                (Outcome::DeltaSat(_), Outcome::DeltaSat(_)) => {}
+                (p, m) => panic!("divergent outcomes: {p:?} vs {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mean_value_prunes_dependency_heavy_formula() {
+        // x - x^2 >= 0.3 is unsatisfiable (max is 0.25); MV proves it with
+        // far fewer nodes than the natural extension needs.
+        let f = Formula::single(Atom::new(var(0) - var(0).powi(2) - 0.3, Rel::Ge));
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        let (out_plain, stats_plain) = solver().solve_with_stats(&b, &f);
+        let (out_mv, stats_mv) = solver()
+            .with_mean_value(true)
+            .solve_with_stats(&b, &f);
+        assert_eq!(out_plain, Outcome::Unsat);
+        assert_eq!(out_mv, Outcome::Unsat);
+        assert!(
+            stats_mv.nodes <= stats_plain.nodes,
+            "MV should not explore more: {} vs {}",
+            stats_mv.nodes,
+            stats_plain.nodes
+        );
+    }
+
+    #[test]
+    fn deep_nesting_constant_formula() {
+        let mut e = var(0);
+        for _ in 0..30 {
+            e = (e.clone() * 0.5 + 1.0).sqrt();
+        }
+        // e is bounded well below 3 on [0, 2]; e - 3 >= 0 must be unsat.
+        let f = Formula::single(Atom::new(e - constant(3.0), Rel::Ge));
+        let b = BoxDomain::from_bounds(&[(0.0, 2.0)]);
+        assert_eq!(solver().solve(&b, &f), Outcome::Unsat);
+    }
+}

@@ -1,0 +1,74 @@
+//! Verify a *user-supplied* functional: write the DFA in the Python-subset
+//! DSL (the form XCEncoder consumes after Maple translation), compile it
+//! symbolically, and check an exact condition with the δ-complete solver —
+//! no grid, no sampling.
+//!
+//! ```sh
+//! cargo run --release --example custom_functional
+//! ```
+//!
+//! Two variants of a Wigner-like correlation functional are checked: a
+//! correct one (ε_c = -a/(b + rs), negative everywhere) and a "buggy build"
+//! with a wrong sign in the gradient correction, the kind of implementation
+//! defect the paper's approach is designed to catch.
+
+use xcverifier::prelude::*;
+use xcverifier::expr::dsl;
+use xcverifier::functionals::constants::A_X;
+
+const GOOD: &str = "\
+def wigner_c(rs, s):
+    a = 0.44
+    b = 7.8
+    damp = 1 / (1 + 0.5 * s ** 2)
+    return -a / (b + rs) * damp
+";
+
+// The damping term's sign is flipped: at large s the correlation energy
+// becomes positive — a violation of E_c non-positivity.
+const BUGGY: &str = "\
+def wigner_c(rs, s):
+    a = 0.44
+    b = 7.8
+    damp = 1 - 0.5 * s ** 2
+    return -a / (b + rs) * damp
+";
+
+fn check(label: &str, source: &str) {
+    // Compile the DSL to a symbolic expression over (rs, s).
+    let mut vars = VarSet::from_names(["rs", "s"]);
+    let eps_c = dsl::compile(source, "wigner_c", &mut vars).expect("DSL compiles");
+
+    // EC1's local condition: F_c = ε_c/ε_x^unif = -ε_c rs / A_X >= 0.
+    let rs = vars.var("rs").unwrap();
+    let f_c = -(eps_c * rs) / A_X;
+    let psi = Atom::new(f_c, Rel::Ge);
+    let negation = Formula::single(psi.negate());
+
+    // Refute ¬ψ over the PB domain with the δ-complete solver.
+    let domain = BoxDomain::from_bounds(&[(1e-4, 5.0), (0.0, 5.0)]);
+    let solver = DeltaSolver::new(1e-4, SolveBudget::nodes(200_000));
+    match solver.solve(&domain, &negation) {
+        Outcome::Unsat => {
+            println!("{label}: VERIFIED — E_c <= 0 holds on the whole domain");
+        }
+        Outcome::DeltaSat(model) => {
+            if !psi.holds_at(&model) {
+                println!(
+                    "{label}: COUNTEREXAMPLE at rs={:.4}, s={:.4} \
+                     (ε_c > 0 there — implementation violates EC1)",
+                    model[0], model[1]
+                );
+            } else {
+                println!("{label}: inconclusive (δ-SAT model passed the exact re-check)");
+            }
+        }
+        Outcome::Timeout => println!("{label}: solver budget exhausted"),
+    }
+}
+
+fn main() {
+    println!("Checking E_c non-positivity (EC1) for two DSL-defined functionals:\n");
+    check("correct build", GOOD);
+    check("buggy build  ", BUGGY);
+}

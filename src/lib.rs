@@ -1,0 +1,84 @@
+//! # xcverifier
+//!
+//! A Rust reproduction of **XCVerifier** (*Towards Verifying Exact Conditions
+//! for Implementations of Density Functional Approximations*, SC 2024): a
+//! toolchain that formally verifies whether a density functional
+//! approximation (DFA) implementation satisfies the DFT exact conditions, or
+//! finds the input regions where it does not.
+//!
+//! The workspace builds every substrate the system needs, from scratch:
+//!
+//! * [`interval`] — outward-rounded interval arithmetic with certified
+//!   transcendental enclosures (including Lambert W for AM05);
+//! * [`expr`] — a hash-consed symbolic expression DAG with exact
+//!   differentiation, evaluation back-ends, and a Python-subset DSL frontend
+//!   with a symbolic executor (the XCEncoder pipeline);
+//! * [`solver`] — a δ-complete decision procedure (HC4 interval constraint
+//!   propagation + branch-and-prune), the dReal substitute;
+//! * [`functionals`] — PBE, SCAN, LYP, AM05 and VWN RPA (unpolarized), each
+//!   as a symbolic DAG and an independent closed-form scalar implementation;
+//! * [`conditions`] — the seven Pederson–Burke exact conditions as local
+//!   conditions over enhancement factors;
+//! * [`core`] — the encoder and the recursive domain-splitting verifier
+//!   (Algorithm 1);
+//! * [`grid`] — the Pederson–Burke grid-search baseline;
+//! * [`report`] — region-map rendering and the paper's Tables I/II.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xcverifier::prelude::*;
+//!
+//! // Does LYP's implementation satisfy E_c non-positivity? (It does not.)
+//! let problem = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+//! let verifier = Verifier::new(VerifierConfig {
+//!     split_threshold: 1.25,
+//!     solver: DeltaSolver::new(1e-3, SolveBudget::nodes(20_000)),
+//!     parallel: false,
+//!     max_depth: 4,
+//!     pair_deadline_ms: None,
+//! });
+//! let map = verifier.verify(&problem);
+//! assert_eq!(map.table_mark(), TableMark::Counterexample);
+//! let witness = map.counterexamples()[0];
+//! assert!(witness[1] > 1.0, "LYP violates EC1 at large s");
+//! ```
+
+pub use xcv_conditions as conditions;
+pub use xcv_core as core;
+pub use xcv_expr as expr;
+pub use xcv_functionals as functionals;
+pub use xcv_grid as grid;
+pub use xcv_interval as interval;
+pub use xcv_report as report;
+pub use xcv_solver as solver;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use xcv_conditions::{applicable_pairs, pb_domain, Condition, C_LO};
+    pub use xcv_core::{
+        EncodedProblem, Encoder, Region, RegionMap, RegionStatus, TableMark, Verifier,
+        VerifierConfig,
+    };
+    pub use xcv_expr::{constant, var, Expr, VarSet};
+    pub use xcv_functionals::{Design, Dfa, Family, ALPHA, RS, S};
+    pub use xcv_grid::{pb_check, GridConfig, GridResult};
+    pub use xcv_interval::{interval, point, Interval};
+    pub use xcv_report::{ascii_grid_map, ascii_region_map, classify, Consistency};
+    pub use xcv_solver::{
+        Atom, BoxDomain, DeltaSolver, Formula, Outcome, Rel, SolveBudget,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let d = pb_domain(Dfa::Pbe);
+        assert_eq!(d.ndim(), 2);
+        assert_eq!(applicable_pairs().len(), 31);
+        let _ = constant(1.0) + var(RS);
+    }
+}

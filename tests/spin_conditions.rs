@@ -1,0 +1,112 @@
+//! Spin-resolved condition checking (extension beyond the paper's ζ = 0
+//! restriction): the solver and verifier run unchanged over a (rs, s, ζ)
+//! domain built from the spin module's expressions.
+
+use xcverifier::functionals::spin;
+use xcverifier::prelude::*;
+
+/// F_c over (rs, s, ζ): `-ε_c(rs, s, ζ) · rs / A_X`.
+fn f_c_spin_pbe() -> Expr {
+    -(spin::eps_c_pbe_expr() * var(RS)) / xcverifier::functionals::constants::A_X
+}
+
+#[test]
+fn spin_resolved_pbe_ec1_no_valid_counterexample() {
+    // ε_c^{PBE}(rs, s, ζ) <= 0 for all ζ — the spin-general EC1. The solver
+    // must never produce a *valid* counterexample; away from the ε_c → 0
+    // margins it should prove the box outright.
+    let psi = Atom::new(f_c_spin_pbe(), Rel::Ge);
+    let negation = Formula::single(psi.negate());
+    // Variables: rs (0), s (1), alpha (2, unused), zeta (3).
+    let easy = BoxDomain::new(vec![
+        interval(1.0, 5.0),
+        interval(0.0, 2.0),
+        interval(0.0, 0.0),
+        interval(-0.5, 0.5),
+    ]);
+    let solver = DeltaSolver::new(1e-3, SolveBudget::millis(3_000));
+    match solver.solve(&easy, &negation) {
+        Outcome::Unsat => {}
+        Outcome::DeltaSat(m) => {
+            assert!(psi.holds_at(&m), "spurious spin-EC1 counterexample {m:?}");
+        }
+        Outcome::Timeout => {}
+    }
+}
+
+#[test]
+fn spin_resolved_lsda_exchange_scaling_condition() {
+    // The LSDA exchange enhancement relative to the unpolarized gas equals
+    // ((1+ζ)^{4/3}+(1−ζ)^{4/3})/2 >= 1 — provable by the solver over ζ.
+    // Encoded directly in ζ (any form carrying rs in both numerator and
+    // denominator falls to the interval dependency problem; the real encoder
+    // likewise cancels ε_x^unif algebraically).
+    let z = var(spin::ZETA);
+    let p = constant(4.0 / 3.0);
+    let fx = 0.5 * ((constant(1.0) + &z).pow(&p) + (constant(1.0) - &z).pow(&p));
+    let psi = Atom::new(fx - 1.0, Rel::Ge);
+    let negation = Formula::single(psi.negate());
+    // Away from the ζ = 0 equality point the margin is positive and the
+    // solver proves the condition outright.
+    let strict = BoxDomain::new(vec![
+        interval(0.1, 5.0),
+        interval(0.0, 0.0),
+        interval(0.0, 0.0),
+        interval(0.1, 1.0),
+    ]);
+    let solver = DeltaSolver::new(1e-4, SolveBudget::millis(3_000));
+    assert_eq!(solver.solve(&strict, &negation), Outcome::Unsat);
+    // Across ζ = 0 the condition holds with equality, so a δ-SAT answer with
+    // an *invalid* model (the paper's "inconclusive") is acceptable — but a
+    // valid counterexample never is.
+    let with_boundary = BoxDomain::new(vec![
+        interval(0.1, 5.0),
+        interval(0.0, 0.0),
+        interval(0.0, 0.0),
+        interval(-1.0, 1.0),
+    ]);
+    match solver.solve(&with_boundary, &negation) {
+        Outcome::DeltaSat(m) => assert!(psi.holds_at(&m), "valid CE at {m:?}"),
+        Outcome::Unsat | Outcome::Timeout => {}
+    }
+}
+
+#[test]
+fn spin_stiffness_sign() {
+    // The PW92 spin stiffness α_c(rs) is negative (our MALPHA fit is −α_c,
+    // hence positive): check ε_c(ζ) decreases in |ζ|... i.e. correlation
+    // weakens with polarization at every rs — the solver proves
+    // ε_c(rs, ζ) >= ε_c(rs, 0) cannot be violated by more than δ is false;
+    // instead verify pointwise monotonicity densely.
+    for i in 0..20 {
+        let rs = 0.1 + 4.9 * (i as f64) / 19.0;
+        let mut prev = spin::eps_c_pw92(rs, 0.0);
+        for k in 1..=10 {
+            let z = k as f64 / 10.0;
+            let v = spin::eps_c_pw92(rs, z);
+            assert!(v >= prev - 1e-12, "ε_c not weakening at rs={rs}, ζ={z}");
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn spin_derivative_condition_solver_ready() {
+    // ∂F_c/∂rs >= 0 (EC2) extends to the spin-resolved PBE: encode with the
+    // symbolic ζ-aware derivative and check there is no valid counterexample
+    // on a moderate box.
+    let fc = f_c_spin_pbe();
+    let psi = Atom::new(fc.diff(RS), Rel::Ge);
+    let negation = Formula::single(psi.negate());
+    let dom = BoxDomain::new(vec![
+        interval(0.5, 3.0),
+        interval(0.0, 2.0),
+        interval(0.0, 0.0),
+        interval(-0.8, 0.8),
+    ]);
+    let solver = DeltaSolver::new(1e-3, SolveBudget::millis(2_000));
+    match solver.solve(&dom, &negation) {
+        Outcome::DeltaSat(m) => assert!(psi.holds_at(&m), "spin EC2 violated at {m:?}"),
+        Outcome::Unsat | Outcome::Timeout => {}
+    }
+}
