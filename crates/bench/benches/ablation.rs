@@ -24,6 +24,7 @@ fn bench_domain_splitting(c: &mut Criterion) {
         split_threshold: 1.25,
         solver: DeltaSolver::new(1e-3, budget),
         parallel: false,
+        parallel_depth: 3,
         max_depth: 4,
         pair_deadline_ms: None,
     });
@@ -31,6 +32,7 @@ fn bench_domain_splitting(c: &mut Criterion) {
         split_threshold: f64::INFINITY, // never split
         solver: DeltaSolver::new(1e-3, budget),
         parallel: false,
+        parallel_depth: 3,
         max_depth: 0,
         pair_deadline_ms: None,
     });
@@ -71,6 +73,7 @@ fn bench_parallel(c: &mut Criterion) {
             split_threshold: 0.6,
             solver: DeltaSolver::new(1e-3, SolveBudget::nodes(800)),
             parallel,
+            parallel_depth: 3,
             max_depth: 4,
             pair_deadline_ms: None,
         });
@@ -88,8 +91,7 @@ fn bench_mean_value(c: &mut Criterion) {
     // A sub-domain away from the ε_c → 0 margins so both variants decide.
     let dom = BoxDomain::from_bounds(&[(1.0, 5.0), (0.0, 2.0)]);
     for (name, mv) in [("hc4_only", false), ("hc4_plus_mv", true)] {
-        let solver =
-            DeltaSolver::new(1e-3, SolveBudget::nodes(400_000)).with_mean_value(mv);
+        let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(400_000)).with_mean_value(mv);
         g.bench_function(name, |b| {
             b.iter(|| black_box(solver.solve(black_box(&dom), &problem.negation)))
         });

@@ -8,8 +8,12 @@ use xcv_interval::Interval;
 fn bench_ring_ops(c: &mut Criterion) {
     let a = Interval::new(0.3, 1.7);
     let b = Interval::new(-2.1, 0.4);
-    c.bench_function("interval_add", |x| x.iter(|| black_box(a).add(&black_box(b))));
-    c.bench_function("interval_mul", |x| x.iter(|| black_box(a).mul(&black_box(b))));
+    c.bench_function("interval_add", |x| {
+        x.iter(|| black_box(a).add(&black_box(b)))
+    });
+    c.bench_function("interval_mul", |x| {
+        x.iter(|| black_box(a).mul(&black_box(b)))
+    });
     c.bench_function("interval_div", |x| {
         x.iter(|| black_box(a).div(&black_box(Interval::new(0.5, 2.0))))
     });
@@ -21,7 +25,9 @@ fn bench_transcendental(c: &mut Criterion) {
     c.bench_function("interval_exp", |x| x.iter(|| black_box(a).exp()));
     c.bench_function("interval_ln", |x| x.iter(|| black_box(a).ln()));
     c.bench_function("interval_atan", |x| x.iter(|| black_box(a).atan()));
-    c.bench_function("interval_lambert_w", |x| x.iter(|| black_box(a).lambert_w0()));
+    c.bench_function("interval_lambert_w", |x| {
+        x.iter(|| black_box(a).lambert_w0())
+    });
 }
 
 criterion_group!(benches, bench_ring_ops, bench_transcendental);

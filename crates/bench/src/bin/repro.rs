@@ -1,34 +1,38 @@
-//! Reproduction harness: regenerates every table and figure of the paper.
+//! Reproduction harness: regenerates every table and figure of the paper,
+//! driven by the campaign engine.
 //!
 //! ```text
-//! repro table1 [--budget-ms N]          Table I  (verification outcomes)
-//! repro table2 [--budget-ms N]          Table II (PB vs XCVerifier)
-//! repro fig1   [--budget-ms N]          Figure 1 (PBE region maps, PB + verifier)
-//! repro fig2   [--budget-ms N]          Figure 2 (LYP region maps, PB + verifier)
+//! repro table1 [--budget-ms N] [--extended]   Table I  (verification outcomes)
+//! repro table2 [--budget-ms N] [--extended]   Table II (PB vs XCVerifier)
+//! repro fig1   [--budget-ms N]                Figure 1 (PBE region maps, PB + verifier)
+//! repro fig2   [--budget-ms N]                Figure 2 (LYP region maps, PB + verifier)
 //! repro all    [--budget-ms N] [--out DIR]
 //! ```
 //!
 //! ASCII maps go to stdout; SVG renderings and markdown tables are written
-//! under `--out` (default `results/`).
+//! under `--out` (default `results/`). Tables run as one [`Campaign`]: the
+//! whole matrix is scheduled across the thread pool, per-pair progress
+//! streams through campaign events, and the report renders directly.
 
 use std::fs;
 use std::path::PathBuf;
-use std::time::Instant;
-use xcv_bench::{default_grid, verifier_for};
+use xcv_bench::{config_for, default_grid, verifier_for};
 use xcv_conditions::Condition;
-use xcv_core::{Encoder, TableMark};
-use xcv_functionals::Dfa;
+use xcv_core::{Campaign, CampaignEvent, CampaignReport, Encoder, TableMark};
+use xcv_functionals::{Dfa, Registry};
 use xcv_report as report;
 
 struct Opts {
     budget_ms: u64,
     out: PathBuf,
+    extended: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         budget_ms: 150,
         out: PathBuf::from("results"),
+        extended: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -41,6 +45,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 i += 1;
                 o.out = PathBuf::from(&args[i]);
             }
+            "--extended" => o.extended = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -56,7 +61,7 @@ fn main() {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: repro <table1|table2|fig1|fig2|regularization|all> \
-             [--budget-ms N] [--out DIR]"
+             [--budget-ms N] [--out DIR] [--extended]"
         );
         std::process::exit(2);
     };
@@ -73,8 +78,11 @@ fn main() {
         "fig2" => figure(&opts, Dfa::Lyp, 2),
         "regularization" => regularization(&opts),
         "all" => {
-            table1(&opts);
-            table2(&opts);
+            // One campaign feeds both tables — the solver work dominates
+            // and Table II only adds the (cheap) PB grid pass.
+            let campaign_report = run_matrix_campaign(&opts);
+            render_table1(&opts, &campaign_report);
+            render_table2(&opts, &campaign_report);
             figure(&opts, Dfa::Pbe, 1);
             figure(&opts, Dfa::Lyp, 2);
             regularization(&opts);
@@ -102,53 +110,76 @@ fn figure_conditions(fig: u32) -> [Condition; 3] {
     }
 }
 
+/// Run the full matrix as one campaign, streaming per-pair progress lines.
+fn run_matrix_campaign(opts: &Opts) -> CampaignReport {
+    let registry = if opts.extended {
+        Registry::extended()
+    } else {
+        Registry::builtin()
+    };
+    let budget = opts.budget_ms;
+    Campaign::builder()
+        .registry(&registry)
+        .config_policy(move |f, _cond| config_for(f, budget))
+        .on_event(|e| {
+            if let CampaignEvent::PairFinished {
+                functional,
+                condition,
+                mark,
+                wall_ms,
+            } = e
+            {
+                eprintln!(
+                    "  {functional:10} / {:28} -> {:3}  ({wall_ms} ms)",
+                    condition.name(),
+                    mark.symbol(),
+                );
+            }
+        })
+        .build()
+        .expect("registry is non-empty")
+        .run()
+}
+
 fn table1(opts: &Opts) {
+    let campaign_report = run_matrix_campaign(opts);
+    render_table1(opts, &campaign_report);
+}
+
+fn table2(opts: &Opts) {
+    let campaign_report = run_matrix_campaign(opts);
+    render_table2(opts, &campaign_report);
+}
+
+fn render_table1(opts: &Opts, campaign_report: &CampaignReport) {
     println!("== Table I (per-box budget {} ms) ==", opts.budget_ms);
-    let start = Instant::now();
-    let mut cells = Vec::new();
-    for cond in Condition::all() {
-        for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa] {
-            let t0 = Instant::now();
-            let mark = match Encoder::encode(dfa, cond) {
-                Some(p) => verifier_for(dfa, opts.budget_ms).verify(&p).table_mark(),
-                None => TableMark::NotApplicable,
-            };
-            eprintln!(
-                "  {dfa:8} / {:28} -> {:3}  ({:.1?})",
-                cond.name(),
-                mark.symbol(),
-                t0.elapsed()
-            );
-            cells.push((dfa, cond, mark));
-        }
-    }
-    let t1 = report::Table1 { cells };
+    let t1 = report::Table1::from_campaign(campaign_report);
     let md = t1.render_markdown();
     println!("{md}");
     let decided = t1.count(|m| matches!(m, TableMark::Verified | TableMark::Counterexample));
     let partial = t1.count(|m| m == TableMark::PartiallyVerified);
     let unknown = t1.count(|m| m == TableMark::Unknown);
+    // The paper's 13/7/11 baseline only applies to its own 31-pair matrix.
+    let baseline = if opts.extended {
+        String::new()
+    } else {
+        " (paper: 13 / 7 / 11)".to_string()
+    };
     println!(
         "summary: {decided} verified-or-refuted, {partial} partially verified, \
-         {unknown} timeout/inconclusive (paper: 13 / 7 / 11)"
+         {unknown} timeout/inconclusive{baseline}"
     );
-    println!("total wall time: {:.1?}", start.elapsed());
+    println!(
+        "campaign: {} encoded pairs, wall time {} ms",
+        campaign_report.encoded_pairs(),
+        campaign_report.wall_ms
+    );
     fs::write(opts.out.join("table1.md"), md).expect("write table1.md");
 }
 
-fn table2(opts: &Opts) {
+fn render_table2(opts: &Opts, campaign_report: &CampaignReport) {
     println!("== Table II (per-box budget {} ms) ==", opts.budget_ms);
-    let grid_cfg = default_grid();
-    let mut cells = Vec::new();
-    for cond in Condition::all() {
-        for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa] {
-            let pr = report::run_pair(dfa, cond, &verifier_for(dfa, opts.budget_ms), &grid_cfg);
-            let c = pr.consistency();
-            eprintln!("  {dfa:8} / {:28} -> {}", cond.name(), c.symbol());
-            cells.push((dfa, cond, c));
-        }
-    }
-    let t2 = report::Table2 { cells };
+    let t2 = report::Table2::from_campaign(campaign_report, &default_grid());
     let md = t2.render_markdown();
     println!("{md}");
     fs::write(opts.out.join("table2.md"), md).expect("write table2.md");
@@ -160,32 +191,39 @@ fn figure(opts: &Opts, dfa: Dfa, fig: u32) {
     for (panel, cond) in figure_conditions(fig).into_iter().enumerate() {
         let letter = (b'a' + panel as u8) as char;
         println!("\n--- Fig {fig}{letter}: {dfa} / {cond} — PB grid ---");
-        if let Some(grid) = xcv_grid::pb_check(dfa, cond, &grid_cfg) {
+        if let Ok(grid) = xcv_grid::pb_check(dfa, cond, &grid_cfg) {
             println!("{}", report::ascii_grid_map(&grid, 60, 20));
             println!(
                 "PB: {} ({} of {} grid points violate)",
-                if grid.satisfied() { "no violations" } else { "violations found" },
+                if grid.satisfied() {
+                    "no violations"
+                } else {
+                    "violations found"
+                },
                 grid.n_violations(),
                 grid.pass.len()
             );
         }
         let letter2 = (b'd' + panel as u8) as char;
         println!("--- Fig {fig}{letter2}: {dfa} / {cond} — XCVerifier ---");
-        if let Some(p) = Encoder::encode(dfa, cond) {
-            let map = verifier_for(dfa, opts.budget_ms).verify(&p);
+        if let Ok(p) = Encoder::encode(dfa, cond) {
+            let map = verifier_for(&dfa, opts.budget_ms).verify(&p);
             println!("{}", report::ascii_region_map(&map, 60, 20));
             println!(
                 "verifier: {} | verified {:.0}% of the domain volume, \
                  counterexample {:.0}%, undecided {:.0}%",
                 map.table_mark(),
                 100.0 * map.volume_fraction(|s| matches!(s, xcv_core::RegionStatus::Verified)),
-                100.0 * map.volume_fraction(
-                    |s| matches!(s, xcv_core::RegionStatus::Counterexample(_))
-                ),
-                100.0 * map.volume_fraction(|s| matches!(
-                    s,
-                    xcv_core::RegionStatus::Timeout | xcv_core::RegionStatus::Inconclusive
-                )),
+                100.0
+                    * map.volume_fraction(|s| matches!(
+                        s,
+                        xcv_core::RegionStatus::Counterexample(_)
+                    )),
+                100.0
+                    * map.volume_fraction(|s| matches!(
+                        s,
+                        xcv_core::RegionStatus::Timeout | xcv_core::RegionStatus::Inconclusive
+                    )),
             );
             let name = format!(
                 "fig{fig}{letter2}_{}_{}.svg",
@@ -201,8 +239,8 @@ fn figure(opts: &Opts, dfa: Dfa, fig: u32) {
 
 /// Section VI-A experiment: does regularizing SCAN's α-switch (the rSCAN
 /// family) restore solver decidability? Runs SCAN and the regularized
-/// variant on the same conditions at the same budget and compares decided
-/// domain volume.
+/// variant on the same conditions at the same budget — as one campaign —
+/// and compares decided domain volume.
 fn regularization(opts: &Opts) {
     println!("== Regularization experiment (SCAN vs rSCAN-style, Section VI-A) ==");
     let conds = [
@@ -210,29 +248,46 @@ fn regularization(opts: &Opts) {
         Condition::EcScaling,
         Condition::ConjTcUpperBound,
     ];
+    let budget = opts.budget_ms;
+    let campaign_report = Campaign::builder()
+        .functionals([Dfa::Scan, Dfa::RScan])
+        .conditions(conds)
+        .config_policy(move |f, _| config_for(f, budget))
+        .build()
+        .expect("two functionals")
+        .run();
+    let decided_frac = |name: &str, cond: Condition| -> f64 {
+        campaign_report
+            .outcome(name, cond)
+            .and_then(|p| p.map.as_ref())
+            .map(|m| {
+                m.volume_fraction(|s| {
+                    matches!(
+                        s,
+                        xcv_core::RegionStatus::Verified
+                            | xcv_core::RegionStatus::Counterexample(_)
+                    )
+                })
+            })
+            .unwrap_or(0.0)
+    };
     let mut lines = Vec::new();
     lines.push("| condition | SCAN decided vol. | rSCAN(reg) decided vol. |".to_string());
     lines.push("|---|---|---|".to_string());
     for cond in conds {
-        let mut decided = Vec::new();
-        for dfa in [Dfa::Scan, Dfa::RScan] {
-            let p = Encoder::encode(dfa, cond).expect("applies");
-            let map = verifier_for(dfa, opts.budget_ms).verify(&p);
-            let frac = map.volume_fraction(|s| {
-                matches!(
-                    s,
-                    xcv_core::RegionStatus::Verified
-                        | xcv_core::RegionStatus::Counterexample(_)
-                )
-            });
-            eprintln!("  {dfa:12} / {:28} decided {:.1}%", cond.name(), 100.0 * frac);
-            decided.push(frac);
-        }
+        let scan = decided_frac("SCAN", cond);
+        let rscan = decided_frac("rSCAN(reg)", cond);
+        eprintln!(
+            "  SCAN {:.1}% vs rSCAN(reg) {:.1}% on {}",
+            100.0 * scan,
+            100.0 * rscan,
+            cond.name()
+        );
         lines.push(format!(
             "| {} | {:.1}% | {:.1}% |",
             cond.name(),
-            100.0 * decided[0],
-            100.0 * decided[1]
+            100.0 * scan,
+            100.0 * rscan
         ));
     }
     let md = lines.join("\n");

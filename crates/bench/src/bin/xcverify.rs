@@ -1,33 +1,33 @@
 //! `xcverify` — a CI-style command-line checker, the integration mode the
-//! paper proposes for LIBXC's continuous integration (Section VI-B).
+//! paper proposes for LIBXC's continuous integration (Section VI-B), now a
+//! thin shell over the campaign engine and the functional registry.
 //!
 //! ```text
 //! xcverify --dfa PBE --condition ec1 [--budget-ms 100] [--threshold 0.3] [--quiet]
-//! xcverify --dfa LYP --all
+//! xcverify --dfa LYP --all [--deadline-ms N]
 //! xcverify --list
 //! ```
 //!
-//! Exit status: 0 when every checked condition is verified or partially
-//! verified; 1 when any counterexample is found; 2 on usage errors. A CI job
-//! can therefore gate a functional-implementation change on `xcverify`.
+//! Exit status: 0 when every checked condition ran and none was refuted;
+//! 1 when any counterexample is found; 2 on usage errors; 3 when the
+//! `--deadline-ms` budget (or a defect in the functional) skipped one or
+//! more conditions — an incomplete run must not read as a green gate. A CI
+//! job can therefore gate a functional-implementation change on `xcverify`.
 
 use std::process::ExitCode;
-use xcv_bench::repro_verifier;
+use xcv_bench::repro_config;
 use xcv_conditions::Condition;
-use xcv_core::{Encoder, TableMark};
-use xcv_functionals::Dfa;
+use xcv_core::{Campaign, CampaignEvent, SkipReason, TableMark};
+use xcv_functionals::{FunctionalHandle, Registry};
 
-fn parse_dfa(name: &str) -> Option<Dfa> {
-    match name.to_ascii_uppercase().as_str() {
-        "PBE" => Some(Dfa::Pbe),
-        "SCAN" => Some(Dfa::Scan),
-        "LYP" => Some(Dfa::Lyp),
-        "AM05" => Some(Dfa::Am05),
-        "VWN" | "VWN_RPA" | "VWNRPA" => Some(Dfa::VwnRpa),
-        "RSCAN" | "RSCAN_REG" => Some(Dfa::RScan),
-        "BLYP" => Some(Dfa::Blyp),
-        _ => None,
-    }
+/// Resolve a CLI name against the extended registry (aliases included).
+fn lookup_dfa(registry: &Registry, name: &str) -> Option<FunctionalHandle> {
+    let canonical = match name.to_ascii_uppercase().as_str() {
+        "VWN" | "VWN_RPA" | "VWNRPA" => "VWN RPA".to_string(),
+        "RSCAN" | "RSCAN_REG" => "rSCAN(reg)".to_string(),
+        other => other.to_string(),
+    };
+    registry.get(&canonical)
 }
 
 fn parse_condition(name: &str) -> Option<Condition> {
@@ -45,26 +45,29 @@ fn parse_condition(name: &str) -> Option<Condition> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN> \
-         (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] [--quiet]\n\
+        "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN|BLYP> \
+         (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] \
+         [--deadline-ms N] [--quiet]\n\
          \u{20}      xcverify --list"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    let registry = Registry::extended();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut dfa: Option<Dfa> = None;
+    let mut dfa: Option<FunctionalHandle> = None;
     let mut condition: Option<Condition> = None;
     let mut all = false;
     let mut budget_ms = 100u64;
     let mut threshold = 0.3f64;
+    let mut deadline_ms: Option<u64> = None;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--list" => {
-                println!("DFAs: PBE SCAN LYP AM05 VWN_RPA RSCAN BLYP");
+                println!("DFAs: {}", registry.names().join(" "));
                 println!("conditions:");
                 for c in Condition::all() {
                     println!("  {:8} {}", short_name(c), c);
@@ -73,7 +76,7 @@ fn main() -> ExitCode {
             }
             "--dfa" => {
                 i += 1;
-                dfa = args.get(i).and_then(|s| parse_dfa(s));
+                dfa = args.get(i).and_then(|s| lookup_dfa(&registry, s));
                 if dfa.is_none() {
                     return usage();
                 }
@@ -100,6 +103,13 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => deadline_ms = Some(v),
+                    None => return usage(),
+                }
+            }
             "--quiet" => quiet = true,
             _ => return usage(),
         }
@@ -109,13 +119,13 @@ fn main() -> ExitCode {
     let conditions: Vec<Condition> = if all {
         Condition::all()
             .into_iter()
-            .filter(|c| c.applies_to(dfa))
+            .filter(|c| c.applies_to(dfa.as_ref()))
             .collect()
     } else {
         match condition {
-            Some(c) if c.applies_to(dfa) => vec![c],
+            Some(c) if c.applies_to(dfa.as_ref()) => vec![c],
             Some(c) => {
-                eprintln!("{c} does not apply to {dfa}");
+                eprintln!("{c} does not apply to {}", dfa.name());
                 return ExitCode::from(2);
             }
             None => return usage(),
@@ -123,28 +133,66 @@ fn main() -> ExitCode {
     };
 
     let max_depth = if dfa.arity() >= 3 { 3 } else { 5 };
-    let verifier = repro_verifier(budget_ms, threshold, max_depth);
-    let mut failed = false;
-    for cond in conditions {
-        let problem = Encoder::encode(dfa, cond).expect("applicability checked");
-        let map = verifier.verify(&problem);
-        let mark = map.table_mark();
-        if !quiet {
-            println!("{dfa} / {cond}: {mark}");
-            for ce in map.counterexamples().into_iter().take(5) {
-                let coords: Vec<String> = ce.iter().map(|v| format!("{v:.4}")).collect();
-                println!("  counterexample at ({})", coords.join(", "));
+    let mut builder = Campaign::builder()
+        .functional(&dfa)
+        .conditions(conditions)
+        .config(repro_config(budget_ms, threshold, max_depth));
+    if let Some(ms) = deadline_ms {
+        builder = builder.global_budget_ms(ms);
+    }
+    if !quiet {
+        // Pairs run concurrently, so cap witness lines per condition (the
+        // campaign has one functional) and label each line with its pair.
+        let shown = std::sync::Mutex::new(std::collections::HashMap::<String, usize>::new());
+        builder = builder.on_event(move |e| match e {
+            CampaignEvent::PairFinished {
+                functional,
+                condition,
+                mark,
+                ..
+            } => println!("{functional} / {condition}: {mark}"),
+            CampaignEvent::CounterexampleFound {
+                condition, witness, ..
+            } => {
+                let n = {
+                    let mut map = shown.lock().expect("poisoned");
+                    let n = map.entry(condition.name().to_string()).or_insert(0);
+                    *n += 1;
+                    *n
+                };
+                if n <= 5 {
+                    let coords: Vec<String> = witness.iter().map(|v| format!("{v:.4}")).collect();
+                    println!(
+                        "  [{}] counterexample at ({})",
+                        short_name(*condition),
+                        coords.join(", ")
+                    );
+                }
             }
-        }
-        if mark == TableMark::Counterexample {
-            failed = true;
-        }
+            _ => {}
+        });
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    let report = builder.build().expect("one functional").run();
+    if report.count(|m| m == TableMark::Counterexample) > 0 {
+        return ExitCode::FAILURE;
     }
+    // A condition the campaign never ran (deadline hit, defect) is not a
+    // pass: refuse to green-light an incomplete gate.
+    let unrun: Vec<String> = report
+        .pairs
+        .iter()
+        .filter(|p| !matches!(p.skipped, None | Some(SkipReason::NotApplicable)))
+        .map(|p| short_name(p.condition).to_string())
+        .collect();
+    if !unrun.is_empty() {
+        eprintln!(
+            "warning: {} condition(s) never ran ({}); gate is inconclusive",
+            unrun.len(),
+            unrun.join(", ")
+        );
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
 }
 
 fn short_name(c: Condition) -> &'static str {

@@ -1,14 +1,19 @@
 //! Shared presets for the benchmark harness and the `repro` binary.
 
 use xcv_core::{Verifier, VerifierConfig};
-use xcv_functionals::{Dfa, Family};
+use xcv_functionals::{Family, Functional};
 use xcv_grid::GridConfig;
 use xcv_solver::{DeltaSolver, SolveBudget};
 
 /// Verifier preset for reproduction runs: per-box wall-clock budget in
 /// milliseconds, recursion floor `t`, and a depth cap.
 pub fn repro_verifier(budget_ms: u64, threshold: f64, max_depth: u32) -> Verifier {
-    Verifier::new(VerifierConfig {
+    Verifier::new(repro_config(budget_ms, threshold, max_depth))
+}
+
+/// The [`VerifierConfig`] behind [`repro_verifier`], for campaign builders.
+pub fn repro_config(budget_ms: u64, threshold: f64, max_depth: u32) -> VerifierConfig {
+    VerifierConfig {
         split_threshold: threshold,
         solver: DeltaSolver::new(
             1e-3,
@@ -18,23 +23,30 @@ pub fn repro_verifier(budget_ms: u64, threshold: f64, max_depth: u32) -> Verifie
             },
         ),
         parallel: true,
+        parallel_depth: 3,
         max_depth,
         // Bound each pair's total run at 400x the per-box budget: enough for
         // several recursion levels, small enough that broad-timeout cells
         // (the paper's "?" columns) finish in interactive time.
         pair_deadline_ms: Some(budget_ms.saturating_mul(400)),
-    })
+    }
 }
 
-/// Per-family verifier settings for full-table runs. 3-D (meta-GGA) domains
-/// split into 8 children per level, so their recursion is capped earlier —
-/// the paper's SCAN rows time out at every size anyway.
-pub fn verifier_for(dfa: Dfa, budget_ms: u64) -> Verifier {
-    match dfa.info().family {
-        Family::Lda => repro_verifier(budget_ms, 0.05, 8),
-        Family::Gga => repro_verifier(budget_ms, 0.15, 6),
-        Family::MetaGga => repro_verifier(budget_ms, 0.625, 3),
+/// Per-family verifier settings for full-table runs, as a campaign config
+/// policy. 3-D (meta-GGA) domains split into 8 children per level, so their
+/// recursion is capped earlier — the paper's SCAN rows time out at every
+/// size anyway.
+pub fn config_for(f: &dyn Functional, budget_ms: u64) -> VerifierConfig {
+    match f.info().family {
+        Family::Lda => repro_config(budget_ms, 0.05, 8),
+        Family::Gga => repro_config(budget_ms, 0.15, 6),
+        Family::MetaGga => repro_config(budget_ms, 0.625, 3),
     }
+}
+
+/// Per-family verifier for single-pair runs (the pre-campaign API).
+pub fn verifier_for(f: &dyn Functional, budget_ms: u64) -> Verifier {
+    Verifier::new(config_for(f, budget_ms))
 }
 
 /// Grid preset for reproduction runs (the paper meshes 10⁵ samples per axis;

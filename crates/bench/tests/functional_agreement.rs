@@ -1,0 +1,83 @@
+//! Symbolic/scalar cross-validation over the whole registry (promoted from
+//! spot-checks in `benches/functional_eval.rs` to a proper test): every
+//! registered functional's expression DAG and closed-form scalar
+//! implementation must agree on a coarse Pederson–Burke grid — the
+//! LIBXC-vs-encoder consistency the verification pipeline rests on.
+
+use xcv_conditions::{ALPHA_MAX, RS_MAX, RS_MIN, S_MAX};
+use xcv_expr::Tape;
+use xcv_functionals::{Family, Registry};
+
+fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[test]
+fn every_registry_functional_dag_matches_scalar_on_pb_grid() {
+    for f in Registry::extended().iter() {
+        let eps_expr = f.eps_c_expr();
+        let fx_expr = f.f_x_expr();
+        assert_eq!(
+            fx_expr.is_some(),
+            f.info().has_exchange,
+            "{}: metadata disagrees with f_x_expr",
+            f.name()
+        );
+        let alphas = match f.info().family {
+            Family::MetaGga => grid(0.0, ALPHA_MAX, 4),
+            _ => vec![0.0],
+        };
+        for &rs in &grid(RS_MIN, RS_MAX, 7) {
+            for &s in &grid(0.0, S_MAX, 7) {
+                for &alpha in &alphas {
+                    let sym = eps_expr.eval(&[rs, s, alpha]).unwrap();
+                    let num = f.eps_c(rs, s, alpha);
+                    assert!(
+                        (sym - num).abs() <= 1e-9 * num.abs().max(1e-10),
+                        "{}: ε_c DAG {sym} vs scalar {num} at ({rs}, {s}, {alpha})",
+                        f.name()
+                    );
+                    // AM05's F_x has a removable singularity at s = 0 that
+                    // only the scalar code special-cases; compare off it.
+                    if s == 0.0 {
+                        continue;
+                    }
+                    if let (Some(fx_e), Some(fx_n)) = (&fx_expr, f.f_x(s, alpha)) {
+                        let sym = fx_e.eval(&[rs, s, alpha]).unwrap();
+                        assert!(
+                            (sym - fx_n).abs() <= 1e-9 * fx_n.abs().max(1e-10),
+                            "{}: F_x DAG {sym} vs scalar {fx_n} at ({s}, {alpha})",
+                            f.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_tape_matches_dag_on_pb_grid() {
+    // The third evaluation path (the compiled tape the benchmarks time) must
+    // agree bit-for-bit with the recursive DAG walk.
+    for f in Registry::builtin().iter() {
+        let expr = f.eps_c_expr();
+        let tape = Tape::compile(&expr);
+        let mut scratch = tape.scratch();
+        for &rs in &grid(RS_MIN, RS_MAX, 5) {
+            for &s in &grid(0.0, S_MAX, 5) {
+                let p = [rs, s, 1.0];
+                let a = expr.eval(&p).unwrap();
+                let b = tape.eval(&p, &mut scratch);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: tape {b} vs DAG {a} at {p:?}",
+                    f.name()
+                );
+            }
+        }
+    }
+}

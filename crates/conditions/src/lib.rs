@@ -10,6 +10,10 @@
 //! which this crate computes **symbolically** via `xcv_expr::Expr::diff`,
 //! exactly as XCEncoder does with SymPy (no numerical differentiation).
 //!
+//! Conditions dispatch through the open [`Functional`] trait: any registry
+//! citizen — built-in `Dfa` variant or runtime-registered DSL functional —
+//! can be encoded. A `&Dfa` coerces to `&dyn Functional` at every call site.
+//!
 //! | id | exact condition | local condition |
 //! |----|-----------------|-----------------|
 //! | EC1 | `E_c[n] <= 0` | `F_c >= 0` (Eq. 4) |
@@ -26,7 +30,7 @@
 //! domain `rs > 0` and keeps the solver's expressions division-free.
 
 use xcv_expr::constant;
-use xcv_functionals::{Dfa, RS};
+use xcv_functionals::{Functional, FunctionalHandle, Registry, XcvError, RS};
 use xcv_solver::{Atom, BoxDomain, Rel};
 
 /// The Lieb–Oxford constant used by Pederson–Burke.
@@ -104,23 +108,36 @@ impl Condition {
 
     /// The Lieb–Oxford conditions require both exchange and correlation
     /// parts; every other condition applies to any DFA with correlation.
-    pub fn applies_to(&self, dfa: Dfa) -> bool {
+    pub fn applies_to(&self, f: &dyn Functional) -> bool {
+        let info = f.info();
         match self {
-            Condition::LiebOxford | Condition::LiebOxfordExt => dfa.info().has_exchange,
-            _ => dfa.info().has_correlation,
+            Condition::LiebOxford | Condition::LiebOxfordExt => info.has_exchange,
+            _ => info.has_correlation,
         }
     }
 
-    /// Encode the local condition `ψ` for a DFA as a sign atom over the
-    /// canonical variables. Returns `None` when the condition does not apply.
+    /// Encode the local condition `ψ` for a functional as a sign atom over
+    /// the canonical variables; [`XcvError::NotApplicable`] when the
+    /// condition does not apply (the `−` cells of Table I).
     ///
     /// The verifier refutes `¬ψ` ([`Atom::negate`]) over the PB domain.
-    pub fn encode(&self, dfa: Dfa) -> Option<Atom> {
-        if !self.applies_to(dfa) {
-            return None;
+    pub fn encode(&self, f: &dyn Functional) -> Result<Atom, XcvError> {
+        if !self.applies_to(f) {
+            return Err(XcvError::NotApplicable {
+                functional: f.name(),
+                condition: self.name().to_string(),
+            });
         }
-        let fc = dfa.f_c_expr();
-        Some(match self {
+        let fc = f.f_c_expr();
+        // applies_to guarantees an exchange part for the LO conditions; the
+        // error is kept for defensive trait implementations that disagree
+        // with their own metadata.
+        let fxc = || {
+            f.f_xc_expr().ok_or_else(|| XcvError::MissingExchange {
+                functional: f.name(),
+            })
+        };
+        Ok(match self {
             // F_c >= 0
             Condition::EcNonPositivity => Atom::new(fc, Rel::Ge),
             // ∂F_c/∂rs >= 0
@@ -147,24 +164,20 @@ impl Condition {
             }
             // F_xc + rs·∂F_c/∂rs <= C_LO
             Condition::LiebOxford => {
-                let fxc = dfa.f_xc_expr()?;
                 let d1 = fc.diff(RS);
                 let rs = xcv_expr::var(RS);
-                Atom::new(fxc + rs * d1 - constant(C_LO), Rel::Le)
+                Atom::new(fxc()? + rs * d1 - constant(C_LO), Rel::Le)
             }
             // F_xc <= C_LO
-            Condition::LiebOxfordExt => {
-                let fxc = dfa.f_xc_expr()?;
-                Atom::new(fxc - constant(C_LO), Rel::Le)
-            }
+            Condition::LiebOxfordExt => Atom::new(fxc()? - constant(C_LO), Rel::Le),
         })
     }
 
     /// Scalar check of the local condition at a point, using the symbolic
     /// encoding (exact semantics; the PB baseline has its own grid-gradient
     /// version in `xcv-grid`).
-    pub fn holds_at(&self, dfa: Dfa, point: &[f64]) -> Option<bool> {
-        self.encode(dfa).map(|a| a.holds_at(point))
+    pub fn holds_at(&self, f: &dyn Functional, point: &[f64]) -> Result<bool, XcvError> {
+        self.encode(f).map(|a| a.holds_at(point))
     }
 }
 
@@ -174,35 +187,42 @@ impl std::fmt::Display for Condition {
     }
 }
 
-/// The Pederson–Burke input domain for a DFA: `rs ∈ [1e-4, 5]`, `s ∈ [0, 5]`
-/// (GGA and above), `α ∈ [0, 5]` (meta-GGA).
-pub fn pb_domain(dfa: Dfa) -> BoxDomain {
+/// The Pederson–Burke input domain for a functional: `rs ∈ [1e-4, 5]`,
+/// `s ∈ [0, 5]` (GGA and above), `α ∈ [0, 5]` (meta-GGA).
+pub fn pb_domain(f: &dyn Functional) -> BoxDomain {
     let mut bounds = vec![(RS_MIN, RS_MAX)];
-    if dfa.arity() >= 2 {
+    if f.arity() >= 2 {
         bounds.push((0.0, S_MAX));
     }
-    if dfa.arity() >= 3 {
+    if f.arity() >= 3 {
         bounds.push((0.0, ALPHA_MAX));
     }
     BoxDomain::from_bounds(&bounds)
 }
 
-/// Every applicable (DFA, condition) pair — the paper's 31 rows.
-pub fn applicable_pairs() -> Vec<(Dfa, Condition)> {
+/// Every applicable (functional, condition) pair of a registry, in
+/// registry × Table-I-row order.
+pub fn applicable_pairs_in(registry: &Registry) -> Vec<(FunctionalHandle, Condition)> {
     let mut out = Vec::new();
-    for dfa in Dfa::all() {
+    for f in registry.iter() {
         for cond in Condition::all() {
-            if cond.applies_to(dfa) {
-                out.push((dfa, cond));
+            if cond.applies_to(f.as_ref()) {
+                out.push((f.clone(), cond));
             }
         }
     }
     out
 }
 
+/// Every applicable pair of the paper's five built-in DFAs — its 31 rows.
+pub fn applicable_pairs() -> Vec<(FunctionalHandle, Condition)> {
+    applicable_pairs_in(&Registry::builtin())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xcv_functionals::Dfa;
 
     #[test]
     fn thirty_one_applicable_pairs() {
@@ -211,21 +231,35 @@ mod tests {
     }
 
     #[test]
+    fn registry_pairs_follow_registration_order() {
+        let pairs = applicable_pairs_in(&Registry::extended());
+        // 7 functionals; BLYP and rSCAN have both parts → all 7 conditions.
+        assert_eq!(pairs.len(), 45);
+        assert_eq!(pairs[0].0.name(), "PBE");
+    }
+
+    #[test]
     fn lo_only_for_xc_functionals() {
-        assert!(Condition::LiebOxford.applies_to(Dfa::Pbe));
-        assert!(Condition::LiebOxford.applies_to(Dfa::Am05));
-        assert!(Condition::LiebOxford.applies_to(Dfa::Scan));
-        assert!(!Condition::LiebOxford.applies_to(Dfa::Lyp));
-        assert!(!Condition::LiebOxfordExt.applies_to(Dfa::VwnRpa));
-        assert!(Condition::LiebOxford.encode(Dfa::Lyp).is_none());
+        assert!(Condition::LiebOxford.applies_to(&Dfa::Pbe));
+        assert!(Condition::LiebOxford.applies_to(&Dfa::Am05));
+        assert!(Condition::LiebOxford.applies_to(&Dfa::Scan));
+        assert!(!Condition::LiebOxford.applies_to(&Dfa::Lyp));
+        assert!(!Condition::LiebOxfordExt.applies_to(&Dfa::VwnRpa));
+        assert_eq!(
+            Condition::LiebOxford.encode(&Dfa::Lyp).unwrap_err(),
+            XcvError::NotApplicable {
+                functional: "LYP".into(),
+                condition: "LO bound".into(),
+            }
+        );
     }
 
     #[test]
     fn pb_domain_by_family() {
-        assert_eq!(pb_domain(Dfa::VwnRpa).ndim(), 1);
-        assert_eq!(pb_domain(Dfa::Pbe).ndim(), 2);
-        assert_eq!(pb_domain(Dfa::Scan).ndim(), 3);
-        let d = pb_domain(Dfa::Pbe);
+        assert_eq!(pb_domain(&Dfa::VwnRpa).ndim(), 1);
+        assert_eq!(pb_domain(&Dfa::Pbe).ndim(), 2);
+        assert_eq!(pb_domain(&Dfa::Scan).ndim(), 3);
+        let d = pb_domain(&Dfa::Pbe);
         assert_eq!(d.dim(0).lo, RS_MIN);
         assert_eq!(d.dim(0).hi, RS_MAX);
         assert_eq!(d.dim(1).lo, 0.0);
@@ -234,19 +268,16 @@ mod tests {
     #[test]
     fn ec1_vwn_holds_lyp_fails() {
         // VWN RPA: ε_c < 0 everywhere ⇒ F_c >= 0 holds.
-        assert_eq!(
-            Condition::EcNonPositivity.holds_at(Dfa::VwnRpa, &[1.0]),
-            Some(true)
-        );
+        assert!(Condition::EcNonPositivity
+            .holds_at(&Dfa::VwnRpa, &[1.0])
+            .unwrap());
         // LYP violates at large s (paper Fig. 2d).
-        assert_eq!(
-            Condition::EcNonPositivity.holds_at(Dfa::Lyp, &[2.0, 2.5]),
-            Some(false)
-        );
-        assert_eq!(
-            Condition::EcNonPositivity.holds_at(Dfa::Lyp, &[2.0, 0.5]),
-            Some(true)
-        );
+        assert!(!Condition::EcNonPositivity
+            .holds_at(&Dfa::Lyp, &[2.0, 2.5])
+            .unwrap());
+        assert!(Condition::EcNonPositivity
+            .holds_at(&Dfa::Lyp, &[2.0, 0.5])
+            .unwrap());
     }
 
     #[test]
@@ -254,9 +285,8 @@ mod tests {
         // PBE satisfies the scaling inequality (Table I shows ✓* — verified
         // where decided); sample points must satisfy it.
         for &(rs, s) in &[(0.5, 0.5), (1.0, 2.0), (3.0, 1.0), (4.9, 4.9)] {
-            assert_eq!(
-                Condition::EcScaling.holds_at(Dfa::Pbe, &[rs, s]),
-                Some(true),
+            assert!(
+                Condition::EcScaling.holds_at(&Dfa::Pbe, &[rs, s]).unwrap(),
                 "({rs}, {s})"
             );
         }
@@ -266,14 +296,12 @@ mod tests {
     fn ec7_pbe_violated_in_upper_left() {
         // Fig. 1f: the conjectured Tc bound fails for PBE at small rs /
         // large s and holds at large rs / small s.
-        assert_eq!(
-            Condition::ConjTcUpperBound.holds_at(Dfa::Pbe, &[0.1, 4.0]),
-            Some(false)
-        );
-        assert_eq!(
-            Condition::ConjTcUpperBound.holds_at(Dfa::Pbe, &[4.0, 0.5]),
-            Some(true)
-        );
+        assert!(!Condition::ConjTcUpperBound
+            .holds_at(&Dfa::Pbe, &[0.1, 4.0])
+            .unwrap());
+        assert!(Condition::ConjTcUpperBound
+            .holds_at(&Dfa::Pbe, &[4.0, 0.5])
+            .unwrap());
     }
 
     #[test]
@@ -281,9 +309,10 @@ mod tests {
         // F_xc^{PBE} <= 2.27: PBE exchange is bounded by 1.804 and F_c is
         // small — the paper verifies this condition fully (Fig. 1e).
         for &(rs, s) in &[(0.001, 0.0), (0.5, 2.0), (5.0, 5.0), (1.0, 1.0)] {
-            assert_eq!(
-                Condition::LiebOxfordExt.holds_at(Dfa::Pbe, &[rs, s]),
-                Some(true),
+            assert!(
+                Condition::LiebOxfordExt
+                    .holds_at(&Dfa::Pbe, &[rs, s])
+                    .unwrap(),
                 "({rs}, {s})"
             );
         }
@@ -292,16 +321,15 @@ mod tests {
     #[test]
     fn ec1_scan_holds_sampled() {
         for &(rs, s, a) in &[(0.5, 1.0, 0.5), (2.0, 3.0, 2.0), (1.0, 0.0, 1.0)] {
-            assert_eq!(
-                Condition::EcNonPositivity.holds_at(Dfa::Scan, &[rs, s, a]),
-                Some(true)
-            );
+            assert!(Condition::EcNonPositivity
+                .holds_at(&Dfa::Scan, &[rs, s, a])
+                .unwrap());
         }
     }
 
     #[test]
     fn ec6_uses_rs_inf_substitution() {
-        let atom = Condition::TcUpperBound.encode(Dfa::VwnRpa).unwrap();
+        let atom = Condition::TcUpperBound.encode(&Dfa::VwnRpa).unwrap();
         let v = atom.expr.eval(&[1.0]).unwrap();
         assert!(v.is_finite());
         // For VWN RPA the condition holds on the domain (Table I ✓).
@@ -313,7 +341,7 @@ mod tests {
     #[test]
     fn ec3_lda_condition_holds_for_vwn() {
         // Uc monotonicity for VWN RPA: ✓ in Table I.
-        let atom = Condition::UcMonotonicity.encode(Dfa::VwnRpa).unwrap();
+        let atom = Condition::UcMonotonicity.encode(&Dfa::VwnRpa).unwrap();
         for &rs in &[0.01, 0.5, 1.0, 3.0, 5.0] {
             let v = atom.expr.eval(&[rs]).unwrap();
             assert!(atom.rel.holds(v), "rs={rs}: {v}");
@@ -332,12 +360,33 @@ mod tests {
             (Condition::ConjTcUpperBound, [2.0, 2.0]),
         ];
         for (cond, p) in pts {
-            assert_eq!(
-                cond.holds_at(Dfa::Lyp, p),
-                Some(false),
+            assert!(
+                !cond.holds_at(&Dfa::Lyp, p).unwrap(),
                 "{cond} should fail at {p:?}"
             );
         }
+    }
+
+    #[test]
+    fn dsl_functional_encodes_through_trait() {
+        // A runtime-registered DSL functional flows through the same encode
+        // path as the builtins — the open-registry tentpole, end to end.
+        use xcv_functionals::{functional, Design, DslFunctional, Family};
+        let src = "\
+def wigner_c(rs, s):
+    return -0.44 / (7.8 + rs) / (1 + 0.5 * s ** 2)
+";
+        let f = DslFunctional::new(
+            functional::info("wigner", Family::Gga, Design::Empirical, false, true),
+            src,
+            "wigner_c",
+        )
+        .unwrap();
+        let atom = Condition::EcNonPositivity.encode(&f).unwrap();
+        // ε_c < 0 everywhere ⇒ ψ: F_c >= 0 holds at sample points.
+        assert!(atom.holds_at(&[1.0, 1.0]));
+        assert!(Condition::LiebOxford.encode(&f).is_err());
+        assert_eq!(pb_domain(&f).ndim(), 2);
     }
 
     #[test]

@@ -1,0 +1,660 @@
+//! The campaign engine: whole verification matrices as one scheduled,
+//! budgeted, observable unit.
+//!
+//! The paper's headline artifact is not a single verdict but the Table I/II
+//! *matrix* — every applicable (functional, condition) pair verified in one
+//! run. [`Campaign`] makes that matrix a first-class value:
+//!
+//! * **building** — [`Campaign::builder`] takes any mix of registry handles
+//!   (built-in `Dfa` variants, runtime-registered DSL functionals), a
+//!   condition subset (default: all seven), and a [`VerifierConfig`];
+//! * **scheduling** — applicable pairs are encoded up front and fanned out
+//!   across rayon. Each pair keeps the per-pair deadline from the verifier
+//!   config; a global wall-clock budget bounds the whole campaign, and pairs
+//!   reached after it expires are recorded as skipped rather than run;
+//! * **observing** — [`CampaignEvent`]s stream through a callback (or the
+//!   [`CampaignBuilder::event_channel`] convenience) as pairs start, finish,
+//!   and produce counterexamples; a [`CancelToken`] stops the campaign at
+//!   pair granularity from any thread;
+//! * **reporting** — the result is a structured [`CampaignReport`] that
+//!   `xcv_report` renders directly into the paper's Tables I/II.
+
+use crate::encoder::{EncodedProblem, Encoder};
+use crate::region::{RegionMap, TableMark};
+use crate::verifier::{Verifier, VerifierConfig};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xcv_conditions::Condition;
+use xcv_functionals::{FunctionalHandle, IntoFunctional, Registry, XcvError};
+
+/// Cooperative cancellation for a running campaign. Clone it, hand the clone
+/// to another thread (or a ctrl-c handler), and call [`CancelToken::cancel`];
+/// pairs that have not started yet are skipped.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Why a pair was not verified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The condition does not apply to the functional (Table I's `−`).
+    NotApplicable,
+    /// Encoding failed for a reason *other* than inapplicability — e.g. a
+    /// functional whose metadata claims an exchange part its
+    /// implementation does not provide. The cell is undecided, and the
+    /// defect is surfaced rather than rendered as a legitimate `−`.
+    EncodeFailed,
+    /// The campaign's global wall-clock budget expired first.
+    BudgetExhausted,
+    /// The campaign was cancelled first.
+    Cancelled,
+}
+
+/// Progress notifications streamed while a campaign runs. Delivered from
+/// worker threads in completion order, not matrix order.
+#[derive(Clone, Debug)]
+pub enum CampaignEvent {
+    PairStarted {
+        functional: String,
+        condition: Condition,
+    },
+    /// A δ-SAT model that exactly violates ψ was found for this pair. One
+    /// event per (deduplicated) witness, emitted after the pair's
+    /// verification completes and before its `PairFinished` — witnesses are
+    /// not streamed mid-verify, so cancellation reacts at pair granularity.
+    CounterexampleFound {
+        functional: String,
+        condition: Condition,
+        witness: Vec<f64>,
+    },
+    PairFinished {
+        functional: String,
+        condition: Condition,
+        mark: TableMark,
+        wall_ms: u128,
+    },
+    PairSkipped {
+        functional: String,
+        condition: Condition,
+        reason: SkipReason,
+    },
+}
+
+/// Everything the campaign produced for one matrix cell.
+#[derive(Clone, Debug)]
+pub struct PairOutcome {
+    pub functional: FunctionalHandle,
+    pub condition: Condition,
+    /// The Table I mark ([`TableMark::NotApplicable`] for `−` cells,
+    /// [`TableMark::Unknown`] for budget/cancel skips).
+    pub mark: TableMark,
+    /// The verifier's region map (absent for inapplicable or skipped pairs).
+    pub map: Option<RegionMap>,
+    pub wall_ms: u128,
+    /// Set when the pair never ran.
+    pub skipped: Option<SkipReason>,
+}
+
+impl PairOutcome {
+    pub fn functional_name(&self) -> String {
+        self.functional.name()
+    }
+}
+
+/// The structured result of a campaign run: one [`PairOutcome`] per matrix
+/// cell, in functional-major (column-major) matrix order.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The functionals of the campaign, in builder order.
+    pub functionals: Vec<FunctionalHandle>,
+    /// The conditions of the campaign, in builder order.
+    pub conditions: Vec<Condition>,
+    pub pairs: Vec<PairOutcome>,
+    /// Total campaign wall time.
+    pub wall_ms: u128,
+}
+
+impl CampaignReport {
+    /// The outcome for a cell, by functional name (case-insensitive).
+    pub fn outcome(&self, functional: &str, condition: Condition) -> Option<&PairOutcome> {
+        self.pairs.iter().find(|p| {
+            p.condition == condition && p.functional.name().eq_ignore_ascii_case(functional)
+        })
+    }
+
+    /// The Table I mark for a cell.
+    pub fn mark(&self, functional: &str, condition: Condition) -> Option<TableMark> {
+        self.outcome(functional, condition).map(|p| p.mark)
+    }
+
+    /// Pairs that actually encoded (inapplicable and encode-failed cells
+    /// excluded).
+    pub fn encoded_pairs(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| {
+                !matches!(
+                    p.skipped,
+                    Some(SkipReason::NotApplicable | SkipReason::EncodeFailed)
+                )
+            })
+            .count()
+    }
+
+    /// Count cells by mark predicate (for the paper's summary lines).
+    pub fn count(&self, pred: impl Fn(TableMark) -> bool) -> usize {
+        self.pairs.iter().filter(|p| pred(p.mark)).count()
+    }
+
+    /// All counterexample witnesses, as (functional name, condition, point).
+    pub fn counterexamples(&self) -> Vec<(String, Condition, Vec<f64>)> {
+        let mut out = Vec::new();
+        for p in &self.pairs {
+            if let Some(map) = &p.map {
+                for ce in map.counterexamples() {
+                    out.push((p.functional.name(), p.condition, ce.to_vec()));
+                }
+            }
+        }
+        out
+    }
+}
+
+type EventCallback = Arc<dyn Fn(&CampaignEvent) + Send + Sync>;
+type ConfigPolicy =
+    Arc<dyn Fn(&dyn xcv_functionals::Functional, Condition) -> VerifierConfig + Send + Sync>;
+
+/// Builder for [`Campaign`]; see the [module documentation](self).
+pub struct CampaignBuilder {
+    functionals: Vec<FunctionalHandle>,
+    conditions: Vec<Condition>,
+    config: VerifierConfig,
+    config_policy: Option<ConfigPolicy>,
+    global_budget_ms: Option<u64>,
+    on_event: Vec<EventCallback>,
+    cancel: CancelToken,
+}
+
+impl CampaignBuilder {
+    /// Add functionals (any `impl IntoFunctional`: `Dfa` variants, handles).
+    pub fn functionals<I, F>(mut self, fs: I) -> Self
+    where
+        I: IntoIterator<Item = F>,
+        F: IntoFunctional,
+    {
+        self.functionals
+            .extend(fs.into_iter().map(IntoFunctional::into_handle));
+        self
+    }
+
+    /// Add one functional.
+    pub fn functional(mut self, f: impl IntoFunctional) -> Self {
+        self.functionals.push(f.into_handle());
+        self
+    }
+
+    /// Add every functional of a registry, in registration order.
+    pub fn registry(mut self, registry: &Registry) -> Self {
+        self.functionals.extend(registry.iter().cloned());
+        self
+    }
+
+    /// Restrict the conditions (default: all seven, Table I row order).
+    pub fn conditions(mut self, cs: impl IntoIterator<Item = Condition>) -> Self {
+        self.conditions = cs.into_iter().collect();
+        self
+    }
+
+    /// The verifier configuration every pair runs with (per-pair deadline
+    /// included, via [`VerifierConfig::pair_deadline_ms`]).
+    pub fn config(mut self, config: VerifierConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Derive the verifier configuration per pair instead of using one base
+    /// config — e.g. coarser recursion floors for 3-D meta-GGA domains, the
+    /// way the reproduction binary tunes per family.
+    pub fn config_policy(
+        mut self,
+        policy: impl Fn(&dyn xcv_functionals::Functional, Condition) -> VerifierConfig
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.config_policy = Some(Arc::new(policy));
+        self
+    }
+
+    /// Global wall-clock budget for the whole campaign. Pairs reached after
+    /// it expires are skipped ([`SkipReason::BudgetExhausted`]); a running
+    /// pair additionally has its own deadline clamped to the remaining
+    /// budget.
+    pub fn global_budget_ms(mut self, ms: u64) -> Self {
+        self.global_budget_ms = Some(ms);
+        self
+    }
+
+    /// Stream events to a callback (may be called from worker threads;
+    /// multiple callbacks compose).
+    pub fn on_event(mut self, f: impl Fn(&CampaignEvent) + Send + Sync + 'static) -> Self {
+        self.on_event.push(Arc::new(f));
+        self
+    }
+
+    /// Convenience: stream events into an `mpsc` channel instead of (or in
+    /// addition to) callbacks. Returns the receiving end.
+    pub fn event_channel(self) -> (Self, mpsc::Receiver<CampaignEvent>) {
+        let (tx, rx) = mpsc::channel();
+        let tx = Mutex::new(tx);
+        let b = self.on_event(move |e| {
+            if let Ok(tx) = tx.lock() {
+                let _ = tx.send(e.clone());
+            }
+        });
+        (b, rx)
+    }
+
+    /// Attach a cancellation token (see [`CancelToken`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Finish building. Fails with [`XcvError::UnknownFunctional`] when no
+    /// functionals were supplied (an empty campaign is always a caller bug)
+    /// and with [`XcvError::DuplicateFunctional`] on duplicate names —
+    /// reports key cells by name, so aliased columns would be ambiguous.
+    pub fn build(self) -> Result<Campaign, XcvError> {
+        if self.functionals.is_empty() {
+            return Err(XcvError::UnknownFunctional(
+                "(campaign has no functionals)".into(),
+            ));
+        }
+        let mut names: Vec<String> = self
+            .functionals
+            .iter()
+            .map(|f| f.name().to_ascii_lowercase())
+            .collect();
+        names.sort();
+        if let Some(dup) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(XcvError::DuplicateFunctional(dup[0].clone()));
+        }
+        Ok(Campaign {
+            functionals: self.functionals,
+            conditions: self.conditions,
+            config: self.config,
+            config_policy: self.config_policy,
+            global_budget_ms: self.global_budget_ms,
+            on_event: self.on_event,
+            cancel: self.cancel,
+        })
+    }
+}
+
+/// A verification campaign over a (functionals × conditions) matrix.
+pub struct Campaign {
+    functionals: Vec<FunctionalHandle>,
+    conditions: Vec<Condition>,
+    config: VerifierConfig,
+    config_policy: Option<ConfigPolicy>,
+    global_budget_ms: Option<u64>,
+    on_event: Vec<EventCallback>,
+    cancel: CancelToken,
+}
+
+impl Campaign {
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder {
+            functionals: Vec::new(),
+            conditions: Condition::all().to_vec(),
+            config: VerifierConfig::default(),
+            config_policy: None,
+            global_budget_ms: None,
+            on_event: Vec::new(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    fn emit(&self, event: CampaignEvent) {
+        for cb in &self.on_event {
+            cb(&event);
+        }
+    }
+
+    /// Milliseconds left in the global budget (`None` = unbounded).
+    fn remaining_ms(&self, start: Instant) -> Option<u64> {
+        self.global_budget_ms.map(|ms| {
+            u64::try_from(u128::from(ms).saturating_sub(start.elapsed().as_millis())).unwrap_or(0)
+        })
+    }
+
+    /// Run the campaign: encode every cell, schedule the applicable pairs
+    /// across rayon, and collect a [`CampaignReport`] in matrix order.
+    pub fn run(&self) -> CampaignReport {
+        let start = Instant::now();
+        // Encode the full matrix up front (cheap relative to solving): cells
+        // are either an EncodedProblem or a skip outcome.
+        type SkippedCell = (FunctionalHandle, Condition, SkipReason);
+        let cells: Vec<Result<EncodedProblem, SkippedCell>> = self
+            .functionals
+            .iter()
+            .flat_map(|f| {
+                self.conditions.iter().map(move |&cond| {
+                    Encoder::encode(f, cond).map_err(|e| {
+                        // A genuine `−` cell vs. a defective functional
+                        // (e.g. metadata promises an exchange part the
+                        // implementation lacks): the latter must not render
+                        // as a legitimate "not applicable".
+                        let reason = match e {
+                            XcvError::NotApplicable { .. } => SkipReason::NotApplicable,
+                            _ => SkipReason::EncodeFailed,
+                        };
+                        (Arc::clone(f), cond, reason)
+                    })
+                })
+            })
+            .collect();
+        // Schedule: one rayon task per cell. The verifier's own recursion
+        // fans out further below parallel_depth, so the pool stays busy even
+        // for campaigns smaller than the machine.
+        let pairs: Vec<PairOutcome> = cells
+            .par_iter()
+            .map(|cell| match cell {
+                Err((f, cond, reason)) => {
+                    self.emit(CampaignEvent::PairSkipped {
+                        functional: f.name(),
+                        condition: *cond,
+                        reason: *reason,
+                    });
+                    PairOutcome {
+                        functional: Arc::clone(f),
+                        condition: *cond,
+                        mark: match reason {
+                            SkipReason::NotApplicable => TableMark::NotApplicable,
+                            _ => TableMark::Unknown,
+                        },
+                        map: None,
+                        wall_ms: 0,
+                        skipped: Some(*reason),
+                    }
+                }
+                Ok(problem) => self.run_pair(problem, start),
+            })
+            .collect();
+        CampaignReport {
+            functionals: self.functionals.clone(),
+            conditions: self.conditions.clone(),
+            pairs,
+            wall_ms: start.elapsed().as_millis(),
+        }
+    }
+
+    fn run_pair(&self, problem: &EncodedProblem, start: Instant) -> PairOutcome {
+        let name = problem.functional.name();
+        let cond = problem.condition;
+        let skip = |reason| {
+            self.emit(CampaignEvent::PairSkipped {
+                functional: name.clone(),
+                condition: cond,
+                reason,
+            });
+            PairOutcome {
+                functional: Arc::clone(&problem.functional),
+                condition: cond,
+                mark: TableMark::Unknown,
+                map: None,
+                wall_ms: 0,
+                skipped: Some(reason),
+            }
+        };
+        if self.cancel.is_cancelled() {
+            return skip(SkipReason::Cancelled);
+        }
+        let remaining = self.remaining_ms(start);
+        if remaining == Some(0) {
+            return skip(SkipReason::BudgetExhausted);
+        }
+        self.emit(CampaignEvent::PairStarted {
+            functional: name.clone(),
+            condition: cond,
+        });
+        // Per-pair deadline, clamped to what is left of the global budget.
+        let mut config = match &self.config_policy {
+            Some(policy) => policy(problem.functional.as_ref(), cond),
+            None => self.config.clone(),
+        };
+        config.pair_deadline_ms = match (config.pair_deadline_ms, remaining) {
+            (Some(p), Some(r)) => Some(p.min(r)),
+            (p, r) => p.or(r),
+        };
+        let t0 = Instant::now();
+        let map = Verifier::new(config).verify(problem);
+        let wall_ms = t0.elapsed().as_millis();
+        for ce in map.counterexamples() {
+            self.emit(CampaignEvent::CounterexampleFound {
+                functional: name.clone(),
+                condition: cond,
+                witness: ce.to_vec(),
+            });
+        }
+        let mark = map.table_mark();
+        self.emit(CampaignEvent::PairFinished {
+            functional: name.clone(),
+            condition: cond,
+            mark,
+            wall_ms,
+        });
+        PairOutcome {
+            functional: Arc::clone(&problem.functional),
+            condition: cond,
+            mark,
+            map: Some(map),
+            wall_ms,
+            skipped: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use xcv_functionals::Dfa;
+    use xcv_solver::{DeltaSolver, SolveBudget};
+
+    fn quick_config(nodes: u64) -> VerifierConfig {
+        VerifierConfig {
+            split_threshold: 1.25,
+            solver: DeltaSolver::new(1e-3, SolveBudget::nodes(nodes)),
+            parallel: false,
+            parallel_depth: 3,
+            max_depth: 3,
+            pair_deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn empty_campaign_is_an_error() {
+        assert!(Campaign::builder().build().is_err());
+    }
+
+    #[test]
+    fn duplicate_functional_names_rejected() {
+        // Reports key cells by name: two columns named PBE would alias.
+        match Campaign::builder()
+            .functionals([Dfa::Pbe, Dfa::Pbe])
+            .build()
+        {
+            Err(e) => assert!(
+                matches!(e, xcv_functionals::XcvError::DuplicateFunctional(_)),
+                "{e}"
+            ),
+            Ok(_) => panic!("duplicate names must be rejected"),
+        }
+    }
+
+    #[test]
+    fn single_pair_campaign_matches_direct_verify() {
+        let campaign = Campaign::builder()
+            .functional(Dfa::Lyp)
+            .conditions([Condition::EcNonPositivity])
+            .config(quick_config(20_000))
+            .build()
+            .unwrap();
+        let report = campaign.run();
+        assert_eq!(report.pairs.len(), 1);
+        assert_eq!(
+            report.mark("LYP", Condition::EcNonPositivity),
+            Some(TableMark::Counterexample)
+        );
+        // Same mark as the old per-pair path with the same config.
+        let p = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+        let direct = Verifier::new(quick_config(20_000)).verify(&p);
+        assert_eq!(report.pairs[0].mark, direct.table_mark());
+    }
+
+    #[test]
+    fn inapplicable_cells_marked_not_applicable() {
+        let report = Campaign::builder()
+            .functionals([Dfa::Lyp, Dfa::VwnRpa])
+            .conditions([Condition::LiebOxford, Condition::EcNonPositivity])
+            .config(quick_config(2_000))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.pairs.len(), 4);
+        assert_eq!(
+            report.mark("LYP", Condition::LiebOxford),
+            Some(TableMark::NotApplicable)
+        );
+        assert_eq!(report.encoded_pairs(), 2);
+    }
+
+    #[test]
+    fn events_stream_in_order_per_pair() {
+        let started = Arc::new(AtomicUsize::new(0));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let (s2, f2) = (Arc::clone(&started), Arc::clone(&finished));
+        let report = Campaign::builder()
+            .functional(Dfa::VwnRpa)
+            .conditions([Condition::EcNonPositivity, Condition::EcScaling])
+            .config(quick_config(5_000))
+            .on_event(move |e| match e {
+                CampaignEvent::PairStarted { .. } => {
+                    s2.fetch_add(1, Ordering::SeqCst);
+                }
+                CampaignEvent::PairFinished { .. } => {
+                    f2.fetch_add(1, Ordering::SeqCst);
+                }
+                _ => {}
+            })
+            .build()
+            .unwrap();
+        report.run();
+        assert_eq!(started.load(Ordering::SeqCst), 2);
+        assert_eq!(finished.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn event_channel_receives_counterexamples() {
+        let (builder, rx) = Campaign::builder()
+            .functional(Dfa::Lyp)
+            .conditions([Condition::EcNonPositivity])
+            .config(quick_config(20_000))
+            .event_channel();
+        builder.build().unwrap().run();
+        let events: Vec<CampaignEvent> = rx.try_iter().collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::CounterexampleFound { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::PairFinished { .. })));
+    }
+
+    #[test]
+    fn cancellation_skips_all_pairs() {
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Campaign::builder()
+            .registry(&Registry::builtin())
+            .config(quick_config(50_000))
+            .cancel_token(token)
+            .build()
+            .unwrap()
+            .run();
+        // 31 applicable pairs all skipped, 4 inapplicable.
+        assert_eq!(
+            report
+                .pairs
+                .iter()
+                .filter(|p| p.skipped == Some(SkipReason::Cancelled))
+                .count(),
+            31
+        );
+        assert!(report.pairs.iter().all(|p| p.map.is_none()));
+    }
+
+    #[test]
+    fn defective_functional_surfaces_as_encode_failure_not_dash() {
+        // Metadata promises an exchange part the implementation lacks: the
+        // Lieb–Oxford cells must come out Unknown/EncodeFailed, not `−`.
+        use xcv_functionals::{functional, Design, Family, FnFunctional};
+        let liar: FunctionalHandle = Arc::new(FnFunctional {
+            info: functional::info("liar", Family::Lda, Design::Empirical, true, true),
+            eps_c_expr: -xcv_expr::constant(0.1),
+            f_x_expr: None,
+            eps_c: |_, _, _| -0.1,
+            f_x: None::<fn(f64, f64) -> f64>,
+        });
+        let report = Campaign::builder()
+            .functional(liar)
+            .conditions([Condition::LiebOxford, Condition::EcNonPositivity])
+            .config(quick_config(500))
+            .build()
+            .unwrap()
+            .run();
+        let lo = report.outcome("liar", Condition::LiebOxford).unwrap();
+        assert_eq!(lo.skipped, Some(SkipReason::EncodeFailed));
+        assert_eq!(lo.mark, TableMark::Unknown);
+        // The honest cell still runs.
+        assert!(report
+            .outcome("liar", Condition::EcNonPositivity)
+            .unwrap()
+            .skipped
+            .is_none());
+    }
+
+    #[test]
+    fn zero_budget_skips_everything() {
+        let report = Campaign::builder()
+            .functionals([Dfa::VwnRpa, Dfa::Lyp])
+            .config(quick_config(50_000))
+            .global_budget_ms(0)
+            .build()
+            .unwrap()
+            .run();
+        assert!(report
+            .pairs
+            .iter()
+            .filter(|p| p.skipped != Some(SkipReason::NotApplicable))
+            .all(|p| p.skipped == Some(SkipReason::BudgetExhausted)));
+    }
+}

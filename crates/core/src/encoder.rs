@@ -1,22 +1,31 @@
-//! XCEncoder: from (DFA, exact condition) to a solver problem.
+//! XCEncoder: from (functional, exact condition) to a solver problem.
 
 use xcv_conditions::{pb_domain, Condition};
-use xcv_functionals::Dfa;
+use xcv_functionals::{FunctionalHandle, IntoFunctional, Registry, XcvError};
 use xcv_solver::{Atom, BoxDomain, Formula};
 
 /// An encoded verification problem: the local condition `ψ`, the negated
 /// formula handed to the δ-complete solver, and the input domain.
 #[derive(Clone, Debug)]
 pub struct EncodedProblem {
-    pub dfa: Dfa,
+    /// The functional under verification (any registry citizen — built-in
+    /// `Dfa` variant or runtime-registered implementation).
+    pub functional: FunctionalHandle,
     pub condition: Condition,
     /// The local condition `ψ` (a single sign atom).
     pub psi: Atom,
     /// `¬ψ` as a conjunction for the solver (Equation 12 of the paper: the
     /// domain constraints are carried separately as the search box).
     pub negation: Formula,
-    /// The Pederson–Burke domain for this DFA's family.
+    /// The Pederson–Burke domain for this functional's family.
     pub domain: BoxDomain,
+}
+
+impl EncodedProblem {
+    /// The functional's display name (column label in reports).
+    pub fn functional_name(&self) -> String {
+        self.functional.name()
+    }
 }
 
 /// The encoder. Stateless; methods are associated functions grouped for
@@ -24,41 +33,80 @@ pub struct EncodedProblem {
 pub struct Encoder;
 
 impl Encoder {
-    /// Encode one DFA-condition pair; `None` when the condition does not
-    /// apply to the DFA (the `−` entries of Table I).
-    pub fn encode(dfa: Dfa, condition: Condition) -> Option<EncodedProblem> {
-        let psi = condition.encode(dfa)?;
+    /// Encode one (functional, condition) pair;
+    /// [`XcvError::NotApplicable`] for the `−` entries of Table I. Accepts
+    /// a `Dfa` variant or any handle.
+    pub fn encode(
+        f: impl IntoFunctional,
+        condition: Condition,
+    ) -> Result<EncodedProblem, XcvError> {
+        let functional = f.into_handle();
+        let psi = condition.encode(functional.as_ref())?;
         let negation = Formula::single(psi.negate());
-        Some(EncodedProblem {
-            dfa,
+        let domain = pb_domain(functional.as_ref());
+        Ok(EncodedProblem {
+            functional,
             condition,
             psi,
             negation,
-            domain: pb_domain(dfa),
+            domain,
         })
     }
 
-    /// Encode every applicable pair (31 in the paper's evaluation).
-    pub fn encode_all() -> Vec<EncodedProblem> {
+    /// Encode every applicable pair of a registry, in registry × row order.
+    pub fn encode_registry(registry: &Registry) -> Vec<EncodedProblem> {
         let mut out = Vec::new();
-        for dfa in Dfa::all() {
+        for f in registry.iter() {
             for cond in Condition::all() {
-                if let Some(p) = Self::encode(dfa, cond) {
+                if let Ok(p) = Self::encode(f, cond) {
                     out.push(p);
                 }
             }
         }
         out
     }
+
+    /// Encode every applicable pair of the paper's five DFAs (31 in the
+    /// paper's evaluation).
+    pub fn encode_all() -> Vec<EncodedProblem> {
+        Self::encode_registry(&Registry::builtin())
+    }
+
+    /// Encode every applicable pair of the extended set — the paper's five
+    /// plus BLYP and regularized SCAN from `Dfa::extended()` (45 pairs:
+    /// both extensions carry exchange and correlation, so all seven
+    /// conditions apply to each).
+    pub fn encode_all_extended() -> Vec<EncodedProblem> {
+        Self::encode_registry(&Registry::extended())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xcv_functionals::Dfa;
 
     #[test]
     fn encode_all_yields_31() {
         assert_eq!(Encoder::encode_all().len(), 31);
+    }
+
+    #[test]
+    fn encode_all_extended_yields_45() {
+        // 31 paper pairs + 7 (BLYP) + 7 (rSCAN): the extensions are full
+        // exchange-correlation functionals, so every condition applies.
+        let all = Encoder::encode_all_extended();
+        assert_eq!(all.len(), 45);
+        assert_eq!(
+            all.iter().filter(|p| p.functional_name() == "BLYP").count(),
+            7
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|p| p.functional_name() == "rSCAN(reg)")
+                .count(),
+            7
+        );
     }
 
     #[test]
@@ -89,8 +137,15 @@ mod tests {
     }
 
     #[test]
-    fn inapplicable_pair_is_none() {
-        assert!(Encoder::encode(Dfa::Lyp, Condition::LiebOxford).is_none());
+    fn inapplicable_pair_is_error() {
+        let err = Encoder::encode(Dfa::Lyp, Condition::LiebOxford).unwrap_err();
+        assert_eq!(
+            err,
+            XcvError::NotApplicable {
+                functional: "LYP".into(),
+                condition: "LO bound".into(),
+            }
+        );
     }
 
     #[test]
@@ -104,5 +159,15 @@ mod tests {
         let pt = [2.0, 0.5, 0.0];
         assert!(p.psi.holds_at(&pt));
         assert!(!p.negation.holds_at(&pt));
+    }
+
+    #[test]
+    fn handle_and_enum_encode_identically() {
+        let reg = Registry::builtin();
+        let via_handle =
+            Encoder::encode(reg.get("LYP").unwrap(), Condition::EcNonPositivity).unwrap();
+        let via_enum = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+        assert!(via_handle.psi.expr.same(&via_enum.psi.expr));
+        assert_eq!(via_handle.domain.ndim(), via_enum.domain.ndim());
     }
 }

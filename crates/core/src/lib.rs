@@ -1,9 +1,10 @@
-//! XCVerifier core: the encoder and the domain-splitting verifier
-//! (Algorithm 1 of the paper).
+//! XCVerifier core: the encoder, the domain-splitting verifier
+//! (Algorithm 1 of the paper), and the campaign engine.
 //!
-//! * [`Encoder`] — pairs a DFA with an exact condition, producing the local
-//!   condition `ψ` (a sign atom over `rs, s, α`), its negation `¬ψ` (the
-//!   formula the δ-complete solver refutes), and the Pederson–Burke domain.
+//! * [`Encoder`] — pairs a functional (any registry handle) with an exact
+//!   condition, producing the local condition `ψ` (a sign atom over
+//!   `rs, s, α`), its negation `¬ψ` (the formula the δ-complete solver
+//!   refutes), and the Pederson–Burke domain.
 //! * [`Verifier`] — Algorithm 1: call the solver on `φ_D ∧ ¬ψ`; `UNSAT`
 //!   verifies the box; a δ-SAT model that exactly violates `ψ` is a
 //!   counterexample; an invalid model is inconclusive; a timeout is recorded
@@ -14,11 +15,20 @@
 //! * [`RegionMap`] — the resulting partition of the domain into
 //!   verified / counterexample / inconclusive / timeout regions, with the
 //!   aggregation rules that produce the paper's Table I marks.
+//! * [`Campaign`] — whole verification matrices (functionals × conditions)
+//!   scheduled across rayon with per-pair deadlines, a global budget,
+//!   streamed [`CampaignEvent`]s, cancellation, and a structured
+//!   [`CampaignReport`] the report crate renders into Tables I/II.
 
+mod campaign;
 mod encoder;
 mod region;
 mod verifier;
 
+pub use campaign::{
+    Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CancelToken, PairOutcome, SkipReason,
+};
 pub use encoder::{EncodedProblem, Encoder};
 pub use region::{Region, RegionMap, RegionStatus, TableMark};
 pub use verifier::{Verifier, VerifierConfig};
+pub use xcv_functionals::XcvError;

@@ -137,14 +137,21 @@ impl RegionMap {
         matched / total
     }
 
-    /// All counterexample witness points.
+    /// All counterexample witness points, deduplicated.
+    ///
+    /// Adjacent split boxes share faces, and the solver can report the same
+    /// boundary point as the witness for both; each distinct point is
+    /// reported once, in region order (bitwise coordinate identity — two
+    /// witnesses differing by any rounding are both kept).
     pub fn counterexamples(&self) -> Vec<&[f64]> {
+        let mut seen = std::collections::HashSet::new();
         self.regions
             .iter()
             .filter_map(|r| match &r.status {
                 RegionStatus::Counterexample(x) => Some(x.as_slice()),
                 _ => None,
             })
+            .filter(|x| seen.insert(x.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()))
             .collect()
     }
 
@@ -261,6 +268,30 @@ mod tests {
             vec![region(0.0, 1.0, RegionStatus::Counterexample(vec![0.3]))],
         );
         assert_eq!(m.counterexamples(), vec![&[0.3][..]]);
+    }
+
+    #[test]
+    fn counterexamples_deduplicated() {
+        // Two adjacent boxes reporting the same face witness collapse to
+        // one; a genuinely different witness survives, order preserved.
+        let m = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.5, RegionStatus::Counterexample(vec![0.5])),
+                region(0.5, 1.0, RegionStatus::Counterexample(vec![0.5])),
+                region(0.5, 1.0, RegionStatus::Counterexample(vec![0.75])),
+            ],
+        );
+        assert_eq!(m.counterexamples(), vec![&[0.5][..], &[0.75][..]]);
+        // -0.0 and 0.0 are bitwise distinct: both kept (no value merging).
+        let m2 = RegionMap::new(
+            dom1(),
+            vec![
+                region(0.0, 0.5, RegionStatus::Counterexample(vec![0.0])),
+                region(0.0, 0.5, RegionStatus::Counterexample(vec![-0.0])),
+            ],
+        );
+        assert_eq!(m2.counterexamples().len(), 2);
     }
 
     #[test]

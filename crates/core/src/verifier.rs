@@ -15,6 +15,13 @@ pub struct VerifierConfig {
     pub solver: DeltaSolver,
     /// Fan the recursion out over rayon's thread pool.
     pub parallel: bool,
+    /// How deep into the recursion new rayon tasks are spawned (when
+    /// `parallel` is set): levels with `depth <= parallel_depth` fan out
+    /// across the pool, deeper sub-boxes run sequentially on the worker
+    /// that produced them. With `split_all` producing 2^ndim children per
+    /// level, the first few levels already saturate the machine, and
+    /// deeper spawning only adds scheduling overhead.
+    pub parallel_depth: u32,
     /// Cap on the recursion depth (safety net; the width floor normally
     /// terminates first).
     pub max_depth: u32,
@@ -30,6 +37,7 @@ impl Default for VerifierConfig {
             split_threshold: 0.05,
             solver: DeltaSolver::default(),
             parallel: true,
+            parallel_depth: 3,
             max_depth: 12,
             pair_deadline_ms: None,
         }
@@ -60,9 +68,12 @@ impl Verifier {
     }
 
     fn past_deadline(&self, start: Instant) -> bool {
+        // Compare in u128: `as_millis() as u64` would wrap after ~585 My of
+        // elapsed time, but more importantly truncating the comparison width
+        // invites silent bugs if the deadline type ever widens.
         self.config
             .pair_deadline_ms
-            .is_some_and(|ms| start.elapsed().as_millis() as u64 > ms)
+            .is_some_and(|ms| start.elapsed().as_millis() > u128::from(ms))
     }
 
     /// One step of Algorithm 1 on box `d`:
@@ -100,8 +111,8 @@ impl Verifier {
             Outcome::Timeout => RegionStatus::Timeout,
         };
         // Verified boxes are final; others split until the width floor.
-        let can_split = d.max_width() / 2.0 >= self.config.split_threshold
-            && depth < self.config.max_depth;
+        let can_split =
+            d.max_width() / 2.0 >= self.config.split_threshold && depth < self.config.max_depth;
         if matches!(status, RegionStatus::Verified) || !can_split {
             return vec![Region {
                 domain: d.clone(),
@@ -109,7 +120,7 @@ impl Verifier {
             }];
         }
         let children = d.split_all();
-        if self.config.parallel && depth <= 3 {
+        if self.config.parallel && depth <= self.config.parallel_depth {
             children
                 .par_iter()
                 .map(|c| self.go(c, negation, psi, depth + 1, start))
@@ -141,6 +152,7 @@ mod tests {
             split_threshold: 0.6, // coarse for test speed
             solver: DeltaSolver::new(1e-3, SolveBudget::nodes(budget_nodes)),
             parallel: false,
+            parallel_depth: 3,
             max_depth: 6,
             pair_deadline_ms: None,
         })
@@ -172,6 +184,7 @@ mod tests {
             split_threshold: 2.0,
             solver: DeltaSolver::new(1e-3, SolveBudget::nodes(0)),
             parallel: false,
+            parallel_depth: 3,
             max_depth: 3,
             pair_deadline_ms: None,
         });
@@ -209,6 +222,7 @@ mod tests {
             split_threshold: 0.3,
             solver: DeltaSolver::new(1e-3, SolveBudget::nodes(1_000)),
             parallel: false,
+            parallel_depth: 3,
             max_depth: 8,
             pair_deadline_ms: Some(1),
         });

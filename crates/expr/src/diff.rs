@@ -189,7 +189,10 @@ mod tests {
         let d = e.diff(0);
         // For x in (0,1): x <= x^2 is false -> min = x... careful: x^2 < x on
         // (0,1) so min = x^2, derivative 2x.
-        assert!((d.eval(&[0.5]).unwrap() - 1.0).abs() < 1e-14 || (d.eval(&[0.5]).unwrap() - 2.0 * 0.5).abs() < 1e-14);
+        assert!(
+            (d.eval(&[0.5]).unwrap() - 1.0).abs() < 1e-14
+                || (d.eval(&[0.5]).unwrap() - 2.0 * 0.5).abs() < 1e-14
+        );
         // For x > 1: min = x, derivative 1.
         assert_eq!(d.eval(&[2.0]).unwrap(), 1.0);
     }

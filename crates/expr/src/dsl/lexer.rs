@@ -22,16 +22,16 @@ pub enum TokenKind {
     Comma,
     Colon,
     // Operators
-    Assign,    // =
-    Plus,      // +
-    Minus,     // -
-    Star,      // *
+    Assign,     // =
+    Plus,       // +
+    Minus,      // -
+    Star,       // *
     DoubleStar, // **
-    Slash,     // /
-    Le,        // <=
-    Ge,        // >=
-    Lt,        // <
-    Gt,        // >
+    Slash,      // /
+    Le,         // <=
+    Ge,         // >=
+    Lt,         // <
+    Gt,         // >
     // Layout
     Newline,
     Indent,
@@ -426,9 +426,7 @@ mod tests {
         let k = kinds("x = 1\n\n# a comment\n   # indented comment\ny = 2\n");
         assert!(!k.contains(&TokenKind::Indent));
         assert_eq!(
-            k.iter()
-                .filter(|t| matches!(t, TokenKind::Name(_)))
-                .count(),
+            k.iter().filter(|t| matches!(t, TokenKind::Name(_))).count(),
             2
         );
     }
@@ -454,7 +452,9 @@ mod tests {
 
     #[test]
     fn inconsistent_dedent_rejected() {
-        assert!(Lexer::new("def f(x):\n    y = 1\n  z = 2\n").tokenize().is_err());
+        assert!(Lexer::new("def f(x):\n    y = 1\n  z = 2\n")
+            .tokenize()
+            .is_err());
     }
 
     #[test]

@@ -139,8 +139,7 @@ impl<'a> Executor<'a> {
                                 // referencing them later is an "undefined
                                 // name" error, the same judgement Python
                                 // would make dynamically on the missing path.
-                                if let (Some(t), Some(e)) =
-                                    (then_env.get(name), else_env.get(name))
+                                if let (Some(t), Some(e)) = (then_env.get(name), else_env.get(name))
                                 {
                                     let v = if t.same(e) {
                                         t.clone()
@@ -196,7 +195,10 @@ impl<'a> Executor<'a> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(self.err(format!("{name} expects {n} argument(s), got {}", args.len())))
+                Err(self.err(format!(
+                    "{name} expects {n} argument(s), got {}",
+                    args.len()
+                )))
             }
         };
         match name {

@@ -33,9 +33,7 @@ impl Expr {
             Kind::Div(a, b) => a.subst_cached(map, cache) / b.subst_cached(map, cache),
             Kind::Neg(a) => -a.subst_cached(map, cache),
             Kind::PowI(a, n) => a.subst_cached(map, cache).powi(*n),
-            Kind::Pow(a, b) => a
-                .subst_cached(map, cache)
-                .pow(&b.subst_cached(map, cache)),
+            Kind::Pow(a, b) => a.subst_cached(map, cache).pow(&b.subst_cached(map, cache)),
             Kind::Exp(a) => a.subst_cached(map, cache).exp(),
             Kind::Ln(a) => a.subst_cached(map, cache).ln(),
             Kind::Sqrt(a) => a.subst_cached(map, cache).sqrt(),
@@ -45,12 +43,8 @@ impl Expr {
             Kind::Cos(a) => a.subst_cached(map, cache).cos(),
             Kind::Tanh(a) => a.subst_cached(map, cache).tanh(),
             Kind::Abs(a) => a.subst_cached(map, cache).abs(),
-            Kind::Min(a, b) => a
-                .subst_cached(map, cache)
-                .min(&b.subst_cached(map, cache)),
-            Kind::Max(a, b) => a
-                .subst_cached(map, cache)
-                .max(&b.subst_cached(map, cache)),
+            Kind::Min(a, b) => a.subst_cached(map, cache).min(&b.subst_cached(map, cache)),
+            Kind::Max(a, b) => a.subst_cached(map, cache).max(&b.subst_cached(map, cache)),
             Kind::LambertW(a) => a.subst_cached(map, cache).lambert_w(),
             Kind::Ite {
                 cond,

@@ -40,8 +40,7 @@ pub fn f_x_expr() -> Expr {
         .pow(&constant(2.0 / 3.0));
     let fb = constant(std::f64::consts::PI / 3.0) * &s
         / (&xi * (constant(D) + xi.powi(2)).pow(&constant(0.25)));
-    let flaa = (constant(C) * &s2 + constant(1.0))
-        / (constant(C) * &s2 / fb + constant(1.0));
+    let flaa = (constant(C) * &s2 + constant(1.0)) / (constant(C) * &s2 / fb + constant(1.0));
     let x = x_index_expr();
     &x + (constant(1.0) - &x) * flaa
 }

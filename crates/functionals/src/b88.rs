@@ -47,8 +47,7 @@ pub fn f_x_expr() -> Expr {
     // asinh(x) = ln(x + sqrt(x^2 + 1))
     let asinh = (&xs + (xs.powi(2) + constant(1.0)).sqrt()).ln();
     let denom = constant(1.0) + constant(6.0 * BETA) * &xs * asinh;
-    constant(1.0)
-        + constant(BETA / c_x() * 2.0_f64.powf(-1.0 / 3.0)) * xs.powi(2) / denom
+    constant(1.0) + constant(BETA / c_x() * 2.0_f64.powf(-1.0 / 3.0)) * xs.powi(2) / denom
 }
 
 /// Scalar `F_x^{B88}(s)`. Independent closed-form code path.

@@ -89,7 +89,6 @@ def scan_f_alpha(alpha):
     return f
 ";
 
-
 /// LYP correlation in the reduced (rs, s) form (see `crate::lyp` for the
 /// derivation from the Miehlich density form).
 pub const LYP_C: &str = "\
@@ -292,7 +291,6 @@ mod tests {
             assert!((got - want).abs() < 1e-14, "α={alpha}: {got} vs {want}");
         }
     }
-
 
     #[test]
     fn lyp_c_matches_builder() {

@@ -1,0 +1,345 @@
+//! The open functional interface: the [`Functional`] trait and the
+//! [`Registry`] of handles the rest of the toolchain dispatches through.
+//!
+//! # The `Functional` contract
+//!
+//! A functional is anything that can present itself to the encoder in two
+//! synchronized forms:
+//!
+//! * **symbolically** — enhancement-factor expression DAGs over the
+//!   canonical variables, in the fixed order `rs` (index 0), `s` (index 1),
+//!   `alpha` (index 2). [`Functional::eps_c_expr`] is the correlation energy
+//!   per particle; [`Functional::f_x_expr`] the exchange enhancement when
+//!   the functional has an exchange part. Lower rungs simply do not mention
+//!   the higher-index variables;
+//! * **as scalar closed forms** — [`Functional::eps_c`] / [`Functional::f_x`],
+//!   the LIBXC-call analogue the grid-search baseline samples. The two code
+//!   paths must agree to ~1e-9 relative error on the Pederson–Burke domain
+//!   (`rs ∈ [1e-4, 5]`, `s ∈ [0, 5]`, `α ∈ [0, 5]`); the workspace
+//!   cross-validates every registered builtin in
+//!   `crates/bench/tests/functional_agreement.rs`.
+//!
+//! Metadata comes from [`Functional::info`]: the family (rung) fixes the
+//! input arity (LDA: `rs`; GGA: `rs, s`; meta-GGA: `rs, s, α`) and hence the
+//! PB search domain; `has_exchange`/`has_correlation` fix which conditions
+//! apply. Everything else (`F_c`, `F_xc`, both symbolic and scalar) is
+//! derived and should rarely be overridden.
+//!
+//! The paper's five DFAs remain available as the [`crate::Dfa`] enum — each
+//! variant implements `Functional` — but the enum is no longer the boundary
+//! of the system: user-defined functionals (e.g. compiled from the Python
+//! DSL, see [`crate::DslFunctional`]) register at runtime and flow through
+//! the encoder, verifier, grid baseline, campaigns and reports exactly like
+//! the builtins.
+
+use crate::error::XcvError;
+use crate::registry::{Design, DfaInfo, Family};
+use crate::{lda_x, Dfa};
+use std::sync::Arc;
+use xcv_expr::Expr;
+
+/// A density functional approximation, as the verification pipeline sees it.
+///
+/// See the [module documentation](self) for the full contract (canonical
+/// variable order `rs, s, alpha`; symbolic/scalar agreement; metadata).
+pub trait Functional: Send + Sync {
+    /// Static metadata: name, rung, design philosophy, which parts exist.
+    fn info(&self) -> DfaInfo;
+
+    /// Symbolic correlation energy per particle `ε_c(rs, s, α)`.
+    fn eps_c_expr(&self) -> Expr;
+
+    /// Symbolic exchange enhancement `F_x(s, α)`, if the functional has an
+    /// exchange part (`info().has_exchange`).
+    fn f_x_expr(&self) -> Option<Expr>;
+
+    /// Scalar `ε_c(rs, s, α)` — the LIBXC-call analogue used by the
+    /// grid-search baseline. Lower rungs ignore the extra variables.
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64;
+
+    /// Scalar `F_x(s, α)`.
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64>;
+
+    // --- derived (rarely overridden) ------------------------------------
+
+    /// The functional's display name (from [`Functional::info`]).
+    fn name(&self) -> String {
+        self.info().name
+    }
+
+    /// Number of input variables, fixed by the family:
+    /// `rs` | `rs, s` | `rs, s, α`.
+    fn arity(&self) -> usize {
+        match self.info().family {
+            Family::Lda => 1,
+            Family::Gga => 2,
+            Family::MetaGga => 3,
+        }
+    }
+
+    /// Symbolic correlation enhancement `F_c = ε_c / ε_x^unif`.
+    fn f_c_expr(&self) -> Expr {
+        lda_x::enhancement_from_eps(&self.eps_c_expr())
+    }
+
+    /// Symbolic total enhancement `F_xc = F_x + F_c` (`None` when the
+    /// functional has no exchange part — the Lieb–Oxford conditions then do
+    /// not apply).
+    fn f_xc_expr(&self) -> Option<Expr> {
+        self.f_x_expr().map(|fx| fx + self.f_c_expr())
+    }
+
+    /// Scalar `F_c(rs, s, α)`.
+    fn f_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        lda_x::enhancement_from_eps_scalar(self.eps_c(rs, s, alpha), rs)
+    }
+
+    /// Scalar `F_xc(rs, s, α)`.
+    fn f_xc(&self, rs: f64, s: f64, alpha: f64) -> Option<f64> {
+        self.f_x(s, alpha).map(|fx| fx + self.f_c(rs, s, alpha))
+    }
+}
+
+impl std::fmt::Debug for dyn Functional {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Functional({})", self.name())
+    }
+}
+
+/// A shared, thread-safe handle to a registered functional — the currency
+/// the encoder, campaigns and reports pass around.
+pub type FunctionalHandle = Arc<dyn Functional>;
+
+/// Cheap conversion into a [`FunctionalHandle`], so call sites can pass a
+/// `Dfa` variant, a handle, or a borrowed handle interchangeably.
+pub trait IntoFunctional {
+    fn into_handle(self) -> FunctionalHandle;
+}
+
+impl IntoFunctional for Dfa {
+    fn into_handle(self) -> FunctionalHandle {
+        Arc::new(self)
+    }
+}
+
+impl IntoFunctional for FunctionalHandle {
+    fn into_handle(self) -> FunctionalHandle {
+        self
+    }
+}
+
+impl IntoFunctional for &FunctionalHandle {
+    fn into_handle(self) -> FunctionalHandle {
+        Arc::clone(self)
+    }
+}
+
+impl<F: Functional + 'static> IntoFunctional for Arc<F> {
+    fn into_handle(self) -> FunctionalHandle {
+        self
+    }
+}
+
+/// An ordered, name-indexed collection of functionals.
+///
+/// Order is preserved (it becomes the column order of rendered tables);
+/// names are unique case-insensitively. The paper's evaluation set is
+/// [`Registry::builtin`]; [`Registry::register`] accepts any
+/// `Arc<dyn Functional>` at runtime.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    items: Vec<FunctionalHandle>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Registry::default()
+    }
+
+    /// The paper's five DFAs, in its column order
+    /// (PBE, LYP, AM05, SCAN, VWN RPA).
+    pub fn builtin() -> Self {
+        Self::from_dfas(Dfa::all())
+    }
+
+    /// The paper's five plus the extensions (BLYP and regularized SCAN).
+    pub fn extended() -> Self {
+        Self::from_dfas(Dfa::extended())
+    }
+
+    fn from_dfas(dfas: impl IntoIterator<Item = Dfa>) -> Self {
+        let mut r = Registry::empty();
+        for d in dfas {
+            r.register(Arc::new(d)).expect("builtin names are unique");
+        }
+        r
+    }
+
+    /// Register a functional. Fails with [`XcvError::DuplicateFunctional`]
+    /// when the name (case-insensitive) is already taken. Returns the handle
+    /// for immediate use.
+    pub fn register(&mut self, f: FunctionalHandle) -> Result<FunctionalHandle, XcvError> {
+        let name = f.name();
+        if self.get(&name).is_some() {
+            return Err(XcvError::DuplicateFunctional(name));
+        }
+        self.items.push(Arc::clone(&f));
+        Ok(f)
+    }
+
+    /// Look a functional up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<FunctionalHandle> {
+        self.items
+            .iter()
+            .find(|f| f.name().eq_ignore_ascii_case(name))
+            .cloned()
+    }
+
+    /// Like [`Registry::get`] but with an [`XcvError::UnknownFunctional`]
+    /// for the miss path.
+    pub fn require(&self, name: &str) -> Result<FunctionalHandle, XcvError> {
+        self.get(name)
+            .ok_or_else(|| XcvError::UnknownFunctional(name.to_string()))
+    }
+
+    /// The registered handles, in registration order.
+    pub fn handles(&self) -> &[FunctionalHandle] {
+        &self.items
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.items.iter().map(|f| f.name()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionalHandle> {
+        self.items.iter()
+    }
+}
+
+/// A closure-backed functional, handy for tests and for wrapping ad-hoc
+/// scalar/symbolic pairs without a dedicated type.
+pub struct FnFunctional<EC, FX>
+where
+    EC: Fn(f64, f64, f64) -> f64 + Send + Sync,
+    FX: Fn(f64, f64) -> f64 + Send + Sync,
+{
+    pub info: DfaInfo,
+    pub eps_c_expr: Expr,
+    pub f_x_expr: Option<Expr>,
+    pub eps_c: EC,
+    pub f_x: Option<FX>,
+}
+
+impl<EC, FX> Functional for FnFunctional<EC, FX>
+where
+    EC: Fn(f64, f64, f64) -> f64 + Send + Sync,
+    FX: Fn(f64, f64) -> f64 + Send + Sync,
+{
+    fn info(&self) -> DfaInfo {
+        self.info.clone()
+    }
+    fn eps_c_expr(&self) -> Expr {
+        self.eps_c_expr.clone()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        self.f_x_expr.clone()
+    }
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        (self.eps_c)(rs, s, alpha)
+    }
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        self.f_x.as_ref().map(|f| f(s, alpha))
+    }
+}
+
+/// Metadata builder used when declaring non-enum functionals.
+pub fn info(
+    name: impl Into<String>,
+    family: Family,
+    design: Design,
+    has_exchange: bool,
+    has_correlation: bool,
+) -> DfaInfo {
+    DfaInfo {
+        name: name.into(),
+        family,
+        design,
+        has_exchange,
+        has_correlation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_matches_paper_set() {
+        let r = Registry::builtin();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.names(), vec!["PBE", "LYP", "AM05", "SCAN", "VWN RPA"]);
+        assert_eq!(Registry::extended().len(), 7);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let r = Registry::builtin();
+        assert!(r.get("pbe").is_some());
+        assert!(r.get("vwn rpa").is_some());
+        assert!(r.get("B3LYP").is_none());
+        assert_eq!(
+            r.require("B3LYP").unwrap_err(),
+            XcvError::UnknownFunctional("B3LYP".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut r = Registry::builtin();
+        let err = r.register(Arc::new(Dfa::Pbe)).unwrap_err();
+        assert_eq!(err, XcvError::DuplicateFunctional("PBE".into()));
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn runtime_registration_dispatches_like_builtins() {
+        // A fake LDA whose ε_c = -0.1/(1+rs): registered at runtime, it must
+        // answer every trait method without touching the Dfa enum.
+        let eps = -xcv_expr::constant(0.1) / (xcv_expr::constant(1.0) + xcv_expr::var(0));
+        let handle: FunctionalHandle = Arc::new(FnFunctional {
+            info: info("toy-lda", Family::Lda, Design::Empirical, false, true),
+            eps_c_expr: eps,
+            f_x_expr: None,
+            eps_c: |rs, _s, _a| -0.1 / (1.0 + rs),
+            f_x: None::<fn(f64, f64) -> f64>,
+        });
+        let mut r = Registry::builtin();
+        r.register(Arc::clone(&handle)).unwrap();
+        let got = r.get("toy-lda").unwrap();
+        assert_eq!(got.arity(), 1);
+        assert!(got.f_x_expr().is_none());
+        let sym = got.eps_c_expr().eval(&[2.0]).unwrap();
+        assert!((sym - got.eps_c(2.0, 0.0, 0.0)).abs() < 1e-15);
+        // Derived enhancement factors work through the defaults.
+        assert!(got.f_c(2.0, 0.0, 0.0) > 0.0);
+        assert!(got.f_xc(2.0, 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn dfa_variants_are_functionals() {
+        let h: FunctionalHandle = Dfa::Scan.into_handle();
+        assert_eq!(h.name(), "SCAN");
+        assert_eq!(h.arity(), 3);
+        assert!(h.f_xc_expr().is_some());
+    }
+}

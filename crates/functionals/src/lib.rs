@@ -28,7 +28,10 @@
 pub mod am05;
 pub mod b88;
 pub mod constants;
+pub mod dsl_functional;
 pub mod dsl_sources;
+pub mod error;
+pub mod functional;
 pub mod lda_x;
 pub mod lyp;
 pub mod pbe;
@@ -39,6 +42,9 @@ pub mod scan;
 pub mod spin;
 pub mod vwn;
 
+pub use dsl_functional::DslFunctional;
+pub use error::XcvError;
+pub use functional::{FnFunctional, Functional, FunctionalHandle, IntoFunctional, Registry};
 pub use registry::{Design, Dfa, DfaInfo, Family, ALPHA, RS, S};
 
 /// The canonical variable set shared by every functional: `rs`, `s`, `alpha`.

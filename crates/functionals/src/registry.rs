@@ -1,7 +1,14 @@
-//! The DFA registry: one handle per functional, with metadata and uniform
-//! access to symbolic and scalar forms.
+//! The built-in DFAs: the paper's five (plus two extensions) as an enum
+//! whose variants implement the open [`crate::Functional`] trait.
+//!
+//! `Dfa` is no longer the boundary of the system — the encoder, verifier,
+//! grid baseline and campaign engine all dispatch through
+//! `Arc<dyn Functional>` handles from the [`crate::Registry`] — but it
+//! remains the convenient, copyable way to name the built-in
+//! implementations.
 
-use crate::{am05, b88, lda_x, lyp, pbe, rscan, scan, vwn};
+use crate::functional::Functional;
+use crate::{am05, b88, lyp, pbe, rscan, scan, vwn};
 use xcv_expr::Expr;
 
 /// Variable indices of the canonical variable order (`rs`, `s`, `alpha`).
@@ -24,10 +31,11 @@ pub enum Design {
     NonEmpirical,
 }
 
-/// Static metadata for a DFA.
-#[derive(Clone, Copy, Debug)]
+/// Static metadata for a functional. The name is owned so runtime-registered
+/// functionals (DSL-compiled, closure-backed, …) can carry arbitrary names.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DfaInfo {
-    pub name: &'static str,
+    pub name: String,
     pub family: Family,
     pub design: Design,
     pub has_exchange: bool,
@@ -68,71 +76,43 @@ impl Dfa {
         ]
     }
 
-    pub fn info(&self) -> DfaInfo {
+    /// The variant's display name (also available via `Functional::name`,
+    /// but without constructing a `DfaInfo`).
+    pub fn static_name(&self) -> &'static str {
         match self {
-            Dfa::Pbe => DfaInfo {
-                name: "PBE",
-                family: Family::Gga,
-                design: Design::NonEmpirical,
-                has_exchange: true,
-                has_correlation: true,
-            },
-            Dfa::Scan => DfaInfo {
-                name: "SCAN",
-                family: Family::MetaGga,
-                design: Design::NonEmpirical,
-                has_exchange: true,
-                has_correlation: true,
-            },
-            Dfa::Lyp => DfaInfo {
-                name: "LYP",
-                family: Family::Gga,
-                design: Design::Empirical,
-                has_exchange: false,
-                has_correlation: true,
-            },
-            Dfa::Am05 => DfaInfo {
-                name: "AM05",
-                family: Family::Gga,
-                design: Design::NonEmpirical,
-                has_exchange: true,
-                has_correlation: true,
-            },
-            Dfa::VwnRpa => DfaInfo {
-                name: "VWN RPA",
-                family: Family::Lda,
-                design: Design::NonEmpirical,
-                has_exchange: false,
-                has_correlation: true,
-            },
-            Dfa::RScan => DfaInfo {
-                name: "rSCAN(reg)",
-                family: Family::MetaGga,
-                design: Design::NonEmpirical,
-                has_exchange: true,
-                has_correlation: true,
-            },
-            Dfa::Blyp => DfaInfo {
-                name: "BLYP",
-                family: Family::Gga,
-                design: Design::Empirical,
-                has_exchange: true,
-                has_correlation: true,
-            },
+            Dfa::Pbe => "PBE",
+            Dfa::Scan => "SCAN",
+            Dfa::Lyp => "LYP",
+            Dfa::Am05 => "AM05",
+            Dfa::VwnRpa => "VWN RPA",
+            Dfa::RScan => "rSCAN(reg)",
+            Dfa::Blyp => "BLYP",
         }
     }
+}
 
-    /// Number of input variables (`rs` | `rs, s` | `rs, s, α`).
-    pub fn arity(&self) -> usize {
-        match self.info().family {
-            Family::Lda => 1,
-            Family::Gga => 2,
-            Family::MetaGga => 3,
+impl Functional for Dfa {
+    fn info(&self) -> DfaInfo {
+        let (family, design, has_exchange) = match self {
+            Dfa::Pbe => (Family::Gga, Design::NonEmpirical, true),
+            Dfa::Scan => (Family::MetaGga, Design::NonEmpirical, true),
+            Dfa::Lyp => (Family::Gga, Design::Empirical, false),
+            Dfa::Am05 => (Family::Gga, Design::NonEmpirical, true),
+            Dfa::VwnRpa => (Family::Lda, Design::NonEmpirical, false),
+            Dfa::RScan => (Family::MetaGga, Design::NonEmpirical, true),
+            Dfa::Blyp => (Family::Gga, Design::Empirical, true),
+        };
+        DfaInfo {
+            name: self.static_name().to_string(),
+            family,
+            design,
+            has_exchange,
+            has_correlation: true,
         }
     }
 
     /// Symbolic correlation energy per particle `ε_c`.
-    pub fn eps_c_expr(&self) -> Expr {
+    fn eps_c_expr(&self) -> Expr {
         match self {
             Dfa::Pbe => pbe::eps_c_expr(),
             Dfa::Scan => scan::eps_c_expr(),
@@ -145,7 +125,7 @@ impl Dfa {
     }
 
     /// Symbolic exchange enhancement `F_x`, if the DFA has an exchange part.
-    pub fn f_x_expr(&self) -> Option<Expr> {
+    fn f_x_expr(&self) -> Option<Expr> {
         match self {
             Dfa::Pbe => Some(pbe::f_x_expr()),
             Dfa::Scan => Some(scan::f_x_expr()),
@@ -156,20 +136,9 @@ impl Dfa {
         }
     }
 
-    /// Symbolic correlation enhancement `F_c = ε_c / ε_x^unif`.
-    pub fn f_c_expr(&self) -> Expr {
-        lda_x::enhancement_from_eps(&self.eps_c_expr())
-    }
-
-    /// Symbolic total enhancement `F_xc = F_x + F_c` (None when the DFA has
-    /// no exchange part — the Lieb–Oxford conditions then do not apply).
-    pub fn f_xc_expr(&self) -> Option<Expr> {
-        self.f_x_expr().map(|fx| fx + self.f_c_expr())
-    }
-
     /// Scalar `ε_c(rs, s, α)` — the LIBXC-call analogue used by the
     /// grid-search baseline. Extra variables are ignored by lower rungs.
-    pub fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
         match self {
             Dfa::Pbe => pbe::eps_c(rs, s),
             Dfa::Scan => scan::eps_c(rs, s, alpha),
@@ -182,7 +151,7 @@ impl Dfa {
     }
 
     /// Scalar `F_x(s, α)`.
-    pub fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
         match self {
             Dfa::Pbe => Some(pbe::f_x(s)),
             Dfa::Scan => Some(scan::f_x(s, alpha)),
@@ -192,21 +161,55 @@ impl Dfa {
             Dfa::Lyp | Dfa::VwnRpa => None,
         }
     }
+}
 
-    /// Scalar `F_c(rs, s, α)`.
-    pub fn f_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
-        lda_x::enhancement_from_eps_scalar(self.eps_c(rs, s, alpha), rs)
+// Inherent conveniences mirroring the trait, so `Dfa`-typed call sites keep
+// working without importing `Functional`. They delegate to the trait impl.
+impl Dfa {
+    pub fn info(&self) -> DfaInfo {
+        Functional::info(self)
     }
 
-    /// Scalar `F_xc(rs, s, α)`.
+    pub fn arity(&self) -> usize {
+        Functional::arity(self)
+    }
+
+    pub fn eps_c_expr(&self) -> Expr {
+        Functional::eps_c_expr(self)
+    }
+
+    pub fn f_x_expr(&self) -> Option<Expr> {
+        Functional::f_x_expr(self)
+    }
+
+    pub fn f_c_expr(&self) -> Expr {
+        Functional::f_c_expr(self)
+    }
+
+    pub fn f_xc_expr(&self) -> Option<Expr> {
+        Functional::f_xc_expr(self)
+    }
+
+    pub fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        Functional::eps_c(self, rs, s, alpha)
+    }
+
+    pub fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        Functional::f_x(self, s, alpha)
+    }
+
+    pub fn f_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        Functional::f_c(self, rs, s, alpha)
+    }
+
     pub fn f_xc(&self, rs: f64, s: f64, alpha: f64) -> Option<f64> {
-        self.f_x(s, alpha).map(|fx| fx + self.f_c(rs, s, alpha))
+        Functional::f_xc(self, rs, s, alpha)
     }
 }
 
 impl std::fmt::Display for Dfa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.info().name)
+        write!(f, "{}", self.static_name())
     }
 }
 
@@ -272,5 +275,11 @@ mod tests {
         assert_eq!(Dfa::VwnRpa.eps_c_expr().free_vars(), vec![RS]);
         assert_eq!(Dfa::Pbe.eps_c_expr().free_vars(), vec![RS, S]);
         assert_eq!(Dfa::Scan.eps_c_expr().free_vars(), vec![RS, S, ALPHA]);
+    }
+
+    #[test]
+    fn display_uses_static_name() {
+        assert_eq!(format!("{}", Dfa::VwnRpa), "VWN RPA");
+        assert_eq!(Dfa::RScan.static_name(), "rSCAN(reg)");
     }
 }

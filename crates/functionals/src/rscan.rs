@@ -119,7 +119,8 @@ fn scan_like_fx(fa: &Expr) -> Expr {
     let quad = constant(scan::B1) * &s2
         + constant(scan::B2) * &one_minus_a * (-(constant(scan::B3) * one_minus_a.powi(2))).exp();
     let x = constant(scan::MU_AK) * &s2 * (constant(1.0) + term_b4) + quad.powi(2);
-    let h1x = constant(1.0 + scan::K1) - constant(scan::K1) / (constant(1.0) + x / constant(scan::K1));
+    let h1x =
+        constant(1.0 + scan::K1) - constant(scan::K1) / (constant(1.0) + x / constant(scan::K1));
     let gx = constant(1.0) - (-(constant(scan::A1) / var(S).sqrt())).exp();
     (&h1x + fa * (constant(scan::H0X) - &h1x)) * gx
 }

@@ -115,8 +115,7 @@ fn eps_c0_expr() -> Expr {
     let ec_lda0 =
         -(constant(B1C)) / (constant(1.0) + constant(B2C) * rs.sqrt() + constant(B3C) * &rs);
     let w0 = (-(ec_lda0.clone()) / constant(B1C)).exp() - constant(1.0);
-    let ginf = constant(1.0)
-        / (constant(1.0) + constant(4.0 * CHI_INF) * s2).pow(&constant(0.25));
+    let ginf = constant(1.0) / (constant(1.0) + constant(4.0 * CHI_INF) * s2).pow(&constant(0.25));
     let h0 = constant(B1C) * (constant(1.0) + w0 * (constant(1.0) - ginf)).ln();
     ec_lda0 + h0
 }
@@ -131,8 +130,7 @@ fn eps_c1_expr() -> Expr {
         / (constant(1.0) + constant(0.177_8) * &rs);
     let t2 = constant(C_T) * var(S).powi(2) / &rs;
     let a = beta / (constant(GAMMA) * &w1);
-    let g = constant(1.0)
-        / (constant(1.0) + constant(4.0) * a * t2).pow(&constant(0.25));
+    let g = constant(1.0) / (constant(1.0) + constant(4.0) * a * t2).pow(&constant(0.25));
     let h1 = constant(GAMMA) * (constant(1.0) + w1 * (constant(1.0) - g)).ln();
     ec_lda + h1
 }

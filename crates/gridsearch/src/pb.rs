@@ -4,7 +4,7 @@
 use crate::gradient::{gradient_1d, gradient_axis0};
 use rayon::prelude::*;
 use xcv_conditions::{Condition, ALPHA_MAX, C_LO, RS_INF, RS_MAX, RS_MIN, S_MAX};
-use xcv_functionals::{Dfa, Family};
+use xcv_functionals::{Family, Functional, FunctionalHandle, IntoFunctional, XcvError};
 
 /// Grid resolution. The paper draws 10⁵ samples per axis; the default here
 /// is 200×200 (tests and figures), with the resolution a parameter so the
@@ -36,7 +36,7 @@ impl Default for GridConfig {
 /// "fails if any slice fails", matching a meshed 3-D grid's projection).
 #[derive(Clone, Debug)]
 pub struct GridResult {
-    pub dfa: Dfa,
+    pub functional: FunctionalHandle,
     pub condition: Condition,
     pub rs: Vec<f64>,
     pub s: Vec<f64>,
@@ -101,20 +101,29 @@ fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     (0..n).map(|i| lo + h * i as f64).collect()
 }
 
-/// Run the PB grid check for one DFA-condition pair; `None` when the
-/// condition does not apply.
-pub fn pb_check(dfa: Dfa, condition: Condition, config: &GridConfig) -> Option<GridResult> {
-    if !condition.applies_to(dfa) {
-        return None;
+/// Run the PB grid check for one (functional, condition) pair;
+/// [`XcvError::NotApplicable`] when the condition does not apply. Accepts a
+/// `Dfa` variant or any registry handle.
+pub fn pb_check(
+    f: impl IntoFunctional,
+    condition: Condition,
+    config: &GridConfig,
+) -> Result<GridResult, XcvError> {
+    let f = f.into_handle();
+    if !condition.applies_to(f.as_ref()) {
+        return Err(XcvError::NotApplicable {
+            functional: f.name(),
+            condition: condition.name().to_string(),
+        });
     }
     let rs = linspace(RS_MIN, RS_MAX, config.n_rs);
     let h_rs = rs[1] - rs[0];
-    match dfa.info().family {
+    match f.info().family {
         Family::Lda => {
-            let fc: Vec<f64> = rs.iter().map(|&r| dfa.f_c(r, 0.0, 0.0)).collect();
+            let fc: Vec<f64> = rs.iter().map(|&r| f.f_c(r, 0.0, 0.0)).collect();
             let dfc = gradient_1d(&fc, h_rs);
             let d2fc = gradient_1d(&dfc, h_rs);
-            let fc_inf = dfa.f_c(RS_INF, 0.0, 0.0);
+            let fc_inf = f.f_c(RS_INF, 0.0, 0.0);
             let pass: Vec<bool> = (0..rs.len())
                 .map(|i| {
                     point_pass(
@@ -122,8 +131,8 @@ pub fn pb_check(dfa: Dfa, condition: Condition, config: &GridConfig) -> Option<G
                     )
                 })
                 .collect();
-            Some(GridResult {
-                dfa,
+            Ok(GridResult {
+                functional: f,
                 condition,
                 rs,
                 s: vec![0.0],
@@ -133,9 +142,9 @@ pub fn pb_check(dfa: Dfa, condition: Condition, config: &GridConfig) -> Option<G
         }
         Family::Gga => {
             let s = linspace(0.0, S_MAX, config.n_s);
-            let pass = check_slice(dfa, condition, &rs, &s, h_rs, 0.0, config.tol);
-            Some(GridResult {
-                dfa,
+            let pass = check_slice(f.as_ref(), condition, &rs, &s, h_rs, 0.0, config.tol);
+            Ok(GridResult {
+                functional: f,
                 condition,
                 rs,
                 s,
@@ -150,13 +159,13 @@ pub fn pb_check(dfa: Dfa, condition: Condition, config: &GridConfig) -> Option<G
             let alphas = linspace(0.0, ALPHA_MAX, config.n_alpha.max(2));
             let mut pass = vec![true; rs.len() * s.len()];
             for &a in &alphas {
-                let slice = check_slice(dfa, condition, &rs, &s, h_rs, a, config.tol);
+                let slice = check_slice(f.as_ref(), condition, &rs, &s, h_rs, a, config.tol);
                 for (p, q) in pass.iter_mut().zip(slice) {
                     *p &= q;
                 }
             }
-            Some(GridResult {
-                dfa,
+            Ok(GridResult {
+                functional: f,
                 condition,
                 rs,
                 s,
@@ -170,7 +179,7 @@ pub fn pb_check(dfa: Dfa, condition: Condition, config: &GridConfig) -> Option<G
 /// Check one (rs × s) slice at fixed α. Parallelized over rows with rayon.
 #[allow(clippy::too_many_arguments)]
 fn check_slice(
-    dfa: Dfa,
+    dfa: &dyn Functional,
     condition: Condition,
     rs: &[f64],
     s: &[f64],
@@ -243,6 +252,7 @@ fn point_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xcv_functionals::Dfa;
 
     fn cfg() -> GridConfig {
         GridConfig {
@@ -254,15 +264,18 @@ mod tests {
     }
 
     #[test]
-    fn inapplicable_is_none() {
-        assert!(pb_check(Dfa::Lyp, Condition::LiebOxford, &cfg()).is_none());
-        assert!(pb_check(Dfa::VwnRpa, Condition::LiebOxfordExt, &cfg()).is_none());
+    fn inapplicable_is_error() {
+        assert!(matches!(
+            pb_check(Dfa::Lyp, Condition::LiebOxford, &cfg()),
+            Err(XcvError::NotApplicable { .. })
+        ));
+        assert!(pb_check(Dfa::VwnRpa, Condition::LiebOxfordExt, &cfg()).is_err());
     }
 
     #[test]
     fn vwn_satisfies_all_applicable() {
         for cond in Condition::all() {
-            if let Some(r) = pb_check(Dfa::VwnRpa, cond, &cfg()) {
+            if let Ok(r) = pb_check(Dfa::VwnRpa, cond, &cfg()) {
                 assert!(r.satisfied(), "{cond} should pass for VWN RPA");
             }
         }
@@ -273,7 +286,7 @@ mod tests {
         // Table II row LYP: PB finds counterexamples for every applicable
         // condition.
         for cond in Condition::all() {
-            if let Some(r) = pb_check(Dfa::Lyp, cond, &cfg()) {
+            if let Ok(r) = pb_check(Dfa::Lyp, cond, &cfg()) {
                 assert!(!r.satisfied(), "{cond} should fail for LYP");
                 assert!(r.n_violations() > 0);
             }

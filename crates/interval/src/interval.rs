@@ -186,10 +186,7 @@ impl Interval {
     /// Split at the midpoint into two halves (for branch-and-prune).
     pub fn bisect(&self) -> (Interval, Interval) {
         let m = self.midpoint();
-        (
-            Interval::checked(self.lo, m),
-            Interval::checked(m, self.hi),
-        )
+        (Interval::checked(self.lo, m), Interval::checked(m, self.hi))
     }
 
     /// True when every element is `<= x`.

@@ -161,10 +161,7 @@ mod tests {
         for &x in &[0.0, 1e-10, 0.25, 1.0, 2.282, 10.0, 1e5] {
             let enc = Interval::point(x).lambert_w0();
             let w = lambert_w0_f64(x);
-            assert!(
-                enc.lo <= w && w <= enc.hi,
-                "x={x}: {w} not in {enc:?}"
-            );
+            assert!(enc.lo <= w && w <= enc.hi, "x={x}: {w} not in {enc:?}");
             // And the bracket is certified: endpoints straddle x under w e^w.
             if x > 0.0 {
                 assert!(enc.lo * enc.lo.exp() <= x * (1.0 + 1e-12));

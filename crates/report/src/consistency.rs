@@ -114,9 +114,7 @@ fn ce_regions_overlap(map: &RegionMap, grid: &GridResult) -> bool {
         for j in 0..grid.n_s() {
             if !grid.pass_at(i, j) {
                 for point in probe_points(map, grid, i, j) {
-                    if let Some(xcv_core::RegionStatus::Counterexample(_)) =
-                        map.status_at(&point)
-                    {
+                    if let Some(xcv_core::RegionStatus::Counterexample(_)) = map.status_at(&point) {
                         return true;
                     }
                 }
@@ -134,12 +132,9 @@ fn grid_violations_only_in_undecided(map: &RegionMap, grid: &GridResult) -> bool
     for i in 0..grid.n_rs() {
         for j in 0..grid.n_s() {
             if !grid.pass_at(i, j) {
-                let all_verified = probe_points(map, grid, i, j).iter().all(|p| {
-                    matches!(
-                        map.status_at(p),
-                        Some(xcv_core::RegionStatus::Verified)
-                    )
-                });
+                let all_verified = probe_points(map, grid, i, j)
+                    .iter()
+                    .all(|p| matches!(map.status_at(p), Some(xcv_core::RegionStatus::Verified)));
                 if all_verified {
                     return false;
                 }
@@ -167,9 +162,10 @@ mod tests {
     }
 
     fn grid(pass: Vec<bool>, n: usize) -> GridResult {
+        use xcv_functionals::IntoFunctional;
         let step = 1.0 / (n - 1) as f64;
         GridResult {
-            dfa: xcv_functionals::Dfa::Pbe,
+            functional: xcv_functionals::Dfa::Pbe.into_handle(),
             condition: xcv_conditions::Condition::EcNonPositivity,
             rs: (0..n).map(|i| i as f64 * step).collect(),
             s: (0..n).map(|i| i as f64 * step).collect(),

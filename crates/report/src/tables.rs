@@ -1,27 +1,41 @@
-//! Table I and Table II generation.
+//! Table I and Table II generation, rendered directly from campaign reports.
+//!
+//! Columns are the campaign's functionals (in builder order), so tables
+//! scale from the paper's five DFAs to any registry — including
+//! runtime-registered DSL functionals.
 
 use crate::consistency::{classify, Consistency};
 use xcv_conditions::Condition;
-use xcv_core::{Encoder, RegionMap, TableMark, Verifier};
-use xcv_functionals::Dfa;
+use xcv_core::{CampaignReport, Encoder, RegionMap, TableMark, Verifier};
+use xcv_functionals::{FunctionalHandle, IntoFunctional, Registry, XcvError};
 use xcv_grid::{pb_check, GridConfig, GridResult};
 
-/// Everything computed for one DFA-condition pair.
+/// Everything computed for one (functional, condition) pair.
 pub struct PairResult {
-    pub dfa: Dfa,
+    pub functional: FunctionalHandle,
     pub condition: Condition,
     pub map: Option<RegionMap>,
     pub grid: Option<GridResult>,
+    /// Set when encoding failed for a reason other than inapplicability
+    /// (e.g. metadata promises an exchange part the implementation lacks) —
+    /// such a cell is undecided, not a legitimate `−`.
+    pub encode_error: Option<XcvError>,
 }
 
 impl PairResult {
     pub fn mark(&self) -> TableMark {
+        if self.encode_error.is_some() {
+            return TableMark::Unknown;
+        }
         self.map
             .as_ref()
             .map_or(TableMark::NotApplicable, RegionMap::table_mark)
     }
 
     pub fn consistency(&self) -> Consistency {
+        if self.encode_error.is_some() {
+            return Consistency::Unknown;
+        }
         match (&self.map, &self.grid) {
             (Some(m), Some(g)) => classify(m, g),
             _ => Consistency::NotApplicable,
@@ -31,77 +45,66 @@ impl PairResult {
 
 /// Run the verifier and the PB baseline for one pair.
 pub fn run_pair(
-    dfa: Dfa,
+    f: impl IntoFunctional,
     condition: Condition,
     verifier: &Verifier,
     grid_cfg: &GridConfig,
 ) -> PairResult {
-    let map = Encoder::encode(dfa, condition).map(|p| verifier.verify(&p));
-    let grid = pb_check(dfa, condition, grid_cfg);
+    let functional = f.into_handle();
+    let (map, encode_error) = match Encoder::encode(&functional, condition) {
+        Ok(p) => (Some(verifier.verify(&p)), None),
+        Err(XcvError::NotApplicable { .. }) => (None, None),
+        Err(e) => (None, Some(e)),
+    };
+    let grid = pb_check(&functional, condition, grid_cfg).ok();
     PairResult {
-        dfa,
+        functional,
         condition,
         map,
         grid,
+        encode_error,
     }
 }
 
-/// Table I: verification outcomes for all DFA-condition pairs.
+/// Table I: verification outcomes for all (functional, condition) pairs.
 pub struct Table1 {
-    pub cells: Vec<(Dfa, Condition, TableMark)>,
+    /// Column labels, in campaign order.
+    pub columns: Vec<String>,
+    /// Row conditions, in campaign order.
+    pub rows: Vec<Condition>,
+    pub cells: Vec<(String, Condition, TableMark)>,
 }
 
 /// Table II: consistency between the verifier and PB.
 pub struct Table2 {
-    pub cells: Vec<(Dfa, Condition, Consistency)>,
+    pub columns: Vec<String>,
+    pub rows: Vec<Condition>,
+    pub cells: Vec<(String, Condition, Consistency)>,
 }
 
-/// The paper's column order.
-fn columns() -> [Dfa; 5] {
-    [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa]
-}
-
-/// Run Table I (the verifier over all 35 cells; `−` where inapplicable).
-pub fn run_table1(verifier: &Verifier) -> Table1 {
-    let mut cells = Vec::new();
-    for cond in Condition::all() {
-        for dfa in columns() {
-            let mark = match Encoder::encode(dfa, cond) {
-                Some(p) => verifier.verify(&p).table_mark(),
-                None => TableMark::NotApplicable,
-            };
-            cells.push((dfa, cond, mark));
-        }
-    }
-    Table1 { cells }
-}
-
-/// Run Table II (verifier + PB on every cell).
-pub fn run_table2(verifier: &Verifier, grid_cfg: &GridConfig) -> Table2 {
-    let mut cells = Vec::new();
-    for cond in Condition::all() {
-        for dfa in columns() {
-            let pr = run_pair(dfa, cond, verifier, grid_cfg);
-            cells.push((dfa, cond, pr.consistency()));
-        }
-    }
-    Table2 { cells }
-}
-
+/// Render any cell grid in the paper's layout (conditions as rows,
+/// functionals as columns).
 fn render_grid<T: std::fmt::Display>(
     title: &str,
-    cells: &[(Dfa, Condition, T)],
+    columns: &[String],
+    rows: &[Condition],
+    cells: &[(String, Condition, T)],
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("### {title}\n\n"));
-    out.push_str("| Local condition | PBE | LYP | AM05 | SCAN | VWN RPA |\n");
-    out.push_str("|---|---|---|---|---|---|\n");
-    for cond in Condition::all() {
+    out.push_str("| Local condition |");
+    for c in columns {
+        out.push_str(&format!(" {c} |"));
+    }
+    out.push('\n');
+    out.push_str(&"|---".repeat(columns.len() + 1));
+    out.push_str("|\n");
+    for &cond in rows {
         out.push_str(&format!("| {} ({}) ", cond.name(), cond.equation()));
-        for dfa in columns() {
+        for name in columns {
             let cell = cells
                 .iter()
-                .find(|(d, c, _)| *d == dfa && *c == cond)
+                .find(|(n, c, _)| n == name && *c == cond)
                 .map(|(_, _, m)| format!("{m}"))
                 .unwrap_or_else(|| "-".to_string());
             out.push_str(&format!("| {cell} "));
@@ -112,18 +115,34 @@ fn render_grid<T: std::fmt::Display>(
 }
 
 impl Table1 {
+    /// Build Table I from a campaign report (no re-verification: the marks
+    /// are read straight off the report).
+    pub fn from_campaign(report: &CampaignReport) -> Table1 {
+        Table1 {
+            columns: report.functionals.iter().map(|f| f.name()).collect(),
+            rows: report.conditions.clone(),
+            cells: report
+                .pairs
+                .iter()
+                .map(|p| (p.functional.name(), p.condition, p.mark))
+                .collect(),
+        }
+    }
+
     /// Markdown in the layout of the paper's Table I.
     pub fn render_markdown(&self) -> String {
         render_grid(
             "Table I: verifying local conditions for DFT exact conditions (OK = verified, OK* = partially verified, CE = counterexample, ? = timeout/inconclusive, - = not applicable)",
+            &self.columns,
+            &self.rows,
             &self.cells,
         )
     }
 
-    pub fn mark(&self, dfa: Dfa, cond: Condition) -> Option<TableMark> {
+    pub fn mark(&self, functional: &str, cond: Condition) -> Option<TableMark> {
         self.cells
             .iter()
-            .find(|(d, c, _)| *d == dfa && *c == cond)
+            .find(|(n, c, _)| n.eq_ignore_ascii_case(functional) && *c == cond)
             .map(|(_, _, m)| *m)
     }
 
@@ -135,26 +154,81 @@ impl Table1 {
 }
 
 impl Table2 {
+    /// Build Table II from a campaign report: the verifier's region maps
+    /// come from the report, the PB baseline runs here per applicable pair.
+    pub fn from_campaign(report: &CampaignReport, grid_cfg: &GridConfig) -> Table2 {
+        let cells = report
+            .pairs
+            .iter()
+            .map(|p| {
+                let consistency = match &p.map {
+                    // Applicable pairs the campaign skipped (budget or
+                    // cancellation) are undecided, not `−`.
+                    None if p.skipped == Some(xcv_core::SkipReason::NotApplicable) => {
+                        Consistency::NotApplicable
+                    }
+                    None => Consistency::Unknown,
+                    Some(map) => match pb_check(&p.functional, p.condition, grid_cfg) {
+                        Ok(grid) => classify(map, &grid),
+                        Err(_) => Consistency::NotApplicable,
+                    },
+                };
+                (p.functional.name(), p.condition, consistency)
+            })
+            .collect();
+        Table2 {
+            columns: report.functionals.iter().map(|f| f.name()).collect(),
+            rows: report.conditions.clone(),
+            cells,
+        }
+    }
+
     /// Markdown in the layout of the paper's Table II.
     pub fn render_markdown(&self) -> String {
         render_grid(
             "Table II: comparison between XCVerifier and the PB approach (C = consistent, C* = not inconsistent, ? = verifier timeout, - = not applicable)",
+            &self.columns,
+            &self.rows,
             &self.cells,
         )
     }
 
-    pub fn cell(&self, dfa: Dfa, cond: Condition) -> Option<Consistency> {
+    pub fn cell(&self, functional: &str, cond: Condition) -> Option<Consistency> {
         self.cells
             .iter()
-            .find(|(d, c, _)| *d == dfa && *c == cond)
+            .find(|(n, c, _)| n.eq_ignore_ascii_case(functional) && *c == cond)
             .map(|(_, _, m)| *m)
     }
+}
+
+/// Run Table I over the paper's five DFAs with one verifier config (the
+/// campaign path; `−` where inapplicable).
+pub fn run_table1(verifier: &Verifier) -> Table1 {
+    let report = xcv_core::Campaign::builder()
+        .registry(&Registry::builtin())
+        .config(verifier.config.clone())
+        .build()
+        .expect("builtin registry is non-empty")
+        .run();
+    Table1::from_campaign(&report)
+}
+
+/// Run Table II over the paper's five DFAs (verifier + PB on every cell).
+pub fn run_table2(verifier: &Verifier, grid_cfg: &GridConfig) -> Table2 {
+    let report = xcv_core::Campaign::builder()
+        .registry(&Registry::builtin())
+        .config(verifier.config.clone())
+        .build()
+        .expect("builtin registry is non-empty")
+        .run();
+    Table2::from_campaign(&report, grid_cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use xcv_core::VerifierConfig;
+    use xcv_functionals::Dfa;
     use xcv_solver::{DeltaSolver, SolveBudget};
 
     fn fast_verifier() -> Verifier {
@@ -162,6 +236,7 @@ mod tests {
             split_threshold: 1.25,
             solver: DeltaSolver::new(1e-3, SolveBudget::nodes(4_000)),
             parallel: true,
+            parallel_depth: 3,
             max_depth: 4,
             pair_deadline_ms: None,
         })
@@ -205,7 +280,15 @@ mod tests {
         // Only check rendering mechanics here (full runs live in the repro
         // binary): build a table with stub marks.
         let t = Table1 {
-            cells: vec![(Dfa::Pbe, Condition::EcNonPositivity, TableMark::Verified)],
+            columns: ["PBE", "LYP", "AM05", "SCAN", "VWN RPA"]
+                .map(String::from)
+                .to_vec(),
+            rows: Condition::all().to_vec(),
+            cells: vec![(
+                "PBE".into(),
+                Condition::EcNonPositivity,
+                TableMark::Verified,
+            )],
         };
         let md = t.render_markdown();
         assert!(md.contains("| Local condition | PBE | LYP | AM05 | SCAN | VWN RPA |"));
@@ -215,27 +298,53 @@ mod tests {
     }
 
     #[test]
+    fn table1_from_campaign_dynamic_columns() {
+        // A campaign over a runtime-extended set renders extra columns
+        // without any enum involvement in the table layer.
+        let report = xcv_core::Campaign::builder()
+            .functionals([Dfa::VwnRpa, Dfa::RScan])
+            .conditions([Condition::EcNonPositivity])
+            .config(fast_verifier().config)
+            .build()
+            .unwrap()
+            .run();
+        let t = Table1::from_campaign(&report);
+        assert_eq!(t.columns, vec!["VWN RPA", "rSCAN(reg)"]);
+        let md = t.render_markdown();
+        assert!(md.contains("| VWN RPA | rSCAN(reg) |"), "{md}");
+        assert_eq!(t.cells.len(), 2);
+    }
+
+    #[test]
     fn table2_lookup() {
         let t = Table2 {
-            cells: vec![(
-                Dfa::Lyp,
-                Condition::EcScaling,
-                Consistency::Consistent,
-            )],
+            columns: vec!["LYP".into()],
+            rows: Condition::all().to_vec(),
+            cells: vec![("LYP".into(), Condition::EcScaling, Consistency::Consistent)],
         };
         assert_eq!(
-            t.cell(Dfa::Lyp, Condition::EcScaling),
+            t.cell("LYP", Condition::EcScaling),
             Some(Consistency::Consistent)
         );
-        assert_eq!(t.cell(Dfa::Pbe, Condition::EcScaling), None);
+        assert_eq!(t.cell("PBE", Condition::EcScaling), None);
     }
 
     #[test]
     fn count_helper() {
         let t = Table1 {
+            columns: vec!["PBE".into(), "LYP".into()],
+            rows: Condition::all().to_vec(),
             cells: vec![
-                (Dfa::Pbe, Condition::EcNonPositivity, TableMark::Verified),
-                (Dfa::Lyp, Condition::EcNonPositivity, TableMark::Counterexample),
+                (
+                    "PBE".into(),
+                    Condition::EcNonPositivity,
+                    TableMark::Verified,
+                ),
+                (
+                    "LYP".into(),
+                    Condition::EcNonPositivity,
+                    TableMark::Counterexample,
+                ),
             ],
         };
         assert_eq!(t.count(|m| m == TableMark::Verified), 1);

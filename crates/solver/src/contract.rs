@@ -109,12 +109,7 @@ impl Hc4 {
         let roots = formula
             .atoms
             .iter()
-            .map(|a| {
-                (
-                    env.index_of(&a.expr).expect("root in env"),
-                    a.rel.allowed(),
-                )
-            })
+            .map(|a| (env.index_of(&a.expr).expect("root in env"), a.rel.allowed()))
             .collect();
         Hc4 {
             env,
@@ -254,10 +249,8 @@ impl Hc4 {
                     }
                 }
                 Op::Atan(a) => {
-                    let range = Interval::new(
-                        -std::f64::consts::FRAC_PI_2,
-                        std::f64::consts::FRAC_PI_2,
-                    );
+                    let range =
+                        Interval::new(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
                     let dc = d.intersect(&range);
                     if dc.is_empty() {
                         return false;
@@ -305,8 +298,10 @@ impl Hc4 {
                             }
                         }
                     };
-                    if !self.meet(a, Interval::checked(atanh(dc.lo, false), atanh(dc.hi, true)))
-                    {
+                    if !self.meet(
+                        a,
+                        Interval::checked(atanh(dc.lo, false), atanh(dc.hi, true)),
+                    ) {
                         return false;
                     }
                 }
@@ -558,10 +553,7 @@ mod tests {
                 let x = -2.0 + 4.0 * (i as f64) / 19.0;
                 let y = -2.0 + 4.0 * (j as f64) / 19.0;
                 if x * x + y * y <= 1.0 {
-                    assert!(
-                        nb.contains_point(&[x, y]),
-                        "lost feasible point ({x}, {y})"
-                    );
+                    assert!(nb.contains_point(&[x, y]), "lost feasible point ({x}, {y})");
                 }
             }
         }

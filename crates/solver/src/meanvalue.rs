@@ -111,8 +111,7 @@ impl MeanValue {
         let mut current = b.clone();
         for atom in &mut self.atoms {
             let mid = current.midpoint();
-            let point_domains: Vec<Interval> =
-                mid.iter().map(|&x| Interval::point(x)).collect();
+            let point_domains: Vec<Interval> = mid.iter().map(|&x| Interval::point(x)).collect();
             atom.env.forward(&point_domains);
             let g_m = atom.env.value(&atom.g);
             if g_m.is_empty() {
@@ -147,9 +146,7 @@ impl MeanValue {
                 // allowed ∋ rest + grad·(x_v − m_v)
                 // ⇒ x_v ∈ m_v + (allowed − rest)/grad
                 let rhs = allowed.sub(&rest).div(&grad);
-                let newdom = current
-                    .dim(v)
-                    .intersect(&rhs.add(&Interval::point(mid[v])));
+                let newdom = current.dim(v).intersect(&rhs.add(&Interval::point(mid[v])));
                 if newdom.is_empty() {
                     return None;
                 }

@@ -407,9 +407,7 @@ mod tests {
         let f = Formula::single(Atom::new(var(0) - var(0).powi(2) - 0.3, Rel::Ge));
         let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
         let (out_plain, stats_plain) = solver().solve_with_stats(&b, &f);
-        let (out_mv, stats_mv) = solver()
-            .with_mean_value(true)
-            .solve_with_stats(&b, &f);
+        let (out_mv, stats_mv) = solver().with_mean_value(true).solve_with_stats(&b, &f);
         assert_eq!(out_plain, Outcome::Unsat);
         assert_eq!(out_mv, Outcome::Unsat);
         assert!(

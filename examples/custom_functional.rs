@@ -1,7 +1,7 @@
 //! Verify a *user-supplied* functional: write the DFA in the Python-subset
-//! DSL (the form XCEncoder consumes after Maple translation), compile it
-//! symbolically, and check an exact condition with the δ-complete solver —
-//! no grid, no sampling.
+//! DSL (the form XCEncoder consumes after Maple translation), register it as
+//! a first-class citizen of the functional registry, and run an exact-
+//! condition campaign over it — no grid, no sampling, no enum variant added.
 //!
 //! ```sh
 //! cargo run --release --example custom_functional
@@ -12,9 +12,9 @@
 //! with a wrong sign in the gradient correction, the kind of implementation
 //! defect the paper's approach is designed to catch.
 
+use std::sync::Arc;
+use xcverifier::functionals::functional::info;
 use xcverifier::prelude::*;
-use xcverifier::expr::dsl;
-use xcverifier::functionals::constants::A_X;
 
 const GOOD: &str = "\
 def wigner_c(rs, s):
@@ -34,41 +34,63 @@ def wigner_c(rs, s):
     return -a / (b + rs) * damp
 ";
 
-fn check(label: &str, source: &str) {
-    // Compile the DSL to a symbolic expression over (rs, s).
-    let mut vars = VarSet::from_names(["rs", "s"]);
-    let eps_c = dsl::compile(source, "wigner_c", &mut vars).expect("DSL compiles");
-
-    // EC1's local condition: F_c = ε_c/ε_x^unif = -ε_c rs / A_X >= 0.
-    let rs = vars.var("rs").unwrap();
-    let f_c = -(eps_c * rs) / A_X;
-    let psi = Atom::new(f_c, Rel::Ge);
-    let negation = Formula::single(psi.negate());
-
-    // Refute ¬ψ over the PB domain with the δ-complete solver.
-    let domain = BoxDomain::from_bounds(&[(1e-4, 5.0), (0.0, 5.0)]);
-    let solver = DeltaSolver::new(1e-4, SolveBudget::nodes(200_000));
-    match solver.solve(&domain, &negation) {
-        Outcome::Unsat => {
-            println!("{label}: VERIFIED — E_c <= 0 holds on the whole domain");
-        }
-        Outcome::DeltaSat(model) => {
-            if !psi.holds_at(&model) {
-                println!(
-                    "{label}: COUNTEREXAMPLE at rs={:.4}, s={:.4} \
-                     (ε_c > 0 there — implementation violates EC1)",
-                    model[0], model[1]
-                );
-            } else {
-                println!("{label}: inconclusive (δ-SAT model passed the exact re-check)");
-            }
-        }
-        Outcome::Timeout => println!("{label}: solver budget exhausted"),
-    }
-}
-
 fn main() {
+    // 1. Compile both builds from DSL source and register them. From here
+    //    on they are indistinguishable from the built-in DFAs.
+    let mut registry = Registry::empty();
+    for (name, src) in [("wigner(correct)", GOOD), ("wigner(buggy)", BUGGY)] {
+        let f = DslFunctional::new(
+            info(name, Family::Gga, Design::Empirical, false, true),
+            src,
+            "wigner_c",
+        )
+        .expect("DSL compiles");
+        registry.register(Arc::new(f)).expect("unique name");
+    }
+
+    // 2. Campaign: EC1 over both builds, counterexamples streamed as found.
     println!("Checking E_c non-positivity (EC1) for two DSL-defined functionals:\n");
-    check("correct build", GOOD);
-    check("buggy build  ", BUGGY);
+    let report = Campaign::builder()
+        .registry(&registry)
+        .conditions([Condition::EcNonPositivity])
+        .config(VerifierConfig {
+            split_threshold: 0.3,
+            solver: DeltaSolver::new(1e-4, SolveBudget::nodes(50_000)),
+            parallel: true,
+            parallel_depth: 3,
+            max_depth: 5,
+            pair_deadline_ms: Some(10_000),
+        })
+        .on_event(|e| {
+            if let CampaignEvent::CounterexampleFound {
+                functional,
+                witness,
+                ..
+            } = e
+            {
+                println!(
+                    "  {functional}: counterexample at rs={:.4}, s={:.4} \
+                     (ε_c > 0 there — implementation violates EC1)",
+                    witness[0], witness[1]
+                );
+            }
+        })
+        .build()
+        .expect("non-empty campaign")
+        .run();
+
+    // 3. Verdicts.
+    println!();
+    for name in registry.names() {
+        let mark = report
+            .mark(&name, Condition::EcNonPositivity)
+            .expect("cell exists");
+        let verdict = match mark {
+            TableMark::Verified => "VERIFIED — E_c <= 0 holds on the whole domain",
+            TableMark::PartiallyVerified => "partially verified (rest undecided)",
+            TableMark::Counterexample => "REFUTED — counterexamples above",
+            _ => "undecided at this budget",
+        };
+        println!("{name:16} -> {mark:3}  {verdict}");
+    }
 }

@@ -40,6 +40,7 @@ fn main() {
         split_threshold: 0.3,
         solver: DeltaSolver::new(1e-3, SolveBudget::millis(80)),
         parallel: true,
+        parallel_depth: 3,
         max_depth: 5,
         pair_deadline_ms: None,
     });

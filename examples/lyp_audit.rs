@@ -13,6 +13,7 @@ fn main() {
         split_threshold: 0.3,
         solver: DeltaSolver::new(1e-3, SolveBudget::millis(80)),
         parallel: true,
+        parallel_depth: 3,
         max_depth: 5,
         pair_deadline_ms: None,
     });
@@ -21,7 +22,7 @@ fn main() {
     let mut violated = 0usize;
     let mut applicable = 0usize;
     for cond in Condition::all() {
-        let Some(problem) = Encoder::encode(Dfa::Lyp, cond) else {
+        let Ok(problem) = Encoder::encode(Dfa::Lyp, cond) else {
             println!("{cond}: not applicable (LYP has no exchange part)\n");
             continue;
         };

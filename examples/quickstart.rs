@@ -16,9 +16,12 @@ fn main() {
     //    try to satisfy) over the PB domain rs ∈ [1e-4, 5], s ∈ [0, 5].
     let problem = Encoder::encode(Dfa::Pbe, Condition::EcNonPositivity)
         .expect("EC1 applies to every correlation functional");
-    println!("functional : {}", problem.dfa);
+    println!("functional : {}", problem.functional_name());
     println!("condition  : {}", problem.condition);
-    println!("psi        : {}", truncate(&format!("{}", problem.psi), 100));
+    println!(
+        "psi        : {}",
+        truncate(&format!("{}", problem.psi), 100)
+    );
     println!("domain     : {}", problem.domain);
     println!();
 
@@ -27,6 +30,7 @@ fn main() {
         split_threshold: 0.3,
         solver: DeltaSolver::new(1e-3, SolveBudget::millis(100)),
         parallel: true,
+        parallel_depth: 3,
         max_depth: 5,
         pair_deadline_ms: None,
     });
@@ -35,7 +39,10 @@ fn main() {
     //    counterexample / inconclusive / timeout regions.
     let map = verifier.verify(&problem);
     println!("{}", ascii_region_map(&map, 64, 24));
-    println!("verdict: {}  (+ verified, x counterexample, ? inconclusive, T timeout)", map.table_mark());
+    println!(
+        "verdict: {}  (+ verified, x counterexample, ? inconclusive, T timeout)",
+        map.table_mark()
+    );
     println!(
         "verified volume: {:.1}%",
         100.0 * map.volume_fraction(|s| matches!(s, RegionStatus::Verified))

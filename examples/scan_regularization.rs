@@ -18,6 +18,7 @@ fn main() {
         split_threshold: 0.7,
         solver: DeltaSolver::new(1e-3, SolveBudget::millis(60)),
         parallel: true,
+        parallel_depth: 3,
         max_depth: 3,
         pair_deadline_ms: Some(30_000),
     });
@@ -30,10 +31,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         let map = verifier.verify(&problem);
         let decided = map.volume_fraction(|s| {
-            matches!(
-                s,
-                RegionStatus::Verified | RegionStatus::Counterexample(_)
-            )
+            matches!(s, RegionStatus::Verified | RegionStatus::Counterexample(_))
         });
         decided_fracs.push(decided);
         println!(

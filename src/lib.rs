@@ -15,33 +15,80 @@
 //!   with a symbolic executor (the XCEncoder pipeline);
 //! * [`solver`] — a δ-complete decision procedure (HC4 interval constraint
 //!   propagation + branch-and-prune), the dReal substitute;
-//! * [`functionals`] — PBE, SCAN, LYP, AM05 and VWN RPA (unpolarized), each
-//!   as a symbolic DAG and an independent closed-form scalar implementation;
+//! * [`functionals`] — the open functional registry: a [`prelude::Functional`]
+//!   trait (symbolic DAGs + scalar closed forms + metadata), the paper's
+//!   five DFAs as built-in implementations, and runtime registration of
+//!   user-defined functionals (e.g. DSL-compiled, via
+//!   [`prelude::DslFunctional`]);
 //! * [`conditions`] — the seven Pederson–Burke exact conditions as local
-//!   conditions over enhancement factors;
-//! * [`core`] — the encoder and the recursive domain-splitting verifier
-//!   (Algorithm 1);
+//!   conditions over enhancement factors, dispatching through the trait;
+//! * [`core`] — the encoder, the recursive domain-splitting verifier
+//!   (Algorithm 1), and the [`prelude::Campaign`] engine that schedules
+//!   whole verification matrices;
 //! * [`grid`] — the Pederson–Burke grid-search baseline;
-//! * [`report`] — region-map rendering and the paper's Tables I/II.
+//! * [`report`] — region-map rendering and the paper's Tables I/II, built
+//!   directly from campaign reports.
 //!
-//! ## Quickstart
+//! ## Quickstart: verify a whole matrix as one campaign
+//!
+//! The paper's headline result is the Table I matrix — every applicable
+//! (functional, condition) pair verified in one run. That matrix is a
+//! first-class value here:
 //!
 //! ```
 //! use xcverifier::prelude::*;
 //!
-//! // Does LYP's implementation satisfy E_c non-positivity? (It does not.)
-//! let problem = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
-//! let verifier = Verifier::new(VerifierConfig {
-//!     split_threshold: 1.25,
-//!     solver: DeltaSolver::new(1e-3, SolveBudget::nodes(20_000)),
-//!     parallel: false,
-//!     max_depth: 4,
-//!     pair_deadline_ms: None,
-//! });
-//! let map = verifier.verify(&problem);
-//! assert_eq!(map.table_mark(), TableMark::Counterexample);
-//! let witness = map.counterexamples()[0];
+//! // Campaign over two of the paper's DFAs × one exact condition, with a
+//! // small per-box budget. Pairs are scheduled across the thread pool and
+//! // every outcome lands in one structured report.
+//! let report = Campaign::builder()
+//!     .functionals([Dfa::VwnRpa, Dfa::Lyp])
+//!     .conditions([Condition::EcNonPositivity])
+//!     .config(VerifierConfig {
+//!         split_threshold: 1.25,
+//!         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(20_000)),
+//!         parallel: false,
+//!         parallel_depth: 3,
+//!         max_depth: 4,
+//!         pair_deadline_ms: None,
+//!     })
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//!
+//! // VWN RPA satisfies E_c non-positivity; LYP's implementation does not.
+//! assert_eq!(report.mark("VWN RPA", Condition::EcNonPositivity),
+//!            Some(TableMark::Verified));
+//! assert_eq!(report.mark("LYP", Condition::EcNonPositivity),
+//!            Some(TableMark::Counterexample));
+//! let (_, _, witness) = report.counterexamples().into_iter().next().unwrap();
 //! assert!(witness[1] > 1.0, "LYP violates EC1 at large s");
+//!
+//! // Tables I/II render directly from the report.
+//! let table = Table1::from_campaign(&report);
+//! assert!(table.render_markdown().contains("| VWN RPA |"));
+//! ```
+//!
+//! Single pairs still work through [`prelude::Encoder`] /
+//! [`prelude::Verifier`]; campaigns are the batch path. User-defined
+//! functionals join either path by registering a handle:
+//!
+//! ```no_run
+//! use xcverifier::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let src = "def wigner_c(rs, s):\n    return -0.44 / (7.8 + rs)\n";
+//! let mine = DslFunctional::new(
+//!     xcverifier::functionals::functional::info(
+//!         "wigner", Family::Gga, Design::Empirical, false, true),
+//!     src, "wigner_c",
+//! ).unwrap();
+//! let mut registry = Registry::builtin();
+//! registry.register(Arc::new(mine)).unwrap();
+//! let report = Campaign::builder()
+//!     .registry(&registry)            // six columns now, no enum touched
+//!     .build().unwrap().run();
+//! # let _ = report;
 //! ```
 
 pub use xcv_conditions as conditions;
@@ -55,19 +102,21 @@ pub use xcv_solver as solver;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
-    pub use xcv_conditions::{applicable_pairs, pb_domain, Condition, C_LO};
+    pub use xcv_conditions::{applicable_pairs, applicable_pairs_in, pb_domain, Condition, C_LO};
     pub use xcv_core::{
-        EncodedProblem, Encoder, Region, RegionMap, RegionStatus, TableMark, Verifier,
+        Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CancelToken, EncodedProblem,
+        Encoder, PairOutcome, Region, RegionMap, RegionStatus, SkipReason, TableMark, Verifier,
         VerifierConfig,
     };
     pub use xcv_expr::{constant, var, Expr, VarSet};
-    pub use xcv_functionals::{Design, Dfa, Family, ALPHA, RS, S};
+    pub use xcv_functionals::{
+        Design, Dfa, DfaInfo, DslFunctional, Family, FnFunctional, Functional, FunctionalHandle,
+        IntoFunctional, Registry, XcvError, ALPHA, RS, S,
+    };
     pub use xcv_grid::{pb_check, GridConfig, GridResult};
     pub use xcv_interval::{interval, point, Interval};
-    pub use xcv_report::{ascii_grid_map, ascii_region_map, classify, Consistency};
-    pub use xcv_solver::{
-        Atom, BoxDomain, DeltaSolver, Formula, Outcome, Rel, SolveBudget,
-    };
+    pub use xcv_report::{ascii_grid_map, ascii_region_map, classify, Consistency, Table1, Table2};
+    pub use xcv_solver::{Atom, BoxDomain, DeltaSolver, Formula, Outcome, Rel, SolveBudget};
 }
 
 #[cfg(test)]
@@ -76,9 +125,16 @@ mod tests {
 
     #[test]
     fn facade_reexports_work() {
-        let d = pb_domain(Dfa::Pbe);
+        let d = pb_domain(&Dfa::Pbe);
         assert_eq!(d.ndim(), 2);
         assert_eq!(applicable_pairs().len(), 31);
         let _ = constant(1.0) + var(RS);
+    }
+
+    #[test]
+    fn campaign_types_in_prelude() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(Campaign::builder().build().is_err());
     }
 }

@@ -92,6 +92,7 @@ fn verifier_with_tiny_deadline_still_partitions() {
         split_threshold: 0.3,
         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(500)),
         parallel: true,
+        parallel_depth: 3,
         max_depth: 6,
         pair_deadline_ms: Some(5),
     });
@@ -106,6 +107,7 @@ fn verifier_threshold_larger_than_domain_never_splits() {
         split_threshold: f64::INFINITY,
         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(100_000)),
         parallel: false,
+        parallel_depth: 3,
         max_depth: 0,
         pair_deadline_ms: None,
     });
@@ -132,13 +134,13 @@ fn grid_minimum_resolution() {
 fn dsl_error_paths_do_not_panic() {
     use xcverifier::expr::dsl;
     let cases = [
-        "",                                     // empty program
-        "def f(x):\n",                          // missing body
-        "def f(x):\n    return y\n",            // unbound name
-        "def f(x):\n    return f(x)\n",         // recursion
-        "def f(x):\n  if x:\n    return x\n",   // malformed condition
-        "x = 1\n",                              // statement at top level
-        "def f(x):\n\treturn x\n",              // tab indentation
+        "",                                   // empty program
+        "def f(x):\n",                        // missing body
+        "def f(x):\n    return y\n",          // unbound name
+        "def f(x):\n    return f(x)\n",       // recursion
+        "def f(x):\n  if x:\n    return x\n", // malformed condition
+        "x = 1\n",                            // statement at top level
+        "def f(x):\n\treturn x\n",            // tab indentation
     ];
     let mut vars = VarSet::new();
     for src in cases {

@@ -10,6 +10,7 @@ fn tiny_verifier() -> Verifier {
         split_threshold: 2.0,
         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(1_500)),
         parallel: true,
+        parallel_depth: 3,
         max_depth: 2,
         pair_deadline_ms: Some(2_000),
     })
@@ -35,11 +36,11 @@ fn table1_full_matrix_renders_and_is_sound() {
     // Soundness at any budget: the by-construction-satisfied pairs must
     // never be refuted.
     for (dfa, cond) in [
-        (Dfa::Pbe, Condition::EcNonPositivity),
-        (Dfa::Scan, Condition::EcNonPositivity),
-        (Dfa::Am05, Condition::EcNonPositivity),
-        (Dfa::VwnRpa, Condition::EcScaling),
-        (Dfa::Pbe, Condition::LiebOxfordExt),
+        ("PBE", Condition::EcNonPositivity),
+        ("SCAN", Condition::EcNonPositivity),
+        ("AM05", Condition::EcNonPositivity),
+        ("VWN RPA", Condition::EcScaling),
+        ("PBE", Condition::LiebOxfordExt),
     ] {
         assert_ne!(
             t1.mark(dfa, cond),
