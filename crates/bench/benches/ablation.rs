@@ -54,7 +54,7 @@ fn bench_hc4_rounds(c: &mut Criterion) {
     for rounds in [1usize, 3, 6] {
         g.bench_function(format!("rounds_{rounds}"), |b| {
             b.iter(|| {
-                let mut hc4 = Hc4::new(black_box(&problem.negation));
+                let mut hc4 = Hc4::new(black_box(problem.negation()));
                 hc4.max_rounds = rounds;
                 black_box(hc4.contract(black_box(&b0)))
             })
@@ -93,7 +93,7 @@ fn bench_mean_value(c: &mut Criterion) {
     for (name, mv) in [("hc4_only", false), ("hc4_plus_mv", true)] {
         let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(400_000)).with_mean_value(mv);
         g.bench_function(name, |b| {
-            b.iter(|| black_box(solver.solve(black_box(&dom), &problem.negation)))
+            b.iter(|| black_box(solver.solve(black_box(&dom), problem.negation())))
         });
     }
     g.finish();

@@ -1,0 +1,54 @@
+//! Compile-once session vs per-box alternatives on a fixed sub-box schedule
+//! (the micro version of the `solver_bench` binary, for quick regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xcv_bench::seed_baseline::seed_solve_with_stats;
+use xcv_conditions::Condition;
+use xcv_core::Encoder;
+use xcv_functionals::Dfa;
+use xcv_solver::{DeltaSolver, SolveBudget, SolveScratch};
+
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_session");
+    g.sample_size(10);
+    let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(300));
+    for (dfa, cond, name) in [
+        (Dfa::Lyp, Condition::EcNonPositivity, "lyp_ec1"),
+        (Dfa::Scan, Condition::EcNonPositivity, "scan_ec1"),
+    ] {
+        let problem = Encoder::encode(dfa, cond).expect("applicable");
+        let boxes: Vec<_> = problem
+            .domain
+            .split_all()
+            .iter()
+            .flat_map(|b| b.split_all())
+            .collect();
+        g.bench_function(format!("{name}/session"), |b| {
+            let mut scratch = SolveScratch::new();
+            b.iter(|| {
+                for bx in &boxes {
+                    black_box(solver.solve_compiled(bx, problem.compiled(), &mut scratch));
+                }
+            })
+        });
+        g.bench_function(format!("{name}/recompile"), |b| {
+            b.iter(|| {
+                for bx in &boxes {
+                    black_box(solver.solve(bx, problem.negation()));
+                }
+            })
+        });
+        g.bench_function(format!("{name}/seed"), |b| {
+            b.iter(|| {
+                for bx in &boxes {
+                    black_box(seed_solve_with_stats(&solver, bx, problem.negation()));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! Solver throughput benchmark: compile-once sessions vs the seed per-call
+//! path, on a deterministic box schedule per Table I pair.
+//!
+//! ```text
+//! solver_bench [--nodes N] [--depth D] [--out FILE] [--extended]
+//! ```
+//!
+//! For every applicable (functional, condition) pair the PB domain is split
+//! `--depth` times (the verifier's `split(D)` schedule), and each resulting
+//! box is solved with a `--nodes` node budget three ways:
+//!
+//! * **session**   — one `CompiledFormula` + one `SolveScratch` shared
+//!   across the whole schedule (the architecture `Verifier`/`Campaign` run);
+//! * **recompile** — the same tape machinery, recompiled per box (isolates
+//!   the compilation overhead the session removes);
+//! * **seed**      — the original architecture, vendored in
+//!   [`xcv_bench::seed_baseline`]: contractor rebuilt per box over
+//!   hash-mapped `IntervalEnv` storage, branch scoring through the
+//!   allocating recursive evaluator.
+//!
+//! Results (boxes, solver nodes, wall-clock, nodes/sec, speedups) are
+//! printed as a table and written as JSON to `--out` (default
+//! `BENCH_solver.json`) — the checked-in snapshot starts the perf trajectory
+//! for later PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xcv_bench::seed_baseline::seed_solve_with_stats;
+use xcv_core::Encoder;
+use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveBudget, SolveScratch};
+
+struct Opts {
+    nodes: u64,
+    depth: u32,
+    out: String,
+    extended: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        nodes: 800,
+        depth: 2,
+        out: "BENCH_solver.json".into(),
+        extended: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                i += 1;
+                o.nodes = args[i].parse().expect("--nodes takes an integer");
+            }
+            "--depth" => {
+                i += 1;
+                o.depth = args[i].parse().expect("--depth takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                o.out = args[i].clone();
+            }
+            "--extended" => o.extended = true,
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o
+}
+
+/// Counters for one run mode over a pair's box schedule.
+#[derive(Default, Clone, Copy)]
+struct ModeResult {
+    nodes: u64,
+    unsat: u64,
+    delta_sat: u64,
+    timeout: u64,
+    wall_s: f64,
+}
+
+impl ModeResult {
+    fn knodes_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.nodes as f64 / self.wall_s / 1e3
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn absorb_outcome(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Unsat => self.unsat += 1,
+            Outcome::DeltaSat(_) => self.delta_sat += 1,
+            Outcome::Timeout => self.timeout += 1,
+        }
+    }
+}
+
+fn box_schedule(domain: &BoxDomain, depth: u32) -> Vec<BoxDomain> {
+    let mut boxes = vec![domain.clone()];
+    for _ in 0..depth {
+        boxes = boxes.iter().flat_map(|b| b.split_all()).collect();
+    }
+    boxes
+}
+
+fn json_mode(m: &ModeResult) -> String {
+    format!(
+        "{{\"nodes\": {}, \"unsat\": {}, \"delta_sat\": {}, \"timeout\": {}, \
+         \"wall_ms\": {:.3}, \"knodes_per_sec\": {:.1}}}",
+        m.nodes,
+        m.unsat,
+        m.delta_sat,
+        m.timeout,
+        m.wall_s * 1e3,
+        m.knodes_per_sec()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_opts(&args);
+    let problems = if opts.extended {
+        Encoder::encode_all_extended()
+    } else {
+        Encoder::encode_all()
+    };
+    let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(opts.nodes));
+    println!(
+        "== solver_bench: {} pairs, split depth {}, {} nodes/box ==",
+        problems.len(),
+        opts.depth,
+        opts.nodes
+    );
+    println!(
+        "{:<12} {:<28} {:>5} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "functional",
+        "condition",
+        "boxes",
+        "sess kn/s",
+        "rcmp kn/s",
+        "seed kn/s",
+        "vs seed",
+        "vs rcmp"
+    );
+    let mut records = Vec::new();
+    let mut totals = [ModeResult::default(); 3];
+    for p in &problems {
+        let boxes = box_schedule(&p.domain, opts.depth);
+        // Session mode: the problem's compiled formula + one scratch, shared
+        // across the schedule (one warm box first so lazy state and code
+        // paths are faulted in evenly across modes).
+        let mut scratch = SolveScratch::new();
+        let _ = solver.solve_compiled(&boxes[0], p.compiled(), &mut scratch);
+        let mut session = ModeResult::default();
+        let t0 = Instant::now();
+        for b in &boxes {
+            let (outcome, stats) = solver.solve_compiled_with_stats(b, p.compiled(), &mut scratch);
+            session.nodes += stats.nodes;
+            session.absorb_outcome(&outcome);
+        }
+        session.wall_s = t0.elapsed().as_secs_f64();
+        // Recompile mode: same tapes, compiled per call.
+        let mut recompile = ModeResult::default();
+        let t0 = Instant::now();
+        for b in &boxes {
+            let (outcome, stats) = solver.solve_with_stats(b, p.negation());
+            recompile.nodes += stats.nodes;
+            recompile.absorb_outcome(&outcome);
+        }
+        recompile.wall_s = t0.elapsed().as_secs_f64();
+        // Seed mode: the vendored original architecture.
+        let mut seed = ModeResult::default();
+        let t0 = Instant::now();
+        for b in &boxes {
+            let (outcome, stats) = seed_solve_with_stats(&solver, b, p.negation());
+            seed.nodes += stats.nodes;
+            seed.absorb_outcome(&outcome);
+        }
+        seed.wall_s = t0.elapsed().as_secs_f64();
+        // The three modes run the same deterministic search under a pure
+        // node budget: any outcome divergence is a correctness bug, not a
+        // benchmark artifact.
+        let counts = |m: &ModeResult| (m.unsat, m.delta_sat, m.timeout);
+        assert_eq!(
+            counts(&session),
+            counts(&seed),
+            "session and seed outcomes diverged on {} / {}",
+            p.functional_name(),
+            p.condition.name()
+        );
+        assert_eq!(
+            counts(&session),
+            counts(&recompile),
+            "session and recompile outcomes diverged on {} / {}",
+            p.functional_name(),
+            p.condition.name()
+        );
+        let vs_seed = seed.wall_s / session.wall_s.max(1e-12);
+        let vs_recompile = recompile.wall_s / session.wall_s.max(1e-12);
+        println!(
+            "{:<12} {:<28} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x {:>8.2}x",
+            p.functional_name(),
+            p.condition.name(),
+            boxes.len(),
+            session.knodes_per_sec(),
+            recompile.knodes_per_sec(),
+            seed.knodes_per_sec(),
+            vs_seed,
+            vs_recompile
+        );
+        let mut rec = String::new();
+        let _ = write!(
+            rec,
+            "    {{\"functional\": \"{}\", \"condition\": \"{}\", \"boxes\": {}, \
+             \"session\": {}, \"recompile\": {}, \"seed\": {}, \
+             \"speedup_vs_seed\": {:.2}, \"speedup_vs_recompile\": {:.2}}}",
+            p.functional_name(),
+            p.condition.name(),
+            boxes.len(),
+            json_mode(&session),
+            json_mode(&recompile),
+            json_mode(&seed),
+            vs_seed,
+            vs_recompile
+        );
+        records.push(rec);
+        for (t, m) in totals.iter_mut().zip([session, recompile, seed]) {
+            t.nodes += m.nodes;
+            t.unsat += m.unsat;
+            t.delta_sat += m.delta_sat;
+            t.timeout += m.timeout;
+            t.wall_s += m.wall_s;
+        }
+    }
+    let [total_session, total_recompile, total_seed] = totals;
+    let total_vs_seed = total_seed.wall_s / total_session.wall_s.max(1e-12);
+    println!(
+        "total: session {:.1} knodes/s ({:.0} ms), recompile {:.1} knodes/s ({:.0} ms), \
+         seed {:.1} knodes/s ({:.0} ms) => {:.2}x vs seed",
+        total_session.knodes_per_sec(),
+        total_session.wall_s * 1e3,
+        total_recompile.knodes_per_sec(),
+        total_recompile.wall_s * 1e3,
+        total_seed.knodes_per_sec(),
+        total_seed.wall_s * 1e3,
+        total_vs_seed
+    );
+    let json = format!(
+        "{{\n  \"schema\": \"xcv-bench-solver/v1\",\n  \"config\": {{\"nodes_per_box\": {}, \
+         \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
+         \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \"pairs\": [\n{}\n  ]\n}}\n",
+        opts.nodes,
+        opts.depth,
+        problems.len(),
+        json_mode(&total_session),
+        json_mode(&total_recompile),
+        json_mode(&total_seed),
+        total_vs_seed,
+        records.join(",\n")
+    );
+    std::fs::write(&opts.out, json).expect("write bench json");
+    println!("wrote {}", opts.out);
+}

@@ -1,5 +1,7 @@
 //! Shared presets for the benchmark harness and the `repro` binary.
 
+pub mod seed_baseline;
+
 use xcv_core::{Verifier, VerifierConfig};
 use xcv_functionals::{Family, Functional};
 use xcv_grid::GridConfig;

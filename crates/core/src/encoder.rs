@@ -1,30 +1,66 @@
 //! XCEncoder: from (functional, exact condition) to a solver problem.
 
+use std::sync::Arc;
 use xcv_conditions::{pb_domain, Condition};
 use xcv_functionals::{FunctionalHandle, IntoFunctional, Registry, XcvError};
-use xcv_solver::{Atom, BoxDomain, Formula};
+use xcv_solver::{Atom, BoxDomain, CompiledAtom, CompiledFormula, Formula};
 
 /// An encoded verification problem: the local condition `ψ`, the negated
-/// formula handed to the δ-complete solver, and the input domain.
+/// formula handed to the δ-complete solver, and the input domain — plus the
+/// *compiled* forms of both, built once here and shared (behind `Arc`s)
+/// across every sub-box the verifier recursion and campaign scheduling
+/// visit.
 #[derive(Clone, Debug)]
 pub struct EncodedProblem {
     /// The functional under verification (any registry citizen — built-in
     /// `Dfa` variant or runtime-registered implementation).
     pub functional: FunctionalHandle,
     pub condition: Condition,
-    /// The local condition `ψ` (a single sign atom).
-    pub psi: Atom,
+    /// The local condition `ψ` (a single sign atom). Private — the verifier
+    /// validates witnesses against the compiled form built from this at
+    /// encode time, so a mutable field could silently drift from it.
+    psi: Atom,
     /// `¬ψ` as a conjunction for the solver (Equation 12 of the paper: the
-    /// domain constraints are carried separately as the search box).
-    pub negation: Formula,
+    /// domain constraints are carried separately as the search box). Private
+    /// for the same reason as `psi`.
+    negation: Formula,
     /// The Pederson–Burke domain for this functional's family.
     pub domain: BoxDomain,
+    /// `¬ψ` lowered to flat tapes, once per problem. Private so it cannot
+    /// drift from `negation`: [`Encoder::encode`] is the only place both
+    /// are produced, together.
+    compiled: Arc<CompiledFormula>,
+    /// `ψ` as a compiled atom, for exact model validation without the
+    /// allocating recursive evaluator (kept consistent with `psi` the same
+    /// way).
+    psi_compiled: Arc<CompiledAtom>,
 }
 
 impl EncodedProblem {
     /// The functional's display name (column label in reports).
     pub fn functional_name(&self) -> String {
         self.functional.name()
+    }
+
+    /// The local condition `ψ` (a single sign atom).
+    pub fn psi(&self) -> &Atom {
+        &self.psi
+    }
+
+    /// `¬ψ` as a conjunction for the solver.
+    pub fn negation(&self) -> &Formula {
+        &self.negation
+    }
+
+    /// `¬ψ` lowered to flat tapes (compiled once at encode time); solve
+    /// every box against this.
+    pub fn compiled(&self) -> &CompiledFormula {
+        &self.compiled
+    }
+
+    /// `ψ` as a compiled atom, for exact witness validation.
+    pub fn psi_compiled(&self) -> &CompiledAtom {
+        &self.psi_compiled
     }
 }
 
@@ -44,12 +80,16 @@ impl Encoder {
         let psi = condition.encode(functional.as_ref())?;
         let negation = Formula::single(psi.negate());
         let domain = pb_domain(functional.as_ref());
+        let compiled = Arc::new(CompiledFormula::compile(&negation));
+        let psi_compiled = Arc::new(CompiledAtom::compile(&psi));
         Ok(EncodedProblem {
             functional,
             condition,
             psi,
             negation,
             domain,
+            compiled,
+            psi_compiled,
         })
     }
 

@@ -4,14 +4,21 @@
 //! * [`Encoder`] — pairs a functional (any registry handle) with an exact
 //!   condition, producing the local condition `ψ` (a sign atom over
 //!   `rs, s, α`), its negation `¬ψ` (the formula the δ-complete solver
-//!   refutes), and the Pederson–Burke domain.
+//!   refutes), and the Pederson–Burke domain. Encoding is also where
+//!   **compilation** happens: the [`EncodedProblem`] carries `¬ψ` and `ψ`
+//!   pre-lowered to flat solver tapes
+//!   ([`xcv_solver::CompiledFormula`]/[`xcv_solver::CompiledAtom`]), built
+//!   once and shared across everything downstream.
 //! * [`Verifier`] — Algorithm 1: call the solver on `φ_D ∧ ¬ψ`; `UNSAT`
 //!   verifies the box; a δ-SAT model that exactly violates `ψ` is a
 //!   counterexample; an invalid model is inconclusive; a timeout is recorded
 //!   as such. On anything but `UNSAT` the box is split in every dimension
 //!   (`split(D)`) and the verifier recurses, down to the width floor
 //!   `t = 0.05`, isolating the regions where the implementation violates the
-//!   condition. The recursion parallelizes across sub-boxes with rayon.
+//!   condition. The recursion parallelizes across sub-boxes with rayon;
+//!   every box is solved against the problem's shared compiled formula with
+//!   a per-worker-thread scratch buffer — no compilation, topo sorting, or
+//!   differentiation ever happens per box.
 //! * [`RegionMap`] — the resulting partition of the domain into
 //!   verified / counterexample / inconclusive / timeout regions, with the
 //!   aggregation rules that produce the paper's Table I marks.

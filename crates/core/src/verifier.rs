@@ -1,10 +1,24 @@
 //! Algorithm 1: the recursive domain-splitting verifier.
+//!
+//! The recursion solves `φ_D ∧ ¬ψ` on every sub-box, but never compiles
+//! anything: the [`EncodedProblem`] carries the formula pre-compiled (one
+//! [`xcv_solver::CompiledFormula`] per problem, built at encode time) and
+//! each worker thread keeps one lazily-grown [`xcv_solver::SolveScratch`] in
+//! a `thread_local`, reused across every box — and every problem — that
+//! thread ever touches.
 
 use crate::encoder::EncodedProblem;
 use crate::region::{Region, RegionMap, RegionStatus};
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::time::Instant;
-use xcv_solver::{BoxDomain, DeltaSolver, Formula, Outcome};
+use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveScratch, SolveStats};
+
+thread_local! {
+    /// Per-worker solver scratch. Buffers grow to the largest problem the
+    /// thread has seen and are reused verbatim afterwards.
+    static SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+}
 
 /// Configuration of the verifier.
 #[derive(Clone, Debug)]
@@ -62,9 +76,25 @@ impl Verifier {
 
     /// Verify an encoded problem over a caller-supplied domain.
     pub fn verify_on(&self, domain: &BoxDomain, problem: &EncodedProblem) -> RegionMap {
+        self.verify_on_with_stats(domain, problem).0
+    }
+
+    /// [`Verifier::verify`] returning the solver statistics aggregated over
+    /// the whole box tree (nodes explored, prunes, branches, max depth) —
+    /// the raw material for throughput reporting.
+    pub fn verify_with_stats(&self, problem: &EncodedProblem) -> (RegionMap, SolveStats) {
+        self.verify_on_with_stats(&problem.domain, problem)
+    }
+
+    /// [`Verifier::verify_on`] with aggregated solver statistics.
+    pub fn verify_on_with_stats(
+        &self,
+        domain: &BoxDomain,
+        problem: &EncodedProblem,
+    ) -> (RegionMap, SolveStats) {
         let start = Instant::now();
-        let regions = self.go(domain, &problem.negation, &problem.psi, 0, start);
-        RegionMap::new(domain.clone(), regions)
+        let (regions, stats) = self.go(domain, problem, 0, start);
+        (RegionMap::new(domain.clone(), regions), stats)
     }
 
     fn past_deadline(&self, start: Instant) -> bool {
@@ -86,55 +116,84 @@ impl Verifier {
     fn go(
         &self,
         d: &BoxDomain,
-        negation: &Formula,
-        psi: &xcv_solver::Atom,
+        problem: &EncodedProblem,
         depth: u32,
         start: Instant,
-    ) -> Vec<Region> {
+    ) -> (Vec<Region>, SolveStats) {
+        let mut stats = SolveStats::default();
         if self.past_deadline(start) {
-            return vec![Region {
-                domain: d.clone(),
-                status: RegionStatus::Timeout,
-            }];
+            return (
+                vec![Region {
+                    domain: d.clone(),
+                    status: RegionStatus::Timeout,
+                }],
+                stats,
+            );
         }
-        let outcome = self.config.solver.solve(d, negation);
-        let status = match outcome {
-            Outcome::Unsat => RegionStatus::Verified,
-            Outcome::DeltaSat(model) => {
-                // valid(x): does the model *exactly* violate ψ?
-                if !psi.holds_at(&model) {
-                    RegionStatus::Counterexample(model)
-                } else {
-                    RegionStatus::Inconclusive
+        // Solve against the pre-compiled problem with this worker's scratch.
+        // The borrow is scoped: it ends before the recursion below fans out
+        // (children solved on this thread reuse the same scratch).
+        let status = SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let (outcome, box_stats) =
+                self.config
+                    .solver
+                    .solve_compiled_with_stats(d, problem.compiled(), &mut scratch);
+            stats.absorb(box_stats);
+            match outcome {
+                Outcome::Unsat => RegionStatus::Verified,
+                Outcome::DeltaSat(model) => {
+                    // valid(x): does the model *exactly* violate ψ?
+                    if !problem
+                        .psi_compiled()
+                        .holds_at_with(&model, scratch.f64_buf())
+                    {
+                        RegionStatus::Counterexample(model)
+                    } else {
+                        RegionStatus::Inconclusive
+                    }
                 }
+                Outcome::Timeout => RegionStatus::Timeout,
             }
-            Outcome::Timeout => RegionStatus::Timeout,
-        };
+        });
         // Verified boxes are final; others split until the width floor.
         let can_split =
             d.max_width() / 2.0 >= self.config.split_threshold && depth < self.config.max_depth;
         if matches!(status, RegionStatus::Verified) || !can_split {
-            return vec![Region {
-                domain: d.clone(),
-                status,
-            }];
+            return (
+                vec![Region {
+                    domain: d.clone(),
+                    status,
+                }],
+                stats,
+            );
         }
         let children = d.split_all();
-        if self.config.parallel && depth <= self.config.parallel_depth {
+        let (regions, child_stats) = if self.config.parallel && depth <= self.config.parallel_depth
+        {
             children
                 .par_iter()
-                .map(|c| self.go(c, negation, psi, depth + 1, start))
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
-                })
+                .map(|c| self.go(c, problem, depth + 1, start))
+                .reduce(
+                    || (Vec::new(), SolveStats::default()),
+                    |(mut a, mut sa), (mut b, sb)| {
+                        a.append(&mut b);
+                        sa.absorb(sb);
+                        (a, sa)
+                    },
+                )
         } else {
             let mut out = Vec::new();
+            let mut acc = SolveStats::default();
             for c in &children {
-                out.extend(self.go(c, negation, psi, depth + 1, start));
+                let (r, s) = self.go(c, problem, depth + 1, start);
+                out.extend(r);
+                acc.absorb(s);
             }
-            out
-        }
+            (out, acc)
+        };
+        stats.absorb(child_stats);
+        (regions, stats)
     }
 }
 
@@ -172,7 +231,7 @@ mod tests {
         assert_eq!(map.table_mark(), TableMark::Counterexample);
         // Every witness must exactly violate ψ and lie at large s.
         for ce in map.counterexamples() {
-            assert!(!p.psi.holds_at(ce), "witness must violate the condition");
+            assert!(!p.psi().holds_at(ce), "witness must violate the condition");
             assert!(ce[1] > 1.0, "LYP EC1 violations live at large s: {ce:?}");
         }
     }
@@ -230,6 +289,20 @@ mod tests {
         let map = v.verify(&p);
         assert!(t0.elapsed().as_secs() < 30);
         assert!(map.covers_probe_grid(4));
+    }
+
+    #[test]
+    fn stats_aggregate_across_the_tree() {
+        let p = Encoder::encode(Dfa::Lyp, Condition::EcNonPositivity).unwrap();
+        let (map, stats) = quick_verifier(20_000).verify_with_stats(&p);
+        assert!(map.regions.len() > 1, "recursion must have split");
+        assert!(
+            stats.nodes >= map.regions.len() as u64,
+            "every region solved at least one box: {stats:?}"
+        );
+        // The compile-once invariant itself (counter flat across verify) is
+        // asserted in the dedicated `tests/compile_once.rs` binary, where no
+        // concurrent test compiles formulas under our feet.
     }
 
     #[test]

@@ -116,9 +116,10 @@ impl Expr {
 // ---------------------------------------------------------------------------
 
 /// One flattened instruction; operands are slot indices into the tape's
-/// register file.
+/// register file. Shared by the f64 [`Tape`] and the interval
+/// [`crate::IntervalTape`] — one lowering ([`lower_dag`]), two interpreters.
 #[derive(Debug, Clone, Copy)]
-enum Instr {
+pub(crate) enum Instr {
     Const(f64),
     Var(u32),
     Add(u32, u32),
@@ -151,49 +152,93 @@ enum Instr {
 /// let mut scratch = tape.scratch();
 /// assert_eq!(tape.eval(&[3.0], &mut scratch), 10.0);
 /// ```
+#[derive(Debug, Clone)]
 pub struct Tape {
     code: Vec<Instr>,
+}
+
+/// A DAG (one or more roots, shared nodes lowered once) flattened into a
+/// topologically ordered instruction list, with the bookkeeping both tape
+/// interpreters need.
+pub(crate) struct Lowered {
+    pub(crate) code: Vec<Instr>,
+    /// Slot of each root, in input order.
+    pub(crate) roots: Vec<u32>,
+    /// `(slot, variable id)` for every variable node, in program order.
+    pub(crate) var_slots: Vec<(u32, u32)>,
+}
+
+/// The single Kind-to-instruction lowering behind [`Tape`] and
+/// [`crate::IntervalTape`]: merged topological order across `roots`
+/// (children before parents; nodes shared between roots appear once).
+pub(crate) fn lower_dag(roots: &[Expr]) -> Lowered {
+    let mut order: Vec<Expr> = Vec::new();
+    let mut slot: HashMap<NodeId, u32> = HashMap::new();
+    for r in roots {
+        for e in r.topo_order() {
+            if let std::collections::hash_map::Entry::Vacant(v) = slot.entry(e.id()) {
+                v.insert(order.len() as u32);
+                order.push(e);
+            }
+        }
+    }
+    let s = |x: &Expr| slot[&x.id()];
+    let mut code = Vec::with_capacity(order.len());
+    let mut var_slots = Vec::new();
+    for (i, e) in order.iter().enumerate() {
+        let instr = match e.kind() {
+            Kind::Const(c) => Instr::Const(*c),
+            Kind::Var(v) => {
+                var_slots.push((i as u32, *v));
+                Instr::Var(*v)
+            }
+            Kind::Add(a, b) => Instr::Add(s(a), s(b)),
+            Kind::Mul(a, b) => Instr::Mul(s(a), s(b)),
+            Kind::Div(a, b) => Instr::Div(s(a), s(b)),
+            Kind::Neg(a) => Instr::Neg(s(a)),
+            Kind::PowI(a, n) => Instr::PowI(s(a), *n),
+            Kind::Pow(a, b) => Instr::Pow(s(a), s(b)),
+            Kind::Exp(a) => Instr::Exp(s(a)),
+            Kind::Ln(a) => Instr::Ln(s(a)),
+            Kind::Sqrt(a) => Instr::Sqrt(s(a)),
+            Kind::Cbrt(a) => Instr::Cbrt(s(a)),
+            Kind::Atan(a) => Instr::Atan(s(a)),
+            Kind::Sin(a) => Instr::Sin(s(a)),
+            Kind::Cos(a) => Instr::Cos(s(a)),
+            Kind::Tanh(a) => Instr::Tanh(s(a)),
+            Kind::Abs(a) => Instr::Abs(s(a)),
+            Kind::Min(a, b) => Instr::Min(s(a), s(b)),
+            Kind::Max(a, b) => Instr::Max(s(a), s(b)),
+            Kind::LambertW(a) => Instr::LambertW(s(a)),
+            Kind::Ite {
+                cond,
+                then,
+                otherwise,
+            } => Instr::Ite(s(cond), s(then), s(otherwise)),
+        };
+        code.push(instr);
+    }
+    Lowered {
+        code,
+        roots: roots.iter().map(s).collect(),
+        var_slots,
+    }
 }
 
 impl Tape {
     /// Flatten the DAG into a topologically ordered tape.
     pub fn compile(root: &Expr) -> Tape {
-        let order = root.topo_order();
-        let mut slot: HashMap<NodeId, u32> = HashMap::with_capacity(order.len());
-        let mut code = Vec::with_capacity(order.len());
-        for (i, e) in order.iter().enumerate() {
-            let s = |x: &Expr| slot[&x.id()];
-            let instr = match e.kind() {
-                Kind::Const(c) => Instr::Const(*c),
-                Kind::Var(v) => Instr::Var(*v),
-                Kind::Add(a, b) => Instr::Add(s(a), s(b)),
-                Kind::Mul(a, b) => Instr::Mul(s(a), s(b)),
-                Kind::Div(a, b) => Instr::Div(s(a), s(b)),
-                Kind::Neg(a) => Instr::Neg(s(a)),
-                Kind::PowI(a, n) => Instr::PowI(s(a), *n),
-                Kind::Pow(a, b) => Instr::Pow(s(a), s(b)),
-                Kind::Exp(a) => Instr::Exp(s(a)),
-                Kind::Ln(a) => Instr::Ln(s(a)),
-                Kind::Sqrt(a) => Instr::Sqrt(s(a)),
-                Kind::Cbrt(a) => Instr::Cbrt(s(a)),
-                Kind::Atan(a) => Instr::Atan(s(a)),
-                Kind::Sin(a) => Instr::Sin(s(a)),
-                Kind::Cos(a) => Instr::Cos(s(a)),
-                Kind::Tanh(a) => Instr::Tanh(s(a)),
-                Kind::Abs(a) => Instr::Abs(s(a)),
-                Kind::Min(a, b) => Instr::Min(s(a), s(b)),
-                Kind::Max(a, b) => Instr::Max(s(a), s(b)),
-                Kind::LambertW(a) => Instr::LambertW(s(a)),
-                Kind::Ite {
-                    cond,
-                    then,
-                    otherwise,
-                } => Instr::Ite(s(cond), s(then), s(otherwise)),
-            };
-            code.push(instr);
-            slot.insert(e.id(), i as u32);
+        Tape {
+            code: lower_dag(std::slice::from_ref(root)).code,
         }
-        Tape { code }
+    }
+
+    /// Lower several roots into one tape with shared nodes evaluated once;
+    /// returns the tape and the slot of each root (read results out of the
+    /// scratch buffer after [`Tape::run`]).
+    pub fn compile_multi(roots: &[Expr]) -> (Tape, Vec<u32>) {
+        let lowered = lower_dag(roots);
+        (Tape { code: lowered.code }, lowered.roots)
     }
 
     /// A scratch register file sized for this tape (reuse across calls).
@@ -210,8 +255,16 @@ impl Tape {
         self.code.is_empty()
     }
 
-    /// Evaluate; unbound variables read as NaN.
+    /// Evaluate a single-root tape; unbound variables read as NaN.
     pub fn eval(&self, vars: &[f64], scratch: &mut [f64]) -> f64 {
+        self.run(vars, scratch);
+        *scratch.last().unwrap_or(&f64::NAN)
+    }
+
+    /// Run the whole program, filling `scratch`; callers holding root slots
+    /// from [`Tape::compile_multi`] read each root's value out of `scratch`.
+    /// Unbound variables read as NaN.
+    pub fn run(&self, vars: &[f64], scratch: &mut [f64]) {
         debug_assert_eq!(scratch.len(), self.code.len());
         for (i, instr) in self.code.iter().enumerate() {
             let g = |j: u32| scratch[j as usize];
@@ -262,7 +315,6 @@ impl Tape {
                 }
             };
         }
-        *scratch.last().unwrap_or(&f64::NAN)
     }
 }
 
@@ -344,9 +396,11 @@ impl IntervalEnv {
     /// Run the forward pass: compute the natural interval extension of every
     /// node given per-variable `domains` (indexed by variable id).
     pub fn forward(&mut self, domains: &[Interval]) {
+        // Index-based iteration: cloning the `Arc<Node>` per node per pass
+        // just to appease the borrow checker was measurable refcount churn
+        // on SCAN-sized DAGs.
         for i in 0..self.order.len() {
-            let e = self.order[i].clone();
-            let v = self.forward_node(&e, domains);
+            let v = self.forward_node(&self.order[i], domains);
             self.vals[i] = v;
         }
     }
@@ -355,8 +409,7 @@ impl IntervalEnv {
     /// rather than overwriting (used between HC4 sweeps).
     pub fn forward_meet(&mut self) {
         for i in 0..self.order.len() {
-            let e = self.order[i].clone();
-            let fresh = self.forward_node_from_children(&e, i);
+            let fresh = self.forward_node_from_children(&self.order[i], i);
             if let Some(fresh) = fresh {
                 self.vals[i] = self.vals[i].intersect(&fresh);
             }

@@ -1,0 +1,508 @@
+//! Flat interval tape: the compile-once backend for interval evaluation and
+//! HC4-revise contraction.
+//!
+//! [`crate::IntervalEnv`] walks the expression DAG through `Arc` handles and
+//! `HashMap` slot maps — fine for one-shot evaluation, ruinous when the
+//! δ-complete solver revisits the same formula on thousands of sub-boxes.
+//! [`IntervalTape`] lowers one or more rooted DAGs *once* into a dense,
+//! `Vec`-indexed program (children always precede parents; operands are plain
+//! `u32` slot indices) and then runs every pass over a caller-owned slot file:
+//!
+//! * [`IntervalTape::forward`] — natural interval extension of every node;
+//! * [`IntervalTape::forward_meet`] — re-tighten parents from narrowed
+//!   children (between HC4 sweeps), intersecting in place;
+//! * [`IntervalTape::backward`] — one reverse sweep of the HC4 inverse rules,
+//!   contracting child enclosures in place (a no-op where no cheap inverse
+//!   exists — always sound).
+//!
+//! The tape itself is immutable after compilation and holds no interning
+//! `Arc`s, so it is `Send + Sync` and can be shared across worker threads,
+//! each bringing its own scratch slot file ([`IntervalTape::scratch`]).
+
+use crate::eval::{lower_dag, Instr};
+use crate::node::Expr;
+use xcv_interval::{round, Interval};
+
+/// A compiled, shareable interval program over one or more expression roots.
+#[derive(Debug, Clone)]
+pub struct IntervalTape {
+    code: Vec<Instr>,
+    /// Slot of each root, in the order given to [`IntervalTape::compile`].
+    roots: Vec<u32>,
+    /// `(slot, variable id)` for every variable node.
+    var_slots: Vec<(u32, u32)>,
+}
+
+impl IntervalTape {
+    /// Lower the merged DAG of `roots` into a flat program. Nodes shared
+    /// between roots are lowered once. The lowering itself is
+    /// [`crate::eval::lower_dag`], shared with the f64 [`crate::Tape`].
+    pub fn compile(roots: &[Expr]) -> IntervalTape {
+        let lowered = lower_dag(roots);
+        IntervalTape {
+            code: lowered.code,
+            roots: lowered.roots,
+            var_slots: lowered.var_slots,
+        }
+    }
+
+    /// Number of slots (= distinct DAG nodes across all roots).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Slot of the `i`-th compiled root.
+    pub fn root_slot(&self, i: usize) -> u32 {
+        self.roots[i]
+    }
+
+    /// `(slot, variable id)` of every variable node, in program order.
+    pub fn var_slots(&self) -> &[(u32, u32)] {
+        &self.var_slots
+    }
+
+    /// A slot file sized for this tape (reuse across boxes and passes).
+    pub fn scratch(&self) -> Vec<Interval> {
+        vec![Interval::ENTIRE; self.code.len()]
+    }
+
+    /// Forward pass: overwrite every slot with the natural interval extension
+    /// given per-variable `domains` (indexed by variable id; missing
+    /// variables read as ENTIRE).
+    pub fn forward(&self, domains: &[Interval], vals: &mut [Interval]) {
+        debug_assert_eq!(vals.len(), self.code.len());
+        for (i, instr) in self.code.iter().enumerate() {
+            vals[i] = match *instr {
+                Instr::Const(c) => Interval::point(c),
+                Instr::Var(v) => domains.get(v as usize).copied().unwrap_or(Interval::ENTIRE),
+                op => eval_op(op, vals),
+            };
+        }
+    }
+
+    /// Re-run the forward pass, *intersecting* each non-leaf slot with its
+    /// recomputed value (between HC4 sweeps). Leaves keep their current —
+    /// possibly contracted — enclosures.
+    pub fn forward_meet(&self, vals: &mut [Interval]) {
+        debug_assert_eq!(vals.len(), self.code.len());
+        for (i, instr) in self.code.iter().enumerate() {
+            match *instr {
+                Instr::Const(_) | Instr::Var(_) => {}
+                op => {
+                    let fresh = eval_op(op, vals);
+                    vals[i] = vals[i].intersect(&fresh);
+                }
+            }
+        }
+    }
+
+    /// One reverse-topological HC4 backward sweep over the slot file,
+    /// contracting children through the inverse of each operation. Returns
+    /// `false` when some slot is proven empty (no solution in the box).
+    ///
+    /// Soundness: every rule computes a *superset* of the child values
+    /// consistent with the parent's current enclosure; operations without a
+    /// cheap inverse (`sin`, `cos`, parts of `pow`) do not contract.
+    pub fn backward(&self, vals: &mut [Interval]) -> bool {
+        debug_assert_eq!(vals.len(), self.code.len());
+        for i in (0..self.code.len()).rev() {
+            let d = vals[i];
+            if d.is_empty() {
+                return false;
+            }
+            match self.code[i] {
+                Instr::Const(_) | Instr::Var(_) => {}
+                Instr::Add(a, b) => {
+                    let (ca, cb) = (vals[a as usize], vals[b as usize]);
+                    if !meet(vals, a, d.sub(&cb)) || !meet(vals, b, d.sub(&ca)) {
+                        return false;
+                    }
+                }
+                Instr::Mul(a, b) => {
+                    let (ca, cb) = (vals[a as usize], vals[b as usize]);
+                    if !meet(vals, a, d.div(&cb)) || !meet(vals, b, d.div(&ca)) {
+                        return false;
+                    }
+                }
+                Instr::Div(a, b) => {
+                    let (ca, cb) = (vals[a as usize], vals[b as usize]);
+                    if !meet(vals, a, d.mul(&cb)) || !meet(vals, b, ca.div(&d)) {
+                        return false;
+                    }
+                }
+                Instr::Neg(a) => {
+                    if !meet(vals, a, d.neg()) {
+                        return false;
+                    }
+                }
+                Instr::PowI(a, n) => {
+                    if !backward_powi(vals, a, n, d) {
+                        return false;
+                    }
+                }
+                Instr::Pow(a, b) => {
+                    let (ca, cb) = (vals[a as usize], vals[b as usize]);
+                    // a^b with a > 0 implies node > 0.
+                    if ca.certainly_gt(0.0) {
+                        let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
+                        if dpos.is_empty() {
+                            return false;
+                        }
+                        let ld = dpos.ln();
+                        if !ld.is_empty() {
+                            let la = ca.ln();
+                            if !meet(vals, a, ld.div(&cb).exp()) {
+                                return false;
+                            }
+                            if !la.is_empty() && !meet(vals, b, ld.div(&la)) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Instr::Exp(a) => {
+                    // exp(a) = d  =>  a = ln(d); d.hi <= 0 is infeasible.
+                    let pre = d.ln();
+                    if pre.is_empty() || !meet(vals, a, pre) {
+                        return false;
+                    }
+                }
+                Instr::Ln(a) => {
+                    if !meet(vals, a, d.exp()) {
+                        return false;
+                    }
+                }
+                Instr::Sqrt(a) => {
+                    let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
+                    if dpos.is_empty() {
+                        return false;
+                    }
+                    if !meet(vals, a, dpos.powi(2)) {
+                        return false;
+                    }
+                }
+                Instr::Cbrt(a) => {
+                    if !meet(vals, a, d.powi(3)) {
+                        return false;
+                    }
+                }
+                Instr::Atan(a) => {
+                    let range =
+                        Interval::new(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
+                    let dc = d.intersect(&range);
+                    if dc.is_empty() {
+                        return false;
+                    }
+                    // tan blows up approaching ±π/2; treat anything within
+                    // 1e-4 of the pole as unbounded.
+                    let near_pole = std::f64::consts::FRAC_PI_2 - 1e-4;
+                    let lo = if dc.lo <= -near_pole {
+                        f64::NEG_INFINITY
+                    } else {
+                        round::libm_lo(dc.lo.tan())
+                    };
+                    let hi = if dc.hi >= near_pole {
+                        f64::INFINITY
+                    } else {
+                        round::libm_hi(dc.hi.tan())
+                    };
+                    if !meet(vals, a, Interval::checked(lo, hi)) {
+                        return false;
+                    }
+                }
+                Instr::Sin(_) | Instr::Cos(_) => {
+                    // Periodic inverse: no contraction (sound no-op), but an
+                    // enclosure disjoint from [-1, 1] is infeasible.
+                    if d.intersect(&Interval::new(-1.0, 1.0)).is_empty() {
+                        return false;
+                    }
+                }
+                Instr::Tanh(a) => {
+                    let dc = d.intersect(&Interval::new(-1.0, 1.0));
+                    if dc.is_empty() {
+                        return false;
+                    }
+                    let atanh = |x: f64, up: bool| -> f64 {
+                        if x <= -1.0 {
+                            f64::NEG_INFINITY
+                        } else if x >= 1.0 {
+                            f64::INFINITY
+                        } else {
+                            let v = 0.5 * ((1.0 + x) / (1.0 - x)).ln();
+                            if up {
+                                round::libm_hi(v)
+                            } else {
+                                round::libm_lo(v)
+                            }
+                        }
+                    };
+                    if !meet(
+                        vals,
+                        a,
+                        Interval::checked(atanh(dc.lo, false), atanh(dc.hi, true)),
+                    ) {
+                        return false;
+                    }
+                }
+                Instr::Abs(a) => {
+                    let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
+                    if dpos.is_empty() {
+                        return false;
+                    }
+                    let ca = vals[a as usize];
+                    let pre = ca.intersect(&dpos).hull(&ca.intersect(&dpos.neg()));
+                    if pre.is_empty() {
+                        return false;
+                    }
+                    vals[a as usize] = pre;
+                }
+                Instr::Min(a, b) => {
+                    let (ca, cb) = (vals[a as usize], vals[b as usize]);
+                    // Both operands are >= min's lower bound.
+                    let floor = Interval::new(d.lo, f64::INFINITY);
+                    let mut na = ca.intersect(&floor);
+                    let mut nb = cb.intersect(&floor);
+                    // If one operand is certainly above the node's range, the
+                    // other must equal the node.
+                    if cb.lo > d.hi {
+                        na = na.intersect(&d);
+                    }
+                    if ca.lo > d.hi {
+                        nb = nb.intersect(&d);
+                    }
+                    if na.is_empty() || nb.is_empty() {
+                        return false;
+                    }
+                    vals[a as usize] = na;
+                    vals[b as usize] = nb;
+                }
+                Instr::Max(a, b) => {
+                    let (ca, cb) = (vals[a as usize], vals[b as usize]);
+                    let ceil = Interval::new(f64::NEG_INFINITY, d.hi);
+                    let mut na = ca.intersect(&ceil);
+                    let mut nb = cb.intersect(&ceil);
+                    if cb.hi < d.lo {
+                        na = na.intersect(&d);
+                    }
+                    if ca.hi < d.lo {
+                        nb = nb.intersect(&d);
+                    }
+                    if na.is_empty() || nb.is_empty() {
+                        return false;
+                    }
+                    vals[a as usize] = na;
+                    vals[b as usize] = nb;
+                }
+                Instr::LambertW(a) => {
+                    // W(a) = d  =>  a = d e^d (monotone on our domain).
+                    if !meet(vals, a, d.mul(&d.exp())) {
+                        return false;
+                    }
+                }
+                Instr::Ite(c, t, e) => {
+                    let cc = vals[c as usize];
+                    if cc.certainly_ge(0.0) {
+                        if !meet(vals, t, d) {
+                            return false;
+                        }
+                    } else if cc.certainly_lt(0.0) {
+                        if !meet(vals, e, d) {
+                            return false;
+                        }
+                    } else {
+                        let ct = vals[t as usize];
+                        let ce = vals[e as usize];
+                        let then_possible = !ct.intersect(&d).is_empty();
+                        let else_possible = !ce.intersect(&d).is_empty();
+                        match (then_possible, else_possible) {
+                            (false, false) => return false,
+                            (false, true) => {
+                                // cond must be negative; closed meet is sound.
+                                if !meet(vals, c, Interval::new(f64::NEG_INFINITY, 0.0))
+                                    || !meet(vals, e, d)
+                                {
+                                    return false;
+                                }
+                            }
+                            (true, false) => {
+                                if !meet(vals, c, Interval::new(0.0, f64::INFINITY))
+                                    || !meet(vals, t, d)
+                                {
+                                    return false;
+                                }
+                            }
+                            (true, true) => {}
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Forward interval value of one non-leaf instruction from its children.
+#[inline]
+fn eval_op(instr: Instr, vals: &[Interval]) -> Interval {
+    let g = |j: u32| vals[j as usize];
+    match instr {
+        Instr::Const(_) | Instr::Var(_) => unreachable!("leaves handled by callers"),
+        Instr::Add(a, b) => g(a).add(&g(b)),
+        Instr::Mul(a, b) => g(a).mul(&g(b)),
+        Instr::Div(a, b) => g(a).div(&g(b)),
+        Instr::Neg(a) => g(a).neg(),
+        Instr::PowI(a, n) => g(a).powi(n),
+        Instr::Pow(a, b) => g(a).powf(&g(b)),
+        Instr::Exp(a) => g(a).exp(),
+        Instr::Ln(a) => g(a).ln(),
+        Instr::Sqrt(a) => g(a).sqrt(),
+        Instr::Cbrt(a) => g(a).cbrt(),
+        Instr::Atan(a) => g(a).atan(),
+        Instr::Sin(a) => g(a).sin(),
+        Instr::Cos(a) => g(a).cos(),
+        Instr::Tanh(a) => g(a).tanh(),
+        Instr::Abs(a) => g(a).abs(),
+        Instr::Min(a, b) => g(a).min_i(&g(b)),
+        Instr::Max(a, b) => g(a).max_i(&g(b)),
+        Instr::LambertW(a) => g(a).lambert_w0(),
+        Instr::Ite(c, t, e) => {
+            let cc = g(c);
+            if cc.is_empty() {
+                Interval::EMPTY
+            } else if cc.certainly_ge(0.0) {
+                g(t)
+            } else if cc.certainly_lt(0.0) {
+                g(e)
+            } else {
+                g(t).hull(&g(e))
+            }
+        }
+    }
+}
+
+/// Meet the slot with `narrow`; false if proven empty.
+#[inline]
+fn meet(vals: &mut [Interval], idx: u32, narrow: Interval) -> bool {
+    let m = vals[idx as usize].intersect(&narrow);
+    vals[idx as usize] = m;
+    !m.is_empty()
+}
+
+fn backward_powi(vals: &mut [Interval], a: u32, n: i32, d: Interval) -> bool {
+    if n == 0 {
+        return !d.intersect(&Interval::ONE).is_empty();
+    }
+    if n < 0 {
+        // a^n = 1/a^{-n}: invert the target and recurse on the positive
+        // exponent.
+        return backward_powi(vals, a, -n, d.recip());
+    }
+    if n % 2 == 1 {
+        meet(vals, a, d.nth_root(n))
+    } else {
+        let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
+        if dpos.is_empty() {
+            return false;
+        }
+        let r = dpos.nth_root(n); // [p, q], p >= 0
+        let ca = vals[a as usize];
+        let pre = ca.intersect(&r).hull(&ca.intersect(&r.neg()));
+        if pre.is_empty() {
+            return false;
+        }
+        vals[a as usize] = pre;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{constant, var, IntervalEnv};
+    use xcv_interval::interval;
+
+    #[test]
+    fn forward_matches_interval_env() {
+        let x = var(0);
+        let y = var(1);
+        let e = (x.clone() * y.clone() + x.exp()).sqrt() / (y + 2.0);
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let mut vals = tape.scratch();
+        let dom = [interval(0.1, 0.9), interval(0.5, 2.0)];
+        tape.forward(&dom, &mut vals);
+        let want = e.eval_interval(&dom);
+        let got = vals[tape.root_slot(0) as usize];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shared_nodes_lowered_once() {
+        let x = var(0);
+        let t = x.clone() * x.clone();
+        let f = t.clone() + 1.0;
+        let g = t.clone() + 2.0;
+        let tape = IntervalTape::compile(&[f.clone(), g.clone()]);
+        let env = IntervalEnv::new(&[f, g]);
+        assert_eq!(tape.len(), env.len());
+        assert_eq!(tape.var_slots().len(), 1);
+    }
+
+    #[test]
+    fn backward_contracts_linear() {
+        // root = x - 3; impose root <= 0 by meeting the root slot, then
+        // backward: x must drop to <= 3.
+        let e = var(0) - 3.0;
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let mut vals = tape.scratch();
+        tape.forward(&[interval(0.0, 10.0)], &mut vals);
+        let root = tape.root_slot(0) as usize;
+        vals[root] = vals[root].intersect(&Interval::new(f64::NEG_INFINITY, 0.0));
+        assert!(tape.backward(&mut vals));
+        let (xslot, v) = tape.var_slots()[0];
+        assert_eq!(v, 0);
+        assert!(vals[xslot as usize].hi <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn backward_reports_emptiness() {
+        // x^2 + 1 <= 0 is infeasible: meeting the root with (-inf, 0] and
+        // running backward must prove emptiness.
+        let e = var(0).powi(2) + 1.0;
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let mut vals = tape.scratch();
+        tape.forward(&[interval(-10.0, 10.0)], &mut vals);
+        let root = tape.root_slot(0) as usize;
+        vals[root] = vals[root].intersect(&Interval::new(f64::NEG_INFINITY, 0.0));
+        assert!(vals[root].is_empty() || !tape.backward(&mut vals));
+    }
+
+    #[test]
+    fn forward_meet_tightens_parents() {
+        let e = var(0) + constant(1.0);
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let mut vals = tape.scratch();
+        tape.forward(&[interval(0.0, 4.0)], &mut vals);
+        // Narrow the variable slot by hand, then re-tighten the sum.
+        let (xslot, _) = tape.var_slots()[0];
+        vals[xslot as usize] = interval(0.0, 1.0);
+        tape.forward_meet(&mut vals);
+        let root = vals[tape.root_slot(0) as usize];
+        assert!(root.hi <= 2.0 + 1e-12, "{root:?}");
+    }
+
+    #[test]
+    fn scratch_reuse_across_boxes() {
+        let e = var(0).powi(2);
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let mut vals = tape.scratch();
+        tape.forward(&[interval(1.0, 2.0)], &mut vals);
+        assert!(vals[tape.root_slot(0) as usize].contains(4.0));
+        tape.forward(&[interval(3.0, 4.0)], &mut vals);
+        let v = vals[tape.root_slot(0) as usize];
+        assert!(v.contains(16.0) && !v.contains(4.0));
+    }
+}

@@ -25,11 +25,13 @@ mod diff;
 mod display;
 pub mod dsl;
 mod eval;
+mod itape;
 mod node;
 mod subst;
 mod vars;
 
 pub use build::{constant, var};
 pub use eval::{EvalError, IntervalEnv, Tape};
+pub use itape::IntervalTape;
 pub use node::{Expr, Kind, NodeId};
 pub use vars::VarSet;

@@ -1,0 +1,549 @@
+//! Compile-once solve sessions: a [`Formula`] lowered to flat tapes, built
+//! one time per problem and shared (immutably) across every box the
+//! branch-and-prune search and the verifier recursion visit.
+//!
+//! The seed architecture rebuilt the HC4 contractor (topo sort, `HashMap`
+//! slot maps, op lowering) and — with the mean-value test enabled — re-ran
+//! full symbolic differentiation on **every** `solve` call, i.e. on every
+//! sub-box of the verifier's recursion. [`CompiledFormula`] hoists all of
+//! that to a single compilation step:
+//!
+//! * one [`IntervalTape`] over every atom's expression (shared subterms
+//!   lowered once) drives both the forward interval pass and the in-place
+//!   HC4 backward contraction;
+//! * one f64 [`Tape`] per atom drives midpoint model checks and branch
+//!   scoring without touching the DAG or allocating memo maps;
+//! * the mean-value gradients (symbolic differentiation per atom × variable)
+//!   are materialized lazily, once, behind a `OnceLock`.
+//!
+//! All per-box mutable state lives in a caller-owned [`SolveScratch`], so a
+//! `CompiledFormula` is `Send + Sync` and one instance serves the whole box
+//! tree — each rayon worker brings its own scratch.
+
+use crate::boxdom::BoxDomain;
+use crate::contract::Contraction;
+use crate::formula::{Atom, Formula, Rel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use xcv_expr::{IntervalTape, Tape};
+use xcv_interval::Interval;
+
+/// Global count of compilations — formulas, atoms, and lazily-built
+/// mean-value gradient programs — for the compile-once tests: solving N
+/// boxes against one [`CompiledFormula`] must not move it.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of tape compilations performed so far, process-wide. Incremented
+/// by [`CompiledFormula::compile`], [`CompiledAtom::compile`], and the
+/// once-per-formula mean-value gradient build; tests assert it stays flat
+/// across per-box solving.
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
+
+/// One compiled sign atom: a flat f64 tape plus its relation. Used for exact
+/// model checks (`ψ` validation, midpoint tests) without the allocating
+/// recursive `Expr::eval`.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    tape: Tape,
+    rel: Rel,
+}
+
+impl CompiledAtom {
+    pub fn compile(atom: &Atom) -> CompiledAtom {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        CompiledAtom {
+            tape: Tape::compile(&atom.expr),
+            rel: atom.rel,
+        }
+    }
+
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// Exact satisfaction at a point, reusing a caller-owned f64 buffer
+    /// (NaN — including unbound variables — fails every relation, matching
+    /// [`Atom::holds_at`]).
+    pub fn holds_at_with(&self, point: &[f64], buf: &mut Vec<f64>) -> bool {
+        buf.resize(self.tape.len(), 0.0);
+        let v = self.tape.eval(point, buf);
+        !v.is_nan() && self.rel.holds(v)
+    }
+
+    /// Convenience form that allocates its own buffer.
+    pub fn holds_at(&self, point: &[f64]) -> bool {
+        let mut buf = Vec::new();
+        self.holds_at_with(point, &mut buf)
+    }
+}
+
+/// Per-atom compiled state inside a [`CompiledFormula`].
+#[derive(Debug, Clone)]
+struct FormulaAtom {
+    /// Root slot of this atom's expression in the shared interval tape.
+    root: u32,
+    /// Root slot of this atom's expression in the shared f64 tape.
+    froot: u32,
+    rel: Rel,
+    /// Closed allowed set of the relation (pre-resolved from `rel`).
+    allowed: Interval,
+}
+
+/// Lazily-built mean-value data: per atom, one interval tape over
+/// `[g, ∂g/∂v…]` plus the variable ids of the gradient roots.
+#[derive(Debug)]
+struct MvAtom {
+    rel: Rel,
+    itape: IntervalTape,
+    /// Variable id of gradient root `i + 1` (root 0 is `g` itself).
+    vars: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct MeanValueProgram {
+    atoms: Vec<MvAtom>,
+}
+
+/// A formula compiled once for repeated solving. Immutable and shareable;
+/// all per-box state lives in [`SolveScratch`].
+#[derive(Debug)]
+pub struct CompiledFormula {
+    source: Formula,
+    itape: IntervalTape,
+    /// One f64 tape over every atom's expression (shared subterms evaluated
+    /// once per point); atoms read their values at `FormulaAtom::froot`.
+    ftape: Tape,
+    atoms: Vec<FormulaAtom>,
+    /// Forward/backward rounds per HC4 contraction call.
+    max_rounds: usize,
+    mv: OnceLock<MeanValueProgram>,
+}
+
+impl Clone for CompiledFormula {
+    fn clone(&self) -> Self {
+        // The OnceLock restarts empty; gradients rebuild lazily if needed.
+        CompiledFormula {
+            source: self.source.clone(),
+            itape: self.itape.clone(),
+            ftape: self.ftape.clone(),
+            atoms: self.atoms.clone(),
+            max_rounds: self.max_rounds,
+            mv: OnceLock::new(),
+        }
+    }
+}
+
+impl CompiledFormula {
+    /// Lower `formula` to flat tapes. This is the *only* place the expression
+    /// DAG is traversed; everything downstream is dense index arithmetic.
+    pub fn compile(formula: &Formula) -> CompiledFormula {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let roots: Vec<xcv_expr::Expr> = formula.atoms.iter().map(|a| a.expr.clone()).collect();
+        let itape = IntervalTape::compile(&roots);
+        let (ftape, froots) = Tape::compile_multi(&roots);
+        let atoms = formula
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| FormulaAtom {
+                root: itape.root_slot(i),
+                froot: froots[i],
+                rel: a.rel,
+                allowed: a.rel.allowed(),
+            })
+            .collect();
+        CompiledFormula {
+            source: formula.clone(),
+            itape,
+            ftape,
+            atoms,
+            max_rounds: 3,
+            mv: OnceLock::new(),
+        }
+    }
+
+    /// The formula this was compiled from.
+    pub fn formula(&self) -> &Formula {
+        &self.source
+    }
+
+    /// Slots in the shared interval tape (distinct DAG nodes).
+    pub fn interval_slots(&self) -> usize {
+        self.itape.len()
+    }
+
+    /// Run the shared f64 tape at `point`, filling the scratch register file.
+    fn run_ftape(&self, point: &[f64], scratch: &mut SolveScratch) {
+        scratch.fvals.resize(self.ftape.len(), 0.0);
+        self.ftape.run(point, &mut scratch.fvals);
+    }
+
+    /// Exact satisfaction of every atom at a point (tape-based
+    /// [`Formula::holds_at`]; one pass evaluates shared subterms once).
+    pub fn holds_at(&self, point: &[f64], scratch: &mut SolveScratch) -> bool {
+        self.run_ftape(point, scratch);
+        self.atoms.iter().all(|a| {
+            let v = scratch.fvals[a.froot as usize];
+            !v.is_nan() && a.rel.holds(v)
+        })
+    }
+
+    /// Branch-scoring heuristic: the worst signed violation over atoms at a
+    /// point (0 when all atoms hold; +∞ on NaN). Smaller is more promising.
+    pub fn violation_score(&self, point: &[f64], scratch: &mut SolveScratch) -> f64 {
+        self.run_ftape(point, scratch);
+        let mut worst = 0.0f64;
+        for a in &self.atoms {
+            let v = scratch.fvals[a.froot as usize];
+            if v.is_nan() {
+                return f64::INFINITY;
+            }
+            let signed = match a.rel {
+                Rel::Le | Rel::Lt => v.max(0.0),
+                Rel::Ge | Rel::Gt => (-v).max(0.0),
+            };
+            worst = worst.max(signed);
+        }
+        worst
+    }
+
+    /// HC4-revise contraction of `b` against the formula (the compiled
+    /// equivalent of [`crate::contract::Hc4::contract`]).
+    pub fn contract(&self, b: &BoxDomain, scratch: &mut SolveScratch) -> Contraction {
+        self.contract_with_rounds(b, scratch, self.max_rounds)
+    }
+
+    /// [`CompiledFormula::contract`] with an explicit forward/backward round
+    /// count (the ablation benchmarks sweep it).
+    pub fn contract_with_rounds(
+        &self,
+        b: &BoxDomain,
+        scratch: &mut SolveScratch,
+        max_rounds: usize,
+    ) -> Contraction {
+        let vals = &mut scratch.ivals;
+        vals.resize(self.itape.len(), Interval::ENTIRE);
+        self.itape.forward(b.dims(), vals);
+        let mut current = b.clone();
+        for round in 0..max_rounds {
+            if round > 0 {
+                // Re-tighten parents from the narrowed children.
+                self.itape.forward_meet(vals);
+            }
+            // Impose root constraints.
+            for a in &self.atoms {
+                let slot = a.root as usize;
+                let met = vals[slot].intersect(&a.allowed);
+                if met.is_empty() {
+                    return Contraction::Empty;
+                }
+                vals[slot] = met;
+            }
+            // Backward sweep.
+            if !self.itape.backward(vals) {
+                return Contraction::Empty;
+            }
+            // Extract variable domains. Variables beyond the box's dimension
+            // (possible with malformed formulas) read as ENTIRE and are not
+            // contracted.
+            let mut next = current.clone();
+            for &(slot, v) in self.itape.var_slots() {
+                if (v as usize) >= current.ndim() {
+                    continue;
+                }
+                let met = vals[slot as usize].intersect(&current.dim(v as usize));
+                if met.is_empty() {
+                    return Contraction::Empty;
+                }
+                next.set_dim(v as usize, met);
+            }
+            let gain = improvement(&current, &next);
+            current = next;
+            if gain < 0.05 {
+                break;
+            }
+        }
+        Contraction::Box(current)
+    }
+
+    /// The mean-value program, built (with full symbolic differentiation) on
+    /// first use and cached for the lifetime of the compiled formula.
+    fn mv(&self) -> &MeanValueProgram {
+        self.mv.get_or_init(|| {
+            // Counted so the compile-once tests catch an accidental
+            // per-box gradient rebuild just like any other recompilation.
+            COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+            MeanValueProgram {
+                atoms: self
+                    .source
+                    .atoms
+                    .iter()
+                    .map(|a| {
+                        let vars = a.expr.free_vars();
+                        let mut roots: Vec<xcv_expr::Expr> = vec![a.expr.clone()];
+                        roots.extend(vars.iter().map(|&v| a.expr.diff(v)));
+                        MvAtom {
+                            rel: a.rel,
+                            itape: IntervalTape::compile(&roots),
+                            vars,
+                        }
+                    })
+                    .collect(),
+            }
+        })
+    }
+
+    /// True when the mean-value enclosure *proves* some atom unsatisfiable on
+    /// the box (sound pruning signal; see [`crate::meanvalue`]).
+    pub fn mv_certainly_infeasible(&self, b: &BoxDomain, scratch: &mut SolveScratch) -> bool {
+        for atom in &self.mv().atoms {
+            let enc = mv_enclosure(atom, b, scratch);
+            if enc.is_empty() {
+                continue; // no information
+            }
+            if enc.intersect(&atom.rel.allowed()).is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Interval-Newton-style contraction over the first-order relaxation
+    /// (see [`crate::meanvalue::MeanValue::contract`] for the math). `None`
+    /// when the box is proven infeasible.
+    pub fn mv_contract(&self, b: &BoxDomain, scratch: &mut SolveScratch) -> Option<BoxDomain> {
+        let mut current = b.clone();
+        for atom in &self.mv().atoms {
+            let mid = current.midpoint();
+            let vals = &mut scratch.mvals;
+            vals.resize(atom.itape.len(), Interval::ENTIRE);
+            // g(m): evaluate over the point box.
+            scratch.point_doms.clear();
+            scratch
+                .point_doms
+                .extend(mid.iter().map(|&x| Interval::point(x)));
+            atom.itape.forward(&scratch.point_doms, vals);
+            let g_m = vals[atom.itape.root_slot(0) as usize];
+            if g_m.is_empty() {
+                continue;
+            }
+            // Gradient ranges over the full box.
+            atom.itape.forward(current.dims(), vals);
+            let grads: Vec<(usize, Interval)> = atom
+                .vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| (**v as usize) < current.ndim())
+                .map(|(i, v)| (*v as usize, vals[atom.itape.root_slot(i + 1) as usize]))
+                .collect();
+            let offsets: Vec<Interval> = grads
+                .iter()
+                .map(|&(v, g)| g.mul(&current.dim(v).sub(&Interval::point(mid[v]))))
+                .collect();
+            let allowed = atom.rel.allowed();
+            for (k, &(v, grad)) in grads.iter().enumerate() {
+                if grad.contains(0.0) && !grad.is_point() {
+                    // Extended division would return ENTIRE unless the rest
+                    // already pins things down; skip cheaply.
+                    continue;
+                }
+                // rest = g(m) + Σ_{j≠k} offsets[j]
+                let mut rest = g_m;
+                for (j, off) in offsets.iter().enumerate() {
+                    if j != k {
+                        rest = rest.add(off);
+                    }
+                }
+                // allowed ∋ rest + grad·(x_v − m_v)
+                // ⇒ x_v ∈ m_v + (allowed − rest)/grad
+                let rhs = allowed.sub(&rest).div(&grad);
+                let newdom = current.dim(v).intersect(&rhs.add(&Interval::point(mid[v])));
+                if newdom.is_empty() {
+                    return None;
+                }
+                current.set_dim(v, newdom);
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Rigorous first-order enclosure of one atom's expression over `b`.
+fn mv_enclosure(atom: &MvAtom, b: &BoxDomain, scratch: &mut SolveScratch) -> Interval {
+    let mid = b.midpoint();
+    let vals = &mut scratch.mvals;
+    vals.resize(atom.itape.len(), Interval::ENTIRE);
+    scratch.point_doms.clear();
+    scratch
+        .point_doms
+        .extend(mid.iter().map(|&x| Interval::point(x)));
+    atom.itape.forward(&scratch.point_doms, vals);
+    let g_m = vals[atom.itape.root_slot(0) as usize];
+    if g_m.is_empty() {
+        // Midpoint outside the natural domain: fall back to "unknown".
+        return Interval::ENTIRE;
+    }
+    atom.itape.forward(b.dims(), vals);
+    let mut total = g_m;
+    for (i, &v) in atom.vars.iter().enumerate() {
+        // A variable beyond the box's dimension (malformed formula) has an
+        // unbounded offset: the first-order form carries no information.
+        // Dropping the term instead would tighten unsoundly.
+        let Some(&m_v) = mid.get(v as usize) else {
+            return Interval::ENTIRE;
+        };
+        let grad_range = vals[atom.itape.root_slot(i + 1) as usize];
+        let dim = b.dim(v as usize);
+        let offset = dim.sub(&Interval::point(m_v));
+        total = total.add(&grad_range.mul(&offset));
+    }
+    total
+}
+
+/// Relative contraction gain between two boxes (max over dimensions).
+fn improvement(before: &BoxDomain, after: &BoxDomain) -> f64 {
+    let mut best: f64 = 0.0;
+    for i in 0..before.ndim() {
+        let wb = before.dim(i).width();
+        let wa = after.dim(i).width();
+        if wb > 0.0 && wb.is_finite() {
+            best = best.max((wb - wa) / wb);
+        } else if wb.is_infinite() && wa.is_finite() {
+            best = 1.0;
+        }
+    }
+    best
+}
+
+/// Reusable per-worker mutable state for [`CompiledFormula`] operations.
+/// Buffers grow on demand, so one scratch serves problems of any size (and,
+/// kept in a `thread_local`, every problem a worker thread ever touches).
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// Slot file of the formula's shared interval tape.
+    ivals: Vec<Interval>,
+    /// Slot file for the mean-value tapes (resized per atom).
+    mvals: Vec<Interval>,
+    /// Register file for the f64 atom tapes (resized per atom).
+    fvals: Vec<f64>,
+    /// Point-box domains for mean-value midpoint evaluation.
+    point_doms: Vec<Interval>,
+    /// DFS work stack of the branch-and-prune search.
+    pub(crate) stack: Vec<(BoxDomain, u32)>,
+}
+
+impl SolveScratch {
+    pub fn new() -> SolveScratch {
+        SolveScratch::default()
+    }
+
+    /// The shared f64 buffer, for callers evaluating [`CompiledAtom`]s with
+    /// this scratch (e.g. ψ validation in the verifier).
+    pub fn f64_buf(&mut self) -> &mut Vec<f64> {
+        &mut self.fvals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Atom, Rel};
+    use xcv_expr::var;
+
+    #[test]
+    fn compiled_contract_matches_fresh_hc4() {
+        let f = Formula::new(vec![
+            Atom::new(var(0).powi(2) - 4.0, Rel::Le),
+            Atom::new(var(0) - 1.0, Rel::Ge),
+        ]);
+        let b = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let got = compiled.contract(&b, &mut scratch);
+        let want = crate::contract::Hc4::new(&f).contract(&b);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state() {
+        // Contract a wide box, then an infeasible one, then the wide one
+        // again: results must be identical on the repeats.
+        let f = Formula::single(Atom::new(var(0) - 3.0, Rel::Le));
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let wide = BoxDomain::from_bounds(&[(0.0, 10.0)]);
+        let infeasible = BoxDomain::from_bounds(&[(5.0, 10.0)]);
+        let first = compiled.contract(&wide, &mut scratch);
+        assert_eq!(
+            compiled.contract(&infeasible, &mut scratch),
+            Contraction::Empty
+        );
+        assert_eq!(compiled.contract(&wide, &mut scratch), first);
+    }
+
+    #[test]
+    fn holds_and_score_match_formula() {
+        let f = Formula::new(vec![
+            Atom::new(var(0) - 1.0, Rel::Ge),
+            Atom::new(var(0) - 2.0, Rel::Le),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        for p in [[0.0], [1.5], [3.0]] {
+            assert_eq!(compiled.holds_at(&p, &mut scratch), f.holds_at(&p));
+        }
+        assert_eq!(compiled.violation_score(&[1.5], &mut scratch), 0.0);
+        assert!(compiled.violation_score(&[0.0], &mut scratch) > 0.9);
+        // NaN (ln of a negative) scores +inf.
+        let g = Formula::single(Atom::new(var(0).ln(), Rel::Ge));
+        let cg = CompiledFormula::compile(&g);
+        assert_eq!(cg.violation_score(&[-1.0], &mut scratch), f64::INFINITY);
+    }
+
+    // Counter-flatness assertions live in `tests/compile_once.rs`: unit
+    // tests here share a process with sibling tests that compile formulas
+    // on parallel threads, so a global-counter window would be racy.
+
+    #[test]
+    fn mv_out_of_range_var_is_no_information() {
+        // A formula mentioning var(1) solved over a 1-D box: the mean-value
+        // form cannot bound the missing dimension, so it must neither panic
+        // (the legacy behaviour) nor prune.
+        let f = Formula::single(Atom::new(var(1) + 1.0, Rel::Le));
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        assert!(!compiled.mv_certainly_infeasible(&b, &mut scratch));
+        let g = var(0).min(&var(1));
+        let f = Formula::single(Atom::new(g, Rel::Ge));
+        let compiled = CompiledFormula::compile(&f);
+        assert!(!compiled.mv_certainly_infeasible(&b, &mut scratch));
+    }
+
+    #[test]
+    fn mv_built_once_and_agrees_with_legacy() {
+        let g = var(0) - var(0).powi(2);
+        let f = Formula::single(Atom::new(g - 0.2, Rel::Le));
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let b = BoxDomain::from_bounds(&[(0.4, 0.6)]);
+        assert!(compiled.mv_certainly_infeasible(&b, &mut scratch));
+        let feasible = BoxDomain::from_bounds(&[(0.0, 0.3)]);
+        assert!(!compiled.mv_certainly_infeasible(&feasible, &mut scratch));
+        // Legacy comparison.
+        let mut legacy = crate::meanvalue::MeanValue::new(&f);
+        assert!(legacy.certainly_infeasible(&b));
+        assert!(!legacy.certainly_infeasible(&feasible));
+        // Newton contraction agreement on a linear constraint.
+        let lin = Formula::single(Atom::new(var(0) + 1.0, Rel::Le));
+        let clin = CompiledFormula::compile(&lin);
+        let wide = BoxDomain::from_bounds(&[(-5.0, 5.0)]);
+        let got = clin.mv_contract(&wide, &mut scratch).expect("feasible");
+        let want = crate::meanvalue::MeanValue::new(&lin)
+            .contract(&wide)
+            .expect("feasible");
+        assert_eq!(got.dim(0), want.dim(0));
+    }
+}

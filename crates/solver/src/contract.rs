@@ -1,5 +1,4 @@
-//! HC4-revise: forward–backward interval constraint propagation over the
-//! shared expression DAG.
+//! HC4-revise: forward–backward interval constraint propagation.
 //!
 //! Forward pass: natural interval extension of every node given the current
 //! box. Root constraint: meet each atom's enclosure with the relation's
@@ -7,15 +6,22 @@
 //! contract each child's enclosure through the inverse of the node's
 //! operation. Variable enclosures at the end are the contracted box.
 //!
-//! Soundness: every rule below computes a *superset* of the child values
+//! The actual pass machinery lives in [`xcv_expr::IntervalTape`] (flat
+//! slot-file program) and [`crate::CompiledFormula`] (per-formula roots and
+//! allowed sets). [`Hc4`] is the owning convenience wrapper: it compiles the
+//! formula and carries its own scratch, for callers that contract one
+//! formula in place. Hot paths — the δ-solver, the verifier recursion —
+//! share one [`crate::CompiledFormula`] and per-worker scratch instead of
+//! constructing an `Hc4` per box.
+//!
+//! Soundness: every backward rule computes a *superset* of the child values
 //! consistent with the parent's current enclosure, so no real solution inside
 //! the box is ever discarded. Operations without a cheap inverse (`sin`,
 //! `cos`, parts of `pow`) simply do not contract — a no-op is always sound.
 
 use crate::boxdom::BoxDomain;
+use crate::compile::{CompiledFormula, SolveScratch};
 use crate::formula::Formula;
-use xcv_expr::{Expr, IntervalEnv, Kind};
-use xcv_interval::{round, Interval};
 
 /// Outcome of a contraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,434 +32,30 @@ pub enum Contraction {
     Box(BoxDomain),
 }
 
-/// Node operation with pre-resolved child indices (avoids hash lookups in the
-/// hot backward loop).
-#[derive(Clone, Copy, Debug)]
-enum Op {
-    Leaf,
-    Var,
-    Add(u32, u32),
-    Mul(u32, u32),
-    Div(u32, u32),
-    Neg(u32),
-    PowI(u32, i32),
-    Pow(u32, u32),
-    Exp(u32),
-    Ln(u32),
-    Sqrt(u32),
-    Cbrt(u32),
-    Atan(u32),
-    Sin,
-    Cos,
-    Tanh(u32),
-    Abs(u32),
-    Min(u32, u32),
-    Max(u32, u32),
-    LambertW(u32),
-    Ite(u32, u32, u32),
-}
-
-/// A reusable HC4 contractor for a fixed formula.
+/// A self-contained HC4 contractor for a fixed formula: compiled program +
+/// private scratch in one value.
 pub struct Hc4 {
-    env: IntervalEnv,
-    ops: Vec<Op>,
-    /// (node index, allowed set) per atom.
-    roots: Vec<(usize, Interval)>,
-    /// (node index, variable id) for every variable node.
-    var_slots: Vec<(usize, u32)>,
+    compiled: CompiledFormula,
+    scratch: SolveScratch,
     /// Number of forward/backward rounds per contraction call.
     pub max_rounds: usize,
 }
 
 impl Hc4 {
-    /// Build a contractor for a conjunction of atoms.
+    /// Compile a contractor for a conjunction of atoms.
     pub fn new(formula: &Formula) -> Hc4 {
-        let roots_exprs: Vec<Expr> = formula.atoms.iter().map(|a| a.expr.clone()).collect();
-        let env = IntervalEnv::new(&roots_exprs);
-        let idx = |e: &Expr| env.index_of(e).expect("node in env") as u32;
-        let mut ops = Vec::with_capacity(env.len());
-        let mut var_slots = Vec::new();
-        for (i, e) in env.order().iter().enumerate() {
-            let op = match e.kind() {
-                Kind::Const(_) => Op::Leaf,
-                Kind::Var(v) => {
-                    var_slots.push((i, *v));
-                    Op::Var
-                }
-                Kind::Add(a, b) => Op::Add(idx(a), idx(b)),
-                Kind::Mul(a, b) => Op::Mul(idx(a), idx(b)),
-                Kind::Div(a, b) => Op::Div(idx(a), idx(b)),
-                Kind::Neg(a) => Op::Neg(idx(a)),
-                Kind::PowI(a, n) => Op::PowI(idx(a), *n),
-                Kind::Pow(a, b) => Op::Pow(idx(a), idx(b)),
-                Kind::Exp(a) => Op::Exp(idx(a)),
-                Kind::Ln(a) => Op::Ln(idx(a)),
-                Kind::Sqrt(a) => Op::Sqrt(idx(a)),
-                Kind::Cbrt(a) => Op::Cbrt(idx(a)),
-                Kind::Atan(a) => Op::Atan(idx(a)),
-                Kind::Sin(_) => Op::Sin,
-                Kind::Cos(_) => Op::Cos,
-                Kind::Tanh(a) => Op::Tanh(idx(a)),
-                Kind::Abs(a) => Op::Abs(idx(a)),
-                Kind::Min(a, b) => Op::Min(idx(a), idx(b)),
-                Kind::Max(a, b) => Op::Max(idx(a), idx(b)),
-                Kind::LambertW(a) => Op::LambertW(idx(a)),
-                Kind::Ite {
-                    cond,
-                    then,
-                    otherwise,
-                } => Op::Ite(idx(cond), idx(then), idx(otherwise)),
-            };
-            ops.push(op);
-        }
-        let roots = formula
-            .atoms
-            .iter()
-            .map(|a| (env.index_of(&a.expr).expect("root in env"), a.rel.allowed()))
-            .collect();
         Hc4 {
-            env,
-            ops,
-            roots,
-            var_slots,
+            compiled: CompiledFormula::compile(formula),
+            scratch: SolveScratch::new(),
             max_rounds: 3,
         }
     }
 
     /// Contract `b` against the formula.
     pub fn contract(&mut self, b: &BoxDomain) -> Contraction {
-        self.env.forward(b.dims());
-        let mut current = b.clone();
-        for round in 0..self.max_rounds {
-            if round > 0 {
-                // Re-tighten parents from the narrowed children.
-                self.env.forward_meet();
-            }
-            // Impose root constraints.
-            for &(idx, allowed) in &self.roots {
-                if self.env.meet_at(idx, allowed).is_empty() {
-                    return Contraction::Empty;
-                }
-            }
-            // Backward sweep.
-            if !self.backward() {
-                return Contraction::Empty;
-            }
-            // Extract variable domains. Variables beyond the box's dimension
-            // (possible with malformed formulas) read as ENTIRE and are not
-            // contracted.
-            let mut next = current.clone();
-            for &(idx, v) in &self.var_slots {
-                if (v as usize) >= current.ndim() {
-                    continue;
-                }
-                let dom = self.env.value_at(idx);
-                let met = dom.intersect(&current.dim(v as usize));
-                if met.is_empty() {
-                    return Contraction::Empty;
-                }
-                next.set_dim(v as usize, met);
-            }
-            let gain = improvement(&current, &next);
-            current = next;
-            if gain < 0.05 {
-                break;
-            }
-        }
-        Contraction::Box(current)
+        self.compiled
+            .contract_with_rounds(b, &mut self.scratch, self.max_rounds)
     }
-
-    /// One reverse-topological backward sweep. Returns false on proven
-    /// emptiness.
-    fn backward(&mut self) -> bool {
-        for i in (0..self.ops.len()).rev() {
-            let d = self.env.value_at(i);
-            if d.is_empty() {
-                return false;
-            }
-            let op = self.ops[i];
-            match op {
-                Op::Leaf | Op::Var => {}
-                Op::Add(a, b) => {
-                    let (ca, cb) = (self.val(a), self.val(b));
-                    if !self.meet(a, d.sub(&cb)) || !self.meet(b, d.sub(&ca)) {
-                        return false;
-                    }
-                }
-                Op::Mul(a, b) => {
-                    let (ca, cb) = (self.val(a), self.val(b));
-                    if !self.meet(a, d.div(&cb)) || !self.meet(b, d.div(&ca)) {
-                        return false;
-                    }
-                }
-                Op::Div(a, b) => {
-                    let (ca, cb) = (self.val(a), self.val(b));
-                    if !self.meet(a, d.mul(&cb)) || !self.meet(b, ca.div(&d)) {
-                        return false;
-                    }
-                }
-                Op::Neg(a) => {
-                    if !self.meet(a, d.neg()) {
-                        return false;
-                    }
-                }
-                Op::PowI(a, n) => {
-                    if !self.backward_powi(a, n, d) {
-                        return false;
-                    }
-                }
-                Op::Pow(a, b) => {
-                    let (ca, cb) = (self.val(a), self.val(b));
-                    // a^b with a > 0 implies node > 0.
-                    if ca.certainly_gt(0.0) {
-                        let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
-                        if dpos.is_empty() {
-                            return false;
-                        }
-                        let ld = dpos.ln();
-                        if !ld.is_empty() {
-                            let la = ca.ln();
-                            if !self.meet(a, ld.div(&cb).exp()) {
-                                return false;
-                            }
-                            if !la.is_empty() && !self.meet(b, ld.div(&la)) {
-                                return false;
-                            }
-                        }
-                    }
-                }
-                Op::Exp(a) => {
-                    // exp(a) = d  =>  a = ln(d); d.hi <= 0 is infeasible.
-                    let pre = d.ln();
-                    if pre.is_empty() || !self.meet(a, pre) {
-                        return false;
-                    }
-                }
-                Op::Ln(a) => {
-                    if !self.meet(a, d.exp()) {
-                        return false;
-                    }
-                }
-                Op::Sqrt(a) => {
-                    let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
-                    if dpos.is_empty() {
-                        return false;
-                    }
-                    if !self.meet(a, dpos.powi(2)) {
-                        return false;
-                    }
-                }
-                Op::Cbrt(a) => {
-                    if !self.meet(a, d.powi(3)) {
-                        return false;
-                    }
-                }
-                Op::Atan(a) => {
-                    let range =
-                        Interval::new(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
-                    let dc = d.intersect(&range);
-                    if dc.is_empty() {
-                        return false;
-                    }
-                    // tan blows up approaching ±π/2; treat anything within
-                    // 1e-4 of the pole as unbounded.
-                    let near_pole = std::f64::consts::FRAC_PI_2 - 1e-4;
-                    let lo = if dc.lo <= -near_pole {
-                        f64::NEG_INFINITY
-                    } else {
-                        round::libm_lo(dc.lo.tan())
-                    };
-                    let hi = if dc.hi >= near_pole {
-                        f64::INFINITY
-                    } else {
-                        round::libm_hi(dc.hi.tan())
-                    };
-                    if !self.meet(a, Interval::checked(lo, hi)) {
-                        return false;
-                    }
-                }
-                Op::Sin | Op::Cos => {
-                    // Periodic inverse: no contraction (sound no-op), but an
-                    // enclosure disjoint from [-1, 1] is infeasible.
-                    if d.intersect(&Interval::new(-1.0, 1.0)).is_empty() {
-                        return false;
-                    }
-                }
-                Op::Tanh(a) => {
-                    let dc = d.intersect(&Interval::new(-1.0, 1.0));
-                    if dc.is_empty() {
-                        return false;
-                    }
-                    let atanh = |x: f64, up: bool| -> f64 {
-                        if x <= -1.0 {
-                            f64::NEG_INFINITY
-                        } else if x >= 1.0 {
-                            f64::INFINITY
-                        } else {
-                            let v = 0.5 * ((1.0 + x) / (1.0 - x)).ln();
-                            if up {
-                                round::libm_hi(v)
-                            } else {
-                                round::libm_lo(v)
-                            }
-                        }
-                    };
-                    if !self.meet(
-                        a,
-                        Interval::checked(atanh(dc.lo, false), atanh(dc.hi, true)),
-                    ) {
-                        return false;
-                    }
-                }
-                Op::Abs(a) => {
-                    let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
-                    if dpos.is_empty() {
-                        return false;
-                    }
-                    let ca = self.val(a);
-                    let pre = ca.intersect(&dpos).hull(&ca.intersect(&dpos.neg()));
-                    if pre.is_empty() {
-                        return false;
-                    }
-                    self.env.set_value_at(a as usize, pre);
-                }
-                Op::Min(a, b) => {
-                    let (ca, cb) = (self.val(a), self.val(b));
-                    // Both operands are >= min's lower bound.
-                    let floor = Interval::new(d.lo, f64::INFINITY);
-                    let mut na = ca.intersect(&floor);
-                    let mut nb = cb.intersect(&floor);
-                    // If one operand is certainly above the node's range, the
-                    // other must equal the node.
-                    if cb.lo > d.hi {
-                        na = na.intersect(&d);
-                    }
-                    if ca.lo > d.hi {
-                        nb = nb.intersect(&d);
-                    }
-                    if na.is_empty() || nb.is_empty() {
-                        return false;
-                    }
-                    self.env.set_value_at(a as usize, na);
-                    self.env.set_value_at(b as usize, nb);
-                }
-                Op::Max(a, b) => {
-                    let (ca, cb) = (self.val(a), self.val(b));
-                    let ceil = Interval::new(f64::NEG_INFINITY, d.hi);
-                    let mut na = ca.intersect(&ceil);
-                    let mut nb = cb.intersect(&ceil);
-                    if cb.hi < d.lo {
-                        na = na.intersect(&d);
-                    }
-                    if ca.hi < d.lo {
-                        nb = nb.intersect(&d);
-                    }
-                    if na.is_empty() || nb.is_empty() {
-                        return false;
-                    }
-                    self.env.set_value_at(a as usize, na);
-                    self.env.set_value_at(b as usize, nb);
-                }
-                Op::LambertW(a) => {
-                    // W(a) = d  =>  a = d e^d (monotone on our domain).
-                    if !self.meet(a, d.mul(&d.exp())) {
-                        return false;
-                    }
-                }
-                Op::Ite(c, t, e) => {
-                    let cc = self.val(c);
-                    if cc.certainly_ge(0.0) {
-                        if !self.meet(t, d) {
-                            return false;
-                        }
-                    } else if cc.certainly_lt(0.0) {
-                        if !self.meet(e, d) {
-                            return false;
-                        }
-                    } else {
-                        let ct = self.val(t);
-                        let ce = self.val(e);
-                        let then_possible = !ct.intersect(&d).is_empty();
-                        let else_possible = !ce.intersect(&d).is_empty();
-                        match (then_possible, else_possible) {
-                            (false, false) => return false,
-                            (false, true) => {
-                                // cond must be negative; closed meet is sound.
-                                if !self.meet(c, Interval::new(f64::NEG_INFINITY, 0.0))
-                                    || !self.meet(e, d)
-                                {
-                                    return false;
-                                }
-                            }
-                            (true, false) => {
-                                if !self.meet(c, Interval::new(0.0, f64::INFINITY))
-                                    || !self.meet(t, d)
-                                {
-                                    return false;
-                                }
-                            }
-                            (true, true) => {}
-                        }
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    #[inline]
-    fn val(&self, idx: u32) -> Interval {
-        self.env.value_at(idx as usize)
-    }
-
-    /// Meet the child's enclosure with `narrow`; false if proven empty.
-    #[inline]
-    fn meet(&mut self, idx: u32, narrow: Interval) -> bool {
-        !self.env.meet_at(idx as usize, narrow).is_empty()
-    }
-
-    fn backward_powi(&mut self, a: u32, n: i32, d: Interval) -> bool {
-        if n == 0 {
-            return !d.intersect(&Interval::ONE).is_empty();
-        }
-        if n < 0 {
-            // a^n = 1/a^{-n}: invert the target and recurse on the positive
-            // exponent.
-            let dinv = d.recip();
-            return self.backward_powi(a, -n, dinv);
-        }
-        if n % 2 == 1 {
-            self.meet(a, d.nth_root(n))
-        } else {
-            let dpos = d.intersect(&Interval::new(0.0, f64::INFINITY));
-            if dpos.is_empty() {
-                return false;
-            }
-            let r = dpos.nth_root(n); // [p, q], p >= 0
-            let ca = self.val(a);
-            let pre = ca.intersect(&r).hull(&ca.intersect(&r.neg()));
-            if pre.is_empty() {
-                return false;
-            }
-            self.env.set_value_at(a as usize, pre);
-            true
-        }
-    }
-}
-
-/// Relative contraction gain between two boxes (max over dimensions).
-fn improvement(before: &BoxDomain, after: &BoxDomain) -> f64 {
-    let mut best: f64 = 0.0;
-    for i in 0..before.ndim() {
-        let wb = before.dim(i).width();
-        let wa = after.dim(i).width();
-        if wb > 0.0 && wb.is_finite() {
-            best = best.max((wb - wa) / wb);
-        } else if wb.is_infinite() && wa.is_finite() {
-            best = 1.0;
-        }
-    }
-    best
 }
 
 #[cfg(test)]
@@ -658,5 +260,27 @@ mod tests {
             panic!()
         };
         assert!(nb.dim(0).hi <= 0.5 + 1e-6, "{:?}", nb.dim(0));
+    }
+
+    #[test]
+    fn extra_rounds_never_hurt() {
+        // max_rounds is honored: more rounds can only keep or tighten.
+        let f = Formula::new(vec![
+            Atom::new(var(0) + var(1), Rel::Le),
+            Atom::new(var(0) - 4.0, Rel::Ge),
+        ]);
+        let b = BoxDomain::from_bounds(&[(0.0, 10.0), (-10.0, 10.0)]);
+        let mut one = Hc4::new(&f);
+        one.max_rounds = 1;
+        let mut many = Hc4::new(&f);
+        many.max_rounds = 6;
+        match (one.contract(&b), many.contract(&b)) {
+            (Contraction::Box(a), Contraction::Box(c)) => {
+                for i in 0..2 {
+                    assert!(c.dim(i).width() <= a.dim(i).width() + 1e-12);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -12,26 +12,41 @@
 //! Internally dReal is an interval constraint propagation (ICP) loop:
 //! contract the search box against each constraint with interval arithmetic,
 //! and branch when contraction stalls. [`DeltaSolver`] implements exactly
-//! that architecture:
+//! that architecture, organized as **compile-once solve sessions** — the
+//! standard interval-solver split (dReal/IBEX build contractors once per
+//! problem, apply them per box):
 //!
-//! * [`contract::Hc4`] — the HC4-revise forward–backward contractor over the
-//!   shared expression DAG;
-//! * [`DeltaSolver::solve`] — branch-and-prune with a node *and* wall-clock
-//!   budget, returning [`Outcome::Unsat`], [`Outcome::DeltaSat`] or
-//!   [`Outcome::Timeout`] — the same three-way interface Algorithm 1 of the
-//!   paper consumes.
+//! * [`CompiledFormula::compile`] — lowers a [`Formula`] to flat tapes *one
+//!   time*: a shared [`xcv_expr::IntervalTape`] for the HC4 forward/backward
+//!   passes, per-atom f64 [`xcv_expr::Tape`]s for midpoint model checks and
+//!   branch scoring, and (lazily) the symbolic mean-value gradients;
+//! * [`DeltaSolver::solve_compiled`] — branch-and-prune over a *borrowed*
+//!   compiled formula plus a reusable per-worker [`SolveScratch`], with a
+//!   node *and* wall-clock budget, returning [`Outcome::Unsat`],
+//!   [`Outcome::DeltaSat`] or [`Outcome::Timeout`] — the same three-way
+//!   interface Algorithm 1 of the paper consumes;
+//! * [`DeltaSolver::solve`] — the original one-shot signature, kept as a
+//!   thin compile-then-solve wrapper;
+//! * [`contract::Hc4`] / [`MeanValue`] — owning wrappers (compiled program +
+//!   private scratch) for callers contracting a single formula in place.
+//!
+//! The verifier's whole box tree shares one `CompiledFormula` per encoded
+//! problem; [`compile_count`] exposes a process-wide compilation counter so
+//! tests can assert that per-box solving never compiles.
 //!
 //! Soundness invariant: a box is discarded only when interval reasoning
 //! *proves* it contains no solution, so `Unsat` is trustworthy regardless of
 //! rounding; `DeltaSat` models are validated downstream.
 
 mod boxdom;
+mod compile;
 pub mod contract;
 mod formula;
 pub mod meanvalue;
 mod solve;
 
 pub use boxdom::BoxDomain;
+pub use compile::{compile_count, CompiledAtom, CompiledFormula, SolveScratch};
 pub use formula::{Atom, Formula, Rel};
 pub use meanvalue::MeanValue;
 pub use solve::{DeltaSolver, Outcome, SolveBudget, SolveStats};

@@ -13,87 +13,37 @@
 //! the dependency problem — at the cost of evaluating the symbolic gradient.
 //! `DeltaSolver` can enable it as an extra pruning test; the
 //! `ablation_mean_value` benchmark measures the trade-off.
+//!
+//! Since the compile-once rework, the symbolic differentiation and the
+//! gradient tapes are built a single time per [`crate::CompiledFormula`]
+//! (lazily, on the first mean-value call) and shared across every box. The
+//! [`MeanValue`] type here is the owning convenience wrapper around that
+//! machinery, mirroring [`crate::contract::Hc4`].
 
 use crate::boxdom::BoxDomain;
-use crate::formula::{Formula, Rel};
-use xcv_expr::{Expr, IntervalEnv};
-use xcv_interval::Interval;
+use crate::compile::{CompiledFormula, SolveScratch};
+use crate::formula::Formula;
 
-struct MvAtom {
-    rel: Rel,
-    /// Shared evaluation environment over `g` and all its partials.
-    env: IntervalEnv,
-    g: Expr,
-    grads: Vec<(u32, Expr)>,
-}
-
-/// Prepared mean-value tester for a fixed formula.
+/// Prepared mean-value tester for a fixed formula: compiled gradients +
+/// private scratch in one value.
 pub struct MeanValue {
-    atoms: Vec<MvAtom>,
+    compiled: CompiledFormula,
+    scratch: SolveScratch,
 }
 
 impl MeanValue {
-    /// Differentiate every atom with respect to every free variable.
+    /// Differentiate every atom with respect to every free variable (once).
     pub fn new(formula: &Formula) -> MeanValue {
-        let atoms = formula
-            .atoms
-            .iter()
-            .map(|a| {
-                let grads: Vec<(u32, Expr)> = a
-                    .expr
-                    .free_vars()
-                    .into_iter()
-                    .map(|v| (v, a.expr.diff(v)))
-                    .collect();
-                let mut roots: Vec<Expr> = vec![a.expr.clone()];
-                roots.extend(grads.iter().map(|(_, d)| d.clone()));
-                MvAtom {
-                    rel: a.rel,
-                    env: IntervalEnv::new(&roots),
-                    g: a.expr.clone(),
-                    grads,
-                }
-            })
-            .collect();
-        MeanValue { atoms }
-    }
-
-    /// Rigorous first-order enclosure of one atom's expression over `b`.
-    fn enclosure(atom: &mut MvAtom, b: &BoxDomain) -> Interval {
-        let mid = b.midpoint();
-        // g(m): evaluate over the point box.
-        let point_domains: Vec<Interval> = mid.iter().map(|&x| Interval::point(x)).collect();
-        atom.env.forward(&point_domains);
-        let g_m = atom.env.value(&atom.g);
-        if g_m.is_empty() {
-            // Midpoint outside the natural domain: fall back to "unknown".
-            return Interval::ENTIRE;
+        MeanValue {
+            compiled: CompiledFormula::compile(formula),
+            scratch: SolveScratch::new(),
         }
-        // Gradient over the full box.
-        atom.env.forward(b.dims());
-        let mut total = g_m;
-        for (v, d) in &atom.grads {
-            let grad_range = atom.env.value(d);
-            let dim = b.dim(*v as usize);
-            let offset = dim.sub(&Interval::point(mid[*v as usize]));
-            total = total.add(&grad_range.mul(&offset));
-        }
-        total
     }
 
     /// True when the mean-value enclosure *proves* some atom unsatisfiable on
     /// the box (sound pruning signal).
     pub fn certainly_infeasible(&mut self, b: &BoxDomain) -> bool {
-        for atom in &mut self.atoms {
-            let enc = Self::enclosure(atom, b);
-            if enc.is_empty() {
-                continue; // no information
-            }
-            if enc.intersect(&atom.rel.allowed()).is_empty() {
-                return true;
-            }
-        }
-        false
+        self.compiled.mv_certainly_infeasible(b, &mut self.scratch)
     }
 
     /// Interval-Newton-style contraction: for each atom `g REL 0` and each
@@ -108,59 +58,14 @@ impl MeanValue {
     /// (possibly) narrowed box. Sound: every solution of the constraint in
     /// `b` satisfies the relaxation, so it survives the contraction.
     pub fn contract(&mut self, b: &BoxDomain) -> Option<BoxDomain> {
-        let mut current = b.clone();
-        for atom in &mut self.atoms {
-            let mid = current.midpoint();
-            let point_domains: Vec<Interval> = mid.iter().map(|&x| Interval::point(x)).collect();
-            atom.env.forward(&point_domains);
-            let g_m = atom.env.value(&atom.g);
-            if g_m.is_empty() {
-                continue;
-            }
-            atom.env.forward(current.dims());
-            // Precompute gradient ranges and per-variable offsets.
-            let grads: Vec<(usize, Interval)> = atom
-                .grads
-                .iter()
-                .filter(|(v, _)| (*v as usize) < current.ndim())
-                .map(|(v, d)| (*v as usize, atom.env.value(d)))
-                .collect();
-            let offsets: Vec<Interval> = grads
-                .iter()
-                .map(|&(v, g)| g.mul(&current.dim(v).sub(&Interval::point(mid[v]))))
-                .collect();
-            let allowed = atom.rel.allowed();
-            for (k, &(v, grad)) in grads.iter().enumerate() {
-                if grad.contains(0.0) && !grad.is_point() {
-                    // Extended division would return ENTIRE unless the rest
-                    // already pins things down; skip cheaply.
-                    continue;
-                }
-                // rest = g(m) + Σ_{j≠k} offsets[j]
-                let mut rest = g_m;
-                for (j, off) in offsets.iter().enumerate() {
-                    if j != k {
-                        rest = rest.add(off);
-                    }
-                }
-                // allowed ∋ rest + grad·(x_v − m_v)
-                // ⇒ x_v ∈ m_v + (allowed − rest)/grad
-                let rhs = allowed.sub(&rest).div(&grad);
-                let newdom = current.dim(v).intersect(&rhs.add(&Interval::point(mid[v])));
-                if newdom.is_empty() {
-                    return None;
-                }
-                current.set_dim(v, newdom);
-            }
-        }
-        Some(current)
+        self.compiled.mv_contract(b, &mut self.scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::formula::Atom;
+    use crate::formula::{Atom, Rel};
     use xcv_expr::var;
 
     #[test]

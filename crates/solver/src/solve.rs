@@ -1,7 +1,16 @@
 //! Branch-and-prune δ-complete search.
+//!
+//! Solving is a two-phase affair since the compile-once rework:
+//! [`crate::CompiledFormula::compile`] lowers a formula to flat tapes once,
+//! and [`DeltaSolver::solve_compiled`] runs the branch-and-prune loop over a
+//! borrowed compiled formula plus a reusable [`SolveScratch`] — zero
+//! compilation, zero allocation churn per box. The original
+//! [`DeltaSolver::solve`]`(&BoxDomain, &Formula)` signature survives as a
+//! thin compile-then-solve wrapper for one-shot callers and tests.
 
 use crate::boxdom::BoxDomain;
-use crate::contract::{Contraction, Hc4};
+use crate::compile::{CompiledFormula, SolveScratch};
+use crate::contract::Contraction;
 use crate::formula::Formula;
 use std::time::Instant;
 
@@ -64,6 +73,17 @@ pub struct SolveStats {
     pub max_depth: u32,
 }
 
+impl SolveStats {
+    /// Fold another run's statistics into this one (counters add, depth
+    /// maxes) — used by the verifier to aggregate over a whole box tree.
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.nodes += other.nodes;
+        self.pruned += other.pruned;
+        self.branched += other.branched;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
 /// The δ-complete solver: HC4 contraction + branch-and-prune.
 #[derive(Debug, Clone)]
 pub struct DeltaSolver {
@@ -101,35 +121,61 @@ impl DeltaSolver {
         self
     }
 
-    /// Decide `formula` over `domain`.
+    /// Decide `formula` over `domain` (one-shot: compiles the formula, then
+    /// solves — callers visiting many boxes should compile once and use
+    /// [`DeltaSolver::solve_compiled`]).
     pub fn solve(&self, domain: &BoxDomain, formula: &Formula) -> Outcome {
         self.solve_with_stats(domain, formula).0
     }
 
-    /// Decide `formula` over `domain`, returning search statistics.
+    /// Decide `formula` over `domain`, returning search statistics
+    /// (one-shot; see [`DeltaSolver::solve`]).
     pub fn solve_with_stats(&self, domain: &BoxDomain, formula: &Formula) -> (Outcome, SolveStats) {
+        let compiled = CompiledFormula::compile(formula);
+        let mut scratch = SolveScratch::new();
+        self.solve_compiled_with_stats(domain, &compiled, &mut scratch)
+    }
+
+    /// Decide the compiled formula over `domain`, reusing `scratch` — the
+    /// hot path: no compilation, no topo sorts, no per-box allocation beyond
+    /// box splitting.
+    pub fn solve_compiled(
+        &self,
+        domain: &BoxDomain,
+        compiled: &CompiledFormula,
+        scratch: &mut SolveScratch,
+    ) -> Outcome {
+        self.solve_compiled_with_stats(domain, compiled, scratch).0
+    }
+
+    /// [`DeltaSolver::solve_compiled`] with search statistics.
+    pub fn solve_compiled_with_stats(
+        &self,
+        domain: &BoxDomain,
+        compiled: &CompiledFormula,
+        scratch: &mut SolveScratch,
+    ) -> (Outcome, SolveStats) {
         let mut stats = SolveStats::default();
         if domain.is_empty() {
             return (Outcome::Unsat, stats);
         }
         let start = Instant::now();
-        let mut hc4 = Hc4::new(formula);
-        let mut mv = self
-            .mean_value
-            .then(|| crate::meanvalue::MeanValue::new(formula));
-        let mut stack: Vec<(BoxDomain, u32)> = vec![(domain.clone(), 0)];
+        scratch.stack.clear();
+        scratch.stack.push((domain.clone(), 0));
         // Boxes narrower than this in every dimension are δ-decided.
         let width_floor = self.delta.max(1e-12);
-        while let Some((b, depth)) = stack.pop() {
+        while let Some((b, depth)) = scratch.stack.pop() {
             stats.nodes += 1;
             stats.max_depth = stats.max_depth.max(depth);
+            // Compare elapsed time in u128: truncating `as_millis()` to u64
+            // invites silent wrap bugs (mirrors `Verifier::past_deadline`).
             if stats.nodes > self.budget.max_nodes
                 || (stats.nodes % 64 == 0
-                    && start.elapsed().as_millis() as u64 > self.budget.max_millis)
+                    && start.elapsed().as_millis() > u128::from(self.budget.max_millis))
             {
                 return (Outcome::Timeout, stats);
             }
-            let contracted = match hc4.contract(&b) {
+            let contracted = match compiled.contract(&b, scratch) {
                 Contraction::Empty => {
                     stats.pruned += 1;
                     continue;
@@ -140,13 +186,13 @@ impl DeltaSolver {
                 stats.pruned += 1;
                 continue;
             }
-            let contracted = if let Some(mv) = mv.as_mut() {
-                match mv.contract(&contracted) {
+            let contracted = if self.mean_value {
+                match compiled.mv_contract(&contracted, scratch) {
                     None => {
                         stats.pruned += 1;
                         continue;
                     }
-                    Some(nb) if mv.certainly_infeasible(&nb) => {
+                    Some(nb) if compiled.mv_certainly_infeasible(&nb, scratch) => {
                         stats.pruned += 1;
                         continue;
                     }
@@ -157,7 +203,7 @@ impl DeltaSolver {
             };
             // Fast model check: an exact solution at the midpoint settles it.
             let mid = contracted.midpoint();
-            if formula.holds_at(&mid) {
+            if compiled.holds_at(&mid, scratch) {
                 return (Outcome::DeltaSat(mid), stats);
             }
             // δ-decision on small boxes: contraction could not rule the box
@@ -167,40 +213,24 @@ impl DeltaSolver {
             }
             // Branch on the widest dimension; search the half whose midpoint
             // is closer to satisfying the formula first (DFS order: push it
-            // last).
+            // last). Scoring runs on the compiled f64 tapes.
             let (l, r) = contracted.bisect_widest();
             stats.branched += 1;
-            let score = |bx: &BoxDomain| -> f64 {
-                let m = bx.midpoint();
-                formula
-                    .atoms
-                    .iter()
-                    .map(|a| match a.expr.eval(&m) {
-                        Ok(v) if !v.is_nan() => {
-                            // Signed violation: positive means unsatisfied.
-                            match a.rel {
-                                crate::Rel::Le | crate::Rel::Lt => v.max(0.0),
-                                crate::Rel::Ge | crate::Rel::Gt => (-v).max(0.0),
-                            }
-                        }
-                        _ => f64::INFINITY,
-                    })
-                    .fold(0.0, f64::max)
-            };
-            let (sl, sr) = (score(&l), score(&r));
+            let sl = compiled.violation_score(&l.midpoint(), scratch);
+            let sr = compiled.violation_score(&r.midpoint(), scratch);
             if sl <= sr {
                 if !r.is_empty() {
-                    stack.push((r, depth + 1));
+                    scratch.stack.push((r, depth + 1));
                 }
                 if !l.is_empty() {
-                    stack.push((l, depth + 1));
+                    scratch.stack.push((l, depth + 1));
                 }
             } else {
                 if !l.is_empty() {
-                    stack.push((l, depth + 1));
+                    scratch.stack.push((l, depth + 1));
                 }
                 if !r.is_empty() {
-                    stack.push((r, depth + 1));
+                    scratch.stack.push((r, depth + 1));
                 }
             }
         }
@@ -416,6 +446,69 @@ mod tests {
             stats_mv.nodes,
             stats_plain.nodes
         );
+    }
+
+    #[test]
+    fn compiled_session_reuse_matches_one_shot() {
+        // One compiled formula + one scratch across many boxes must agree
+        // with a fresh compile-per-box solve on every box.
+        let f = Formula::new(vec![
+            Atom::new(var(0).powi(2) - 4.0, Rel::Le),
+            Atom::new(var(0) - 1.0, Rel::Ge),
+        ]);
+        let s = solver();
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        for i in 0..12 {
+            let lo = -6.0 + i as f64;
+            let b = BoxDomain::from_bounds(&[(lo, lo + 1.5)]);
+            let fresh = s.solve(&b, &f);
+            let session = s.solve_compiled(&b, &compiled, &mut scratch);
+            match (fresh, session) {
+                (Outcome::Unsat, Outcome::Unsat) | (Outcome::Timeout, Outcome::Timeout) => {}
+                (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) => {
+                    assert_eq!(a, c, "deterministic search must match");
+                }
+                (a, c) => panic!("divergent: {a:?} vs {c:?}"),
+            }
+        }
+    }
+
+    // The "session solving never compiles" counter assertion lives in
+    // `tests/compile_once.rs` (own binary + mutex): the process-global
+    // counter races with sibling unit tests compiling on parallel threads.
+
+    #[test]
+    fn compiled_mean_value_session() {
+        // The MV gradients build lazily inside the compiled formula; enabling
+        // mean_value on the compiled path must match the plain path.
+        let f = Formula::single(Atom::new(var(0) - var(0).powi(2) - 0.3, Rel::Ge));
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        let s = solver().with_mean_value(true);
+        let (out, st) = s.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        assert_eq!(out, Outcome::Unsat);
+        let (out2, st2) = s.solve_with_stats(&b, &f);
+        assert_eq!(out2, Outcome::Unsat);
+        assert_eq!(st.nodes, st2.nodes);
+    }
+
+    #[test]
+    fn stats_absorb_sums_and_maxes() {
+        let mut a = SolveStats {
+            nodes: 3,
+            pruned: 1,
+            branched: 2,
+            max_depth: 4,
+        };
+        a.absorb(SolveStats {
+            nodes: 5,
+            pruned: 0,
+            branched: 1,
+            max_depth: 2,
+        });
+        assert_eq!((a.nodes, a.pruned, a.branched, a.max_depth), (8, 1, 3, 4));
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn main() {
     println!("condition  : {}", problem.condition);
     println!(
         "psi        : {}",
-        truncate(&format!("{}", problem.psi), 100)
+        truncate(&format!("{}", problem.psi()), 100)
     );
     println!("domain     : {}", problem.domain);
     println!();

@@ -14,7 +14,10 @@
 //!   differentiation, evaluation back-ends, and a Python-subset DSL frontend
 //!   with a symbolic executor (the XCEncoder pipeline);
 //! * [`solver`] — a δ-complete decision procedure (HC4 interval constraint
-//!   propagation + branch-and-prune), the dReal substitute;
+//!   propagation + branch-and-prune), the dReal substitute, organized as
+//!   compile-once solve sessions: each formula is lowered to flat interval
+//!   and f64 tapes a single time, and the whole box tree is solved against
+//!   that shared program with per-thread scratch buffers;
 //! * [`functionals`] — the open functional registry: a [`prelude::Functional`]
 //!   trait (symbolic DAGs + scalar closed forms + metadata), the paper's
 //!   five DFAs as built-in implementations, and runtime registration of
@@ -68,6 +71,15 @@
 //! let table = Table1::from_campaign(&report);
 //! assert!(table.render_markdown().contains("| VWN RPA |"));
 //! ```
+//!
+//! Behind both paths sits the compile-once session architecture:
+//! [`prelude::Encoder`] lowers each `(functional, condition)` pair's formula
+//! to flat tapes exactly once (carried on the
+//! [`prelude::EncodedProblem`]), and the verifier recursion solves thousands
+//! of sub-boxes against that shared program with reusable per-thread
+//! scratch — `xcverifier::solver::compile_count()` exposes the invariant,
+//! and the `solver_bench` binary tracks the resulting throughput in
+//! `BENCH_solver.json`.
 //!
 //! Single pairs still work through [`prelude::Encoder`] /
 //! [`prelude::Verifier`]; campaigns are the batch path. User-defined

@@ -73,7 +73,7 @@ fn lyp_all_five_conditions_refuted() {
         );
         // Every witness must be a true violation and lie inside the domain.
         for ce in map.counterexamples() {
-            assert!(!p.psi.holds_at(ce));
+            assert!(!p.psi().holds_at(ce));
             assert!(
                 p.domain.contains_point(ce),
                 "witness outside domain: {ce:?}"
@@ -276,7 +276,7 @@ fn blyp_violates_lieb_oxford_extension() {
     assert_eq!(map.table_mark(), TableMark::Counterexample);
     for ce in map.counterexamples() {
         assert!(ce[1] > 4.0, "LO violations live at the s edge: {ce:?}");
-        assert!(!p.psi.holds_at(ce));
+        assert!(!p.psi().holds_at(ce));
     }
     let grid = pb_check(Dfa::Blyp, Condition::LiebOxfordExt, &grid_cfg()).unwrap();
     assert!(

@@ -1,0 +1,280 @@
+//! Equivalence suite for the compile-once rework: the session path
+//! (`CompiledFormula` + reused `SolveScratch`) must be observationally
+//! identical both to the one-shot wrapper (`DeltaSolver::solve`, which
+//! compiles afresh on every invocation) and — crucially — to the **seed
+//! architecture itself**, vendored verbatim in
+//! `xcv_bench::seed_baseline::seed_solve_with_stats` (hash-mapped
+//! `IntervalEnv` passes, recursive-evaluator branch scoring). Comparing
+//! against the vendored seed keeps a transcription bug in the new tape
+//! rules from silently agreeing with itself.
+//!
+//! Two layers:
+//!
+//! * proptest (local shim): random expression formulas over random boxes —
+//!   same `Outcome` class, and identical models when δ-SAT (the search is
+//!   deterministic);
+//! * the pinned 45-pair `encode_all_extended()` matrix: a hand-rolled
+//!   replica of Algorithm 1 running the vendored seed solver per box must
+//!   produce the same `TableMark` as the production verifier running on the
+//!   shared compiled problem.
+
+use proptest::prelude::*;
+use xcv_bench::seed_baseline::seed_solve_with_stats;
+use xcverifier::prelude::*;
+use xcverifier::solver::{CompiledFormula, SolveScratch};
+
+// ---------------------------------------------------------------------------
+// Random formula generation (compact variant of tests/proptests.rs)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Recipe {
+    Var(u8),
+    Const(f64),
+    Add(Box<Recipe>, Box<Recipe>),
+    Mul(Box<Recipe>, Box<Recipe>),
+    Div(Box<Recipe>, Box<Recipe>),
+    Neg(Box<Recipe>),
+    PowI(Box<Recipe>, i32),
+    Exp(Box<Recipe>),
+    LnShift(Box<Recipe>),
+    Atan(Box<Recipe>),
+    Tanh(Box<Recipe>),
+    Abs(Box<Recipe>),
+    Min(Box<Recipe>, Box<Recipe>),
+    Max(Box<Recipe>, Box<Recipe>),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0u8..2).prop_map(Recipe::Var),
+        (-3.0f64..3.0).prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Div(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Recipe::Neg(Box::new(a))),
+            (inner.clone(), 1i32..4).prop_map(|(a, n)| Recipe::PowI(Box::new(a), n)),
+            inner.clone().prop_map(|a| Recipe::Exp(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::LnShift(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Atan(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Tanh(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Abs(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Recipe::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(r: &Recipe) -> Expr {
+    match r {
+        Recipe::Var(v) => var(*v as u32),
+        Recipe::Const(c) => constant(*c),
+        Recipe::Add(a, b) => build(a) + build(b),
+        Recipe::Mul(a, b) => build(a) * build(b),
+        Recipe::Div(a, b) => build(a) / build(b),
+        Recipe::Neg(a) => -build(a),
+        Recipe::PowI(a, n) => build(a).powi(*n),
+        Recipe::Exp(a) => (build(a) * 0.25).exp(), // damp to avoid overflow
+        Recipe::LnShift(a) => (build(a).powi(2) + 1.0).ln(),
+        Recipe::Atan(a) => build(a).atan(),
+        Recipe::Tanh(a) => build(a).tanh(),
+        Recipe::Abs(a) => build(a).abs(),
+        Recipe::Min(a, b) => build(a).min(&build(b)),
+        Recipe::Max(a, b) => build(a).max(&build(b)),
+    }
+}
+
+fn outcome_class(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Unsat => "unsat",
+        Outcome::DeltaSat(_) => "delta-sat",
+        Outcome::Timeout => "timeout",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Session solving (compiled once, scratch reused across boxes) agrees
+    /// with per-call solving on outcome class and on the exact model.
+    #[test]
+    fn session_agrees_with_per_call(
+        recipe in recipe_strategy(),
+        lo in -0.5f64..0.5,
+        band in 0.05f64..0.5,
+    ) {
+        let e = build(&recipe);
+        let f = Formula::new(vec![
+            Atom::new(e.clone() - constant(lo), Rel::Ge),
+            Atom::new(e - constant(lo + band), Rel::Le),
+        ]);
+        let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(2_000));
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        // Several boxes against one scratch: reuse must not leak state.
+        let boxes = [
+            BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]),
+            BoxDomain::from_bounds(&[(0.0, 0.5), (-1.0, 0.0)]),
+            BoxDomain::from_bounds(&[(-1.0, -0.25), (0.25, 1.0)]),
+        ];
+        for b in &boxes {
+            let fresh = solver.solve(b, &f);
+            let session = solver.solve_compiled(b, &compiled, &mut scratch);
+            let (seed, _) = seed_solve_with_stats(&solver, b, &f);
+            prop_assert_eq!(
+                outcome_class(&fresh),
+                outcome_class(&session),
+                "outcome class diverged on {} over {}",
+                f,
+                b
+            );
+            prop_assert_eq!(
+                outcome_class(&seed),
+                outcome_class(&session),
+                "session diverged from the seed architecture on {} over {}",
+                f,
+                b
+            );
+            if let (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) = (&fresh, &session) {
+                prop_assert_eq!(a, c, "deterministic search produced different models");
+            }
+            if let (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) = (&seed, &session) {
+                prop_assert_eq!(a, c, "session and seed found different models");
+            }
+        }
+    }
+
+    /// Same equivalence with the mean-value contractor enabled (gradients
+    /// are compiled lazily, once, inside the session).
+    #[test]
+    fn session_agrees_with_per_call_mean_value(
+        recipe in recipe_strategy(),
+        lo in -0.5f64..0.5,
+    ) {
+        let e = build(&recipe);
+        let f = Formula::new(vec![
+            Atom::new(e.clone() - constant(lo), Rel::Ge),
+            Atom::new(e - constant(lo + 0.2), Rel::Le),
+        ]);
+        let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(1_000)).with_mean_value(true);
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let fresh = solver.solve(&b, &f);
+        let session = solver.solve_compiled(&b, &compiled, &mut scratch);
+        prop_assert_eq!(outcome_class(&fresh), outcome_class(&session));
+        if let (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) = (&fresh, &session) {
+            prop_assert_eq!(a, c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned matrix: 45 extended pairs, compiled verifier vs per-box recompile
+// ---------------------------------------------------------------------------
+
+/// A faithful replica of `Verifier::go` running the *vendored seed solver*
+/// per box (hash-mapped `IntervalEnv` contractor rebuilt every call) — the
+/// pre-rework architecture, end to end.
+fn legacy_verify(cfg: &VerifierConfig, problem: &EncodedProblem) -> RegionMap {
+    fn go(
+        cfg: &VerifierConfig,
+        d: &BoxDomain,
+        problem: &EncodedProblem,
+        depth: u32,
+    ) -> Vec<Region> {
+        let (outcome, _) = seed_solve_with_stats(&cfg.solver, d, problem.negation());
+        let status = match outcome {
+            Outcome::Unsat => RegionStatus::Verified,
+            Outcome::DeltaSat(model) => {
+                if !problem.psi().holds_at(&model) {
+                    RegionStatus::Counterexample(model)
+                } else {
+                    RegionStatus::Inconclusive
+                }
+            }
+            Outcome::Timeout => RegionStatus::Timeout,
+        };
+        let can_split = d.max_width() / 2.0 >= cfg.split_threshold && depth < cfg.max_depth;
+        if matches!(status, RegionStatus::Verified) || !can_split {
+            return vec![Region {
+                domain: d.clone(),
+                status,
+            }];
+        }
+        let mut out = Vec::new();
+        for c in &d.split_all() {
+            out.extend(go(cfg, c, problem, depth + 1));
+        }
+        out
+    }
+    RegionMap::new(problem.domain.clone(), go(cfg, &problem.domain, problem, 0))
+}
+
+#[test]
+fn pinned_extended_matrix_marks_agree() {
+    // Node budgets (not wall-clock) keep both paths deterministic; the
+    // compiled path must reproduce the seed path's mark on all 45 pairs.
+    // Depth 1 keeps the legacy replica tractable — it recompiles SCAN-class
+    // formulas on every box, which is precisely the cost the rework removed.
+    let cfg = VerifierConfig {
+        split_threshold: 1.0,
+        solver: DeltaSolver::new(1e-3, SolveBudget::nodes(600)),
+        parallel: false,
+        parallel_depth: 3,
+        max_depth: 1,
+        pair_deadline_ms: None,
+    };
+    let problems = Encoder::encode_all_extended();
+    assert_eq!(problems.len(), 45);
+    let verifier = Verifier::new(cfg.clone());
+    for p in &problems {
+        let compiled_mark = verifier.verify(p).table_mark();
+        let legacy_mark = legacy_verify(&cfg, p).table_mark();
+        assert_eq!(
+            compiled_mark,
+            legacy_mark,
+            "marks diverged on {} / {}",
+            p.functional_name(),
+            p.condition.name()
+        );
+    }
+}
+
+#[test]
+fn deep_recursion_marks_agree_on_cheap_pair() {
+    // A deeper tree (several split levels) on an LDA/GGA pair, where the
+    // legacy per-box recompile is affordable: region-level agreement, not
+    // just the aggregate mark.
+    let cfg = VerifierConfig {
+        split_threshold: 0.4,
+        solver: DeltaSolver::new(1e-3, SolveBudget::nodes(5_000)),
+        parallel: false,
+        parallel_depth: 3,
+        max_depth: 4,
+        pair_deadline_ms: None,
+    };
+    for (dfa, cond) in [
+        (Dfa::Lyp, Condition::EcNonPositivity),
+        (Dfa::VwnRpa, Condition::EcScaling),
+    ] {
+        let p = Encoder::encode(dfa, cond).unwrap();
+        let compiled = Verifier::new(cfg.clone()).verify(&p);
+        let legacy = legacy_verify(&cfg, &p);
+        assert_eq!(compiled.table_mark(), legacy.table_mark());
+        assert_eq!(compiled.regions.len(), legacy.regions.len());
+        for (a, b) in compiled.regions.iter().zip(&legacy.regions) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(
+                std::mem::discriminant(&a.status),
+                std::mem::discriminant(&b.status),
+                "status diverged on {} at {}",
+                p.functional_name(),
+                a.domain
+            );
+        }
+    }
+}
