@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use xcv_expr::Tape;
-use xcv_functionals::{Dfa, RS};
+use xcv_functionals::{Dfa, Functional, RS};
 
 fn bench_eval_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("functional_eval");

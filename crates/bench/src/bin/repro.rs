@@ -2,8 +2,8 @@
 //! driven by the campaign engine.
 //!
 //! ```text
-//! repro table1 [--budget-ms N] [--extended]   Table I  (verification outcomes)
-//! repro table2 [--budget-ms N] [--extended]   Table II (PB vs XCVerifier)
+//! repro table1 [--budget-ms N] [--extended] [--spin]   Table I  (verification outcomes)
+//! repro table2 [--budget-ms N] [--extended] [--spin]   Table II (PB vs XCVerifier)
 //! repro fig1   [--budget-ms N]                Figure 1 (PBE region maps, PB + verifier)
 //! repro fig2   [--budget-ms N]                Figure 2 (LYP region maps, PB + verifier)
 //! repro all    [--budget-ms N] [--out DIR]
@@ -19,13 +19,14 @@ use std::path::PathBuf;
 use xcv_bench::{config_for, default_grid, verifier_for};
 use xcv_conditions::Condition;
 use xcv_core::{Campaign, CampaignEvent, CampaignReport, Encoder, TableMark};
-use xcv_functionals::{Dfa, Registry};
+use xcv_functionals::{FunctionalHandle, Registry};
 use xcv_report as report;
 
 struct Opts {
     budget_ms: u64,
     out: PathBuf,
     extended: bool,
+    spin: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -33,6 +34,7 @@ fn parse_opts(args: &[String]) -> Opts {
         budget_ms: 150,
         out: PathBuf::from("results"),
         extended: false,
+        spin: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -46,6 +48,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.out = PathBuf::from(&args[i]);
             }
             "--extended" => o.extended = true,
+            "--spin" => o.spin = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -67,6 +70,14 @@ fn main() {
     };
     let opts = parse_opts(&args[1..]);
     fs::create_dir_all(&opts.out).expect("create output dir");
+    // The figure panels are named registry columns, not enum variants — any
+    // registered functional (extended or spin set included) can be drawn.
+    let registry = matrix_registry(&opts);
+    let by_name = |name: &str| -> FunctionalHandle {
+        registry
+            .require(name)
+            .expect("figure functional registered")
+    };
     match cmd.as_str() {
         "table1" => {
             table1(&opts);
@@ -74,8 +85,8 @@ fn main() {
         "table2" => {
             table2(&opts);
         }
-        "fig1" => figure(&opts, Dfa::Pbe, 1),
-        "fig2" => figure(&opts, Dfa::Lyp, 2),
+        "fig1" => figure(&opts, &by_name("PBE"), 1),
+        "fig2" => figure(&opts, &by_name("LYP"), 2),
         "regularization" => regularization(&opts),
         "all" => {
             // One campaign feeds both tables — the solver work dominates
@@ -83,8 +94,8 @@ fn main() {
             let campaign_report = run_matrix_campaign(&opts);
             render_table1(&opts, &campaign_report);
             render_table2(&opts, &campaign_report);
-            figure(&opts, Dfa::Pbe, 1);
-            figure(&opts, Dfa::Lyp, 2);
+            figure(&opts, &by_name("PBE"), 1);
+            figure(&opts, &by_name("LYP"), 2);
             regularization(&opts);
         }
         other => {
@@ -110,13 +121,20 @@ fn figure_conditions(fig: u32) -> [Condition; 3] {
     }
 }
 
+/// The registry behind the requested matrix: the paper's five, the extended
+/// seven, or (with `--spin`) the spin-general set including the ζ-resolved
+/// citizens.
+fn matrix_registry(opts: &Opts) -> Registry {
+    match (opts.spin, opts.extended) {
+        (true, _) => Registry::spin_general(),
+        (false, true) => Registry::extended(),
+        (false, false) => Registry::builtin(),
+    }
+}
+
 /// Run the full matrix as one campaign, streaming per-pair progress lines.
 fn run_matrix_campaign(opts: &Opts) -> CampaignReport {
-    let registry = if opts.extended {
-        Registry::extended()
-    } else {
-        Registry::builtin()
-    };
+    let registry = matrix_registry(opts);
     let budget = opts.budget_ms;
     Campaign::builder()
         .registry(&registry)
@@ -185,13 +203,14 @@ fn render_table2(opts: &Opts, campaign_report: &CampaignReport) {
     fs::write(opts.out.join("table2.md"), md).expect("write table2.md");
 }
 
-fn figure(opts: &Opts, dfa: Dfa, fig: u32) {
-    println!("== Figure {fig}: {dfa} region maps (PB top, XCVerifier bottom) ==");
+fn figure(opts: &Opts, f: &FunctionalHandle, fig: u32) {
+    let name = f.name();
+    println!("== Figure {fig}: {name} region maps (PB top, XCVerifier bottom) ==");
     let grid_cfg = default_grid();
     for (panel, cond) in figure_conditions(fig).into_iter().enumerate() {
         let letter = (b'a' + panel as u8) as char;
-        println!("\n--- Fig {fig}{letter}: {dfa} / {cond} — PB grid ---");
-        if let Ok(grid) = xcv_grid::pb_check(dfa, cond, &grid_cfg) {
+        println!("\n--- Fig {fig}{letter}: {name} / {cond} — PB grid ---");
+        if let Ok(grid) = xcv_grid::pb_check(f, cond, &grid_cfg) {
             println!("{}", report::ascii_grid_map(&grid, 60, 20));
             println!(
                 "PB: {} ({} of {} grid points violate)",
@@ -205,9 +224,9 @@ fn figure(opts: &Opts, dfa: Dfa, fig: u32) {
             );
         }
         let letter2 = (b'd' + panel as u8) as char;
-        println!("--- Fig {fig}{letter2}: {dfa} / {cond} — XCVerifier ---");
-        if let Ok(p) = Encoder::encode(dfa, cond) {
-            let map = verifier_for(&dfa, opts.budget_ms).verify(&p);
+        println!("--- Fig {fig}{letter2}: {name} / {cond} — XCVerifier ---");
+        if let Ok(p) = Encoder::encode(f, cond) {
+            let map = verifier_for(f.as_ref(), opts.budget_ms).verify(&p);
             println!("{}", report::ascii_region_map(&map, 60, 20));
             println!(
                 "verifier: {} | verified {:.0}% of the domain volume, \
@@ -225,14 +244,14 @@ fn figure(opts: &Opts, dfa: Dfa, fig: u32) {
                         xcv_core::RegionStatus::Timeout | xcv_core::RegionStatus::Inconclusive
                     )),
             );
-            let name = format!(
+            let file = format!(
                 "fig{fig}{letter2}_{}_{}.svg",
-                dfa.info().name.to_lowercase().replace(' ', "_"),
+                name.to_lowercase().replace(' ', "_"),
                 cond.name().to_lowercase().replace(' ', "_")
             );
-            let svg = report::svg_region_map(&map, &format!("{dfa} / {cond}"));
-            fs::write(opts.out.join(&name), svg).expect("write svg");
-            println!("wrote {}", opts.out.join(&name).display());
+            let svg = report::svg_region_map(&map, &format!("{name} / {cond}"));
+            fs::write(opts.out.join(&file), svg).expect("write svg");
+            println!("wrote {}", opts.out.join(&file).display());
         }
     }
 }
@@ -249,8 +268,12 @@ fn regularization(opts: &Opts) {
         Condition::ConjTcUpperBound,
     ];
     let budget = opts.budget_ms;
+    let registry = Registry::extended();
     let campaign_report = Campaign::builder()
-        .functionals([Dfa::Scan, Dfa::RScan])
+        .functionals([
+            registry.require("SCAN").expect("builtin"),
+            registry.require("rSCAN(reg)").expect("builtin"),
+        ])
         .conditions(conds)
         .config_policy(move |f, _| config_for(f, budget))
         .build()

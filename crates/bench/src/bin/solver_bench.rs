@@ -2,7 +2,7 @@
 //! path, on a deterministic box schedule per Table I pair.
 //!
 //! ```text
-//! solver_bench [--nodes N] [--depth D] [--out FILE] [--extended]
+//! solver_bench [--nodes N] [--depth D] [--out FILE] [--extended] [--spin]
 //! ```
 //!
 //! For every applicable (functional, condition) pair the PB domain is split
@@ -22,11 +22,17 @@
 //! printed as a table and written as JSON to `--out` (default
 //! `BENCH_solver.json`) — the checked-in snapshot starts the perf trajectory
 //! for later PRs.
+//!
+//! The JSON also carries a `campaign` entry: the same matrix run as one
+//! [`Campaign`] under matrix-order and under cost-aware scheduling, with
+//! both wall-clocks — the scheduling-order regression check (cost-aware must
+//! not be worse; the two runs must produce identical marks).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use xcv_bench::seed_baseline::seed_solve_with_stats;
-use xcv_core::Encoder;
+use xcv_core::{Campaign, CampaignSchedule, Encoder, VerifierConfig};
+use xcv_functionals::Registry;
 use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveBudget, SolveScratch};
 
 struct Opts {
@@ -34,6 +40,7 @@ struct Opts {
     depth: u32,
     out: String,
     extended: bool,
+    spin: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -42,6 +49,7 @@ fn parse_opts(args: &[String]) -> Opts {
         depth: 2,
         out: "BENCH_solver.json".into(),
         extended: false,
+        spin: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +67,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.out = args[i].clone();
             }
             "--extended" => o.extended = true,
+            "--spin" => o.spin = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -118,13 +127,48 @@ fn json_mode(m: &ModeResult) -> String {
     )
 }
 
+/// One campaign over the matrix under the given schedule; returns the
+/// wall-clock and the marks (matrix order) so the two schedules can be
+/// checked for identical outcomes.
+fn campaign_run(
+    registry: &Registry,
+    nodes: u64,
+    schedule: CampaignSchedule,
+) -> (f64, Vec<xcv_core::TableMark>) {
+    let config = VerifierConfig {
+        split_threshold: 0.625,
+        solver: DeltaSolver::new(1e-3, SolveBudget::nodes(nodes)),
+        // Pairs themselves are the parallel unit here: per-pair recursion
+        // stays sequential so the schedule's chunk balance is what is
+        // measured.
+        parallel: false,
+        parallel_depth: 0,
+        max_depth: 2,
+        pair_deadline_ms: None,
+    };
+    let t0 = Instant::now();
+    let report = Campaign::builder()
+        .registry(registry)
+        .config(config)
+        .schedule(schedule)
+        .build()
+        .expect("registry is non-empty")
+        .run();
+    (
+        t0.elapsed().as_secs_f64(),
+        report.pairs.iter().map(|p| p.mark).collect(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_opts(&args);
-    let problems = if opts.extended {
-        Encoder::encode_all_extended()
+    let (problems, registry) = if opts.spin {
+        (Encoder::encode_all_spin(), Registry::spin_general())
+    } else if opts.extended {
+        (Encoder::encode_all_extended(), Registry::extended())
     } else {
-        Encoder::encode_all()
+        (Encoder::encode_all(), Registry::builtin())
     };
     let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(opts.nodes));
     println!(
@@ -234,6 +278,30 @@ fn main() {
             t.wall_s += m.wall_s;
         }
     }
+    // Scheduling-order regression: the same matrix as one campaign, matrix
+    // order vs cost-aware. Marks must agree exactly; wall-clocks are the
+    // min over interleaved repeats (the total work per schedule is
+    // identical, so the min is the noise-robust estimator — on a one-core
+    // machine the two converge, on many cores cost-aware wins the makespan).
+    let (matrix_s, matrix_marks) =
+        campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder);
+    let (cost_s, cost_marks) = campaign_run(&registry, opts.nodes, CampaignSchedule::CostAware);
+    assert_eq!(
+        matrix_marks, cost_marks,
+        "scheduling order changed campaign outcomes"
+    );
+    let (matrix_s2, _) = campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder);
+    let (cost_s2, _) = campaign_run(&registry, opts.nodes, CampaignSchedule::CostAware);
+    let matrix_s = matrix_s.min(matrix_s2);
+    let cost_s = cost_s.min(cost_s2);
+    println!(
+        "campaign ({} cells): matrix-order {:.0} ms, cost-aware {:.0} ms ({:.2}x)",
+        matrix_marks.len(),
+        matrix_s * 1e3,
+        cost_s * 1e3,
+        matrix_s / cost_s.max(1e-12)
+    );
+
     let [total_session, total_recompile, total_seed] = totals;
     let total_vs_seed = total_seed.wall_s / total_session.wall_s.max(1e-12);
     println!(
@@ -248,9 +316,11 @@ fn main() {
         total_vs_seed
     );
     let json = format!(
-        "{{\n  \"schema\": \"xcv-bench-solver/v1\",\n  \"config\": {{\"nodes_per_box\": {}, \
+        "{{\n  \"schema\": \"xcv-bench-solver/v2\",\n  \"config\": {{\"nodes_per_box\": {}, \
          \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
-         \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \"pairs\": [\n{}\n  ]\n}}\n",
+         \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \"campaign\": \
+         {{\"cells\": {}, \"matrix_order_wall_ms\": {:.3}, \"cost_aware_wall_ms\": {:.3}, \
+         \"speedup_vs_matrix_order\": {:.2}}},\n  \"pairs\": [\n{}\n  ]\n}}\n",
         opts.nodes,
         opts.depth,
         problems.len(),
@@ -258,6 +328,10 @@ fn main() {
         json_mode(&total_recompile),
         json_mode(&total_seed),
         total_vs_seed,
+        matrix_marks.len(),
+        matrix_s * 1e3,
+        cost_s * 1e3,
+        matrix_s / cost_s.max(1e-12),
         records.join(",\n")
     );
     std::fs::write(&opts.out, json).expect("write bench json");

@@ -5,8 +5,14 @@
 //! ```text
 //! xcverify --dfa PBE --condition ec1 [--budget-ms 100] [--threshold 0.3] [--quiet]
 //! xcverify --dfa LYP --all [--deadline-ms N]
-//! xcverify --list
+//! xcverify --spin [--dfa "PBE(ζ)"] [...]      gate the ζ-resolved matrix
+//! xcverify --list [--spin]
 //! ```
+//!
+//! `--spin` registers the spin-resolved (`ζ ≠ 0`) citizens next to the
+//! built-ins; without `--dfa` it gates the whole ζ-resolved matrix
+//! (`PBE(ζ)`, `PW92(ζ)`, `LSDA-X(ζ)` × every applicable condition) in one
+//! campaign.
 //!
 //! Exit status: 0 when every checked condition ran and none was refuted;
 //! 1 when any counterexample is found; 2 on usage errors; 3 when the
@@ -20,11 +26,15 @@ use xcv_conditions::Condition;
 use xcv_core::{Campaign, CampaignEvent, SkipReason, TableMark};
 use xcv_functionals::{FunctionalHandle, Registry};
 
-/// Resolve a CLI name against the extended registry (aliases included).
+/// Resolve a CLI name against the registry (aliases included; the spin
+/// citizens get ASCII aliases so no shell has to type `ζ`).
 fn lookup_dfa(registry: &Registry, name: &str) -> Option<FunctionalHandle> {
     let canonical = match name.to_ascii_uppercase().as_str() {
         "VWN" | "VWN_RPA" | "VWNRPA" => "VWN RPA".to_string(),
         "RSCAN" | "RSCAN_REG" => "rSCAN(reg)".to_string(),
+        "PBE_SPIN" | "PBEZ" | "PBE(Z)" => "PBE(ζ)".to_string(),
+        "PW92_SPIN" | "PW92Z" | "PW92(Z)" => "PW92(ζ)".to_string(),
+        "LSDA_X" | "LSDAX" | "LSDA-X" | "LSDA-X(Z)" => "LSDA-X(ζ)".to_string(),
         other => other.to_string(),
     };
     registry.get(&canonical)
@@ -47,15 +57,22 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN|BLYP> \
          (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] \
-         [--deadline-ms N] [--quiet]\n\
-         \u{20}      xcverify --list"
+         [--deadline-ms N] [--spin] [--quiet]\n\
+         \u{20}      xcverify --spin [--all]   (gate the whole ζ-resolved matrix)\n\
+         \u{20}      xcverify --list [--spin]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let registry = Registry::extended();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--spin` changes which names resolve, so scan for it before parsing.
+    let spin = args.iter().any(|a| a == "--spin");
+    let registry = if spin {
+        Registry::spin_general()
+    } else {
+        Registry::extended()
+    };
     let mut dfa: Option<FunctionalHandle> = None;
     let mut condition: Option<Condition> = None;
     let mut all = false;
@@ -89,6 +106,7 @@ fn main() -> ExitCode {
                 }
             }
             "--all" => all = true,
+            "--spin" => {} // consumed by the pre-scan above
             "--budget-ms" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -115,34 +133,53 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-    let Some(dfa) = dfa else { return usage() };
-    let conditions: Vec<Condition> = if all {
+    // `--spin` without `--dfa` gates the whole ζ-resolved matrix; otherwise
+    // a functional is mandatory.
+    let targets: Vec<FunctionalHandle> = match &dfa {
+        Some(d) => vec![std::sync::Arc::clone(d)],
+        None if spin => Registry::spin().handles().to_vec(),
+        None => return usage(),
+    };
+    let conditions: Vec<Condition> = if targets.len() > 1 {
+        // Multi-functional gate: keep every requested (or all) conditions;
+        // inapplicable cells come back as legitimate `−` skips.
+        match condition {
+            Some(c) => vec![c],
+            None => Condition::all().to_vec(),
+        }
+    } else if all {
         Condition::all()
             .into_iter()
-            .filter(|c| c.applies_to(dfa.as_ref()))
+            .filter(|c| c.applies_to(targets[0].as_ref()))
             .collect()
     } else {
         match condition {
-            Some(c) if c.applies_to(dfa.as_ref()) => vec![c],
+            Some(c) if c.applies_to(targets[0].as_ref()) => vec![c],
             Some(c) => {
-                eprintln!("{c} does not apply to {}", dfa.name());
+                eprintln!("{c} does not apply to {}", targets[0].name());
                 return ExitCode::from(2);
             }
             None => return usage(),
         }
     };
 
-    let max_depth = if dfa.arity() >= 3 { 3 } else { 5 };
     let mut builder = Campaign::builder()
-        .functional(&dfa)
+        .functionals(targets)
         .conditions(conditions)
-        .config(repro_config(budget_ms, threshold, max_depth));
+        .config_policy(move |f, _| {
+            let max_depth = match f.arity() {
+                4.. => 2, // ζ-resolved: 16 children per split level
+                3 => 3,
+                _ => 5,
+            };
+            repro_config(budget_ms, threshold, max_depth)
+        });
     if let Some(ms) = deadline_ms {
         builder = builder.global_budget_ms(ms);
     }
     if !quiet {
-        // Pairs run concurrently, so cap witness lines per condition (the
-        // campaign has one functional) and label each line with its pair.
+        // Pairs run concurrently, so cap witness lines per (functional,
+        // condition) pair and label each line with its pair.
         let shown = std::sync::Mutex::new(std::collections::HashMap::<String, usize>::new());
         builder = builder.on_event(move |e| match e {
             CampaignEvent::PairFinished {
@@ -152,11 +189,15 @@ fn main() -> ExitCode {
                 ..
             } => println!("{functional} / {condition}: {mark}"),
             CampaignEvent::CounterexampleFound {
-                condition, witness, ..
+                functional,
+                condition,
+                witness,
             } => {
                 let n = {
                     let mut map = shown.lock().expect("poisoned");
-                    let n = map.entry(condition.name().to_string()).or_insert(0);
+                    let n = map
+                        .entry(format!("{functional}/{}", condition.name()))
+                        .or_insert(0);
                     *n += 1;
                     *n
                 };
@@ -172,7 +213,7 @@ fn main() -> ExitCode {
             _ => {}
         });
     }
-    let report = builder.build().expect("one functional").run();
+    let report = builder.build().expect("at least one functional").run();
     if report.count(|m| m == TableMark::Counterexample) > 0 {
         return ExitCode::FAILURE;
     }
@@ -182,7 +223,7 @@ fn main() -> ExitCode {
         .pairs
         .iter()
         .filter(|p| !matches!(p.skipped, None | Some(SkipReason::NotApplicable)))
-        .map(|p| short_name(p.condition).to_string())
+        .map(|p| format!("{}/{}", p.functional_name(), short_name(p.condition)))
         .collect();
     if !unrun.is_empty() {
         eprintln!(

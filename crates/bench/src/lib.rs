@@ -39,6 +39,11 @@ pub fn repro_config(budget_ms: u64, threshold: f64, max_depth: u32) -> VerifierC
 /// recursion is capped earlier — the paper's SCAN rows time out at every
 /// size anyway.
 pub fn config_for(f: &dyn Functional, budget_ms: u64) -> VerifierConfig {
+    // Spin-resolved (arity-4) citizens split into 16 children per level —
+    // cap their recursion earliest, whatever the family label says.
+    if f.arity() >= 4 {
+        return repro_config(budget_ms, 1.25, 2);
+    }
     match f.info().family {
         Family::Lda => repro_config(budget_ms, 0.05, 8),
         Family::Gga => repro_config(budget_ms, 0.15, 6),

@@ -47,6 +47,10 @@ pub const RS_MAX: f64 = 5.0;
 pub const S_MAX: f64 = 5.0;
 /// `α` domain is `[0, ALPHA_MAX]` (meta-GGA only).
 pub const ALPHA_MAX: f64 = 5.0;
+/// `ζ` domain is `[ZETA_MIN, ZETA_MAX]` (spin-resolved functionals only).
+pub const ZETA_MIN: f64 = -1.0;
+/// Upper edge of the `ζ` domain.
+pub const ZETA_MAX: f64 = 1.0;
 
 /// The seven exact conditions, in the paper's row order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -188,7 +192,8 @@ impl std::fmt::Display for Condition {
 }
 
 /// The Pederson–Burke input domain for a functional: `rs ∈ [1e-4, 5]`,
-/// `s ∈ [0, 5]` (GGA and above), `α ∈ [0, 5]` (meta-GGA).
+/// `s ∈ [0, 5]` (GGA and above), `α ∈ [0, 5]` (meta-GGA), extended with
+/// `ζ ∈ [−1, 1]` for spin-resolved (arity-4) citizens.
 pub fn pb_domain(f: &dyn Functional) -> BoxDomain {
     let mut bounds = vec![(RS_MIN, RS_MAX)];
     if f.arity() >= 2 {
@@ -196,6 +201,9 @@ pub fn pb_domain(f: &dyn Functional) -> BoxDomain {
     }
     if f.arity() >= 3 {
         bounds.push((0.0, ALPHA_MAX));
+    }
+    if f.arity() >= 4 {
+        bounds.push((ZETA_MIN, ZETA_MAX));
     }
     BoxDomain::from_bounds(&bounds)
 }

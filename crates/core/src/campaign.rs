@@ -50,6 +50,81 @@ impl CancelToken {
     }
 }
 
+/// How a campaign orders its cells across the thread pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CampaignSchedule {
+    /// Cells run in matrix (functional-major) order — the pre-cost-model
+    /// behaviour, kept so the scheduler itself can be benchmarked against
+    /// (`solver_bench` records both wall-clocks in `BENCH_solver.json`).
+    MatrixOrder,
+    /// Cells are ranked by the [`pair_cost`] model and laid out so worker
+    /// chunks carry near-equal total cost, costliest cells first — large
+    /// meta-GGA/spin pairs no longer straggle at the tail of the pool.
+    #[default]
+    CostAware,
+}
+
+/// The campaign scheduler's cost model for one (functional, condition)
+/// cell: split fan-out (`2^arity` children per recursion level) × family
+/// (expression size class) × condition class (differentiation depth of the
+/// encoded atom). The absolute scale is meaningless — only ratios matter,
+/// and only for ordering; the model never gates work.
+pub fn pair_cost(f: &dyn xcv_functionals::Functional, condition: Condition) -> u64 {
+    let family = match f.info().family {
+        xcv_functionals::Family::Lda => 1,
+        xcv_functionals::Family::Gga => 4,
+        xcv_functionals::Family::MetaGga => 16,
+    };
+    let fanout = 1u64 << f.arity().min(8);
+    let condition_class = match condition {
+        // F_c alone.
+        Condition::EcNonPositivity => 1,
+        // F_xc, no derivative.
+        Condition::LiebOxfordExt => 2,
+        // One rs-derivative.
+        Condition::EcScaling | Condition::ConjTcUpperBound => 3,
+        // One derivative plus the rs → ∞ substitution copy of F_c.
+        Condition::TcUpperBound => 4,
+        // F_xc plus a derivative.
+        Condition::LiebOxford => 5,
+        // Second derivative.
+        Condition::UcMonotonicity => 6,
+    };
+    family * fanout * condition_class
+}
+
+/// Lay cells out for the chunked thread pool: indices sorted costliest
+/// first, then dealt LPT-style (longest-processing-time) into `workers`
+/// equal-size buckets whose concatenation becomes the execution order —
+/// each contiguous worker chunk then carries a near-equal share of the
+/// modeled cost instead of, say, every SCAN cell landing in one chunk.
+fn cost_aware_order(costs: &[u64], workers: usize) -> Vec<usize> {
+    let n = costs.len();
+    let k = workers.clamp(1, n.max(1));
+    let cap = n.div_ceil(k);
+    let mut ranked: Vec<usize> = (0..n).collect();
+    // Stable sort: ties keep matrix order, making the schedule deterministic.
+    ranked.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut loads = vec![0u64; k];
+    for i in ranked {
+        let b = (0..k)
+            .filter(|&b| buckets[b].len() < cap)
+            .min_by_key(|&b| (loads[b], b))
+            .expect("cap * k >= n");
+        buckets[b].push(i);
+        loads[b] += costs[i];
+    }
+    buckets.concat()
+}
+
+/// A cell that never encoded, with the reason it was skipped.
+type SkippedCell = (FunctionalHandle, Condition, SkipReason);
+
+/// One scheduled matrix cell: modeled cost plus the encoded problem (or its
+/// skip outcome).
+type CampaignCell = (u64, Result<EncodedProblem, SkippedCell>);
+
 /// Why a pair was not verified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SkipReason {
@@ -109,6 +184,8 @@ pub struct PairOutcome {
     pub wall_ms: u128,
     /// Set when the pair never ran.
     pub skipped: Option<SkipReason>,
+    /// The scheduler's modeled cost for this cell (see [`pair_cost`]).
+    pub cost: u64,
 }
 
 impl PairOutcome {
@@ -187,6 +264,7 @@ pub struct CampaignBuilder {
     config: VerifierConfig,
     config_policy: Option<ConfigPolicy>,
     global_budget_ms: Option<u64>,
+    schedule: CampaignSchedule,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -251,6 +329,14 @@ impl CampaignBuilder {
         self
     }
 
+    /// How cells are ordered across the pool (default:
+    /// [`CampaignSchedule::CostAware`], costliest-first with balanced worker
+    /// chunks). The report is always in matrix order regardless.
+    pub fn schedule(mut self, schedule: CampaignSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Stream events to a callback (may be called from worker threads;
     /// multiple callbacks compose).
     pub fn on_event(mut self, f: impl Fn(&CampaignEvent) + Send + Sync + 'static) -> Self {
@@ -302,6 +388,7 @@ impl CampaignBuilder {
             config: self.config,
             config_policy: self.config_policy,
             global_budget_ms: self.global_budget_ms,
+            schedule: self.schedule,
             on_event: self.on_event,
             cancel: self.cancel,
         })
@@ -315,6 +402,7 @@ pub struct Campaign {
     config: VerifierConfig,
     config_policy: Option<ConfigPolicy>,
     global_budget_ms: Option<u64>,
+    schedule: CampaignSchedule,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -327,6 +415,7 @@ impl Campaign {
             config: VerifierConfig::default(),
             config_policy: None,
             global_budget_ms: None,
+            schedule: CampaignSchedule::default(),
             on_event: Vec::new(),
             cancel: CancelToken::new(),
         }
@@ -345,19 +434,22 @@ impl Campaign {
         })
     }
 
-    /// Run the campaign: encode every cell, schedule the applicable pairs
-    /// across rayon, and collect a [`CampaignReport`] in matrix order.
+    /// Run the campaign: encode every cell, order the applicable pairs by
+    /// the configured [`CampaignSchedule`], fan them out across rayon, and
+    /// collect a [`CampaignReport`] — always in matrix order, whatever the
+    /// execution order was.
     pub fn run(&self) -> CampaignReport {
         let start = Instant::now();
         // Encode the full matrix up front (cheap relative to solving): cells
-        // are either an EncodedProblem or a skip outcome.
-        type SkippedCell = (FunctionalHandle, Condition, SkipReason);
-        let cells: Vec<Result<EncodedProblem, SkippedCell>> = self
+        // are either an EncodedProblem or a skip outcome, each tagged with
+        // its modeled scheduling cost.
+        let cells: Vec<CampaignCell> = self
             .functionals
             .iter()
             .flat_map(|f| {
                 self.conditions.iter().map(move |&cond| {
-                    Encoder::encode(f, cond).map_err(|e| {
+                    let cost = pair_cost(f.as_ref(), cond);
+                    let cell = Encoder::encode(f, cond).map_err(|e| {
                         // A genuine `−` cell vs. a defective functional
                         // (e.g. metadata promises an exchange part the
                         // implementation lacks): the latter must not render
@@ -367,41 +459,68 @@ impl Campaign {
                             _ => SkipReason::EncodeFailed,
                         };
                         (Arc::clone(f), cond, reason)
-                    })
+                    });
+                    (cost, cell)
                 })
             })
             .collect();
-        // Schedule: one rayon task per cell. The verifier's own recursion
-        // fans out further below parallel_depth, so the pool stays busy even
-        // for campaigns smaller than the machine.
-        let pairs: Vec<PairOutcome> = cells
+        // Schedule: one rayon task per cell, in cost-aware or matrix order.
+        // The verifier's own recursion fans out further below
+        // parallel_depth, so the pool stays busy even for campaigns smaller
+        // than the machine.
+        let order: Vec<usize> = match self.schedule {
+            CampaignSchedule::MatrixOrder => (0..cells.len()).collect(),
+            CampaignSchedule::CostAware => {
+                let costs: Vec<u64> = cells
+                    .iter()
+                    // Skip cells solve nothing; keep them out of the load
+                    // balance.
+                    .map(|(cost, cell)| if cell.is_ok() { *cost } else { 0 })
+                    .collect();
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4);
+                cost_aware_order(&costs, workers)
+            }
+        };
+        let scheduled: Vec<(usize, &CampaignCell)> =
+            order.iter().map(|&i| (i, &cells[i])).collect();
+        let mut indexed: Vec<(usize, PairOutcome)> = scheduled
             .par_iter()
-            .map(|cell| match cell {
-                Err((f, cond, reason)) => {
-                    self.emit(CampaignEvent::PairSkipped {
-                        functional: f.name(),
-                        condition: *cond,
-                        reason: *reason,
-                    });
-                    PairOutcome {
-                        functional: Arc::clone(f),
-                        condition: *cond,
-                        mark: match reason {
-                            SkipReason::NotApplicable => TableMark::NotApplicable,
-                            _ => TableMark::Unknown,
-                        },
-                        map: None,
-                        wall_ms: 0,
-                        skipped: Some(*reason),
+            .map(|&(i, (cost, cell))| {
+                let outcome = match cell {
+                    Err((f, cond, reason)) => {
+                        self.emit(CampaignEvent::PairSkipped {
+                            functional: f.name(),
+                            condition: *cond,
+                            reason: *reason,
+                        });
+                        PairOutcome {
+                            functional: Arc::clone(f),
+                            condition: *cond,
+                            mark: match reason {
+                                SkipReason::NotApplicable => TableMark::NotApplicable,
+                                _ => TableMark::Unknown,
+                            },
+                            map: None,
+                            wall_ms: 0,
+                            skipped: Some(*reason),
+                            cost: *cost,
+                        }
                     }
-                }
-                Ok(problem) => self.run_pair(problem, start),
+                    Ok(problem) => PairOutcome {
+                        cost: *cost,
+                        ..self.run_pair(problem, start)
+                    },
+                };
+                (i, outcome)
             })
             .collect();
+        indexed.sort_by_key(|&(i, _)| i);
         CampaignReport {
             functionals: self.functionals.clone(),
             conditions: self.conditions.clone(),
-            pairs,
+            pairs: indexed.into_iter().map(|(_, p)| p).collect(),
             wall_ms: start.elapsed().as_millis(),
         }
     }
@@ -422,6 +541,7 @@ impl Campaign {
                 map: None,
                 wall_ms: 0,
                 skipped: Some(reason),
+                cost: 0,
             }
         };
         if self.cancel.is_cancelled() {
@@ -468,6 +588,7 @@ impl Campaign {
             map: Some(map),
             wall_ms,
             skipped: None,
+            cost: 0,
         }
     }
 }
@@ -493,6 +614,73 @@ mod tests {
     #[test]
     fn empty_campaign_is_an_error() {
         assert!(Campaign::builder().build().is_err());
+    }
+
+    #[test]
+    fn cost_aware_order_is_a_balanced_permutation() {
+        let costs = vec![100, 1, 1, 1, 50, 1, 1, 40];
+        let order = cost_aware_order(&costs, 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        // The costliest cell leads, and the three heavy cells land in three
+        // different worker chunks (chunk size = 8 / 4 workers = 2).
+        assert_eq!(order[0], 0);
+        let chunk_of = |cell: usize| order.iter().position(|&i| i == cell).unwrap() / 2;
+        let chunks = [chunk_of(0), chunk_of(4), chunk_of(7)];
+        assert_eq!(
+            chunks
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3,
+            "{order:?}"
+        );
+        // Degenerate worker counts stay permutations.
+        assert_eq!(cost_aware_order(&costs, 1).len(), 8);
+        assert_eq!(cost_aware_order(&[], 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cost_model_ranks_families_and_conditions() {
+        use xcv_functionals::Functional;
+        // Rung and arity dominate: SCAN EC1 above VWN EC3; within one
+        // functional, the second-derivative condition is the costliest.
+        assert!(
+            pair_cost(&Dfa::Scan, Condition::EcNonPositivity)
+                > pair_cost(&Dfa::VwnRpa, Condition::UcMonotonicity)
+        );
+        for dfa in Dfa::all() {
+            let ec3 = pair_cost(&dfa, Condition::UcMonotonicity);
+            for cond in Condition::all() {
+                assert!(pair_cost(&dfa, cond) <= ec3, "{} {cond:?}", dfa.info().name);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_agree_and_report_stays_matrix_ordered() {
+        let run = |schedule| {
+            Campaign::builder()
+                .functionals([Dfa::VwnRpa, Dfa::Lyp])
+                .conditions([Condition::EcNonPositivity, Condition::EcScaling])
+                .config(quick_config(5_000))
+                .schedule(schedule)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let cost = run(CampaignSchedule::CostAware);
+        let matrix = run(CampaignSchedule::MatrixOrder);
+        // Whatever order cells executed in, the report is functional-major.
+        let names: Vec<String> = cost.pairs.iter().map(|p| p.functional_name()).collect();
+        assert_eq!(names, vec!["VWN RPA", "VWN RPA", "LYP", "LYP"]);
+        for (a, b) in cost.pairs.iter().zip(&matrix.pairs) {
+            assert_eq!(a.condition, b.condition);
+            assert_eq!(a.mark, b.mark, "{} / {}", a.functional_name(), a.condition);
+            assert_eq!(a.cost, b.cost);
+            assert!(a.cost > 0);
+        }
     }
 
     #[test]

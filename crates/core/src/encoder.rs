@@ -81,7 +81,10 @@ impl Encoder {
         let negation = Formula::single(psi.negate());
         let domain = pb_domain(functional.as_ref());
         let compiled = Arc::new(CompiledFormula::compile(&negation));
-        let psi_compiled = Arc::new(CompiledAtom::compile(&psi));
+        // ψ and ¬ψ share one expression and differ only in relation, so the
+        // ψ checker reuses the formula's already-lowered f64 tape instead of
+        // lowering the same DAG a second time.
+        let psi_compiled = Arc::new(compiled.atom_tape(0, psi.rel));
         Ok(EncodedProblem {
             functional,
             condition,
@@ -119,6 +122,15 @@ impl Encoder {
     pub fn encode_all_extended() -> Vec<EncodedProblem> {
         Self::encode_registry(&Registry::extended())
     }
+
+    /// Encode the spin-general matrix: every built-in module entry (the
+    /// extended set plus PW92) and the ζ-resolved citizens (`PBE(ζ)`,
+    /// `PW92(ζ)`, `LSDA-X(ζ)`, arity 4 over `rs, s, α, ζ`). 62 pairs: the
+    /// 45 extended, 5 for PW92, 5 + 5 correlation pairs for the spin
+    /// correlations, 2 Lieb–Oxford pairs for the spin-scaled exchange.
+    pub fn encode_all_spin() -> Vec<EncodedProblem> {
+        Self::encode_registry(&Registry::spin_general())
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +159,20 @@ mod tests {
                 .count(),
             7
         );
+    }
+
+    #[test]
+    fn encode_all_spin_yields_62() {
+        // 45 extended + 5 (PW92) + 5 (PBE(ζ)) + 5 (PW92(ζ)) + 2 (LSDA-X(ζ)).
+        let all = Encoder::encode_all_spin();
+        assert_eq!(all.len(), 62);
+        let spin: Vec<_> = all
+            .iter()
+            .filter(|p| p.functional_name().contains("(ζ)"))
+            .collect();
+        assert_eq!(spin.len(), 12);
+        // Spin citizens are 4-D problems over rs, s, α, ζ.
+        assert!(spin.iter().all(|p| p.domain.ndim() == 4));
     }
 
     #[test]

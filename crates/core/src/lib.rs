@@ -33,7 +33,8 @@ mod region;
 mod verifier;
 
 pub use campaign::{
-    Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CancelToken, PairOutcome, SkipReason,
+    pair_cost, Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CampaignSchedule,
+    CancelToken, PairOutcome, SkipReason,
 };
 pub use encoder::{EncodedProblem, Encoder};
 pub use region::{Region, RegionMap, RegionStatus, TableMark};

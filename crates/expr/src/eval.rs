@@ -121,6 +121,12 @@ impl Expr {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Instr {
     Const(f64),
+    /// A constant-only subtree folded at compile time by
+    /// [`fold_constants_interval`]: the stored enclosure is exactly what the
+    /// forward pass would have computed for the subtree, kept as an interval
+    /// (not a point) so outward rounding survives the fold. Never emitted
+    /// into f64 tapes.
+    IConst(Interval),
     Var(u32),
     Add(u32, u32),
     Mul(u32, u32),
@@ -225,19 +231,230 @@ pub(crate) fn lower_dag(roots: &[Expr]) -> Lowered {
     }
 }
 
-impl Tape {
-    /// Flatten the DAG into a topologically ordered tape.
-    pub fn compile(root: &Expr) -> Tape {
-        Tape {
-            code: lower_dag(std::slice::from_ref(root)).code,
+/// Rebuild one instruction with every operand slot passed through `f` —
+/// the single enumeration of `Instr`'s operand shape, behind both operand
+/// visiting ([`for_each_operand`]) and slot remapping ([`compact`]).
+fn map_operands(instr: Instr, mut f: impl FnMut(u32) -> u32) -> Instr {
+    match instr {
+        Instr::Const(_) | Instr::IConst(_) | Instr::Var(_) => instr,
+        Instr::Neg(a) => Instr::Neg(f(a)),
+        Instr::PowI(a, n) => Instr::PowI(f(a), n),
+        Instr::Exp(a) => Instr::Exp(f(a)),
+        Instr::Ln(a) => Instr::Ln(f(a)),
+        Instr::Sqrt(a) => Instr::Sqrt(f(a)),
+        Instr::Cbrt(a) => Instr::Cbrt(f(a)),
+        Instr::Atan(a) => Instr::Atan(f(a)),
+        Instr::Sin(a) => Instr::Sin(f(a)),
+        Instr::Cos(a) => Instr::Cos(f(a)),
+        Instr::Tanh(a) => Instr::Tanh(f(a)),
+        Instr::Abs(a) => Instr::Abs(f(a)),
+        Instr::LambertW(a) => Instr::LambertW(f(a)),
+        Instr::Add(a, b) => Instr::Add(f(a), f(b)),
+        Instr::Mul(a, b) => Instr::Mul(f(a), f(b)),
+        Instr::Div(a, b) => Instr::Div(f(a), f(b)),
+        Instr::Pow(a, b) => Instr::Pow(f(a), f(b)),
+        Instr::Min(a, b) => Instr::Min(f(a), f(b)),
+        Instr::Max(a, b) => Instr::Max(f(a), f(b)),
+        Instr::Ite(c, t, e) => {
+            let c = f(c);
+            let t = f(t);
+            Instr::Ite(c, t, f(e))
         }
+    }
+}
+
+/// Visit the operand slots of one instruction.
+fn for_each_operand(instr: Instr, mut f: impl FnMut(u32)) {
+    map_operands(instr, |a| {
+        f(a);
+        a
+    });
+}
+
+/// Fold constant-only subtrees of an f64 program: any instruction whose
+/// operands are all literal constants is replaced by the constant it computes
+/// — with exactly the f64 semantics of [`Tape::run`], so folding is
+/// result-identical by construction (NaN included). The smart constructors
+/// ([`crate::build`]) already fold binary arithmetic on constants; this pass
+/// catches what they leave symbolic (`exp`/`ln`/`sqrt`/`pow` of constants and
+/// chains thereof), which differentiation produces in quantity. Follow with
+/// [`compact`] to drop the dead operand slots.
+pub(crate) fn fold_constants_f64(lowered: &mut Lowered) {
+    let n = lowered.code.len();
+    let mut vals: Vec<f64> = vec![0.0; n];
+    let mut is_const: Vec<bool> = vec![false; n];
+    for i in 0..n {
+        let instr = lowered.code[i];
+        if let Instr::Const(c) = instr {
+            vals[i] = c;
+            is_const[i] = true;
+            continue;
+        }
+        let mut all_const = !matches!(instr, Instr::Var(_) | Instr::IConst(_));
+        for_each_operand(instr, |a| all_const &= is_const[a as usize]);
+        if !all_const {
+            continue;
+        }
+        // Run the single instruction over the already-folded register file —
+        // the same interpreter step Tape::run would execute.
+        let v = run_one_f64(instr, &vals);
+        vals[i] = v;
+        is_const[i] = true;
+        lowered.code[i] = Instr::Const(v);
+    }
+}
+
+/// The single-instruction step of the f64 interpreter, reading operands
+/// from `vals`. [`Tape::run`] executes exactly this per slot (variables
+/// aside, which need the input environment), and [`fold_constants_f64`]
+/// folds with it — so folded and unfolded tapes are result-identical by
+/// construction, not by parallel maintenance of two interpreters.
+fn run_one_f64(instr: Instr, vals: &[f64]) -> f64 {
+    let g = |j: u32| vals[j as usize];
+    match instr {
+        Instr::Const(c) => c,
+        Instr::IConst(_) | Instr::Var(_) => f64::NAN,
+        Instr::Add(a, b) => g(a) + g(b),
+        Instr::Mul(a, b) => g(a) * g(b),
+        Instr::Div(a, b) => g(a) / g(b),
+        Instr::Neg(a) => -g(a),
+        Instr::PowI(a, n) => g(a).powi(n),
+        Instr::Pow(a, b) => {
+            let base = g(a);
+            if base < 0.0 {
+                f64::NAN
+            } else {
+                base.powf(g(b))
+            }
+        }
+        Instr::Exp(a) => g(a).exp(),
+        Instr::Ln(a) => {
+            let x = g(a);
+            if x <= 0.0 {
+                f64::NAN
+            } else {
+                x.ln()
+            }
+        }
+        Instr::Sqrt(a) => g(a).sqrt(),
+        Instr::Cbrt(a) => g(a).cbrt(),
+        Instr::Atan(a) => g(a).atan(),
+        Instr::Sin(a) => g(a).sin(),
+        Instr::Cos(a) => g(a).cos(),
+        Instr::Tanh(a) => g(a).tanh(),
+        Instr::Abs(a) => g(a).abs(),
+        Instr::Min(a, b) => g(a).min(g(b)),
+        Instr::Max(a, b) => g(a).max(g(b)),
+        Instr::LambertW(a) => xcv_interval::lambert_w0_f64(g(a)),
+        Instr::Ite(c, t, e) => {
+            let cv = g(c);
+            if cv.is_nan() {
+                f64::NAN
+            } else if cv >= 0.0 {
+                g(t)
+            } else {
+                g(e)
+            }
+        }
+    }
+}
+
+/// Fold constant-only subtrees of an interval program. The folded value is
+/// the *interval* the forward pass would have computed (outward rounding and
+/// all), stored as [`Instr::IConst`] — folding to an f64 point would drop
+/// the enclosure of irrational constants and be unsound for verification.
+/// Follow with [`compact`].
+pub(crate) fn fold_constants_interval(lowered: &mut Lowered) {
+    let n = lowered.code.len();
+    let mut vals: Vec<Interval> = vec![Interval::ENTIRE; n];
+    let mut is_const: Vec<bool> = vec![false; n];
+    for i in 0..n {
+        let instr = lowered.code[i];
+        match instr {
+            Instr::Const(c) => {
+                vals[i] = Interval::point(c);
+                is_const[i] = true;
+                continue;
+            }
+            Instr::IConst(v) => {
+                vals[i] = v;
+                is_const[i] = true;
+                continue;
+            }
+            Instr::Var(_) => continue,
+            _ => {}
+        }
+        let mut all_const = true;
+        for_each_operand(instr, |a| all_const &= is_const[a as usize]);
+        if !all_const {
+            continue;
+        }
+        let v = crate::itape::eval_op(instr, &vals);
+        vals[i] = v;
+        is_const[i] = true;
+        // A point that survived exactly stays a plain Const (cheaper and
+        // shared with the f64 interpretation); anything widened by rounding
+        // keeps its enclosure.
+        lowered.code[i] = if v.is_point() {
+            Instr::Const(v.lo)
+        } else {
+            Instr::IConst(v)
+        };
+    }
+}
+
+/// Drop instructions no root (transitively) uses and renumber the survivors.
+/// Run after a folding pass: folded parents no longer reference the constant
+/// subtrees they absorbed, so those slots — and the per-box work of
+/// re-evaluating them — disappear from the program.
+pub(crate) fn compact(lowered: &mut Lowered) {
+    let n = lowered.code.len();
+    let mut live = vec![false; n];
+    for &r in &lowered.roots {
+        live[r as usize] = true;
+    }
+    // Children precede parents, so one reverse sweep settles liveness.
+    for i in (0..n).rev() {
+        if live[i] {
+            for_each_operand(lowered.code[i], |a| live[a as usize] = true);
+        }
+    }
+    if live.iter().all(|&l| l) {
+        return;
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut code = Vec::with_capacity(n);
+    for i in 0..n {
+        if !live[i] {
+            continue;
+        }
+        remap[i] = code.len() as u32;
+        code.push(map_operands(lowered.code[i], |a| remap[a as usize]));
+    }
+    lowered.code = code;
+    for r in &mut lowered.roots {
+        *r = remap[*r as usize];
+    }
+    lowered.var_slots.retain(|&(slot, _)| live[slot as usize]);
+    for (slot, _) in &mut lowered.var_slots {
+        *slot = remap[*slot as usize];
+    }
+}
+
+impl Tape {
+    /// Flatten the DAG into a topologically ordered tape (constant-only
+    /// subtrees folded, dead slots dropped).
+    pub fn compile(root: &Expr) -> Tape {
+        Tape::compile_multi(std::slice::from_ref(root)).0
     }
 
     /// Lower several roots into one tape with shared nodes evaluated once;
     /// returns the tape and the slot of each root (read results out of the
     /// scratch buffer after [`Tape::run`]).
     pub fn compile_multi(roots: &[Expr]) -> (Tape, Vec<u32>) {
-        let lowered = lower_dag(roots);
+        let mut lowered = lower_dag(roots);
+        fold_constants_f64(&mut lowered);
+        compact(&mut lowered);
         (Tape { code: lowered.code }, lowered.roots)
     }
 
@@ -267,52 +484,12 @@ impl Tape {
     pub fn run(&self, vars: &[f64], scratch: &mut [f64]) {
         debug_assert_eq!(scratch.len(), self.code.len());
         for (i, instr) in self.code.iter().enumerate() {
-            let g = |j: u32| scratch[j as usize];
             scratch[i] = match *instr {
-                Instr::Const(c) => c,
                 Instr::Var(v) => vars.get(v as usize).copied().unwrap_or(f64::NAN),
-                Instr::Add(a, b) => g(a) + g(b),
-                Instr::Mul(a, b) => g(a) * g(b),
-                Instr::Div(a, b) => g(a) / g(b),
-                Instr::Neg(a) => -g(a),
-                Instr::PowI(a, n) => g(a).powi(n),
-                Instr::Pow(a, b) => {
-                    let base = g(a);
-                    if base < 0.0 {
-                        f64::NAN
-                    } else {
-                        base.powf(g(b))
-                    }
-                }
-                Instr::Exp(a) => g(a).exp(),
-                Instr::Ln(a) => {
-                    let x = g(a);
-                    if x <= 0.0 {
-                        f64::NAN
-                    } else {
-                        x.ln()
-                    }
-                }
-                Instr::Sqrt(a) => g(a).sqrt(),
-                Instr::Cbrt(a) => g(a).cbrt(),
-                Instr::Atan(a) => g(a).atan(),
-                Instr::Sin(a) => g(a).sin(),
-                Instr::Cos(a) => g(a).cos(),
-                Instr::Tanh(a) => g(a).tanh(),
-                Instr::Abs(a) => g(a).abs(),
-                Instr::Min(a, b) => g(a).min(g(b)),
-                Instr::Max(a, b) => g(a).max(g(b)),
-                Instr::LambertW(a) => xcv_interval::lambert_w0_f64(g(a)),
-                Instr::Ite(c, t, e) => {
-                    let cv = g(c);
-                    if cv.is_nan() {
-                        f64::NAN
-                    } else if cv >= 0.0 {
-                        g(t)
-                    } else {
-                        g(e)
-                    }
-                }
+                // Interval constants never appear in f64 tapes (see
+                // `fold_constants_interval`).
+                Instr::IConst(_) => unreachable!("IConst in an f64 tape"),
+                op => run_one_f64(op, scratch),
             };
         }
     }
@@ -565,6 +742,38 @@ mod tests {
         assert_eq!(enc, Interval::point(1.0));
         let enc = e.eval_interval(&[interval(-2.0, -1.0)]);
         assert_eq!(enc, Interval::point(5.0));
+    }
+
+    #[test]
+    fn tape_folds_constant_subtrees() {
+        // exp(2) and sqrt(3) stay symbolic in the DAG (the smart
+        // constructors only fold exact values) but fold at tape level, with
+        // bit-identical f64 semantics.
+        let e = constant(2.0).exp() + var(0).ln() * constant(3.0).sqrt();
+        let unfolded = lower_dag(std::slice::from_ref(&e)).code.len();
+        let tape = Tape::compile(&e);
+        assert!(tape.len() < unfolded, "{} !< {unfolded}", tape.len());
+        let mut s = tape.scratch();
+        for &x in &[0.5, 1.7, 3.0] {
+            assert_eq!(tape.eval(&[x], &mut s), e.eval(&[x]).unwrap());
+        }
+        // Domain-violating constants fold to NaN and keep propagating.
+        let bad = constant(-1.0).ln() + var(0);
+        let tape = Tape::compile(&bad);
+        let mut s = tape.scratch();
+        assert!(tape.eval(&[1.0], &mut s).is_nan());
+    }
+
+    #[test]
+    fn folding_keeps_roots_and_vars_consistent() {
+        // A root that folds entirely, sharing a tape with one that does not.
+        let c = constant(2.0).exp() * constant(3.0).sqrt();
+        let v = var(1) + constant(2.0).exp();
+        let (tape, roots) = Tape::compile_multi(&[c.clone(), v.clone()]);
+        let mut s = tape.scratch();
+        tape.run(&[0.0, 4.0], &mut s);
+        assert_eq!(s[roots[0] as usize], c.eval(&[]).unwrap());
+        assert_eq!(s[roots[1] as usize], v.eval(&[0.0, 4.0]).unwrap());
     }
 
     #[test]

@@ -38,7 +38,13 @@ impl IntervalTape {
     /// between roots are lowered once. The lowering itself is
     /// [`crate::eval::lower_dag`], shared with the f64 [`crate::Tape`].
     pub fn compile(roots: &[Expr]) -> IntervalTape {
-        let lowered = lower_dag(roots);
+        let mut lowered = lower_dag(roots);
+        // Fold constant-only subtrees into their (outward-rounded) interval
+        // values and drop the dead slots: differentiation leaves plenty of
+        // `exp`/`ln`/`pow`-of-constant chains the smart constructors keep
+        // symbolic, and every surviving slot is re-evaluated on every box.
+        crate::eval::fold_constants_interval(&mut lowered);
+        crate::eval::compact(&mut lowered);
         IntervalTape {
             code: lowered.code,
             roots: lowered.roots,
@@ -78,6 +84,7 @@ impl IntervalTape {
         for (i, instr) in self.code.iter().enumerate() {
             vals[i] = match *instr {
                 Instr::Const(c) => Interval::point(c),
+                Instr::IConst(v) => v,
                 Instr::Var(v) => domains.get(v as usize).copied().unwrap_or(Interval::ENTIRE),
                 op => eval_op(op, vals),
             };
@@ -91,7 +98,7 @@ impl IntervalTape {
         debug_assert_eq!(vals.len(), self.code.len());
         for (i, instr) in self.code.iter().enumerate() {
             match *instr {
-                Instr::Const(_) | Instr::Var(_) => {}
+                Instr::Const(_) | Instr::IConst(_) | Instr::Var(_) => {}
                 op => {
                     let fresh = eval_op(op, vals);
                     vals[i] = vals[i].intersect(&fresh);
@@ -115,7 +122,7 @@ impl IntervalTape {
                 return false;
             }
             match self.code[i] {
-                Instr::Const(_) | Instr::Var(_) => {}
+                Instr::Const(_) | Instr::IConst(_) | Instr::Var(_) => {}
                 Instr::Add(a, b) => {
                     let (ca, cb) = (vals[a as usize], vals[b as usize]);
                     if !meet(vals, a, d.sub(&cb)) || !meet(vals, b, d.sub(&ca)) {
@@ -345,12 +352,15 @@ impl IntervalTape {
     }
 }
 
-/// Forward interval value of one non-leaf instruction from its children.
+/// Forward interval value of one non-leaf instruction from its children
+/// (shared with the compile-time constant folder in [`crate::eval`]).
 #[inline]
-fn eval_op(instr: Instr, vals: &[Interval]) -> Interval {
+pub(crate) fn eval_op(instr: Instr, vals: &[Interval]) -> Interval {
     let g = |j: u32| vals[j as usize];
     match instr {
-        Instr::Const(_) | Instr::Var(_) => unreachable!("leaves handled by callers"),
+        Instr::Const(_) | Instr::IConst(_) | Instr::Var(_) => {
+            unreachable!("leaves handled by callers")
+        }
         Instr::Add(a, b) => g(a).add(&g(b)),
         Instr::Mul(a, b) => g(a).mul(&g(b)),
         Instr::Div(a, b) => g(a).div(&g(b)),
@@ -492,6 +502,40 @@ mod tests {
         tape.forward_meet(&mut vals);
         let root = vals[tape.root_slot(0) as usize];
         assert!(root.hi <= 2.0 + 1e-12, "{root:?}");
+    }
+
+    #[test]
+    fn constant_folding_keeps_enclosures() {
+        // exp(2)·x: folded to one interval leaf that still brackets the real
+        // e² (an f64 point would not), with the forward value unchanged.
+        let e = constant(2.0).exp() * var(0);
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let env = IntervalEnv::new(std::slice::from_ref(&e));
+        assert!(tape.len() < env.len());
+        let mut vals = tape.scratch();
+        let dom = [interval(1.0, 1.0)];
+        tape.forward(&dom, &mut vals);
+        let got = vals[tape.root_slot(0) as usize];
+        assert_eq!(got, e.eval_interval(&dom));
+        assert!(got.lo <= std::f64::consts::E.powi(2));
+        assert!(got.hi >= std::f64::consts::E.powi(2));
+        assert!(got.lo < got.hi, "rounding must survive the fold: {got:?}");
+    }
+
+    #[test]
+    fn constant_folding_backward_still_contracts() {
+        // x·sqrt(2) <= 1 over [0, 10]: impose the root bound and contract —
+        // x must drop to ~1/√2 with the constant folded away.
+        let e = var(0) * constant(2.0).sqrt();
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let mut vals = tape.scratch();
+        tape.forward(&[interval(0.0, 10.0)], &mut vals);
+        let root = tape.root_slot(0) as usize;
+        vals[root] = vals[root].intersect(&Interval::new(f64::NEG_INFINITY, 1.0));
+        assert!(tape.backward(&mut vals));
+        let (xslot, v) = tape.var_slots()[0];
+        assert_eq!(v, 0);
+        assert!(vals[xslot as usize].hi <= 1.0 / 2f64.sqrt() + 1e-9);
     }
 
     #[test]

@@ -77,6 +77,50 @@ pub fn eps_c(rs: f64, s: f64) -> f64 {
     lyp::eps_c(rs, s)
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// BLYP (B88 exchange + LYP correlation) as an open-trait registry
+/// citizen.
+pub struct Blyp;
+
+impl crate::Functional for Blyp {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "BLYP",
+            crate::Family::Gga,
+            crate::Design::Empirical,
+            true,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        Some(f_x_expr())
+    }
+    fn eps_c(&self, rs: f64, s: f64, _alpha: f64) -> f64 {
+        eps_c(rs, s)
+    }
+    fn f_x(&self, s: f64, _alpha: f64) -> Option<f64> {
+        Some(f_x(s))
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(Blyp)
+}
+
+/// Module-level registration entry point: add BLYP to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,6 +98,27 @@ pub trait Functional: Send + Sync {
     fn f_xc(&self, rs: f64, s: f64, alpha: f64) -> Option<f64> {
         self.f_x(s, alpha).map(|fx| fx + self.f_c(rs, s, alpha))
     }
+
+    /// Scalar `ε_c` at a canonical-order point (`rs, s, α`, plus `ζ` for
+    /// spin-resolved implementations — see [`crate::spin::SpinResolved`]).
+    /// The default forwards to the three-argument form, ignoring anything
+    /// beyond `α`; missing trailing coordinates read as 0.
+    fn eps_c_at(&self, point: &[f64]) -> f64 {
+        let g = |i: usize| point.get(i).copied().unwrap_or(0.0);
+        self.eps_c(g(0), g(1), g(2))
+    }
+
+    /// Scalar `F_x` at a canonical-order point (see [`Functional::eps_c_at`]).
+    fn f_x_at(&self, point: &[f64]) -> Option<f64> {
+        let g = |i: usize| point.get(i).copied().unwrap_or(0.0);
+        self.f_x(g(1), g(2))
+    }
+
+    /// Scalar `F_c` at a canonical-order point (derived).
+    fn f_c_at(&self, point: &[f64]) -> f64 {
+        let rs = point.first().copied().unwrap_or(f64::NAN);
+        lda_x::enhancement_from_eps_scalar(self.eps_c_at(point), rs)
+    }
 }
 
 impl std::fmt::Debug for dyn Functional {
@@ -109,6 +130,12 @@ impl std::fmt::Debug for dyn Functional {
 /// A shared, thread-safe handle to a registered functional — the currency
 /// the encoder, campaigns and reports pass around.
 pub type FunctionalHandle = Arc<dyn Functional>;
+
+/// The signature of a module-level registration entry point: every
+/// functional module (`crate::pbe`, `crate::scan`, …, and `crate::spin`'s
+/// constructors) exports a `register` function of this shape, and the
+/// built-in registries are assembled purely from such calls.
+pub type RegisterFn = fn(&mut Registry) -> Result<FunctionalHandle, XcvError>;
 
 /// Cheap conversion into a [`FunctionalHandle`], so call sites can pass a
 /// `Dfa` variant, a handle, or a borrowed handle interchangeably.
@@ -158,20 +185,69 @@ impl Registry {
     }
 
     /// The paper's five DFAs, in its column order
-    /// (PBE, LYP, AM05, SCAN, VWN RPA).
+    /// (PBE, LYP, AM05, SCAN, VWN RPA) — assembled from the per-module
+    /// [`RegisterFn`] entry points.
     pub fn builtin() -> Self {
-        Self::from_dfas(Dfa::all())
+        Self::assemble(&[
+            crate::pbe::register,
+            crate::lyp::register,
+            crate::am05::register,
+            crate::scan::register,
+            crate::vwn::register,
+        ])
     }
 
     /// The paper's five plus the extensions (BLYP and regularized SCAN).
     pub fn extended() -> Self {
-        Self::from_dfas(Dfa::extended())
+        Self::assemble(&[
+            crate::pbe::register,
+            crate::lyp::register,
+            crate::b88::register,
+            crate::am05::register,
+            crate::scan::register,
+            crate::rscan::register,
+            crate::vwn::register,
+        ])
     }
 
-    fn from_dfas(dfas: impl IntoIterator<Item = Dfa>) -> Self {
+    /// Every built-in module's registry entry: the extended set plus PW92
+    /// (the LDA correlation backbone as a verifiable citizen in its own
+    /// right). Assembled purely from the per-module `register` calls — no
+    /// enum is consulted.
+    pub fn with_builtins() -> Self {
+        Self::assemble(&[
+            crate::pbe::register,
+            crate::lyp::register,
+            crate::b88::register,
+            crate::am05::register,
+            crate::scan::register,
+            crate::rscan::register,
+            crate::vwn::register,
+            crate::pw92::register,
+        ])
+    }
+
+    /// The ζ-resolved (spin-general) citizens, registered by
+    /// [`crate::spin::register`].
+    pub fn spin() -> Self {
         let mut r = Registry::empty();
-        for d in dfas {
-            r.register(Arc::new(d)).expect("builtin names are unique");
+        crate::spin::register(&mut r).expect("spin names are unique");
+        r
+    }
+
+    /// The spin-general workload: every built-in module entry
+    /// ([`Registry::with_builtins`]) plus the ζ-resolved citizens
+    /// ([`Registry::spin`]) as additional columns.
+    pub fn spin_general() -> Self {
+        let mut r = Self::with_builtins();
+        crate::spin::register(&mut r).expect("spin names are unique");
+        r
+    }
+
+    fn assemble(fns: &[RegisterFn]) -> Self {
+        let mut r = Registry::empty();
+        for f in fns {
+            f(&mut r).expect("builtin names are unique");
         }
         r
     }

@@ -20,10 +20,19 @@
 //!
 //! Each functional module provides (a) a builder producing the symbolic
 //! expression DAG the verifier analyses (the analogue of symbolically
-//! executing the LIBXC Maple/Python source) and (b) an independent
-//! closed-form `f64` implementation (the analogue of calling LIBXC's C
-//! evaluation, used by the grid-search baseline). Unit tests cross-validate
-//! the two code paths to <= 1e-10 relative error.
+//! executing the LIBXC Maple/Python source), (b) an independent closed-form
+//! `f64` implementation (the analogue of calling LIBXC's C evaluation, used
+//! by the grid-search baseline), and (c) its own [`Functional`] registry
+//! citizen with a module-level `register(&mut Registry)` entry point — the
+//! built-in registries ([`Registry::builtin`], [`Registry::extended`],
+//! [`Registry::with_builtins`]) are assembled purely from those calls, and
+//! the [`Dfa`] enum is a thin delegation over them. Unit tests
+//! cross-validate the two code paths to <= 1e-10 relative error.
+//!
+//! The [`spin`] module extends the workload beyond the paper's `ζ = 0`
+//! restriction: [`SpinResolved`] citizens (`PBE(ζ)`, `PW92(ζ)`,
+//! `LSDA-X(ζ)`) carry ζ-general expression DAGs over a fourth canonical
+//! variable (`ζ`, index [`ZETA`]) and verify through the same pipeline.
 
 pub mod am05;
 pub mod b88;
@@ -44,10 +53,19 @@ pub mod vwn;
 
 pub use dsl_functional::DslFunctional;
 pub use error::XcvError;
-pub use functional::{FnFunctional, Functional, FunctionalHandle, IntoFunctional, Registry};
+pub use functional::{
+    FnFunctional, Functional, FunctionalHandle, IntoFunctional, RegisterFn, Registry,
+};
 pub use registry::{Design, Dfa, DfaInfo, Family, ALPHA, RS, S};
+pub use spin::{SpinResolved, ZETA};
 
 /// The canonical variable set shared by every functional: `rs`, `s`, `alpha`.
 pub fn canonical_vars() -> xcv_expr::VarSet {
     xcv_expr::VarSet::from_names(["rs", "s", "alpha"])
+}
+
+/// The canonical variable set of the spin-resolved workload:
+/// `rs`, `s`, `alpha`, `zeta`.
+pub fn spin_vars() -> xcv_expr::VarSet {
+    xcv_expr::VarSet::from_names(["rs", "s", "alpha", "zeta"])
 }

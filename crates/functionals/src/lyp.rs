@@ -69,6 +69,49 @@ pub fn eps_c(rs: f64, s: f64) -> f64 {
     (-A * n / denom - A * B * omega * bracket) / n
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// LYP (correlation only) as an open-trait registry citizen.
+pub struct Lyp;
+
+impl crate::Functional for Lyp {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "LYP",
+            crate::Family::Gga,
+            crate::Design::Empirical,
+            false,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        None
+    }
+    fn eps_c(&self, rs: f64, s: f64, _alpha: f64) -> f64 {
+        eps_c(rs, s)
+    }
+    fn f_x(&self, _s: f64, _alpha: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(Lyp)
+}
+
+/// Module-level registration entry point: add LYP to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,49 @@ pub fn eps_c(rs: f64, s: f64) -> f64 {
     ec_lda + GAMMA * inner.ln()
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// PBE as an open-trait registry citizen (see [`crate::Functional`]).
+pub struct Pbe;
+
+impl crate::Functional for Pbe {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "PBE",
+            crate::Family::Gga,
+            crate::Design::NonEmpirical,
+            true,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        Some(f_x_expr())
+    }
+    fn eps_c(&self, rs: f64, s: f64, _alpha: f64) -> f64 {
+        eps_c(rs, s)
+    }
+    fn f_x(&self, s: f64, _alpha: f64) -> Option<f64> {
+        Some(f_x(s))
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(Pbe)
+}
+
+/// Module-level registration entry point: add PBE to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

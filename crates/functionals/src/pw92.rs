@@ -36,6 +36,50 @@ pub fn eps_c(rs: f64) -> f64 {
     -2.0 * A * (1.0 + ALPHA1 * rs) * inner.ln()
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// PW92 (the LDA correlation backbone) as an open-trait registry
+/// citizen, verifiable in its own right.
+pub struct Pw92;
+
+impl crate::Functional for Pw92 {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "PW92",
+            crate::Family::Lda,
+            crate::Design::NonEmpirical,
+            false,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        None
+    }
+    fn eps_c(&self, rs: f64, _s: f64, _alpha: f64) -> f64 {
+        eps_c(rs)
+    }
+    fn f_x(&self, _s: f64, _alpha: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(Pw92)
+}
+
+/// Module-level registration entry point: add PW92 to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,119 +91,42 @@ impl Dfa {
     }
 }
 
-impl Functional for Dfa {
-    fn info(&self) -> DfaInfo {
-        let (family, design, has_exchange) = match self {
-            Dfa::Pbe => (Family::Gga, Design::NonEmpirical, true),
-            Dfa::Scan => (Family::MetaGga, Design::NonEmpirical, true),
-            Dfa::Lyp => (Family::Gga, Design::Empirical, false),
-            Dfa::Am05 => (Family::Gga, Design::NonEmpirical, true),
-            Dfa::VwnRpa => (Family::Lda, Design::NonEmpirical, false),
-            Dfa::RScan => (Family::MetaGga, Design::NonEmpirical, true),
-            Dfa::Blyp => (Family::Gga, Design::Empirical, true),
-        };
-        DfaInfo {
-            name: self.static_name().to_string(),
-            family,
-            design,
-            has_exchange,
-            has_correlation: true,
-        }
-    }
-
-    /// Symbolic correlation energy per particle `ε_c`.
-    fn eps_c_expr(&self) -> Expr {
+impl Dfa {
+    /// The per-module implementation this variant names. Every functional
+    /// body lives in its module (`crate::pbe`, `crate::scan`, …); the enum
+    /// only dispatches.
+    pub fn implementation(&self) -> &'static dyn Functional {
         match self {
-            Dfa::Pbe => pbe::eps_c_expr(),
-            Dfa::Scan => scan::eps_c_expr(),
-            Dfa::Lyp => lyp::eps_c_expr(),
-            Dfa::Am05 => am05::eps_c_expr(),
-            Dfa::VwnRpa => vwn::eps_c_expr(),
-            Dfa::RScan => rscan::eps_c_expr(),
-            Dfa::Blyp => b88::eps_c_expr(),
-        }
-    }
-
-    /// Symbolic exchange enhancement `F_x`, if the DFA has an exchange part.
-    fn f_x_expr(&self) -> Option<Expr> {
-        match self {
-            Dfa::Pbe => Some(pbe::f_x_expr()),
-            Dfa::Scan => Some(scan::f_x_expr()),
-            Dfa::Am05 => Some(am05::f_x_expr()),
-            Dfa::RScan => Some(rscan::f_x_expr()),
-            Dfa::Blyp => Some(b88::f_x_expr()),
-            Dfa::Lyp | Dfa::VwnRpa => None,
-        }
-    }
-
-    /// Scalar `ε_c(rs, s, α)` — the LIBXC-call analogue used by the
-    /// grid-search baseline. Extra variables are ignored by lower rungs.
-    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
-        match self {
-            Dfa::Pbe => pbe::eps_c(rs, s),
-            Dfa::Scan => scan::eps_c(rs, s, alpha),
-            Dfa::Lyp => lyp::eps_c(rs, s),
-            Dfa::Am05 => am05::eps_c(rs, s),
-            Dfa::VwnRpa => vwn::eps_c(rs),
-            Dfa::RScan => rscan::eps_c(rs, s, alpha),
-            Dfa::Blyp => b88::eps_c(rs, s),
-        }
-    }
-
-    /// Scalar `F_x(s, α)`.
-    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
-        match self {
-            Dfa::Pbe => Some(pbe::f_x(s)),
-            Dfa::Scan => Some(scan::f_x(s, alpha)),
-            Dfa::Am05 => Some(am05::f_x(s)),
-            Dfa::RScan => Some(rscan::f_x(s, alpha)),
-            Dfa::Blyp => Some(b88::f_x(s)),
-            Dfa::Lyp | Dfa::VwnRpa => None,
+            Dfa::Pbe => &pbe::Pbe,
+            Dfa::Scan => &scan::Scan,
+            Dfa::Lyp => &lyp::Lyp,
+            Dfa::Am05 => &am05::Am05,
+            Dfa::VwnRpa => &vwn::VwnRpa,
+            Dfa::RScan => &rscan::RScan,
+            Dfa::Blyp => &b88::Blyp,
         }
     }
 }
 
-// Inherent conveniences mirroring the trait, so `Dfa`-typed call sites keep
-// working without importing `Functional`. They delegate to the trait impl.
-impl Dfa {
-    pub fn info(&self) -> DfaInfo {
-        Functional::info(self)
+impl Functional for Dfa {
+    fn info(&self) -> DfaInfo {
+        self.implementation().info()
     }
 
-    pub fn arity(&self) -> usize {
-        Functional::arity(self)
+    fn eps_c_expr(&self) -> Expr {
+        self.implementation().eps_c_expr()
     }
 
-    pub fn eps_c_expr(&self) -> Expr {
-        Functional::eps_c_expr(self)
+    fn f_x_expr(&self) -> Option<Expr> {
+        self.implementation().f_x_expr()
     }
 
-    pub fn f_x_expr(&self) -> Option<Expr> {
-        Functional::f_x_expr(self)
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        self.implementation().eps_c(rs, s, alpha)
     }
 
-    pub fn f_c_expr(&self) -> Expr {
-        Functional::f_c_expr(self)
-    }
-
-    pub fn f_xc_expr(&self) -> Option<Expr> {
-        Functional::f_xc_expr(self)
-    }
-
-    pub fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
-        Functional::eps_c(self, rs, s, alpha)
-    }
-
-    pub fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
-        Functional::f_x(self, s, alpha)
-    }
-
-    pub fn f_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
-        Functional::f_c(self, rs, s, alpha)
-    }
-
-    pub fn f_xc(&self, rs: f64, s: f64, alpha: f64) -> Option<f64> {
-        Functional::f_xc(self, rs, s, alpha)
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        self.implementation().f_x(s, alpha)
     }
 }
 

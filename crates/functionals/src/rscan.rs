@@ -156,6 +156,49 @@ pub fn eps_c(rs: f64, s: f64, alpha: f64) -> f64 {
     ec1 + fc * (ec0 - ec1)
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// The regularized-SCAN variant as an open-trait registry citizen.
+pub struct RScan;
+
+impl crate::Functional for RScan {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "rSCAN(reg)",
+            crate::Family::MetaGga,
+            crate::Design::NonEmpirical,
+            true,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        Some(f_x_expr())
+    }
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        eps_c(rs, s, alpha)
+    }
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        Some(f_x(s, alpha))
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(RScan)
+}
+
+/// Module-level registration entry point: add rSCAN(reg) to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

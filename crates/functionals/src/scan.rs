@@ -177,6 +177,49 @@ pub fn eps_c(rs: f64, s: f64, alpha: f64) -> f64 {
     ec1 + fc * (ec0 - ec1)
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// SCAN as an open-trait registry citizen (see [`crate::Functional`]).
+pub struct Scan;
+
+impl crate::Functional for Scan {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "SCAN",
+            crate::Family::MetaGga,
+            crate::Design::NonEmpirical,
+            true,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        Some(f_x_expr())
+    }
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        eps_c(rs, s, alpha)
+    }
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        Some(f_x(s, alpha))
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(Scan)
+}
+
+/// Module-level registration entry point: add SCAN to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -153,6 +153,162 @@ pub fn eps_c_pbe_expr() -> Expr {
     ec_lda + constant(gamma) * phi3 * inner.ln()
 }
 
+/// Scalar LSDA exchange enhancement relative to the unpolarized gas,
+/// `F_x(ζ) = ((1+ζ)^{4/3} + (1−ζ)^{4/3})/2` (`= 1` at ζ = 0, `= 2^{1/3}` at
+/// ζ = ±1). Encoded directly in ζ — carrying `rs` in both numerator and
+/// denominator would fall to the interval dependency problem.
+pub fn f_x_lsda(z: f64) -> f64 {
+    0.5 * ((1.0 + z).powf(4.0 / 3.0) + (1.0 - z).powf(4.0 / 3.0))
+}
+
+/// Symbolic [`f_x_lsda`].
+pub fn f_x_lsda_expr() -> Expr {
+    let z = var(ZETA);
+    let p = constant(4.0 / 3.0);
+    constant(0.5) * ((constant(1.0) + &z).pow(&p) + (constant(1.0) - &z).pow(&p))
+}
+
+// ---------------------------------------------------------------------------
+// Registry citizenship: ζ-resolved functionals as first-class citizens
+// ---------------------------------------------------------------------------
+
+use crate::functional::{info, Functional, FunctionalHandle, Registry};
+use crate::registry::{Design, DfaInfo, Family};
+use crate::XcvError;
+use std::sync::Arc;
+
+type SpinEpsC = Box<dyn Fn(f64, f64, f64, f64) -> f64 + Send + Sync>;
+type SpinFx = Box<dyn Fn(f64, f64, f64) -> f64 + Send + Sync>;
+
+/// A spin-resolved (`ζ`-general) functional as an ordinary registry citizen.
+///
+/// The adapter pairs this module's ζ-aware symbolic forms (fourth canonical
+/// variable `ζ`, index [`ZETA`]) with four-argument scalar closures, and
+/// presents **arity 4** to the toolchain: `xcv_conditions::pb_domain`
+/// extends the Pederson–Burke box with `ζ ∈ [−1, 1]`, and the encoder and
+/// compiled-tape solver run the spin-general Table I/II cells unchanged.
+///
+/// The inherited three-argument scalar interface is the paper's `ζ = 0`
+/// restriction (so the grid baseline and the registry-wide agreement checks
+/// keep their meaning); the full spin surface is reachable through
+/// [`Functional::eps_c_at`] / [`Functional::f_x_at`].
+///
+/// The uniform arity keeps spin cells shaped like every other registry
+/// problem at the price of splitting along axes an LDA-based citizen never
+/// reads (16 children per level); campaign presets cap spin recursion depth
+/// accordingly, and deriving the fan-out from the variables an expression
+/// actually uses is left to a future scheduler change.
+pub struct SpinResolved {
+    info: DfaInfo,
+    eps_c_expr: Expr,
+    f_x_expr: Option<Expr>,
+    eps_c: SpinEpsC,
+    f_x: Option<SpinFx>,
+}
+
+impl SpinResolved {
+    /// PBE correlation at general spin polarization (`φ(ζ)` in both `t²`
+    /// and the `H` term, PW92 spin interpolation underneath). Correlation
+    /// only: the module's ζ machinery does not cover GGA exchange.
+    pub fn pbe() -> SpinResolved {
+        SpinResolved {
+            info: info("PBE(ζ)", Family::Gga, Design::NonEmpirical, false, true),
+            eps_c_expr: eps_c_pbe_expr(),
+            f_x_expr: None,
+            eps_c: Box::new(|rs, s, _alpha, z| eps_c_pbe(rs, s, z)),
+            f_x: None,
+        }
+    }
+
+    /// The full PW92 spin interpolation
+    /// `ε_c(rs, ζ) = ε_c⁰ + α_c·f(ζ)/f''(0)·(1−ζ⁴) + (ε_c¹−ε_c⁰)·f(ζ)·ζ⁴`.
+    pub fn pw92() -> SpinResolved {
+        SpinResolved {
+            info: info("PW92(ζ)", Family::Lda, Design::NonEmpirical, false, true),
+            eps_c_expr: eps_c_pw92_expr(),
+            f_x_expr: None,
+            eps_c: Box::new(|rs, _s, _alpha, z| eps_c_pw92(rs, z)),
+            f_x: None,
+        }
+    }
+
+    /// LSDA exchange by exact spin scaling, as an exchange-only citizen
+    /// (`F_x(ζ) = ((1+ζ)^{4/3} + (1−ζ)^{4/3})/2`); only the Lieb–Oxford
+    /// conditions apply.
+    pub fn lsda_x() -> SpinResolved {
+        SpinResolved {
+            info: info("LSDA-X(ζ)", Family::Lda, Design::NonEmpirical, true, false),
+            eps_c_expr: constant(0.0) * var(crate::registry::RS),
+            f_x_expr: Some(f_x_lsda_expr()),
+            eps_c: Box::new(|_rs, _s, _alpha, _z| 0.0),
+            f_x: Some(Box::new(|_s, _alpha, z| f_x_lsda(z))),
+        }
+    }
+}
+
+impl Functional for SpinResolved {
+    fn info(&self) -> DfaInfo {
+        self.info.clone()
+    }
+
+    /// Spin citizens are four-variable problems: `rs, s, α, ζ`.
+    fn arity(&self) -> usize {
+        4
+    }
+
+    fn eps_c_expr(&self) -> Expr {
+        self.eps_c_expr.clone()
+    }
+
+    fn f_x_expr(&self) -> Option<Expr> {
+        self.f_x_expr.clone()
+    }
+
+    /// The `ζ = 0` restriction (the paper's workload).
+    fn eps_c(&self, rs: f64, s: f64, alpha: f64) -> f64 {
+        (self.eps_c)(rs, s, alpha, 0.0)
+    }
+
+    /// The `ζ = 0` restriction (the paper's workload).
+    fn f_x(&self, s: f64, alpha: f64) -> Option<f64> {
+        self.f_x.as_ref().map(|f| f(s, alpha, 0.0))
+    }
+
+    fn eps_c_at(&self, point: &[f64]) -> f64 {
+        let g = |i: usize| point.get(i).copied().unwrap_or(0.0);
+        (self.eps_c)(g(0), g(1), g(2), g(3))
+    }
+
+    fn f_x_at(&self, point: &[f64]) -> Option<f64> {
+        let g = |i: usize| point.get(i).copied().unwrap_or(0.0);
+        self.f_x.as_ref().map(|f| f(g(1), g(2), g(3)))
+    }
+}
+
+/// Register the ζ-resolved PBE correlation ([`SpinResolved::pbe`]).
+pub fn register_pbe(registry: &mut Registry) -> Result<FunctionalHandle, XcvError> {
+    registry.register(Arc::new(SpinResolved::pbe()))
+}
+
+/// Register the ζ-resolved PW92 correlation ([`SpinResolved::pw92`]).
+pub fn register_pw92(registry: &mut Registry) -> Result<FunctionalHandle, XcvError> {
+    registry.register(Arc::new(SpinResolved::pw92()))
+}
+
+/// Register the spin-scaled LSDA exchange ([`SpinResolved::lsda_x`]).
+pub fn register_lsda_x(registry: &mut Registry) -> Result<FunctionalHandle, XcvError> {
+    registry.register(Arc::new(SpinResolved::lsda_x()))
+}
+
+/// Module-level registration entry point: add all three ζ-resolved citizens
+/// (`PBE(ζ)`, `PW92(ζ)`, `LSDA-X(ζ)`).
+pub fn register(registry: &mut Registry) -> Result<(), XcvError> {
+    register_pbe(registry)?;
+    register_pw92(registry)?;
+    register_lsda_x(registry)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,49 @@ pub fn eps_c(rs: f64) -> f64 {
     A * (term1 + term2 - term3)
 }
 
+// ---------------------------------------------------------------------------
+// Registry citizenship
+// ---------------------------------------------------------------------------
+
+/// VWN RPA as an open-trait registry citizen (see [`crate::Functional`]).
+pub struct VwnRpa;
+
+impl crate::Functional for VwnRpa {
+    fn info(&self) -> crate::DfaInfo {
+        crate::functional::info(
+            "VWN RPA",
+            crate::Family::Lda,
+            crate::Design::NonEmpirical,
+            false,
+            true,
+        )
+    }
+    fn eps_c_expr(&self) -> Expr {
+        eps_c_expr()
+    }
+    fn f_x_expr(&self) -> Option<Expr> {
+        None
+    }
+    fn eps_c(&self, rs: f64, _s: f64, _alpha: f64) -> f64 {
+        eps_c(rs)
+    }
+    fn f_x(&self, _s: f64, _alpha: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// A fresh handle to this module's functional.
+pub fn handle() -> crate::FunctionalHandle {
+    std::sync::Arc::new(VwnRpa)
+}
+
+/// Module-level registration entry point: add VWN RPA to `registry`.
+pub fn register(
+    registry: &mut crate::Registry,
+) -> Result<crate::FunctionalHandle, crate::XcvError> {
+    registry.register(handle())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,10 +124,26 @@ pub fn pb_check(
             let dfc = gradient_1d(&fc, h_rs);
             let d2fc = gradient_1d(&dfc, h_rs);
             let fc_inf = f.f_c(RS_INF, 0.0, 0.0);
+            // An LDA citizen can carry exchange (the spin-scaled LSDA-X at
+            // ζ = 0): the Lieb–Oxford checks need F_xc here just like the
+            // higher rungs.
+            let needs_fxc = matches!(condition, Condition::LiebOxford | Condition::LiebOxfordExt);
+            let fxc: Option<Vec<f64>> = needs_fxc.then(|| {
+                rs.iter()
+                    .map(|&r| f.f_xc(r, 0.0, 0.0).unwrap_or(f64::NAN))
+                    .collect()
+            });
             let pass: Vec<bool> = (0..rs.len())
                 .map(|i| {
                     point_pass(
-                        condition, rs[i], fc[i], dfc[i], d2fc[i], fc_inf, None, config.tol,
+                        condition,
+                        rs[i],
+                        fc[i],
+                        dfc[i],
+                        d2fc[i],
+                        fc_inf,
+                        fxc.as_ref().map(|v| v[i]),
+                        config.tol,
                     )
                 })
                 .collect();
@@ -336,6 +352,20 @@ mod tests {
         };
         let r = pb_check(Dfa::Scan, Condition::EcNonPositivity, &small).unwrap();
         assert!(r.satisfied());
+    }
+
+    #[test]
+    fn exchange_carrying_lda_passes_lieb_oxford() {
+        // The ζ = 0 restriction of the spin-scaled LSDA exchange: F_xc = 1
+        // everywhere, far below C_LO — the grid must agree with the
+        // verifier's Verified mark instead of failing on a missing F_xc.
+        use xcv_functionals::SpinResolved;
+        let f = std::sync::Arc::new(SpinResolved::lsda_x());
+        for cond in [Condition::LiebOxford, Condition::LiebOxfordExt] {
+            let r = pb_check(std::sync::Arc::clone(&f), cond, &cfg()).unwrap();
+            assert!(r.satisfied(), "{cond} fails for LSDA-X(ζ=0)");
+        }
+        assert!(pb_check(f, Condition::EcNonPositivity, &cfg()).is_err());
     }
 
     #[test]

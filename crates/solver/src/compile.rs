@@ -41,20 +41,26 @@ pub fn compile_count() -> u64 {
     COMPILE_COUNT.load(Ordering::Relaxed)
 }
 
-/// One compiled sign atom: a flat f64 tape plus its relation. Used for exact
-/// model checks (`ψ` validation, midpoint tests) without the allocating
-/// recursive `Expr::eval`.
+/// One compiled sign atom: a flat f64 tape, the slot its expression's value
+/// lands in, and the relation. Used for exact model checks (`ψ` validation,
+/// midpoint tests) without the allocating recursive `Expr::eval`.
 #[derive(Debug, Clone)]
 pub struct CompiledAtom {
     tape: Tape,
+    /// Slot of the atom's expression in `tape` (the last slot for a tape
+    /// compiled from one root; an interior slot when the tape is shared with
+    /// a [`CompiledFormula`], see [`CompiledFormula::atom_tape`]).
+    root: u32,
     rel: Rel,
 }
 
 impl CompiledAtom {
     pub fn compile(atom: &Atom) -> CompiledAtom {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let (tape, roots) = Tape::compile_multi(std::slice::from_ref(&atom.expr));
         CompiledAtom {
-            tape: Tape::compile(&atom.expr),
+            tape,
+            root: roots[0],
             rel: atom.rel,
         }
     }
@@ -68,7 +74,8 @@ impl CompiledAtom {
     /// [`Atom::holds_at`]).
     pub fn holds_at_with(&self, point: &[f64], buf: &mut Vec<f64>) -> bool {
         buf.resize(self.tape.len(), 0.0);
-        let v = self.tape.eval(point, buf);
+        self.tape.run(point, buf);
+        let v = buf[self.root as usize];
         !v.is_nan() && self.rel.holds(v)
     }
 
@@ -167,6 +174,20 @@ impl CompiledFormula {
     /// The formula this was compiled from.
     pub fn formula(&self) -> &Formula {
         &self.source
+    }
+
+    /// Re-expose atom `i`'s slice of the shared f64 tape as a standalone
+    /// [`CompiledAtom`] under a caller-chosen relation. The encoder derives
+    /// the `ψ` checker from the already-lowered `¬ψ` program this way (a
+    /// negated atom shares its expression and differs only in relation), so
+    /// each cell is lowered exactly once — no `COMPILE_COUNT` bump, cloning
+    /// a flat instruction vector is not a compilation.
+    pub fn atom_tape(&self, i: usize, rel: Rel) -> CompiledAtom {
+        CompiledAtom {
+            tape: self.ftape.clone(),
+            root: self.atoms[i].froot,
+            rel,
+        }
     }
 
     /// Slots in the shared interval tape (distinct DAG nodes).
@@ -464,6 +485,38 @@ mod tests {
         let got = compiled.contract(&b, &mut scratch);
         let want = crate::contract::Hc4::new(&f).contract(&b);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn folded_constants_match_fresh_hc4() {
+        // √2·x − e ≤ 0 carries two tape-foldable constants; the compiled
+        // (folded) contraction must equal the legacy unfolded Hc4 result.
+        use xcv_expr::constant;
+        let f = Formula::single(Atom::new(
+            constant(2.0).sqrt() * var(0) - constant(1.0).exp(),
+            Rel::Le,
+        ));
+        let b = BoxDomain::from_bounds(&[(-10.0, 10.0)]);
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let got = compiled.contract(&b, &mut scratch);
+        let want = crate::contract::Hc4::new(&f).contract(&b);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shared_psi_atom_matches_standalone_compile() {
+        let psi = Atom::new(var(0) - 3.0, Rel::Ge);
+        let negation = Formula::single(psi.negate());
+        let compiled = CompiledFormula::compile(&negation);
+        let before = compile_count();
+        let shared = compiled.atom_tape(0, psi.rel);
+        assert_eq!(compile_count(), before, "tape sharing must not compile");
+        let standalone = CompiledAtom::compile(&psi);
+        for p in [[0.0], [3.0], [5.0], [f64::NAN]] {
+            assert_eq!(shared.holds_at(&p), standalone.holds_at(&p));
+            assert_eq!(shared.holds_at(&p), psi.holds_at(&p));
+        }
     }
 
     #[test]

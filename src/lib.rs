@@ -81,6 +81,52 @@
 //! and the `solver_bench` binary tracks the resulting throughput in
 //! `BENCH_solver.json`.
 //!
+//! ## Per-module registration and the spin-general (ζ ≠ 0) workload
+//!
+//! Every built-in functional lives in its own module
+//! (`functionals::{pbe, scan, rscan, lyp, b88, am05, vwn, pw92}`) and
+//! exports a module-level `register` entry point; the built-in registries
+//! ([`prelude::Registry::builtin`], `extended`, `with_builtins`) are
+//! assembled purely from those calls — no enum `match` holds a functional
+//! body. Spin-resolved functionals ([`prelude::SpinResolved`]: `PBE(ζ)`,
+//! `PW92(ζ)`, `LSDA-X(ζ)`) are ordinary citizens with **arity 4**
+//! (`rs, s, α, ζ`, with `ζ ∈ [−1, 1]` appended to the Pederson–Burke box):
+//! the encoder, the compiled-tape solver and the campaign scheduler run the
+//! ζ-general Table I/II cells unchanged, and the cost-aware scheduler
+//! ([`prelude::pair_cost`], [`prelude::CampaignSchedule`]) starts the
+//! biggest cells first so they never straggle at the tail of the pool.
+//!
+//! ```
+//! use xcverifier::prelude::*;
+//!
+//! // Assemble a registry from module-level registration, then put a
+//! // ζ-resolved citizen next to a paper builtin.
+//! let mut registry = Registry::empty();
+//! xcverifier::functionals::vwn::register(&mut registry).unwrap();
+//! xcverifier::functionals::spin::register_pw92(&mut registry).unwrap();
+//! let report = Campaign::builder()
+//!     .registry(&registry)
+//!     .conditions([Condition::EcNonPositivity])
+//!     .config(VerifierConfig {
+//!         split_threshold: 2.0,
+//!         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(2_000)),
+//!         parallel: false,
+//!         parallel_depth: 0,
+//!         max_depth: 1,
+//!         pair_deadline_ms: None,
+//!     })
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! // The unpolarized LDA cell verifies; the spin cell ran over the 4-D
+//! // domain through exactly the same pipeline (and PW92's correlation is
+//! // negative at every ζ, so no counterexample can ever be valid).
+//! assert_eq!(report.mark("VWN RPA", Condition::EcNonPositivity),
+//!            Some(TableMark::Verified));
+//! assert_ne!(report.mark("PW92(ζ)", Condition::EcNonPositivity),
+//!            Some(TableMark::Counterexample));
+//! ```
+//!
 //! Single pairs still work through [`prelude::Encoder`] /
 //! [`prelude::Verifier`]; campaigns are the batch path. User-defined
 //! functionals join either path by registering a handle:
@@ -116,14 +162,14 @@ pub use xcv_solver as solver;
 pub mod prelude {
     pub use xcv_conditions::{applicable_pairs, applicable_pairs_in, pb_domain, Condition, C_LO};
     pub use xcv_core::{
-        Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CancelToken, EncodedProblem,
-        Encoder, PairOutcome, Region, RegionMap, RegionStatus, SkipReason, TableMark, Verifier,
-        VerifierConfig,
+        pair_cost, Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CampaignSchedule,
+        CancelToken, EncodedProblem, Encoder, PairOutcome, Region, RegionMap, RegionStatus,
+        SkipReason, TableMark, Verifier, VerifierConfig,
     };
     pub use xcv_expr::{constant, var, Expr, VarSet};
     pub use xcv_functionals::{
         Design, Dfa, DfaInfo, DslFunctional, Family, FnFunctional, Functional, FunctionalHandle,
-        IntoFunctional, Registry, XcvError, ALPHA, RS, S,
+        IntoFunctional, Registry, SpinResolved, XcvError, ALPHA, RS, S, ZETA,
     };
     pub use xcv_grid::{pb_check, GridConfig, GridResult};
     pub use xcv_interval::{interval, point, Interval};
