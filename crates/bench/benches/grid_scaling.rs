@@ -16,6 +16,7 @@ fn bench_grid_resolution(c: &mut Criterion) {
             n_rs: n,
             n_s: n,
             n_alpha: 3,
+            n_zeta: 2,
             tol: 1e-9,
         };
         g.bench_with_input(BenchmarkId::new("lyp_ec1", n), &cfg, |b, cfg| {
@@ -27,6 +28,7 @@ fn bench_grid_resolution(c: &mut Criterion) {
         n_rs: 128,
         n_s: 128,
         n_alpha: 3,
+        n_zeta: 2,
         tol: 1e-9,
     };
     for dfa in [Dfa::Pbe, Dfa::Lyp, Dfa::Am05, Dfa::Scan, Dfa::VwnRpa] {

@@ -23,15 +23,20 @@
 //! `BENCH_solver.json`) — the checked-in snapshot starts the perf trajectory
 //! for later PRs.
 //!
-//! The JSON also carries a `campaign` entry: the same matrix run as one
+//! The JSON also carries a `campaign` entry — the same matrix run as one
 //! [`Campaign`] under matrix-order and under cost-aware scheduling, with
-//! both wall-clocks — the scheduling-order regression check (cost-aware must
-//! not be worse; the two runs must produce identical marks).
+//! both wall-clocks — and a `cost_model` entry: the log-linear scheduler
+//! cost model **fit by least squares from the matrix-order run's own
+//! recorded per-pair wall-clocks** (schema v3). The cost-aware run is
+//! scheduled by that fitted model, not the hand weights; the regression
+//! check is that it is never slower than matrix order beyond noise and that
+//! the two runs produce identical marks (`tests/bench_snapshot.rs` pins the
+//! checked-in snapshot).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use xcv_bench::seed_baseline::seed_solve_with_stats;
-use xcv_core::{Campaign, CampaignSchedule, Encoder, VerifierConfig};
+use xcv_core::{Campaign, CampaignReport, CampaignSchedule, CostModel, Encoder, VerifierConfig};
 use xcv_functionals::Registry;
 use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveBudget, SolveScratch};
 
@@ -127,14 +132,16 @@ fn json_mode(m: &ModeResult) -> String {
     )
 }
 
-/// One campaign over the matrix under the given schedule; returns the
-/// wall-clock and the marks (matrix order) so the two schedules can be
-/// checked for identical outcomes.
+/// One campaign over the matrix under the given schedule (cost-aware runs
+/// rank by `model` when given); returns the wall-clock and the full report
+/// so marks can be compared and a cost model fit from the recorded
+/// per-pair wall-clocks.
 fn campaign_run(
     registry: &Registry,
     nodes: u64,
     schedule: CampaignSchedule,
-) -> (f64, Vec<xcv_core::TableMark>) {
+    model: Option<&CostModel>,
+) -> (f64, CampaignReport) {
     let config = VerifierConfig {
         split_threshold: 0.625,
         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(nodes)),
@@ -146,18 +153,17 @@ fn campaign_run(
         max_depth: 2,
         pair_deadline_ms: None,
     };
-    let t0 = Instant::now();
-    let report = Campaign::builder()
+    let mut builder = Campaign::builder()
         .registry(registry)
         .config(config)
-        .schedule(schedule)
-        .build()
-        .expect("registry is non-empty")
-        .run();
-    (
-        t0.elapsed().as_secs_f64(),
-        report.pairs.iter().map(|p| p.mark).collect(),
-    )
+        .schedule(schedule);
+    if let Some(m) = model {
+        builder = builder.cost_model(m.clone());
+    }
+    let campaign = builder.build().expect("registry is non-empty");
+    let t0 = Instant::now();
+    let report = campaign.run();
+    (t0.elapsed().as_secs_f64(), report)
 }
 
 fn main() {
@@ -279,23 +285,52 @@ fn main() {
         }
     }
     // Scheduling-order regression: the same matrix as one campaign, matrix
-    // order vs cost-aware. Marks must agree exactly; wall-clocks are the
-    // min over interleaved repeats (the total work per schedule is
-    // identical, so the min is the noise-robust estimator — on a one-core
-    // machine the two converge, on many cores cost-aware wins the makespan).
-    let (matrix_s, matrix_marks) =
-        campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder);
-    let (cost_s, cost_marks) = campaign_run(&registry, opts.nodes, CampaignSchedule::CostAware);
+    // order vs cost-aware. The cost-aware run is ranked by a model *fit by
+    // least squares from the matrix-order run's recorded per-pair
+    // wall-clocks* (measurement replacing the hand weights). Marks must
+    // agree exactly; wall-clocks are the min over interleaved repeats (the
+    // total work per schedule is identical, so the min is the noise-robust
+    // estimator — on a one-core machine the two converge, on many cores
+    // cost-aware wins the makespan).
+    let (matrix_s, matrix_report) =
+        campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder, None);
+    let model = matrix_report
+        .fit_cost_model()
+        .expect("matrix cells recorded wall-clocks");
+    println!(
+        "cost model (fit from {} measured cells, r2 {:.3}): ln(cost) = {:.3} \
+         + {:.3}·ln(family) + {:.3}·ln(2^ndim) + {:.3}·ln(class)",
+        model.samples,
+        model.r2,
+        model.weights[0],
+        model.weights[1],
+        model.weights[2],
+        model.weights[3]
+    );
+    let (cost_s, cost_report) = campaign_run(
+        &registry,
+        opts.nodes,
+        CampaignSchedule::CostAware,
+        Some(&model),
+    );
+    let matrix_marks: Vec<xcv_core::TableMark> =
+        matrix_report.pairs.iter().map(|p| p.mark).collect();
+    let cost_marks: Vec<xcv_core::TableMark> = cost_report.pairs.iter().map(|p| p.mark).collect();
     assert_eq!(
         matrix_marks, cost_marks,
         "scheduling order changed campaign outcomes"
     );
-    let (matrix_s2, _) = campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder);
-    let (cost_s2, _) = campaign_run(&registry, opts.nodes, CampaignSchedule::CostAware);
+    let (matrix_s2, _) = campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder, None);
+    let (cost_s2, _) = campaign_run(
+        &registry,
+        opts.nodes,
+        CampaignSchedule::CostAware,
+        Some(&model),
+    );
     let matrix_s = matrix_s.min(matrix_s2);
     let cost_s = cost_s.min(cost_s2);
     println!(
-        "campaign ({} cells): matrix-order {:.0} ms, cost-aware {:.0} ms ({:.2}x)",
+        "campaign ({} cells): matrix-order {:.0} ms, cost-aware (measured model) {:.0} ms ({:.2}x)",
         matrix_marks.len(),
         matrix_s * 1e3,
         cost_s * 1e3,
@@ -316,11 +351,14 @@ fn main() {
         total_vs_seed
     );
     let json = format!(
-        "{{\n  \"schema\": \"xcv-bench-solver/v2\",\n  \"config\": {{\"nodes_per_box\": {}, \
+        "{{\n  \"schema\": \"xcv-bench-solver/v3\",\n  \"config\": {{\"nodes_per_box\": {}, \
          \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
          \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \"campaign\": \
          {{\"cells\": {}, \"matrix_order_wall_ms\": {:.3}, \"cost_aware_wall_ms\": {:.3}, \
-         \"speedup_vs_matrix_order\": {:.2}}},\n  \"pairs\": [\n{}\n  ]\n}}\n",
+         \"speedup_vs_matrix_order\": {:.2}, \"scheduler\": \"measured-cost-model\"}},\n  \
+         \"cost_model\": {{\"kind\": \"log-linear\", \"features\": [\"family\", \"2^ndim\", \
+         \"condition_class\"], \"weights\": [{:.6}, {:.6}, {:.6}, {:.6}], \"samples\": {}, \
+         \"r2\": {:.4}}},\n  \"pairs\": [\n{}\n  ]\n}}\n",
         opts.nodes,
         opts.depth,
         problems.len(),
@@ -332,6 +370,12 @@ fn main() {
         matrix_s * 1e3,
         cost_s * 1e3,
         matrix_s / cost_s.max(1e-12),
+        model.weights[0],
+        model.weights[1],
+        model.weights[2],
+        model.weights[3],
+        model.samples,
+        model.r2,
         records.join(",\n")
     );
     std::fs::write(&opts.out, json).expect("write bench json");

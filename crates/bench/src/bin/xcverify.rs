@@ -35,6 +35,8 @@ fn lookup_dfa(registry: &Registry, name: &str) -> Option<FunctionalHandle> {
         "PBE_SPIN" | "PBEZ" | "PBE(Z)" => "PBE(ζ)".to_string(),
         "PW92_SPIN" | "PW92Z" | "PW92(Z)" => "PW92(ζ)".to_string(),
         "LSDA_X" | "LSDAX" | "LSDA-X" | "LSDA-X(Z)" => "LSDA-X(ζ)".to_string(),
+        "B88_SPIN" | "B88Z" | "B88(Z)" => "B88(ζ)".to_string(),
+        "PBEX_SPIN" | "PBEX" | "PBE-X" | "PBE-X(Z)" => "PBE-X(ζ)".to_string(),
         other => other.to_string(),
     };
     registry.get(&canonical)
@@ -57,9 +59,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN|BLYP> \
          (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] \
-         [--deadline-ms N] [--spin] [--quiet]\n\
+         [--deadline-ms N] [--spin] [--expect-pairs N] [--quiet]\n\
          \u{20}      xcverify --spin [--all]   (gate the whole ζ-resolved matrix)\n\
-         \u{20}      xcverify --list [--spin]"
+         \u{20}      xcverify --list [--spin]\n\
+         \u{20}      --expect-pairs N pins the applicable cell count: a grown or \
+         shrunken matrix exits 2 before anything runs"
     );
     ExitCode::from(2)
 }
@@ -79,6 +83,7 @@ fn main() -> ExitCode {
     let mut budget_ms = 100u64;
     let mut threshold = 0.3f64;
     let mut deadline_ms: Option<u64> = None;
+    let mut expect_pairs: Option<usize> = None;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -128,6 +133,13 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--expect-pairs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) => expect_pairs = Some(v),
+                    None => return usage(),
+                }
+            }
             "--quiet" => quiet = true,
             _ => return usage(),
         }
@@ -162,6 +174,27 @@ fn main() -> ExitCode {
             None => return usage(),
         }
     };
+    // Pinned-matrix assertion: a CI gate that silently runs more or fewer
+    // cells than it did yesterday is not the gate it claims to be. Checked
+    // before anything runs, so a grown matrix fails fast as a usage error.
+    if let Some(want) = expect_pairs {
+        let applicable: usize = targets
+            .iter()
+            .map(|f| {
+                conditions
+                    .iter()
+                    .filter(|c| c.applies_to(f.as_ref()))
+                    .count()
+            })
+            .sum();
+        if applicable != want {
+            eprintln!(
+                "matrix changed: {applicable} applicable pair(s), --expect-pairs said {want}; \
+                 update the pin deliberately"
+            );
+            return ExitCode::from(2);
+        }
+    }
 
     let mut builder = Campaign::builder()
         .functionals(targets)
@@ -179,7 +212,10 @@ fn main() -> ExitCode {
     }
     if !quiet {
         // Pairs run concurrently, so cap witness lines per (functional,
-        // condition) pair and label each line with its pair.
+        // condition) pair and label each line with its pair. Witness
+        // coordinates are labeled by the functional's typed variable space
+        // (`rs=…, s_up=…`), so a per-spin axis never reads as an α.
+        let spaces = registry.clone();
         let shown = std::sync::Mutex::new(std::collections::HashMap::<String, usize>::new());
         builder = builder.on_event(move |e| match e {
             CampaignEvent::PairFinished {
@@ -202,11 +238,17 @@ fn main() -> ExitCode {
                     *n
                 };
                 if n <= 5 {
-                    let coords: Vec<String> = witness.iter().map(|v| format!("{v:.4}")).collect();
+                    let coords = match spaces.get(functional) {
+                        Some(f) => f.var_space().label_point(witness),
+                        None => witness
+                            .iter()
+                            .map(|v| format!("{v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    };
                     println!(
-                        "  [{}] counterexample at ({})",
-                        short_name(*condition),
-                        coords.join(", ")
+                        "  [{}] counterexample at ({coords})",
+                        short_name(*condition)
                     );
                 }
             }

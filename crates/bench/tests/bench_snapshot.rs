@@ -1,0 +1,78 @@
+//! Regression pins on the checked-in `BENCH_solver.json` snapshot (written
+//! by the `solver_bench` binary): schema v3, a persisted measured cost
+//! model, and the scheduling-order guarantee — cost-aware order is never
+//! slower than matrix order by more than 10% *on the snapshot* (the
+//! wall-clocks in the file are min-of-2 on the machine that produced it;
+//! CI re-runs the binary separately with its own noise slack).
+
+use std::path::PathBuf;
+
+fn snapshot() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solver.json");
+    std::fs::read_to_string(&path).expect("checked-in BENCH_solver.json")
+}
+
+/// Extract the raw text of `"key": <value>` at any nesting level (keys used
+/// here are unique in the schema). Good enough for a pinned snapshot; not a
+/// JSON parser.
+fn field<'a>(json: &'a str, key: &str) -> &'a str {
+    let needle = format!("\"{key}\":");
+    let start = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing {key}"))
+        + needle.len();
+    let rest = json[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('[') {
+        // Array value (flat in this schema): up to the closing bracket.
+        return stripped[..stripped.find(']').expect("closing bracket")].trim();
+    }
+    let end = rest.find([',', '}', ']']).expect("value terminator");
+    rest[..end].trim()
+}
+
+fn number(json: &str, key: &str) -> f64 {
+    field(json, key).parse().unwrap_or_else(|e| {
+        panic!("{key} is not a number: {e}");
+    })
+}
+
+#[test]
+fn snapshot_is_schema_v3_with_a_cost_model() {
+    let json = snapshot();
+    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v3\"");
+    let model = &json[json.find("\"cost_model\"").expect("cost_model entry")..];
+    assert_eq!(field(model, "kind"), "\"log-linear\"");
+    // Four finite weights, a positive sample count, and a sane r².
+    let weights = field(model, "weights");
+    let parsed: Vec<f64> = weights
+        .split(',')
+        .map(|w| w.trim().parse().expect("weight"))
+        .collect();
+    assert_eq!(parsed.len(), 4, "{weights}");
+    assert!(parsed.iter().all(|w| w.is_finite()), "{weights}");
+    assert!(number(model, "samples") >= 40.0, "fit over the matrix");
+    let r2 = number(model, "r2");
+    assert!((0.0..=1.0).contains(&r2), "r² = {r2}");
+}
+
+#[test]
+fn cost_aware_not_slower_than_matrix_order_on_snapshot() {
+    let json = snapshot();
+    let campaign = &json[json.find("\"campaign\"").expect("campaign entry")..];
+    let matrix = number(campaign, "matrix_order_wall_ms");
+    let cost = number(campaign, "cost_aware_wall_ms");
+    assert!(matrix > 0.0 && cost > 0.0);
+    assert!(
+        cost <= 1.10 * matrix,
+        "measured-cost schedule regressed: {cost:.1} ms vs matrix {matrix:.1} ms"
+    );
+}
+
+#[test]
+fn snapshot_still_beats_the_seed_architecture() {
+    // Carried over from the v2 pins: the compile-once session path keeps
+    // its headline speedup on the recorded snapshot.
+    let json = snapshot();
+    let total = &json[json.find("\"total\"").expect("total entry")..];
+    assert!(number(total, "speedup_vs_seed") >= 1.5);
+}

@@ -29,7 +29,7 @@
 //! positive quantities `rs` (and `rs²` for EC3), which is equivalent on the
 //! domain `rs > 0` and keeps the solver's expressions division-free.
 
-use xcv_expr::constant;
+use xcv_expr::{constant, AxisKind};
 use xcv_functionals::{Functional, FunctionalHandle, Registry, XcvError, RS};
 use xcv_solver::{Atom, BoxDomain, Rel};
 
@@ -39,18 +39,18 @@ pub const C_LO: f64 = 2.27;
 /// The `rs` value substituted for the `rs → ∞` limit (paper, Section III-A).
 pub const RS_INF: f64 = 100.0;
 
-/// Lower edge of the `rs` domain.
-pub const RS_MIN: f64 = 1e-4;
+/// Lower edge of the `rs` domain (single source: [`AxisKind::pb_bounds`]).
+pub const RS_MIN: f64 = AxisKind::Rs.pb_bounds().0;
 /// Upper edge of the `rs` domain.
-pub const RS_MAX: f64 = 5.0;
-/// `s` domain is `[0, S_MAX]`.
-pub const S_MAX: f64 = 5.0;
+pub const RS_MAX: f64 = AxisKind::Rs.pb_bounds().1;
+/// `s` domain is `[0, S_MAX]` (total and per-spin reduced gradients alike).
+pub const S_MAX: f64 = AxisKind::S.pb_bounds().1;
 /// `α` domain is `[0, ALPHA_MAX]` (meta-GGA only).
-pub const ALPHA_MAX: f64 = 5.0;
+pub const ALPHA_MAX: f64 = AxisKind::Alpha.pb_bounds().1;
 /// `ζ` domain is `[ZETA_MIN, ZETA_MAX]` (spin-resolved functionals only).
-pub const ZETA_MIN: f64 = -1.0;
+pub const ZETA_MIN: f64 = AxisKind::Zeta.pb_bounds().0;
 /// Upper edge of the `ζ` domain.
-pub const ZETA_MAX: f64 = 1.0;
+pub const ZETA_MAX: f64 = AxisKind::Zeta.pb_bounds().1;
 
 /// The seven exact conditions, in the paper's row order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -191,21 +191,13 @@ impl std::fmt::Display for Condition {
     }
 }
 
-/// The Pederson–Burke input domain for a functional: `rs ∈ [1e-4, 5]`,
-/// `s ∈ [0, 5]` (GGA and above), `α ∈ [0, 5]` (meta-GGA), extended with
-/// `ζ ∈ [−1, 1]` for spin-resolved (arity-4) citizens.
+/// The Pederson–Burke input domain for a functional: the box of its typed
+/// [`Functional::var_space`] — one interval per axis, each carrying that
+/// axis's PB bounds (`rs ∈ [1e-4, 5]`, `s`/`s↑`/`s↓` ∈ `[0, 5]`,
+/// `α ∈ [0, 5]`, `ζ ∈ [−1, 1]`). The old positional `arity() >= k`
+/// bound-pushing is gone: the space *is* the domain description.
 pub fn pb_domain(f: &dyn Functional) -> BoxDomain {
-    let mut bounds = vec![(RS_MIN, RS_MAX)];
-    if f.arity() >= 2 {
-        bounds.push((0.0, S_MAX));
-    }
-    if f.arity() >= 3 {
-        bounds.push((0.0, ALPHA_MAX));
-    }
-    if f.arity() >= 4 {
-        bounds.push((ZETA_MIN, ZETA_MAX));
-    }
-    BoxDomain::from_bounds(&bounds)
+    BoxDomain::from_var_space(&f.var_space())
 }
 
 /// Every applicable (functional, condition) pair of a registry, in
@@ -271,6 +263,23 @@ mod tests {
         assert_eq!(d.dim(0).lo, RS_MIN);
         assert_eq!(d.dim(0).hi, RS_MAX);
         assert_eq!(d.dim(1).lo, 0.0);
+    }
+
+    #[test]
+    fn pb_domain_follows_the_typed_space() {
+        // A per-spin exchange citizen: the box comes from its
+        // (rs, s↑, s↓, ζ) space, not from positional arity thresholds.
+        use xcv_functionals::SpinScaledX;
+        let d = pb_domain(&SpinScaledX::b88());
+        assert_eq!(d.ndim(), 4);
+        assert_eq!(d.dim(1).hi, S_MAX);
+        assert_eq!(d.dim(2).hi, S_MAX);
+        assert_eq!(d.dim(3).lo, ZETA_MIN);
+        assert_eq!(d.dim(3).hi, ZETA_MAX);
+        // The module constants and the axis bounds are one source.
+        assert_eq!(AxisKind::Rs.pb_bounds(), (RS_MIN, RS_MAX));
+        assert_eq!(AxisKind::SUp.pb_bounds(), (0.0, S_MAX));
+        assert_eq!(AxisKind::Alpha.pb_bounds(), (0.0, ALPHA_MAX));
     }
 
     #[test]

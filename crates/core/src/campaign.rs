@@ -8,10 +8,13 @@
 //! * **building** — [`Campaign::builder`] takes any mix of registry handles
 //!   (built-in `Dfa` variants, runtime-registered DSL functionals), a
 //!   condition subset (default: all seven), and a [`VerifierConfig`];
-//! * **scheduling** — applicable pairs are encoded up front and fanned out
-//!   across rayon. Each pair keeps the per-pair deadline from the verifier
-//!   config; a global wall-clock budget bounds the whole campaign, and pairs
-//!   reached after it expires are recorded as skipped rather than run;
+//! * **scheduling** — applicable pairs are encoded up front, ranked
+//!   costliest-first (by the hand-weighted [`pair_cost`] or, better, a
+//!   [`CostModel`] *fit from measured wall-clocks* via
+//!   [`CampaignBuilder::cost_model`]) and fanned out across rayon. Each pair
+//!   keeps the per-pair deadline from the verifier config; a global
+//!   wall-clock budget bounds the whole campaign, and pairs reached after it
+//!   expires are recorded as skipped rather than run;
 //! * **observing** — [`CampaignEvent`]s stream through a callback (or the
 //!   [`CampaignBuilder::event_channel`] convenience) as pairs start, finish,
 //!   and produce counterexamples; a [`CancelToken`] stops the campaign at
@@ -64,19 +67,18 @@ pub enum CampaignSchedule {
     CostAware,
 }
 
-/// The campaign scheduler's cost model for one (functional, condition)
-/// cell: split fan-out (`2^arity` children per recursion level) × family
-/// (expression size class) × condition class (differentiation depth of the
-/// encoded atom). The absolute scale is meaningless — only ratios matter,
-/// and only for ordering; the model never gates work.
-pub fn pair_cost(f: &dyn xcv_functionals::Functional, condition: Condition) -> u64 {
-    let family = match f.info().family {
+/// Family size class of a cell's expression DAG (the static cost feature).
+fn family_class(f: &dyn xcv_functionals::Functional) -> u64 {
+    match f.info().family {
         xcv_functionals::Family::Lda => 1,
         xcv_functionals::Family::Gga => 4,
         xcv_functionals::Family::MetaGga => 16,
-    };
-    let fanout = 1u64 << f.arity().min(8);
-    let condition_class = match condition {
+    }
+}
+
+/// Differentiation-depth class of the condition's encoded atom.
+fn condition_class(condition: Condition) -> u64 {
+    match condition {
         // F_c alone.
         Condition::EcNonPositivity => 1,
         // F_xc, no derivative.
@@ -89,8 +91,159 @@ pub fn pair_cost(f: &dyn xcv_functionals::Functional, condition: Condition) -> u
         Condition::LiebOxford => 5,
         // Second derivative.
         Condition::UcMonotonicity => 6,
-    };
-    family * fanout * condition_class
+    }
+}
+
+/// The hand-weighted scheduler cost for one (functional, condition) cell:
+/// split fan-out (`2^ndim` children per recursion level) × family
+/// (expression size class) × condition class (differentiation depth of the
+/// encoded atom). The absolute scale is meaningless — only ratios matter,
+/// and only for ordering; the model never gates work. A [`CostModel`] *fit
+/// from measured wall-clocks* over the same features replaces these
+/// hand weights when attached via [`CampaignBuilder::cost_model`].
+pub fn pair_cost(f: &dyn xcv_functionals::Functional, condition: Condition) -> u64 {
+    let fanout = 1u64 << f.var_space().ndim().min(8);
+    family_class(f) * fanout * condition_class(condition)
+}
+
+/// Raw feature vector of one matrix cell, in the order the cost model is
+/// fit over: `(family class, 2^ndim split fan-out, condition class)`.
+pub fn pair_features(f: &dyn xcv_functionals::Functional, condition: Condition) -> [f64; 3] {
+    [
+        family_class(f) as f64,
+        (1u64 << f.var_space().ndim().min(8)) as f64,
+        condition_class(condition) as f64,
+    ]
+}
+
+/// A scheduling cost model **fit from measurement** instead of
+/// hand-weighted: ordinary least squares (lightly ridge-regularized, so
+/// degenerate sample sets — e.g. a single family — stay solvable) of
+/// `ln(1 + wall_ms)` over `[1, ln family, ln 2^ndim, ln class]`, the
+/// logged [`pair_features`]. The exponent form keeps predictions positive
+/// and makes the fit multiplicative, matching the hand model's shape while
+/// letting the data choose the weights.
+///
+/// Fit one from the `PairOutcome::{wall_ms}` samples a campaign already
+/// records ([`CampaignReport::fit_cost_model`]), persist it (the
+/// `solver_bench` binary writes a `cost_model` entry into
+/// `BENCH_solver.json`), and attach it to the next campaign with
+/// [`CampaignBuilder::cost_model`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// `[w0, w_family, w_fanout, w_class]` of the log-linear predictor.
+    pub weights: [f64; 4],
+    /// Number of measured cells behind the fit.
+    pub samples: usize,
+    /// In-sample coefficient of determination on `ln(1 + wall_ms)`.
+    pub r2: f64,
+}
+
+impl CostModel {
+    /// Least-squares fit over `(features, wall_ms)` samples. `None` when no
+    /// samples were provided.
+    pub fn fit(samples: &[([f64; 3], f64)]) -> Option<CostModel> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut xtx = [[0.0f64; 4]; 4];
+        let mut xty = [0.0f64; 4];
+        let mut mean_y = 0.0;
+        let rows: Vec<([f64; 4], f64)> = samples
+            .iter()
+            .map(|(feat, ms)| {
+                let x = [1.0, feat[0].ln(), feat[1].ln(), feat[2].ln()];
+                let y = (1.0 + ms.max(0.0)).ln();
+                (x, y)
+            })
+            .collect();
+        for (x, y) in &rows {
+            for i in 0..4 {
+                for j in 0..4 {
+                    xtx[i][j] += x[i] * x[j];
+                }
+                xty[i] += x[i] * y;
+            }
+            mean_y += y;
+        }
+        mean_y /= rows.len() as f64;
+        // Tiny ridge: collinear feature columns (every cell one family, say)
+        // must not make the normal equations singular.
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-6;
+        }
+        let weights = solve4(xtx, xty)?;
+        let (mut ss_res, mut ss_tot) = (0.0, 0.0);
+        for (x, y) in &rows {
+            let pred: f64 = weights.iter().zip(x).map(|(w, xi)| w * xi).sum();
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - mean_y) * (y - mean_y);
+        }
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Some(CostModel {
+            weights,
+            samples: rows.len(),
+            r2,
+        })
+    }
+
+    /// Predicted relative cost of one cell: `exp` of the fitted log-cost
+    /// (`≈ 1 + wall_ms` in the fit's units). Only ratios matter for the
+    /// schedule.
+    pub fn predict(&self, f: &dyn xcv_functionals::Functional, condition: Condition) -> f64 {
+        let feat = pair_features(f, condition);
+        let x = [1.0, feat[0].ln(), feat[1].ln(), feat[2].ln()];
+        let log = self
+            .weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>();
+        let v = log.exp();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Solve a 4×4 linear system by Gaussian elimination with partial pivoting.
+fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> Option<[f64; 4]> {
+    for col in 0..4 {
+        let pivot = (col..4).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = a[col];
+        for row in col + 1..4 {
+            let factor = a[row][col] / pivot_row[col];
+            for (k, p) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; 4];
+    for row in (0..4).rev() {
+        let mut v = b[row];
+        for k in row + 1..4 {
+            v -= a[row][k] * x[k];
+        }
+        x[row] = v / a[row][row];
+    }
+    x.iter().all(|v| v.is_finite()).then_some(x)
 }
 
 /// Lay cells out for the chunked thread pool: indices sorted costliest
@@ -98,19 +251,30 @@ pub fn pair_cost(f: &dyn xcv_functionals::Functional, condition: Condition) -> u
 /// equal-size buckets whose concatenation becomes the execution order —
 /// each contiguous worker chunk then carries a near-equal share of the
 /// modeled cost instead of, say, every SCAN cell landing in one chunk.
-fn cost_aware_order(costs: &[u64], workers: usize) -> Vec<usize> {
+fn cost_aware_order(costs: &[f64], workers: usize) -> Vec<usize> {
     let n = costs.len();
     let k = workers.clamp(1, n.max(1));
     let cap = n.div_ceil(k);
     let mut ranked: Vec<usize> = (0..n).collect();
-    // Stable sort: ties keep matrix order, making the schedule deterministic.
-    ranked.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+    // Ties keep matrix order, making the schedule deterministic; NaN never
+    // occurs (predictions are finiteness-guarded) but would sort last.
+    ranked.sort_by(|&i, &j| {
+        costs[j]
+            .partial_cmp(&costs[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
-    let mut loads = vec![0u64; k];
+    let mut loads = vec![0.0f64; k];
     for i in ranked {
         let b = (0..k)
             .filter(|&b| buckets[b].len() < cap)
-            .min_by_key(|&b| (loads[b], b))
+            .min_by(|&x, &y| {
+                loads[x]
+                    .partial_cmp(&loads[y])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.cmp(&y))
+            })
             .expect("cap * k >= n");
         buckets[b].push(i);
         loads[b] += costs[i];
@@ -239,6 +403,23 @@ impl CampaignReport {
         self.pairs.iter().filter(|p| pred(p.mark)).count()
     }
 
+    /// Fit a [`CostModel`] from this report's measured `wall_ms` samples
+    /// (cells that actually ran). `None` when nothing ran.
+    pub fn fit_cost_model(&self) -> Option<CostModel> {
+        let samples: Vec<([f64; 3], f64)> = self
+            .pairs
+            .iter()
+            .filter(|p| p.skipped.is_none())
+            .map(|p| {
+                (
+                    pair_features(p.functional.as_ref(), p.condition),
+                    p.wall_ms as f64,
+                )
+            })
+            .collect();
+        CostModel::fit(&samples)
+    }
+
     /// All counterexample witnesses, as (functional name, condition, point).
     pub fn counterexamples(&self) -> Vec<(String, Condition, Vec<f64>)> {
         let mut out = Vec::new();
@@ -265,6 +446,7 @@ pub struct CampaignBuilder {
     config_policy: Option<ConfigPolicy>,
     global_budget_ms: Option<u64>,
     schedule: CampaignSchedule,
+    cost_model: Option<CostModel>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -337,6 +519,15 @@ impl CampaignBuilder {
         self
     }
 
+    /// Rank cells with a measured [`CostModel`] instead of the hand-weighted
+    /// [`pair_cost`] (only affects [`CampaignSchedule::CostAware`]). Fit one
+    /// from a previous run's report ([`CampaignReport::fit_cost_model`]) or
+    /// from the persisted `cost_model` entry of `BENCH_solver.json`.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
     /// Stream events to a callback (may be called from worker threads;
     /// multiple callbacks compose).
     pub fn on_event(mut self, f: impl Fn(&CampaignEvent) + Send + Sync + 'static) -> Self {
@@ -389,6 +580,7 @@ impl CampaignBuilder {
             config_policy: self.config_policy,
             global_budget_ms: self.global_budget_ms,
             schedule: self.schedule,
+            cost_model: self.cost_model,
             on_event: self.on_event,
             cancel: self.cancel,
         })
@@ -403,6 +595,7 @@ pub struct Campaign {
     config_policy: Option<ConfigPolicy>,
     global_budget_ms: Option<u64>,
     schedule: CampaignSchedule,
+    cost_model: Option<CostModel>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -416,6 +609,7 @@ impl Campaign {
             config_policy: None,
             global_budget_ms: None,
             schedule: CampaignSchedule::default(),
+            cost_model: None,
             on_event: Vec::new(),
             cancel: CancelToken::new(),
         }
@@ -471,11 +665,16 @@ impl Campaign {
         let order: Vec<usize> = match self.schedule {
             CampaignSchedule::MatrixOrder => (0..cells.len()).collect(),
             CampaignSchedule::CostAware => {
-                let costs: Vec<u64> = cells
+                let costs: Vec<f64> = cells
                     .iter()
                     // Skip cells solve nothing; keep them out of the load
-                    // balance.
-                    .map(|(cost, cell)| if cell.is_ok() { *cost } else { 0 })
+                    // balance. A measured model, when attached, replaces the
+                    // hand-weighted ranking.
+                    .map(|(cost, cell)| match (cell, &self.cost_model) {
+                        (Err(_), _) => 0.0,
+                        (Ok(p), Some(m)) => m.predict(p.functional.as_ref(), p.condition),
+                        (Ok(_), None) => *cost as f64,
+                    })
                     .collect();
                 let workers = std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -618,7 +817,7 @@ mod tests {
 
     #[test]
     fn cost_aware_order_is_a_balanced_permutation() {
-        let costs = vec![100, 1, 1, 1, 50, 1, 1, 40];
+        let costs = vec![100.0, 1.0, 1.0, 1.0, 50.0, 1.0, 1.0, 40.0];
         let order = cost_aware_order(&costs, 4);
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -639,6 +838,75 @@ mod tests {
         // Degenerate worker counts stay permutations.
         assert_eq!(cost_aware_order(&costs, 1).len(), 8);
         assert_eq!(cost_aware_order(&[], 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fitted_model_recovers_multiplicative_costs() {
+        // Synthetic wall-clocks drawn from an exact multiplicative law:
+        // the log-linear least squares must recover it (r² ≈ 1) and the
+        // predictions must reproduce the ratios.
+        let mut samples = Vec::new();
+        for fam in [1.0f64, 4.0, 16.0] {
+            for fan in [2.0f64, 4.0, 8.0, 16.0] {
+                for class in [1.0f64, 2.0, 3.0, 6.0] {
+                    let ms = 0.5 * fam.powf(1.3) * fan.powf(0.7) * class.powf(1.1);
+                    samples.push(([fam, fan, class], ms));
+                }
+            }
+        }
+        let m = CostModel::fit(&samples).unwrap();
+        assert_eq!(m.samples, samples.len());
+        assert!(m.r2 > 0.99, "r² = {}", m.r2);
+        // Ratio check through the public predictor: SCAN/EC3 features vs
+        // VWN/EC1 features differ by a large factor in the law above.
+        use xcv_functionals::Functional;
+        let heavy = m.predict(&Dfa::Scan, Condition::UcMonotonicity);
+        let light = m.predict(&Dfa::VwnRpa, Condition::EcNonPositivity);
+        assert!(heavy > 10.0 * light, "{heavy} vs {light}");
+        let _ = Dfa::Scan.info();
+    }
+
+    #[test]
+    fn degenerate_samples_still_fit() {
+        // One family, one condition class: two feature columns are constant
+        // (collinear with the intercept); the ridge keeps the system
+        // solvable and predictions finite and positive.
+        let samples = vec![
+            ([4.0, 4.0, 3.0], 10.0),
+            ([4.0, 4.0, 3.0], 12.0),
+            ([4.0, 4.0, 3.0], 11.0),
+        ];
+        let m = CostModel::fit(&samples).unwrap();
+        let p = m.predict(&Dfa::Pbe, Condition::EcScaling);
+        assert!(p.is_finite() && p > 0.0);
+        assert!(CostModel::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn campaign_fits_model_from_recorded_walls_and_reschedules() {
+        // A campaign's own report carries enough to fit a model, and a
+        // campaign run under that model produces identical marks.
+        let base = Campaign::builder()
+            .functionals([Dfa::VwnRpa, Dfa::Lyp])
+            .conditions([Condition::EcNonPositivity, Condition::EcScaling])
+            .config(quick_config(3_000))
+            .schedule(CampaignSchedule::MatrixOrder)
+            .build()
+            .unwrap()
+            .run();
+        let model = base.fit_cost_model().expect("cells ran");
+        assert_eq!(model.samples, 4);
+        let refit = Campaign::builder()
+            .functionals([Dfa::VwnRpa, Dfa::Lyp])
+            .conditions([Condition::EcNonPositivity, Condition::EcScaling])
+            .config(quick_config(3_000))
+            .cost_model(model)
+            .build()
+            .unwrap()
+            .run();
+        for (a, b) in base.pairs.iter().zip(&refit.pairs) {
+            assert_eq!(a.mark, b.mark, "{} / {}", a.functional_name(), a.condition);
+        }
     }
 
     #[test]

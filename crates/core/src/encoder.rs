@@ -1,7 +1,8 @@
 //! XCEncoder: from (functional, exact condition) to a solver problem.
 
 use std::sync::Arc;
-use xcv_conditions::{pb_domain, Condition};
+use xcv_conditions::Condition;
+use xcv_expr::VarSpace;
 use xcv_functionals::{FunctionalHandle, IntoFunctional, Registry, XcvError};
 use xcv_solver::{Atom, BoxDomain, CompiledAtom, CompiledFormula, Formula};
 
@@ -24,7 +25,11 @@ pub struct EncodedProblem {
     /// domain constraints are carried separately as the search box). Private
     /// for the same reason as `psi`.
     negation: Formula,
-    /// The Pederson–Burke domain for this functional's family.
+    /// The typed variable space of the problem (the functional's
+    /// `var_space()` at encode time): what each box dimension and witness
+    /// coordinate *means*.
+    pub space: VarSpace,
+    /// The Pederson–Burke domain: the box of `space`.
     pub domain: BoxDomain,
     /// `¬ψ` lowered to flat tapes, once per problem. Private so it cannot
     /// drift from `negation`: [`Encoder::encode`] is the only place both
@@ -79,8 +84,9 @@ impl Encoder {
         let functional = f.into_handle();
         let psi = condition.encode(functional.as_ref())?;
         let negation = Formula::single(psi.negate());
-        let domain = pb_domain(functional.as_ref());
-        let compiled = Arc::new(CompiledFormula::compile(&negation));
+        let space = functional.var_space();
+        let domain = BoxDomain::from_var_space(&space);
+        let compiled = Arc::new(CompiledFormula::compile_in(&negation, space.clone()));
         // ψ and ¬ψ share one expression and differ only in relation, so the
         // ψ checker reuses the formula's already-lowered f64 tape instead of
         // lowering the same DAG a second time.
@@ -90,6 +96,7 @@ impl Encoder {
             condition,
             psi,
             negation,
+            space,
             domain,
             compiled,
             psi_compiled,
@@ -124,10 +131,12 @@ impl Encoder {
     }
 
     /// Encode the spin-general matrix: every built-in module entry (the
-    /// extended set plus PW92) and the ζ-resolved citizens (`PBE(ζ)`,
-    /// `PW92(ζ)`, `LSDA-X(ζ)`, arity 4 over `rs, s, α, ζ`). 62 pairs: the
-    /// 45 extended, 5 for PW92, 5 + 5 correlation pairs for the spin
-    /// correlations, 2 Lieb–Oxford pairs for the spin-scaled exchange.
+    /// extended set plus PW92) and the ζ-resolved citizens — the
+    /// scalar-factor three (`PBE(ζ)`, `PW92(ζ)`, `LSDA-X(ζ)` over
+    /// `rs, s, α, ζ`) and the per-spin exchange two (`B88(ζ)`, `PBE-X(ζ)`
+    /// over `rs, s↑, s↓, ζ`). 66 pairs: the 45 extended, 5 for PW92,
+    /// 5 + 5 correlation pairs for the spin correlations, and 2 Lieb–Oxford
+    /// pairs for each of the three spin-scaled exchange citizens.
     pub fn encode_all_spin() -> Vec<EncodedProblem> {
         Self::encode_registry(&Registry::spin_general())
     }
@@ -162,17 +171,29 @@ mod tests {
     }
 
     #[test]
-    fn encode_all_spin_yields_62() {
-        // 45 extended + 5 (PW92) + 5 (PBE(ζ)) + 5 (PW92(ζ)) + 2 (LSDA-X(ζ)).
+    fn encode_all_spin_yields_66() {
+        // 45 extended + 5 (PW92) + 5 (PBE(ζ)) + 5 (PW92(ζ)) + 2 (LSDA-X(ζ))
+        // + 2 (B88(ζ)) + 2 (PBE-X(ζ)).
         let all = Encoder::encode_all_spin();
-        assert_eq!(all.len(), 62);
+        assert_eq!(all.len(), 66);
         let spin: Vec<_> = all
             .iter()
             .filter(|p| p.functional_name().contains("(ζ)"))
             .collect();
-        assert_eq!(spin.len(), 12);
-        // Spin citizens are 4-D problems over rs, s, α, ζ.
+        assert_eq!(spin.len(), 16);
+        // Spin citizens are 4-D problems whose ζ axis is always index 3.
         assert!(spin.iter().all(|p| p.domain.ndim() == 4));
+        assert!(spin
+            .iter()
+            .all(|p| p.space.find(xcv_expr::AxisKind::Zeta).unwrap().index == 3));
+        // The per-spin exchange citizens carry s↑/s↓ axes; the scalar-factor
+        // citizens the canonical s/α.
+        let b88 = all
+            .iter()
+            .find(|p| p.functional_name() == "B88(ζ)")
+            .unwrap();
+        assert_eq!(b88.space.names(), vec!["rs", "s_up", "s_dn", "zeta"]);
+        assert!(b88.compiled().var_space().is_some());
     }
 
     #[test]

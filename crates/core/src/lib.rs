@@ -33,8 +33,8 @@ mod region;
 mod verifier;
 
 pub use campaign::{
-    pair_cost, Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CampaignSchedule,
-    CancelToken, PairOutcome, SkipReason,
+    pair_cost, pair_features, Campaign, CampaignBuilder, CampaignEvent, CampaignReport,
+    CampaignSchedule, CancelToken, CostModel, PairOutcome, SkipReason,
 };
 pub use encoder::{EncodedProblem, Encoder};
 pub use region::{Region, RegionMap, RegionStatus, TableMark};

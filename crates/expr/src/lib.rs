@@ -14,6 +14,11 @@
 //! * [`dsl`] — a small Python-subset frontend with a symbolic executor,
 //!   mirroring the paper's Maple → Python → symbolic-execution pipeline for
 //!   LIBXC functional sources.
+//! * [`VarSpace`] — typed variable axes ([`Axis`]/[`AxisKind`]): what each
+//!   variable index *means* (`rs`, `s`, `α`, `ζ`, per-spin `s↑`/`s↓`), with
+//!   names and Pederson–Burke bounds. The functional trait, the condition
+//!   encoder, the compiled solver and the grid baseline all describe their
+//!   problems through it.
 //!
 //! Expressions support the operation set found in LIBXC DFA implementations:
 //! field operations, powers (integer and real), `exp`, `ln`, `sqrt`, `cbrt`,
@@ -29,9 +34,11 @@ mod itape;
 mod node;
 mod subst;
 mod vars;
+mod varspace;
 
 pub use build::{constant, var};
 pub use eval::{EvalError, IntervalEnv, Tape};
 pub use itape::IntervalTape;
 pub use node::{Expr, Kind, NodeId};
 pub use vars::VarSet;
+pub use varspace::{Axis, AxisKind, VarSpace};

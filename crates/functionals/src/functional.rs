@@ -19,11 +19,14 @@
 //!   cross-validates every registered builtin in
 //!   `crates/bench/tests/functional_agreement.rs`.
 //!
-//! Metadata comes from [`Functional::info`]: the family (rung) fixes the
-//! input arity (LDA: `rs`; GGA: `rs, s`; meta-GGA: `rs, s, α`) and hence the
-//! PB search domain; `has_exchange`/`has_correlation` fix which conditions
-//! apply. Everything else (`F_c`, `F_xc`, both symbolic and scalar) is
-//! derived and should rarely be overridden.
+//! Metadata comes from [`Functional::info`] and [`Functional::var_space`]:
+//! the typed variable space names every input axis (kind + PB bounds) and is
+//! what the encoder, solver and grid baseline reason about — the default is
+//! derived from the family (LDA: `rs`; GGA: `rs, s`; meta-GGA: `rs, s, α`),
+//! and spin-resolved citizens override it (`rs, s, α, ζ` or the per-spin
+//! `rs, s↑, s↓, ζ`); `has_exchange`/`has_correlation` fix which conditions
+//! apply. Everything else (`arity`, `F_c`, `F_xc`, both symbolic and scalar)
+//! is derived and should rarely be overridden.
 //!
 //! The paper's five DFAs remain available as the [`crate::Dfa`] enum — each
 //! variant implements `Functional` — but the enum is no longer the boundary
@@ -36,7 +39,7 @@ use crate::error::XcvError;
 use crate::registry::{Design, DfaInfo, Family};
 use crate::{lda_x, Dfa};
 use std::sync::Arc;
-use xcv_expr::Expr;
+use xcv_expr::{Expr, VarSpace};
 
 /// A density functional approximation, as the verification pipeline sees it.
 ///
@@ -67,14 +70,26 @@ pub trait Functional: Send + Sync {
         self.info().name
     }
 
-    /// Number of input variables, fixed by the family:
-    /// `rs` | `rs, s` | `rs, s, α`.
-    fn arity(&self) -> usize {
-        match self.info().family {
+    /// The typed variable space of the functional's inputs: one
+    /// [`xcv_expr::Axis`] per expression variable index, with names, kinds
+    /// and Pederson–Burke bounds. This is the description the encoder, the
+    /// solver and the grid baseline reason about; the default is the
+    /// positional convention fixed by the family (`rs` | `rs, s` |
+    /// `rs, s, α`), so existing implementations are untouched. Spin-resolved
+    /// citizens override it — e.g. exact-spin-scaled exchange presents
+    /// `(rs, s↑, s↓, ζ)` (see [`crate::spin::SpinScaledX`]).
+    fn var_space(&self) -> VarSpace {
+        VarSpace::from_arity(match self.info().family {
             Family::Lda => 1,
             Family::Gga => 2,
             Family::MetaGga => 3,
-        }
+        })
+    }
+
+    /// Number of input variables — derived: the dimension of
+    /// [`Functional::var_space`].
+    fn arity(&self) -> usize {
+        self.var_space().ndim()
     }
 
     /// Symbolic correlation enhancement `F_c = ε_c / ε_x^unif`.
@@ -118,6 +133,13 @@ pub trait Functional: Send + Sync {
     fn f_c_at(&self, point: &[f64]) -> f64 {
         let rs = point.first().copied().unwrap_or(f64::NAN);
         lda_x::enhancement_from_eps_scalar(self.eps_c_at(point), rs)
+    }
+
+    /// Scalar `F_xc = F_x + F_c` at a point of the functional's
+    /// [`Functional::var_space`] (derived; `None` without an exchange part).
+    /// The N-D grid baseline samples this for the Lieb–Oxford conditions.
+    fn f_xc_at(&self, point: &[f64]) -> Option<f64> {
+        self.f_x_at(point).map(|fx| fx + self.f_c_at(point))
     }
 }
 

@@ -29,10 +29,18 @@
 //! the [`Dfa`] enum is a thin delegation over them. Unit tests
 //! cross-validate the two code paths to <= 1e-10 relative error.
 //!
+//! Variable indices carry physical identity through the typed
+//! [`xcv_expr::VarSpace`] every [`Functional`] exposes via
+//! `Functional::var_space` (default: the positional convention above,
+//! derived from the family).
+//!
 //! The [`spin`] module extends the workload beyond the paper's `ζ = 0`
 //! restriction: [`SpinResolved`] citizens (`PBE(ζ)`, `PW92(ζ)`,
-//! `LSDA-X(ζ)`) carry ζ-general expression DAGs over a fourth canonical
-//! variable (`ζ`, index [`ZETA`]) and verify through the same pipeline.
+//! `LSDA-X(ζ)`) carry ζ-general expression DAGs over the canonical
+//! four-axis space (`ζ`, index [`ZETA`]), and [`SpinScaledX`] citizens
+//! (`B88(ζ)`, `PBE-X(ζ)`) carry exact-spin-scaled exchange over the
+//! per-spin space `(rs, s↑, s↓, ζ)` — all verifying through the same
+//! pipeline.
 
 pub mod am05;
 pub mod b88;
@@ -57,7 +65,7 @@ pub use functional::{
     FnFunctional, Functional, FunctionalHandle, IntoFunctional, RegisterFn, Registry,
 };
 pub use registry::{Design, Dfa, DfaInfo, Family, ALPHA, RS, S};
-pub use spin::{SpinResolved, ZETA};
+pub use spin::{SpinResolved, SpinScaledX, S_DOWN, S_UP, ZETA};
 
 /// The canonical variable set shared by every functional: `rs`, `s`, `alpha`.
 pub fn canonical_vars() -> xcv_expr::VarSet {

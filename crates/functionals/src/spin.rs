@@ -12,11 +12,19 @@
 //!   `ε_c(rs, ζ) = ε_c⁰ + α_c·f(ζ)/f''(0)·(1−ζ⁴) + (ε_c¹ − ε_c⁰)·f(ζ)·ζ⁴`
 //!   with the three PW92 `G`-function fits;
 //! * PBE correlation at general ζ via `φ(ζ) = ((1+ζ)^{2/3}+(1−ζ)^{2/3})/2`
-//!   entering both `t²` and the `H` term.
+//!   entering both `t²` and the `H` term;
+//! * **per-spin `s_σ` machinery** for GGA exchange at `ζ ≠ 0`:
+//!   [`f_x_spin_scaled`] / [`f_x_spin_scaled_expr`] apply exact spin
+//!   scaling `E_x[n↑,n↓] = (E_x[2n↑]+E_x[2n↓])/2` to any unpolarized
+//!   `F_x(s)`, producing an enhancement over `(rs, s↑, s↓, ζ)` — per-spin
+//!   reduced gradients no scalar `φ(ζ)` factor can express.
 //!
-//! The spin variable is a fourth canonical variable (`ζ`, index 3), so the
-//! existing solver and verifier run unchanged on spin-resolved conditions —
-//! see the `spin_conditions` integration test.
+//! The scalar-factor citizens ([`SpinResolved`]) live in the canonical
+//! space `rs, s, α, ζ`; the per-spin exchange citizens ([`SpinScaledX`]:
+//! `B88(ζ)`, `PBE-X(ζ)`) in `rs, s↑, s↓, ζ`. Both describe themselves
+//! through the typed [`xcv_expr::VarSpace`], so the solver, verifier and
+//! grid baseline run unchanged on spin-resolved conditions — see the
+//! `spin_conditions` and `spin_campaign` integration tests.
 
 use crate::constants::{A_X, C_T};
 use crate::registry::{RS, S};
@@ -24,6 +32,15 @@ use xcv_expr::{constant, var, Expr};
 
 /// Canonical variable index for ζ.
 pub const ZETA: u32 = 3;
+
+/// Variable index of the per-spin reduced gradient `s↑` in the
+/// exact-spin-scaled exchange space `(rs, s↑, s↓, ζ)`. It occupies the slot
+/// the scalar convention reserves for `s` — the typed
+/// [`xcv_expr::VarSpace`] is what tells the toolchain the difference.
+pub const S_UP: u32 = 1;
+/// Variable index of `s↓` in the exchange space (the slot `α` occupies in
+/// the scalar convention).
+pub const S_DOWN: u32 = 2;
 
 /// `f''(0) = 8 / (9 (2^{4/3} − 2))`.
 pub fn fpp0() -> f64 {
@@ -169,6 +186,39 @@ pub fn f_x_lsda_expr() -> Expr {
 }
 
 // ---------------------------------------------------------------------------
+// Per-spin s_σ machinery: GGA exchange at ζ ≠ 0 by exact spin scaling
+// ---------------------------------------------------------------------------
+
+/// Exact-spin-scaled GGA exchange enhancement, relative to the unpolarized
+/// gas at the same total density:
+///
+/// ```text
+/// E_x[n↑, n↓] = (E_x[2n↑] + E_x[2n↓]) / 2
+/// ⇒ F_x(s↑, s↓, ζ) = ((1+ζ)^{4/3} F_x(s↑) + (1−ζ)^{4/3} F_x(s↓)) / 2
+/// ```
+///
+/// where `s_σ` is the reduced gradient of the doubled spin-σ density — a
+/// *per-spin* variable no scalar `φ(ζ)` factor can express (each channel
+/// carries its own gradient). At `ζ = 0` and `s↑ = s↓ = s` this reduces to
+/// the unpolarized `F_x(s)`; at `ζ = ±1` it is `2^{1/3} F_x(s_σ)`, the LSDA
+/// scaling with the surviving channel's gradient.
+pub fn f_x_spin_scaled(fx: impl Fn(f64) -> f64, s_up: f64, s_dn: f64, z: f64) -> f64 {
+    0.5 * ((1.0 + z).powf(4.0 / 3.0) * fx(s_up) + (1.0 - z).powf(4.0 / 3.0) * fx(s_dn))
+}
+
+/// Symbolic [`f_x_spin_scaled`], built from a base enhancement DAG over the
+/// canonical `s` (index [`crate::registry::S`]). `s↑` keeps that slot
+/// (index [`S_UP`] = `S`); the `s↓` copy is formed by substitution onto
+/// index [`S_DOWN`]. The result lives in the `(rs, s↑, s↓, ζ)` space.
+pub fn f_x_spin_scaled_expr(fx_of_s: &Expr) -> Expr {
+    let z = var(ZETA);
+    let p = constant(4.0 / 3.0);
+    let up = fx_of_s.clone();
+    let dn = fx_of_s.subst_var(S, &var(S_DOWN));
+    constant(0.5) * ((constant(1.0) + &z).pow(&p) * up + (constant(1.0) - &z).pow(&p) * dn)
+}
+
+// ---------------------------------------------------------------------------
 // Registry citizenship: ζ-resolved functionals as first-class citizens
 // ---------------------------------------------------------------------------
 
@@ -251,9 +301,10 @@ impl Functional for SpinResolved {
         self.info.clone()
     }
 
-    /// Spin citizens are four-variable problems: `rs, s, α, ζ`.
-    fn arity(&self) -> usize {
-        4
+    /// Scalar-factor spin citizens live in the canonical four-axis space
+    /// `rs, s, α, ζ` (arity 4 is derived from it).
+    fn var_space(&self) -> VarSpace {
+        VarSpace::from_arity(4)
     }
 
     fn eps_c_expr(&self) -> Expr {
@@ -300,12 +351,135 @@ pub fn register_lsda_x(registry: &mut Registry) -> Result<FunctionalHandle, XcvE
     registry.register(Arc::new(SpinResolved::lsda_x()))
 }
 
-/// Module-level registration entry point: add all three ζ-resolved citizens
-/// (`PBE(ζ)`, `PW92(ζ)`, `LSDA-X(ζ)`).
+// ---------------------------------------------------------------------------
+// Per-spin exchange citizens over (rs, s↑, s↓, ζ)
+// ---------------------------------------------------------------------------
+
+use xcv_expr::{AxisKind, VarSpace};
+
+type BaseFx = Box<dyn Fn(f64) -> f64 + Send + Sync>;
+
+/// A GGA exchange functional extended to `ζ ≠ 0` by exact spin scaling —
+/// the citizens whose variable model the scalar `φ(ζ)`/`f(ζ)` machinery
+/// cannot express. The typed space is `(rs, s↑, s↓, ζ)`
+/// ([`Functional::var_space`] returns `Rs, SUp, SDown, Zeta`): per-spin
+/// reduced gradients occupy the slots the positional convention reserved
+/// for `s` and `α`, and every consumer (the PB box, the encoder, the
+/// compiled solver, the N-D grid baseline) follows the axes instead of the
+/// positions.
+///
+/// The inherited three-argument interface is the `ζ = 0, s↑ = s↓ = s`
+/// restriction — the base unpolarized `F_x(s)` — so the registry-wide
+/// agreement checks keep their meaning; the full per-spin surface is
+/// reachable through [`Functional::f_x_at`].
+pub struct SpinScaledX {
+    info: DfaInfo,
+    f_x_expr: Expr,
+    base_f_x: BaseFx,
+}
+
+impl SpinScaledX {
+    fn new(name: &str, design: Design, base_expr: &Expr, base_f_x: BaseFx) -> SpinScaledX {
+        SpinScaledX {
+            info: info(name, Family::Gga, design, true, false),
+            f_x_expr: f_x_spin_scaled_expr(base_expr),
+            base_f_x,
+        }
+    }
+
+    /// B88 exchange at general polarization. B88 already violates the
+    /// Lieb–Oxford bound near the `s = 5` edge at ζ = 0; spin scaling makes
+    /// the violating region larger (the `(1+ζ)^{4/3}` weight reaches
+    /// `2^{4/3}/2 = 2^{1/3}` at full polarization), so this citizen is the
+    /// matrix's genuine 4-D counterexample row.
+    pub fn b88() -> SpinScaledX {
+        SpinScaledX::new(
+            "B88(ζ)",
+            Design::Empirical,
+            &crate::b88::f_x_expr(),
+            Box::new(crate::b88::f_x),
+        )
+    }
+
+    /// PBE exchange at general polarization. `F_x ≤ 1.804` and
+    /// `F_x(s = 5) ≈ 1.70`, so the scaled enhancement stays below
+    /// `2^{1/3} · 1.70 ≈ 2.14 < C_LO` on the PB box: the Lieb–Oxford cells
+    /// verify at every ζ.
+    pub fn pbe_x() -> SpinScaledX {
+        SpinScaledX::new(
+            "PBE-X(ζ)",
+            Design::NonEmpirical,
+            &crate::pbe::f_x_expr(),
+            Box::new(crate::pbe::f_x),
+        )
+    }
+}
+
+impl Functional for SpinScaledX {
+    fn info(&self) -> DfaInfo {
+        self.info.clone()
+    }
+
+    /// The per-spin exchange space: `rs, s↑, s↓, ζ`.
+    fn var_space(&self) -> VarSpace {
+        VarSpace::of_kinds(&[AxisKind::Rs, AxisKind::SUp, AxisKind::SDown, AxisKind::Zeta])
+    }
+
+    /// Exchange-only citizen: `ε_c ≡ 0` (written with an `rs` factor so the
+    /// derived `F_c` stays a well-formed DAG over the space).
+    fn eps_c_expr(&self) -> Expr {
+        constant(0.0) * var(RS)
+    }
+
+    fn f_x_expr(&self) -> Option<Expr> {
+        Some(self.f_x_expr.clone())
+    }
+
+    fn eps_c(&self, _rs: f64, _s: f64, _alpha: f64) -> f64 {
+        0.0
+    }
+
+    /// The `ζ = 0, s↑ = s↓ = s` restriction: the base unpolarized `F_x(s)`.
+    fn f_x(&self, s: f64, _alpha: f64) -> Option<f64> {
+        Some((self.base_f_x)(s))
+    }
+
+    fn eps_c_at(&self, _point: &[f64]) -> f64 {
+        0.0
+    }
+
+    /// The full per-spin surface over `(rs, s↑, s↓, ζ)`.
+    fn f_x_at(&self, point: &[f64]) -> Option<f64> {
+        let g = |i: usize| point.get(i).copied().unwrap_or(0.0);
+        Some(f_x_spin_scaled(
+            &self.base_f_x,
+            g(S_UP as usize),
+            g(S_DOWN as usize),
+            g(ZETA as usize),
+        ))
+    }
+}
+
+/// Register the exact-spin-scaled B88 exchange ([`SpinScaledX::b88`]).
+pub fn register_b88(registry: &mut Registry) -> Result<FunctionalHandle, XcvError> {
+    registry.register(Arc::new(SpinScaledX::b88()))
+}
+
+/// Register the exact-spin-scaled PBE exchange ([`SpinScaledX::pbe_x`]).
+pub fn register_pbe_x(registry: &mut Registry) -> Result<FunctionalHandle, XcvError> {
+    registry.register(Arc::new(SpinScaledX::pbe_x()))
+}
+
+/// Module-level registration entry point: add every ζ-resolved citizen —
+/// the scalar-factor three (`PBE(ζ)`, `PW92(ζ)`, `LSDA-X(ζ)`, space
+/// `rs, s, α, ζ`) and the per-spin exchange two (`B88(ζ)`, `PBE-X(ζ)`,
+/// space `rs, s↑, s↓, ζ`).
 pub fn register(registry: &mut Registry) -> Result<(), XcvError> {
     register_pbe(registry)?;
     register_pw92(registry)?;
     register_lsda_x(registry)?;
+    register_b88(registry)?;
+    register_pbe_x(registry)?;
     Ok(())
 }
 
@@ -427,6 +601,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spin_scaled_fx_restrictions() {
+        // ζ = 0, s↑ = s↓ = s reduces to the base F_x(s); ζ = ±1 is the LSDA
+        // scaling of the surviving channel.
+        for &s in &[0.0, 0.7, 2.0, 5.0] {
+            let base = crate::b88::f_x(s);
+            assert!((f_x_spin_scaled(crate::b88::f_x, s, s, 0.0) - base).abs() < 1e-15);
+            let full = 2.0_f64.powf(1.0 / 3.0) * base;
+            assert!((f_x_spin_scaled(crate::b88::f_x, s, 9.9, 1.0) - full).abs() < 1e-13);
+            assert!((f_x_spin_scaled(crate::b88::f_x, 9.9, s, -1.0) - full).abs() < 1e-13);
+        }
+        // F_x(s↑, s↓, ζ) = F_x(s↓, s↑, −ζ) by spin symmetry.
+        let a = f_x_spin_scaled(crate::pbe::f_x, 1.0, 3.0, 0.4);
+        let b = f_x_spin_scaled(crate::pbe::f_x, 3.0, 1.0, -0.4);
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spin_scaled_expr_matches_scalar() {
+        for (expr, scalar) in [
+            (
+                f_x_spin_scaled_expr(&crate::b88::f_x_expr()),
+                crate::b88::f_x as fn(f64) -> f64,
+            ),
+            (
+                f_x_spin_scaled_expr(&crate::pbe::f_x_expr()),
+                crate::pbe::f_x as fn(f64) -> f64,
+            ),
+        ] {
+            for &su in &[0.0, 1.0, 4.5] {
+                for &sd in &[0.0, 2.0, 5.0] {
+                    for &z in &[-1.0, -0.3, 0.0, 0.8, 1.0] {
+                        let env = [1.7, su, sd, z];
+                        let sym = expr.eval(&env).unwrap();
+                        let num = f_x_spin_scaled(scalar, su, sd, z);
+                        assert!(
+                            (sym - num).abs() <= 1e-12 * num.abs().max(1e-12),
+                            "({su},{sd},{z}): {sym} vs {num}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_scaled_citizens_present_their_space() {
+        use crate::Functional;
+        let b = SpinScaledX::b88();
+        assert_eq!(b.arity(), 4);
+        let space = b.var_space();
+        assert_eq!(space.names(), vec!["rs", "s_up", "s_dn", "zeta"]);
+        assert_eq!(space.find(AxisKind::SUp).unwrap().index, S_UP);
+        assert_eq!(space.find(AxisKind::SDown).unwrap().index, S_DOWN);
+        // The 3-arg restriction is the base functional.
+        assert_eq!(b.f_x(1.0, 0.0), Some(crate::b88::f_x(1.0)));
+        // The full surface through the point interface.
+        let p = [1.0, 4.0, 0.5, 0.9];
+        let want = f_x_spin_scaled(crate::b88::f_x, 4.0, 0.5, 0.9);
+        assert_eq!(b.f_x_at(&p), Some(want));
+        assert_eq!(b.f_xc_at(&p), Some(want), "F_c ≡ 0 for exchange-only");
+        // B88 scaled past C_LO at the polarized corner; PBE-X never.
+        assert!(b.f_x_at(&[1.0, 5.0, 0.0, 1.0]).unwrap() > 2.27);
+        let px = SpinScaledX::pbe_x();
+        assert!(px.f_x_at(&[1.0, 5.0, 5.0, 1.0]).unwrap() < 2.27);
     }
 
     #[test]

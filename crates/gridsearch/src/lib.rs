@@ -10,6 +10,11 @@
 //! This is exactly the methodology XCVerifier is compared against in
 //! Table II: it scales effortlessly but proves nothing between grid points
 //! and inherits finite-difference error in the derivative conditions.
+//!
+//! The checker meshes the functional's typed `xcv_expr::VarSpace`, whatever
+//! its axes: the paper's `rs × s` (× `α`) grids, the ζ-aware 4-D meshes of
+//! the spin-resolved citizens, and the per-spin `(rs, s↑, s↓, ζ)` space of
+//! exact-spin-scaled exchange all run through the same N-D code path.
 
 mod gradient;
 mod pb;

@@ -87,33 +87,15 @@ pub fn classify(map: &RegionMap, grid: &GridResult) -> Consistency {
     }
 }
 
-/// Probe points for a failing grid cell: for meta-GGA grids (where a cell
-/// fails when *any* α slice fails) every meshed α is probed.
-fn probe_points(map: &RegionMap, grid: &GridResult, i: usize, j: usize) -> Vec<Vec<f64>> {
-    match map.domain.ndim() {
-        1 => vec![vec![grid.rs[i]]],
-        2 => vec![vec![grid.rs[i], grid.s[j]]],
-        _ => {
-            let alphas: Vec<f64> = if grid.alphas.is_empty() {
-                vec![map.domain.dim(2).midpoint()]
-            } else {
-                grid.alphas.clone()
-            };
-            alphas
-                .into_iter()
-                .map(|a| vec![grid.rs[i], grid.s[j], a])
-                .collect()
-        }
-    }
-}
-
 /// Does some PB-violating grid point land in a verifier counterexample
-/// region (on any α slice for meta-GGA)?
+/// region (on any trailing-axis slice for ≥3-D meshes)? The grid's mesh
+/// points are full-dimensional, so they probe the region map directly,
+/// whatever the variable space — ζ and per-spin axes included.
 fn ce_regions_overlap(map: &RegionMap, grid: &GridResult) -> bool {
     for i in 0..grid.n_rs() {
         for j in 0..grid.n_s() {
             if !grid.pass_at(i, j) {
-                for point in probe_points(map, grid, i, j) {
+                for point in grid.cell_points(i, j) {
                     if let Some(xcv_core::RegionStatus::Counterexample(_)) = map.status_at(&point) {
                         return true;
                     }
@@ -125,14 +107,15 @@ fn ce_regions_overlap(map: &RegionMap, grid: &GridResult) -> bool {
 }
 
 /// Are all PB violations compatible with the verifier's map? A violation
-/// contradicts only when *every* probe for its cell lies in a verified
-/// region (the meta-GGA grid does not record which α slice failed, so a
-/// single non-verified probe keeps the methods compatible).
+/// contradicts only when *every* probe for its projected cell lies in a
+/// verified region (the projection does not record which trailing slice
+/// failed, so a single non-verified probe keeps the methods compatible).
 fn grid_violations_only_in_undecided(map: &RegionMap, grid: &GridResult) -> bool {
     for i in 0..grid.n_rs() {
         for j in 0..grid.n_s() {
             if !grid.pass_at(i, j) {
-                let all_verified = probe_points(map, grid, i, j)
+                let all_verified = grid
+                    .cell_points(i, j)
                     .iter()
                     .all(|p| matches!(map.status_at(p), Some(xcv_core::RegionStatus::Verified)));
                 if all_verified {
@@ -164,13 +147,13 @@ mod tests {
     fn grid(pass: Vec<bool>, n: usize) -> GridResult {
         use xcv_functionals::IntoFunctional;
         let step = 1.0 / (n - 1) as f64;
+        let samples: Vec<f64> = (0..n).map(|i| i as f64 * step).collect();
         GridResult {
             functional: xcv_functionals::Dfa::Pbe.into_handle(),
             condition: xcv_conditions::Condition::EcNonPositivity,
-            rs: (0..n).map(|i| i as f64 * step).collect(),
-            s: (0..n).map(|i| i as f64 * step).collect(),
+            space: xcv_expr::VarSpace::from_arity(2),
+            axes: vec![samples.clone(), samples],
             pass,
-            alphas: Vec::new(),
         }
     }
 

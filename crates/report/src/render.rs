@@ -65,7 +65,7 @@ pub fn ascii_grid_map(grid: &GridResult, width: usize, height: usize) -> String 
     for row in 0..height {
         let frac_rs = 1.0 - (row as f64 + 0.5) / height as f64;
         let i_rs = ((frac_rs * (n_rs - 1) as f64).round() as usize).min(n_rs - 1);
-        out.push_str(&format!("{:5.2} |", grid.rs[i_rs]));
+        out.push_str(&format!("{:5.2} |", grid.axis_samples(0)[i_rs]));
         if n_s == 1 {
             out.push(if grid.pass_at(i_rs, 0) { '.' } else { '#' });
         } else {
@@ -219,6 +219,7 @@ mod tests {
             n_rs: 60,
             n_s: 60,
             n_alpha: 3,
+            n_zeta: 2,
             tol: 1e-9,
         };
         let g = xcv_grid::pb_check(

@@ -247,6 +247,7 @@ mod tests {
             n_rs: 60,
             n_s: 60,
             n_alpha: 3,
+            n_zeta: 2,
             tol: 1e-9,
         }
     }

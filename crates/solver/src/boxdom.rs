@@ -25,6 +25,12 @@ impl BoxDomain {
         }
     }
 
+    /// The Pederson–Burke search box of a typed variable space: one
+    /// dimension per [`xcv_expr::Axis`], using the axis bounds.
+    pub fn from_var_space(space: &xcv_expr::VarSpace) -> Self {
+        BoxDomain::from_bounds(&space.pb_box())
+    }
+
     pub fn ndim(&self) -> usize {
         self.dims.len()
     }

@@ -25,7 +25,7 @@ use crate::contract::Contraction;
 use crate::formula::{Atom, Formula, Rel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use xcv_expr::{IntervalTape, Tape};
+use xcv_expr::{IntervalTape, Tape, VarSpace};
 use xcv_interval::Interval;
 
 /// Global count of compilations — formulas, atoms, and lazily-built
@@ -99,13 +99,19 @@ struct FormulaAtom {
 }
 
 /// Lazily-built mean-value data: per atom, one interval tape over
-/// `[g, ∂g/∂v…]` plus the variable ids of the gradient roots.
+/// `[g, ∂g/∂axis…]` with the gradient roots *axis-indexed*.
 #[derive(Debug)]
 struct MvAtom {
     rel: Rel,
     itape: IntervalTape,
-    /// Variable id of gradient root `i + 1` (root 0 is `g` itself).
-    vars: Vec<u32>,
+    /// `grad_roots[axis]` is the tape-root index of `∂g/∂axis` (root 0 is
+    /// `g` itself), dense over the formula's variable space; `None` for an
+    /// axis the atom's expression does not mention (gradient ≡ 0).
+    grad_roots: Vec<Option<usize>>,
+    /// The expression mentions a variable beyond the space — the first-order
+    /// form then carries no information (dropping the term would tighten
+    /// unsoundly).
+    overflow: bool,
 }
 
 #[derive(Debug, Default)]
@@ -118,6 +124,11 @@ struct MeanValueProgram {
 #[derive(Debug)]
 pub struct CompiledFormula {
     source: Formula,
+    /// The typed variable space of the problem (set by
+    /// [`CompiledFormula::compile_in`]); mean-value gradients and witness
+    /// labels index by its axes. `None` for anonymous formulas compiled with
+    /// [`CompiledFormula::compile`].
+    space: Option<VarSpace>,
     itape: IntervalTape,
     /// One f64 tape over every atom's expression (shared subterms evaluated
     /// once per point); atoms read their values at `FormulaAtom::froot`.
@@ -133,6 +144,7 @@ impl Clone for CompiledFormula {
         // The OnceLock restarts empty; gradients rebuild lazily if needed.
         CompiledFormula {
             source: self.source.clone(),
+            space: self.space.clone(),
             itape: self.itape.clone(),
             ftape: self.ftape.clone(),
             atoms: self.atoms.clone(),
@@ -146,6 +158,17 @@ impl CompiledFormula {
     /// Lower `formula` to flat tapes. This is the *only* place the expression
     /// DAG is traversed; everything downstream is dense index arithmetic.
     pub fn compile(formula: &Formula) -> CompiledFormula {
+        Self::build(formula, None)
+    }
+
+    /// [`CompiledFormula::compile`] with a typed variable space attached:
+    /// the encoder passes the functional's `var_space()` so the compiled
+    /// problem knows what each variable index means.
+    pub fn compile_in(formula: &Formula, space: VarSpace) -> CompiledFormula {
+        Self::build(formula, Some(space))
+    }
+
+    fn build(formula: &Formula, space: Option<VarSpace>) -> CompiledFormula {
         COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let roots: Vec<xcv_expr::Expr> = formula.atoms.iter().map(|a| a.expr.clone()).collect();
         let itape = IntervalTape::compile(&roots);
@@ -163,6 +186,7 @@ impl CompiledFormula {
             .collect();
         CompiledFormula {
             source: formula.clone(),
+            space,
             itape,
             ftape,
             atoms,
@@ -174,6 +198,28 @@ impl CompiledFormula {
     /// The formula this was compiled from.
     pub fn formula(&self) -> &Formula {
         &self.source
+    }
+
+    /// The typed variable space, when one was attached at compile time.
+    pub fn var_space(&self) -> Option<&VarSpace> {
+        self.space.as_ref()
+    }
+
+    /// Number of variable axes the mean-value program is indexed by: the
+    /// attached space's dimension, or (for anonymous formulas) one past the
+    /// highest variable index any atom mentions.
+    fn mv_nvars(&self) -> usize {
+        match &self.space {
+            Some(s) => s.ndim(),
+            None => self
+                .source
+                .atoms
+                .iter()
+                .flat_map(|a| a.expr.free_vars())
+                .map(|v| v as usize + 1)
+                .max()
+                .unwrap_or(0),
+        }
     }
 
     /// Re-expose atom `i`'s slice of the shared f64 tape as a standalone
@@ -296,19 +342,29 @@ impl CompiledFormula {
             // Counted so the compile-once tests catch an accidental
             // per-box gradient rebuild just like any other recompilation.
             COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+            let nvars = self.mv_nvars();
             MeanValueProgram {
                 atoms: self
                     .source
                     .atoms
                     .iter()
                     .map(|a| {
-                        let vars = a.expr.free_vars();
+                        let free = a.expr.free_vars();
+                        let overflow = free.iter().any(|&v| v as usize >= nvars);
+                        // Gradients indexed by axis: only the axes the
+                        // expression mentions are differentiated and
+                        // lowered; the rest stay `None` (gradient ≡ 0).
                         let mut roots: Vec<xcv_expr::Expr> = vec![a.expr.clone()];
-                        roots.extend(vars.iter().map(|&v| a.expr.diff(v)));
+                        let mut grad_roots: Vec<Option<usize>> = vec![None; nvars];
+                        for &v in free.iter().filter(|&&v| (v as usize) < nvars) {
+                            grad_roots[v as usize] = Some(roots.len());
+                            roots.push(a.expr.diff(v));
+                        }
                         MvAtom {
                             rel: a.rel,
                             itape: IntervalTape::compile(&roots),
-                            vars,
+                            grad_roots,
+                            overflow,
                         }
                     })
                     .collect(),
@@ -337,6 +393,11 @@ impl CompiledFormula {
     pub fn mv_contract(&self, b: &BoxDomain, scratch: &mut SolveScratch) -> Option<BoxDomain> {
         let mut current = b.clone();
         for atom in &self.mv().atoms {
+            if atom.overflow {
+                // A variable beyond the space cannot be bounded by the box:
+                // the first-order form carries no information for this atom.
+                continue;
+            }
             let mid = current.midpoint();
             let vals = &mut scratch.mvals;
             vals.resize(atom.itape.len(), Interval::ENTIRE);
@@ -350,14 +411,25 @@ impl CompiledFormula {
             if g_m.is_empty() {
                 continue;
             }
-            // Gradient ranges over the full box.
+            // An axis past the box's dimension has an unbounded offset:
+            // contracting without its term would be unsound, so skip.
+            if atom
+                .grad_roots
+                .iter()
+                .skip(current.ndim())
+                .any(Option::is_some)
+            {
+                continue;
+            }
+            // Gradient ranges over the full box, indexed by axis.
             atom.itape.forward(current.dims(), vals);
             let grads: Vec<(usize, Interval)> = atom
-                .vars
+                .grad_roots
                 .iter()
                 .enumerate()
-                .filter(|(_, v)| (**v as usize) < current.ndim())
-                .map(|(i, v)| (*v as usize, vals[atom.itape.root_slot(i + 1) as usize]))
+                .filter_map(|(axis, root)| {
+                    root.map(|r| (axis, vals[atom.itape.root_slot(r) as usize]))
+                })
                 .collect();
             let offsets: Vec<Interval> = grads
                 .iter()
@@ -393,6 +465,12 @@ impl CompiledFormula {
 
 /// Rigorous first-order enclosure of one atom's expression over `b`.
 fn mv_enclosure(atom: &MvAtom, b: &BoxDomain, scratch: &mut SolveScratch) -> Interval {
+    if atom.overflow {
+        // The expression mentions a variable beyond the space (malformed
+        // formula): the first-order form carries no information. Dropping
+        // the term instead would tighten unsoundly.
+        return Interval::ENTIRE;
+    }
     let mid = b.midpoint();
     let vals = &mut scratch.mvals;
     vals.resize(atom.itape.len(), Interval::ENTIRE);
@@ -408,15 +486,15 @@ fn mv_enclosure(atom: &MvAtom, b: &BoxDomain, scratch: &mut SolveScratch) -> Int
     }
     atom.itape.forward(b.dims(), vals);
     let mut total = g_m;
-    for (i, &v) in atom.vars.iter().enumerate() {
-        // A variable beyond the box's dimension (malformed formula) has an
-        // unbounded offset: the first-order form carries no information.
-        // Dropping the term instead would tighten unsoundly.
-        let Some(&m_v) = mid.get(v as usize) else {
+    for (axis, root) in atom.grad_roots.iter().enumerate() {
+        let Some(r) = root else { continue };
+        // An axis beyond the box's dimension has an unbounded offset: the
+        // first-order form carries no information.
+        let Some(&m_v) = mid.get(axis) else {
             return Interval::ENTIRE;
         };
-        let grad_range = vals[atom.itape.root_slot(i + 1) as usize];
-        let dim = b.dim(v as usize);
+        let grad_range = vals[atom.itape.root_slot(*r) as usize];
+        let dim = b.dim(axis);
         let offset = dim.sub(&Interval::point(m_v));
         total = total.add(&grad_range.mul(&offset));
     }
@@ -558,6 +636,38 @@ mod tests {
     // Counter-flatness assertions live in `tests/compile_once.rs`: unit
     // tests here share a process with sibling tests that compile formulas
     // on parallel threads, so a global-counter window would be racy.
+
+    #[test]
+    fn compiled_space_is_carried_and_mv_stays_axis_sound() {
+        use xcv_expr::AxisKind;
+        // A formula over axes 0 and 2 (axis 1 unused — its gradient slot
+        // must stay None) with a typed per-spin space attached.
+        let f = Formula::single(Atom::new(var(0) * var(2) - 1.0, Rel::Le));
+        let space = VarSpace::of_kinds(&[AxisKind::Rs, AxisKind::SUp, AxisKind::SDown]);
+        let compiled = CompiledFormula::compile_in(&f, space);
+        assert_eq!(
+            compiled.var_space().unwrap().names(),
+            vec!["rs", "s_up", "s_dn"]
+        );
+        // x0·x2 ∈ [4, 9] on the box, so x0·x2 ≤ 1 is provably infeasible —
+        // through the axis-indexed mean-value program and the legacy path
+        // alike.
+        let b = BoxDomain::from_bounds(&[(2.0, 3.0), (0.0, 5.0), (2.0, 3.0)]);
+        let mut scratch = SolveScratch::new();
+        assert!(compiled.mv_certainly_infeasible(&b, &mut scratch));
+        let mut legacy = crate::meanvalue::MeanValue::new(&f);
+        assert!(legacy.certainly_infeasible(&b));
+        // Anonymous compilation still works, with no space attached.
+        let anon = CompiledFormula::compile(&f);
+        assert!(anon.var_space().is_none());
+        assert!(anon.mv_certainly_infeasible(&b, &mut scratch));
+        // And contraction agrees between the two compilations.
+        let wide = BoxDomain::from_bounds(&[(0.0, 3.0), (0.0, 5.0), (0.0, 3.0)]);
+        assert_eq!(
+            compiled.contract(&wide, &mut scratch),
+            anon.contract(&wide, &mut scratch)
+        );
+    }
 
     #[test]
     fn mv_out_of_range_var_is_no_information() {

@@ -21,17 +21,29 @@ fn main() {
         n_rs: 200,
         n_s: 200,
         n_alpha: 9,
+        n_zeta: 2,
         tol: 1e-9,
     };
     let grid = pb_check(dfa, cond, &grid_cfg).expect("applicable");
     println!("=== PB grid search: {dfa} / {cond} ===");
     println!("{}", ascii_grid_map(&grid, 60, 20));
     match grid.violation_bbox() {
-        Some(((r0, r1), (s0, s1))) => println!(
-            "grid: {} of {} points violate; bounding box rs ∈ [{r0:.2}, {r1:.2}], s ∈ [{s0:.2}, {s1:.2}]",
-            grid.n_violations(),
-            grid.pass.len()
-        ),
+        Some(bb) => {
+            // Per-axis bounds, labeled by the typed variable space.
+            let box_str: Vec<String> = grid
+                .space
+                .axes()
+                .iter()
+                .zip(&bb)
+                .map(|(ax, (lo, hi))| format!("{} ∈ [{lo:.2}, {hi:.2}]", ax.name))
+                .collect();
+            println!(
+                "grid: {} of {} points violate; bounding box {}",
+                grid.n_violations(),
+                grid.pass.len(),
+                box_str.join(", ")
+            );
+        }
         None => println!("grid: no violations found"),
     }
 

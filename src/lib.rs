@@ -11,24 +11,32 @@
 //! * [`interval`] — outward-rounded interval arithmetic with certified
 //!   transcendental enclosures (including Lambert W for AM05);
 //! * [`expr`] — a hash-consed symbolic expression DAG with exact
-//!   differentiation, evaluation back-ends, and a Python-subset DSL frontend
-//!   with a symbolic executor (the XCEncoder pipeline);
+//!   differentiation, evaluation back-ends, a Python-subset DSL frontend
+//!   with a symbolic executor (the XCEncoder pipeline), and the typed
+//!   [`prelude::VarSpace`] axis layer: every variable index carries a name,
+//!   an [`prelude::AxisKind`] (`rs`, `s`, `α`, `ζ`, per-spin `s↑`/`s↓`) and
+//!   its Pederson–Burke bounds, so "arity" is a description the whole
+//!   pipeline can reason about instead of an integer;
 //! * [`solver`] — a δ-complete decision procedure (HC4 interval constraint
 //!   propagation + branch-and-prune), the dReal substitute, organized as
 //!   compile-once solve sessions: each formula is lowered to flat interval
 //!   and f64 tapes a single time, and the whole box tree is solved against
 //!   that shared program with per-thread scratch buffers;
 //! * [`functionals`] — the open functional registry: a [`prelude::Functional`]
-//!   trait (symbolic DAGs + scalar closed forms + metadata), the paper's
-//!   five DFAs as built-in implementations, and runtime registration of
-//!   user-defined functionals (e.g. DSL-compiled, via
-//!   [`prelude::DslFunctional`]);
+//!   trait (symbolic DAGs + scalar closed forms + metadata + a
+//!   `var_space()` describing its input axes), the paper's five DFAs as
+//!   built-in implementations, and runtime registration of user-defined
+//!   functionals (e.g. DSL-compiled, via [`prelude::DslFunctional`]);
 //! * [`conditions`] — the seven Pederson–Burke exact conditions as local
 //!   conditions over enhancement factors, dispatching through the trait;
+//!   the search box is the functional's `var_space()` box
+//!   ([`prelude::pb_domain`]);
 //! * [`core`] — the encoder, the recursive domain-splitting verifier
 //!   (Algorithm 1), and the [`prelude::Campaign`] engine that schedules
 //!   whole verification matrices;
-//! * [`grid`] — the Pederson–Burke grid-search baseline;
+//! * [`grid`] — the Pederson–Burke grid-search baseline, meshing any
+//!   variable space (ζ and per-spin axes included) with per-axis violation
+//!   boxes;
 //! * [`report`] — region-map rendering and the paper's Tables I/II, built
 //!   directly from campaign reports.
 //!
@@ -81,26 +89,47 @@
 //! and the `solver_bench` binary tracks the resulting throughput in
 //! `BENCH_solver.json`.
 //!
-//! ## Per-module registration and the spin-general (ζ ≠ 0) workload
+//! ## Typed variable spaces and the spin-general (ζ ≠ 0) workload
 //!
 //! Every built-in functional lives in its own module
 //! (`functionals::{pbe, scan, rscan, lyp, b88, am05, vwn, pw92}`) and
 //! exports a module-level `register` entry point; the built-in registries
 //! ([`prelude::Registry::builtin`], `extended`, `with_builtins`) are
 //! assembled purely from those calls — no enum `match` holds a functional
-//! body. Spin-resolved functionals ([`prelude::SpinResolved`]: `PBE(ζ)`,
-//! `PW92(ζ)`, `LSDA-X(ζ)`) are ordinary citizens with **arity 4**
-//! (`rs, s, α, ζ`, with `ζ ∈ [−1, 1]` appended to the Pederson–Burke box):
-//! the encoder, the compiled-tape solver and the campaign scheduler run the
-//! ζ-general Table I/II cells unchanged, and the cost-aware scheduler
-//! ([`prelude::pair_cost`], [`prelude::CampaignSchedule`]) starts the
-//! biggest cells first so they never straggle at the tail of the pool.
+//! body.
+//!
+//! What a functional *is a function of* is described by its typed
+//! [`prelude::VarSpace`] (`Functional::var_space()`): an ordered list of
+//! axes, each with a name, an [`prelude::AxisKind`] and its PB bounds. The
+//! default is the positional convention derived from the family
+//! (`rs` | `rs, s` | `rs, s, α`), and every consumer follows the axes:
+//! [`prelude::pb_domain`] is the space's box, the encoder attaches the
+//! space to the compiled formula (axis-indexed mean-value gradients,
+//! axis-labeled witnesses), and the grid baseline meshes whatever axes the
+//! space declares.
+//!
+//! That typing is what makes the spin workload expressible. The
+//! scalar-factor citizens ([`prelude::SpinResolved`]: `PBE(ζ)`, `PW92(ζ)`,
+//! `LSDA-X(ζ)`) live in the canonical `rs, s, α, ζ` space; the **per-spin**
+//! exchange citizens ([`prelude::SpinScaledX`]: `B88(ζ)`, `PBE-X(ζ)`, built
+//! by exact spin scaling `E_x[n↑,n↓] = (E_x[2n↑]+E_x[2n↓])/2`) live in
+//! `(rs, s↑, s↓, ζ)` — per-spin reduced gradients that no positional arity
+//! convention could name. The encoder, the compiled-tape solver, the
+//! campaign scheduler and the grid baseline run all of them unchanged, and
+//! the cost-aware scheduler ([`prelude::pair_cost`], or better a
+//! [`prelude::CostModel`] *fit from measured wall-clocks* via
+//! [`prelude::CampaignBuilder::cost_model`]) starts the biggest cells first
+//! so they never straggle at the tail of the pool.
 //!
 //! ```
 //! use xcverifier::prelude::*;
 //!
-//! // Assemble a registry from module-level registration, then put a
-//! // ζ-resolved citizen next to a paper builtin.
+//! // A per-spin citizen describes its own axes...
+//! let b88 = SpinScaledX::b88();
+//! assert_eq!(b88.var_space().names(), vec!["rs", "s_up", "s_dn", "zeta"]);
+//! assert_eq!(pb_domain(&b88).ndim(), 4);
+//!
+//! // ...and registers/verifies like any other functional.
 //! let mut registry = Registry::empty();
 //! xcverifier::functionals::vwn::register(&mut registry).unwrap();
 //! xcverifier::functionals::spin::register_pw92(&mut registry).unwrap();
@@ -162,14 +191,15 @@ pub use xcv_solver as solver;
 pub mod prelude {
     pub use xcv_conditions::{applicable_pairs, applicable_pairs_in, pb_domain, Condition, C_LO};
     pub use xcv_core::{
-        pair_cost, Campaign, CampaignBuilder, CampaignEvent, CampaignReport, CampaignSchedule,
-        CancelToken, EncodedProblem, Encoder, PairOutcome, Region, RegionMap, RegionStatus,
-        SkipReason, TableMark, Verifier, VerifierConfig,
+        pair_cost, pair_features, Campaign, CampaignBuilder, CampaignEvent, CampaignReport,
+        CampaignSchedule, CancelToken, CostModel, EncodedProblem, Encoder, PairOutcome, Region,
+        RegionMap, RegionStatus, SkipReason, TableMark, Verifier, VerifierConfig,
     };
-    pub use xcv_expr::{constant, var, Expr, VarSet};
+    pub use xcv_expr::{constant, var, Axis, AxisKind, Expr, VarSet, VarSpace};
     pub use xcv_functionals::{
         Design, Dfa, DfaInfo, DslFunctional, Family, FnFunctional, Functional, FunctionalHandle,
-        IntoFunctional, Registry, SpinResolved, XcvError, ALPHA, RS, S, ZETA,
+        IntoFunctional, Registry, SpinResolved, SpinScaledX, XcvError, ALPHA, RS, S, S_DOWN, S_UP,
+        ZETA,
     };
     pub use xcv_grid::{pb_check, GridConfig, GridResult};
     pub use xcv_interval::{interval, point, Interval};

@@ -20,6 +20,7 @@ fn grid_cfg() -> GridConfig {
         n_rs: 80,
         n_s: 80,
         n_alpha: 3,
+        n_zeta: 2,
         tol: 1e-9,
     }
 }
@@ -212,7 +213,7 @@ fn verifier_unsat_boxes_contain_no_grid_violations() {
         for i in 0..grid.n_rs() {
             for j in 0..grid.n_s() {
                 if !grid.pass_at(i, j) {
-                    let pt = [grid.rs[i], grid.s[j]];
+                    let pt = [grid.axis_samples(0)[i], grid.axis_samples(1)[j]];
                     assert!(
                         !matches!(map.status_at(&pt), Some(RegionStatus::Verified)),
                         "{dfa}/{cond}: grid violation at {pt:?} inside a verified region"
@@ -283,6 +284,6 @@ fn blyp_violates_lieb_oxford_extension() {
         !grid.satisfied(),
         "grid should also flag B88's LO violation"
     );
-    let ((_, _), (s0, _)) = grid.violation_bbox().unwrap();
+    let (s0, _) = grid.violation_bbox().unwrap()[1];
     assert!(s0 > 4.0, "grid violations start near the edge, got s={s0}");
 }

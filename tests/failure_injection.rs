@@ -122,6 +122,7 @@ fn grid_minimum_resolution() {
         n_rs: 2,
         n_s: 2,
         n_alpha: 2,
+        n_zeta: 2,
         tol: 1e-9,
     };
     for dfa in [Dfa::VwnRpa, Dfa::Pbe, Dfa::Scan] {

@@ -65,6 +65,7 @@ fn table2_full_matrix_never_inconsistent() {
         n_rs: 50,
         n_s: 50,
         n_alpha: 3,
+        n_zeta: 2,
         tol: 1e-9,
     };
     let t2 = run_table2(&tiny_verifier(), &grid);

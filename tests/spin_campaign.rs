@@ -42,19 +42,35 @@ fn spin_conditions() -> [Condition; 4] {
 fn spin_registry_shape() {
     let _guard = COUNTER_WINDOW.lock().unwrap();
     let r = Registry::spin();
-    assert_eq!(r.names(), vec!["PBE(ζ)", "PW92(ζ)", "LSDA-X(ζ)"]);
+    assert_eq!(
+        r.names(),
+        vec!["PBE(ζ)", "PW92(ζ)", "LSDA-X(ζ)", "B88(ζ)", "PBE-X(ζ)"]
+    );
     // 5 correlation conditions × 2 correlation citizens + 2 LO conditions
-    // for the exchange citizen.
-    assert_eq!(applicable_pairs_in(&r).len(), 12);
+    // for each of the 3 exchange citizens.
+    assert_eq!(applicable_pairs_in(&r).len(), 16);
     for f in r.iter() {
         assert_eq!(f.arity(), 4, "{}", f.name());
+        let space = f.var_space();
+        assert!(space.is_spin_resolved(), "{}", f.name());
         let d = pb_domain(f.as_ref());
         assert_eq!(d.ndim(), 4);
+        // Whatever the middle axes are (s, α or s↑, s↓), ζ is axis 3.
+        assert_eq!(space.find(AxisKind::Zeta).unwrap().index, 3);
         assert_eq!(d.dim(3).lo, -1.0);
         assert_eq!(d.dim(3).hi, 1.0);
     }
-    // The spin-general workload registry: 8 module entries + 3 ζ citizens.
-    assert_eq!(Registry::spin_general().len(), 11);
+    // The per-spin exchange citizens present s↑/s↓ where the scalar-factor
+    // ones present s/α.
+    let b88 = r.get("B88(ζ)").unwrap();
+    assert_eq!(b88.var_space().names(), vec!["rs", "s_up", "s_dn", "zeta"]);
+    assert!(r
+        .get("PBE(ζ)")
+        .unwrap()
+        .var_space()
+        .contains(AxisKind::Alpha));
+    // The spin-general workload registry: 8 module entries + 5 ζ citizens.
+    assert_eq!(Registry::spin_general().len(), 13);
 }
 
 #[test]
@@ -63,9 +79,16 @@ fn zeta_zero_restriction_matches_base_functionals() {
     use xcverifier::functionals::{pbe, pw92};
     let spbe = SpinResolved::pbe();
     let spw = SpinResolved::pw92();
+    let sb88 = SpinScaledX::b88();
+    let spbex = SpinScaledX::pbe_x();
     for &(rs, s) in &[(0.5, 0.5), (1.0, 1.0), (3.0, 2.0)] {
         assert!((spbe.eps_c(rs, s, 0.0) - pbe::eps_c(rs, s)).abs() < 1e-13);
         assert!((spw.eps_c(rs, s, 0.0) - pw92::eps_c(rs)).abs() < 1e-15);
+        // Per-spin exchange at ζ = 0, s↑ = s↓ = s is the base 3-arg F_x.
+        use xcverifier::functionals::b88;
+        assert_eq!(sb88.f_x(s, 0.0), Some(b88::f_x(s)));
+        assert_eq!(spbex.f_x(s, 0.0), Some(pbe::f_x(s)));
+        assert!((sb88.f_x_at(&[rs, s, s, 0.0]).unwrap() - b88::f_x(s)).abs() < 1e-15);
     }
     // The full spin surface is reachable through the point interface, and
     // agrees with the symbolic DAG the encoder verifies (the spin analogue
@@ -108,7 +131,7 @@ fn spin_campaign_marks_match_direct_verifier() {
         .build()
         .unwrap()
         .run();
-    assert_eq!(report.pairs.len(), 12);
+    assert_eq!(report.pairs.len(), 20);
     // Every cell that ran must reproduce the direct (pre-campaign) solver
     // path bit for bit: same encoding, same config, same mark.
     let mut compared = 0;
@@ -128,9 +151,9 @@ fn spin_campaign_marks_match_direct_verifier() {
         );
         compared += 1;
     }
-    // EC1 + EC2 for each correlation citizen, LO + LO-ext for the exchange
-    // citizen.
-    assert_eq!(compared, 6);
+    // EC1 + EC2 for each correlation citizen, LO + LO-ext for each of the
+    // three exchange citizens (per-spin s↑/s↓ cells included).
+    assert_eq!(compared, 10);
 }
 
 #[test]
@@ -163,6 +186,19 @@ fn spin_campaign_agrees_with_standalone_spin_tests() {
             assert_ne!(mark, TableMark::NotApplicable, "{name} / {cond:?}");
         }
     }
+    // The spin-scaled PBE exchange stays below C_LO at every polarization
+    // (max 2^{1/3}·F_x(5) ≈ 2.14): no valid counterexample can exist.
+    for cond in [Condition::LiebOxford, Condition::LiebOxfordExt] {
+        let mark = report.mark("PBE-X(ζ)", cond).unwrap();
+        assert_ne!(mark, TableMark::Counterexample, "PBE-X(ζ) / {cond:?}");
+        assert_ne!(mark, TableMark::NotApplicable, "PBE-X(ζ) / {cond:?}");
+    }
+    // B88(ζ) genuinely violates: whatever the budget decides here, its LO
+    // cells ran (the targeted solver test below pins the violation itself).
+    assert_ne!(
+        report.mark("B88(ζ)", Condition::LiebOxfordExt),
+        Some(TableMark::NotApplicable)
+    );
     // And any witness the campaign ever reports must exactly violate ψ.
     let registry = Registry::spin();
     for (name, cond, w) in report.counterexamples() {
@@ -187,7 +223,9 @@ fn spin_campaign_compiles_once_per_cell() {
         .run();
     let compiles = xcverifier::solver::compile_count() - before;
     let cells = report.encoded_pairs() as u64;
-    assert_eq!(cells, 3);
+    // EC1 for the two correlation citizens, LO-ext for the three exchange
+    // citizens.
+    assert_eq!(cells, 5);
     // ψ shares the ¬ψ tape (PR 3), so each encoded cell lowers once; allow
     // the lazily-built mean-value program on top, nothing per box.
     assert!(

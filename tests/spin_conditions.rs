@@ -91,6 +91,71 @@ fn spin_stiffness_sign() {
 }
 
 #[test]
+fn b88_spin_scaled_violates_lieb_oxford_extension() {
+    // The per-spin B88 citizen: near full polarization with a large s↑,
+    // F_x(s↑, s↓, ζ) = ((1+ζ)^{4/3} F(s↑) + (1−ζ)^{4/3} F(s↓))/2 exceeds
+    // C_LO = 2.27 on the whole sub-box (min ≈ 2.5 at ζ = 0.9, s↑ = 4.5), so
+    // the solver must produce a δ-SAT model that *exactly* violates ψ —
+    // the end-to-end 4-D counterexample of the per-spin variable model.
+    let f = std::sync::Arc::new(SpinScaledX::b88());
+    let p = Encoder::encode(f, Condition::LiebOxfordExt).unwrap();
+    assert_eq!(p.space.names(), vec!["rs", "s_up", "s_dn", "zeta"]);
+    // rs free, s↑ ∈ [4.5, 5], s↓ free, ζ ∈ [0.9, 1].
+    let corner = BoxDomain::new(vec![
+        interval(1e-4, 5.0),
+        interval(4.5, 5.0),
+        interval(0.0, 5.0),
+        interval(0.9, 1.0),
+    ]);
+    let solver = DeltaSolver::new(1e-3, SolveBudget::millis(3_000));
+    match solver.solve(&corner, p.negation()) {
+        Outcome::DeltaSat(m) => {
+            assert!(
+                !p.psi().holds_at(&m),
+                "witness must exactly violate ψ: {m:?}"
+            );
+            // The witness reads through the typed axes: s↑ large, ζ near 1.
+            assert!(m[1] >= 4.5 && m[3] >= 0.9, "{m:?}");
+        }
+        other => panic!("expected a counterexample on the violating corner, got {other:?}"),
+    }
+    // The mirrored corner (ζ near −1, s↓ large) violates by spin symmetry.
+    let mirrored = BoxDomain::new(vec![
+        interval(1e-4, 5.0),
+        interval(0.0, 5.0),
+        interval(4.5, 5.0),
+        interval(-1.0, -0.9),
+    ]);
+    match solver.solve(&mirrored, p.negation()) {
+        Outcome::DeltaSat(m) => assert!(!p.psi().holds_at(&m)),
+        other => panic!("expected the mirrored counterexample, got {other:?}"),
+    }
+}
+
+#[test]
+fn pbe_x_spin_scaled_lieb_oxford_verifies() {
+    // 2^{1/3}·F_x^{PBE}(s ≤ 5) ≈ 2.14 < 2.27: away from the dependency-
+    // problem-heavy ζ interior, the solver proves the spin-scaled PBE
+    // exchange satisfies the LO extension outright.
+    let f = std::sync::Arc::new(SpinScaledX::pbe_x());
+    let p = Encoder::encode(f, Condition::LiebOxfordExt).unwrap();
+    let polarized = BoxDomain::new(vec![
+        interval(1e-4, 5.0),
+        interval(0.0, 5.0),
+        interval(0.0, 5.0),
+        interval(0.9, 1.0),
+    ]);
+    let solver = DeltaSolver::new(1e-3, SolveBudget::millis(3_000));
+    assert_eq!(solver.solve(&polarized, p.negation()), Outcome::Unsat);
+    // On the full ζ range a δ-SAT answer with an invalid model is
+    // acceptable (inconclusive), a valid counterexample never is.
+    match solver.solve(&p.domain, p.negation()) {
+        Outcome::DeltaSat(m) => assert!(p.psi().holds_at(&m), "spurious witness {m:?}"),
+        Outcome::Unsat | Outcome::Timeout => {}
+    }
+}
+
+#[test]
 fn spin_derivative_condition_solver_ready() {
     // ∂F_c/∂rs >= 0 (EC2) extends to the spin-resolved PBE: encode with the
     // symbolic ζ-aware derivative and check there is no valid counterexample
