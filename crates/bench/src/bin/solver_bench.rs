@@ -1,18 +1,24 @@
-//! Solver throughput benchmark: compile-once sessions vs the seed per-call
-//! path, on a deterministic box schedule per Table I pair.
+//! Solver throughput benchmark: compile-once sessions (scalar and batched)
+//! vs the seed per-call path, on a deterministic box schedule per Table I
+//! pair.
 //!
 //! ```text
-//! solver_bench [--nodes N] [--depth D] [--out FILE] [--extended] [--spin]
+//! solver_bench [--nodes N] [--depth D] [--batch B] [--out FILE] [--extended] [--spin]
 //! ```
 //!
 //! For every applicable (functional, condition) pair the PB domain is split
 //! `--depth` times (the verifier's `split(D)` schedule), and each resulting
-//! box is solved with a `--nodes` node budget three ways:
+//! box is solved with a `--nodes` node budget four ways:
 //!
 //! * **session**   — one `CompiledFormula` + one `SolveScratch` shared
-//!   across the whole schedule (the architecture `Verifier`/`Campaign` run);
-//! * **recompile** — the same tape machinery, recompiled per box (isolates
-//!   the compilation overhead the session removes);
+//!   across the whole schedule, scalar DFS;
+//! * **batched**   — the same session with `batch_width = --batch`: the
+//!   frontier engine evaluates up to B boxes per SoA tape pass and
+//!   re-evaluates children dirty-slot-only from their parent's forward
+//!   image. Outcomes are asserted identical to the scalar session, tally
+//!   by tally — the engines run the same search;
+//! * **recompile** — the scalar tape machinery, recompiled per box
+//!   (isolates the compilation overhead the session removes);
 //! * **seed**      — the original architecture, vendored in
 //!   [`xcv_bench::seed_baseline`]: contractor rebuilt per box over
 //!   hash-mapped `IntervalEnv` storage, branch scoring through the
@@ -20,18 +26,18 @@
 //!
 //! Results (boxes, solver nodes, wall-clock, nodes/sec, speedups) are
 //! printed as a table and written as JSON to `--out` (default
-//! `BENCH_solver.json`) — the checked-in snapshot starts the perf trajectory
-//! for later PRs.
+//! `BENCH_solver.json`) — the checked-in snapshot tracks the perf
+//! trajectory across PRs.
 //!
-//! The JSON also carries a `campaign` entry — the same matrix run as one
+//! The JSON (schema v4) also carries: a `batched` entry — batch width,
+//! total batched vs scalar-session wall, and a campaign-level TableMark
+//! identity check; a `campaign` entry — the same matrix run as one
 //! [`Campaign`] under matrix-order and under cost-aware scheduling, with
-//! both wall-clocks — and a `cost_model` entry: the log-linear scheduler
+//! both wall-clocks; and a `cost_model` entry: the log-linear scheduler
 //! cost model **fit by least squares from the matrix-order run's own
-//! recorded per-pair wall-clocks** (schema v3). The cost-aware run is
-//! scheduled by that fitted model, not the hand weights; the regression
-//! check is that it is never slower than matrix order beyond noise and that
-//! the two runs produce identical marks (`tests/bench_snapshot.rs` pins the
-//! checked-in snapshot).
+//! recorded per-pair wall-clocks**. The cost-aware run is scheduled by that
+//! fitted model, not the hand weights; `tests/bench_snapshot.rs` pins the
+//! checked-in snapshot (including batched ≤ scalar-session wall).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -43,6 +49,7 @@ use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveBudget, SolveScratch};
 struct Opts {
     nodes: u64,
     depth: u32,
+    batch: usize,
     out: String,
     extended: bool,
     spin: bool,
@@ -52,6 +59,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         nodes: 800,
         depth: 2,
+        batch: 8,
         out: "BENCH_solver.json".into(),
         extended: false,
         spin: false,
@@ -66,6 +74,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--depth" => {
                 i += 1;
                 o.depth = args[i].parse().expect("--depth takes an integer");
+            }
+            "--batch" => {
+                i += 1;
+                o.batch = args[i].parse().expect("--batch takes an integer");
             }
             "--out" => {
                 i += 1;
@@ -141,6 +153,7 @@ fn campaign_run(
     nodes: u64,
     schedule: CampaignSchedule,
     model: Option<&CostModel>,
+    batch: Option<usize>,
 ) -> (f64, CampaignReport) {
     let config = VerifierConfig {
         split_threshold: 0.625,
@@ -160,6 +173,9 @@ fn campaign_run(
     if let Some(m) = model {
         builder = builder.cost_model(m.clone());
     }
+    if let Some(w) = batch {
+        builder = builder.batch_width(w);
+    }
     let campaign = builder.build().expect("registry is non-empty");
     let t0 = Instant::now();
     let report = campaign.run();
@@ -177,25 +193,28 @@ fn main() {
         (Encoder::encode_all(), Registry::builtin())
     };
     let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(opts.nodes));
+    let batched_solver = solver.clone().with_batch_width(opts.batch);
     println!(
-        "== solver_bench: {} pairs, split depth {}, {} nodes/box ==",
+        "== solver_bench: {} pairs, split depth {}, {} nodes/box, batch width {} ==",
         problems.len(),
         opts.depth,
-        opts.nodes
+        opts.nodes,
+        opts.batch
     );
     println!(
-        "{:<12} {:<28} {:>5} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "{:<12} {:<28} {:>5} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
         "functional",
         "condition",
         "boxes",
         "sess kn/s",
+        "batch kn/s",
         "rcmp kn/s",
         "seed kn/s",
-        "vs seed",
-        "vs rcmp"
+        "vs sess",
+        "vs seed"
     );
     let mut records = Vec::new();
-    let mut totals = [ModeResult::default(); 3];
+    let mut totals = [ModeResult::default(); 4];
     for p in &problems {
         let boxes = box_schedule(&p.domain, opts.depth);
         // Session mode: the problem's compiled formula + one scratch, shared
@@ -211,6 +230,17 @@ fn main() {
             session.absorb_outcome(&outcome);
         }
         session.wall_s = t0.elapsed().as_secs_f64();
+        // Batched mode: same compiled formula and scratch, frontier engine.
+        let _ = batched_solver.solve_compiled(&boxes[0], p.compiled(), &mut scratch);
+        let mut batched = ModeResult::default();
+        let t0 = Instant::now();
+        for b in &boxes {
+            let (outcome, stats) =
+                batched_solver.solve_compiled_with_stats(b, p.compiled(), &mut scratch);
+            batched.nodes += stats.nodes;
+            batched.absorb_outcome(&outcome);
+        }
+        batched.wall_s = t0.elapsed().as_secs_f64();
         // Recompile mode: same tapes, compiled per call.
         let mut recompile = ModeResult::default();
         let t0 = Instant::now();
@@ -229,14 +259,14 @@ fn main() {
             seed.absorb_outcome(&outcome);
         }
         seed.wall_s = t0.elapsed().as_secs_f64();
-        // The three modes run the same deterministic search under a pure
-        // node budget: any outcome divergence is a correctness bug, not a
-        // benchmark artifact.
+        // All compiled modes run the same deterministic search under a pure
+        // node budget: any divergence is a correctness bug, not a benchmark
+        // artifact. The batched engine must even match node for node.
         let counts = |m: &ModeResult| (m.unsat, m.delta_sat, m.timeout);
         assert_eq!(
-            counts(&session),
-            counts(&seed),
-            "session and seed outcomes diverged on {} / {}",
+            (session.nodes, counts(&session)),
+            (batched.nodes, counts(&batched)),
+            "batched and scalar sessions diverged on {} / {}",
             p.functional_name(),
             p.condition.name()
         );
@@ -247,36 +277,57 @@ fn main() {
             p.functional_name(),
             p.condition.name()
         );
+        // The vendored seed always bisects the globally widest axis; the
+        // current solver deliberately never splits axes the formula does
+        // not mention, so a pair whose atom leaves some axis untouched
+        // (several ζ-resolved cells) legitimately decides cells the seed
+        // burns its budget splitting. Tally identity with the seed is only
+        // asserted where the policies coincide — full support.
+        let full_support = (0..p.domain.ndim()).all(|i| p.compiled().supports_axis(i));
+        if full_support {
+            assert_eq!(
+                counts(&session),
+                counts(&seed),
+                "session and seed outcomes diverged on {} / {}",
+                p.functional_name(),
+                p.condition.name()
+            );
+        }
+        let vs_session = session.wall_s / batched.wall_s.max(1e-12);
         let vs_seed = seed.wall_s / session.wall_s.max(1e-12);
         let vs_recompile = recompile.wall_s / session.wall_s.max(1e-12);
         println!(
-            "{:<12} {:<28} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x {:>8.2}x",
+            "{:<12} {:<28} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x {:>8.2}x",
             p.functional_name(),
             p.condition.name(),
             boxes.len(),
             session.knodes_per_sec(),
+            batched.knodes_per_sec(),
             recompile.knodes_per_sec(),
             seed.knodes_per_sec(),
-            vs_seed,
-            vs_recompile
+            vs_session,
+            vs_seed
         );
         let mut rec = String::new();
         let _ = write!(
             rec,
             "    {{\"functional\": \"{}\", \"condition\": \"{}\", \"boxes\": {}, \
-             \"session\": {}, \"recompile\": {}, \"seed\": {}, \
-             \"speedup_vs_seed\": {:.2}, \"speedup_vs_recompile\": {:.2}}}",
+             \"session\": {}, \"batched\": {}, \"recompile\": {}, \"seed\": {}, \
+             \"speedup_vs_seed\": {:.2}, \"speedup_vs_recompile\": {:.2}, \
+             \"batched_speedup_vs_session\": {:.2}}}",
             p.functional_name(),
             p.condition.name(),
             boxes.len(),
             json_mode(&session),
+            json_mode(&batched),
             json_mode(&recompile),
             json_mode(&seed),
             vs_seed,
-            vs_recompile
+            vs_recompile,
+            vs_session
         );
         records.push(rec);
-        for (t, m) in totals.iter_mut().zip([session, recompile, seed]) {
+        for (t, m) in totals.iter_mut().zip([session, batched, recompile, seed]) {
             t.nodes += m.nodes;
             t.unsat += m.unsat;
             t.delta_sat += m.delta_sat;
@@ -292,8 +343,13 @@ fn main() {
     // total work per schedule is identical, so the min is the noise-robust
     // estimator — on a one-core machine the two converge, on many cores
     // cost-aware wins the makespan).
-    let (matrix_s, matrix_report) =
-        campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder, None);
+    let (matrix_s, matrix_report) = campaign_run(
+        &registry,
+        opts.nodes,
+        CampaignSchedule::MatrixOrder,
+        None,
+        None,
+    );
     let model = matrix_report
         .fit_cost_model()
         .expect("matrix cells recorded wall-clocks");
@@ -312,6 +368,7 @@ fn main() {
         opts.nodes,
         CampaignSchedule::CostAware,
         Some(&model),
+        None,
     );
     let matrix_marks: Vec<xcv_core::TableMark> =
         matrix_report.pairs.iter().map(|p| p.mark).collect();
@@ -320,40 +377,74 @@ fn main() {
         matrix_marks, cost_marks,
         "scheduling order changed campaign outcomes"
     );
-    let (matrix_s2, _) = campaign_run(&registry, opts.nodes, CampaignSchedule::MatrixOrder, None);
+    // Batched campaign: identical TableMarks are a hard requirement — the
+    // batch width is pure perf.
+    let (batched_campaign_s, batched_report) = campaign_run(
+        &registry,
+        opts.nodes,
+        CampaignSchedule::CostAware,
+        Some(&model),
+        Some(opts.batch),
+    );
+    let batched_marks: Vec<xcv_core::TableMark> =
+        batched_report.pairs.iter().map(|p| p.mark).collect();
+    assert_eq!(
+        matrix_marks, batched_marks,
+        "batched solving changed campaign outcomes"
+    );
+    let (matrix_s2, _) = campaign_run(
+        &registry,
+        opts.nodes,
+        CampaignSchedule::MatrixOrder,
+        None,
+        None,
+    );
     let (cost_s2, _) = campaign_run(
         &registry,
         opts.nodes,
         CampaignSchedule::CostAware,
         Some(&model),
+        None,
     );
     let matrix_s = matrix_s.min(matrix_s2);
     let cost_s = cost_s.min(cost_s2);
     println!(
-        "campaign ({} cells): matrix-order {:.0} ms, cost-aware (measured model) {:.0} ms ({:.2}x)",
+        "campaign ({} cells): matrix-order {:.0} ms, cost-aware (measured model) {:.0} ms ({:.2}x), \
+         batched (width {}) {:.0} ms",
         matrix_marks.len(),
         matrix_s * 1e3,
         cost_s * 1e3,
-        matrix_s / cost_s.max(1e-12)
+        matrix_s / cost_s.max(1e-12),
+        opts.batch,
+        batched_campaign_s * 1e3,
     );
 
-    let [total_session, total_recompile, total_seed] = totals;
+    let [total_session, total_batched, total_recompile, total_seed] = totals;
     let total_vs_seed = total_seed.wall_s / total_session.wall_s.max(1e-12);
+    let batched_vs_session = total_session.wall_s / total_batched.wall_s.max(1e-12);
     println!(
-        "total: session {:.1} knodes/s ({:.0} ms), recompile {:.1} knodes/s ({:.0} ms), \
-         seed {:.1} knodes/s ({:.0} ms) => {:.2}x vs seed",
+        "total: session {:.1} knodes/s ({:.0} ms), batched {:.1} knodes/s ({:.0} ms, {:.2}x vs \
+         session), recompile {:.1} knodes/s ({:.0} ms), seed {:.1} knodes/s ({:.0} ms) => {:.2}x \
+         vs seed (scalar), {:.2}x (batched)",
         total_session.knodes_per_sec(),
         total_session.wall_s * 1e3,
+        total_batched.knodes_per_sec(),
+        total_batched.wall_s * 1e3,
+        batched_vs_session,
         total_recompile.knodes_per_sec(),
         total_recompile.wall_s * 1e3,
         total_seed.knodes_per_sec(),
         total_seed.wall_s * 1e3,
-        total_vs_seed
+        total_vs_seed,
+        total_seed.wall_s / total_batched.wall_s.max(1e-12),
     );
     let json = format!(
-        "{{\n  \"schema\": \"xcv-bench-solver/v3\",\n  \"config\": {{\"nodes_per_box\": {}, \
+        "{{\n  \"schema\": \"xcv-bench-solver/v4\",\n  \"config\": {{\"nodes_per_box\": {}, \
          \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
-         \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \"campaign\": \
+         \"batched\": {}, \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \
+         \"batched\": {{\"batch_width\": {}, \"wall_ms\": {:.3}, \"session_wall_ms\": {:.3}, \
+         \"speedup_vs_session\": {:.2}, \"campaign_wall_ms\": {:.3}, \"marks_identical\": true, \
+         \"tallies_identical\": true}},\n  \"campaign\": \
          {{\"cells\": {}, \"matrix_order_wall_ms\": {:.3}, \"cost_aware_wall_ms\": {:.3}, \
          \"speedup_vs_matrix_order\": {:.2}, \"scheduler\": \"measured-cost-model\"}},\n  \
          \"cost_model\": {{\"kind\": \"log-linear\", \"features\": [\"family\", \"2^ndim\", \
@@ -363,9 +454,15 @@ fn main() {
         opts.depth,
         problems.len(),
         json_mode(&total_session),
+        json_mode(&total_batched),
         json_mode(&total_recompile),
         json_mode(&total_seed),
         total_vs_seed,
+        opts.batch,
+        total_batched.wall_s * 1e3,
+        total_session.wall_s * 1e3,
+        batched_vs_session,
+        batched_campaign_s * 1e3,
         matrix_marks.len(),
         matrix_s * 1e3,
         cost_s * 1e3,

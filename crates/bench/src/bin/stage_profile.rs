@@ -1,0 +1,186 @@
+//! Stage profiler (a developer tool, not part of the snapshot): where does
+//! a solve's wall-clock go on a heavy pair? Breaks a node's cost into
+//! forward / HC4-round / decision-stage pieces and measures the batched
+//! tape primitives (full, masked, and mixed-mask lanes) against their
+//! scalar counterparts — the numbers behind the batched-engine design
+//! notes in ROADMAP.md.
+
+use std::time::Instant;
+use xcv_conditions::Condition;
+use xcv_core::Encoder;
+use xcv_functionals::Dfa;
+use xcv_solver::{CompiledFormula, DeltaSolver, SolveBudget, SolveScratch};
+
+fn main() {
+    for (dfa, cond) in [
+        (Dfa::Scan, Condition::UcMonotonicity),
+        (Dfa::Scan, Condition::EcScaling),
+        (Dfa::Pbe, Condition::UcMonotonicity),
+    ] {
+        let p = Encoder::encode(dfa, cond).unwrap();
+        let compiled = p.compiled();
+        let mut scratch = SolveScratch::new();
+        let b = &p.domain;
+        println!(
+            "{:?}/{:?}: {} interval slots",
+            dfa,
+            cond,
+            compiled.interval_slots()
+        );
+        // Forward-only cost.
+        let anon = CompiledFormula::compile(p.negation());
+        let n = 2000;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let c = anon.contract_with_rounds(b, &mut scratch, 0);
+            std::hint::black_box(&c);
+        }
+        println!(
+            "  forward+extract only (0 rounds): {:?}/call",
+            t0.elapsed() / n
+        );
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let c = anon.contract_with_rounds(b, &mut scratch, 1);
+            std::hint::black_box(&c);
+        }
+        println!("  1 round : {:?}/call", t0.elapsed() / n);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let c = anon.contract_with_rounds(b, &mut scratch, 3);
+            std::hint::black_box(&c);
+        }
+        println!("  3 rounds: {:?}/call", t0.elapsed() / n);
+        // Whole solve at the bench budget.
+        let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(800));
+        let t0 = Instant::now();
+        let (_, stats) = solver.solve_compiled_with_stats(b, compiled, &mut scratch);
+        let el = t0.elapsed();
+        println!(
+            "  solve: {} nodes in {:?} ({:?}/node)",
+            stats.nodes,
+            el,
+            el / stats.nodes.max(1) as u32
+        );
+        // Decision-stage costs: the f64 midpoint checks and branch scoring.
+        let mid = b.midpoint();
+        let t0 = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(compiled.holds_at(&mid, &mut scratch));
+        }
+        println!("  holds_at(mid): {:?}", t0.elapsed() / n);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(compiled.violation_score(&mid, &mut scratch));
+        }
+        println!("  violation_score: {:?}", t0.elapsed() / n);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let m = b.midpoint();
+            let (l, r, _) = compiled.bisect_supported(b);
+            std::hint::black_box((m, l, r));
+        }
+        println!("  midpoint+bisect: {:?}", t0.elapsed() / n);
+        // Raw tape primitives: scalar forward x8 vs one SoA batch of 8.
+        use xcv_expr::IntervalTape;
+        use xcv_interval::Interval;
+        let roots: Vec<xcv_expr::Expr> =
+            p.negation().atoms.iter().map(|a| a.expr.clone()).collect();
+        let tape = IntervalTape::compile(&roots);
+        let boxes: Vec<Vec<Interval>> = (0..8)
+            .map(|k| {
+                b.dims()
+                    .iter()
+                    .map(|d| {
+                        let w = d.width();
+                        Interval::new(d.lo, d.lo + w * (0.3 + 0.08 * k as f64))
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut vals = tape.scratch();
+        let t0 = Instant::now();
+        for _ in 0..n {
+            for bx in &boxes {
+                tape.forward(bx, &mut vals);
+                std::hint::black_box(&vals);
+            }
+        }
+        println!("  scalar forward x8: {:?}", t0.elapsed() / n);
+        let domains: Vec<&[Interval]> = boxes.iter().map(|v| v.as_slice()).collect();
+        let dirty = vec![u64::MAX; 8];
+        let mut soa = tape.scratch_batch(8);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            tape.forward_batch(8, &domains, &dirty, &mut soa);
+            std::hint::black_box(&soa);
+        }
+        println!("  forward_batch w=8 full: {:?}", t0.elapsed() / n);
+        // Per-axis cones and masked-forward costs.
+        for axis in 0..b.ndim() {
+            let cone = tape.cone_count(1 << axis);
+            tape.forward(&boxes[0], &mut vals);
+            let t0 = Instant::now();
+            for _ in 0..n {
+                tape.forward_masked(1 << axis, &boxes[0], &mut vals);
+                std::hint::black_box(&vals);
+            }
+            println!(
+                "  axis {axis}: cone {cone}/{} masked forward {:?}",
+                tape.len(),
+                t0.elapsed() / n
+            );
+        }
+        // Backward: scalar x8 vs one batched sweep over 8 lanes.
+        let mut cols: Vec<Vec<Interval>> = (0..8)
+            .map(|j| {
+                tape.forward(&boxes[j], &mut vals);
+                vals.clone()
+            })
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..n {
+            for c in cols.iter_mut() {
+                std::hint::black_box(tape.backward(c));
+            }
+        }
+        println!("  scalar backward x8: {:?}", t0.elapsed() / n);
+        for j in 0..8 {
+            for i in 0..tape.len() {
+                soa[i * 8 + j] = cols[j][i];
+            }
+        }
+        let mut alive = [true; 8];
+        let t0 = Instant::now();
+        for _ in 0..n {
+            alive = [true; 8];
+            tape.backward_batch(8, &mut alive, &mut soa);
+            std::hint::black_box(&alive);
+        }
+        println!(
+            "  backward_batch w=8: {:?} (alive {:?})",
+            t0.elapsed() / n,
+            alive
+        );
+        // Mixed batch: singleton masks rotating over axes (seeded columns).
+        let mut dirty2 = vec![0u64; 8];
+        for (k, d) in dirty2.iter_mut().enumerate() {
+            *d = 1 << (k % b.ndim());
+        }
+        for j in 0..8 {
+            tape.forward(&boxes[j], &mut vals);
+            for i in 0..tape.len() {
+                soa[i * 8 + j] = vals[i];
+            }
+        }
+        let t0 = Instant::now();
+        for _ in 0..n {
+            tape.forward_batch(8, &domains, &dirty2, &mut soa);
+            std::hint::black_box(&soa);
+        }
+        println!(
+            "  forward_batch w=8 singleton masks: {:?}",
+            t0.elapsed() / n
+        );
+    }
+}

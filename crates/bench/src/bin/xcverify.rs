@@ -207,6 +207,18 @@ fn main() -> ExitCode {
             };
             repro_config(budget_ms, threshold, max_depth)
         });
+    // Start measured when a persisted scheduler model is available (the
+    // `cost_model` entry of BENCH_solver.json); ordering only — a stale or
+    // absent model never changes any verdict.
+    if let Some(m) = xcv_bench::load_cost_model() {
+        if !quiet {
+            eprintln!(
+                "scheduler: measured cost model ({} samples, r\u{b2} {:.2}) from BENCH_solver.json",
+                m.samples, m.r2
+            );
+        }
+        builder = builder.cost_model(m);
+    }
     if let Some(ms) = deadline_ms {
         builder = builder.global_budget_ms(ms);
     }

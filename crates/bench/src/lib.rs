@@ -75,3 +75,13 @@ pub fn default_grid() -> GridConfig {
 pub fn bench_verifier() -> Verifier {
     repro_verifier(50, 1.25, 3)
 }
+
+/// The measured scheduler cost model persisted by `solver_bench` — the
+/// `cost_model` entry of `BENCH_solver.json` (`XCV_COST_MODEL` overrides the
+/// path). The `repro` and `xcverify` binaries attach it at startup so long
+/// campaigns start from *measured* weights; `None` (no file, no entry, or a
+/// malformed one) falls back to the hand-weighted `pair_cost` ranking.
+pub fn load_cost_model() -> Option<xcv_core::CostModel> {
+    let path = std::env::var("XCV_COST_MODEL").unwrap_or_else(|_| "BENCH_solver.json".to_string());
+    xcv_core::CostModel::load_bench_json(path)
+}

@@ -1,9 +1,12 @@
 //! Regression pins on the checked-in `BENCH_solver.json` snapshot (written
-//! by the `solver_bench` binary): schema v3, a persisted measured cost
-//! model, and the scheduling-order guarantee — cost-aware order is never
-//! slower than matrix order by more than 10% *on the snapshot* (the
-//! wall-clocks in the file are min-of-2 on the machine that produced it;
-//! CI re-runs the binary separately with its own noise slack).
+//! by the `solver_bench` binary): schema v4, a persisted measured cost
+//! model, the batched-engine guarantee — batched-session wall is faster
+//! than the scalar-session wall *on the snapshot*, with identical tallies
+//! and TableMarks (asserted inside the binary at write time) — and the
+//! scheduling-order guarantee: cost-aware order is never slower than
+//! matrix order by more than 10% on the snapshot (the wall-clocks in the
+//! file are min-of-2 on the machine that produced it; CI re-runs the
+//! binary separately with its own noise slack).
 
 use std::path::PathBuf;
 
@@ -37,9 +40,9 @@ fn number(json: &str, key: &str) -> f64 {
 }
 
 #[test]
-fn snapshot_is_schema_v3_with_a_cost_model() {
+fn snapshot_is_schema_v4_with_a_cost_model() {
     let json = snapshot();
-    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v3\"");
+    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v4\"");
     let model = &json[json.find("\"cost_model\"").expect("cost_model entry")..];
     assert_eq!(field(model, "kind"), "\"log-linear\"");
     // Four finite weights, a positive sample count, and a sane r².
@@ -75,4 +78,46 @@ fn snapshot_still_beats_the_seed_architecture() {
     let json = snapshot();
     let total = &json[json.find("\"total\"").expect("total entry")..];
     assert!(number(total, "speedup_vs_seed") >= 1.5);
+}
+
+#[test]
+fn snapshot_cost_model_loads_for_campaign_startup() {
+    // The `repro`/`xcverify` binaries start campaigns from this persisted
+    // model ([`xcv_core::CostModel::load_bench_json`]); the checked-in
+    // snapshot must stay loadable, not just well-formed text.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solver.json");
+    let m = xcv_core::CostModel::load_bench_json(&path).expect("persisted model loads");
+    assert!(m.samples >= 40);
+    assert!((0.0..=1.0).contains(&m.r2));
+    assert!(m.weights.iter().all(|w| w.is_finite()));
+    // And it ranks like a cost model should: the meta-GGA second-derivative
+    // cell costs more than the LDA sign check.
+    use xcv_conditions::Condition;
+    use xcv_functionals::Dfa;
+    assert!(
+        m.predict(&Dfa::Scan, Condition::UcMonotonicity)
+            > m.predict(&Dfa::VwnRpa, Condition::EcNonPositivity)
+    );
+}
+
+#[test]
+fn snapshot_batched_entry_pins_batched_not_slower_than_scalar() {
+    // The v4 `batched` entry: the frontier engine ran the same search
+    // (identical tallies and campaign TableMarks are asserted inside
+    // `solver_bench` before the file is written — the flags record that)
+    // and was measurably faster than the scalar session on the snapshot.
+    let json = snapshot();
+    let batched = &json[json.find("\"batched\"").expect("batched entry")..];
+    assert!(number(batched, "batch_width") >= 2.0);
+    let wall = number(batched, "wall_ms");
+    let session = number(batched, "session_wall_ms");
+    assert!(wall > 0.0 && session > 0.0);
+    assert!(
+        wall <= session,
+        "batched regressed below the scalar session on the snapshot: \
+         {wall:.0} ms vs {session:.0} ms"
+    );
+    assert!(number(batched, "speedup_vs_session") >= 1.05);
+    assert_eq!(field(batched, "marks_identical"), "true");
+    assert_eq!(field(batched, "tallies_identical"), "true");
 }

@@ -191,6 +191,41 @@ impl CostModel {
         })
     }
 
+    /// Load the `cost_model` entry persisted in a `BENCH_solver.json`
+    /// written by the `solver_bench` binary, so long campaigns start from
+    /// *measured* scheduling weights instead of the hand-tuned
+    /// [`pair_cost`]. Returns `None` — callers fall back to `pair_cost` —
+    /// when the file is missing, unreadable, or carries no well-formed
+    /// entry (absent weights, non-finite values); a stale-but-valid model
+    /// still only affects ordering, never results.
+    pub fn load_bench_json(path: impl AsRef<std::path::Path>) -> Option<CostModel> {
+        let json = std::fs::read_to_string(path).ok()?;
+        let entry = &json[json.find("\"cost_model\"")?..];
+        let field = |key: &str| -> Option<&str> {
+            let rest = &entry[entry.find(&format!("\"{key}\":"))? + key.len() + 3..];
+            let rest = rest.trim_start();
+            if let Some(stripped) = rest.strip_prefix('[') {
+                return Some(stripped[..stripped.find(']')?].trim());
+            }
+            Some(rest[..rest.find([',', '}', ']'])?].trim())
+        };
+        let weights: Vec<f64> = field("weights")?
+            .split(',')
+            .map(|w| w.trim().parse().ok())
+            .collect::<Option<_>>()?;
+        let weights: [f64; 4] = weights.try_into().ok()?;
+        if weights.iter().any(|w| !w.is_finite()) {
+            return None;
+        }
+        let samples: usize = field("samples")?.parse().ok()?;
+        let r2: f64 = field("r2")?.parse().ok()?;
+        (samples > 0 && (0.0..=1.0).contains(&r2)).then_some(CostModel {
+            weights,
+            samples,
+            r2,
+        })
+    }
+
     /// Predicted relative cost of one cell: `exp` of the fitted log-cost
     /// (`≈ 1 + wall_ms` in the fit's units). Only ratios matter for the
     /// schedule.
@@ -447,6 +482,7 @@ pub struct CampaignBuilder {
     global_budget_ms: Option<u64>,
     schedule: CampaignSchedule,
     cost_model: Option<CostModel>,
+    batch_width: Option<usize>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -522,9 +558,20 @@ impl CampaignBuilder {
     /// Rank cells with a measured [`CostModel`] instead of the hand-weighted
     /// [`pair_cost`] (only affects [`CampaignSchedule::CostAware`]). Fit one
     /// from a previous run's report ([`CampaignReport::fit_cost_model`]) or
-    /// from the persisted `cost_model` entry of `BENCH_solver.json`.
+    /// load the persisted `cost_model` entry of `BENCH_solver.json`
+    /// ([`CostModel::load_bench_json`]).
     pub fn cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = Some(model);
+        self
+    }
+
+    /// Solver frontier batch width for every pair (overrides whatever the
+    /// base config or the config policy set): how many boxes each
+    /// branch-and-prune tape pass evaluates at once. Outcomes and marks are
+    /// identical at any width — this knob only trades per-box overhead for
+    /// batched instruction dispatch and dirty-slot child re-evaluation.
+    pub fn batch_width(mut self, width: usize) -> Self {
+        self.batch_width = Some(width.max(1));
         self
     }
 
@@ -581,6 +628,7 @@ impl CampaignBuilder {
             global_budget_ms: self.global_budget_ms,
             schedule: self.schedule,
             cost_model: self.cost_model,
+            batch_width: self.batch_width,
             on_event: self.on_event,
             cancel: self.cancel,
         })
@@ -596,6 +644,7 @@ pub struct Campaign {
     global_budget_ms: Option<u64>,
     schedule: CampaignSchedule,
     cost_model: Option<CostModel>,
+    batch_width: Option<usize>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -610,6 +659,7 @@ impl Campaign {
             global_budget_ms: None,
             schedule: CampaignSchedule::default(),
             cost_model: None,
+            batch_width: None,
             on_event: Vec::new(),
             cancel: CancelToken::new(),
         }
@@ -763,6 +813,9 @@ impl Campaign {
             (Some(p), Some(r)) => Some(p.min(r)),
             (p, r) => p.or(r),
         };
+        if let Some(w) = self.batch_width {
+            config.solver.batch_width = w;
+        }
         let t0 = Instant::now();
         let map = Verifier::new(config).verify(problem);
         let wall_ms = t0.elapsed().as_millis();
@@ -907,6 +960,62 @@ mod tests {
         for (a, b) in base.pairs.iter().zip(&refit.pairs) {
             assert_eq!(a.mark, b.mark, "{} / {}", a.functional_name(), a.condition);
         }
+    }
+
+    #[test]
+    fn batched_campaign_marks_match_scalar() {
+        // The batch-width knob must be pure perf: identical marks cell by
+        // cell, at any width.
+        let run = |width: Option<usize>| {
+            let mut b = Campaign::builder()
+                .functionals([Dfa::VwnRpa, Dfa::Lyp])
+                .conditions([Condition::EcNonPositivity, Condition::EcScaling])
+                .config(quick_config(5_000));
+            if let Some(w) = width {
+                b = b.batch_width(w);
+            }
+            b.build().unwrap().run()
+        };
+        let scalar = run(None);
+        for width in [2, 8] {
+            let batched = run(Some(width));
+            for (a, b) in scalar.pairs.iter().zip(&batched.pairs) {
+                assert_eq!(
+                    a.mark,
+                    b.mark,
+                    "width {width}: {} / {}",
+                    a.functional_name(),
+                    a.condition
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persisted_cost_model_round_trips() {
+        let m = CostModel {
+            weights: [-2.337412, 2.58292, -0.328711, 1.590768],
+            samples: 45,
+            r2: 0.7678,
+        };
+        let path = std::env::temp_dir().join(format!("xcv_cost_model_{}.json", std::process::id()));
+        let json = format!(
+            "{{\n  \"schema\": \"xcv-bench-solver/v4\",\n  \"cost_model\": {{\"kind\": \
+             \"log-linear\", \"features\": [\"family\", \"2^ndim\", \"condition_class\"], \
+             \"weights\": [{}, {}, {}, {}], \"samples\": {}, \"r2\": {}}}\n}}\n",
+            m.weights[0], m.weights[1], m.weights[2], m.weights[3], m.samples, m.r2
+        );
+        std::fs::write(&path, json).unwrap();
+        let got = CostModel::load_bench_json(&path).expect("well-formed entry");
+        std::fs::remove_file(&path).ok();
+        // f64 Display round-trips exactly, so the loaded model is the model.
+        assert_eq!(got, m);
+        // Missing file or entry degrade to None (callers fall back).
+        assert!(CostModel::load_bench_json("/nonexistent/bench.json").is_none());
+        let bad = std::env::temp_dir().join(format!("xcv_no_model_{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"schema\": \"xcv-bench-solver/v4\"}").unwrap();
+        assert!(CostModel::load_bench_json(&bad).is_none());
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

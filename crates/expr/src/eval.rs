@@ -161,6 +161,31 @@ pub(crate) enum Instr {
 #[derive(Debug, Clone)]
 pub struct Tape {
     code: Vec<Instr>,
+    /// Per-slot transitive variable-dependency bitsets (see
+    /// [`crate::IntervalTape::deps`] — same construction), powering
+    /// [`Tape::run_masked`].
+    deps: Vec<u64>,
+}
+
+/// Per-slot transitive variable-dependency bitsets of a lowered program:
+/// bit `v` set when the slot depends on variable `v` (variables `>= 64`
+/// saturate to all-ones — sound, only ever over-recomputing). Shared by the
+/// f64 [`Tape`] and [`crate::IntervalTape`].
+pub(crate) fn compute_deps(code: &[Instr]) -> Vec<u64> {
+    let mut deps = vec![0u64; code.len()];
+    for i in 0..code.len() {
+        deps[i] = match code[i] {
+            Instr::Const(_) | Instr::IConst(_) => 0,
+            Instr::Var(v) if v < 64 => 1 << v,
+            Instr::Var(_) => u64::MAX,
+            op => {
+                let mut m = 0u64;
+                for_each_operand(op, |a| m |= deps[a as usize]);
+                m
+            }
+        };
+    }
+    deps
 }
 
 /// A DAG (one or more roots, shared nodes lowered once) flattened into a
@@ -264,7 +289,7 @@ fn map_operands(instr: Instr, mut f: impl FnMut(u32) -> u32) -> Instr {
 }
 
 /// Visit the operand slots of one instruction.
-fn for_each_operand(instr: Instr, mut f: impl FnMut(u32)) {
+pub(crate) fn for_each_operand(instr: Instr, mut f: impl FnMut(u32)) {
     map_operands(instr, |a| {
         f(a);
         a
@@ -455,7 +480,20 @@ impl Tape {
         let mut lowered = lower_dag(roots);
         fold_constants_f64(&mut lowered);
         compact(&mut lowered);
-        (Tape { code: lowered.code }, lowered.roots)
+        let deps = compute_deps(&lowered.code);
+        (
+            Tape {
+                code: lowered.code,
+                deps,
+            },
+            lowered.roots,
+        )
+    }
+
+    /// The per-slot variable-dependency bitsets (see
+    /// [`crate::IntervalTape::deps`]).
+    pub fn deps(&self) -> &[u64] {
+        &self.deps
     }
 
     /// A scratch register file sized for this tape (reuse across calls).
@@ -488,6 +526,29 @@ impl Tape {
                 Instr::Var(v) => vars.get(v as usize).copied().unwrap_or(f64::NAN),
                 // Interval constants never appear in f64 tapes (see
                 // `fold_constants_interval`).
+                Instr::IConst(_) => unreachable!("IConst in an f64 tape"),
+                op => run_one_f64(op, scratch),
+            };
+        }
+    }
+
+    /// Dirty-slot re-run: recompute only the slots whose dependency set
+    /// intersects `mask`, leaving every other register untouched — the f64
+    /// analogue of `IntervalTape::forward_masked`. Precondition: `scratch`
+    /// holds [`Tape::run`]'s image of a point that is *bitwise* identical
+    /// to `vars` on every variable outside `mask` (bitwise, because `-0.0`
+    /// and `0.0` compare equal but divide differently). Under it, the
+    /// result equals a full re-run bit for bit: skipped slots have
+    /// unchanged inputs, recomputed slots read unchanged or recomputed
+    /// operands in program order.
+    pub fn run_masked(&self, vars: &[f64], mask: u64, scratch: &mut [f64]) {
+        debug_assert_eq!(scratch.len(), self.code.len());
+        for (i, instr) in self.code.iter().enumerate() {
+            if self.deps[i] & mask == 0 {
+                continue;
+            }
+            scratch[i] = match *instr {
+                Instr::Var(v) => vars.get(v as usize).copied().unwrap_or(f64::NAN),
                 Instr::IConst(_) => unreachable!("IConst in an f64 tape"),
                 op => run_one_f64(op, scratch),
             };

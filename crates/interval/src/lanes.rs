@@ -1,0 +1,236 @@
+//! Slice ("lane") kernels over `&[Interval]` for batched tape execution.
+//!
+//! The batched solver runs one interval-tape instruction over B boxes at a
+//! time (a structure-of-arrays slot file, see `xcv_expr::IntervalTape::
+//! forward_batch`). These kernels are the per-instruction inner loops: one
+//! call applies a single operation across all lanes, so the interpreter's
+//! instruction decode, operand-slot arithmetic, and branch prediction are
+//! amortized over the whole batch instead of paid per box, and the lane data
+//! streams through cache linearly.
+//!
+//! Semantics are *exactly* the scalar [`Interval`] operations, lane by lane
+//! — the scalar methods are `#[inline]` and the rounding steps
+//! ([`crate::round::prev`]/[`next`](crate::round::next)) are branch-light
+//! ULP arithmetic, so the compiler keeps the loop bodies tight without any
+//! second implementation of the arithmetic. Batched and scalar execution are
+//! therefore bit-identical by construction; the equivalence suite
+//! (`tests/solver_batched.rs` at the workspace root) pins it end to end.
+//!
+//! All kernels require equal-length slices (`debug_assert`ed) and write
+//! every element of `out`.
+
+use crate::Interval;
+
+macro_rules! unary_kernel {
+    ($(#[$doc:meta])* $name:ident, $method:ident) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(a: &[Interval], out: &mut [Interval]) {
+            debug_assert_eq!(a.len(), out.len());
+            for (o, x) in out.iter_mut().zip(a) {
+                *o = x.$method();
+            }
+        }
+    };
+}
+
+macro_rules! binary_kernel {
+    ($(#[$doc:meta])* $name:ident, $method:ident) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(a: &[Interval], b: &[Interval], out: &mut [Interval]) {
+            debug_assert_eq!(a.len(), out.len());
+            debug_assert_eq!(b.len(), out.len());
+            for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+                *o = x.$method(y);
+            }
+        }
+    };
+}
+
+binary_kernel!(
+    /// `out[j] = a[j] + b[j]` (outward rounded).
+    add, add
+);
+binary_kernel!(
+    /// `out[j] = a[j] - b[j]` (outward rounded).
+    sub, sub
+);
+binary_kernel!(
+    /// `out[j] = a[j] * b[j]` (outward rounded).
+    mul, mul
+);
+binary_kernel!(
+    /// `out[j] = a[j] / b[j]` (hull of the extended division).
+    div, div
+);
+binary_kernel!(
+    /// `out[j] = a[j] ^ b[j]` (real power, base `>= 0`).
+    pow, powf
+);
+binary_kernel!(
+    /// Elementwise-minimum lanes.
+    min_i, min_i
+);
+binary_kernel!(
+    /// Elementwise-maximum lanes.
+    max_i, max_i
+);
+
+unary_kernel!(
+    /// `out[j] = -a[j]`.
+    neg, neg
+);
+unary_kernel!(
+    /// `out[j] = |a[j]|`.
+    abs, abs
+);
+unary_kernel!(
+    /// `out[j] = exp(a[j])`.
+    exp, exp
+);
+unary_kernel!(
+    /// `out[j] = ln(a[j])` (empty where `a[j] <= 0` throughout).
+    ln, ln
+);
+unary_kernel!(
+    /// `out[j] = sqrt(a[j])`.
+    sqrt, sqrt
+);
+unary_kernel!(
+    /// `out[j] = cbrt(a[j])`.
+    cbrt, cbrt
+);
+unary_kernel!(
+    /// `out[j] = atan(a[j])`.
+    atan, atan
+);
+unary_kernel!(
+    /// `out[j] = sin(a[j])`.
+    sin, sin
+);
+unary_kernel!(
+    /// `out[j] = cos(a[j])`.
+    cos, cos
+);
+unary_kernel!(
+    /// `out[j] = tanh(a[j])`.
+    tanh, tanh
+);
+unary_kernel!(
+    /// `out[j] = W₀(a[j])` (principal Lambert W).
+    lambert_w0, lambert_w0
+);
+
+/// `out[j] = a[j]^n` (one exponent across the batch — the tape instruction
+/// carries a single `n`).
+#[inline]
+pub fn powi(a: &[Interval], n: i32, out: &mut [Interval]) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, x) in out.iter_mut().zip(a) {
+        *o = x.powi(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval;
+
+    type BinKernel = fn(&[Interval], &[Interval], &mut [Interval]);
+    type BinScalar = fn(&Interval, &Interval) -> Interval;
+    type UnKernel = fn(&[Interval], &mut [Interval]);
+    type UnScalar = fn(&Interval) -> Interval;
+
+    fn lanes_a() -> Vec<Interval> {
+        vec![
+            interval(0.1, 0.9),
+            interval(-2.0, 3.0),
+            interval(1.0, 1.0),
+            Interval::EMPTY,
+            interval(-5.0, -0.5),
+            Interval::ENTIRE,
+        ]
+    }
+
+    fn lanes_b() -> Vec<Interval> {
+        vec![
+            interval(0.5, 2.0),
+            interval(-1.0, 1.0),
+            interval(3.0, 4.0),
+            interval(0.0, 1.0),
+            interval(2.0, 2.0),
+            interval(-0.5, 0.5),
+        ]
+    }
+
+    #[test]
+    fn binary_kernels_match_scalar_lanewise() {
+        let a = lanes_a();
+        let b = lanes_b();
+        let mut out = vec![Interval::ZERO; a.len()];
+        let cases: [(BinKernel, BinScalar); 7] = [
+            (add, Interval::add),
+            (sub, Interval::sub),
+            (mul, Interval::mul),
+            (div, Interval::div),
+            (pow, Interval::powf),
+            (min_i, Interval::min_i),
+            (max_i, Interval::max_i),
+        ];
+        for (kernel, scalar) in cases {
+            kernel(&a, &b, &mut out);
+            for j in 0..a.len() {
+                assert_eq!(out[j], scalar(&a[j], &b[j]), "lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_kernels_match_scalar_lanewise() {
+        let a = lanes_a();
+        let mut out = vec![Interval::ZERO; a.len()];
+        let cases: [(UnKernel, UnScalar); 11] = [
+            (neg, Interval::neg),
+            (abs, Interval::abs),
+            (exp, Interval::exp),
+            (ln, Interval::ln),
+            (sqrt, Interval::sqrt),
+            (cbrt, Interval::cbrt),
+            (atan, Interval::atan),
+            (sin, Interval::sin),
+            (cos, Interval::cos),
+            (tanh, Interval::tanh),
+            (lambert_w0, Interval::lambert_w0),
+        ];
+        for (kernel, scalar) in cases {
+            kernel(&a, &mut out);
+            for j in 0..a.len() {
+                assert_eq!(out[j], scalar(&a[j]), "lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn powi_kernel_matches_scalar() {
+        let a = lanes_a();
+        let mut out = vec![Interval::ZERO; a.len()];
+        for n in [-3, -1, 0, 1, 2, 3, 4] {
+            powi(&a, n, &mut out);
+            for j in 0..a.len() {
+                assert_eq!(out[j], a[j].powi(n), "lane {j}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lanes_stay_empty() {
+        let a = lanes_a();
+        let b = lanes_b();
+        let mut out = vec![Interval::ZERO; a.len()];
+        mul(&a, &b, &mut out);
+        assert!(out[3].is_empty());
+        exp(&a, &mut out);
+        assert!(out[3].is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 
 mod interval;
 mod lambert;
+pub mod lanes;
 pub mod round;
 mod transcendental;
 

@@ -33,6 +33,11 @@ use xcv_interval::Interval;
 /// boxes against one [`CompiledFormula`] must not move it.
 static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
 
+/// Unique id per [`CompiledFormula`] build, keying the f64 register cache
+/// in [`SolveScratch`] (clones share the id — their tapes are identical, so
+/// cached registers remain valid). Starts at 1; 0 means "cache invalid".
+static FORMULA_UID: AtomicU64 = AtomicU64::new(1);
+
 /// Number of tape compilations performed so far, process-wide. Incremented
 /// by [`CompiledFormula::compile`], [`CompiledAtom::compile`], and the
 /// once-per-formula mean-value gradient build; tests assert it stays flat
@@ -134,6 +139,22 @@ pub struct CompiledFormula {
     /// once per point); atoms read their values at `FormulaAtom::froot`.
     ftape: Tape,
     atoms: Vec<FormulaAtom>,
+    /// Bitmask of the variables the interval program actually computes with
+    /// (post constant folding) — the formula's *support set*. Axes outside
+    /// it can never affect satisfaction, so the solver neither splits them
+    /// nor lets their width keep a box from being δ-decided.
+    support: u64,
+    /// `cone_cost[m]` ≈ relative forward-pass cost of recomputing dirty
+    /// mask `m` (weighted per-instruction — an `exp` slot costs an order of
+    /// magnitude more than an `add`), precomputed for every axis subset so
+    /// the batched engine's snapshot-refresh decision is two lookups
+    /// instead of three dependency scans. Indexed by the low
+    /// `cone_axes` bits of the mask; empty when the space is too wide.
+    cone_cost: Vec<f64>,
+    cone_axes: u32,
+    /// Cache key for the f64 register file in [`SolveScratch`] (see
+    /// [`FORMULA_UID`]).
+    uid: u64,
     /// Forward/backward rounds per HC4 contraction call.
     max_rounds: usize,
     mv: OnceLock<MeanValueProgram>,
@@ -148,6 +169,10 @@ impl Clone for CompiledFormula {
             itape: self.itape.clone(),
             ftape: self.ftape.clone(),
             atoms: self.atoms.clone(),
+            support: self.support,
+            cone_cost: self.cone_cost.clone(),
+            cone_axes: self.cone_axes,
+            uid: self.uid,
             max_rounds: self.max_rounds,
             mv: OnceLock::new(),
         }
@@ -184,12 +209,25 @@ impl CompiledFormula {
                 allowed: a.rel.allowed(),
             })
             .collect();
+        let support = itape.var_mask();
+        // Weighted cone costs for every axis subset (PB problems top out at
+        // 4 axes, so the table is tiny; wider spaces fall back to scanning).
+        let top = 64 - support.leading_zeros();
+        let (cone_axes, cone_cost) = if support != u64::MAX && top <= 8 {
+            (top, (0..1u64 << top).map(|m| itape.cone_cost(m)).collect())
+        } else {
+            (0, Vec::new())
+        };
         CompiledFormula {
             source: formula.clone(),
             space,
             itape,
             ftape,
             atoms,
+            support,
+            cone_cost,
+            cone_axes,
+            uid: FORMULA_UID.fetch_add(1, Ordering::Relaxed),
             max_rounds: 3,
             mv: OnceLock::new(),
         }
@@ -241,10 +279,111 @@ impl CompiledFormula {
         self.itape.len()
     }
 
-    /// Run the shared f64 tape at `point`, filling the scratch register file.
+    /// The shared interval tape (for the batched solver's SoA passes).
+    pub(crate) fn itape(&self) -> &IntervalTape {
+        &self.itape
+    }
+
+    /// Weighted forward cost of recomputing dirty mask `mask` (precomputed
+    /// per axis subset; see `IntervalTape::cone_cost`).
+    pub(crate) fn cone_cost(&self, mask: u64) -> f64 {
+        if self.cone_axes > 0 && mask >> self.cone_axes == 0 {
+            self.cone_cost[mask as usize]
+        } else {
+            self.itape.cone_cost(mask)
+        }
+    }
+
+    /// Bitmask of the variables the compiled program mentions — the
+    /// formula's support set. All-ones when any variable index is `>= 64`
+    /// (never the case for PB problems, whose arity tops out at 4).
+    pub fn support_mask(&self) -> u64 {
+        self.support
+    }
+
+    /// Does the compiled program depend on box axis `i`? Axes `>= 64` are
+    /// conservatively treated as supported (the mask saturates there).
+    pub fn supports_axis(&self, i: usize) -> bool {
+        i >= 64 || self.support & (1u64 << i) != 0
+    }
+
+    /// The box width that matters for δ-decisions: the maximum width over
+    /// the *supported* axes. An axis the formula never mentions cannot
+    /// affect satisfaction, so its width must not keep a box from being
+    /// declared δ-SAT (nor ever be split — see
+    /// [`CompiledFormula::bisect_supported`]). Falls back to the plain
+    /// maximum width when the formula mentions none of the box's axes
+    /// (constant formulas), preserving the legacy behaviour.
+    pub fn split_width(&self, b: &BoxDomain) -> f64 {
+        let mut any = false;
+        let mut wmax = 0.0f64;
+        for i in 0..b.ndim() {
+            if self.supports_axis(i) {
+                any = true;
+                wmax = wmax.max(b.dim(i).width());
+            }
+        }
+        if any {
+            wmax
+        } else {
+            b.max_width()
+        }
+    }
+
+    /// Bisect `b` along its widest *supported* axis (ties broken toward the
+    /// lower index, like `BoxDomain::widest_dim`), so a cell never splits an
+    /// axis its expression does not mention — a ζ-free atom on a 4-D spin
+    /// domain no longer halves ζ. Falls back to the widest axis overall for
+    /// constant formulas. Returns the two halves and the split axis.
+    pub fn bisect_supported(&self, b: &BoxDomain) -> (BoxDomain, BoxDomain, u32) {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..b.ndim() {
+            if self.supports_axis(i) {
+                let w = b.dim(i).width();
+                match best {
+                    Some((_, bw)) if w <= bw => {}
+                    _ => best = Some((i, w)),
+                }
+            }
+        }
+        let axis = best.map(|(i, _)| i).unwrap_or_else(|| b.widest_dim().0);
+        let (l, r) = b.bisect_dim(axis);
+        (l, r, axis as u32)
+    }
+
+    /// Run the shared f64 tape at `point`, filling the scratch register
+    /// file — *incrementally* when the registers still hold this tape's
+    /// image of a previous point: only slots depending on changed
+    /// coordinates (bitwise compare; `-0.0` and `0.0` divide differently)
+    /// are recomputed, bit-identically to a full run. Branch scoring makes
+    /// this pay on every split — the two half-box midpoints differ from
+    /// the parent box's midpoint only on the split axis, so the second and
+    /// third tape runs touch one dependency cone each.
     fn run_ftape(&self, point: &[f64], scratch: &mut SolveScratch) {
-        scratch.fvals.resize(self.ftape.len(), 0.0);
+        let n = self.ftape.len();
+        if scratch.fcache
+            && scratch.fpoint_uid == self.uid
+            && scratch.fvals.len() == n
+            && scratch.fpoint.len() == point.len()
+        {
+            let mut mask = 0u64;
+            for (i, (&p, old)) in point.iter().zip(scratch.fpoint.iter_mut()).enumerate() {
+                let bits = p.to_bits();
+                if bits != *old {
+                    mask |= if i < 64 { 1 << i } else { u64::MAX };
+                    *old = bits;
+                }
+            }
+            if mask != 0 {
+                self.ftape.run_masked(point, mask, &mut scratch.fvals);
+            }
+            return;
+        }
+        scratch.fvals.resize(n, 0.0);
         self.ftape.run(point, &mut scratch.fvals);
+        scratch.fpoint.clear();
+        scratch.fpoint.extend(point.iter().map(|p| p.to_bits()));
+        scratch.fpoint_uid = self.uid;
     }
 
     /// Exact satisfaction of every atom at a point (tape-based
@@ -290,9 +429,26 @@ impl CompiledFormula {
         scratch: &mut SolveScratch,
         max_rounds: usize,
     ) -> Contraction {
+        ensure_slots(&mut scratch.ivals, self.itape.len());
+        self.itape.forward(b.dims(), &mut scratch.ivals);
+        self.contract_after_forward(b, scratch, max_rounds)
+    }
+
+    /// The post-forward remainder of [`CompiledFormula::contract_with_rounds`]:
+    /// impose root constraints, sweep backward, extract variable domains,
+    /// iterate. Requires `scratch.ivals` to already hold the forward image
+    /// of `b` — the scalar path computes it in place, the batched path
+    /// copies one SoA lane in. Keeping this a single function is what makes
+    /// batched and scalar contraction identical by construction rather than
+    /// by parallel maintenance.
+    pub(crate) fn contract_after_forward(
+        &self,
+        b: &BoxDomain,
+        scratch: &mut SolveScratch,
+        max_rounds: usize,
+    ) -> Contraction {
         let vals = &mut scratch.ivals;
-        vals.resize(self.itape.len(), Interval::ENTIRE);
-        self.itape.forward(b.dims(), vals);
+        debug_assert_eq!(vals.len(), self.itape.len());
         let mut current = b.clone();
         for round in 0..max_rounds {
             if round > 0 {
@@ -333,6 +489,107 @@ impl CompiledFormula {
             }
         }
         Contraction::Box(current)
+    }
+
+    /// Batched HC4 contraction over `width` lanes whose forward images sit
+    /// in the structure-of-arrays slot file `vals` (which this mutates —
+    /// callers wanting the pure forward image copy it out first).
+    ///
+    /// Round orchestration mirrors [`CompiledFormula::contract_after_forward`]
+    /// lane by lane — impose root constraints, sweep backward, extract
+    /// variable domains, stop at < 5% improvement — but each sweep runs
+    /// instruction-outer across all still-live lanes
+    /// (`IntervalTape::{backward_batch, forward_meet_batch}`), so one
+    /// instruction decode serves the whole batch and the inverse rules are
+    /// literally the shared `backward_step` code. Lanes decide
+    /// independently; `results[j]` is always set on return.
+    pub(crate) fn contract_batch(
+        &self,
+        boxes: &[BoxDomain],
+        width: usize,
+        vals: &mut [Interval],
+        alive: &mut Vec<bool>,
+        results: &mut Vec<Option<Contraction>>,
+        current: &mut Vec<BoxDomain>,
+    ) {
+        debug_assert_eq!(boxes.len(), width);
+        debug_assert_eq!(vals.len(), self.itape.len() * width);
+        alive.clear();
+        alive.resize(width, true);
+        results.clear();
+        results.resize(width, None);
+        current.clear();
+        current.extend(boxes.iter().cloned());
+        for round in 0..self.max_rounds {
+            if !alive.iter().any(|&a| a) {
+                break;
+            }
+            if round > 0 {
+                // Re-tighten parents from the narrowed children.
+                self.itape.forward_meet_batch(width, alive, vals);
+            }
+            // Impose root constraints.
+            for j in 0..width {
+                if !alive[j] {
+                    continue;
+                }
+                for a in &self.atoms {
+                    let idx = a.root as usize * width + j;
+                    let met = vals[idx].intersect(&a.allowed);
+                    if met.is_empty() {
+                        results[j] = Some(Contraction::Empty);
+                        alive[j] = false;
+                        break;
+                    }
+                    vals[idx] = met;
+                }
+            }
+            // Backward sweep across the surviving lanes.
+            self.itape.backward_batch(width, alive, vals);
+            for j in 0..width {
+                if !alive[j] && results[j].is_none() {
+                    results[j] = Some(Contraction::Empty);
+                }
+            }
+            // Extract variable domains. Variables beyond a box's dimension
+            // read as ENTIRE and are not contracted (mirrors the scalar
+            // path).
+            for j in 0..width {
+                if !alive[j] {
+                    continue;
+                }
+                let mut next = current[j].clone();
+                let mut empty = false;
+                for &(slot, v) in self.itape.var_slots() {
+                    if (v as usize) >= current[j].ndim() {
+                        continue;
+                    }
+                    let met =
+                        vals[slot as usize * width + j].intersect(&current[j].dim(v as usize));
+                    if met.is_empty() {
+                        empty = true;
+                        break;
+                    }
+                    next.set_dim(v as usize, met);
+                }
+                if empty {
+                    results[j] = Some(Contraction::Empty);
+                    alive[j] = false;
+                    continue;
+                }
+                let gain = improvement(&current[j], &next);
+                current[j] = next;
+                if gain < 0.05 {
+                    results[j] = Some(Contraction::Box(current[j].clone()));
+                    alive[j] = false;
+                }
+            }
+        }
+        for j in 0..width {
+            if results[j].is_none() {
+                results[j] = Some(Contraction::Box(current[j].clone()));
+            }
+        }
     }
 
     /// The mean-value program, built (with full symbolic differentiation) on
@@ -400,7 +657,7 @@ impl CompiledFormula {
             }
             let mid = current.midpoint();
             let vals = &mut scratch.mvals;
-            vals.resize(atom.itape.len(), Interval::ENTIRE);
+            ensure_slots(vals, atom.itape.len());
             // g(m): evaluate over the point box.
             scratch.point_doms.clear();
             scratch
@@ -473,7 +730,7 @@ fn mv_enclosure(atom: &MvAtom, b: &BoxDomain, scratch: &mut SolveScratch) -> Int
     }
     let mid = b.midpoint();
     let vals = &mut scratch.mvals;
-    vals.resize(atom.itape.len(), Interval::ENTIRE);
+    ensure_slots(vals, atom.itape.len());
     scratch.point_doms.clear();
     scratch
         .point_doms
@@ -516,21 +773,131 @@ fn improvement(before: &BoxDomain, after: &BoxDomain) -> f64 {
     best
 }
 
+/// Size a slot-file buffer without per-box reinitialization.
+///
+/// Every tape pass is **write-before-read** (see `xcv_expr::itape`): a full
+/// forward pass overwrites every slot it will read, and partial passes
+/// (`forward_from`, masked `forward_batch` lanes) deliberately read the
+/// previous image. Refilling the buffer with [`Interval::ENTIRE`] per box —
+/// what a naive `vec![ENTIRE; n]` per call amounts to — is therefore pure
+/// wasted memset; only the *length* matters. The fill value here seeds
+/// newly grown slots and is never semantically observed.
+#[inline]
+pub(crate) fn ensure_slots(buf: &mut Vec<Interval>, len: usize) {
+    buf.resize(len, Interval::ENTIRE);
+}
+
+/// A pool of parent slot-file snapshots for the batched solver's dirty-slot
+/// child evaluation: each split stores its contracted parent's pure forward
+/// image (plus the box it was evaluated over) for its two children, and the
+/// buffer is recycled once both children have consumed it. Buffers are
+/// reused across snapshots *and* solve calls, so steady-state batched
+/// solving allocates nothing here.
+#[derive(Debug, Default)]
+pub(crate) struct SnapPool {
+    vals: Vec<Vec<Interval>>,
+    boxes: Vec<Vec<Interval>>,
+    refs: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl SnapPool {
+    /// Drop all live snapshots (an early-returning solve leaves some), but
+    /// keep the buffers for reuse.
+    pub(crate) fn reset(&mut self) {
+        self.free.clear();
+        for (i, r) in self.refs.iter_mut().enumerate() {
+            *r = 0;
+            self.free.push(i as u32);
+        }
+    }
+
+    /// A fresh snapshot with `refs` outstanding consumers; its buffers are
+    /// cleared but retain capacity.
+    pub(crate) fn alloc(&mut self, refs: u32) -> u32 {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.vals.push(Vec::new());
+                self.boxes.push(Vec::new());
+                self.refs.push(0);
+                (self.vals.len() - 1) as u32
+            }
+        };
+        self.refs[id as usize] = refs;
+        self.vals[id as usize].clear();
+        self.boxes[id as usize].clear();
+        id
+    }
+
+    pub(crate) fn store(&mut self, id: u32) -> (&mut Vec<Interval>, &mut Vec<Interval>) {
+        (&mut self.vals[id as usize], &mut self.boxes[id as usize])
+    }
+
+    /// The snapshot's slot file and the dims of the box it was evaluated on.
+    pub(crate) fn get(&self, id: u32) -> (&[Interval], &[Interval]) {
+        (&self.vals[id as usize], &self.boxes[id as usize])
+    }
+
+    /// One consumer done; recycle the buffers when the last lets go.
+    pub(crate) fn release(&mut self, id: u32) {
+        let r = &mut self.refs[id as usize];
+        debug_assert!(*r > 0);
+        *r -= 1;
+        if *r == 0 {
+            self.free.push(id);
+        }
+    }
+}
+
 /// Reusable per-worker mutable state for [`CompiledFormula`] operations.
 /// Buffers grow on demand, so one scratch serves problems of any size (and,
 /// kept in a `thread_local`, every problem a worker thread ever touches).
+///
+/// Slot files are reused across boxes *without* reinitialization — tape
+/// passes are write-before-read, so refilling with `ENTIRE` per box would
+/// be pure wasted memset (see [`ensure_slots`]).
 #[derive(Debug, Default)]
 pub struct SolveScratch {
     /// Slot file of the formula's shared interval tape.
-    ivals: Vec<Interval>,
+    pub(crate) ivals: Vec<Interval>,
     /// Slot file for the mean-value tapes (resized per atom).
     mvals: Vec<Interval>,
     /// Register file for the f64 atom tapes (resized per atom).
     fvals: Vec<f64>,
+    /// Bit patterns of the point `fvals` was last evaluated at, and the
+    /// [`CompiledFormula`] uid it belongs to (0 = invalid) — the key of the
+    /// incremental `run_ftape` cache. The cache is part of the batched
+    /// engine's incremental-evaluation machinery and only engages while
+    /// `fcache` is set (the scalar reference engine evaluates every point
+    /// in full, like the architecture it benchmarks against).
+    fpoint: Vec<u64>,
+    fpoint_uid: u64,
+    pub(crate) fcache: bool,
     /// Point-box domains for mean-value midpoint evaluation.
     point_doms: Vec<Interval>,
-    /// DFS work stack of the branch-and-prune search.
+    /// DFS work stack of the scalar branch-and-prune search.
     pub(crate) stack: Vec<(BoxDomain, u32)>,
+    /// Structure-of-arrays slot file of the batched search
+    /// (`slots × batch_width`, lane-major per slot).
+    pub(crate) soa: Vec<Interval>,
+    /// Pure forward image of the current batch (the SoA before contraction
+    /// mutates it) — split lanes snapshot their column from here.
+    pub(crate) soa_pure: Vec<Interval>,
+    /// Per-lane dirty masks for the batched forward pass.
+    pub(crate) lane_dirty: Vec<u64>,
+    /// Per-lane liveness flags of the batched contraction rounds.
+    pub(crate) lane_alive: Vec<bool>,
+    /// Per-lane contraction results of the batched rounds.
+    pub(crate) lane_results: Vec<Option<Contraction>>,
+    /// Per-lane working boxes of the batched contraction rounds.
+    pub(crate) lane_current: Vec<BoxDomain>,
+    /// The batch's input boxes (cloned out of the stack nodes).
+    pub(crate) lane_boxes: Vec<BoxDomain>,
+    /// Parent forward-image snapshots for dirty-slot child evaluation.
+    pub(crate) snaps: SnapPool,
+    /// Work stack of the batched frontier search.
+    pub(crate) bstack: Vec<crate::solve::Node>,
 }
 
 impl SolveScratch {
@@ -539,8 +906,11 @@ impl SolveScratch {
     }
 
     /// The shared f64 buffer, for callers evaluating [`CompiledAtom`]s with
-    /// this scratch (e.g. ψ validation in the verifier).
+    /// this scratch (e.g. ψ validation in the verifier). Handing the buffer
+    /// out invalidates the incremental `run_ftape` cache — another tape is
+    /// about to overwrite the registers.
     pub fn f64_buf(&mut self) -> &mut Vec<f64> {
+        self.fpoint_uid = 0;
         &mut self.fvals
     }
 }

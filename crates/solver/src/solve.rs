@@ -13,6 +13,7 @@ use crate::compile::{CompiledFormula, SolveScratch};
 use crate::contract::Contraction;
 use crate::formula::Formula;
 use std::time::Instant;
+use xcv_interval::Interval;
 
 /// Result of a [`DeltaSolver::solve`] call — the same three-way interface
 /// the paper's Algorithm 1 consumes from dReal.
@@ -84,7 +85,8 @@ impl SolveStats {
     }
 }
 
-/// The δ-complete solver: HC4 contraction + branch-and-prune.
+/// The δ-complete solver: HC4 contraction + branch-and-prune, with a scalar
+/// DFS and a batched frontier engine that are observationally identical.
 #[derive(Debug, Clone)]
 pub struct DeltaSolver {
     /// Numerical relaxation of atom bounds (dReal's δ); also the box-width
@@ -94,6 +96,14 @@ pub struct DeltaSolver {
     /// Enable the mean-value-form infeasibility test as a second pruning
     /// signal (see [`crate::meanvalue::MeanValue`]); off by default.
     pub mean_value: bool,
+    /// Frontier batch width: how many boxes one forward pass evaluates at
+    /// once. `1` (the default) runs the scalar DFS; larger widths run the
+    /// batched engine, which speculatively evaluates up to this many
+    /// pending boxes per structure-of-arrays tape pass and re-evaluates
+    /// children dirty-slot-only from their parent's forward image. Outcomes,
+    /// models, and search statistics are identical at every width — only
+    /// the wall-clock changes.
+    pub batch_width: usize,
 }
 
 impl Default for DeltaSolver {
@@ -102,8 +112,72 @@ impl Default for DeltaSolver {
             delta: 1e-3,
             budget: SolveBudget::default(),
             mean_value: false,
+            batch_width: 1,
         }
     }
+}
+
+/// The dirty-mask bit of box axis `i` (saturates above 64 variables, like
+/// the tape's dependency bitsets).
+#[inline]
+fn axis_bit(i: usize) -> u64 {
+    if i < 64 {
+        1 << i
+    } else {
+        u64::MAX
+    }
+}
+
+/// The decision the search takes on one contracted box. Shared verbatim
+/// between the scalar DFS and the batched frontier, so the two engines
+/// cannot drift.
+enum BoxStep {
+    /// The box contains no solution.
+    Pruned,
+    /// δ-SAT with this model (exact midpoint hit or width-floor decision).
+    Sat(Vec<f64>),
+    /// Undecided: halves in search order (`first` is explored first).
+    /// `parent` is the contracted box they were bisected from and `axis`
+    /// the bisected dimension — the batched engine's snapshot-refresh
+    /// heuristic needs both; the scalar DFS ignores them.
+    Split {
+        first: BoxDomain,
+        second: BoxDomain,
+        parent: BoxDomain,
+        axis: u32,
+    },
+}
+
+/// What the batched engine decided for one box — [`BoxStep`] with the
+/// children laid out in push order plus the parent snapshot they evaluate
+/// from.
+#[derive(Debug)]
+pub(crate) enum BoxRes {
+    Pruned,
+    Sat(Vec<f64>),
+    /// Children in *push order* (the preferred half last, popped first).
+    /// `snap` is the pool id of the parent's pure forward image.
+    Split {
+        children: Vec<BoxDomain>,
+        snap: Option<u32>,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) enum NodeState {
+    /// Awaiting evaluation; `parent` is the snapshot to seed the lane from
+    /// (`None` for the root: full forward pass).
+    Raw { parent: Option<u32> },
+    /// Speculatively evaluated; consumed when the node reaches the top.
+    Done(BoxRes),
+}
+
+/// One entry of the batched frontier's work stack.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) b: BoxDomain,
+    pub(crate) depth: u32,
+    pub(crate) state: NodeState,
 }
 
 impl DeltaSolver {
@@ -112,12 +186,20 @@ impl DeltaSolver {
             delta,
             budget,
             mean_value: false,
+            batch_width: 1,
         }
     }
 
     /// Enable or disable the mean-value pruning test.
     pub fn with_mean_value(mut self, on: bool) -> Self {
         self.mean_value = on;
+        self
+    }
+
+    /// Set the frontier batch width (`1` = scalar DFS; clamped to at least
+    /// 1). Any width produces identical outcomes and statistics.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width.max(1);
         self
     }
 
@@ -148,21 +230,28 @@ impl DeltaSolver {
         self.solve_compiled_with_stats(domain, compiled, scratch).0
     }
 
-    /// [`DeltaSolver::solve_compiled`] with search statistics.
+    /// [`DeltaSolver::solve_compiled`] with search statistics. Dispatches to
+    /// the batched frontier engine when [`DeltaSolver::batch_width`] exceeds
+    /// 1; both engines visit the same boxes in the same order and return
+    /// identical outcomes and statistics.
     pub fn solve_compiled_with_stats(
         &self,
         domain: &BoxDomain,
         compiled: &CompiledFormula,
         scratch: &mut SolveScratch,
     ) -> (Outcome, SolveStats) {
+        if self.batch_width > 1 {
+            return self.solve_batched_with_stats(domain, compiled, scratch);
+        }
         let mut stats = SolveStats::default();
         if domain.is_empty() {
             return (Outcome::Unsat, stats);
         }
         let start = Instant::now();
+        scratch.fcache = false;
         scratch.stack.clear();
         scratch.stack.push((domain.clone(), 0));
-        // Boxes narrower than this in every dimension are δ-decided.
+        // Supported-axis boxes narrower than this are δ-decided.
         let width_floor = self.delta.max(1e-12);
         while let Some((b, depth)) = scratch.stack.pop() {
             stats.nodes += 1;
@@ -175,66 +264,355 @@ impl DeltaSolver {
             {
                 return (Outcome::Timeout, stats);
             }
-            let contracted = match compiled.contract(&b, scratch) {
-                Contraction::Empty => {
-                    stats.pruned += 1;
-                    continue;
-                }
-                Contraction::Box(nb) => nb,
-            };
-            if contracted.is_empty() {
-                stats.pruned += 1;
-                continue;
-            }
-            let contracted = if self.mean_value {
-                match compiled.mv_contract(&contracted, scratch) {
-                    None => {
-                        stats.pruned += 1;
-                        continue;
+            let contraction = compiled.contract(&b, scratch);
+            match self.step_after_contract(compiled, contraction, scratch, width_floor) {
+                BoxStep::Pruned => stats.pruned += 1,
+                BoxStep::Sat(mid) => return (Outcome::DeltaSat(mid), stats),
+                BoxStep::Split { first, second, .. } => {
+                    stats.branched += 1;
+                    // DFS order: the preferred half is pushed last, popped
+                    // first.
+                    if !second.is_empty() {
+                        scratch.stack.push((second, depth + 1));
                     }
-                    Some(nb) if compiled.mv_certainly_infeasible(&nb, scratch) => {
-                        stats.pruned += 1;
-                        continue;
+                    if !first.is_empty() {
+                        scratch.stack.push((first, depth + 1));
                     }
-                    Some(nb) => nb,
-                }
-            } else {
-                contracted
-            };
-            // Fast model check: an exact solution at the midpoint settles it.
-            let mid = contracted.midpoint();
-            if compiled.holds_at(&mid, scratch) {
-                return (Outcome::DeltaSat(mid), stats);
-            }
-            // δ-decision on small boxes: contraction could not rule the box
-            // out, so the δ-weakening is satisfiable here (dReal's semantics).
-            if contracted.max_width() <= width_floor {
-                return (Outcome::DeltaSat(mid), stats);
-            }
-            // Branch on the widest dimension; search the half whose midpoint
-            // is closer to satisfying the formula first (DFS order: push it
-            // last). Scoring runs on the compiled f64 tapes.
-            let (l, r) = contracted.bisect_widest();
-            stats.branched += 1;
-            let sl = compiled.violation_score(&l.midpoint(), scratch);
-            let sr = compiled.violation_score(&r.midpoint(), scratch);
-            if sl <= sr {
-                if !r.is_empty() {
-                    scratch.stack.push((r, depth + 1));
-                }
-                if !l.is_empty() {
-                    scratch.stack.push((l, depth + 1));
-                }
-            } else {
-                if !l.is_empty() {
-                    scratch.stack.push((l, depth + 1));
-                }
-                if !r.is_empty() {
-                    scratch.stack.push((r, depth + 1));
                 }
             }
         }
         (Outcome::Unsat, stats)
+    }
+
+    /// The per-box decision of the branch-and-prune search, applied after
+    /// contraction — one implementation behind the scalar DFS *and* the
+    /// batched frontier, so the bisection policy, δ-decision, and pruning
+    /// semantics cannot drift between the two engines.
+    fn step_after_contract(
+        &self,
+        compiled: &CompiledFormula,
+        contraction: Contraction,
+        scratch: &mut SolveScratch,
+        width_floor: f64,
+    ) -> BoxStep {
+        let contracted = match contraction {
+            Contraction::Empty => return BoxStep::Pruned,
+            Contraction::Box(nb) => nb,
+        };
+        if contracted.is_empty() {
+            return BoxStep::Pruned;
+        }
+        let contracted = if self.mean_value {
+            match compiled.mv_contract(&contracted, scratch) {
+                None => return BoxStep::Pruned,
+                Some(nb) if compiled.mv_certainly_infeasible(&nb, scratch) => {
+                    return BoxStep::Pruned
+                }
+                Some(nb) => nb,
+            }
+        } else {
+            contracted
+        };
+        // Fast model check: an exact solution at the midpoint settles it.
+        let mid = contracted.midpoint();
+        if compiled.holds_at(&mid, scratch) {
+            return BoxStep::Sat(mid);
+        }
+        // δ-decision on small boxes: contraction could not rule the box out,
+        // so the δ-weakening is satisfiable here (dReal's semantics). Only
+        // *supported* axes count — an axis the formula never mentions cannot
+        // affect satisfaction, so its width must not keep the box undecided.
+        if compiled.split_width(&contracted) <= width_floor {
+            return BoxStep::Sat(mid);
+        }
+        // Branch on the widest supported dimension (never an axis the
+        // expression does not mention); search the half whose midpoint is
+        // closer to satisfying the formula first. Scoring runs on the
+        // compiled f64 tapes.
+        let (l, r, axis) = compiled.bisect_supported(&contracted);
+        let sl = compiled.violation_score(&l.midpoint(), scratch);
+        let sr = compiled.violation_score(&r.midpoint(), scratch);
+        if sl <= sr {
+            BoxStep::Split {
+                first: l,
+                second: r,
+                parent: contracted,
+                axis,
+            }
+        } else {
+            BoxStep::Split {
+                first: r,
+                second: l,
+                parent: contracted,
+                axis,
+            }
+        }
+    }
+
+    /// The batched frontier engine: identical search, batched tape passes.
+    ///
+    /// Per-box evaluation (contract → mean-value → midpoint check →
+    /// δ-decision → bisect + score) is a pure function of the box, so the
+    /// engine may evaluate boxes *speculatively*: it takes the topmost
+    /// `batch_width` pending boxes of the DFS stack, seeds each lane either
+    /// for a full forward pass (the root) or dirty-slot re-evaluation from
+    /// its parent's forward image (every child — only the slots depending
+    /// on axes the child actually changed are recomputed), runs **one**
+    /// SoA forward pass over all lanes, and finishes contraction per
+    /// surviving lane. Results are then *consumed* strictly in DFS order
+    /// with exactly the scalar bookkeeping — node counts, budget checks,
+    /// early returns — so outcomes and statistics match the scalar engine
+    /// bit for bit; speculation only ever wastes work (bounded by one
+    /// batch) when a δ-SAT or timeout cuts the search short.
+    fn solve_batched_with_stats(
+        &self,
+        domain: &BoxDomain,
+        compiled: &CompiledFormula,
+        scratch: &mut SolveScratch,
+    ) -> (Outcome, SolveStats) {
+        let mut stats = SolveStats::default();
+        if domain.is_empty() {
+            return (Outcome::Unsat, stats);
+        }
+        let start = Instant::now();
+        let width_floor = self.delta.max(1e-12);
+        // The incremental f64 point cache belongs to the batched engine's
+        // dirty-evaluation machinery (the scalar engine stays the plain
+        // reference it is benchmarked against).
+        scratch.fcache = true;
+        scratch.snaps.reset();
+        let mut stack = std::mem::take(&mut scratch.bstack);
+        stack.clear();
+        stack.push(Node {
+            b: domain.clone(),
+            depth: 0,
+            state: NodeState::Raw { parent: None },
+        });
+        let outcome = loop {
+            match stack.last() {
+                None => break Outcome::Unsat,
+                Some(n) if matches!(n.state, NodeState::Raw { .. }) => {
+                    // Ramp the batch width up with search depth-in-nodes:
+                    // every evaluation beyond what the search consumes is
+                    // speculative, so an early δ-SAT (very common on easy
+                    // boxes) would waste up to a full batch of work. The
+                    // ramp bounds that waste at ~half the consumed nodes
+                    // while long searches — where batching actually pays —
+                    // still reach the full width almost immediately.
+                    let cap = (1 + stats.nodes as usize / 2).min(self.batch_width);
+                    self.process_batch(compiled, &mut stack, scratch, width_floor, cap);
+                }
+                _ => {}
+            }
+            let node = stack.pop().expect("checked non-empty above");
+            stats.nodes += 1;
+            stats.max_depth = stats.max_depth.max(node.depth);
+            if stats.nodes > self.budget.max_nodes
+                || (stats.nodes % 64 == 0
+                    && start.elapsed().as_millis() > u128::from(self.budget.max_millis))
+            {
+                break Outcome::Timeout;
+            }
+            let NodeState::Done(res) = node.state else {
+                unreachable!("the batch pass evaluates the stack top");
+            };
+            match res {
+                BoxRes::Pruned => stats.pruned += 1,
+                BoxRes::Sat(mid) => break Outcome::DeltaSat(mid),
+                BoxRes::Split { children, snap } => {
+                    stats.branched += 1;
+                    for cb in children {
+                        stack.push(Node {
+                            b: cb,
+                            depth: node.depth + 1,
+                            state: NodeState::Raw { parent: snap },
+                        });
+                    }
+                }
+            }
+        };
+        scratch.bstack = stack;
+        (outcome, stats)
+    }
+
+    /// Evaluate the topmost pending boxes of the stack (up to
+    /// `batch_width`) in one batched forward pass, leaving each as
+    /// [`NodeState::Done`].
+    fn process_batch(
+        &self,
+        compiled: &CompiledFormula,
+        stack: &mut [Node],
+        scratch: &mut SolveScratch,
+        width_floor: f64,
+        width_cap: usize,
+    ) {
+        let slots = compiled.itape().len();
+        // Lanes: stack indices of the topmost Raw nodes. Entries deeper than
+        // the top are speculative — they may be consumed later or never
+        // (early δ-SAT/timeout), but their evaluation is pure either way.
+        let mut lanes: Vec<usize> = Vec::with_capacity(width_cap);
+        for idx in (0..stack.len()).rev() {
+            if matches!(stack[idx].state, NodeState::Raw { .. }) {
+                lanes.push(idx);
+                if lanes.len() == width_cap {
+                    break;
+                }
+            }
+        }
+        let width = lanes.len();
+        debug_assert!(width > 0, "caller saw a Raw top");
+        let mut soa = std::mem::take(&mut scratch.soa);
+        crate::compile::ensure_slots(&mut soa, slots * width);
+        let mut dirty = std::mem::take(&mut scratch.lane_dirty);
+        dirty.clear();
+        dirty.resize(width, u64::MAX);
+        // Seed child lanes from their parent's forward image; the dirty mask
+        // is every axis on which the child's box differs from the box the
+        // snapshot was evaluated over (the split axis plus whatever the
+        // parent's contraction narrowed).
+        for (j, &idx) in lanes.iter().enumerate() {
+            let NodeState::Raw { parent } = stack[idx].state else {
+                unreachable!("lane selection")
+            };
+            if let Some(snap) = parent {
+                let (vals, pbox) = scratch.snaps.get(snap);
+                let mut mask = 0u64;
+                for (i, (cd, pd)) in stack[idx].b.dims().iter().zip(pbox).enumerate() {
+                    if cd != pd {
+                        mask |= axis_bit(i);
+                    }
+                }
+                dirty[j] = mask;
+                #[cfg(feature = "batch-debug")]
+                {
+                    use std::sync::atomic::{AtomicU64, Ordering};
+                    static LANES: AtomicU64 = AtomicU64::new(0);
+                    static CONE: AtomicU64 = AtomicU64::new(0);
+                    static FULL: AtomicU64 = AtomicU64::new(0);
+                    let cone = compiled.itape().cone_count(mask);
+                    let l = LANES.fetch_add(1, Ordering::Relaxed) + 1;
+                    let c = CONE.fetch_add(cone as u64, Ordering::Relaxed) + cone as u64;
+                    let f = FULL.fetch_add(slots as u64, Ordering::Relaxed) + slots as u64;
+                    if l % 5000 == 0 {
+                        eprintln!(
+                            "[batch-debug] {} child lanes, avg dirty cone {:.1}%",
+                            l,
+                            100.0 * c as f64 / f as f64
+                        );
+                    }
+                }
+                for i in 0..slots {
+                    soa[i * width + j] = vals[i];
+                }
+            }
+        }
+        // Release parent references only after every lane has seeded: two
+        // sibling lanes in one batch share a snapshot.
+        for &idx in &lanes {
+            if let NodeState::Raw { parent: Some(snap) } = stack[idx].state {
+                scratch.snaps.release(snap);
+            }
+        }
+        // One instruction decode per slot serves every lane.
+        let domains: Vec<&[Interval]> = lanes.iter().map(|&idx| stack[idx].b.dims()).collect();
+        compiled
+            .itape()
+            .forward_batch(width, &domains, &dirty, &mut soa);
+        drop(domains);
+        // Keep the pure forward image around — the contraction rounds
+        // mutate the SoA in place, and split lanes snapshot their pure
+        // column for their children's dirty-slot passes.
+        let mut pure = std::mem::take(&mut scratch.soa_pure);
+        pure.clear();
+        pure.extend_from_slice(&soa[..slots * width]);
+        // Batched HC4 rounds across all lanes (instruction-outer sweeps).
+        let mut boxes = std::mem::take(&mut scratch.lane_boxes);
+        boxes.clear();
+        boxes.extend(lanes.iter().map(|&idx| stack[idx].b.clone()));
+        let mut alive = std::mem::take(&mut scratch.lane_alive);
+        let mut results = std::mem::take(&mut scratch.lane_results);
+        let mut current = std::mem::take(&mut scratch.lane_current);
+        compiled.contract_batch(
+            &boxes,
+            width,
+            &mut soa[..slots * width],
+            &mut alive,
+            &mut results,
+            &mut current,
+        );
+        // Take the shared per-box decision lane by lane.
+        for (j, &idx) in lanes.iter().enumerate() {
+            let b = &boxes[j];
+            let contraction = results[j]
+                .take()
+                .expect("contract_batch decides every lane");
+            let res = match self.step_after_contract(compiled, contraction, scratch, width_floor) {
+                BoxStep::Pruned => BoxRes::Pruned,
+                BoxStep::Sat(mid) => BoxRes::Sat(mid),
+                BoxStep::Split {
+                    first,
+                    second,
+                    parent,
+                    axis,
+                } => {
+                    let mut children = Vec::with_capacity(2);
+                    if !second.is_empty() {
+                        children.push(second);
+                    }
+                    if !first.is_empty() {
+                        children.push(first);
+                    }
+                    let snap = if children.is_empty() {
+                        None
+                    } else {
+                        // Snapshot the lane's *pure* forward image for the
+                        // children's dirty-slot passes.
+                        let id = scratch.snaps.alloc(children.len() as u32);
+                        let (vals, pbox) = scratch.snaps.store(id);
+                        vals.extend((0..slots).map(|i| pure[i * width + j]));
+                        // Contraction-aware refresh: children are halves of
+                        // the *contracted* box, so against the raw image
+                        // they would re-evaluate every contracted axis'
+                        // cone — per child. Advancing the snapshot to the
+                        // contracted box once (a masked partial pass)
+                        // leaves each child only the split-axis cone. Do it
+                        // exactly when the weighted cone costs say sharing
+                        // wins: 2·cost(C∪S) > cost(C) + 2·cost(S).
+                        let mut contraction_mask = 0u64;
+                        for (i, (bd, pd)) in b.dims().iter().zip(parent.dims()).enumerate() {
+                            if bd != pd {
+                                contraction_mask |= axis_bit(i);
+                            }
+                        }
+                        let split_mask = axis_bit(axis as usize);
+                        let refresh = contraction_mask != 0 && {
+                            let both = compiled.cone_cost(contraction_mask | split_mask);
+                            2.0 * both
+                                > compiled.cone_cost(contraction_mask)
+                                    + 2.0 * compiled.cone_cost(split_mask)
+                        };
+                        if refresh {
+                            compiled
+                                .itape()
+                                .forward_masked(contraction_mask, parent.dims(), vals);
+                            pbox.extend_from_slice(parent.dims());
+                        } else {
+                            pbox.extend_from_slice(b.dims());
+                        }
+                        Some(id)
+                    };
+                    BoxRes::Split { children, snap }
+                }
+            };
+            stack[idx].state = NodeState::Done(res);
+        }
+        scratch.soa = soa;
+        scratch.soa_pure = pure;
+        scratch.lane_dirty = dirty;
+        scratch.lane_boxes = boxes;
+        scratch.lane_alive = alive;
+        scratch.lane_results = results;
+        scratch.lane_current = current;
     }
 }
 
@@ -492,6 +870,91 @@ mod tests {
         let (out2, st2) = s.solve_with_stats(&b, &f);
         assert_eq!(out2, Outcome::Unsat);
         assert_eq!(st.nodes, st2.nodes);
+    }
+
+    #[test]
+    fn batched_widths_agree_with_scalar() {
+        // Every batch width must reproduce the scalar DFS exactly: outcome,
+        // model, and every statistic, across sat/unsat/timeout cases.
+        let cases = [
+            Formula::single(Atom::new(var(0).powi(2) + var(1).powi(2) + 1.0, Rel::Le)),
+            Formula::new(vec![
+                Atom::new(var(0).powi(2) - 4.0, Rel::Le),
+                Atom::new(var(0) - var(1) - 1.0, Rel::Ge),
+            ]),
+            Formula::new(vec![
+                Atom::new(var(0).exp() - var(1).powi(2) - 1.0, Rel::Ge),
+                Atom::new(var(0).exp() - var(1).powi(2) - 1.0, Rel::Le),
+            ]),
+        ];
+        let b = BoxDomain::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]);
+        for (i, f) in cases.iter().enumerate() {
+            for budget in [25, 20_000] {
+                let compiled = CompiledFormula::compile(f);
+                let mut scratch = SolveScratch::new();
+                let scalar = DeltaSolver::new(1e-3, SolveBudget::nodes(budget));
+                let (want, want_stats) =
+                    scalar.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+                for w in [2, 3, 8, 64] {
+                    let batched = scalar.clone().with_batch_width(w);
+                    let (got, got_stats) =
+                        batched.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+                    assert_eq!(want, got, "case {i}, width {w}, budget {budget}");
+                    let k = |s: &SolveStats| (s.nodes, s.pruned, s.branched, s.max_depth);
+                    assert_eq!(
+                        k(&want_stats),
+                        k(&got_stats),
+                        "case {i}, width {w}, budget {budget}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mean_value_agrees_with_scalar() {
+        let f = Formula::single(Atom::new(var(0) - var(0).powi(2) - 0.3, Rel::Ge));
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        let s = solver().with_mean_value(true);
+        let (want, ws) = s.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        let (got, gs) =
+            s.with_batch_width(4)
+                .solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        assert_eq!(want, got);
+        assert_eq!(ws.nodes, gs.nodes);
+    }
+
+    #[test]
+    fn unsupported_axes_never_split() {
+        // The formula mentions only x0; the box carries a wide unused x1.
+        // The δ-solver must decide without ever splitting (or δ-gating on)
+        // axis 1 — an x1-split would blow the node count far past this
+        // budget, and the witness keeps x1 at the untouched box midpoint.
+        let f = Formula::new(vec![
+            Atom::new(var(0) - 1.0, Rel::Ge),
+            Atom::new(var(0) - 1.0 - 1e-6, Rel::Le),
+        ]);
+        let b = BoxDomain::from_bounds(&[(0.0, 2.0), (-1000.0, 1000.0)]);
+        let s = DeltaSolver::new(1e-9, SolveBudget::nodes(500));
+        let compiled = CompiledFormula::compile(&f);
+        assert_eq!(compiled.support_mask(), 0b01);
+        let mut scratch = SolveScratch::new();
+        match s.solve_compiled(&b, &compiled, &mut scratch) {
+            Outcome::DeltaSat(m) => {
+                assert!((m[0] - 1.0).abs() <= 1e-5, "{m:?}");
+                assert_eq!(m[1], 0.0, "unmentioned axis stays at the midpoint");
+            }
+            other => panic!("expected DeltaSat, got {other:?}"),
+        }
+        // Batched path agrees.
+        let (scalar, st) = s.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        let (batched, bt) =
+            s.with_batch_width(8)
+                .solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        assert_eq!(scalar, batched);
+        assert_eq!(st.nodes, bt.nodes);
     }
 
     #[test]

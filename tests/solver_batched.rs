@@ -1,0 +1,251 @@
+//! Equivalence suite for the batched frontier engine (PR 5): batched
+//! execution is *pure perf* — lane-for-lane bit-identical tape passes and
+//! an engine that visits the same boxes in the same order as the scalar
+//! DFS, at any batch width.
+//!
+//! Three layers:
+//!
+//! * proptest (local shim): `IntervalTape::forward_batch` over random
+//!   tapes, random lanes, full and dirty-masked — every slot of every lane
+//!   must equal the scalar `forward` image bit for bit (`forward_from`
+//!   included, via the masked lanes);
+//! * proptest: `solve_compiled` at several batch widths on random formulas
+//!   and boxes — identical `Outcome`s (models included; the search is
+//!   deterministic) *and* identical `SolveStats`;
+//! * the pinned matrices: every problem of `encode_all_extended()` (45
+//!   pairs) and `encode_all_spin()` (66 pairs) verified by the production
+//!   `Verifier` with scalar and with batched solvers — identical
+//!   `TableMark`s and identical aggregate solver statistics.
+
+use proptest::prelude::*;
+use xcverifier::expr::IntervalTape;
+use xcverifier::prelude::*;
+use xcverifier::solver::{CompiledFormula, SolveScratch, SolveStats};
+
+// ---------------------------------------------------------------------------
+// Random expressions (compact variant of tests/solver_equivalence.rs)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Recipe {
+    Var(u8),
+    Const(f64),
+    Add(Box<Recipe>, Box<Recipe>),
+    Mul(Box<Recipe>, Box<Recipe>),
+    Div(Box<Recipe>, Box<Recipe>),
+    Neg(Box<Recipe>),
+    PowI(Box<Recipe>, i32),
+    Exp(Box<Recipe>),
+    LnShift(Box<Recipe>),
+    Sqrt(Box<Recipe>),
+    Tanh(Box<Recipe>),
+    Abs(Box<Recipe>),
+    Min(Box<Recipe>, Box<Recipe>),
+    Max(Box<Recipe>, Box<Recipe>),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Recipe::Var),
+        (-3.0f64..3.0).prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Div(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Recipe::Neg(Box::new(a))),
+            (inner.clone(), 1i32..4).prop_map(|(a, n)| Recipe::PowI(Box::new(a), n)),
+            inner.clone().prop_map(|a| Recipe::Exp(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::LnShift(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Sqrt(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Tanh(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Abs(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Recipe::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(r: &Recipe) -> Expr {
+    match r {
+        Recipe::Var(v) => var(*v as u32),
+        Recipe::Const(c) => constant(*c),
+        Recipe::Add(a, b) => build(a) + build(b),
+        Recipe::Mul(a, b) => build(a) * build(b),
+        Recipe::Div(a, b) => build(a) / build(b),
+        Recipe::Neg(a) => -build(a),
+        Recipe::PowI(a, n) => build(a).powi(*n),
+        Recipe::Exp(a) => (build(a) * 0.25).exp(),
+        Recipe::LnShift(a) => (build(a).powi(2) + 1.0).ln(),
+        Recipe::Sqrt(a) => (build(a).powi(2) + 0.5).sqrt(),
+        Recipe::Tanh(a) => build(a).tanh(),
+        Recipe::Abs(a) => build(a).abs(),
+        Recipe::Min(a, b) => build(a).min(&build(b)),
+        Recipe::Max(a, b) => build(a).max(&build(b)),
+    }
+}
+
+fn stats_key(s: &SolveStats) -> (u64, u64, u64, u32) {
+    (s.nodes, s.pruned, s.branched, s.max_depth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `forward_batch` == scalar `forward`, lane by lane and bit by bit:
+    /// lane 0 runs full, every further lane is a child of lane 0's box
+    /// re-bisected along one axis and seeded with lane 0's column
+    /// (exercising the dependency-bitset dirty path `forward_from` builds
+    /// on).
+    #[test]
+    fn forward_batch_lanes_match_scalar_forward(
+        recipe in recipe_strategy(),
+        lo0 in -1.0f64..0.0, w0 in 0.1f64..2.0,
+        lo1 in -1.0f64..0.0, w1 in 0.1f64..2.0,
+        lo2 in -1.0f64..0.0, w2 in 0.1f64..2.0,
+        cuts in (0u8..3, 0u8..3, 0u8..3),
+    ) {
+        let e = build(&recipe);
+        let tape = IntervalTape::compile(std::slice::from_ref(&e));
+        let parent = vec![
+            interval(lo0, lo0 + w0),
+            interval(lo1, lo1 + w1),
+            interval(lo2, lo2 + w2),
+        ];
+        // Children: parent re-bisected along cuts.0/.1/.2 (dirty lanes).
+        let child = |axis: u8, upper: bool| {
+            let mut b = parent.clone();
+            let d = b[axis as usize];
+            let (l, r) = d.bisect();
+            b[axis as usize] = if upper { r } else { l };
+            b
+        };
+        let boxes = [
+            parent.clone(),
+            child(cuts.0, false),
+            child(cuts.1, true),
+            child(cuts.2, false),
+        ];
+        let width = boxes.len();
+        let mut soa = tape.scratch_batch(width);
+        // Seed the dirty lanes with the parent's forward image.
+        let mut parent_vals = tape.scratch();
+        tape.forward(&parent, &mut parent_vals);
+        for j in 1..width {
+            for i in 0..tape.len() {
+                soa[i * width + j] = parent_vals[i];
+            }
+        }
+        let domains: Vec<&[Interval]> = boxes.iter().map(|b| b.as_slice()).collect();
+        let dirty = vec![
+            u64::MAX,
+            1u64 << cuts.0,
+            1u64 << cuts.1,
+            1u64 << cuts.2,
+        ];
+        tape.forward_batch(width, &domains, &dirty, &mut soa);
+        let mut scalar = tape.scratch();
+        for (j, b) in boxes.iter().enumerate() {
+            tape.forward(b, &mut scalar);
+            for i in 0..tape.len() {
+                prop_assert_eq!(soa[i * width + j], scalar[i], "slot {}, lane {}", i, j);
+            }
+        }
+    }
+
+    /// Batched solving at any width == the scalar DFS: same outcome, same
+    /// model, same statistics — across reused scratch.
+    #[test]
+    fn batched_solve_matches_scalar_any_width(
+        recipe in recipe_strategy(),
+        lo in -0.5f64..0.5,
+        band in 0.05f64..0.5,
+        budget in 1u8..4,
+    ) {
+        let e = build(&recipe);
+        let f = Formula::new(vec![
+            Atom::new(e.clone() - constant(lo), Rel::Ge),
+            Atom::new(e - constant(lo + band), Rel::Le),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        let nodes = [30u64, 800, 20_000][(budget % 3) as usize];
+        let scalar = DeltaSolver::new(1e-3, SolveBudget::nodes(nodes));
+        let mut scratch = SolveScratch::new();
+        let boxes = [
+            BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0), (-1.0, 1.0)]),
+            BoxDomain::from_bounds(&[(0.0, 0.5), (-1.0, 0.0), (0.2, 0.9)]),
+        ];
+        for b in &boxes {
+            let (want, want_stats) = scalar.solve_compiled_with_stats(b, &compiled, &mut scratch);
+            for w in [2usize, 5, 16] {
+                let batched = scalar.clone().with_batch_width(w);
+                let (got, got_stats) =
+                    batched.solve_compiled_with_stats(b, &compiled, &mut scratch);
+                prop_assert_eq!(&want, &got, "width {} diverged on {} over {}", w, f, b);
+                prop_assert_eq!(
+                    stats_key(&want_stats),
+                    stats_key(&got_stats),
+                    "width {} stats diverged on {} over {}",
+                    w,
+                    f,
+                    b
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned matrices: extended (45) and spin (66), production verifier
+// ---------------------------------------------------------------------------
+
+fn quick_config(width: usize) -> VerifierConfig {
+    VerifierConfig {
+        split_threshold: 1.25,
+        solver: DeltaSolver::new(1e-3, SolveBudget::nodes(250)).with_batch_width(width),
+        parallel: false,
+        parallel_depth: 0,
+        max_depth: 1,
+        pair_deadline_ms: None,
+    }
+}
+
+fn assert_matrix_agrees(problems: &[EncodedProblem], widths: &[usize]) {
+    for p in problems {
+        let (scalar_map, scalar_stats) = Verifier::new(quick_config(1)).verify_with_stats(p);
+        for &w in widths {
+            let (map, stats) = Verifier::new(quick_config(w)).verify_with_stats(p);
+            assert_eq!(
+                scalar_map.table_mark(),
+                map.table_mark(),
+                "width {w} changed the mark on {} / {}",
+                p.functional_name(),
+                p.condition.name()
+            );
+            assert_eq!(
+                stats_key(&scalar_stats),
+                stats_key(&stats),
+                "width {w} changed the search on {} / {}",
+                p.functional_name(),
+                p.condition.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_extended_matrix_batched_marks_agree() {
+    let problems = Encoder::encode_all_extended();
+    assert_eq!(problems.len(), 45);
+    assert_matrix_agrees(&problems, &[3, 8]);
+}
+
+#[test]
+fn pinned_spin_matrix_batched_marks_agree() {
+    // The ζ-resolved matrix: 4-D cells exercise the support-aware split
+    // (ζ-free atoms never split ζ) and the widest dirty-cone geometry.
+    let problems = Encoder::encode_all_spin();
+    assert_eq!(problems.len(), 66);
+    assert_matrix_agrees(&problems, &[8]);
+}

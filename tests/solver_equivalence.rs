@@ -114,6 +114,13 @@ proptest! {
         let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(2_000));
         let compiled = CompiledFormula::compile(&f);
         let mut scratch = SolveScratch::new();
+        // The seed architecture always bisects the globally widest axis; the
+        // current solver deliberately never splits (nor δ-gates on) axes the
+        // formula does not mention. The two searches coincide exactly when
+        // the support set covers every box axis — or none (the constant-
+        // formula fallback is the legacy policy). Partial-support recipes
+        // keep the fresh-vs-session check below but skip the seed compare.
+        let seed_comparable = matches!(compiled.support_mask() & 0b11, 0 | 0b11);
         // Several boxes against one scratch: reuse must not leak state.
         let boxes = [
             BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]),
@@ -123,7 +130,6 @@ proptest! {
         for b in &boxes {
             let fresh = solver.solve(b, &f);
             let session = solver.solve_compiled(b, &compiled, &mut scratch);
-            let (seed, _) = seed_solve_with_stats(&solver, b, &f);
             prop_assert_eq!(
                 outcome_class(&fresh),
                 outcome_class(&session),
@@ -131,18 +137,21 @@ proptest! {
                 f,
                 b
             );
-            prop_assert_eq!(
-                outcome_class(&seed),
-                outcome_class(&session),
-                "session diverged from the seed architecture on {} over {}",
-                f,
-                b
-            );
             if let (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) = (&fresh, &session) {
                 prop_assert_eq!(a, c, "deterministic search produced different models");
             }
-            if let (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) = (&seed, &session) {
-                prop_assert_eq!(a, c, "session and seed found different models");
+            if seed_comparable {
+                let (seed, _) = seed_solve_with_stats(&solver, b, &f);
+                prop_assert_eq!(
+                    outcome_class(&seed),
+                    outcome_class(&session),
+                    "session diverged from the seed architecture on {} over {}",
+                    f,
+                    b
+                );
+                if let (Outcome::DeltaSat(a), Outcome::DeltaSat(c)) = (&seed, &session) {
+                    prop_assert_eq!(a, c, "session and seed found different models");
+                }
             }
         }
     }
