@@ -29,7 +29,9 @@
 //! `BENCH_solver.json`) — the checked-in snapshot tracks the perf
 //! trajectory across PRs.
 //!
-//! The JSON (schema v4) also carries: a `batched` entry — batch width,
+//! The JSON (schema v5; v5 renamed every mode entry's `timeout` count to
+//! `timeouts` so a budget-starved run is visible at a glance) also carries:
+//! a `batched` entry — batch width,
 //! total batched vs scalar-session wall, and a campaign-level TableMark
 //! identity check; a `campaign` entry — the same matrix run as one
 //! [`Campaign`] under matrix-order and under cost-aware scheduling, with
@@ -133,7 +135,7 @@ fn box_schedule(domain: &BoxDomain, depth: u32) -> Vec<BoxDomain> {
 
 fn json_mode(m: &ModeResult) -> String {
     format!(
-        "{{\"nodes\": {}, \"unsat\": {}, \"delta_sat\": {}, \"timeout\": {}, \
+        "{{\"nodes\": {}, \"unsat\": {}, \"delta_sat\": {}, \"timeouts\": {}, \
          \"wall_ms\": {:.3}, \"knodes_per_sec\": {:.1}}}",
         m.nodes,
         m.unsat,
@@ -439,7 +441,7 @@ fn main() {
         total_seed.wall_s / total_batched.wall_s.max(1e-12),
     );
     let json = format!(
-        "{{\n  \"schema\": \"xcv-bench-solver/v4\",\n  \"config\": {{\"nodes_per_box\": {}, \
+        "{{\n  \"schema\": \"xcv-bench-solver/v5\",\n  \"config\": {{\"nodes_per_box\": {}, \
          \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
          \"batched\": {}, \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \
          \"batched\": {{\"batch_width\": {}, \"wall_ms\": {:.3}, \"session_wall_ms\": {:.3}, \

@@ -6,13 +6,27 @@
 //! xcverify --dfa PBE --condition ec1 [--budget-ms 100] [--threshold 0.3] [--quiet]
 //! xcverify --dfa LYP --all [--deadline-ms N]
 //! xcverify --spin [--dfa "PBE(ζ)"] [...]      gate the ζ-resolved matrix
+//! xcverify --matrix [--emit-certs DIR] [...]  gate the whole extended matrix
+//! xcverify --matrix --shard 0/2 --checkpoint s0.json [...]
+//! xcverify --merge s0.json s1.json            union sharded checkpoints
 //! xcverify --list [--spin]
 //! ```
 //!
 //! `--spin` registers the spin-resolved (`ζ ≠ 0`) citizens next to the
 //! built-ins; without `--dfa` it gates the whole ζ-resolved matrix
 //! (`PBE(ζ)`, `PW92(ζ)`, `LSDA-X(ζ)` × every applicable condition) in one
-//! campaign.
+//! campaign. `--matrix` does the same for the extended charge-only registry.
+//!
+//! `--emit-certs DIR` records a replayable proof certificate per pair and
+//! writes them to `DIR`; audit them independently with `xcvcheck DIR`. On a
+//! failed gate the certificate path is printed next to each refuted pair's
+//! witnesses, so the refutation ships with its own replayable evidence.
+//!
+//! `--checkpoint PATH` persists progress (atomically, after every pair);
+//! re-running the same command resumes mid-matrix — even mid-pair — with
+//! identical marks. `--shard i/n` runs only the i-th of `n` deterministic
+//! LPT shards; `--merge` unions the shard checkpoints and prints the
+//! combined matrix, sorted, one `functional / condition: mark` per line.
 //!
 //! Exit status: 0 when every checked condition ran and none was refuted;
 //! 1 when any counterexample is found; 2 on usage errors; 3 when the
@@ -20,10 +34,11 @@
 //! more conditions — an incomplete run must not read as a green gate. A CI
 //! job can therefore gate a functional-implementation change on `xcverify`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use xcv_bench::repro_config;
 use xcv_conditions::Condition;
-use xcv_core::{Campaign, CampaignEvent, SkipReason, TableMark};
+use xcv_core::{checkpoint_marks, Campaign, CampaignEvent, CampaignReport, SkipReason, TableMark};
 use xcv_functionals::{FunctionalHandle, Registry};
 
 /// Resolve a CLI name against the registry (aliases included; the spin
@@ -59,8 +74,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN|BLYP> \
          (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] \
-         [--deadline-ms N] [--spin] [--expect-pairs N] [--quiet]\n\
+         [--deadline-ms N] [--spin] [--expect-pairs N] [--emit-certs DIR] \
+         [--checkpoint PATH] [--shard I/N] [--quiet]\n\
          \u{20}      xcverify --spin [--all]   (gate the whole ζ-resolved matrix)\n\
+         \u{20}      xcverify --matrix [--all] (gate the whole extended matrix)\n\
+         \u{20}      xcverify --merge CKPT.json... (union shard checkpoints, print marks)\n\
          \u{20}      xcverify --list [--spin]\n\
          \u{20}      --expect-pairs N pins the applicable cell count: a grown or \
          shrunken matrix exits 2 before anything runs"
@@ -68,8 +86,56 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// `--merge`: union the per-shard (or interrupted-run) checkpoints and print
+/// the combined matrix, sorted, in the same `functional / condition: mark`
+/// shape the live gate streams — so a two-shard run is auditable against a
+/// single-process run with a plain `diff`.
+fn merge_checkpoints(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut merged = std::collections::BTreeMap::<(String, String), TableMark>::new();
+    for file in files {
+        let marks = match checkpoint_marks(file) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("--merge {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (functional, condition, mark) in marks {
+            let key = (functional, condition.to_string());
+            if let Some(prev) = merged.get(&key) {
+                if *prev != mark {
+                    eprintln!(
+                        "--merge: conflicting marks for {} / {}: {prev} vs {mark}",
+                        key.0, key.1
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            merged.insert(key, mark);
+        }
+    }
+    for ((functional, condition), mark) in &merged {
+        println!("{functional} / {condition}: {mark}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse `--shard I/N` (e.g. `0/2`).
+fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (i, n) = s.split_once('/')?;
+    let (i, n) = (i.parse().ok()?, n.parse().ok()?);
+    (n >= 1 && i < n).then_some((i, n))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--merge` is a pure file mode: no campaign, no registry.
+    if args.first().map(String::as_str) == Some("--merge") {
+        return merge_checkpoints(&args[1..]);
+    }
     // `--spin` changes which names resolve, so scan for it before parsing.
     let spin = args.iter().any(|a| a == "--spin");
     let registry = if spin {
@@ -85,6 +151,10 @@ fn main() -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut expect_pairs: Option<usize> = None;
     let mut quiet = false;
+    let mut matrix = false;
+    let mut emit_certs: Option<PathBuf> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut shard: Option<(usize, usize)> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -141,15 +211,39 @@ fn main() -> ExitCode {
                 }
             }
             "--quiet" => quiet = true,
+            "--matrix" => matrix = true,
+            "--emit-certs" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => emit_certs = Some(PathBuf::from(dir)),
+                    None => return usage(),
+                }
+            }
+            "--checkpoint" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => checkpoint = Some(PathBuf::from(path)),
+                    None => return usage(),
+                }
+            }
+            "--shard" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_shard(s)) {
+                    Some(v) => shard = Some(v),
+                    None => return usage(),
+                }
+            }
             _ => return usage(),
         }
         i += 1;
     }
-    // `--spin` without `--dfa` gates the whole ζ-resolved matrix; otherwise
-    // a functional is mandatory.
+    // `--spin` without `--dfa` gates the whole ζ-resolved matrix; `--matrix`
+    // gates the whole (extended) registry; otherwise a functional is
+    // mandatory.
     let targets: Vec<FunctionalHandle> = match &dfa {
         Some(d) => vec![std::sync::Arc::clone(d)],
         None if spin => Registry::spin().handles().to_vec(),
+        None if matrix => registry.handles().to_vec(),
         None => return usage(),
     };
     let conditions: Vec<Condition> = if targets.len() > 1 {
@@ -222,6 +316,15 @@ fn main() -> ExitCode {
     if let Some(ms) = deadline_ms {
         builder = builder.global_budget_ms(ms);
     }
+    if emit_certs.is_some() {
+        builder = builder.emit_certificates(true);
+    }
+    if let Some(path) = &checkpoint {
+        builder = builder.checkpoint(path.clone());
+    }
+    if let Some((index, of)) = shard {
+        builder = builder.shard(index, of);
+    }
     if !quiet {
         // Pairs run concurrently, so cap witness lines per (functional,
         // condition) pair and label each line with its pair. Witness
@@ -268,15 +371,54 @@ fn main() -> ExitCode {
         });
     }
     let report = builder.build().expect("at least one functional").run();
+    if let Some(dir) = &emit_certs {
+        match report.write_certificates(dir) {
+            Ok(paths) => {
+                if !quiet {
+                    eprintln!("wrote {} certificate(s) to {}", paths.len(), dir.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("--emit-certs {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
     if report.count(|m| m == TableMark::Counterexample) > 0 {
+        // A refuted pair ships its own evidence: point at the replayable
+        // certificate (audit with `xcvcheck`) next to the witnesses already
+        // streamed above.
+        if let Some(dir) = &emit_certs {
+            for p in &report.pairs {
+                if p.mark == TableMark::Counterexample && p.certificate.is_some() {
+                    println!(
+                        "{} / {}: certificate {}",
+                        p.functional_name(),
+                        p.condition,
+                        dir.join(CampaignReport::certificate_file_name(
+                            &p.functional_name(),
+                            p.condition,
+                        ))
+                        .display()
+                    );
+                }
+            }
+        }
         return ExitCode::FAILURE;
     }
     // A condition the campaign never ran (deadline hit, defect) is not a
-    // pass: refuse to green-light an incomplete gate.
+    // pass: refuse to green-light an incomplete gate. Cells owned by a
+    // sibling `--shard` process are its responsibility, not an incomplete
+    // run here — `--merge` audits the union.
     let unrun: Vec<String> = report
         .pairs
         .iter()
-        .filter(|p| !matches!(p.skipped, None | Some(SkipReason::NotApplicable)))
+        .filter(|p| {
+            !matches!(
+                p.skipped,
+                None | Some(SkipReason::NotApplicable) | Some(SkipReason::OtherShard)
+            )
+        })
         .map(|p| format!("{}/{}", p.functional_name(), short_name(p.condition)))
         .collect();
     if !unrun.is_empty() {

@@ -1,6 +1,6 @@
 //! Regression pins on the checked-in `BENCH_solver.json` snapshot (written
-//! by the `solver_bench` binary): schema v4, a persisted measured cost
-//! model, the batched-engine guarantee — batched-session wall is faster
+//! by the `solver_bench` binary): schema v5 (per-mode `timeouts` counts), a
+//! persisted measured cost model, the batched-engine guarantee — batched-session wall is faster
 //! than the scalar-session wall *on the snapshot*, with identical tallies
 //! and TableMarks (asserted inside the binary at write time) — and the
 //! scheduling-order guarantee: cost-aware order is never slower than
@@ -40,9 +40,9 @@ fn number(json: &str, key: &str) -> f64 {
 }
 
 #[test]
-fn snapshot_is_schema_v4_with_a_cost_model() {
+fn snapshot_is_schema_v5_with_a_cost_model() {
     let json = snapshot();
-    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v4\"");
+    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v5\"");
     let model = &json[json.find("\"cost_model\"").expect("cost_model entry")..];
     assert_eq!(field(model, "kind"), "\"log-linear\"");
     // Four finite weights, a positive sample count, and a sane r².
@@ -56,6 +56,31 @@ fn snapshot_is_schema_v4_with_a_cost_model() {
     assert!(number(model, "samples") >= 40.0, "fit over the matrix");
     let r2 = number(model, "r2");
     assert!((0.0..=1.0).contains(&r2), "r² = {r2}");
+}
+
+#[test]
+fn snapshot_mode_entries_count_timeouts() {
+    // v5: every mode entry carries a `timeouts` count (box-level budget
+    // exhaustions), so a budget-starved benchmark run is visible in the
+    // snapshot itself. The four `total` modes replay the same search, so
+    // their timeout tallies must agree exactly — a drift here means one
+    // engine stopped exploring the tree the others explored.
+    let json = snapshot();
+    let totals: Vec<f64> = json
+        .match_indices("\"timeouts\":")
+        .map(|(i, _)| number(&json[i..], "timeouts"))
+        .collect();
+    assert!(
+        totals.len() >= 4,
+        "expected a timeouts count in each mode entry, found {}",
+        totals.len()
+    );
+    assert!(!json.contains("\"timeout\":"), "v4 singular key resurfaced");
+    let session = totals[0];
+    assert!(
+        totals[..4].iter().all(|t| *t == session),
+        "mode timeout tallies diverged: {totals:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,102 @@
+//! `xcvcheck` — replay XCVerifier proof certificates independently of the
+//! solver that produced them.
+//!
+//! ```text
+//! xcvcheck CERT.json [CERT2.json ...]   # or a directory of *.json certs
+//!     -q / --quiet                      # only print failures
+//! ```
+//!
+//! Exit status: 0 when every certificate replays, 1 when any fails to
+//! parse or check, 2 on usage errors. The checker links only the interval
+//! kernels (`xcv-interval` + the `xcv-expr` tape re-evaluator) — see the
+//! `xcv-cert` crate docs for exactly what a successful replay establishes.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xcv_cert::{check, Certificate};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: xcvcheck [-q|--quiet] CERT.json|CERT_DIR ...");
+    ExitCode::from(2)
+}
+
+fn collect(path: &Path, into: &mut Vec<PathBuf>) -> Result<(), String> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        entries.sort();
+        if entries.is_empty() {
+            return Err(format!("{}: no .json certificates found", path.display()));
+        }
+        into.extend(entries);
+        Ok(())
+    } else if path.is_file() {
+        into.push(path.to_path_buf());
+        Ok(())
+    } else {
+        Err(format!("{}: no such file or directory", path.display()))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => return usage(),
+            _ => {
+                if let Err(e) = collect(Path::new(&arg), &mut paths) {
+                    eprintln!("xcvcheck: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        let verdict: Result<_, String> = std::fs::read_to_string(path)
+            .map_err(|e| format!("read failed: {e}"))
+            .and_then(|text| Certificate::parse(&text))
+            .and_then(|cert| {
+                let report = check(&cert)?;
+                Ok((cert, report))
+            });
+        match verdict {
+            Ok((cert, report)) => {
+                if !quiet {
+                    println!(
+                        "OK   {}  [{} / {}]  regions={} replayed_leaves={} witnesses={}",
+                        path.display(),
+                        cert.functional,
+                        cert.condition,
+                        report.regions,
+                        report.replayed_leaves,
+                        report.witnesses,
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {}  {e}", path.display());
+            }
+        }
+    }
+    if failures > 0 {
+        println!("xcvcheck: {failures}/{} certificate(s) FAILED", paths.len());
+        ExitCode::FAILURE
+    } else {
+        if !quiet {
+            println!("xcvcheck: all {} certificate(s) replay", paths.len());
+        }
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,840 @@
+//! Replayable proof certificates for XCVerifier verdicts.
+//!
+//! A Table I/II mark is only as trustworthy as the solver run that produced
+//! it. This crate makes each verdict an *auditable artifact*: the solver
+//! records, per verified pair, the box cover its branch-and-prune search
+//! explored (every prune, every split, every δ-witness), and the campaign
+//! serializes it — together with the compiled interval program
+//! ([`xcv_expr::IntervalTape::to_portable`]) — into a [`Certificate`]. The
+//! checker here then *replays* the certificate against the interval kernels
+//! alone:
+//!
+//! * every `verified` region's trace is re-walked: each pruned leaf is
+//!   re-contracted with this crate's own HC4 loop (forward / meet /
+//!   backward over the deserialized tape) and must come back **empty**;
+//!   each split must be sound (our contraction lands inside the recorded
+//!   contracted box, which lies inside the box being split);
+//! * every `counterexample` witness is re-evaluated in interval arithmetic
+//!   at the witness point — the condition expression's enclosure must be
+//!   disjoint from the relation's allowed set, so the violation is real,
+//!   not a rounding artifact;
+//! * the recorded region cover must tile the stated domain exactly (the
+//!   verifier's recursive `split_all` tree, replayed by bisection).
+//!
+//! Trust base: `xcv-interval` (outward-rounded arithmetic) and the tape
+//! re-evaluator in `xcv-expr`. **No dependency on `xcv-solver` or
+//! `xcv-core`** — the checker shares no search code with the prover whose
+//! output it audits. The `xcvcheck` binary wraps [`check`] for CI and
+//! third parties.
+
+pub mod json;
+
+use json::{escape, fmt_f64, Json};
+use xcv_expr::IntervalTape;
+use xcv_interval::Interval;
+
+/// Relation of an atom `expr REL 0` — mirrors the solver's `Rel`
+/// (re-declared here so the checker stays independent of `xcv-solver`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    Le,
+    Lt,
+    Ge,
+    Gt,
+}
+
+impl Rel {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Rel::Le => "<=",
+            Rel::Lt => "<",
+            Rel::Ge => ">=",
+            Rel::Gt => ">",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Rel, String> {
+        match s {
+            "<=" => Ok(Rel::Le),
+            "<" => Ok(Rel::Lt),
+            ">=" => Ok(Rel::Ge),
+            ">" => Ok(Rel::Gt),
+            other => Err(format!("unknown relation {other:?}")),
+        }
+    }
+
+    /// The closed set of allowed values (the closure of the relation —
+    /// identical to the solver's pruning set, so replayed contractions
+    /// match bit for bit).
+    pub fn allowed(self) -> Interval {
+        match self {
+            Rel::Le | Rel::Lt => Interval::new(f64::NEG_INFINITY, 0.0),
+            Rel::Ge | Rel::Gt => Interval::new(0.0, f64::INFINITY),
+        }
+    }
+}
+
+/// One step of a recorded branch-and-prune search, in pop (DFS) order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertEvent {
+    /// The box on top of the replay stack contracts to empty.
+    Pruned,
+    /// The box stayed undecided: it contracted to `contracted` and was
+    /// bisected along `axis`; `low_first` says which half was explored
+    /// first (i.e. pushed last).
+    Split {
+        contracted: Vec<Interval>,
+        axis: usize,
+        low_first: bool,
+    },
+}
+
+/// The verdict a certificate claims for one region of the cover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertVerdict {
+    /// The negation of the condition is UNSAT on this region; `trace`
+    /// replays the proof.
+    Verified { trace: Vec<CertEvent> },
+    /// The condition is violated at `witness` (a point inside the region).
+    Counterexample { witness: Vec<f64> },
+    /// No claim (solver undecided) — participates in the tiling only.
+    Inconclusive,
+    /// No claim (budget exhausted) — participates in the tiling only.
+    Timeout,
+}
+
+impl CertVerdict {
+    fn status_str(&self) -> &'static str {
+        match self {
+            CertVerdict::Verified { .. } => "verified",
+            CertVerdict::Counterexample { .. } => "counterexample",
+            CertVerdict::Inconclusive => "inconclusive",
+            CertVerdict::Timeout => "timeout",
+        }
+    }
+}
+
+/// One region of the verifier's cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertRegion {
+    pub bounds: Vec<Interval>,
+    pub verdict: CertVerdict,
+}
+
+/// A replayable record of one (functional, condition) verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    pub functional: String,
+    pub condition: String,
+    /// The solver's δ (recorded for provenance; the replay itself is
+    /// δ-free — prunes must be exactly empty and witnesses exactly
+    /// violating in interval arithmetic).
+    pub delta: f64,
+    /// HC4 forward/backward rounds per contraction call during the
+    /// original solve; the replay runs the same count.
+    pub max_rounds: usize,
+    /// The compiled interval program, serialized with
+    /// [`IntervalTape::to_portable`]. Root `i` is atom `i`'s expression.
+    pub tape: String,
+    /// Relation of each atom of the *negation* formula the solver decided
+    /// (atom `i` constrains tape root `i`).
+    pub atom_rels: Vec<Rel>,
+    /// The condition ψ itself, as a tape root index plus relation — what a
+    /// witness must violate.
+    pub psi_atom: usize,
+    pub psi_rel: Rel,
+    /// The domain the cover must tile.
+    pub domain: Vec<Interval>,
+    pub regions: Vec<CertRegion>,
+}
+
+pub const SCHEMA: &str = "xcv-cert/v1";
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn write_box(out: &mut String, b: &[Interval]) {
+    out.push('[');
+    for (i, d) in b.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        out.push_str(&fmt_f64(d.lo));
+        out.push_str(", ");
+        out.push_str(&fmt_f64(d.hi));
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn write_point(out: &mut String, p: &[f64]) {
+    out.push('[');
+    for (i, v) in p.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&fmt_f64(*v));
+    }
+    out.push(']');
+}
+
+impl Certificate {
+    /// Serialize to the hand-rolled JSON this crate's [`Certificate::parse`]
+    /// reads back exactly (shortest-round-trip `f64` rendering throughout).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"functional\": \"{}\",\n",
+            escape(&self.functional)
+        ));
+        out.push_str(&format!(
+            "  \"condition\": \"{}\",\n",
+            escape(&self.condition)
+        ));
+        out.push_str(&format!("  \"delta\": {},\n", fmt_f64(self.delta)));
+        out.push_str(&format!("  \"max_rounds\": {},\n", self.max_rounds));
+        out.push_str(&format!("  \"tape\": \"{}\",\n", escape(&self.tape)));
+        out.push_str("  \"atom_rels\": [");
+        for (i, r) in self.atom_rels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", r.symbol()));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"psi\": {{\"atom\": {}, \"rel\": \"{}\"}},\n",
+            self.psi_atom,
+            self.psi_rel.symbol()
+        ));
+        out.push_str("  \"domain\": ");
+        write_box(&mut out, &self.domain);
+        out.push_str(",\n  \"regions\": [\n");
+        for (i, r) in self.regions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    {\"box\": ");
+            write_box(&mut out, &r.bounds);
+            out.push_str(&format!(", \"status\": \"{}\"", r.verdict.status_str()));
+            match &r.verdict {
+                CertVerdict::Verified { trace } => {
+                    out.push_str(", \"trace\": [");
+                    for (k, ev) in trace.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        match ev {
+                            CertEvent::Pruned => out.push_str("[\"p\"]"),
+                            CertEvent::Split {
+                                contracted,
+                                axis,
+                                low_first,
+                            } => {
+                                out.push_str(&format!(
+                                    "[\"s\", {axis}, {}, ",
+                                    u8::from(*low_first)
+                                ));
+                                write_box(&mut out, contracted);
+                                out.push(']');
+                            }
+                        }
+                    }
+                    out.push(']');
+                }
+                CertVerdict::Counterexample { witness } => {
+                    out.push_str(", \"witness\": ");
+                    write_point(&mut out, witness);
+                }
+                CertVerdict::Inconclusive | CertVerdict::Timeout => {}
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a certificate serialized by [`Certificate::to_json`].
+    pub fn parse(text: &str) -> Result<Certificate, String> {
+        let doc = Json::parse(text)?;
+        if doc.want("schema")?.as_str()? != SCHEMA {
+            return Err(format!(
+                "unsupported schema {:?} (expected {SCHEMA:?})",
+                doc.want("schema")?.as_str()?
+            ));
+        }
+        let atom_rels = doc
+            .want("atom_rels")?
+            .as_arr()?
+            .iter()
+            .map(|r| Rel::parse(r.as_str()?))
+            .collect::<Result<Vec<_>, _>>()?;
+        let psi = doc.want("psi")?;
+        let mut regions = Vec::new();
+        for (i, r) in doc.want("regions")?.as_arr()?.iter().enumerate() {
+            let bounds = parse_box(r.want("box")?).map_err(|e| format!("region {i}: {e}"))?;
+            let verdict = match r.want("status")?.as_str()? {
+                "verified" => {
+                    let mut trace = Vec::new();
+                    for (k, ev) in r.want("trace")?.as_arr()?.iter().enumerate() {
+                        let parts = ev.as_arr()?;
+                        let tag = parts
+                            .first()
+                            .ok_or_else(|| format!("region {i}: empty trace event {k}"))?
+                            .as_str()?;
+                        match tag {
+                            "p" => trace.push(CertEvent::Pruned),
+                            "s" => {
+                                if parts.len() != 4 {
+                                    return Err(format!(
+                                        "region {i}: split event {k} needs 4 elements"
+                                    ));
+                                }
+                                trace.push(CertEvent::Split {
+                                    axis: parts[1].as_usize()?,
+                                    low_first: parts[2].as_f64()? != 0.0,
+                                    contracted: parse_box(&parts[3])
+                                        .map_err(|e| format!("region {i}, event {k}: {e}"))?,
+                                });
+                            }
+                            other => {
+                                return Err(format!(
+                                    "region {i}: unknown trace event tag {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                    CertVerdict::Verified { trace }
+                }
+                "counterexample" => CertVerdict::Counterexample {
+                    witness: r
+                        .want("witness")?
+                        .as_arr()?
+                        .iter()
+                        .map(Json::as_f64)
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
+                "inconclusive" => CertVerdict::Inconclusive,
+                "timeout" => CertVerdict::Timeout,
+                other => return Err(format!("region {i}: unknown status {other:?}")),
+            };
+            regions.push(CertRegion { bounds, verdict });
+        }
+        Ok(Certificate {
+            functional: doc.want("functional")?.as_str()?.to_string(),
+            condition: doc.want("condition")?.as_str()?.to_string(),
+            delta: doc.want("delta")?.as_f64()?,
+            max_rounds: doc.want("max_rounds")?.as_usize()?,
+            tape: doc.want("tape")?.as_str()?.to_string(),
+            atom_rels,
+            psi_atom: psi.want("atom")?.as_usize()?,
+            psi_rel: Rel::parse(psi.want("rel")?.as_str()?)?,
+            domain: parse_box(doc.want("domain")?)?,
+            regions,
+        })
+    }
+}
+
+fn parse_box(v: &Json) -> Result<Vec<Interval>, String> {
+    v.as_arr()?
+        .iter()
+        .map(|d| {
+            let pair = d.as_arr()?;
+            if pair.len() != 2 {
+                return Err("interval needs exactly [lo, hi]".to_string());
+            }
+            let (lo, hi) = (pair[0].as_f64()?, pair[1].as_f64()?);
+            if lo.is_nan() || hi.is_nan() || lo > hi {
+                return Err(format!("bad interval [{lo}, {hi}]"));
+            }
+            Ok(Interval::new(lo, hi))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The replay checker
+// ---------------------------------------------------------------------------
+
+/// What a successful [`check`] established.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Regions in the cover.
+    pub regions: usize,
+    /// Pruned leaves re-contracted to empty across all verified regions.
+    pub replayed_leaves: usize,
+    /// Witnesses re-evaluated as genuine interval violations.
+    pub witnesses: usize,
+}
+
+/// The checker's own HC4 contraction — a from-scratch replica of the
+/// solver's round loop (forward; per round: meet parents, impose atom
+/// relations at the roots, backward sweep, extract variable domains, stop
+/// when the largest relative width gain drops below 5%), built only on the
+/// deserialized tape's public passes. Returns `None` when the box is
+/// proven empty.
+fn contract(
+    tape: &IntervalTape,
+    atoms: &[(usize, Interval)],
+    max_rounds: usize,
+    b: &[Interval],
+    vals: &mut Vec<Interval>,
+) -> Option<Vec<Interval>> {
+    vals.clear();
+    vals.resize(tape.len(), Interval::ENTIRE);
+    tape.forward(b, vals);
+    let mut current = b.to_vec();
+    for round in 0..max_rounds {
+        if round > 0 {
+            tape.forward_meet(vals);
+        }
+        for &(slot, allowed) in atoms {
+            let met = vals[slot].intersect(&allowed);
+            if met.is_empty() {
+                return None;
+            }
+            vals[slot] = met;
+        }
+        if !tape.backward(vals) {
+            return None;
+        }
+        let mut next = current.clone();
+        for &(slot, v) in tape.var_slots() {
+            if (v as usize) >= current.len() {
+                continue;
+            }
+            let met = vals[slot as usize].intersect(&current[v as usize]);
+            if met.is_empty() {
+                return None;
+            }
+            next[v as usize] = met;
+        }
+        let gain = improvement(&current, &next);
+        current = next;
+        if gain < 0.05 {
+            break;
+        }
+    }
+    Some(current)
+}
+
+/// Largest relative per-axis width reduction (the solver's round-stop
+/// metric, replicated).
+fn improvement(before: &[Interval], after: &[Interval]) -> f64 {
+    let mut best = 0.0_f64;
+    for (b, a) in before.iter().zip(after) {
+        let wb = b.width();
+        let wa = a.width();
+        if wb > 0.0 && wb.is_finite() {
+            best = best.max((wb - wa) / wb);
+        } else if wb.is_infinite() && wa.is_finite() {
+            best = 1.0;
+        }
+    }
+    best
+}
+
+fn subset(inner: &[Interval], outer: &[Interval]) -> bool {
+    inner
+        .iter()
+        .zip(outer)
+        .all(|(i, o)| i.is_empty() || (o.lo <= i.lo && i.hi <= o.hi))
+}
+
+fn contains_point(b: &[Interval], p: &[f64]) -> bool {
+    b.len() == p.len() && b.iter().zip(p).all(|(d, &x)| d.lo <= x && x <= d.hi)
+}
+
+/// Replay one verified region's trace: maintain the recorded DFS stack,
+/// re-contract every pruned leaf to emptiness, and validate every split's
+/// soundness. Returns the number of replayed (pruned) leaves.
+fn replay_verified(
+    tape: &IntervalTape,
+    atoms: &[(usize, Interval)],
+    max_rounds: usize,
+    region: &[Interval],
+    trace: &[CertEvent],
+    vals: &mut Vec<Interval>,
+) -> Result<usize, String> {
+    let mut stack: Vec<Vec<Interval>> = vec![region.to_vec()];
+    let mut leaves = 0usize;
+    for (k, ev) in trace.iter().enumerate() {
+        let b = stack
+            .pop()
+            .ok_or_else(|| format!("event {k}: trace continues past an exhausted cover"))?;
+        match ev {
+            CertEvent::Pruned => {
+                if contract(tape, atoms, max_rounds, &b, vals).is_some() {
+                    return Err(format!(
+                        "event {k}: recorded prune does not contract to empty"
+                    ));
+                }
+                leaves += 1;
+            }
+            CertEvent::Split {
+                contracted,
+                axis,
+                low_first,
+            } => {
+                if contracted.len() != b.len() || *axis >= b.len() {
+                    return Err(format!("event {k}: malformed split"));
+                }
+                if !subset(contracted, &b) {
+                    return Err(format!(
+                        "event {k}: recorded contraction escapes the box being split"
+                    ));
+                }
+                // Soundness of discarding box \ contracted: our own
+                // contraction (a sound enclosure of every solution in the
+                // box) must land inside the recorded contracted box. An
+                // empty own contraction means the box holds no solutions —
+                // the recorded split explores vacuously true children,
+                // which is sound (they must still replay).
+                if let Some(own) = contract(tape, atoms, max_rounds, &b, vals) {
+                    if !subset(&own, contracted) {
+                        return Err(format!(
+                            "event {k}: recorded contraction drops part of the feasible set"
+                        ));
+                    }
+                }
+                let (lo_half, hi_half) = contracted[*axis].bisect();
+                let mut lo_box = contracted.clone();
+                lo_box[*axis] = lo_half;
+                let mut hi_box = contracted.clone();
+                hi_box[*axis] = hi_half;
+                // The half explored first was pushed last.
+                if *low_first {
+                    stack.push(hi_box);
+                    stack.push(lo_box);
+                } else {
+                    stack.push(lo_box);
+                    stack.push(hi_box);
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(format!(
+            "trace ended with {} unexplored boxes on the stack",
+            stack.len()
+        ));
+    }
+    Ok(leaves)
+}
+
+/// Check that the region boxes `idx` tile `b` exactly, replaying the
+/// verifier's recursive `2^n`-way bisection (`split_all`): a box either
+/// equals one region or splits into children that each tile recursively.
+fn check_tiling(
+    b: &[Interval],
+    idx: &[usize],
+    regions: &[CertRegion],
+    depth: usize,
+) -> Result<(), String> {
+    if idx.len() == 1 && regions[idx[0]].bounds == b {
+        return Ok(());
+    }
+    if idx.is_empty() {
+        return Err("a subdomain is not covered by any region".to_string());
+    }
+    if depth > 64 {
+        return Err("cover nesting exceeds any plausible verifier depth".to_string());
+    }
+    let n = b.len();
+    if n > 16 {
+        return Err(format!("{n}-dimensional domain out of range"));
+    }
+    let halves: Vec<(Interval, Interval)> = b.iter().map(Interval::bisect).collect();
+    let child = |mask: usize| -> Vec<Interval> {
+        (0..n)
+            .map(|i| {
+                if mask & (1 << i) == 0 {
+                    halves[i].0
+                } else {
+                    halves[i].1
+                }
+            })
+            .collect()
+    };
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); 1 << n];
+    'regions: for &ri in idx {
+        for (mask, bucket) in buckets.iter_mut().enumerate() {
+            if subset(&regions[ri].bounds, &child(mask)) {
+                bucket.push(ri);
+                continue 'regions;
+            }
+        }
+        return Err(format!(
+            "region box {:?} straddles the bisection of {:?}",
+            regions[ri].bounds, b
+        ));
+    }
+    for (mask, bucket) in buckets.iter().enumerate() {
+        check_tiling(&child(mask), bucket, regions, depth + 1)?;
+    }
+    Ok(())
+}
+
+/// Replay `cert` against the interval kernels alone. `Ok` means every
+/// claim in the certificate was independently re-established:
+///
+/// 1. the cover tiles the stated domain;
+/// 2. every `verified` region's trace replays — each pruned leaf really
+///    contracts to empty, each split really keeps every solution;
+/// 3. every `counterexample` witness lies in its region and genuinely
+///    violates ψ in outward-rounded interval arithmetic.
+pub fn check(cert: &Certificate) -> Result<CheckReport, String> {
+    let tape = IntervalTape::from_portable(&cert.tape)?;
+    if cert.atom_rels.is_empty() {
+        return Err("certificate has no atoms".to_string());
+    }
+    if cert.atom_rels.len() > tape.num_roots() {
+        return Err(format!(
+            "{} atom relations but only {} tape roots",
+            cert.atom_rels.len(),
+            tape.num_roots()
+        ));
+    }
+    if cert.psi_atom >= cert.atom_rels.len() {
+        return Err(format!("psi atom {} out of range", cert.psi_atom));
+    }
+    if !(1..=16).contains(&cert.max_rounds) {
+        return Err(format!("implausible max_rounds {}", cert.max_rounds));
+    }
+    let ndim = cert.domain.len();
+    if ndim == 0 || cert.domain.iter().any(Interval::is_empty) {
+        return Err("empty or zero-dimensional domain".to_string());
+    }
+    let atoms: Vec<(usize, Interval)> = cert
+        .atom_rels
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (tape.root_slot(i) as usize, r.allowed()))
+        .collect();
+    let psi_slot = tape.root_slot(cert.psi_atom) as usize;
+    let psi_allowed = cert.psi_rel.allowed();
+
+    // 1. The cover tiles the domain.
+    for (i, r) in cert.regions.iter().enumerate() {
+        if r.bounds.len() != ndim {
+            return Err(format!("region {i}: dimension mismatch"));
+        }
+        if r.bounds.iter().any(Interval::is_empty) {
+            return Err(format!("region {i}: empty box in the cover"));
+        }
+    }
+    let all: Vec<usize> = (0..cert.regions.len()).collect();
+    check_tiling(&cert.domain, &all, &cert.regions, 0)?;
+
+    // 2 & 3. Per-region claims.
+    let mut report = CheckReport {
+        regions: cert.regions.len(),
+        ..CheckReport::default()
+    };
+    let mut vals = tape.scratch();
+    for (i, r) in cert.regions.iter().enumerate() {
+        match &r.verdict {
+            CertVerdict::Verified { trace } => {
+                report.replayed_leaves +=
+                    replay_verified(&tape, &atoms, cert.max_rounds, &r.bounds, trace, &mut vals)
+                        .map_err(|e| format!("region {i}: {e}"))?;
+            }
+            CertVerdict::Counterexample { witness } => {
+                if witness.len() != ndim || witness.iter().any(|v| v.is_nan()) {
+                    return Err(format!("region {i}: malformed witness"));
+                }
+                if !contains_point(&r.bounds, witness) {
+                    return Err(format!("region {i}: witness lies outside its region"));
+                }
+                let point: Vec<Interval> = witness.iter().map(|&v| Interval::point(v)).collect();
+                vals.clear();
+                vals.resize(tape.len(), Interval::ENTIRE);
+                tape.forward(&point, &mut vals);
+                let enclosure = vals[psi_slot];
+                if !enclosure.intersect(&psi_allowed).is_empty() {
+                    return Err(format!(
+                        "region {i}: witness does not violate ψ (enclosure [{}, {}] meets {})",
+                        enclosure.lo,
+                        enclosure.hi,
+                        cert.psi_rel.symbol()
+                    ));
+                }
+                report.witnesses += 1;
+            }
+            CertVerdict::Inconclusive | CertVerdict::Timeout => {}
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcv_expr::var;
+
+    /// Hand-build the certificate machinery around `x^2 + 1 <= 0` over
+    /// [-2, 2] (the canonical unsatisfiable negation): one pruned leaf
+    /// after one split proves the whole domain.
+    fn tape_for(e: &xcv_expr::Expr) -> String {
+        IntervalTape::compile(std::slice::from_ref(e)).to_portable()
+    }
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    fn unsat_cert() -> Certificate {
+        // x^2 + 1 <= 0 prunes immediately on any box.
+        Certificate {
+            functional: "toy".into(),
+            condition: "toy-cond".into(),
+            delta: 1e-3,
+            max_rounds: 3,
+            tape: tape_for(&(var(0).powi(2) + 1.0)),
+            atom_rels: vec![Rel::Le],
+            psi_atom: 0,
+            psi_rel: Rel::Gt,
+            domain: vec![iv(-2.0, 2.0)],
+            regions: vec![CertRegion {
+                bounds: vec![iv(-2.0, 2.0)],
+                verdict: CertVerdict::Verified {
+                    trace: vec![CertEvent::Pruned],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn honest_unsat_certificate_checks() {
+        let report = check(&unsat_cert()).expect("honest certificate");
+        assert_eq!(report.regions, 1);
+        assert_eq!(report.replayed_leaves, 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let cert = unsat_cert();
+        let text = cert.to_json();
+        let back = Certificate::parse(&text).expect("parses");
+        assert_eq!(back, cert);
+        check(&back).expect("round-tripped certificate still checks");
+    }
+
+    #[test]
+    fn witness_claims_are_replayed() {
+        // ψ: -x >= 0 (i.e. x <= 0); witness x = 1 genuinely violates.
+        let mut cert = unsat_cert();
+        cert.tape = tape_for(&(-var(0)));
+        cert.atom_rels = vec![Rel::Lt];
+        cert.psi_rel = Rel::Ge;
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(-2.0, 2.0)],
+            verdict: CertVerdict::Counterexample { witness: vec![1.0] },
+        }];
+        assert_eq!(check(&cert).unwrap().witnesses, 1);
+        // A non-violating "witness" (x = -1 satisfies -x >= 0) is rejected.
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(-2.0, 2.0)],
+            verdict: CertVerdict::Counterexample {
+                witness: vec![-1.0],
+            },
+        }];
+        assert!(check(&cert).is_err());
+        // A witness outside its region is rejected.
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(-2.0, 2.0)],
+            verdict: CertVerdict::Counterexample { witness: vec![3.0] },
+        }];
+        assert!(check(&cert).is_err());
+    }
+
+    #[test]
+    fn cover_must_tile_the_domain() {
+        // Two half-regions tile; a gap or an overlap must not.
+        let half = |lo: f64, hi: f64| CertRegion {
+            bounds: vec![iv(lo, hi)],
+            verdict: CertVerdict::Inconclusive,
+        };
+        let mut cert = unsat_cert();
+        cert.regions = vec![half(-2.0, 0.0), half(0.0, 2.0)];
+        check(&cert).expect("exact halves tile");
+        cert.regions = vec![half(-2.0, 0.0), half(1.0, 2.0)];
+        assert!(check(&cert).is_err(), "gapped cover accepted");
+        cert.regions = vec![half(-2.0, 0.0), half(-1.0, 2.0)];
+        assert!(check(&cert).is_err(), "straddling cover accepted");
+        cert.regions = vec![half(-2.0, 0.0)];
+        assert!(check(&cert).is_err(), "missing half accepted");
+    }
+
+    #[test]
+    fn fake_prunes_are_rejected() {
+        // x - 10 <= 0 is satisfiable everywhere on [-2, 2]: claiming a
+        // prune there must fail the replay.
+        let mut cert = unsat_cert();
+        cert.tape = tape_for(&(var(0) - 10.0));
+        assert!(check(&cert).is_err());
+    }
+
+    #[test]
+    fn split_replay_walks_both_halves() {
+        // A two-level honest trace: split [-2, 2] at 0, prune both halves.
+        let mut cert = unsat_cert();
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(-2.0, 2.0)],
+            verdict: CertVerdict::Verified {
+                trace: vec![
+                    CertEvent::Split {
+                        contracted: vec![iv(-2.0, 2.0)],
+                        axis: 0,
+                        low_first: true,
+                    },
+                    CertEvent::Pruned,
+                    CertEvent::Pruned,
+                ],
+            },
+        }];
+        assert_eq!(check(&cert).unwrap().replayed_leaves, 2);
+        // Truncating the trace (an unexplored half) must fail.
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(-2.0, 2.0)],
+            verdict: CertVerdict::Verified {
+                trace: vec![
+                    CertEvent::Split {
+                        contracted: vec![iv(-2.0, 2.0)],
+                        axis: 0,
+                        low_first: true,
+                    },
+                    CertEvent::Pruned,
+                ],
+            },
+        }];
+        assert!(check(&cert).is_err(), "half-explored cover accepted");
+    }
+
+    #[test]
+    fn overtight_recorded_contraction_is_rejected() {
+        // x <= 0 over [-2, 2] contracts to [-2, 0]; recording a tighter
+        // box (dropping feasible points) must fail the soundness check.
+        let mut cert = unsat_cert();
+        cert.tape = tape_for(&var(0));
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(-2.0, 2.0)],
+            verdict: CertVerdict::Verified {
+                trace: vec![
+                    CertEvent::Split {
+                        contracted: vec![iv(-0.5, 0.0)],
+                        axis: 0,
+                        low_first: true,
+                    },
+                    CertEvent::Pruned,
+                    CertEvent::Pruned,
+                ],
+            },
+        }];
+        assert!(check(&cert).is_err());
+    }
+}

@@ -22,16 +22,22 @@
 //! * **reporting** — the result is a structured [`CampaignReport`] that
 //!   `xcv_report` renders directly into the paper's Tables I/II.
 
+use crate::certify::build_certificate;
+use crate::checkpoint::{self, CheckpointCell, CheckpointRegion};
 use crate::encoder::{EncodedProblem, Encoder};
-use crate::region::{RegionMap, TableMark};
-use crate::verifier::{Verifier, VerifierConfig};
+use crate::region::{RegionMap, RegionStatus, TableMark};
+use crate::verifier::{RegionDetail, RunOptions, RunOutput, Verifier, VerifierConfig};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use xcv_cert::Certificate;
 use xcv_conditions::Condition;
 use xcv_functionals::{FunctionalHandle, IntoFunctional, Registry, XcvError};
+use xcv_solver::SolveStats;
 
 /// Cooperative cancellation for a running campaign. Clone it, hand the clone
 /// to another thread (or a ctrl-c handler), and call [`CancelToken::cancel`];
@@ -336,8 +342,13 @@ pub enum SkipReason {
     EncodeFailed,
     /// The campaign's global wall-clock budget expired first.
     BudgetExhausted,
-    /// The campaign was cancelled first.
+    /// The campaign was cancelled first (or mid-pair: the outcome's map
+    /// then contains the [`RegionStatus::Cancelled`] leaves a checkpointed
+    /// resume picks up from).
     Cancelled,
+    /// A `--shard i/n` run assigned this cell to a different shard; merge
+    /// the shard reports with [`CampaignReport::merge`].
+    OtherShard,
 }
 
 /// Progress notifications streamed while a campaign runs. Delivered from
@@ -381,10 +392,22 @@ pub struct PairOutcome {
     /// The verifier's region map (absent for inapplicable or skipped pairs).
     pub map: Option<RegionMap>,
     pub wall_ms: u128,
-    /// Set when the pair never ran.
+    /// Set when the pair never ran — or, for [`SkipReason::Cancelled`]
+    /// with a map present, ran partially (resumable from a checkpoint).
     pub skipped: Option<SkipReason>,
     /// The scheduler's modeled cost for this cell (see [`pair_cost`]).
     pub cost: u64,
+    /// Aggregated solver statistics over the pair's whole box tree (absent
+    /// when the pair never ran).
+    pub stats: Option<SolveStats>,
+    /// Recursion depth of each region of `map`, index-aligned with
+    /// `map.regions` (absent when the pair never ran). Persisted in
+    /// checkpoints so resumed leaves re-verify at their original depth.
+    pub region_depths: Option<Vec<u32>>,
+    /// The replayable proof certificate, when
+    /// [`CampaignBuilder::emit_certificates`] was set and the run was
+    /// replayable (complete scalar HC4 traces, no cancellation).
+    pub certificate: Option<Certificate>,
 }
 
 impl PairOutcome {
@@ -467,6 +490,138 @@ impl CampaignReport {
         }
         out
     }
+
+    /// The certificate file name for a cell (deterministic slug, shared by
+    /// [`CampaignReport::write_certificates`] and the `xcverify` gate).
+    pub fn certificate_file_name(functional: &str, condition: Condition) -> String {
+        let slug = |s: &str| -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        };
+        format!(
+            "{}__{}.json",
+            slug(functional),
+            slug(&format!("{condition:?}"))
+        )
+    }
+
+    /// Write every attached certificate (see
+    /// [`CampaignBuilder::emit_certificates`]) into `dir`, one JSON file
+    /// per certified pair, creating the directory. Returns the written
+    /// paths in matrix order; each file replays standalone under
+    /// `xcvcheck`.
+    pub fn write_certificates(&self, dir: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut out = Vec::new();
+        for p in &self.pairs {
+            if let Some(cert) = &p.certificate {
+                let path = dir.join(Self::certificate_file_name(
+                    &p.functional_name(),
+                    p.condition,
+                ));
+                std::fs::write(&path, cert.to_json())?;
+                out.push(path);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merge the reports of a sharded campaign (each produced with
+    /// [`CampaignBuilder::shard`] over the same matrix): for every cell the
+    /// shard that *owned* it contributes its outcome, the
+    /// [`SkipReason::OtherShard`] placeholders of the rest are discarded.
+    /// Errors when the reports cover different matrices.
+    pub fn merge(
+        reports: impl IntoIterator<Item = CampaignReport>,
+    ) -> Result<CampaignReport, String> {
+        let mut iter = reports.into_iter();
+        let mut base = iter.next().ok_or("no reports to merge")?;
+        for other in iter {
+            if other.pairs.len() != base.pairs.len() {
+                return Err(format!(
+                    "cannot merge: {} cells vs {}",
+                    other.pairs.len(),
+                    base.pairs.len()
+                ));
+            }
+            for (a, b) in base.pairs.iter_mut().zip(other.pairs) {
+                if a.functional.name() != b.functional.name() || a.condition != b.condition {
+                    return Err(format!(
+                        "cannot merge: cell {} / {:?} vs {} / {:?}",
+                        a.functional.name(),
+                        a.condition,
+                        b.functional.name(),
+                        b.condition
+                    ));
+                }
+                if a.skipped == Some(SkipReason::OtherShard)
+                    && b.skipped != Some(SkipReason::OtherShard)
+                {
+                    *a = b;
+                }
+            }
+            base.wall_ms = base.wall_ms.max(other.wall_ms);
+        }
+        Ok(base)
+    }
+}
+
+/// The engine width a cell actually runs at under a campaign-wide
+/// [`CampaignBuilder::batch_width`] override: cells the measured model
+/// predicts as sub-millisecond (`predict` ≈ 1 + wall_ms, so `< 2.0`) are
+/// demoted to the scalar path — the batched frontier only adds dispatch
+/// overhead there. Marks are width-invariant either way
+/// (`tests/solver_batched.rs` pins bit-identity at every width).
+fn effective_batch_width(
+    requested: usize,
+    model: Option<&CostModel>,
+    functional: &dyn xcv_functionals::Functional,
+    condition: Condition,
+) -> usize {
+    match model {
+        Some(m) if m.predict(functional, condition) < 2.0 => 1,
+        _ => requested,
+    }
+}
+
+/// Deterministic LPT assignment of cells to `of` shards: cells ranked by
+/// modeled cost (descending; matrix index breaks ties), each assigned to
+/// the least-loaded shard so far (ties to the lowest shard index). Every
+/// process computing this over the same matrix and cost model produces the
+/// same assignment — the whole point: shards coordinate by construction,
+/// not by communication. `None` costs (cells that never encoded) stay
+/// unassigned; every shard reports those identically.
+fn shard_assignment(costs: &[Option<f64>], of: usize) -> Vec<Option<usize>> {
+    let mut ranked: Vec<usize> = (0..costs.len()).filter(|&i| costs[i].is_some()).collect();
+    ranked.sort_by(|&i, &j| {
+        costs[j]
+            .partial_cmp(&costs[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    let mut loads = vec![0.0f64; of.max(1)];
+    let mut owner = vec![None; costs.len()];
+    for i in ranked {
+        let s = (0..loads.len())
+            .min_by(|&x, &y| {
+                loads[x]
+                    .partial_cmp(&loads[y])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.cmp(&y))
+            })
+            .expect("at least one shard");
+        owner[i] = Some(s);
+        loads[s] += costs[i].unwrap_or(0.0);
+    }
+    owner
 }
 
 type EventCallback = Arc<dyn Fn(&CampaignEvent) + Send + Sync>;
@@ -483,6 +638,9 @@ pub struct CampaignBuilder {
     schedule: CampaignSchedule,
     cost_model: Option<CostModel>,
     batch_width: Option<usize>,
+    emit_certificates: bool,
+    checkpoint: Option<PathBuf>,
+    shard: Option<(usize, usize)>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -575,6 +733,44 @@ impl CampaignBuilder {
         self
     }
 
+    /// Record a solver trace for every verified leaf and attach a
+    /// replayable [`Certificate`] to each completed pair (write them out
+    /// with [`CampaignReport::write_certificates`]; audit with the
+    /// standalone `xcvcheck` binary). Traced pairs solve on the scalar
+    /// path — frontier batching is disabled for them — and every
+    /// certificate is replayed through `xcv_cert::check` before being
+    /// attached.
+    pub fn emit_certificates(mut self, on: bool) -> Self {
+        self.emit_certificates = on;
+        self
+    }
+
+    /// Persist a checkpoint at `path`, atomically rewritten after every
+    /// pair. If the file already exists when the campaign runs, completed
+    /// cells are restored without re-solving and interrupted cells (the
+    /// `Cancelled` leaves a [`CancelToken`] left behind) are resumed in
+    /// place — with a deterministic node-budgeted config, the resumed
+    /// matrix reproduces the uninterrupted run's marks and aggregate
+    /// statistics exactly.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Run only shard `index` of `of` (deterministic LPT over the modeled
+    /// cell costs — attach the same [`CostModel`] in every process for a
+    /// balanced split). Cells owned by other shards are reported as
+    /// [`SkipReason::OtherShard`]; combine the per-shard reports with
+    /// [`CampaignReport::merge`].
+    ///
+    /// # Panics
+    /// When `index >= of` or `of == 0` (a caller bug, not a data error).
+    pub fn shard(mut self, index: usize, of: usize) -> Self {
+        assert!(of >= 1 && index < of, "shard {index}/{of} out of range");
+        self.shard = Some((index, of));
+        self
+    }
+
     /// Stream events to a callback (may be called from worker threads;
     /// multiple callbacks compose).
     pub fn on_event(mut self, f: impl Fn(&CampaignEvent) + Send + Sync + 'static) -> Self {
@@ -629,6 +825,9 @@ impl CampaignBuilder {
             schedule: self.schedule,
             cost_model: self.cost_model,
             batch_width: self.batch_width,
+            emit_certificates: self.emit_certificates,
+            checkpoint: self.checkpoint,
+            shard: self.shard,
             on_event: self.on_event,
             cancel: self.cancel,
         })
@@ -645,6 +844,9 @@ pub struct Campaign {
     schedule: CampaignSchedule,
     cost_model: Option<CostModel>,
     batch_width: Option<usize>,
+    emit_certificates: bool,
+    checkpoint: Option<PathBuf>,
+    shard: Option<(usize, usize)>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
 }
@@ -660,6 +862,9 @@ impl Campaign {
             schedule: CampaignSchedule::default(),
             cost_model: None,
             batch_width: None,
+            emit_certificates: false,
+            checkpoint: None,
+            shard: None,
             on_event: Vec::new(),
             cancel: CancelToken::new(),
         }
@@ -708,6 +913,36 @@ impl Campaign {
                 })
             })
             .collect();
+        // Shard ownership: deterministic, communication-free (see
+        // `shard_assignment`). `None` = single-process campaign.
+        let owner: Option<Vec<Option<usize>>> = self.shard.map(|(_, of)| {
+            let costs: Vec<Option<f64>> = cells
+                .iter()
+                .map(|(cost, cell)| match (cell, &self.cost_model) {
+                    (Err(_), _) => None,
+                    (Ok(p), Some(m)) => Some(m.predict(p.functional.as_ref(), p.condition)),
+                    (Ok(_), None) => Some(*cost as f64),
+                })
+                .collect();
+            shard_assignment(&costs, of)
+        });
+        // Checkpoint: restore what a previous (interrupted) run persisted,
+        // and keep a live store rewritten after every pair.
+        let restored: HashMap<(String, Condition), CheckpointCell> = self
+            .checkpoint
+            .as_deref()
+            .filter(|p| p.exists())
+            .and_then(|p| checkpoint::load(p).ok())
+            .map(|cs| {
+                cs.into_iter()
+                    .map(|c| ((c.functional.to_ascii_lowercase(), c.condition), c))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let store: Option<Mutex<HashMap<(String, Condition), CheckpointCell>>> = self
+            .checkpoint
+            .as_ref()
+            .map(|_| Mutex::new(restored.clone()));
         // Schedule: one rayon task per cell, in cost-aware or matrix order.
         // The verifier's own recursion fans out further below
         // parallel_depth, so the pool stays busy even for campaigns smaller
@@ -755,12 +990,47 @@ impl Campaign {
                             wall_ms: 0,
                             skipped: Some(*reason),
                             cost: *cost,
+                            stats: None,
+                            region_depths: None,
+                            certificate: None,
                         }
                     }
-                    Ok(problem) => PairOutcome {
-                        cost: *cost,
-                        ..self.run_pair(problem, start)
-                    },
+                    Ok(problem) => {
+                        let not_mine = match (self.shard, owner.as_ref()) {
+                            (Some((mine, _)), Some(own)) => own[i] != Some(mine),
+                            _ => false,
+                        };
+                        if not_mine {
+                            self.emit(CampaignEvent::PairSkipped {
+                                functional: problem.functional.name(),
+                                condition: problem.condition,
+                                reason: SkipReason::OtherShard,
+                            });
+                            PairOutcome {
+                                functional: Arc::clone(&problem.functional),
+                                condition: problem.condition,
+                                mark: TableMark::Unknown,
+                                map: None,
+                                wall_ms: 0,
+                                skipped: Some(SkipReason::OtherShard),
+                                cost: *cost,
+                                stats: None,
+                                region_depths: None,
+                                certificate: None,
+                            }
+                        } else {
+                            let key = (
+                                problem.functional.name().to_ascii_lowercase(),
+                                problem.condition,
+                            );
+                            let out = PairOutcome {
+                                cost: *cost,
+                                ..self.run_pair(problem, start, restored.get(&key))
+                            };
+                            self.persist(&out, store.as_ref(), key);
+                            out
+                        }
+                    }
                 };
                 (i, outcome)
             })
@@ -774,7 +1044,12 @@ impl Campaign {
         }
     }
 
-    fn run_pair(&self, problem: &EncodedProblem, start: Instant) -> PairOutcome {
+    fn run_pair(
+        &self,
+        problem: &EncodedProblem,
+        start: Instant,
+        prior: Option<&CheckpointCell>,
+    ) -> PairOutcome {
         let name = problem.functional.name();
         let cond = problem.condition;
         let skip = |reason| {
@@ -791,8 +1066,29 @@ impl Campaign {
                 wall_ms: 0,
                 skipped: Some(reason),
                 cost: 0,
+                stats: None,
+                region_depths: None,
+                certificate: None,
             }
         };
+        // A completed checkpointed cell is restored verbatim — no events,
+        // no re-solving, identical mark and statistics.
+        if let Some(rec) = prior.filter(|r| r.complete()) {
+            let (regions, depths): (Vec<_>, Vec<_>) = rec.to_regions().into_iter().unzip();
+            let map = RegionMap::new(problem.domain.clone(), regions);
+            return PairOutcome {
+                functional: Arc::clone(&problem.functional),
+                condition: cond,
+                mark: map.table_mark(),
+                map: Some(map),
+                wall_ms: rec.wall_ms,
+                skipped: None,
+                cost: 0,
+                stats: Some(rec.stats),
+                region_depths: Some(depths),
+                certificate: None,
+            };
+        }
         if self.cancel.is_cancelled() {
             return skip(SkipReason::Cancelled);
         }
@@ -814,11 +1110,84 @@ impl Campaign {
             (p, r) => p.or(r),
         };
         if let Some(w) = self.batch_width {
-            config.solver.batch_width = w;
+            config.solver.batch_width = effective_batch_width(
+                w,
+                self.cost_model.as_ref(),
+                problem.functional.as_ref(),
+                cond,
+            );
         }
+        if self.emit_certificates {
+            // Traced solves run the scalar engine; keep the recorded
+            // config truthful about what actually executed.
+            config.solver.batch_width = 1;
+        }
+        let opts = RunOptions {
+            cancel: Some(self.cancel.clone()),
+            record_traces: self.emit_certificates,
+            base_depth: 0,
+        };
+        let verifier = Verifier::new(config.clone());
         let t0 = Instant::now();
-        let map = Verifier::new(config).verify(problem);
-        let wall_ms = t0.elapsed().as_millis();
+        let (out, resumed) = match prior {
+            // Resume an interrupted cell: re-verify exactly the Cancelled
+            // leaves, each at its recorded depth, and splice the results in
+            // place. Everything already solved is kept verbatim, so a
+            // deterministic config reproduces the uninterrupted run.
+            Some(rec) => {
+                let mut regions = Vec::new();
+                let mut details = Vec::new();
+                let mut stats = rec.stats;
+                for (region, depth) in rec.to_regions() {
+                    if matches!(region.status, RegionStatus::Cancelled) {
+                        let sub = verifier.verify_run(
+                            &region.domain,
+                            problem,
+                            &RunOptions {
+                                base_depth: depth,
+                                ..opts.clone()
+                            },
+                        );
+                        stats.absorb(sub.stats);
+                        regions.extend(sub.map.regions);
+                        details.extend(sub.details);
+                    } else {
+                        regions.push(region);
+                        details.push(RegionDetail { depth, trace: None });
+                    }
+                }
+                let out = RunOutput {
+                    map: RegionMap::new(problem.domain.clone(), regions),
+                    stats,
+                    details,
+                };
+                (out, true)
+            }
+            None => (verifier.verify_run(&problem.domain, problem, &opts), false),
+        };
+        let wall_ms = t0.elapsed().as_millis()
+            + if resumed {
+                prior.map_or(0, |r| r.wall_ms)
+            } else {
+                0
+            };
+        // Restored traces are not persisted, so resumed cells cannot carry
+        // a certificate; uninterrupted traced runs build (and pre-replay)
+        // one.
+        let certificate = if self.emit_certificates && !resumed {
+            build_certificate(problem, &config, &out)
+        } else {
+            None
+        };
+        let RunOutput {
+            map,
+            stats,
+            details,
+        } = out;
+        let interrupted = map
+            .regions
+            .iter()
+            .any(|r| matches!(r.status, RegionStatus::Cancelled));
         for ce in map.counterexamples() {
             self.emit(CampaignEvent::CounterexampleFound {
                 functional: name.clone(),
@@ -827,20 +1196,76 @@ impl Campaign {
             });
         }
         let mark = map.table_mark();
-        self.emit(CampaignEvent::PairFinished {
-            functional: name.clone(),
-            condition: cond,
-            mark,
-            wall_ms,
-        });
+        if interrupted {
+            self.emit(CampaignEvent::PairSkipped {
+                functional: name.clone(),
+                condition: cond,
+                reason: SkipReason::Cancelled,
+            });
+        } else {
+            self.emit(CampaignEvent::PairFinished {
+                functional: name.clone(),
+                condition: cond,
+                mark,
+                wall_ms,
+            });
+        }
         PairOutcome {
             functional: Arc::clone(&problem.functional),
             condition: cond,
             mark,
             map: Some(map),
             wall_ms,
-            skipped: None,
+            skipped: interrupted.then_some(SkipReason::Cancelled),
             cost: 0,
+            stats: Some(stats),
+            region_depths: Some(details.iter().map(|d| d.depth).collect()),
+            certificate,
+        }
+    }
+
+    /// Record a finished (or partially-finished) pair in the live
+    /// checkpoint store and atomically rewrite the checkpoint file. A no-op
+    /// without [`CampaignBuilder::checkpoint`] or for pairs that never ran.
+    fn persist(
+        &self,
+        out: &PairOutcome,
+        store: Option<&Mutex<HashMap<(String, Condition), CheckpointCell>>>,
+        key: (String, Condition),
+    ) {
+        let (Some(path), Some(store)) = (self.checkpoint.as_deref(), store) else {
+            return;
+        };
+        let (Some(map), Some(depths), Some(stats)) = (&out.map, &out.region_depths, out.stats)
+        else {
+            return;
+        };
+        let rec = CheckpointCell {
+            functional: out.functional.name(),
+            condition: out.condition,
+            wall_ms: out.wall_ms,
+            stats,
+            regions: map
+                .regions
+                .iter()
+                .zip(depths)
+                .map(|(r, &d)| CheckpointRegion {
+                    domain: r.domain.clone(),
+                    status: r.status.clone(),
+                    depth: d,
+                })
+                .collect(),
+        };
+        if let Ok(mut s) = store.lock() {
+            s.insert(key, rec);
+            let mut refs: Vec<&CheckpointCell> = s.values().collect();
+            refs.sort_by(|a, b| {
+                (a.functional.as_str(), format!("{:?}", a.condition))
+                    .cmp(&(b.functional.as_str(), format!("{:?}", b.condition)))
+            });
+            // Best-effort: an unwritable checkpoint must not fail the
+            // campaign itself (the report is still returned to the caller).
+            let _ = checkpoint::write_atomic(path, &refs);
         }
     }
 }
@@ -1000,7 +1425,7 @@ mod tests {
         };
         let path = std::env::temp_dir().join(format!("xcv_cost_model_{}.json", std::process::id()));
         let json = format!(
-            "{{\n  \"schema\": \"xcv-bench-solver/v4\",\n  \"cost_model\": {{\"kind\": \
+            "{{\n  \"schema\": \"xcv-bench-solver/v5\",\n  \"cost_model\": {{\"kind\": \
              \"log-linear\", \"features\": [\"family\", \"2^ndim\", \"condition_class\"], \
              \"weights\": [{}, {}, {}, {}], \"samples\": {}, \"r2\": {}}}\n}}\n",
             m.weights[0], m.weights[1], m.weights[2], m.weights[3], m.samples, m.r2
@@ -1013,9 +1438,35 @@ mod tests {
         // Missing file or entry degrade to None (callers fall back).
         assert!(CostModel::load_bench_json("/nonexistent/bench.json").is_none());
         let bad = std::env::temp_dir().join(format!("xcv_no_model_{}.json", std::process::id()));
-        std::fs::write(&bad, "{\"schema\": \"xcv-bench-solver/v4\"}").unwrap();
+        std::fs::write(&bad, "{\"schema\": \"xcv-bench-solver/v5\"}").unwrap();
         assert!(CostModel::load_bench_json(&bad).is_none());
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn sub_millisecond_cells_run_the_scalar_engine() {
+        let flat = |c: f64| CostModel {
+            weights: [c, 0.0, 0.0, 0.0],
+            samples: 45,
+            r2: 0.9,
+        };
+        // No model attached: the campaign-wide width stands.
+        assert_eq!(
+            effective_batch_width(8, None, &Dfa::VwnRpa, Condition::EcNonPositivity),
+            8
+        );
+        // The model predicts sub-millisecond (e^0 = 1 < 2): scalar path.
+        let cheap = flat(0.0);
+        assert_eq!(
+            effective_batch_width(8, Some(&cheap), &Dfa::VwnRpa, Condition::EcNonPositivity),
+            1
+        );
+        // The model predicts an expensive cell: the batched width stands.
+        let heavy = flat(5.0);
+        assert_eq!(
+            effective_batch_width(8, Some(&heavy), &Dfa::Scan, Condition::UcMonotonicity),
+            8
+        );
     }
 
     #[test]

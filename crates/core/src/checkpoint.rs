@@ -1,0 +1,334 @@
+//! Campaign checkpoints: everything needed to resume an interrupted matrix
+//! with *identical* marks and aggregate solver statistics.
+//!
+//! A checkpoint file (schema `xcv-checkpoint/v1`, same hand-rolled JSON as
+//! `xcv-cert`) records one entry per matrix cell that actually ran: the
+//! full region list — box, status, witness, and the recursion depth each
+//! leaf was reached at. Completed cells are restored verbatim on resume;
+//! interrupted cells (those containing `Cancelled` leaves, the verifier's
+//! marker for "the token fired before this box was examined") are resumed
+//! by re-verifying exactly those leaves at their recorded depth and
+//! splicing the results in place — the deterministic node-budgeted solver
+//! then reproduces the uninterrupted run's marks bit for bit.
+//!
+//! The file is rewritten atomically (temp file + rename) after every pair,
+//! so a kill at any instant leaves a loadable checkpoint.
+
+use crate::region::{Region, RegionMap, RegionStatus, TableMark};
+use std::io::Write as _;
+use std::path::Path;
+use xcv_cert::json::{escape, fmt_f64, Json};
+use xcv_conditions::Condition;
+use xcv_interval::Interval;
+use xcv_solver::{BoxDomain, SolveStats};
+
+pub(crate) const SCHEMA: &str = "xcv-checkpoint/v1";
+
+/// One persisted leaf of a cell's region map.
+#[derive(Clone, Debug)]
+pub(crate) struct CheckpointRegion {
+    pub domain: BoxDomain,
+    pub status: RegionStatus,
+    pub depth: u32,
+}
+
+/// One persisted matrix cell (only cells that ran are persisted; skip
+/// outcomes are recomputed identically on resume).
+#[derive(Clone, Debug)]
+pub(crate) struct CheckpointCell {
+    pub functional: String,
+    pub condition: Condition,
+    pub wall_ms: u128,
+    pub stats: SolveStats,
+    pub regions: Vec<CheckpointRegion>,
+}
+
+impl CheckpointCell {
+    /// A cell is complete when no leaf is still waiting on a resume.
+    pub fn complete(&self) -> bool {
+        !self
+            .regions
+            .iter()
+            .any(|r| matches!(r.status, RegionStatus::Cancelled))
+    }
+
+    /// The persisted regions as verifier regions plus their depths.
+    pub fn to_regions(&self) -> Vec<(Region, u32)> {
+        self.regions
+            .iter()
+            .map(|r| {
+                (
+                    Region {
+                        domain: r.domain.clone(),
+                        status: r.status.clone(),
+                    },
+                    r.depth,
+                )
+            })
+            .collect()
+    }
+}
+
+fn status_tag(status: &RegionStatus) -> &'static str {
+    match status {
+        RegionStatus::Verified => "verified",
+        RegionStatus::Counterexample(_) => "counterexample",
+        RegionStatus::Inconclusive => "inconclusive",
+        RegionStatus::Timeout => "timeout",
+        RegionStatus::Cancelled => "cancelled",
+    }
+}
+
+fn push_box(out: &mut String, b: &BoxDomain) {
+    out.push('[');
+    for (i, d) in b.dims().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        out.push_str(&fmt_f64(d.lo));
+        out.push_str(", ");
+        out.push_str(&fmt_f64(d.hi));
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// Serialize a checkpoint document.
+pub(crate) fn render(cells: &[&CheckpointCell]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"functional\": \"{}\", \"condition\": \"{:?}\", \"wall_ms\": {},\n",
+            escape(&cell.functional),
+            cell.condition,
+            cell.wall_ms
+        ));
+        out.push_str(&format!(
+            "     \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"branched\": {}, \"max_depth\": {}}},\n",
+            cell.stats.nodes, cell.stats.pruned, cell.stats.branched, cell.stats.max_depth
+        ));
+        out.push_str("     \"regions\": [\n");
+        for (k, r) in cell.regions.iter().enumerate() {
+            if k > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("      {\"box\": ");
+            push_box(&mut out, &r.domain);
+            out.push_str(&format!(
+                ", \"status\": \"{}\", \"depth\": {}",
+                status_tag(&r.status),
+                r.depth
+            ));
+            if let RegionStatus::Counterexample(w) = &r.status {
+                out.push_str(", \"witness\": [");
+                for (j, v) in w.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&fmt_f64(*v));
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push_str("\n     ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Write a checkpoint atomically: temp file in the same directory, then
+/// rename over the target, so a kill mid-write never corrupts an existing
+/// checkpoint.
+pub(crate) fn write_atomic(path: &Path, cells: &[&CheckpointCell]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(render(cells).as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn parse_condition(s: &str) -> Result<Condition, String> {
+    Condition::all()
+        .iter()
+        .copied()
+        .find(|c| format!("{c:?}") == s)
+        .ok_or_else(|| format!("unknown condition {s:?}"))
+}
+
+fn parse_box(v: &Json) -> Result<BoxDomain, String> {
+    let dims = v
+        .as_arr()?
+        .iter()
+        .map(|d| {
+            let pair = d.as_arr()?;
+            if pair.len() != 2 {
+                return Err("interval needs exactly [lo, hi]".to_string());
+            }
+            let (lo, hi) = (pair[0].as_f64()?, pair[1].as_f64()?);
+            if lo.is_nan() || hi.is_nan() || lo > hi {
+                return Err(format!("bad interval [{lo}, {hi}]"));
+            }
+            Ok(Interval::new(lo, hi))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BoxDomain::new(dims))
+}
+
+/// Load a checkpoint document.
+pub(crate) fn load(path: &Path) -> Result<Vec<CheckpointCell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text)?;
+    if doc.want("schema")?.as_str()? != SCHEMA {
+        return Err(format!(
+            "unsupported checkpoint schema {:?}",
+            doc.want("schema")?.as_str()?
+        ));
+    }
+    let mut cells = Vec::new();
+    for (i, c) in doc.want("cells")?.as_arr()?.iter().enumerate() {
+        let err = |e: String| format!("cell {i}: {e}");
+        let stats = c.want("stats").map_err(err)?;
+        let mut regions = Vec::new();
+        for r in c.want("regions").map_err(err)?.as_arr().map_err(err)? {
+            let status = match r.want("status")?.as_str()? {
+                "verified" => RegionStatus::Verified,
+                "counterexample" => RegionStatus::Counterexample(
+                    r.want("witness")?
+                        .as_arr()?
+                        .iter()
+                        .map(Json::as_f64)
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                "inconclusive" => RegionStatus::Inconclusive,
+                "timeout" => RegionStatus::Timeout,
+                "cancelled" => RegionStatus::Cancelled,
+                other => return Err(format!("cell {i}: unknown status {other:?}")),
+            };
+            regions.push(CheckpointRegion {
+                domain: parse_box(r.want("box")?).map_err(|e| format!("cell {i}: {e}"))?,
+                status,
+                depth: u32::try_from(r.want("depth")?.as_u64()?)
+                    .map_err(|e| format!("cell {i}: {e}"))?,
+            });
+        }
+        cells.push(CheckpointCell {
+            functional: c.want("functional").map_err(err)?.as_str()?.to_string(),
+            condition: parse_condition(c.want("condition").map_err(err)?.as_str()?).map_err(err)?,
+            wall_ms: u128::from(c.want("wall_ms").map_err(err)?.as_u64()?),
+            stats: SolveStats {
+                nodes: stats.want("nodes")?.as_u64()?,
+                pruned: stats.want("pruned")?.as_u64()?,
+                branched: stats.want("branched")?.as_u64()?,
+                max_depth: stats.want("max_depth")?.as_u64()? as u32,
+            },
+            regions,
+        });
+    }
+    Ok(cells)
+}
+
+/// Inspect a checkpoint file without re-running anything: the Table I mark
+/// of every persisted cell, in file order — the surface behind
+/// `xcverify --merge`, which unions the checkpoints of a sharded campaign
+/// and prints the combined matrix.
+pub fn checkpoint_marks(
+    path: impl AsRef<Path>,
+) -> Result<Vec<(String, Condition, TableMark)>, String> {
+    Ok(load(path.as_ref())?
+        .into_iter()
+        .map(|c| {
+            let regions: Vec<Region> = c.to_regions().into_iter().map(|(r, _)| r).collect();
+            let domain = regions
+                .first()
+                .map(|r| r.domain.clone())
+                .unwrap_or_else(|| BoxDomain::new(Vec::new()));
+            let mark = RegionMap::new(domain, regions).table_mark();
+            (c.functional, c.condition, mark)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> CheckpointCell {
+        CheckpointCell {
+            functional: "VWN RPA".into(),
+            condition: Condition::EcNonPositivity,
+            wall_ms: 42,
+            stats: SolveStats {
+                nodes: 10,
+                pruned: 4,
+                branched: 3,
+                max_depth: 5,
+            },
+            regions: vec![
+                CheckpointRegion {
+                    domain: BoxDomain::from_bounds(&[(0.1, 10.0)]),
+                    status: RegionStatus::Verified,
+                    depth: 0,
+                },
+                CheckpointRegion {
+                    domain: BoxDomain::from_bounds(&[(10.0, 20.0)]),
+                    status: RegionStatus::Counterexample(vec![12.5]),
+                    depth: 1,
+                },
+                CheckpointRegion {
+                    domain: BoxDomain::from_bounds(&[(20.0, 30.0)]),
+                    status: RegionStatus::Cancelled,
+                    depth: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let c = cell();
+        let path = std::env::temp_dir().join(format!("xcv_ckpt_{}.json", std::process::id()));
+        write_atomic(&path, &[&c]).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 1);
+        let b = &back[0];
+        assert_eq!(b.functional, c.functional);
+        assert_eq!(b.condition, c.condition);
+        assert_eq!(b.wall_ms, c.wall_ms);
+        assert_eq!(b.stats.nodes, c.stats.nodes);
+        assert_eq!(b.stats.max_depth, c.stats.max_depth);
+        assert_eq!(b.regions.len(), 3);
+        assert_eq!(b.regions[0].status, RegionStatus::Verified);
+        assert_eq!(
+            b.regions[1].status,
+            RegionStatus::Counterexample(vec![12.5])
+        );
+        assert_eq!(b.regions[2].status, RegionStatus::Cancelled);
+        assert_eq!(b.regions[2].domain, c.regions[2].domain);
+        assert!(!b.complete());
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected() {
+        let path = std::env::temp_dir().join(format!("xcv_ckpt_bad_{}.json", std::process::id()));
+        for bad in [
+            "{\"schema\": \"other/v9\", \"cells\": []}",
+            "{\"cells\": []}",
+            "not json",
+        ] {
+            std::fs::write(&path, bad).unwrap();
+            assert!(load(&path).is_err(), "accepted {bad:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

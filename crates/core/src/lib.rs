@@ -28,6 +28,8 @@
 //!   [`CampaignReport`] the report crate renders into Tables I/II.
 
 mod campaign;
+mod certify;
+mod checkpoint;
 mod encoder;
 mod region;
 mod verifier;
@@ -36,7 +38,9 @@ pub use campaign::{
     pair_cost, pair_features, Campaign, CampaignBuilder, CampaignEvent, CampaignReport,
     CampaignSchedule, CancelToken, CostModel, PairOutcome, SkipReason,
 };
+pub use certify::build_certificate;
+pub use checkpoint::checkpoint_marks;
 pub use encoder::{EncodedProblem, Encoder};
 pub use region::{Region, RegionMap, RegionStatus, TableMark};
-pub use verifier::{Verifier, VerifierConfig};
+pub use verifier::{RegionDetail, RunOptions, RunOutput, Verifier, VerifierConfig};
 pub use xcv_functionals::XcvError;

@@ -17,6 +17,9 @@ pub enum RegionStatus {
     Inconclusive,
     /// Solver budget exhausted on this box.
     Timeout,
+    /// The campaign was cancelled before the solver examined this box
+    /// (checkpoint/resume: these leaves are re-verified on resume).
+    Cancelled,
 }
 
 impl RegionStatus {
@@ -27,6 +30,7 @@ impl RegionStatus {
             RegionStatus::Counterexample(_) => 'x',
             RegionStatus::Inconclusive => '?',
             RegionStatus::Timeout => 'T',
+            RegionStatus::Cancelled => 'C',
         }
     }
 }
@@ -93,7 +97,9 @@ impl RegionMap {
             match &r.status {
                 RegionStatus::Counterexample(_) => any_ce = true,
                 RegionStatus::Verified => any_verified = true,
-                RegionStatus::Inconclusive | RegionStatus::Timeout => any_undecided = true,
+                RegionStatus::Inconclusive | RegionStatus::Timeout | RegionStatus::Cancelled => {
+                    any_undecided = true
+                }
             }
         }
         if any_ce {
@@ -315,8 +321,9 @@ mod tests {
             RegionStatus::Counterexample(vec![]).glyph(),
             RegionStatus::Inconclusive.glyph(),
             RegionStatus::Timeout.glyph(),
+            RegionStatus::Cancelled.glyph(),
         ];
         let set: std::collections::HashSet<_> = gs.iter().collect();
-        assert_eq!(set.len(), 4);
+        assert_eq!(set.len(), 5);
     }
 }

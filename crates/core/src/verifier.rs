@@ -7,12 +7,13 @@
 //! a `thread_local`, reused across every box — and every problem — that
 //! thread ever touches.
 
+use crate::campaign::CancelToken;
 use crate::encoder::EncodedProblem;
 use crate::region::{Region, RegionMap, RegionStatus};
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::time::Instant;
-use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveScratch, SolveStats};
+use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveScratch, SolveStats, SolveTrace};
 
 thread_local! {
     /// Per-worker solver scratch. Buffers grow to the largest problem the
@@ -58,6 +59,46 @@ impl Default for VerifierConfig {
     }
 }
 
+/// Per-call options for [`Verifier::verify_run`] — everything about *one*
+/// run that is not verifier configuration: cooperative cancellation,
+/// certificate trace recording, and the depth offset used when a
+/// checkpointed campaign resumes a subtree in place.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Checked at every recursion step: once cancelled, unexamined boxes
+    /// are recorded as [`RegionStatus::Cancelled`] leaves (resumable later)
+    /// instead of being solved.
+    pub cancel: Option<CancelToken>,
+    /// Record a [`SolveTrace`] for every `Verified` leaf (forces the
+    /// scalar solve path for traced boxes) — the raw material for
+    /// `xcv-cert` proof certificates.
+    pub record_traces: bool,
+    /// Recursion depth the root box is considered to be at. A resumed
+    /// `Cancelled` leaf re-verified with its recorded depth sees the exact
+    /// `max_depth`/`split_threshold` horizon of the uninterrupted run.
+    pub base_depth: u32,
+}
+
+/// Extra per-region data from [`Verifier::verify_run`], index-aligned with
+/// [`RegionMap::regions`].
+#[derive(Clone, Debug)]
+pub struct RegionDetail {
+    /// Recursion depth at which the region became a leaf.
+    pub depth: u32,
+    /// The solver trace (only on `Verified` leaves, only when
+    /// [`RunOptions::record_traces`] was set).
+    pub trace: Option<SolveTrace>,
+}
+
+/// The result of [`Verifier::verify_run`].
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    pub map: RegionMap,
+    pub stats: SolveStats,
+    /// One entry per region of `map`, same order.
+    pub details: Vec<RegionDetail>,
+}
+
 /// The VERIFIER component of XCVerifier (Algorithm 1).
 #[derive(Clone, Debug, Default)]
 pub struct Verifier {
@@ -92,9 +133,27 @@ impl Verifier {
         domain: &BoxDomain,
         problem: &EncodedProblem,
     ) -> (RegionMap, SolveStats) {
+        let out = self.verify_run(domain, problem, &RunOptions::default());
+        (out.map, out.stats)
+    }
+
+    /// The fully-general entry point: verify `problem` over `domain` with
+    /// cancellation, trace recording, and a depth offset (see
+    /// [`RunOptions`]). All other `verify*` methods are sugar over this.
+    pub fn verify_run(
+        &self,
+        domain: &BoxDomain,
+        problem: &EncodedProblem,
+        opts: &RunOptions,
+    ) -> RunOutput {
         let start = Instant::now();
-        let (regions, stats) = self.go(domain, problem, 0, start);
-        (RegionMap::new(domain.clone(), regions), stats)
+        let (leaves, stats) = self.go(domain, problem, opts.base_depth, start, opts);
+        let (regions, details) = leaves.into_iter().unzip();
+        RunOutput {
+            map: RegionMap::new(domain.clone(), regions),
+            stats,
+            details,
+        }
     }
 
     fn past_deadline(&self, start: Instant) -> bool {
@@ -119,61 +178,73 @@ impl Verifier {
         problem: &EncodedProblem,
         depth: u32,
         start: Instant,
-    ) -> (Vec<Region>, SolveStats) {
+        opts: &RunOptions,
+    ) -> (Vec<(Region, RegionDetail)>, SolveStats) {
         let mut stats = SolveStats::default();
-        if self.past_deadline(start) {
-            return (
-                vec![Region {
+        let leaf = |status: RegionStatus, trace: Option<SolveTrace>| {
+            vec![(
+                Region {
                     domain: d.clone(),
-                    status: RegionStatus::Timeout,
-                }],
-                stats,
-            );
+                    status,
+                },
+                RegionDetail { depth, trace },
+            )]
+        };
+        if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return (leaf(RegionStatus::Cancelled, None), stats);
+        }
+        if self.past_deadline(start) {
+            return (leaf(RegionStatus::Timeout, None), stats);
         }
         // Solve against the pre-compiled problem with this worker's scratch.
         // The borrow is scoped: it ends before the recursion below fans out
         // (children solved on this thread reuse the same scratch).
-        let status = SCRATCH.with(|s| {
+        let (status, trace) = SCRATCH.with(|s| {
             let mut scratch = s.borrow_mut();
-            let (outcome, box_stats) =
-                self.config
-                    .solver
-                    .solve_compiled_with_stats(d, problem.compiled(), &mut scratch);
+            let (outcome, box_stats, trace) = if opts.record_traces {
+                let (o, bs, t) =
+                    self.config
+                        .solver
+                        .solve_compiled_traced(d, problem.compiled(), &mut scratch);
+                (o, bs, Some(t))
+            } else {
+                let (o, bs) = self.config.solver.solve_compiled_with_stats(
+                    d,
+                    problem.compiled(),
+                    &mut scratch,
+                );
+                (o, bs, None)
+            };
             stats.absorb(box_stats);
             match outcome {
-                Outcome::Unsat => RegionStatus::Verified,
+                // The trace only certifies Unsat leaves; drop it elsewhere.
+                Outcome::Unsat => (RegionStatus::Verified, trace),
                 Outcome::DeltaSat(model) => {
                     // valid(x): does the model *exactly* violate ψ?
                     if !problem
                         .psi_compiled()
                         .holds_at_with(&model, scratch.f64_buf())
                     {
-                        RegionStatus::Counterexample(model)
+                        (RegionStatus::Counterexample(model), None)
                     } else {
-                        RegionStatus::Inconclusive
+                        (RegionStatus::Inconclusive, None)
                     }
                 }
-                Outcome::Timeout => RegionStatus::Timeout,
+                Outcome::Timeout => (RegionStatus::Timeout, None),
             }
         });
         // Verified boxes are final; others split until the width floor.
         let can_split =
             d.max_width() / 2.0 >= self.config.split_threshold && depth < self.config.max_depth;
         if matches!(status, RegionStatus::Verified) || !can_split {
-            return (
-                vec![Region {
-                    domain: d.clone(),
-                    status,
-                }],
-                stats,
-            );
+            return (leaf(status, trace), stats);
         }
         let children = d.split_all();
         let (regions, child_stats) = if self.config.parallel && depth <= self.config.parallel_depth
         {
             children
                 .par_iter()
-                .map(|c| self.go(c, problem, depth + 1, start))
+                .map(|c| self.go(c, problem, depth + 1, start, opts))
                 .reduce(
                     || (Vec::new(), SolveStats::default()),
                     |(mut a, mut sa), (mut b, sb)| {
@@ -186,7 +257,7 @@ impl Verifier {
             let mut out = Vec::new();
             let mut acc = SolveStats::default();
             for c in &children {
-                let (r, s) = self.go(c, problem, depth + 1, start);
+                let (r, s) = self.go(c, problem, depth + 1, start, opts);
                 out.extend(r);
                 acc.absorb(s);
             }

@@ -94,6 +94,236 @@ impl IntervalTape {
         }
     }
 
+    /// Serialize the program into a compact, self-contained text form that
+    /// [`IntervalTape::from_portable`] reconstructs exactly — the transport
+    /// used by proof certificates, where an *independent* checker re-runs
+    /// the interval kernels without access to the expression DAG.
+    ///
+    /// Format: instructions in program order, `;`-separated, each an opcode
+    /// followed by space-separated operands (slot indices, or numeric
+    /// literals rendered with Rust's shortest round-trip `Display`, so every
+    /// `f64` — interval-constant bounds included — survives bit-exactly);
+    /// then `|` and the root slots, `,`-separated. The charset is plain
+    /// ASCII with no quotes or backslashes, so the string embeds in
+    /// hand-rolled JSON without escaping.
+    pub fn to_portable(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.code.len() * 12);
+        for (i, instr) in self.code.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            match *instr {
+                Instr::Const(c) => {
+                    let _ = write!(out, "const {c}");
+                }
+                Instr::IConst(v) => {
+                    let _ = write!(out, "iconst {} {}", v.lo, v.hi);
+                }
+                Instr::Var(v) => {
+                    let _ = write!(out, "var {v}");
+                }
+                Instr::Add(a, b) => {
+                    let _ = write!(out, "add {a} {b}");
+                }
+                Instr::Mul(a, b) => {
+                    let _ = write!(out, "mul {a} {b}");
+                }
+                Instr::Div(a, b) => {
+                    let _ = write!(out, "div {a} {b}");
+                }
+                Instr::Neg(a) => {
+                    let _ = write!(out, "neg {a}");
+                }
+                Instr::PowI(a, n) => {
+                    let _ = write!(out, "powi {a} {n}");
+                }
+                Instr::Pow(a, b) => {
+                    let _ = write!(out, "pow {a} {b}");
+                }
+                Instr::Exp(a) => {
+                    let _ = write!(out, "exp {a}");
+                }
+                Instr::Ln(a) => {
+                    let _ = write!(out, "ln {a}");
+                }
+                Instr::Sqrt(a) => {
+                    let _ = write!(out, "sqrt {a}");
+                }
+                Instr::Cbrt(a) => {
+                    let _ = write!(out, "cbrt {a}");
+                }
+                Instr::Atan(a) => {
+                    let _ = write!(out, "atan {a}");
+                }
+                Instr::Sin(a) => {
+                    let _ = write!(out, "sin {a}");
+                }
+                Instr::Cos(a) => {
+                    let _ = write!(out, "cos {a}");
+                }
+                Instr::Tanh(a) => {
+                    let _ = write!(out, "tanh {a}");
+                }
+                Instr::Abs(a) => {
+                    let _ = write!(out, "abs {a}");
+                }
+                Instr::Min(a, b) => {
+                    let _ = write!(out, "min {a} {b}");
+                }
+                Instr::Max(a, b) => {
+                    let _ = write!(out, "max {a} {b}");
+                }
+                Instr::LambertW(a) => {
+                    let _ = write!(out, "lambertw {a}");
+                }
+                Instr::Ite(c, t, e) => {
+                    let _ = write!(out, "ite {c} {t} {e}");
+                }
+            }
+        }
+        out.push('|');
+        for (i, r) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{r}");
+        }
+        out
+    }
+
+    /// Reconstruct a tape serialized by [`IntervalTape::to_portable`],
+    /// revalidating the structural invariants the interpreters rely on
+    /// (operands strictly precede their slot; roots are in range). Variable
+    /// slots are rebuilt from the `var` instructions in program order and
+    /// the dependency bitsets recomputed, so the result behaves identically
+    /// to the originally compiled tape.
+    pub fn from_portable(text: &str) -> Result<IntervalTape, String> {
+        let (code_part, roots_part) = text
+            .split_once('|')
+            .ok_or_else(|| "portable tape: missing '|' root separator".to_string())?;
+        let mut code = Vec::new();
+        let mut var_slots = Vec::new();
+        for (i, tok) in code_part.split(';').enumerate() {
+            let mut words = tok.split_whitespace();
+            let op = words
+                .next()
+                .ok_or_else(|| format!("portable tape: empty instruction at slot {i}"))?;
+            let mut num = |what: &str| -> Result<f64, String> {
+                words
+                    .next()
+                    .ok_or_else(|| format!("portable tape: slot {i}: missing {what}"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("portable tape: slot {i}: bad {what}: {e}"))
+            };
+            let instr = match op {
+                "const" => {
+                    let c = num("constant")?;
+                    if c.is_nan() {
+                        return Err(format!("portable tape: slot {i}: NaN constant"));
+                    }
+                    Instr::Const(c)
+                }
+                "iconst" => {
+                    let lo = num("lower bound")?;
+                    let hi = num("upper bound")?;
+                    Instr::IConst(Interval::checked(lo, hi))
+                }
+                _ => {
+                    let mut slot_args = [0u32; 3];
+                    let mut n_args = 0usize;
+                    let mut powi_exp = 0i32;
+                    let (want, is_powi, is_var) = match op {
+                        "var" => (1, false, true),
+                        "neg" | "exp" | "ln" | "sqrt" | "cbrt" | "atan" | "sin" | "cos"
+                        | "tanh" | "abs" | "lambertw" => (1, false, false),
+                        "powi" => (2, true, false),
+                        "add" | "mul" | "div" | "pow" | "min" | "max" => (2, false, false),
+                        "ite" => (3, false, false),
+                        other => {
+                            return Err(format!("portable tape: slot {i}: unknown op {other}"))
+                        }
+                    };
+                    for k in 0..want {
+                        let w = words
+                            .next()
+                            .ok_or_else(|| format!("portable tape: slot {i}: missing operand"))?;
+                        if is_powi && k == 1 {
+                            powi_exp = w.parse().map_err(|e| {
+                                format!("portable tape: slot {i}: bad exponent: {e}")
+                            })?;
+                        } else {
+                            slot_args[n_args] = w.parse().map_err(|e| {
+                                format!("portable tape: slot {i}: bad operand: {e}")
+                            })?;
+                            n_args += 1;
+                        }
+                    }
+                    if !is_var {
+                        for &a in &slot_args[..n_args] {
+                            if a as usize >= i {
+                                return Err(format!(
+                                    "portable tape: slot {i}: operand {a} does not precede it"
+                                ));
+                            }
+                        }
+                    }
+                    let [a, b, c] = slot_args;
+                    match op {
+                        "var" => {
+                            var_slots.push((i as u32, a));
+                            Instr::Var(a)
+                        }
+                        "add" => Instr::Add(a, b),
+                        "mul" => Instr::Mul(a, b),
+                        "div" => Instr::Div(a, b),
+                        "neg" => Instr::Neg(a),
+                        "powi" => Instr::PowI(a, powi_exp),
+                        "pow" => Instr::Pow(a, b),
+                        "exp" => Instr::Exp(a),
+                        "ln" => Instr::Ln(a),
+                        "sqrt" => Instr::Sqrt(a),
+                        "cbrt" => Instr::Cbrt(a),
+                        "atan" => Instr::Atan(a),
+                        "sin" => Instr::Sin(a),
+                        "cos" => Instr::Cos(a),
+                        "tanh" => Instr::Tanh(a),
+                        "abs" => Instr::Abs(a),
+                        "min" => Instr::Min(a, b),
+                        "max" => Instr::Max(a, b),
+                        "lambertw" => Instr::LambertW(a),
+                        "ite" => Instr::Ite(a, b, c),
+                        _ => unreachable!("op validated above"),
+                    }
+                }
+            };
+            if words.next().is_some() {
+                return Err(format!("portable tape: slot {i}: trailing operands"));
+            }
+            code.push(instr);
+        }
+        let mut roots = Vec::new();
+        for r in roots_part.split(',').filter(|s| !s.is_empty()) {
+            let slot: u32 = r
+                .parse()
+                .map_err(|e| format!("portable tape: bad root slot: {e}"))?;
+            if slot as usize >= code.len() {
+                return Err(format!("portable tape: root {slot} out of range"));
+            }
+            roots.push(slot);
+        }
+        if roots.is_empty() {
+            return Err("portable tape: no roots".to_string());
+        }
+        let deps = crate::eval::compute_deps(&code);
+        Ok(IntervalTape {
+            code,
+            roots,
+            var_slots,
+            deps,
+        })
+    }
+
     /// Number of slots (= distinct DAG nodes across all roots).
     pub fn len(&self) -> usize {
         self.code.len()
@@ -106,6 +336,11 @@ impl IntervalTape {
     /// Slot of the `i`-th compiled root.
     pub fn root_slot(&self, i: usize) -> u32 {
         self.roots[i]
+    }
+
+    /// Number of compiled roots.
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
     }
 
     /// `(slot, variable id)` of every variable node, in program order.
@@ -1039,6 +1274,61 @@ mod tests {
             for i in 0..tape.len() {
                 assert_eq!(soa[i * width + j], scalar[i], "slot {i}, lane {j}");
             }
+        }
+    }
+
+    #[test]
+    fn portable_round_trip_is_bit_identical() {
+        // A program touching every structural feature: shared nodes, folded
+        // interval constants (irrational bounds), powi with a negative
+        // exponent, min/abs, and two roots.
+        let x = var(0);
+        let y = var(1);
+        let shared = (x.clone() * y.clone() + constant(2.0).sqrt()).sqrt();
+        let r0 = shared.clone() * x.clone().powi(-2) + y.clone().tanh();
+        let r1 = shared.min(&y.clone().abs()) + constant(1.0).exp();
+        let tape = IntervalTape::compile(&[r0, r1]);
+        let text = tape.to_portable();
+        let back = IntervalTape::from_portable(&text).expect("round trip parses");
+        assert_eq!(back.len(), tape.len());
+        assert_eq!(back.var_slots(), tape.var_slots());
+        assert_eq!(back.deps(), tape.deps());
+        assert_eq!(back.root_slot(0), tape.root_slot(0));
+        assert_eq!(back.root_slot(1), tape.root_slot(1));
+        // Bit-identical forward/backward behaviour on a real box.
+        let dom = [interval(0.3, 1.7), interval(-0.9, 2.1)];
+        let mut a = tape.scratch();
+        let mut b = back.scratch();
+        tape.forward(&dom, &mut a);
+        back.forward(&dom, &mut b);
+        assert_eq!(a, b);
+        let root = tape.root_slot(0) as usize;
+        a[root] = a[root].intersect(&Interval::new(f64::NEG_INFINITY, 0.5));
+        b[root] = b[root].intersect(&Interval::new(f64::NEG_INFINITY, 0.5));
+        assert_eq!(tape.backward(&mut a), back.backward(&mut b));
+        assert_eq!(a, b);
+        // And the text itself is stable under a second round trip.
+        assert_eq!(back.to_portable(), text);
+    }
+
+    #[test]
+    fn portable_rejects_malformed_programs() {
+        for bad in [
+            "",                    // no separator
+            "var 0",               // no roots section
+            "add 0 1|0",           // forward reference (operand >= own slot)
+            "var 0;frob 0|1",      // unknown opcode
+            "var 0|7",             // root out of range
+            "var 0;neg 0|",        // empty roots
+            "const nan|0",         // NaN constant
+            "var 0;neg 0 3|1",     // trailing operand
+            "var 0;powi 0 2.5|1",  // non-integer exponent
+            "const 1;exp 0 |zero", // non-numeric root
+        ] {
+            assert!(
+                IntervalTape::from_portable(bad).is_err(),
+                "accepted malformed tape {bad:?}"
+            );
         }
     }
 

@@ -89,6 +89,7 @@ fn status_color(status: &RegionStatus) -> &'static str {
         RegionStatus::Counterexample(_) => "#e41a1c", // red
         RegionStatus::Inconclusive => "#ffdd55",      // yellow
         RegionStatus::Timeout => "#999999",           // gray
+        RegionStatus::Cancelled => "#bb77dd",         // purple
     }
 }
 

@@ -284,6 +284,25 @@ impl CompiledFormula {
         &self.itape
     }
 
+    /// The shared interval tape over every atom's expression: root `i` is
+    /// atom `i`'s expression. Certificate emission serializes this
+    /// ([`IntervalTape::to_portable`]) so an independent checker can replay
+    /// contractions without the expression DAG.
+    pub fn interval_tape(&self) -> &IntervalTape {
+        &self.itape
+    }
+
+    /// The relation of each compiled atom, in tape-root order (atom `i`
+    /// constrains `interval_tape()` root `i`).
+    pub fn atom_rels(&self) -> Vec<Rel> {
+        self.atoms.iter().map(|a| a.rel).collect()
+    }
+
+    /// Forward/backward rounds one [`CompiledFormula::contract`] call runs.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
     /// Weighted forward cost of recomputing dirty mask `mask` (precomputed
     /// per axis subset; see `IntervalTape::cone_cost`).
     pub(crate) fn cone_cost(&self, mask: u64) -> f64 {

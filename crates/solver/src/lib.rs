@@ -49,4 +49,4 @@ pub use boxdom::BoxDomain;
 pub use compile::{compile_count, CompiledAtom, CompiledFormula, SolveScratch};
 pub use formula::{Atom, Formula, Rel};
 pub use meanvalue::MeanValue;
-pub use solve::{DeltaSolver, Outcome, SolveBudget, SolveStats};
+pub use solve::{DeltaSolver, Outcome, SolveBudget, SolveStats, SolveTrace, TraceEvent};

@@ -139,13 +139,51 @@ enum BoxStep {
     /// Undecided: halves in search order (`first` is explored first).
     /// `parent` is the contracted box they were bisected from and `axis`
     /// the bisected dimension — the batched engine's snapshot-refresh
-    /// heuristic needs both; the scalar DFS ignores them.
+    /// heuristic needs both; the scalar DFS ignores them. `low_first` says
+    /// whether `first` is the lower half, which is all a trace replay needs
+    /// to reconstruct the exploration order.
     Split {
         first: BoxDomain,
         second: BoxDomain,
         parent: BoxDomain,
         axis: u32,
+        low_first: bool,
     },
+}
+
+/// One step of a traced scalar search, recorded at the moment the popped
+/// box's decision is taken. Together with the root box, the sequence of
+/// events reconstructs the entire explored cover: a replay maintains the
+/// same DFS stack, so an independent checker (the `xcv-cert` crate) can
+/// re-derive every visited box without access to the search itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The popped box was discarded: HC4 contraction proved it empty.
+    Pruned,
+    /// The popped box stayed undecided and was bisected: `contracted` is
+    /// the box after contraction, `axis` the bisected dimension, and
+    /// `low_first` whether the lower half was explored first.
+    Split {
+        contracted: BoxDomain,
+        axis: u32,
+        low_first: bool,
+    },
+    /// The search stopped with this δ-SAT model inside the popped box.
+    Sat { model: Vec<f64> },
+}
+
+/// The recorded events of one [`DeltaSolver::solve_compiled_traced`] call,
+/// in pop order (one event per visited node).
+#[derive(Debug, Clone, Default)]
+pub struct SolveTrace {
+    pub events: Vec<TraceEvent>,
+    /// The solve ran with the mean-value contractor enabled. Mean-value
+    /// pruning is not replayable from the interval tape alone, so
+    /// certificate emission rejects such traces.
+    pub used_mean_value: bool,
+    /// The search ran to a decision (`Unsat`/`DeltaSat`), i.e. the events
+    /// account for the whole explored cover; `false` after a `Timeout`.
+    pub complete: bool,
 }
 
 /// What the batched engine decided for one box — [`BoxStep`] with the
@@ -243,6 +281,39 @@ impl DeltaSolver {
         if self.batch_width > 1 {
             return self.solve_batched_with_stats(domain, compiled, scratch);
         }
+        self.solve_scalar(domain, compiled, scratch, None)
+    }
+
+    /// [`DeltaSolver::solve_compiled_with_stats`] with the per-node search
+    /// events recorded for certificate emission. Traced solving always runs
+    /// the scalar DFS (the batched engine visits the same boxes in the same
+    /// order, so the trace would be identical — recording from the
+    /// reference engine keeps the hook trivial).
+    pub fn solve_compiled_traced(
+        &self,
+        domain: &BoxDomain,
+        compiled: &CompiledFormula,
+        scratch: &mut SolveScratch,
+    ) -> (Outcome, SolveStats, SolveTrace) {
+        let mut trace = SolveTrace {
+            events: Vec::new(),
+            used_mean_value: self.mean_value,
+            complete: false,
+        };
+        let (outcome, stats) = self.solve_scalar(domain, compiled, scratch, Some(&mut trace));
+        trace.complete = !matches!(outcome, Outcome::Timeout);
+        (outcome, stats, trace)
+    }
+
+    /// The scalar DFS, optionally recording one [`TraceEvent`] per visited
+    /// node.
+    fn solve_scalar(
+        &self,
+        domain: &BoxDomain,
+        compiled: &CompiledFormula,
+        scratch: &mut SolveScratch,
+        mut trace: Option<&mut SolveTrace>,
+    ) -> (Outcome, SolveStats) {
         let mut stats = SolveStats::default();
         if domain.is_empty() {
             return (Outcome::Unsat, stats);
@@ -266,10 +337,33 @@ impl DeltaSolver {
             }
             let contraction = compiled.contract(&b, scratch);
             match self.step_after_contract(compiled, contraction, scratch, width_floor) {
-                BoxStep::Pruned => stats.pruned += 1,
-                BoxStep::Sat(mid) => return (Outcome::DeltaSat(mid), stats),
-                BoxStep::Split { first, second, .. } => {
+                BoxStep::Pruned => {
+                    stats.pruned += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.events.push(TraceEvent::Pruned);
+                    }
+                }
+                BoxStep::Sat(mid) => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.events.push(TraceEvent::Sat { model: mid.clone() });
+                    }
+                    return (Outcome::DeltaSat(mid), stats);
+                }
+                BoxStep::Split {
+                    first,
+                    second,
+                    parent,
+                    axis,
+                    low_first,
+                } => {
                     stats.branched += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.events.push(TraceEvent::Split {
+                            contracted: parent,
+                            axis,
+                            low_first,
+                        });
+                    }
                     // DFS order: the preferred half is pushed last, popped
                     // first.
                     if !second.is_empty() {
@@ -338,6 +432,7 @@ impl DeltaSolver {
                 second: r,
                 parent: contracted,
                 axis,
+                low_first: true,
             }
         } else {
             BoxStep::Split {
@@ -345,6 +440,7 @@ impl DeltaSolver {
                 second: l,
                 parent: contracted,
                 axis,
+                low_first: false,
             }
         }
     }
@@ -554,6 +650,7 @@ impl DeltaSolver {
                     second,
                     parent,
                     axis,
+                    low_first: _,
                 } => {
                     let mut children = Vec::with_capacity(2);
                     if !second.is_empty() {

@@ -42,7 +42,13 @@
 //!   variable space (ζ and per-spin axes included) with per-axis violation
 //!   boxes;
 //! * [`report`] — region-map rendering and the paper's Tables I/II, built
-//!   directly from campaign reports.
+//!   directly from campaign reports;
+//! * [`cert`] — replayable proof certificates: a campaign can record, per
+//!   verdict, the box cover it explored and every contraction outcome, and
+//!   the independent `xcvcheck` replayer audits that evidence with *only*
+//!   the interval kernels — no solver, no search code (see the
+//!   [certificates quickstart](#replayable-proof-certificates-emit--check)
+//!   below).
 //!
 //! ## Quickstart: verify a whole matrix as one campaign
 //!
@@ -115,7 +121,7 @@
 //! Bisection itself is support-aware in both engines: a cell never splits
 //! (nor δ-gates on) an axis its expression does not mention, so a ζ-free
 //! atom on a 4-D spin domain no longer halves ζ at every level. The
-//! `batched` entry of `BENCH_solver.json` (schema v4) tracks the batched
+//! `batched` entry of `BENCH_solver.json` (schema v5) tracks the batched
 //! engine's wall-clock against the scalar session with identity of every
 //! tally asserted at generation time, and `tests/solver_batched.rs` pins
 //! lane-for-lane equivalence on random tapes plus the full extended and
@@ -193,6 +199,52 @@
 //!            Some(TableMark::Counterexample));
 //! ```
 //!
+//! ## Replayable proof certificates: emit → check
+//!
+//! A campaign verdict is only as trustworthy as the search that produced
+//! it. With [`prelude::CampaignBuilder::emit_certificates`] every pair
+//! records its evidence — the box cover explored, each box's contraction
+//! trace or δ-witness — as a [`prelude::Certificate`], and
+//! [`cert::check`] (the library behind the `xcvcheck` binary) replays that
+//! evidence against the interval kernels alone: every Unsat leaf must
+//! really contract to empty, every witness must really violate the
+//! condition, and the recorded cover must really tile the domain.
+//!
+//! ```
+//! use xcverifier::prelude::*;
+//!
+//! let report = Campaign::builder()
+//!     .functionals([Dfa::VwnRpa])
+//!     .conditions([Condition::EcNonPositivity])
+//!     .config(VerifierConfig {
+//!         split_threshold: 1.25,
+//!         solver: DeltaSolver::new(1e-3, SolveBudget::nodes(20_000)),
+//!         parallel: false,
+//!         parallel_depth: 3,
+//!         max_depth: 4,
+//!         pair_deadline_ms: None,
+//!     })
+//!     .emit_certificates(true)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//!
+//! // The verified pair carries a replayable certificate...
+//! let cert = report.pairs[0].certificate.as_ref().expect("replayable run");
+//!
+//! // ...that survives the `xcvcheck` wire format round trip and replays
+//! // independently: no solver, no search — just the interval kernels.
+//! let back = Certificate::parse(&cert.to_json()).unwrap();
+//! let audit = xcverifier::cert::check(&back).unwrap();
+//! assert!(audit.replayed_leaves > 0 && audit.witnesses == 0);
+//!
+//! // `CampaignReport::write_certificates(dir)` persists the same JSON for
+//! // the `xcvcheck` binary; `CampaignBuilder::checkpoint(path)` reuses the
+//! // serialization to make an interrupted matrix resumable, and
+//! // `CampaignBuilder::shard(i, n)` splits one matrix across processes
+//! // (merge with `CampaignReport::merge` or `xcverify --merge`).
+//! ```
+//!
 //! Single pairs still work through [`prelude::Encoder`] /
 //! [`prelude::Verifier`]; campaigns are the batch path. User-defined
 //! functionals join either path by registering a handle:
@@ -215,6 +267,7 @@
 //! # let _ = report;
 //! ```
 
+pub use xcv_cert as cert;
 pub use xcv_conditions as conditions;
 pub use xcv_core as core;
 pub use xcv_expr as expr;
@@ -226,11 +279,13 @@ pub use xcv_solver as solver;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
+    pub use xcv_cert::{CertEvent, CertRegion, CertVerdict, Certificate, CheckReport};
     pub use xcv_conditions::{applicable_pairs, applicable_pairs_in, pb_domain, Condition, C_LO};
     pub use xcv_core::{
-        pair_cost, pair_features, Campaign, CampaignBuilder, CampaignEvent, CampaignReport,
-        CampaignSchedule, CancelToken, CostModel, EncodedProblem, Encoder, PairOutcome, Region,
-        RegionMap, RegionStatus, SkipReason, TableMark, Verifier, VerifierConfig,
+        build_certificate, checkpoint_marks, pair_cost, pair_features, Campaign, CampaignBuilder,
+        CampaignEvent, CampaignReport, CampaignSchedule, CancelToken, CostModel, EncodedProblem,
+        Encoder, PairOutcome, Region, RegionMap, RegionStatus, RunOptions, RunOutput, SkipReason,
+        TableMark, Verifier, VerifierConfig,
     };
     pub use xcv_expr::{constant, var, Axis, AxisKind, Expr, VarSet, VarSpace};
     pub use xcv_functionals::{
