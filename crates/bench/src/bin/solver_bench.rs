@@ -8,7 +8,7 @@
 //!
 //! For every applicable (functional, condition) pair the PB domain is split
 //! `--depth` times (the verifier's `split(D)` schedule), and each resulting
-//! box is solved with a `--nodes` node budget four ways:
+//! box is solved with a `--nodes` node budget five ways:
 //!
 //! * **session**   — one `CompiledFormula` + one `SolveScratch` shared
 //!   across the whole schedule, scalar DFS;
@@ -22,16 +22,27 @@
 //! * **seed**      — the original architecture, vendored in
 //!   [`xcv_bench::seed_baseline`]: contractor rebuilt per box over
 //!   hash-mapped `IntervalEnv` storage, branch scoring through the
-//!   allocating recursive evaluator.
+//!   allocating recursive evaluator;
+//! * **ladder**    — the batched session with the full contractor
+//!   escalation ladder ([`Escalation::full`]): stalled boxes get
+//!   interval-Newton sweeps (rung 1) and 3B slab shaving (rung 2) instead
+//!   of burning the node budget on bisection. Per box, the outcome may
+//!   cross the Timeout boundary in either direction (a timeout becomes a
+//!   decision; rarely, a *spurious* rung-0 δ-sat is re-opened when Newton
+//!   prunes the sub-δ box HC4 gave up on) and may strengthen a spurious
+//!   δ-sat into a sound `Unsat` proof, but is asserted to never regress
+//!   an Unsat — Unsat→δ-Sat would be a soundness bug.
 //!
 //! Results (boxes, solver nodes, wall-clock, nodes/sec, speedups) are
 //! printed as a table and written as JSON to `--out` (default
 //! `BENCH_solver.json`) — the checked-in snapshot tracks the perf
 //! trajectory across PRs.
 //!
-//! The JSON (schema v5; v5 renamed every mode entry's `timeout` count to
-//! `timeouts` so a budget-starved run is visible at a glance) also carries:
-//! a `batched` entry — batch width,
+//! The JSON (schema v6; v5 renamed every mode entry's `timeout` count to
+//! `timeouts`, v6 added the `ladder` mode and a top-level `ladder` entry
+//! whose `timeouts` array is the trajectory `[rung 0, ≤ rung 1, ≤ rung 2]`
+//! — the timeout count as each rung of the ladder is enabled over the same
+//! matrix) also carries: a `batched` entry — batch width,
 //! total batched vs scalar-session wall, and a campaign-level TableMark
 //! identity check; a `campaign` entry — the same matrix run as one
 //! [`Campaign`] under matrix-order and under cost-aware scheduling, with
@@ -46,7 +57,7 @@ use std::time::Instant;
 use xcv_bench::seed_baseline::seed_solve_with_stats;
 use xcv_core::{Campaign, CampaignReport, CampaignSchedule, CostModel, Encoder, VerifierConfig};
 use xcv_functionals::Registry;
-use xcv_solver::{BoxDomain, DeltaSolver, Outcome, SolveBudget, SolveScratch};
+use xcv_solver::{BoxDomain, DeltaSolver, Escalation, Outcome, SolveBudget, SolveScratch};
 
 struct Opts {
     nodes: u64,
@@ -125,6 +136,20 @@ impl ModeResult {
     }
 }
 
+/// The ladder may move boxes across the Timeout boundary in either
+/// direction — a rung-0 timeout becomes a decision, and (rarely) a
+/// *spurious* rung-0 δ-sat becomes more search when Newton prunes the
+/// sub-δ box HC4 had given up on — and it may *strengthen* a spurious
+/// δ-sat into `Unsat` (sound by construction: `Unsat` is only ever
+/// emitted when interval reasoning proves the box empty, which is
+/// impossible when a real solution exists). The one forbidden
+/// transition is the reverse, `Unsat -> DeltaSat`: discarding a sound
+/// proof for a weaker claim would be a soundness bug, not a budget
+/// artifact.
+fn no_unsat_regression(before: &Outcome, after: &Outcome) -> bool {
+    !matches!((before, after), (Outcome::Unsat, Outcome::DeltaSat(_)))
+}
+
 fn box_schedule(domain: &BoxDomain, depth: u32) -> Vec<BoxDomain> {
     let mut boxes = vec![domain.clone()];
     for _ in 0..depth {
@@ -196,6 +221,13 @@ fn main() {
     };
     let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(opts.nodes));
     let batched_solver = solver.clone().with_batch_width(opts.batch);
+    // The two ladder stops share the batched engine: rung 1 (Newton only)
+    // exists solely to attribute the timeout trajectory per rung.
+    let rung1_solver = batched_solver.clone().with_escalation(Escalation {
+        max_rung: 1,
+        ..Escalation::full()
+    });
+    let ladder_solver = batched_solver.clone().with_escalation(Escalation::full());
     println!(
         "== solver_bench: {} pairs, split depth {}, {} nodes/box, batch width {} ==",
         problems.len(),
@@ -204,7 +236,7 @@ fn main() {
         opts.batch
     );
     println!(
-        "{:<12} {:<28} {:>5} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "{:<12} {:<28} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7}",
         "functional",
         "condition",
         "boxes",
@@ -212,11 +244,16 @@ fn main() {
         "batch kn/s",
         "rcmp kn/s",
         "seed kn/s",
-        "vs sess",
-        "vs seed"
+        "ladd kn/s",
+        "vs seed",
+        "t.o. -"
     );
     let mut records = Vec::new();
-    let mut totals = [ModeResult::default(); 4];
+    let mut totals = [ModeResult::default(); 5];
+    let mut rung1_timeouts = 0u64;
+    let mut resolved_timeouts = 0u64;
+    let mut regressed_timeouts = 0u64;
+    let mut strengthened_decisions = 0u64;
     for p in &problems {
         let boxes = box_schedule(&p.domain, opts.depth);
         // Session mode: the problem's compiled formula + one scratch, shared
@@ -225,11 +262,13 @@ fn main() {
         let mut scratch = SolveScratch::new();
         let _ = solver.solve_compiled(&boxes[0], p.compiled(), &mut scratch);
         let mut session = ModeResult::default();
+        let mut session_outcomes = Vec::with_capacity(boxes.len());
         let t0 = Instant::now();
         for b in &boxes {
             let (outcome, stats) = solver.solve_compiled_with_stats(b, p.compiled(), &mut scratch);
             session.nodes += stats.nodes;
             session.absorb_outcome(&outcome);
+            session_outcomes.push(outcome);
         }
         session.wall_s = t0.elapsed().as_secs_f64();
         // Batched mode: same compiled formula and scratch, frontier engine.
@@ -261,6 +300,51 @@ fn main() {
             seed.absorb_outcome(&outcome);
         }
         seed.wall_s = t0.elapsed().as_secs_f64();
+        // Ladder mode: the batched session with the full escalation ladder.
+        // Per box the outcome may cross the Timeout boundary either way and
+        // may strengthen a spurious δ-sat into Unsat, but must never
+        // regress an Unsat proof (see [`no_unsat_regression`]).
+        let _ = ladder_solver.solve_compiled(&boxes[0], p.compiled(), &mut scratch);
+        let mut ladder = ModeResult::default();
+        let t0 = Instant::now();
+        for (b, before) in boxes.iter().zip(&session_outcomes) {
+            let (outcome, stats) =
+                ladder_solver.solve_compiled_with_stats(b, p.compiled(), &mut scratch);
+            ladder.nodes += stats.nodes;
+            ladder.absorb_outcome(&outcome);
+            assert!(
+                no_unsat_regression(before, &outcome),
+                "ladder regressed an Unsat proof on {} / {}: {:?} -> {:?}",
+                p.functional_name(),
+                p.condition.name(),
+                before,
+                outcome
+            );
+            match (before, &outcome) {
+                (Outcome::Timeout, o) if *o != Outcome::Timeout => resolved_timeouts += 1,
+                (b, Outcome::Timeout) if *b != Outcome::Timeout => regressed_timeouts += 1,
+                (Outcome::DeltaSat(_), Outcome::Unsat) => strengthened_decisions += 1,
+                _ => {}
+            }
+        }
+        ladder.wall_s = t0.elapsed().as_secs_f64();
+        // Rung-1 stop (Newton only, no 3B shaving): untabulated, it exists
+        // to attribute the timeout trajectory to the individual rungs.
+        for (b, before) in boxes.iter().zip(&session_outcomes) {
+            let (outcome, _) =
+                rung1_solver.solve_compiled_with_stats(b, p.compiled(), &mut scratch);
+            assert!(
+                no_unsat_regression(before, &outcome),
+                "rung-1 ladder regressed an Unsat proof on {} / {}: {:?} -> {:?}",
+                p.functional_name(),
+                p.condition.name(),
+                before,
+                outcome
+            );
+            if outcome == Outcome::Timeout {
+                rung1_timeouts += 1;
+            }
+        }
         // All compiled modes run the same deterministic search under a pure
         // node budget: any divergence is a correctness bug, not a benchmark
         // artifact. The batched engine must even match node for node.
@@ -299,7 +383,7 @@ fn main() {
         let vs_seed = seed.wall_s / session.wall_s.max(1e-12);
         let vs_recompile = recompile.wall_s / session.wall_s.max(1e-12);
         println!(
-            "{:<12} {:<28} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x {:>8.2}x",
+            "{:<12} {:<28} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x {:>7}",
             p.functional_name(),
             p.condition.name(),
             boxes.len(),
@@ -307,15 +391,16 @@ fn main() {
             batched.knodes_per_sec(),
             recompile.knodes_per_sec(),
             seed.knodes_per_sec(),
-            vs_session,
-            vs_seed
+            ladder.knodes_per_sec(),
+            vs_seed,
+            session.timeout as i64 - ladder.timeout as i64
         );
         let mut rec = String::new();
         let _ = write!(
             rec,
             "    {{\"functional\": \"{}\", \"condition\": \"{}\", \"boxes\": {}, \
              \"session\": {}, \"batched\": {}, \"recompile\": {}, \"seed\": {}, \
-             \"speedup_vs_seed\": {:.2}, \"speedup_vs_recompile\": {:.2}, \
+             \"ladder\": {}, \"speedup_vs_seed\": {:.2}, \"speedup_vs_recompile\": {:.2}, \
              \"batched_speedup_vs_session\": {:.2}}}",
             p.functional_name(),
             p.condition.name(),
@@ -324,12 +409,16 @@ fn main() {
             json_mode(&batched),
             json_mode(&recompile),
             json_mode(&seed),
+            json_mode(&ladder),
             vs_seed,
             vs_recompile,
             vs_session
         );
         records.push(rec);
-        for (t, m) in totals.iter_mut().zip([session, batched, recompile, seed]) {
+        for (t, m) in totals
+            .iter_mut()
+            .zip([session, batched, recompile, seed, ladder])
+        {
             t.nodes += m.nodes;
             t.unsat += m.unsat;
             t.delta_sat += m.delta_sat;
@@ -421,9 +510,22 @@ fn main() {
         batched_campaign_s * 1e3,
     );
 
-    let [total_session, total_batched, total_recompile, total_seed] = totals;
+    let [total_session, total_batched, total_recompile, total_seed, total_ladder] = totals;
     let total_vs_seed = total_seed.wall_s / total_session.wall_s.max(1e-12);
     let batched_vs_session = total_session.wall_s / total_batched.wall_s.max(1e-12);
+    println!(
+        "ladder: timeouts {} -> {} (rung 1) -> {} (full); {} resolved, {} re-opened \
+         (spurious rung-0 delta-sat), {} strengthened (delta-sat -> unsat), 0 unsat \
+         regressions; wall {:.0} ms vs batched {:.0} ms",
+        total_session.timeout,
+        rung1_timeouts,
+        total_ladder.timeout,
+        resolved_timeouts,
+        regressed_timeouts,
+        strengthened_decisions,
+        total_ladder.wall_s * 1e3,
+        total_batched.wall_s * 1e3,
+    );
     println!(
         "total: session {:.1} knodes/s ({:.0} ms), batched {:.1} knodes/s ({:.0} ms, {:.2}x vs \
          session), recompile {:.1} knodes/s ({:.0} ms), seed {:.1} knodes/s ({:.0} ms) => {:.2}x \
@@ -441,12 +543,17 @@ fn main() {
         total_seed.wall_s / total_batched.wall_s.max(1e-12),
     );
     let json = format!(
-        "{{\n  \"schema\": \"xcv-bench-solver/v5\",\n  \"config\": {{\"nodes_per_box\": {}, \
+        "{{\n  \"schema\": \"xcv-bench-solver/v6\",\n  \"config\": {{\"nodes_per_box\": {}, \
          \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
-         \"batched\": {}, \"recompile\": {}, \"seed\": {}, \"speedup_vs_seed\": {:.2}}},\n  \
+         \"batched\": {}, \"recompile\": {}, \"seed\": {}, \"ladder\": {}, \
+         \"speedup_vs_seed\": {:.2}}},\n  \
          \"batched\": {{\"batch_width\": {}, \"wall_ms\": {:.3}, \"session_wall_ms\": {:.3}, \
          \"speedup_vs_session\": {:.2}, \"campaign_wall_ms\": {:.3}, \"marks_identical\": true, \
-         \"tallies_identical\": true}},\n  \"campaign\": \
+         \"tallies_identical\": true}},\n  \
+         \"ladder\": {{\"escalation\": \"full\", \"batch_width\": {}, \"wall_ms\": {:.3}, \
+         \"batched_wall_ms\": {:.3}, \"timeouts\": [{}, {}, {}], \"resolved_timeouts\": {}, \
+         \"regressed_timeouts\": {}, \"strengthened_decisions\": {}, \
+         \"unsat_regressions\": 0}},\n  \"campaign\": \
          {{\"cells\": {}, \"matrix_order_wall_ms\": {:.3}, \"cost_aware_wall_ms\": {:.3}, \
          \"speedup_vs_matrix_order\": {:.2}, \"scheduler\": \"measured-cost-model\"}},\n  \
          \"cost_model\": {{\"kind\": \"log-linear\", \"features\": [\"family\", \"2^ndim\", \
@@ -459,12 +566,22 @@ fn main() {
         json_mode(&total_batched),
         json_mode(&total_recompile),
         json_mode(&total_seed),
+        json_mode(&total_ladder),
         total_vs_seed,
         opts.batch,
         total_batched.wall_s * 1e3,
         total_session.wall_s * 1e3,
         batched_vs_session,
         batched_campaign_s * 1e3,
+        opts.batch,
+        total_ladder.wall_s * 1e3,
+        total_batched.wall_s * 1e3,
+        total_session.timeout,
+        rung1_timeouts,
+        total_ladder.timeout,
+        resolved_timeouts,
+        regressed_timeouts,
+        strengthened_decisions,
         matrix_marks.len(),
         matrix_s * 1e3,
         cost_s * 1e3,

@@ -22,6 +22,12 @@
 //! failed gate the certificate path is printed next to each refuted pair's
 //! witnesses, so the refutation ships with its own replayable evidence.
 //!
+//! `--ladder` arms the contractor escalation ladder ([`xcv_solver::
+//! Escalation::full`]): boxes where HC4 stalls get interval-Newton sweeps
+//! and 3B slab shaving instead of timing out. Marks only ever improve —
+//! timeouts become decisions, spurious δ-sat leaves become sound `Unsat`
+//! proofs — and every ladder step stays replayable under `--emit-certs`.
+//!
 //! `--checkpoint PATH` persists progress (atomically, after every pair);
 //! re-running the same command resumes mid-matrix — even mid-pair — with
 //! identical marks. `--shard i/n` runs only the i-th of `n` deterministic
@@ -74,8 +80,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: xcverify --dfa <PBE|SCAN|LYP|AM05|VWN_RPA|RSCAN|BLYP> \
          (--condition <ec1..ec7> | --all) [--budget-ms N] [--threshold T] \
-         [--deadline-ms N] [--spin] [--expect-pairs N] [--emit-certs DIR] \
-         [--checkpoint PATH] [--shard I/N] [--quiet]\n\
+         [--deadline-ms N] [--spin] [--ladder] [--expect-pairs N] \
+         [--emit-certs DIR] [--checkpoint PATH] [--shard I/N] [--quiet]\n\
          \u{20}      xcverify --spin [--all]   (gate the whole ζ-resolved matrix)\n\
          \u{20}      xcverify --matrix [--all] (gate the whole extended matrix)\n\
          \u{20}      xcverify --merge CKPT.json... (union shard checkpoints, print marks)\n\
@@ -155,6 +161,7 @@ fn main() -> ExitCode {
     let mut emit_certs: Option<PathBuf> = None;
     let mut checkpoint: Option<PathBuf> = None;
     let mut shard: Option<(usize, usize)> = None;
+    let mut ladder = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -212,6 +219,7 @@ fn main() -> ExitCode {
             }
             "--quiet" => quiet = true,
             "--matrix" => matrix = true,
+            "--ladder" => ladder = true,
             "--emit-certs" => {
                 i += 1;
                 match args.get(i) {
@@ -324,6 +332,12 @@ fn main() -> ExitCode {
     }
     if let Some((index, of)) = shard {
         builder = builder.shard(index, of);
+    }
+    // `--ladder` arms the contractor escalation ladder (interval-Newton +
+    // 3B shaving on stalled boxes); the campaign's measured cost model
+    // still demotes pairs predicted too cheap to ever stall.
+    if ladder {
+        builder = builder.escalation(xcv_solver::Escalation::full());
     }
     if !quiet {
         // Pairs run concurrently, so cap witness lines per (functional,

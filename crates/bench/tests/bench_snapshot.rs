@@ -1,5 +1,6 @@
 //! Regression pins on the checked-in `BENCH_solver.json` snapshot (written
-//! by the `solver_bench` binary): schema v5 (per-mode `timeouts` counts), a
+//! by the `solver_bench` binary): schema v6 (per-mode `timeouts` counts
+//! plus the escalation-ladder entry and its timeout trajectory), a
 //! persisted measured cost model, the batched-engine guarantee — batched-session wall is faster
 //! than the scalar-session wall *on the snapshot*, with identical tallies
 //! and TableMarks (asserted inside the binary at write time) — and the
@@ -40,9 +41,9 @@ fn number(json: &str, key: &str) -> f64 {
 }
 
 #[test]
-fn snapshot_is_schema_v5_with_a_cost_model() {
+fn snapshot_is_schema_v6_with_a_cost_model() {
     let json = snapshot();
-    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v5\"");
+    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v6\"");
     let model = &json[json.find("\"cost_model\"").expect("cost_model entry")..];
     assert_eq!(field(model, "kind"), "\"log-linear\"");
     // Four finite weights, a positive sample count, and a sane r².
@@ -62,16 +63,19 @@ fn snapshot_is_schema_v5_with_a_cost_model() {
 fn snapshot_mode_entries_count_timeouts() {
     // v5: every mode entry carries a `timeouts` count (box-level budget
     // exhaustions), so a budget-starved benchmark run is visible in the
-    // snapshot itself. The four `total` modes replay the same search, so
-    // their timeout tallies must agree exactly — a drift here means one
-    // engine stopped exploring the tree the others explored.
+    // snapshot itself. The four rung-0 `total` modes replay the same
+    // search, so their timeout tallies must agree exactly — a drift here
+    // means one engine stopped exploring the tree the others explored.
+    // (v6 adds the fifth, `ladder` mode — its tally legitimately differs:
+    // that is the point — and a `"timeouts": [...]` trajectory array,
+    // which the scalar parse below skips.)
     let json = snapshot();
     let totals: Vec<f64> = json
         .match_indices("\"timeouts\":")
-        .map(|(i, _)| number(&json[i..], "timeouts"))
+        .filter_map(|(i, _)| field(&json[i..], "timeouts").parse().ok())
         .collect();
     assert!(
-        totals.len() >= 4,
+        totals.len() >= 5,
         "expected a timeouts count in each mode entry, found {}",
         totals.len()
     );
@@ -80,6 +84,71 @@ fn snapshot_mode_entries_count_timeouts() {
     assert!(
         totals[..4].iter().all(|t| *t == session),
         "mode timeout tallies diverged: {totals:?}"
+    );
+    // totals[4] is the ladder mode, pinned separately below.
+}
+
+#[test]
+fn snapshot_ladder_entry_pins_the_timeout_tail() {
+    // The v6 `ladder` entry: the escalation ladder's whole reason to
+    // exist is the timeout tail, so the snapshot pins the trajectory
+    // `[rung 0, rung 1, full ladder]` — the full ladder must cut the
+    // rung-0 timeout count (620 at the time of pinning) by at least 170
+    // boxes without a single Unsat regression, at no more than a 20%
+    // wall premium over the plain batched session it extends (the
+    // measured point behind `Escalation::full()`'s defaults is 417
+    // timeouts at a 1.10x wall ratio; deeper escalation reaches 399 but
+    // at 1.4x wall — see the depth-cap notes on [`xcv_solver::Escalation`]).
+    let json = snapshot();
+    // The top-level ladder entry (per-pair records carry a `"ladder":
+    // {"nodes": ...}` sub-object each; only the top-level one leads with
+    // the escalation name).
+    let ladder = &json[json
+        .find("\"ladder\": {\"escalation\"")
+        .expect("ladder entry")..];
+    assert_eq!(field(ladder, "escalation"), "\"full\"");
+    let trajectory: Vec<f64> = field(ladder, "timeouts")
+        .split(',')
+        .map(|t| t.trim().parse().expect("trajectory count"))
+        .collect();
+    assert_eq!(trajectory.len(), 3, "rung 0, rung 1, full");
+    let session = {
+        let total = &json[json.find("\"total\"").expect("total entry")..];
+        number(total, "timeouts")
+    };
+    assert_eq!(trajectory[0], session, "trajectory starts at rung 0");
+    assert!(
+        trajectory[2] <= 450.0,
+        "ladder left too much of the timeout tail: {trajectory:?}"
+    );
+    assert!(
+        trajectory[2] <= trajectory[0] - 170.0,
+        "ladder lost its pruning power on timeouts: {trajectory:?}"
+    );
+    assert_eq!(number(ladder, "unsat_regressions"), 0.0);
+    assert!(number(ladder, "resolved_timeouts") >= 200.0);
+    let wall = number(ladder, "wall_ms");
+    let batched = number(ladder, "batched_wall_ms");
+    assert!(wall > 0.0 && batched > 0.0);
+    assert!(
+        wall <= 1.20 * batched,
+        "ladder mode wall premium regressed over the batched session: \
+         {wall:.0} ms vs {batched:.0} ms"
+    );
+    // At least one previously all-timeout row produces decisions now: the
+    // rSCAN / Ec-scaling cell was 64 boxes, 64 timeouts at rung 0.
+    let pair = json
+        .find("\"functional\": \"rSCAN(reg)\", \"condition\": \"Ec scaling inequality\"")
+        .expect("rSCAN Ec-scaling pair record");
+    let rec = &json[pair..];
+    let pair_session = number(rec, "timeouts");
+    let pair_ladder = {
+        let l = &rec[rec.find("\"ladder\":").expect("pair ladder entry")..];
+        number(l, "timeouts")
+    };
+    assert!(
+        pair_ladder < pair_session,
+        "rSCAN / Ec scaling: ladder resolved nothing ({pair_ladder} vs {pair_session})"
     );
 }
 

@@ -27,9 +27,25 @@
 //! output it audits. The `xcvcheck` binary wraps [`check`] for CI and
 //! third parties.
 
+//! Solver runs that use the escalation ladder record two further step
+//! kinds, both replayed here: a `Shave` step (3B slab shaving) is
+//! re-established *independently* — the checker forward-evaluates the main
+//! tape over the recorded slab and requires some atom's enclosure to miss
+//! its allowed set — while `Newton`/`NewtonPruned` steps are re-contracted
+//! through the exact shared driver
+//! ([`xcv_expr::newton::newton_contract`]) over the gradient tapes the
+//! certificate carries in its `newton` section. Those gradient tapes extend
+//! the trust base: the checker verifies the *contraction logic* from them,
+//! but their claim — root 0 is atom `i`'s expression and root `j+1` its
+//! partial along `axes[j]` — is the emitter's, bound at emission time (the
+//! campaign derives them symbolically from the same expressions that
+//! produced the main tape, then replays the certificate once before
+//! attaching it).
+
 pub mod json;
 
 use json::{escape, fmt_f64, Json};
+use xcv_expr::newton::{newton_contract, NewtonAtom, NewtonScratch};
 use xcv_expr::IntervalTape;
 use xcv_interval::Interval;
 
@@ -87,6 +103,41 @@ pub enum CertEvent {
         axis: usize,
         low_first: bool,
     },
+    /// Rung 1 of the escalation ladder tightened the current box to
+    /// `contracted` (intermediate: the node's terminal step follows).
+    /// Requires the certificate's `newton` section.
+    Newton { contracted: Vec<Interval> },
+    /// Rung 1 proved the current box has no solution (terminal, like
+    /// `Pruned`). Requires the `newton` section.
+    NewtonPruned,
+    /// Rung 2 shaved a slab off one face of the current box: axis `axis`'s
+    /// high bound (when `high_face`, else its low bound) moved to `bound`.
+    /// Intermediate, possibly repeated; verified independently of the
+    /// solver by a forward evaluation over the main tape.
+    Shave {
+        axis: usize,
+        high_face: bool,
+        bound: f64,
+    },
+}
+
+/// One atom's gradient program in the certificate's `newton` section: a
+/// portable tape whose root 0 is the atom's expression and root `j + 1`
+/// its partial derivative along variable axis `axes[j]` (axes strictly
+/// ascending — the sweep order is part of the replay contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonAtomCert {
+    pub tape: String,
+    pub axes: Vec<u32>,
+}
+
+/// Gradient data for replaying `Newton`/`NewtonPruned` steps: the sweep
+/// count the solver ran with and one entry per atom (`None` when the
+/// atom's gradient overflowed the solver's lowering and rung 1 skipped it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonSection {
+    pub sweeps: usize,
+    pub atoms: Vec<Option<NewtonAtomCert>>,
 }
 
 /// The verdict a certificate claims for one region of the cover.
@@ -146,9 +197,16 @@ pub struct Certificate {
     /// The domain the cover must tile.
     pub domain: Vec<Interval>,
     pub regions: Vec<CertRegion>,
+    /// Present iff any verified trace contains `Newton`/`NewtonPruned`
+    /// steps (escalation-ladder runs).
+    pub newton: Option<NewtonSection>,
 }
 
-pub const SCHEMA: &str = "xcv-cert/v1";
+/// Current schema tag written by [`Certificate::to_json`].
+pub const SCHEMA: &str = "xcv-cert/v2";
+/// Previous schema (no `newton` section, no ladder step kinds) — still
+/// accepted by [`Certificate::parse`].
+pub const SCHEMA_V1: &str = "xcv-cert/v1";
 
 // ---------------------------------------------------------------------------
 // Serialization
@@ -211,6 +269,31 @@ impl Certificate {
             self.psi_atom,
             self.psi_rel.symbol()
         ));
+        if let Some(n) = &self.newton {
+            out.push_str(&format!(
+                "  \"newton\": {{\"sweeps\": {}, \"atoms\": [",
+                n.sweeps
+            ));
+            for (i, a) in n.atoms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match a {
+                    None => out.push_str("null"),
+                    Some(a) => {
+                        out.push_str(&format!("{{\"tape\": \"{}\", \"axes\": [", escape(&a.tape)));
+                        for (k, ax) in a.axes.iter().enumerate() {
+                            if k > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&ax.to_string());
+                        }
+                        out.push_str("]}");
+                    }
+                }
+            }
+            out.push_str("]},\n");
+        }
         out.push_str("  \"domain\": ");
         write_box(&mut out, &self.domain);
         out.push_str(",\n  \"regions\": [\n");
@@ -242,6 +325,23 @@ impl Certificate {
                                 write_box(&mut out, contracted);
                                 out.push(']');
                             }
+                            CertEvent::Newton { contracted } => {
+                                out.push_str("[\"n\", ");
+                                write_box(&mut out, contracted);
+                                out.push(']');
+                            }
+                            CertEvent::NewtonPruned => out.push_str("[\"np\"]"),
+                            CertEvent::Shave {
+                                axis,
+                                high_face,
+                                bound,
+                            } => {
+                                out.push_str(&format!(
+                                    "[\"3\", {axis}, {}, {}]",
+                                    u8::from(*high_face),
+                                    fmt_f64(*bound)
+                                ));
+                            }
                         }
                     }
                     out.push(']');
@@ -261,10 +361,10 @@ impl Certificate {
     /// Parse a certificate serialized by [`Certificate::to_json`].
     pub fn parse(text: &str) -> Result<Certificate, String> {
         let doc = Json::parse(text)?;
-        if doc.want("schema")?.as_str()? != SCHEMA {
+        let schema = doc.want("schema")?.as_str()?;
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return Err(format!(
-                "unsupported schema {:?} (expected {SCHEMA:?})",
-                doc.want("schema")?.as_str()?
+                "unsupported schema {schema:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
             ));
         }
         let atom_rels = doc
@@ -301,6 +401,30 @@ impl Certificate {
                                         .map_err(|e| format!("region {i}, event {k}: {e}"))?,
                                 });
                             }
+                            "n" => {
+                                if parts.len() != 2 {
+                                    return Err(format!(
+                                        "region {i}: newton event {k} needs 2 elements"
+                                    ));
+                                }
+                                trace.push(CertEvent::Newton {
+                                    contracted: parse_box(&parts[1])
+                                        .map_err(|e| format!("region {i}, event {k}: {e}"))?,
+                                });
+                            }
+                            "np" => trace.push(CertEvent::NewtonPruned),
+                            "3" => {
+                                if parts.len() != 4 {
+                                    return Err(format!(
+                                        "region {i}: shave event {k} needs 4 elements"
+                                    ));
+                                }
+                                trace.push(CertEvent::Shave {
+                                    axis: parts[1].as_usize()?,
+                                    high_face: parts[2].as_f64()? != 0.0,
+                                    bound: parts[3].as_f64()?,
+                                });
+                            }
                             other => {
                                 return Err(format!(
                                     "region {i}: unknown trace event tag {other:?}"
@@ -324,6 +448,31 @@ impl Certificate {
             };
             regions.push(CertRegion { bounds, verdict });
         }
+        let newton = match doc.get("newton") {
+            None => None,
+            Some(n) => {
+                let mut atoms = Vec::new();
+                for (i, a) in n.want("atoms")?.as_arr()?.iter().enumerate() {
+                    atoms.push(match a {
+                        Json::Null => None,
+                        _ => Some(NewtonAtomCert {
+                            tape: a.want("tape")?.as_str()?.to_string(),
+                            axes: a
+                                .want("axes")?
+                                .as_arr()?
+                                .iter()
+                                .map(|x| x.as_usize().map(|v| v as u32))
+                                .collect::<Result<Vec<_>, _>>()
+                                .map_err(|e| format!("newton atom {i}: {e}"))?,
+                        }),
+                    });
+                }
+                Some(NewtonSection {
+                    sweeps: n.want("sweeps")?.as_usize()?,
+                    atoms,
+                })
+            }
+        };
         Ok(Certificate {
             functional: doc.want("functional")?.as_str()?.to_string(),
             condition: doc.want("condition")?.as_str()?.to_string(),
@@ -335,6 +484,7 @@ impl Certificate {
             psi_rel: Rel::parse(psi.want("rel")?.as_str()?)?,
             domain: parse_box(doc.want("domain")?)?,
             regions,
+            newton,
         })
     }
 }
@@ -365,10 +515,15 @@ fn parse_box(v: &Json) -> Result<Vec<Interval>, String> {
 pub struct CheckReport {
     /// Regions in the cover.
     pub regions: usize,
-    /// Pruned leaves re-contracted to empty across all verified regions.
+    /// Pruned leaves re-contracted (or re-Newton'd) to empty across all
+    /// verified regions.
     pub replayed_leaves: usize,
     /// Witnesses re-evaluated as genuine interval violations.
     pub witnesses: usize,
+    /// `Newton`/`NewtonPruned` steps replayed through the shared driver.
+    pub newton_steps: usize,
+    /// `Shave` slabs independently re-proven infeasible.
+    pub shaved_slabs: usize,
 }
 
 /// The checker's own HC4 contraction — a from-scratch replica of the
@@ -449,9 +604,52 @@ fn contains_point(b: &[Interval], p: &[f64]) -> bool {
     b.len() == p.len() && b.iter().zip(p).all(|(d, &x)| d.lo <= x && x <= d.hi)
 }
 
+/// Validated gradient programs for replaying ladder steps, built once per
+/// certificate from its `newton` section.
+/// One replayable rung-1 atom: gradient tape, per-axis gradient slot map,
+/// and the allowed range of the mean-value enclosure.
+type ReplayAtom = (IntervalTape, Vec<(u32, u32)>, Interval);
+
+struct NewtonReplay {
+    sweeps: usize,
+    /// Non-`None` atoms only, in atom order — the same filtering the
+    /// solver's rung 1 applies, so the shared driver sees the identical
+    /// atom sequence.
+    atoms: Vec<ReplayAtom>,
+}
+
+impl NewtonReplay {
+    /// Run the shared Newton driver over a copy of `dims`. `None` when the
+    /// driver proves the box has no solution.
+    fn apply(&self, dims: &[Interval], scratch: &mut NewtonScratch) -> Option<Vec<Interval>> {
+        let atoms: Vec<NewtonAtom<'_>> = self
+            .atoms
+            .iter()
+            .map(|(tape, grads, allowed)| NewtonAtom {
+                tape,
+                grads,
+                allowed: *allowed,
+            })
+            .collect();
+        let mut out = dims.to_vec();
+        newton_contract(&atoms, &mut out, self.sweeps, scratch).then_some(out)
+    }
+}
+
 /// Replay one verified region's trace: maintain the recorded DFS stack,
 /// re-contract every pruned leaf to emptiness, and validate every split's
-/// soundness. Returns the number of replayed (pruned) leaves.
+/// soundness.
+///
+/// Per node the replay tracks two boxes: `cur`, the *recorded* box (what
+/// the solver claims the node narrowed to so far), and `own`, the
+/// checker's independent enclosure of every solution inside the node
+/// (`None` once proven empty — later claims on the node are vacuously
+/// sound but must still be structurally consumed). Intermediate ladder
+/// steps transform the pair in place; terminal steps pop the node.
+/// Soundness invariant maintained throughout: every solution of the
+/// popped box lies in `own`, so a recorded narrowing to `R` is accepted
+/// exactly when the checker's own (sound) machinery lands inside `R`.
+#[allow(clippy::too_many_arguments)]
 fn replay_verified(
     tape: &IntervalTape,
     atoms: &[(usize, Interval)],
@@ -459,43 +657,147 @@ fn replay_verified(
     region: &[Interval],
     trace: &[CertEvent],
     vals: &mut Vec<Interval>,
-) -> Result<usize, String> {
+    newton: Option<&NewtonReplay>,
+    nscratch: &mut NewtonScratch,
+    report: &mut CheckReport,
+) -> Result<(), String> {
     let mut stack: Vec<Vec<Interval>> = vec![region.to_vec()];
-    let mut leaves = 0usize;
+    // The node the intermediate events operate on; `None` between a
+    // terminal event and the next pop.
+    let mut active: Option<(Vec<Interval>, Option<Vec<Interval>>)> = None;
+    let need_newton = |k: usize| -> Result<&NewtonReplay, String> {
+        newton.ok_or_else(|| format!("event {k}: ladder step but no newton section"))
+    };
     for (k, ev) in trace.iter().enumerate() {
-        let b = stack
-            .pop()
-            .ok_or_else(|| format!("event {k}: trace continues past an exhausted cover"))?;
-        match ev {
+        if active.is_none() {
+            let b = stack
+                .pop()
+                .ok_or_else(|| format!("event {k}: trace continues past an exhausted cover"))?;
+            let own = contract(tape, atoms, max_rounds, &b, vals);
+            active = Some((b, own));
+        }
+        let (cur, own) = active.as_mut().expect("activated above");
+        let done = match ev {
             CertEvent::Pruned => {
-                if contract(tape, atoms, max_rounds, &b, vals).is_some() {
+                if own.is_some() {
                     return Err(format!(
                         "event {k}: recorded prune does not contract to empty"
                     ));
                 }
-                leaves += 1;
+                report.replayed_leaves += 1;
+                true
+            }
+            CertEvent::NewtonPruned => {
+                let nr = need_newton(k)?;
+                if let Some(h) = own {
+                    if nr.apply(h, nscratch).is_some() {
+                        return Err(format!(
+                            "event {k}: recorded newton prune is not reproduced by the driver"
+                        ));
+                    }
+                }
+                report.replayed_leaves += 1;
+                report.newton_steps += 1;
+                true
+            }
+            CertEvent::Newton { contracted: r } => {
+                let nr = need_newton(k)?;
+                if r.len() != cur.len() {
+                    return Err(format!("event {k}: malformed newton step"));
+                }
+                if !subset(r, cur) {
+                    return Err(format!(
+                        "event {k}: recorded newton result escapes the current box"
+                    ));
+                }
+                if let Some(h) = own.take() {
+                    match nr.apply(&h, nscratch) {
+                        // Driver proved the node empty — stronger than the
+                        // recorded narrowing; `own` stays `None`.
+                        None => {}
+                        Some(n) => {
+                            if !subset(&n, r) {
+                                return Err(format!(
+                                    "event {k}: recorded newton step drops part of the \
+                                     feasible set"
+                                ));
+                            }
+                            *own = Some(n);
+                        }
+                    }
+                }
+                *cur = r.clone();
+                report.newton_steps += 1;
+                false
+            }
+            CertEvent::Shave {
+                axis,
+                high_face,
+                bound,
+            } => {
+                if *axis >= cur.len() || !bound.is_finite() {
+                    return Err(format!("event {k}: malformed shave step"));
+                }
+                let d = cur[*axis];
+                if !(d.lo < *bound && *bound < d.hi) {
+                    return Err(format!("event {k}: shave bound outside the axis"));
+                }
+                // Independent re-proof: the shaved slab, evaluated through
+                // the main tape, must violate some atom outright.
+                let mut slab = cur.clone();
+                slab[*axis] = if *high_face {
+                    Interval::new(*bound, d.hi)
+                } else {
+                    Interval::new(d.lo, *bound)
+                };
+                vals.clear();
+                vals.resize(tape.len(), Interval::ENTIRE);
+                tape.forward(&slab, vals);
+                let infeasible = atoms
+                    .iter()
+                    .any(|&(slot, allowed)| vals[slot].intersect(&allowed).is_empty());
+                if !infeasible {
+                    return Err(format!(
+                        "event {k}: recorded shave slab is not provably infeasible"
+                    ));
+                }
+                cur[*axis] = if *high_face {
+                    Interval::new(d.lo, *bound)
+                } else {
+                    Interval::new(*bound, d.hi)
+                };
+                let emptied = own.as_mut().is_some_and(|h| {
+                    let met = h[*axis].intersect(&cur[*axis]);
+                    h[*axis] = met;
+                    met.is_empty()
+                });
+                if emptied {
+                    *own = None;
+                }
+                report.shaved_slabs += 1;
+                false
             }
             CertEvent::Split {
                 contracted,
                 axis,
                 low_first,
             } => {
-                if contracted.len() != b.len() || *axis >= b.len() {
+                if contracted.len() != cur.len() || *axis >= cur.len() {
                     return Err(format!("event {k}: malformed split"));
                 }
-                if !subset(contracted, &b) {
+                if !subset(contracted, cur) {
                     return Err(format!(
                         "event {k}: recorded contraction escapes the box being split"
                     ));
                 }
-                // Soundness of discarding box \ contracted: our own
-                // contraction (a sound enclosure of every solution in the
-                // box) must land inside the recorded contracted box. An
-                // empty own contraction means the box holds no solutions —
-                // the recorded split explores vacuously true children,
-                // which is sound (they must still replay).
-                if let Some(own) = contract(tape, atoms, max_rounds, &b, vals) {
-                    if !subset(&own, contracted) {
+                // Soundness of discarding box \ contracted: the checker's
+                // own enclosure (sound for every solution in the box) must
+                // land inside the recorded contracted box. An empty own
+                // enclosure means the box holds no solutions — the
+                // recorded split explores vacuously true children, which
+                // is sound (they must still replay).
+                if let Some(h) = own {
+                    if !subset(h, contracted) {
                         return Err(format!(
                             "event {k}: recorded contraction drops part of the feasible set"
                         ));
@@ -514,8 +816,15 @@ fn replay_verified(
                     stack.push(lo_box);
                     stack.push(hi_box);
                 }
+                true
             }
+        };
+        if done {
+            active = None;
         }
+    }
+    if active.is_some() {
+        return Err("trace ended mid-node (ladder step without a terminal)".to_string());
     }
     if !stack.is_empty() {
         return Err(format!(
@@ -523,7 +832,7 @@ fn replay_verified(
             stack.len()
         ));
     }
-    Ok(leaves)
+    Ok(())
 }
 
 /// Check that the region boxes `idx` tile `b` exactly, replaying the
@@ -618,6 +927,52 @@ pub fn check(cert: &Certificate) -> Result<CheckReport, String> {
     let psi_slot = tape.root_slot(cert.psi_atom) as usize;
     let psi_allowed = cert.psi_rel.allowed();
 
+    // Validate and compile the newton section (gradient programs for the
+    // ladder's rung-1 steps) once, up front.
+    let newton = match &cert.newton {
+        None => None,
+        Some(section) => {
+            if !(1..=16).contains(&section.sweeps) {
+                return Err(format!("implausible newton sweeps {}", section.sweeps));
+            }
+            if section.atoms.len() != cert.atom_rels.len() {
+                return Err(format!(
+                    "newton section has {} atoms but the formula has {}",
+                    section.atoms.len(),
+                    cert.atom_rels.len()
+                ));
+            }
+            let mut compiled = Vec::new();
+            for (i, spec) in section.atoms.iter().enumerate() {
+                let Some(spec) = spec else { continue };
+                let gtape = IntervalTape::from_portable(&spec.tape)
+                    .map_err(|e| format!("newton atom {i}: {e}"))?;
+                if gtape.num_roots() != 1 + spec.axes.len() {
+                    return Err(format!(
+                        "newton atom {i}: {} roots for {} gradient axes",
+                        gtape.num_roots(),
+                        spec.axes.len()
+                    ));
+                }
+                if !spec.axes.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("newton atom {i}: gradient axes not ascending"));
+                }
+                let grads: Vec<(u32, u32)> = spec
+                    .axes
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &axis)| (axis, (j + 1) as u32))
+                    .collect();
+                compiled.push((gtape, grads, cert.atom_rels[i].allowed()));
+            }
+            Some(NewtonReplay {
+                sweeps: section.sweeps,
+                atoms: compiled,
+            })
+        }
+    };
+    let mut nscratch = NewtonScratch::default();
+
     // 1. The cover tiles the domain.
     for (i, r) in cert.regions.iter().enumerate() {
         if r.bounds.len() != ndim {
@@ -639,9 +994,18 @@ pub fn check(cert: &Certificate) -> Result<CheckReport, String> {
     for (i, r) in cert.regions.iter().enumerate() {
         match &r.verdict {
             CertVerdict::Verified { trace } => {
-                report.replayed_leaves +=
-                    replay_verified(&tape, &atoms, cert.max_rounds, &r.bounds, trace, &mut vals)
-                        .map_err(|e| format!("region {i}: {e}"))?;
+                replay_verified(
+                    &tape,
+                    &atoms,
+                    cert.max_rounds,
+                    &r.bounds,
+                    trace,
+                    &mut vals,
+                    newton.as_ref(),
+                    &mut nscratch,
+                    &mut report,
+                )
+                .map_err(|e| format!("region {i}: {e}"))?;
             }
             CertVerdict::Counterexample { witness } => {
                 if witness.len() != ndim || witness.iter().any(|v| v.is_nan()) {
@@ -705,6 +1069,7 @@ mod tests {
                     trace: vec![CertEvent::Pruned],
                 },
             }],
+            newton: None,
         }
     }
 
@@ -813,6 +1178,165 @@ mod tests {
             },
         }];
         assert!(check(&cert).is_err(), "half-explored cover accepted");
+    }
+
+    /// A newton section for a single-atom certificate: tape `[g, dg/dx…]`
+    /// over the expression's free variables, built the way the solver's
+    /// mean-value lowering builds it.
+    fn newton_section_for(e: &xcv_expr::Expr, sweeps: usize) -> NewtonSection {
+        let mut roots = vec![e.clone()];
+        let mut axes = Vec::new();
+        for v in e.free_vars() {
+            axes.push(v);
+            roots.push(e.diff(v));
+        }
+        NewtonSection {
+            sweeps,
+            atoms: vec![Some(NewtonAtomCert {
+                tape: IntervalTape::compile(&roots).to_portable(),
+                axes,
+            })],
+        }
+    }
+
+    /// x − x² − 0.26 ≥ 0 is infeasible (max 0.25), but HC4 cannot prune
+    /// [0.45, 0.55] — the mean-value enclosure of the shared Newton driver
+    /// can. The certificate records that as a `NewtonPruned` leaf.
+    fn ladder_cert() -> Certificate {
+        let e = var(0) - var(0).powi(2) - 0.26;
+        let mut cert = unsat_cert();
+        cert.tape = tape_for(&e);
+        cert.atom_rels = vec![Rel::Ge];
+        cert.psi_rel = Rel::Lt;
+        cert.domain = vec![iv(0.45, 0.55)];
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(0.45, 0.55)],
+            verdict: CertVerdict::Verified {
+                trace: vec![CertEvent::NewtonPruned],
+            },
+        }];
+        cert.newton = Some(newton_section_for(&e, 2));
+        cert
+    }
+
+    #[test]
+    fn newton_pruned_leaf_replays_through_the_driver() {
+        let report = check(&ladder_cert()).expect("honest newton prune");
+        assert_eq!(report.replayed_leaves, 1);
+        assert_eq!(report.newton_steps, 1);
+        // Plain `Pruned` on the same box must fail: HC4 alone cannot
+        // contract it to empty — only the Newton driver proves it.
+        let mut plain = ladder_cert();
+        plain.regions[0].verdict = CertVerdict::Verified {
+            trace: vec![CertEvent::Pruned],
+        };
+        assert!(
+            check(&plain).is_err(),
+            "HC4 prune accepted on a stalled box"
+        );
+    }
+
+    #[test]
+    fn ladder_steps_require_the_newton_section() {
+        let mut cert = ladder_cert();
+        cert.newton = None;
+        assert!(check(&cert).is_err());
+    }
+
+    #[test]
+    fn fake_newton_prunes_are_rejected() {
+        // x − 0.2 ≥ 0 is satisfiable on [0.45, 0.55]; claiming a Newton
+        // prune there must fail the driver replay.
+        let e = var(0) - 0.2;
+        let mut cert = ladder_cert();
+        cert.tape = tape_for(&e);
+        cert.newton = Some(newton_section_for(&e, 2));
+        assert!(check(&cert).is_err());
+    }
+
+    #[test]
+    fn newton_step_soundness_is_subset_checked() {
+        // A no-op Newton step (recorded box = current box) is vacuously
+        // sound; the driver then proves the node empty, so the plain
+        // terminal Pruned is accepted.
+        let mut cert = ladder_cert();
+        cert.regions[0].verdict = CertVerdict::Verified {
+            trace: vec![
+                CertEvent::Newton {
+                    contracted: vec![iv(0.45, 0.55)],
+                },
+                CertEvent::Pruned,
+            ],
+        };
+        check(&cert).expect("no-op newton step then driver-proved prune");
+        // A Newton step whose recorded box escapes the current box is
+        // structurally unsound regardless of the driver.
+        cert.regions[0].verdict = CertVerdict::Verified {
+            trace: vec![
+                CertEvent::Newton {
+                    contracted: vec![iv(0.4, 0.6)],
+                },
+                CertEvent::Pruned,
+            ],
+        };
+        assert!(check(&cert).is_err(), "escaping newton step accepted");
+    }
+
+    #[test]
+    fn shave_slabs_are_independently_reproven() {
+        // x + 10 ≤ 0 over [0, 1]: the [0.6, 1] slab is genuinely
+        // infeasible (as is the whole box — the terminal prune replays).
+        let mut cert = unsat_cert();
+        cert.tape = tape_for(&(var(0) + 10.0));
+        cert.domain = vec![iv(0.0, 1.0)];
+        cert.regions = vec![CertRegion {
+            bounds: vec![iv(0.0, 1.0)],
+            verdict: CertVerdict::Verified {
+                trace: vec![
+                    CertEvent::Shave {
+                        axis: 0,
+                        high_face: true,
+                        bound: 0.6,
+                    },
+                    CertEvent::Pruned,
+                ],
+            },
+        }];
+        let report = check(&cert).expect("honest shave");
+        assert_eq!(report.shaved_slabs, 1);
+        // x − 10 ≤ 0 holds everywhere: the same slab is feasible, so the
+        // recorded shave must be rejected.
+        let mut feasible = cert.clone();
+        feasible.tape = tape_for(&(var(0) - 10.0));
+        assert!(check(&feasible).is_err(), "feasible slab shaved");
+        // A shave bound outside the current axis range is malformed.
+        let mut outside = cert.clone();
+        if let CertVerdict::Verified { trace } = &mut outside.regions[0].verdict {
+            trace[0] = CertEvent::Shave {
+                axis: 0,
+                high_face: true,
+                bound: 1.5,
+            };
+        }
+        assert!(
+            check(&outside).is_err(),
+            "out-of-range shave bound accepted"
+        );
+    }
+
+    #[test]
+    fn ladder_certificates_round_trip_and_v1_still_parses() {
+        let cert = ladder_cert();
+        let text = cert.to_json();
+        assert!(text.contains("xcv-cert/v2"));
+        let back = Certificate::parse(&text).expect("v2 parses");
+        assert_eq!(back, cert);
+        check(&back).expect("round-tripped ladder certificate still checks");
+        // A v1 document (no newton section, no ladder steps) stays valid.
+        let v1 = unsat_cert().to_json().replace("xcv-cert/v2", "xcv-cert/v1");
+        let old = Certificate::parse(&v1).expect("v1 parses");
+        assert_eq!(old.newton, None);
+        check(&old).expect("v1 certificate still checks");
     }
 
     #[test]

@@ -592,6 +592,24 @@ fn effective_batch_width(
     }
 }
 
+/// The escalation ladder a cell actually runs with under a campaign-wide
+/// [`CampaignBuilder::escalation`] override: the same sub-millisecond
+/// demotion as [`effective_batch_width`] — cells the measured model says
+/// never stall gain nothing from rung 1/2 machinery, so they keep the plain
+/// HC4 path. Ladder rungs only ever tighten or prune, so marks stay
+/// unchanged-or-better either way (pinned by the ladder bench suites).
+fn effective_escalation(
+    requested: xcv_solver::Escalation,
+    model: Option<&CostModel>,
+    functional: &dyn xcv_functionals::Functional,
+    condition: Condition,
+) -> xcv_solver::Escalation {
+    match model {
+        Some(m) if m.predict(functional, condition) < 2.0 => xcv_solver::Escalation::off(),
+        _ => requested,
+    }
+}
+
 /// Deterministic LPT assignment of cells to `of` shards: cells ranked by
 /// modeled cost (descending; matrix index breaks ties), each assigned to
 /// the least-loaded shard so far (ties to the lowest shard index). Every
@@ -638,6 +656,7 @@ pub struct CampaignBuilder {
     schedule: CampaignSchedule,
     cost_model: Option<CostModel>,
     batch_width: Option<usize>,
+    escalation: Option<xcv_solver::Escalation>,
     emit_certificates: bool,
     checkpoint: Option<PathBuf>,
     shard: Option<(usize, usize)>,
@@ -733,6 +752,19 @@ impl CampaignBuilder {
         self
     }
 
+    /// Contractor escalation ladder for every pair (overrides whatever the
+    /// base config or the config policy set): boxes whose HC4 contraction
+    /// stalls escalate to interval-Newton (rung 1) and 3B slab shaving
+    /// (rung 2) instead of burning budget on bisection — the knob that
+    /// turns timeout cells into decisions. Under a measured [`CostModel`],
+    /// cells predicted sub-millisecond keep the plain HC4 path (the ladder
+    /// cannot help where nothing stalls). Composes with certificate
+    /// emission: ladder steps are recorded and replayed by `xcvcheck`.
+    pub fn escalation(mut self, esc: xcv_solver::Escalation) -> Self {
+        self.escalation = Some(esc);
+        self
+    }
+
     /// Record a solver trace for every verified leaf and attach a
     /// replayable [`Certificate`] to each completed pair (write them out
     /// with [`CampaignReport::write_certificates`]; audit with the
@@ -825,6 +857,7 @@ impl CampaignBuilder {
             schedule: self.schedule,
             cost_model: self.cost_model,
             batch_width: self.batch_width,
+            escalation: self.escalation,
             emit_certificates: self.emit_certificates,
             checkpoint: self.checkpoint,
             shard: self.shard,
@@ -844,6 +877,7 @@ pub struct Campaign {
     schedule: CampaignSchedule,
     cost_model: Option<CostModel>,
     batch_width: Option<usize>,
+    escalation: Option<xcv_solver::Escalation>,
     emit_certificates: bool,
     checkpoint: Option<PathBuf>,
     shard: Option<(usize, usize)>,
@@ -862,6 +896,7 @@ impl Campaign {
             schedule: CampaignSchedule::default(),
             cost_model: None,
             batch_width: None,
+            escalation: None,
             emit_certificates: false,
             checkpoint: None,
             shard: None,
@@ -1117,9 +1152,18 @@ impl Campaign {
                 cond,
             );
         }
+        if let Some(esc) = self.escalation {
+            config.solver.escalation = effective_escalation(
+                esc,
+                self.cost_model.as_ref(),
+                problem.functional.as_ref(),
+                cond,
+            );
+        }
         if self.emit_certificates {
-            // Traced solves run the scalar engine; keep the recorded
-            // config truthful about what actually executed.
+            // Traced solves run the scalar engine (the escalation ladder,
+            // when enabled, stays on — its steps are replayable); keep the
+            // recorded config truthful about what actually executed.
             config.solver.batch_width = 1;
         }
         let opts = RunOptions {

@@ -3,10 +3,13 @@
 //! audit without any of this crate's (or the solver's) search code.
 //!
 //! Emission is conservative: a certificate is attached only when the run is
-//! actually replayable — scalar HC4-only contraction (mean-value traces are
-//! not re-derivable from the tape alone), complete traces on every verified
-//! leaf, no cancelled regions — and only after this module has *already
-//! replayed it once* through [`xcv_cert::check`]. A pair that cannot be
+//! actually replayable — scalar HC4 contraction, optionally with the
+//! escalation ladder (Newton steps replay through the shared driver over
+//! gradient programs the certificate carries; 3B shaves are re-proven from
+//! the main tape), but never the mean-value contractor, whose pruning is
+//! not re-derivable from the tape alone — complete traces on every
+//! verified leaf, no cancelled regions — and only after this module has
+//! *already replayed it once* through [`xcv_cert::check`]. A pair that cannot be
 //! certified simply carries `None`; it never blocks the campaign.
 
 use crate::encoder::EncodedProblem;
@@ -39,6 +42,9 @@ pub fn build_certificate(
     if out.map.regions.len() != out.details.len() {
         return None;
     }
+    // Set when any trace contains escalation-ladder steps: the certificate
+    // then carries the gradient programs the checker replays them with.
+    let mut ladder = false;
     let mut regions = Vec::with_capacity(out.map.regions.len());
     for (region, detail) in out.map.regions.iter().zip(&out.details) {
         let verdict = match &region.status {
@@ -60,6 +66,28 @@ pub fn build_certificate(
                             axis: *axis as usize,
                             low_first: *low_first,
                         }),
+                        TraceEvent::Newton { contracted } => {
+                            ladder = true;
+                            events.push(CertEvent::Newton {
+                                contracted: contracted.dims().to_vec(),
+                            });
+                        }
+                        TraceEvent::NewtonPruned => {
+                            ladder = true;
+                            events.push(CertEvent::NewtonPruned);
+                        }
+                        TraceEvent::Shave {
+                            axis,
+                            high_face,
+                            bound,
+                        } => {
+                            ladder = true;
+                            events.push(CertEvent::Shave {
+                                axis: *axis as usize,
+                                high_face: *high_face,
+                                bound: *bound,
+                            });
+                        }
                         // An Unsat run never records a Sat event; seeing one
                         // means the trace does not certify this region.
                         TraceEvent::Sat { .. } => return None,
@@ -81,6 +109,17 @@ pub fn build_certificate(
         });
     }
     let compiled = problem.compiled();
+    // Ladder traces carry the gradient programs (built by the same
+    // mean-value lowering the solver's rung 1 ran on) so the checker can
+    // replay Newton steps through the shared driver.
+    let newton = ladder.then(|| xcv_cert::NewtonSection {
+        sweeps: config.solver.escalation.newton_sweeps,
+        atoms: compiled
+            .newton_portable()
+            .into_iter()
+            .map(|a| a.map(|(tape, axes)| xcv_cert::NewtonAtomCert { tape, axes }))
+            .collect(),
+    });
     let cert = Certificate {
         functional: problem.functional_name(),
         condition: format!("{:?}", problem.condition),
@@ -95,6 +134,7 @@ pub fn build_certificate(
         psi_rel: cert_rel(problem.psi().rel),
         domain: problem.domain.dims().to_vec(),
         regions,
+        newton,
     };
     // Never attach a certificate this build cannot itself replay: marginal
     // cases (e.g. an f64-exact witness whose outward-rounded enclosure

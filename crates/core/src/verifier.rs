@@ -201,21 +201,36 @@ impl Verifier {
         // (children solved on this thread reuse the same scratch).
         let (status, trace) = SCRATCH.with(|s| {
             let mut scratch = s.borrow_mut();
-            let (outcome, box_stats, trace) = if opts.record_traces {
-                let (o, bs, t) =
-                    self.config
-                        .solver
-                        .solve_compiled_traced(d, problem.compiled(), &mut scratch);
-                (o, bs, Some(t))
-            } else {
-                let (o, bs) = self.config.solver.solve_compiled_with_stats(
-                    d,
-                    problem.compiled(),
-                    &mut scratch,
-                );
-                (o, bs, None)
+            let run = |solver: &DeltaSolver,
+                       scratch: &mut SolveScratch|
+             -> (Outcome, SolveStats, Option<SolveTrace>) {
+                if opts.record_traces {
+                    let (o, bs, t) = solver.solve_compiled_traced(d, problem.compiled(), scratch);
+                    (o, bs, Some(t))
+                } else {
+                    let (o, bs) = solver.solve_compiled_with_stats(d, problem.compiled(), scratch);
+                    (o, bs, None)
+                }
             };
+            // The escalation ladder runs as a *retry*: the primary solve is
+            // always the plain rung-0 engine, and only a box that exhausts
+            // its budget is re-solved with the contractors armed. Decided
+            // boxes keep their rung-0 outcome bit for bit, so arming the
+            // ladder can only turn timeouts into decisions — a pair's table
+            // mark never regresses.
+            let esc = self.config.solver.escalation;
+            let mut solver = self.config.solver.clone();
+            solver.escalation = xcv_solver::Escalation::off();
+            let (mut outcome, box_stats, mut trace) = run(&solver, &mut scratch);
             stats.absorb(box_stats);
+            if esc.max_rung > 0 && matches!(outcome, Outcome::Timeout) && !self.past_deadline(start)
+            {
+                solver.escalation = esc;
+                let (o, bs, t) = run(&solver, &mut scratch);
+                stats.absorb(bs);
+                outcome = o;
+                trace = t;
+            }
             match outcome {
                 // The trace only certifies Unsat leaves; drop it elsewhere.
                 Outcome::Unsat => (RegionStatus::Verified, trace),

@@ -335,7 +335,14 @@ pub(crate) fn fold_constants_f64(lowered: &mut Lowered) {
 /// folds with it — so folded and unfolded tapes are result-identical by
 /// construction, not by parallel maintenance of two interpreters.
 fn run_one_f64(instr: Instr, vals: &[f64]) -> f64 {
-    let g = |j: u32| vals[j as usize];
+    run_one_f64_with(instr, |j| vals[j as usize])
+}
+
+/// One f64 instruction with operand reads abstracted — the same arithmetic
+/// serves the scalar register file ([`run_one_f64`]) and the slot-major SoA
+/// file of [`Tape::run_batch`], so the two are bit-identical per lane.
+#[inline]
+fn run_one_f64_with(instr: Instr, g: impl Fn(u32) -> f64) -> f64 {
     match instr {
         Instr::Const(c) => c,
         Instr::IConst(_) | Instr::Var(_) => f64::NAN,
@@ -554,6 +561,37 @@ impl Tape {
             };
         }
     }
+
+    /// Instruction-outer batched run: evaluate the program at `width` points
+    /// in a single pass over the code stream, amortizing instruction decode
+    /// across lanes. `points[j]` is lane `j`'s variable vector; `scratch` is
+    /// a slot-major SoA register file of `len() * width` values
+    /// (`scratch[i * width + j]` holds slot `i`, lane `j`). Each lane's
+    /// registers end bit-identical to a scalar `run(points[j], …)` — same
+    /// instructions, same per-lane arithmetic, only loop order differs.
+    pub fn run_batch(&self, width: usize, points: &[&[f64]], scratch: &mut [f64]) {
+        debug_assert_eq!(points.len(), width);
+        debug_assert_eq!(scratch.len(), self.code.len() * width);
+        for (i, instr) in self.code.iter().enumerate() {
+            let base = i * width;
+            match *instr {
+                Instr::Var(v) => {
+                    for j in 0..width {
+                        scratch[base + j] = points[j].get(v as usize).copied().unwrap_or(f64::NAN);
+                    }
+                }
+                Instr::IConst(_) => unreachable!("IConst in an f64 tape"),
+                op => {
+                    for j in 0..width {
+                        // Split at `base` so the read closure borrows the
+                        // already-computed prefix while we write slot `i`.
+                        let (lo, hi) = scratch.split_at_mut(base);
+                        hi[j] = run_one_f64_with(op, |s| lo[s as usize * width + j]);
+                    }
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -770,6 +808,37 @@ mod tests {
             let r1 = e.eval(&[a, b]).unwrap();
             let r2 = tape.eval(&[a, b], &mut scratch);
             assert!((r1 - r2).abs() <= 1e-15 * r1.abs().max(1.0), "{r1} vs {r2}");
+        }
+    }
+
+    #[test]
+    fn run_batch_lanes_match_scalar_run_bitwise() {
+        let x = var(0);
+        let y = var(1);
+        let e = (x.clone() * y.clone() + x.clone().exp()).sqrt() / (y.clone() - 0.5)
+            + x.abs().min(&y.powi(3));
+        let tape = Tape::compile(&e);
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.5, 1.0],
+            vec![2.0, 3.0],
+            vec![-1.0, 0.25],
+            vec![0.0, 0.5], // division by zero lane
+            vec![f64::NAN, 1.0],
+        ];
+        let width = pts.len();
+        let views: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let mut soa = vec![0.0; tape.len() * width];
+        tape.run_batch(width, &views, &mut soa);
+        let mut scratch = tape.scratch();
+        for (j, p) in pts.iter().enumerate() {
+            tape.run(p, &mut scratch);
+            for i in 0..tape.len() {
+                assert_eq!(
+                    soa[i * width + j].to_bits(),
+                    scratch[i].to_bits(),
+                    "slot {i}, lane {j}"
+                );
+            }
         }
     }
 

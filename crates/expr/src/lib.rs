@@ -31,6 +31,7 @@ mod display;
 pub mod dsl;
 mod eval;
 mod itape;
+pub mod newton;
 mod node;
 mod subst;
 mod vars;

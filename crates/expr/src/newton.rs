@@ -1,0 +1,231 @@
+//! Shared interval-Newton (Gauss–Seidel) contraction over gradient tapes.
+//!
+//! This module is the *single implementation* of the rung-1 contractor of the
+//! solver's escalation ladder: given, per constraint atom, an interval tape
+//! whose root 0 evaluates `g` and whose remaining roots evaluate `∂g/∂axis`,
+//! it runs mean-value-form interval Gauss–Seidel sweeps over a box.
+//!
+//! Both `xcv-solver` (producing `Newton` trace steps) and `xcv-cert`'s
+//! solver-free replayer (checking them) call this exact function with the
+//! same tape — the certificate carries the tape in portable text form — so
+//! the checker's own contraction is bit-identical to the recorded one and a
+//! `Newton` step verifies with two subset tests, no tolerance.
+//!
+//! The row-solve arithmetic itself lives in [`xcv_interval::newton`]; this
+//! module owns the sweep/atom iteration order, which is part of the
+//! certificate contract: changing it invalidates recorded steps.
+
+use crate::IntervalTape;
+use xcv_interval::newton::{axis_offset, gauss_seidel_axis, grad_usable};
+use xcv_interval::Interval;
+
+/// Gain threshold below which further sweeps are cut off (matches the HC4
+/// contractor's fixpoint threshold).
+const SWEEP_GAIN_FLOOR: f64 = 0.05;
+
+/// One constraint atom's Newton data: a gradient tape and the closed allowed
+/// set of its relation.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonAtom<'a> {
+    /// Tape with roots `[g, ∂g/∂axis…]`.
+    pub tape: &'a IntervalTape,
+    /// `(axis, root)` pairs: gradient root index (into the tape's root list)
+    /// per variable axis, in ascending axis order.
+    pub grads: &'a [(u32, u32)],
+    /// Closed allowed set of the atom's relation (`g ∈ allowed`).
+    pub allowed: Interval,
+}
+
+/// Reusable buffers for [`newton_contract`] — no allocation per box after
+/// warm-up.
+#[derive(Debug, Default)]
+pub struct NewtonScratch {
+    vals: Vec<Interval>,
+    point: Vec<Interval>,
+    before: Vec<Interval>,
+    grads: Vec<(usize, Interval)>,
+    offsets: Vec<Interval>,
+}
+
+/// Relative contraction gain between two equal-length boxes (max over axes).
+/// Slice twin of the solver's `improvement`; the certificate replayer uses it
+/// to reproduce the solver's sweep cutoff exactly.
+pub fn improvement(before: &[Interval], after: &[Interval]) -> f64 {
+    let mut best: f64 = 0.0;
+    for (b, a) in before.iter().zip(after) {
+        let wb = b.width();
+        let wa = a.width();
+        if wb > 0.0 && wb.is_finite() {
+            best = best.max((wb - wa) / wb);
+        } else if wb.is_infinite() && wa.is_finite() {
+            best = 1.0;
+        }
+    }
+    best
+}
+
+/// Run up to `sweeps` interval Gauss–Seidel sweeps of every atom over `dims`,
+/// contracting in place. Per atom and sweep, the mean-value *enclosure*
+/// `g(m) + Σⱼ ∂g/∂xⱼ(X)·(Xⱼ − mⱼ)` is tested against the allowed set first —
+/// it is first-order tight where the natural extension suffers dependency
+/// blow-up, and it prunes even when every gradient straddles zero (where the
+/// row solves are powerless). Returns `false` when the enclosure test or
+/// some row solve proves the box has no solution (the caller may prune);
+/// `true` otherwise, with `dims` tightened (never widened, never discarding
+/// a solution of the constraints).
+///
+/// Atoms whose gradient axes fall outside `dims` are skipped whole (their
+/// mean-value form carries no information for this box), as are atoms whose
+/// midpoint evaluation is empty (midpoint outside the natural domain).
+pub fn newton_contract(
+    atoms: &[NewtonAtom<'_>],
+    dims: &mut [Interval],
+    sweeps: usize,
+    scratch: &mut NewtonScratch,
+) -> bool {
+    let ndim = dims.len();
+    for _ in 0..sweeps {
+        scratch.before.clear();
+        scratch.before.extend_from_slice(dims);
+        for atom in atoms {
+            if atom.grads.iter().any(|&(axis, _)| axis as usize >= ndim) {
+                continue;
+            }
+            let vals = &mut scratch.vals;
+            vals.resize(atom.tape.len(), Interval::ENTIRE);
+            // g(m): evaluate over the point box at the current midpoint.
+            scratch.point.clear();
+            scratch
+                .point
+                .extend(dims.iter().map(|d| Interval::point(d.midpoint())));
+            atom.tape.forward(&scratch.point, vals);
+            let g_m = vals[atom.tape.root_slot(0) as usize];
+            if g_m.is_empty() {
+                continue;
+            }
+            // Gradient ranges over the full box.
+            atom.tape.forward(dims, vals);
+            scratch.grads.clear();
+            scratch.grads.extend(atom.grads.iter().map(|&(axis, r)| {
+                (
+                    axis as usize,
+                    vals[atom.tape.root_slot(r as usize) as usize],
+                )
+            }));
+            scratch.offsets.clear();
+            for &(v, g) in scratch.grads.iter() {
+                scratch
+                    .offsets
+                    .push(axis_offset(&g, &dims[v], scratch.point[v].lo));
+            }
+            // Mean-value enclosure infeasibility: g(X) ⊆ g(m) + Σⱼ offsetⱼ;
+            // if that misses the allowed set entirely, the box has no
+            // solution of this atom.
+            let mut enclosure = g_m;
+            for off in scratch.offsets.iter() {
+                enclosure = enclosure.add(off);
+            }
+            if enclosure.intersect(&atom.allowed).is_empty() {
+                return false;
+            }
+            for k in 0..scratch.grads.len() {
+                let (v, grad) = scratch.grads[k];
+                if !grad_usable(&grad) {
+                    continue;
+                }
+                // rest = g(m) + Σ_{j≠k} offsets[j]
+                let mut rest = g_m;
+                for (j, off) in scratch.offsets.iter().enumerate() {
+                    if j != k {
+                        rest = rest.add(off);
+                    }
+                }
+                let newdom =
+                    gauss_seidel_axis(&dims[v], scratch.point[v].lo, &grad, &rest, &atom.allowed);
+                if newdom.is_empty() {
+                    return false;
+                }
+                dims[v] = newdom;
+            }
+        }
+        if improvement(&scratch.before, dims) < SWEEP_GAIN_FLOOR {
+            break;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{var, IntervalTape};
+    use xcv_interval::interval;
+
+    fn atom_tape(e: &crate::Expr) -> (IntervalTape, Vec<(u32, u32)>) {
+        let mut roots = vec![e.clone()];
+        let mut grads = Vec::new();
+        for v in e.free_vars() {
+            grads.push((v, roots.len() as u32));
+            roots.push(e.diff(v));
+        }
+        (IntervalTape::compile(&roots), grads)
+    }
+
+    #[test]
+    fn contracts_quadratic_root() {
+        // x² − 2 = 0 over [1, 2]: Newton should tighten around √2.
+        let e = var(0).powi(2) - 2.0;
+        let (tape, grads) = atom_tape(&e);
+        let atoms = [NewtonAtom {
+            tape: &tape,
+            grads: &grads,
+            allowed: interval(0.0, 0.0),
+        }];
+        let mut dims = vec![interval(1.0, 2.0)];
+        let mut s = NewtonScratch::default();
+        assert!(newton_contract(&atoms, &mut dims, 4, &mut s));
+        assert!(dims[0].contains(std::f64::consts::SQRT_2));
+        assert!(dims[0].width() < 0.5);
+    }
+
+    #[test]
+    fn proves_infeasible() {
+        // x + 10 ≤ 0 over [0, 1]: impossible, one sweep proves it.
+        let e = var(0) + 10.0;
+        let (tape, grads) = atom_tape(&e);
+        let atoms = [NewtonAtom {
+            tape: &tape,
+            grads: &grads,
+            allowed: interval(f64::NEG_INFINITY, 0.0),
+        }];
+        let mut dims = vec![interval(0.0, 1.0)];
+        let mut s = NewtonScratch::default();
+        assert!(!newton_contract(&atoms, &mut dims, 1, &mut s));
+    }
+
+    #[test]
+    fn deterministic_and_idempotent_under_replay() {
+        // Same tape, same box, same sweep count → bitwise-identical result
+        // (the property the certificate checker relies on).
+        let e = (var(0).powi(3) - var(1)) + 0.25;
+        let (tape, grads) = atom_tape(&e);
+        let atoms = [NewtonAtom {
+            tape: &tape,
+            grads: &grads,
+            allowed: interval(0.0, 0.0),
+        }];
+        let run = || {
+            let mut dims = vec![interval(-1.0, 1.0), interval(-0.5, 0.5)];
+            let mut s = NewtonScratch::default();
+            let ok = newton_contract(&atoms, &mut dims, 3, &mut s);
+            (ok, dims)
+        };
+        let (ok1, d1) = run();
+        let (ok2, d2) = run();
+        assert_eq!(ok1, ok2);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+            assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        }
+    }
+}

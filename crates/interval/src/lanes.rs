@@ -19,7 +19,45 @@
 //! All kernels require equal-length slices (`debug_assert`ed) and write
 //! every element of `out`.
 
+use crate::round::{next, prev};
 use crate::Interval;
+
+/// Branch-free lower endpoint of a sum: select-based rewrite of the scalar
+/// `sum_lo` (NaN from crossed infinities → `-inf`, infinities exact, finite
+/// sums stepped one ULP down).
+#[inline]
+fn bf_sum_lo(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    let r = if s.is_infinite() { s } else { prev(s) };
+    if s.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        r
+    }
+}
+
+/// Branch-free upper endpoint of a sum (mirror of [`bf_sum_lo`]).
+#[inline]
+fn bf_sum_hi(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    let r = if s.is_infinite() { s } else { next(s) };
+    if s.is_nan() {
+        f64::INFINITY
+    } else {
+        r
+    }
+}
+
+/// Endpoint product with the `0 * inf = 0` convention, as a select.
+#[inline]
+fn bf_prod(a: f64, b: f64) -> f64 {
+    let p = a * b;
+    if p.is_nan() {
+        0.0
+    } else {
+        p
+    }
+}
 
 macro_rules! unary_kernel {
     ($(#[$doc:meta])* $name:ident, $method:ident) => {
@@ -48,18 +86,78 @@ macro_rules! binary_kernel {
     };
 }
 
-binary_kernel!(
-    /// `out[j] = a[j] + b[j]` (outward rounded).
-    add, add
-);
-binary_kernel!(
-    /// `out[j] = a[j] - b[j]` (outward rounded).
-    sub, sub
-);
-binary_kernel!(
-    /// `out[j] = a[j] * b[j]` (outward rounded).
-    mul, mul
-);
+/// `out[j] = a[j] + b[j]` (outward rounded). Dedicated branch-free body: the
+/// empty-input early return of the scalar path becomes a final select, so the
+/// loop has no data-dependent control flow and vectorizes.
+#[inline]
+pub fn add(a: &[Interval], b: &[Interval], out: &mut [Interval]) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        let r = Interval {
+            lo: bf_sum_lo(x.lo, y.lo),
+            hi: bf_sum_hi(x.hi, y.hi),
+        };
+        *o = if x.is_empty() | y.is_empty() {
+            Interval::EMPTY
+        } else {
+            r
+        };
+    }
+}
+
+/// `out[j] = a[j] - b[j]` (outward rounded), branch-free. Matches the scalar
+/// `a.add(&b.neg())` bit-for-bit: negation is exact, and an empty `b` maps to
+/// the empty select either way.
+#[inline]
+pub fn sub(a: &[Interval], b: &[Interval], out: &mut [Interval]) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        let r = Interval {
+            lo: bf_sum_lo(x.lo, -y.hi),
+            hi: bf_sum_hi(x.hi, -y.lo),
+        };
+        *o = if x.is_empty() | y.is_empty() {
+            Interval::EMPTY
+        } else {
+            r
+        };
+    }
+}
+
+/// `out[j] = a[j] * b[j]` (outward rounded), branch-free. Reproduces the
+/// scalar four-candidate fold exactly — same candidate order, same
+/// `f64::min`/`max` chain — with the empty check as a final select.
+#[inline]
+pub fn mul(a: &[Interval], b: &[Interval], out: &mut [Interval]) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        let cands = [
+            bf_prod(x.lo, y.lo),
+            bf_prod(x.lo, y.hi),
+            bf_prod(x.hi, y.lo),
+            bf_prod(x.hi, y.hi),
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        let r = Interval {
+            lo: prev(lo),
+            hi: next(hi),
+        };
+        *o = if x.is_empty() | y.is_empty() {
+            Interval::EMPTY
+        } else {
+            r
+        };
+    }
+}
+
 binary_kernel!(
     /// `out[j] = a[j] / b[j]` (hull of the extended division).
     div, div
@@ -219,6 +317,55 @@ mod tests {
             powi(&a, n, &mut out);
             for j in 0..a.len() {
                 assert_eq!(out[j], a[j].powi(n), "lane {j}, n = {n}");
+            }
+        }
+    }
+
+    /// The dedicated branch-free add/sub/mul bodies must agree with the
+    /// scalar ops *bitwise* (not just `PartialEq`, which identifies ±0.0) on
+    /// every edge lane: signed zeros, infinities, empty, entire, points.
+    #[test]
+    fn branch_free_kernels_match_scalar_bitwise() {
+        let edge: Vec<Interval> = vec![
+            interval(0.1, 0.9),
+            interval(-2.0, 3.0),
+            interval(1.0, 1.0),
+            Interval::EMPTY,
+            interval(-5.0, -0.5),
+            Interval::ENTIRE,
+            interval(0.0, 0.0),
+            Interval { lo: -0.0, hi: 0.0 },
+            interval(0.0, f64::INFINITY),
+            interval(f64::NEG_INFINITY, 0.0),
+            interval(-1e308, 1e308),
+            interval(5e-324, 5e-324),
+        ];
+        let n = edge.len();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                a.push(edge[i]);
+                b.push(edge[j]);
+            }
+        }
+        let mut out = vec![Interval::ZERO; a.len()];
+        let cases: [(BinKernel, BinScalar, &str); 3] = [
+            (add, Interval::add, "add"),
+            (sub, Interval::sub, "sub"),
+            (mul, Interval::mul, "mul"),
+        ];
+        for (kernel, scalar, name) in cases {
+            kernel(&a, &b, &mut out);
+            for j in 0..a.len() {
+                let want = scalar(&a[j], &b[j]);
+                assert_eq!(
+                    (out[j].lo.to_bits(), out[j].hi.to_bits()),
+                    (want.lo.to_bits(), want.hi.to_bits()),
+                    "{name} lane {j}: {:?} op {:?}",
+                    a[j],
+                    b[j]
+                );
             }
         }
     }

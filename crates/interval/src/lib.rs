@@ -22,6 +22,7 @@
 mod interval;
 mod lambert;
 pub mod lanes;
+pub mod newton;
 pub mod round;
 mod transcendental;
 

@@ -113,6 +113,11 @@ struct MvAtom {
     /// `g` itself), dense over the formula's variable space; `None` for an
     /// axis the atom's expression does not mention (gradient ≡ 0).
     grad_roots: Vec<Option<usize>>,
+    /// The same gradient roots as sparse `(axis, root)` pairs in ascending
+    /// axis order — the layout [`xcv_expr::newton::NewtonAtom`] consumes,
+    /// and the layout certificates serialize (the checker reconstructs
+    /// `root = i + 1` from the pair position, which holds by construction).
+    grad_pairs: Vec<(u32, u32)>,
     /// The expression mentions a variable beyond the space — the first-order
     /// form then carries no information (dropping the term would tighten
     /// unsoundly).
@@ -355,6 +360,17 @@ impl CompiledFormula {
     /// domain no longer halves ζ. Falls back to the widest axis overall for
     /// constant formulas. Returns the two halves and the split axis.
     pub fn bisect_supported(&self, b: &BoxDomain) -> (BoxDomain, BoxDomain, u32) {
+        let axis = self.split_axis(b);
+        let (l, r) = b.bisect_dim(axis as usize);
+        (l, r, axis)
+    }
+
+    /// The axis [`CompiledFormula::bisect_supported`] would split: the
+    /// widest supported axis (ties toward the lower index), falling back
+    /// to the widest axis overall for constant formulas. Exposed separately
+    /// so the rung-2 shaver can target the split axis without building the
+    /// two halves.
+    pub fn split_axis(&self, b: &BoxDomain) -> u32 {
         let mut best: Option<(usize, f64)> = None;
         for i in 0..b.ndim() {
             if self.supports_axis(i) {
@@ -365,9 +381,7 @@ impl CompiledFormula {
                 }
             }
         }
-        let axis = best.map(|(i, _)| i).unwrap_or_else(|| b.widest_dim().0);
-        let (l, r) = b.bisect_dim(axis);
-        (l, r, axis as u32)
+        best.map(|(i, _)| i).unwrap_or_else(|| b.widest_dim().0) as u32
     }
 
     /// Run the shared f64 tape at `point`, filling the scratch register
@@ -412,6 +426,32 @@ impl CompiledFormula {
         self.atoms.iter().all(|a| {
             let v = scratch.fvals[a.froot as usize];
             !v.is_nan() && a.rel.holds(v)
+        })
+    }
+
+    /// Interval-*certified* satisfaction of every atom at a point: the
+    /// outward-rounded enclosure of each atom over the degenerate point box
+    /// must lie inside the atom's closed allowed set. `true` is a proof
+    /// that the exact formula holds at `point`; `false` only means "not
+    /// provable here". The plain f64 [`CompiledFormula::holds_at`] can be
+    /// fooled by rounding near an atom bound (e.g. the `ln rs` cancellation
+    /// of the correlation functionals as `rs → 0`); this check cannot, so
+    /// the escalation ladder uses it to keep midpoint δ-Sat decisions from
+    /// contradicting a sound rung-0 Unsat.
+    pub fn holds_at_certified(&self, point: &[f64], scratch: &mut SolveScratch) -> bool {
+        scratch.cert_point.clear();
+        scratch
+            .cert_point
+            .extend(point.iter().map(|&p| Interval::point(p)));
+        ensure_slots(&mut scratch.cert_vals, self.itape.len());
+        self.itape
+            .forward(&scratch.cert_point, &mut scratch.cert_vals);
+        self.atoms.iter().all(|a| {
+            let v = scratch.cert_vals[a.root as usize];
+            // Both enclosure endpoints must satisfy the relation itself (not
+            // just its closed allowed set): a strict atom is not proven by
+            // an enclosure touching the bound.
+            !v.is_empty() && a.rel.holds(v.lo) && a.rel.holds(v.hi)
         })
     }
 
@@ -632,14 +672,17 @@ impl CompiledFormula {
                         // lowered; the rest stay `None` (gradient ≡ 0).
                         let mut roots: Vec<xcv_expr::Expr> = vec![a.expr.clone()];
                         let mut grad_roots: Vec<Option<usize>> = vec![None; nvars];
+                        let mut grad_pairs: Vec<(u32, u32)> = Vec::new();
                         for &v in free.iter().filter(|&&v| (v as usize) < nvars) {
                             grad_roots[v as usize] = Some(roots.len());
+                            grad_pairs.push((v, roots.len() as u32));
                             roots.push(a.expr.diff(v));
                         }
                         MvAtom {
                             rel: a.rel,
                             itape: IntervalTape::compile(&roots),
                             grad_roots,
+                            grad_pairs,
                             overflow,
                         }
                     })
@@ -737,6 +780,245 @@ impl CompiledFormula {
         }
         Some(current)
     }
+
+    /// Rung-1 contractor of the escalation ladder: interval-Newton (Gauss–
+    /// Seidel) sweeps over the mean-value gradient tapes, through the
+    /// *shared* [`xcv_expr::newton::newton_contract`] driver — the same
+    /// function the certificate checker replays, so recorded `Newton` steps
+    /// verify bitwise. `None` when a row solve proves the box infeasible.
+    pub fn newton_contract(
+        &self,
+        b: &BoxDomain,
+        sweeps: usize,
+        scratch: &mut SolveScratch,
+    ) -> Option<BoxDomain> {
+        let prog = self.mv();
+        // Overflow atoms (a variable beyond the space) carry no first-order
+        // information; axes beyond the *box* are skipped by the driver.
+        let atoms: Vec<xcv_expr::newton::NewtonAtom<'_>> = prog
+            .atoms
+            .iter()
+            .filter(|a| !a.overflow)
+            .map(|a| xcv_expr::newton::NewtonAtom {
+                tape: &a.itape,
+                grads: &a.grad_pairs,
+                allowed: a.rel.allowed(),
+            })
+            .collect();
+        scratch.newton_dims.clear();
+        scratch.newton_dims.extend_from_slice(b.dims());
+        if !xcv_expr::newton::newton_contract(
+            &atoms,
+            &mut scratch.newton_dims,
+            sweeps,
+            &mut scratch.newton,
+        ) {
+            return None;
+        }
+        Some(BoxDomain::new(scratch.newton_dims.clone()))
+    }
+
+    /// Portable form of the Newton gradient program for certificate
+    /// emission: per atom (formula order), `None` when the atom's
+    /// first-order form carries no information (variable overflow), else
+    /// the portable gradient tape (roots `[g, ∂g/∂axis…]`) and the
+    /// ascending axes its gradient roots cover (pair `i` is root `i + 1`).
+    pub fn newton_portable(&self) -> Vec<Option<(String, Vec<u32>)>> {
+        self.mv()
+            .atoms
+            .iter()
+            .map(|a| {
+                if a.overflow {
+                    None
+                } else {
+                    Some((
+                        a.itape.to_portable(),
+                        a.grad_pairs.iter().map(|&(ax, _)| ax).collect(),
+                    ))
+                }
+            })
+            .collect()
+    }
+
+    /// Rung-2 contractor: 3B/CID slab shaving. Probes a slab of relative
+    /// width `frac` at each face of every supported axis (low face first,
+    /// then high, axes ascending — the order is part of the certificate
+    /// contract) with a dirty-cone forward pass; a slab on which some
+    /// atom's enclosure misses its allowed set entirely contains no
+    /// solution, so the box shrinks to the complement. Each face is probed
+    /// up to `passes` times with the slab fraction *doubling* after every
+    /// successful shave (capped at half the remaining width — CID-style
+    /// dichotomy, so a deeply infeasible face region is consumed in
+    /// logarithmically few probes), stopping at the first feasible-looking
+    /// slab. `only_axis` restricts probing to that axis (the ladder shaves
+    /// just the split axis — the one whose width drives subtree growth —
+    /// to keep the per-node probe count independent of dimension); `None`
+    /// probes every supported axis. Shaving only ever narrows (a slab is
+    /// strictly smaller than its axis); it never empties the box.
+    /// `on_shave` is called per shaved slab with
+    /// `(axis, high_face, new_bound)` — the trace hook. Returns `None`
+    /// when nothing shaved.
+    pub fn shave_3b(
+        &self,
+        b: &BoxDomain,
+        scratch: &mut SolveScratch,
+        frac: f64,
+        passes: u32,
+        only_axis: Option<u32>,
+        mut on_shave: impl FnMut(u32, bool, f64),
+    ) -> Option<BoxDomain> {
+        let ndim = b.ndim();
+        let doms = &mut scratch.shave_doms;
+        let vals = &mut scratch.shave_vals;
+        doms.clear();
+        doms.extend_from_slice(b.dims());
+        ensure_slots(vals, self.itape.len());
+        self.itape.forward(doms, vals);
+        // Axes whose image `vals` no longer matches `doms` (the last probe).
+        let mut stale = 0u64;
+        let mut changed = false;
+        for v in 0..ndim.min(64) {
+            if !self.supports_axis(v) {
+                continue;
+            }
+            if only_axis.is_some_and(|a| a as usize != v) {
+                continue;
+            }
+            for high_face in [false, true] {
+                let mut sf = frac;
+                for _ in 0..passes {
+                    let d = doms[v];
+                    let w = d.width();
+                    if !(w.is_finite() && w > 0.0) {
+                        break;
+                    }
+                    let s = if high_face {
+                        d.hi - sf.min(0.5) * w
+                    } else {
+                        d.lo + sf.min(0.5) * w
+                    };
+                    if !(s > d.lo && s < d.hi) {
+                        break;
+                    }
+                    doms[v] = if high_face {
+                        Interval::new(s, d.hi)
+                    } else {
+                        Interval::new(d.lo, s)
+                    };
+                    self.itape.forward_masked(stale | (1u64 << v), doms, vals);
+                    stale = 1u64 << v;
+                    let infeasible = self
+                        .atoms
+                        .iter()
+                        .any(|a| vals[a.root as usize].intersect(&a.allowed).is_empty());
+                    if infeasible {
+                        // Closed-slab soundness: no solution in the slab up
+                        // to and including `s`, so keeping `s` in the
+                        // remainder loses nothing.
+                        doms[v] = if high_face {
+                            Interval::new(d.lo, s)
+                        } else {
+                            Interval::new(s, d.hi)
+                        };
+                        changed = true;
+                        on_shave(v as u32, high_face, s);
+                        sf *= 2.0;
+                    } else {
+                        doms[v] = d;
+                        break;
+                    }
+                }
+            }
+        }
+        if changed {
+            Some(BoxDomain::new(doms.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Satellite-2 stage of the batched engine: precompute, for every lane
+    /// whose contraction produced a non-empty box, the f64 midpoint
+    /// feasibility check and both child-half split scores in **one**
+    /// instruction-outer [`Tape::run_batch`] pass (3 probe points per
+    /// lane), instead of three scalar tape runs per lane inside
+    /// `step_after_contract`. Results land in `scratch.lane_pre`; lanes
+    /// that were pruned (or whose box the mean-value/ladder rungs later
+    /// modify — the consumer guards on that) stay `None` and fall back to
+    /// the scalar path. Bit-identical by construction: `run_batch` lanes
+    /// match `Tape::run`, and the probe points are computed by the same
+    /// `midpoint`/`bisect_supported` calls the scalar path makes.
+    pub(crate) fn lane_scores(&self, lanes: &[Option<Contraction>], scratch: &mut SolveScratch) {
+        scratch.lane_pre.clear();
+        scratch.lane_pre.resize(lanes.len(), None);
+        let mut flat = std::mem::take(&mut scratch.fpre_flat);
+        let mut soa = std::mem::take(&mut scratch.fpre_soa);
+        flat.clear();
+        let mut ndim = 0usize;
+        let mut used: Vec<usize> = Vec::with_capacity(lanes.len());
+        for (j, r) in lanes.iter().enumerate() {
+            let Some(Contraction::Box(b)) = r else {
+                continue;
+            };
+            if b.is_empty() || b.ndim() == 0 {
+                continue;
+            }
+            if ndim == 0 {
+                ndim = b.ndim();
+            }
+            if b.ndim() != ndim {
+                continue;
+            }
+            let (l, r, _axis) = self.bisect_supported(b);
+            for d in b.dims() {
+                flat.push(d.midpoint());
+            }
+            for d in l.dims() {
+                flat.push(d.midpoint());
+            }
+            for d in r.dims() {
+                flat.push(d.midpoint());
+            }
+            used.push(j);
+        }
+        if !used.is_empty() {
+            let width = used.len() * 3;
+            let points: Vec<&[f64]> = flat.chunks_exact(ndim).collect();
+            soa.resize(self.ftape.len() * width, 0.0);
+            self.ftape.run_batch(width, &points, &mut soa);
+            for (t, &j) in used.iter().enumerate() {
+                // Midpoint check: every atom holds exactly (NaN fails).
+                let holds_mid = self.atoms.iter().all(|a| {
+                    let v = soa[a.froot as usize * width + 3 * t];
+                    !v.is_nan() && a.rel.holds(v)
+                });
+                // Split scores: worst signed violation per half midpoint
+                // (replicates `violation_score`, including NaN → +∞).
+                let score = |col: usize| -> f64 {
+                    let mut worst = 0.0f64;
+                    for a in &self.atoms {
+                        let v = soa[a.froot as usize * width + col];
+                        if v.is_nan() {
+                            return f64::INFINITY;
+                        }
+                        let signed = match a.rel {
+                            Rel::Le | Rel::Lt => v.max(0.0),
+                            Rel::Ge | Rel::Gt => (-v).max(0.0),
+                        };
+                        worst = worst.max(signed);
+                    }
+                    worst
+                };
+                scratch.lane_pre[j] = Some(LanePre {
+                    holds_mid,
+                    sl: score(3 * t + 1),
+                    sr: score(3 * t + 2),
+                });
+            }
+        }
+        scratch.fpre_flat = flat;
+        scratch.fpre_soa = soa;
+    }
 }
 
 /// Rigorous first-order enclosure of one atom's expression over `b`.
@@ -777,8 +1059,9 @@ fn mv_enclosure(atom: &MvAtom, b: &BoxDomain, scratch: &mut SolveScratch) -> Int
     total
 }
 
-/// Relative contraction gain between two boxes (max over dimensions).
-fn improvement(before: &BoxDomain, after: &BoxDomain) -> f64 {
+/// Relative contraction gain between two boxes (max over dimensions). The
+/// escalation ladder's stall detector reuses it (`pub(crate)`).
+pub(crate) fn improvement(before: &BoxDomain, after: &BoxDomain) -> f64 {
     let mut best: f64 = 0.0;
     for i in 0..before.ndim() {
         let wb = before.dim(i).width();
@@ -867,6 +1150,25 @@ impl SnapPool {
             self.free.push(id);
         }
     }
+
+    /// Add `extra` consumers to a live snapshot. Snapshot-copy elision: a
+    /// split lane whose dirty-cone re-evaluation reproduced its parent's
+    /// image bitwise hands the parent snapshot straight to its children
+    /// instead of allocating a copy.
+    pub(crate) fn retain(&mut self, id: u32, extra: u32) {
+        debug_assert!(self.refs[id as usize] > 0);
+        self.refs[id as usize] += extra;
+    }
+}
+
+/// Precomputed per-lane f64 stage of `step_after_contract` (see
+/// [`CompiledFormula::lane_scores`]): midpoint feasibility and both
+/// child-half split scores.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LanePre {
+    pub(crate) holds_mid: bool,
+    pub(crate) sl: f64,
+    pub(crate) sr: f64,
 }
 
 /// Reusable per-worker mutable state for [`CompiledFormula`] operations.
@@ -895,8 +1197,10 @@ pub struct SolveScratch {
     pub(crate) fcache: bool,
     /// Point-box domains for mean-value midpoint evaluation.
     point_doms: Vec<Interval>,
-    /// DFS work stack of the scalar branch-and-prune search.
-    pub(crate) stack: Vec<(BoxDomain, u32)>,
+    /// DFS work stack of the scalar branch-and-prune search:
+    /// `(box, depth, pristine)` — `pristine` is the inherited
+    /// no-ladder-ancestor flag (see `DeltaSolver::step_after_contract`).
+    pub(crate) stack: Vec<(BoxDomain, u32, bool)>,
     /// Structure-of-arrays slot file of the batched search
     /// (`slots × batch_width`, lane-major per slot).
     pub(crate) soa: Vec<Interval>,
@@ -917,6 +1221,24 @@ pub struct SolveScratch {
     pub(crate) snaps: SnapPool,
     /// Work stack of the batched frontier search.
     pub(crate) bstack: Vec<crate::solve::Node>,
+    /// Point box and slot file of the interval-certified midpoint check
+    /// (kept separate from `ivals`, whose contents other passes reuse).
+    cert_point: Vec<Interval>,
+    cert_vals: Vec<Interval>,
+    /// Working box of the rung-1 interval-Newton contractor.
+    newton_dims: Vec<Interval>,
+    /// Sweep buffers of the shared Newton driver.
+    newton: xcv_expr::newton::NewtonScratch,
+    /// Probe domains of the rung-2 3B shaver.
+    shave_doms: Vec<Interval>,
+    /// Slot file of the rung-2 3B shaver's forward passes.
+    shave_vals: Vec<Interval>,
+    /// Flattened probe points of the batched lane-score pass (3 per lane).
+    fpre_flat: Vec<f64>,
+    /// SoA f64 register file of the batched lane-score pass.
+    fpre_soa: Vec<f64>,
+    /// Per-lane precomputed midpoint/split-score results.
+    pub(crate) lane_pre: Vec<Option<LanePre>>,
 }
 
 impl SolveScratch {

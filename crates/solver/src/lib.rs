@@ -34,9 +34,59 @@
 //! problem; [`compile_count`] exposes a process-wide compilation counter so
 //! tests can assert that per-box solving never compiles.
 //!
+//! # The contractor escalation ladder
+//!
+//! Plain branch-and-prune burns its budget on boxes where HC4 stalls — the
+//! bench matrix's dominant cost is *undecided work*, whole rows timing out
+//! with the node budget spent on splits that never decide. [`Escalation`]
+//! replaces the flat budget with a per-box ladder:
+//!
+//! * **rung 0** — the always-on HC4 round (plus [`MeanValue`] when
+//!   enabled); boxes that contract well never escalate and behave exactly
+//!   as with the ladder off;
+//! * **rung 1** — interval-Newton (Gauss–Seidel) sweeps over the compiled
+//!   per-axis gradient tapes ([`xcv_expr::newton`]), entered when the
+//!   rung-0 contraction gain falls below [`Escalation::stall_gain`]. The
+//!   mean-value enclosure test refutes boxes the natural extension cannot,
+//!   and the row solves cut boxes where a gradient has constant sign;
+//! * **rung 2** — 3B slab shaving: probe slabs at the box faces and
+//!   re-prove them infeasible with dirty-cone (`forward_masked`) passes,
+//!   narrowing faces HC4 cannot move; successful shaves double the next
+//!   slab (CID-style dichotomy).
+//!
+//! Escalation is *gated* so it pays for itself: only nodes at depth ≤
+//! [`Escalation::depth_cap`] escalate (a contraction high in the tree is
+//! inherited by its whole subtree; deep stalled nodes are legion and each
+//! matters little), and rung 1 only fires on boxes narrower than
+//! [`Escalation::newton_width_cap`], where the first-order mean-value
+//! enclosure is tight. Subtrees the ladder never touched are *pristine* —
+//! their geometry is bit-identical to the rung-0 search — and skip the
+//! flip-prevention machinery entirely, so arming the ladder costs nothing
+//! on boxes that never stall.
+//!
+//! ```
+//! use xcv_solver::{DeltaSolver, Escalation, SolveBudget};
+//!
+//! // The ladder is off by default; turn it on per solver.
+//! let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(800))
+//!     .with_escalation(Escalation::full());
+//! # let _ = solver;
+//! ```
+//!
+//! Escalation is a pure per-box function driven through the shared
+//! `step_after_contract` step, so the scalar DFS and the batched frontier
+//! engine stay bit-identical at any batch width, and every ladder decision
+//! is replayable: Newton prunes/contractions and shaved slabs are recorded
+//! as [`TraceEvent`]s and serialize into `xcv-cert` certificates the
+//! solver-free checker re-derives. Campaigns opt in with
+//! `CampaignBuilder::escalation` (cheap pairs are demoted to rung 0 by the
+//! measured cost model).
+//!
 //! Soundness invariant: a box is discarded only when interval reasoning
-//! *proves* it contains no solution, so `Unsat` is trustworthy regardless of
-//! rounding; `DeltaSat` models are validated downstream.
+//! *proves* it contains no solution — HC4, the Newton enclosure/row
+//! solves, and slab refutations are all outward-rounded proofs — so
+//! `Unsat` is trustworthy regardless of rounding; `DeltaSat` models are
+//! validated downstream.
 
 mod boxdom;
 mod compile;
@@ -49,4 +99,6 @@ pub use boxdom::BoxDomain;
 pub use compile::{compile_count, CompiledAtom, CompiledFormula, SolveScratch};
 pub use formula::{Atom, Formula, Rel};
 pub use meanvalue::MeanValue;
-pub use solve::{DeltaSolver, Outcome, SolveBudget, SolveStats, SolveTrace, TraceEvent};
+pub use solve::{
+    DeltaSolver, Escalation, Outcome, SolveBudget, SolveStats, SolveTrace, TraceEvent,
+};

@@ -7,6 +7,16 @@
 //! compilation, zero allocation churn per box. The original
 //! [`DeltaSolver::solve`]`(&BoxDomain, &Formula)` signature survives as a
 //! thin compile-then-solve wrapper for one-shot callers and tests.
+//!
+//! Per box, both engines (scalar DFS and batched frontier) funnel through
+//! one decision step, `step_after_contract`: HC4 contraction first, then —
+//! when the [`Escalation`] ladder is on and the box stalled — rung-1
+//! interval-Newton and rung-2 3B slab shaving, then the midpoint model
+//! check, δ-decision, and axis-aware bisection. Keeping the ladder inside
+//! the shared step is what makes scalar and batched runs bit-identical at
+//! every width, and what lets one [`TraceEvent`] stream (one terminal
+//! event per node, intermediates for Newton/shave) serve trace replay and
+//! certificate emission alike.
 
 use crate::boxdom::BoxDomain;
 use crate::compile::{CompiledFormula, SolveScratch};
@@ -85,6 +95,85 @@ impl SolveStats {
     }
 }
 
+/// The contractor escalation ladder: what a *stalled* box gets instead of
+/// burning its budget on bisection. Rung 0 is the always-on HC4 round
+/// (plus mean-value when enabled); a box whose rung-0 contraction gain
+/// falls below [`Escalation::stall_gain`] escalates to rung 1 —
+/// interval-Newton (Gauss–Seidel) sweeps over the compiled gradient tapes
+/// — and, still stalled, to rung 2 — 3B slab shaving at the box faces with
+/// dirty-cone re-evaluation. Escalation is a pure per-box function, so the
+/// scalar DFS and the batched frontier stay bit-identical at any width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Escalation {
+    /// Highest rung a box may escalate to (`0` = ladder off, the default;
+    /// `1` = Newton; `2` = Newton + 3B shaving).
+    pub max_rung: u8,
+    /// Contraction gain (relative width reduction, max over axes) below
+    /// which a box counts as stalled and escalates.
+    pub stall_gain: f64,
+    /// Interval-Newton Gauss–Seidel sweeps per rung-1 call.
+    pub newton_sweeps: usize,
+    /// Relative slab width the rung-2 shaver probes at each box face.
+    pub shave_frac: f64,
+    /// Maximum consecutive slabs shaved per face and rung-2 call.
+    pub shave_passes: u32,
+    /// Deepest node (depth within one box's search tree) that may escalate.
+    /// Contractions high in the tree are inherited by whole subtrees, so
+    /// they carry almost all of the ladder's pruning power; deep stalled
+    /// nodes are legion and each matters little, so escalating them buys
+    /// timeouts back at a ruinous wall-clock price. (The sub-δ
+    /// flip-prevention machinery is *not* depth-gated — soundness of the
+    /// δ-decision must hold wherever the search lands.)
+    pub depth_cap: u32,
+    /// Shave only every `shave_stride`-th depth level (`depth %
+    /// shave_stride == 0`). The dominant rung-2 cost is the full interval
+    /// forward pass that seeds each `shave_3b` call's dirty-cone probes —
+    /// paid per *stalled node*, and in a timeout-bound subtree nearly
+    /// every node stalls. A stride keeps the coverage of the whole depth
+    /// range (unlike a hard cap) at `1/stride` of the cost: a slab missed
+    /// at depth `d` is re-probed two levels down on the narrowed child,
+    /// where it is more likely infeasible anyway.
+    pub shave_stride: u32,
+    /// Widest box (max supported-axis width) rung 1 attempts. The
+    /// mean-value enclosure behind interval-Newton is first-order tight,
+    /// so on wide boxes the gradient ranges blow up and the sweeps are
+    /// expensive no-ops; wide stalled boxes skip straight to rung-2
+    /// shaving, whose dirty-cone probes stay cheap at any width.
+    pub newton_width_cap: f64,
+}
+
+impl Escalation {
+    /// Ladder disabled: rung-0 behaviour, bit-identical to the pre-ladder
+    /// solver.
+    pub fn off() -> Escalation {
+        Escalation {
+            max_rung: 0,
+            ..Escalation::full()
+        }
+    }
+
+    /// The full ladder with the fitted defaults (see `solver_bench`'s
+    /// `ladder` mode for the measured trajectory).
+    pub fn full() -> Escalation {
+        Escalation {
+            max_rung: 2,
+            stall_gain: 0.25,
+            newton_sweeps: 2,
+            shave_frac: 0.0625,
+            shave_passes: 5,
+            depth_cap: 8,
+            shave_stride: 1,
+            newton_width_cap: 0.25,
+        }
+    }
+}
+
+impl Default for Escalation {
+    fn default() -> Self {
+        Escalation::off()
+    }
+}
+
 /// The δ-complete solver: HC4 contraction + branch-and-prune, with a scalar
 /// DFS and a batched frontier engine that are observationally identical.
 #[derive(Debug, Clone)]
@@ -104,6 +193,12 @@ pub struct DeltaSolver {
     /// models, and search statistics are identical at every width — only
     /// the wall-clock changes.
     pub batch_width: usize,
+    /// The contractor escalation ladder for stalled boxes; off by default.
+    /// Like `batch_width`, any setting produces identical results across
+    /// engines — unlike `batch_width`, it changes *which* boxes the search
+    /// visits (stalled boxes contract harder instead of splitting), so it
+    /// turns rung-0 timeouts into decisions.
+    pub escalation: Escalation,
 }
 
 impl Default for DeltaSolver {
@@ -113,6 +208,7 @@ impl Default for DeltaSolver {
             budget: SolveBudget::default(),
             mean_value: false,
             batch_width: 1,
+            escalation: Escalation::off(),
         }
     }
 }
@@ -134,6 +230,11 @@ fn axis_bit(i: usize) -> u64 {
 enum BoxStep {
     /// The box contains no solution.
     Pruned,
+    /// The box contains no solution, proved by the rung-1 Newton contractor
+    /// (same pruning semantics as `Pruned`; the distinction only matters to
+    /// the trace, where the checker must replay a Newton step instead of an
+    /// HC4 contraction).
+    NewtonPruned,
     /// δ-SAT with this model (exact midpoint hit or width-floor decision).
     Sat(Vec<f64>),
     /// Undecided: halves in search order (`first` is explored first).
@@ -148,6 +249,11 @@ enum BoxStep {
         parent: BoxDomain,
         axis: u32,
         low_first: bool,
+        /// Neither this node nor any ancestor was modified by a ladder
+        /// rung (Newton/shave): the children's geometry is bit-identical
+        /// to the rung-0 search, so their δ-decisions may take the plain
+        /// rung-0 fast paths (see `step_after_contract`).
+        pristine: bool,
     },
 }
 
@@ -170,6 +276,24 @@ pub enum TraceEvent {
     },
     /// The search stopped with this δ-SAT model inside the popped box.
     Sat { model: Vec<f64> },
+    /// Rung 1 tightened the current box to `contracted` (an intermediate
+    /// event: the node's terminal `Split`/`Sat` follows). The checker
+    /// replays the recorded gradient tapes through the shared
+    /// [`xcv_expr::newton::newton_contract`] and verifies by subset tests.
+    Newton { contracted: BoxDomain },
+    /// Rung 1 proved the current box has no solution (terminal for the
+    /// node, like `Pruned`).
+    NewtonPruned,
+    /// Rung 2 shaved a slab off one face of the current box: axis
+    /// `axis`'s bound moved to `bound` (its high bound when `high_face`,
+    /// else its low bound). Intermediate, possibly repeated. The checker
+    /// verifies each slab independently by a forward evaluation over the
+    /// recorded main tape.
+    Shave {
+        axis: u32,
+        high_face: bool,
+        bound: f64,
+    },
 }
 
 /// The recorded events of one [`DeltaSolver::solve_compiled_traced`] call,
@@ -194,10 +318,12 @@ pub(crate) enum BoxRes {
     Pruned,
     Sat(Vec<f64>),
     /// Children in *push order* (the preferred half last, popped first).
-    /// `snap` is the pool id of the parent's pure forward image.
+    /// `snap` is the pool id of the parent's pure forward image;
+    /// `pristine` is the children's inherited no-ladder-ancestor flag.
     Split {
         children: Vec<BoxDomain>,
         snap: Option<u32>,
+        pristine: bool,
     },
 }
 
@@ -215,6 +341,8 @@ pub(crate) enum NodeState {
 pub(crate) struct Node {
     pub(crate) b: BoxDomain,
     pub(crate) depth: u32,
+    /// No ancestor was ladder-modified (see `step_after_contract`).
+    pub(crate) pristine: bool,
     pub(crate) state: NodeState,
 }
 
@@ -225,6 +353,7 @@ impl DeltaSolver {
             budget,
             mean_value: false,
             batch_width: 1,
+            escalation: Escalation::off(),
         }
     }
 
@@ -238,6 +367,12 @@ impl DeltaSolver {
     /// 1). Any width produces identical outcomes and statistics.
     pub fn with_batch_width(mut self, width: usize) -> Self {
         self.batch_width = width.max(1);
+        self
+    }
+
+    /// Set the contractor escalation ladder (see [`Escalation`]).
+    pub fn with_escalation(mut self, escalation: Escalation) -> Self {
+        self.escalation = escalation;
         self
     }
 
@@ -321,10 +456,10 @@ impl DeltaSolver {
         let start = Instant::now();
         scratch.fcache = false;
         scratch.stack.clear();
-        scratch.stack.push((domain.clone(), 0));
+        scratch.stack.push((domain.clone(), 0, true));
         // Supported-axis boxes narrower than this are δ-decided.
         let width_floor = self.delta.max(1e-12);
-        while let Some((b, depth)) = scratch.stack.pop() {
+        while let Some((b, depth, pristine)) = scratch.stack.pop() {
             stats.nodes += 1;
             stats.max_depth = stats.max_depth.max(depth);
             // Compare elapsed time in u128: truncating `as_millis()` to u64
@@ -336,11 +471,28 @@ impl DeltaSolver {
                 return (Outcome::Timeout, stats);
             }
             let contraction = compiled.contract(&b, scratch);
-            match self.step_after_contract(compiled, contraction, scratch, width_floor) {
+            let step = self.step_after_contract(
+                compiled,
+                &b,
+                contraction,
+                None,
+                scratch,
+                width_floor,
+                depth,
+                pristine,
+                trace.as_deref_mut().map(|t| &mut t.events),
+            );
+            match step {
                 BoxStep::Pruned => {
                     stats.pruned += 1;
                     if let Some(t) = trace.as_deref_mut() {
                         t.events.push(TraceEvent::Pruned);
+                    }
+                }
+                BoxStep::NewtonPruned => {
+                    stats.pruned += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.events.push(TraceEvent::NewtonPruned);
                     }
                 }
                 BoxStep::Sat(mid) => {
@@ -355,6 +507,7 @@ impl DeltaSolver {
                     parent,
                     axis,
                     low_first,
+                    pristine,
                 } => {
                     stats.branched += 1;
                     if let Some(t) = trace.as_deref_mut() {
@@ -367,10 +520,10 @@ impl DeltaSolver {
                     // DFS order: the preferred half is pushed last, popped
                     // first.
                     if !second.is_empty() {
-                        scratch.stack.push((second, depth + 1));
+                        scratch.stack.push((second, depth + 1, pristine));
                     }
                     if !first.is_empty() {
-                        scratch.stack.push((first, depth + 1));
+                        scratch.stack.push((first, depth + 1, pristine));
                     }
                 }
             }
@@ -380,14 +533,33 @@ impl DeltaSolver {
 
     /// The per-box decision of the branch-and-prune search, applied after
     /// contraction — one implementation behind the scalar DFS *and* the
-    /// batched frontier, so the bisection policy, δ-decision, and pruning
-    /// semantics cannot drift between the two engines.
+    /// batched frontier, so the bisection policy, δ-decision, pruning
+    /// semantics, and the escalation ladder cannot drift between the two
+    /// engines. `b` is the popped (pre-contraction) box — the ladder's
+    /// stall detector measures the contraction gain against it. `pre`
+    /// optionally carries the batched engine's precomputed midpoint/score
+    /// stage; it is discarded whenever a later rung modifies the box.
+    /// `events` receives the ladder's intermediate trace events (every
+    /// terminal event — `Pruned`, `NewtonPruned`, `Split`, `Sat` — stays
+    /// with the caller). `pristine` says no ancestor box was modified by a
+    /// ladder rung: such a node's geometry — and therefore its midpoint
+    /// and δ-decision — is bit-identical to the rung-0 search, so the
+    /// flip-prevention machinery (certified midpoint confirmation, sub-δ
+    /// Newton refutation, δ-refinement) can be skipped; it exists only to
+    /// keep ladder-*shifted* geometry from δ-deciding where rung 0 would
+    /// have proven Unsat.
+    #[allow(clippy::too_many_arguments)]
     fn step_after_contract(
         &self,
         compiled: &CompiledFormula,
+        b: &BoxDomain,
         contraction: Contraction,
+        pre: Option<crate::compile::LanePre>,
         scratch: &mut SolveScratch,
         width_floor: f64,
+        depth: u32,
+        pristine: bool,
+        mut events: Option<&mut Vec<TraceEvent>>,
     ) -> BoxStep {
         let contracted = match contraction {
             Contraction::Empty => return BoxStep::Pruned,
@@ -396,36 +568,159 @@ impl DeltaSolver {
         if contracted.is_empty() {
             return BoxStep::Pruned;
         }
-        let contracted = if self.mean_value {
+        // `pre` was computed from the HC4 box; any further modification
+        // (mean-value, ladder rungs) invalidates it.
+        let mut modified = false;
+        let mut contracted = if self.mean_value {
             match compiled.mv_contract(&contracted, scratch) {
                 None => return BoxStep::Pruned,
                 Some(nb) if compiled.mv_certainly_infeasible(&nb, scratch) => {
                     return BoxStep::Pruned
                 }
-                Some(nb) => nb,
+                Some(nb) => {
+                    if nb != contracted {
+                        modified = true;
+                    }
+                    nb
+                }
             }
         } else {
             contracted
         };
+        // Escalation ladder: a box whose rung-0 contraction stalled gets
+        // stronger contractors instead of burning budget on bisection. Only
+        // *wide* boxes escalate: a box already near the δ resolution is
+        // about to be δ-decided exactly like the rung-0 search would decide
+        // it, and contracting it further can only move the δ-decision to a
+        // different (sub-δ) box — that is how a rung-0 Unsat could flip to a
+        // spurious δ-Sat. The δ-decision below is likewise taken on the
+        // rung-0 width, so the ladder never *creates* δ-Sat leaves, it only
+        // prunes or narrows boxes the search would have split anyway.
+        let esc = self.escalation;
+        let rung0_width = compiled.split_width(&contracted);
+        let mut laddered = false;
+        if esc.max_rung >= 1
+            && depth <= esc.depth_cap
+            && rung0_width > 4.0 * width_floor
+            && crate::compile::improvement(b, &contracted) < esc.stall_gain
+        {
+            // Rung 1: interval-Newton Gauss–Seidel over the gradient tapes —
+            // but only on boxes narrow enough for the first-order mean-value
+            // enclosure to bite (see [`Escalation::newton_width_cap`]).
+            let mut stalled = true;
+            if rung0_width <= esc.newton_width_cap {
+                match compiled.newton_contract(&contracted, esc.newton_sweeps, scratch) {
+                    None => return BoxStep::NewtonPruned,
+                    Some(nb) => {
+                        stalled = crate::compile::improvement(&contracted, &nb) < esc.stall_gain;
+                        if nb != contracted {
+                            if let Some(ev) = events.as_deref_mut() {
+                                ev.push(TraceEvent::Newton {
+                                    contracted: nb.clone(),
+                                });
+                            }
+                            modified = true;
+                            laddered = true;
+                            contracted = nb;
+                        }
+                    }
+                }
+            }
+            // Rung 2: 3B slab shaving when Newton was skipped or stalled,
+            // on strided depth levels (see [`Escalation::shave_stride`]).
+            if esc.max_rung >= 2 && stalled && depth.is_multiple_of(esc.shave_stride) {
+                if let Some(nb) = compiled.shave_3b(
+                    &contracted,
+                    scratch,
+                    esc.shave_frac,
+                    esc.shave_passes,
+                    None,
+                    |axis, high_face, bound| {
+                        if let Some(ev) = events.as_deref_mut() {
+                            ev.push(TraceEvent::Shave {
+                                axis,
+                                high_face,
+                                bound,
+                            });
+                        }
+                    },
+                ) {
+                    modified = true;
+                    laddered = true;
+                    contracted = nb;
+                }
+            }
+        }
+        // A node in a never-laddered subtree has exactly the box the rung-0
+        // search would pop here, so every decision below may take the plain
+        // rung-0 path — the flip-prevention detours only guard geometry the
+        // ladder *shifted*.
+        let pristine = pristine && !laddered;
+        let pre = pre.filter(|_| !modified);
         // Fast model check: an exact solution at the midpoint settles it.
+        // With the ladder on, the f64 claim is only a gate: it must be
+        // confirmed by an outward-rounded interval evaluation, because the
+        // ladder visits midpoints the rung-0 geometry never does — where a
+        // rounding-level false positive would flip a sound rung-0 Unsat
+        // into a spurious δ-Sat (observed near the `ln rs` cancellation of
+        // the correlation functionals).
         let mid = contracted.midpoint();
-        if compiled.holds_at(&mid, scratch) {
+        let holds = match pre {
+            Some(p) => p.holds_mid,
+            None => compiled.holds_at(&mid, scratch),
+        };
+        if holds && (pristine || compiled.holds_at_certified(&mid, scratch)) {
             return BoxStep::Sat(mid);
         }
         // δ-decision on small boxes: contraction could not rule the box out,
         // so the δ-weakening is satisfiable here (dReal's semantics). Only
         // *supported* axes count — an axis the formula never mentions cannot
         // affect satisfaction, so its width must not keep the box undecided.
-        if compiled.split_width(&contracted) <= width_floor {
-            return BoxStep::Sat(mid);
+        // The width tested is the *rung-0* one: a box the ladder contracted
+        // below δ is split instead, so its children get their own HC4 round
+        // exactly where the ladder-off search would have explored — the
+        // ladder must never declare δ-Sat on a box rung 0 would have split.
+        if rung0_width <= width_floor {
+            if pristine {
+                return BoxStep::Sat(mid);
+            }
+            // Last-resort rung-1 infeasibility test before punting to δ-Sat:
+            // ladder contraction upstream shifts split midpoints, so the
+            // search can reach sub-δ boxes that straddle the leaves the
+            // rung-0 tree pruned — HC4 stalls on the straddling hull, but
+            // the mean-value enclosure is first-order tight at sub-δ width.
+            // Only the empty-proof is used; a mere contraction is discarded
+            // (the box is about to be δ-decided either way, and a decision
+            // must not move to a different sub-δ box).
+            if compiled
+                .newton_contract(&contracted, esc.newton_sweeps, scratch)
+                .is_none()
+            {
+                return BoxStep::NewtonPruned;
+            }
+            // δ-refinement under the ladder: when Newton cannot refute the
+            // straddling hull either, bisect up to two levels further
+            // before the δ-Sat verdict — HC4 is not union-closed, so the
+            // aligned halves are often refutable where their hull is not.
+            // A δ/4-wide box is still δ-decided, exactly as without the
+            // ladder.
+            if rung0_width <= width_floor / 4.0 {
+                return BoxStep::Sat(mid);
+            }
         }
         // Branch on the widest supported dimension (never an axis the
         // expression does not mention); search the half whose midpoint is
         // closer to satisfying the formula first. Scoring runs on the
-        // compiled f64 tapes.
+        // compiled f64 tapes (or comes precomputed from the batched
+        // lane-score pass — bit-identical by construction).
         let (l, r, axis) = compiled.bisect_supported(&contracted);
-        let sl = compiled.violation_score(&l.midpoint(), scratch);
-        let sr = compiled.violation_score(&r.midpoint(), scratch);
+        let (sl, sr) = match pre {
+            Some(p) => (p.sl, p.sr),
+            None => (
+                compiled.violation_score(&l.midpoint(), scratch),
+                compiled.violation_score(&r.midpoint(), scratch),
+            ),
+        };
         if sl <= sr {
             BoxStep::Split {
                 first: l,
@@ -433,6 +728,7 @@ impl DeltaSolver {
                 parent: contracted,
                 axis,
                 low_first: true,
+                pristine,
             }
         } else {
             BoxStep::Split {
@@ -441,6 +737,7 @@ impl DeltaSolver {
                 parent: contracted,
                 axis,
                 low_first: false,
+                pristine,
             }
         }
     }
@@ -482,6 +779,7 @@ impl DeltaSolver {
         stack.push(Node {
             b: domain.clone(),
             depth: 0,
+            pristine: true,
             state: NodeState::Raw { parent: None },
         });
         let outcome = loop {
@@ -515,12 +813,17 @@ impl DeltaSolver {
             match res {
                 BoxRes::Pruned => stats.pruned += 1,
                 BoxRes::Sat(mid) => break Outcome::DeltaSat(mid),
-                BoxRes::Split { children, snap } => {
+                BoxRes::Split {
+                    children,
+                    snap,
+                    pristine,
+                } => {
                     stats.branched += 1;
                     for cb in children {
                         stack.push(Node {
                             b: cb,
                             depth: node.depth + 1,
+                            pristine,
                             state: NodeState::Raw { parent: snap },
                         });
                     }
@@ -566,10 +869,12 @@ impl DeltaSolver {
         // is every axis on which the child's box differs from the box the
         // snapshot was evaluated over (the split axis plus whatever the
         // parent's contraction narrowed).
+        let mut parents: Vec<Option<u32>> = vec![None; width];
         for (j, &idx) in lanes.iter().enumerate() {
             let NodeState::Raw { parent } = stack[idx].state else {
                 unreachable!("lane selection")
             };
+            parents[j] = parent;
             if let Some(snap) = parent {
                 let (vals, pbox) = scratch.snaps.get(snap);
                 let mut mask = 0u64;
@@ -602,13 +907,9 @@ impl DeltaSolver {
                 }
             }
         }
-        // Release parent references only after every lane has seeded: two
-        // sibling lanes in one batch share a snapshot.
-        for &idx in &lanes {
-            if let NodeState::Raw { parent: Some(snap) } = stack[idx].state {
-                scratch.snaps.release(snap);
-            }
-        }
+        // Parent references are released at the *end* of the batch (not
+        // here): sibling lanes share a snapshot, and a split lane may alias
+        // its parent snapshot for its own children (snapshot-copy elision).
         // One instruction decode per slot serves every lane.
         let domains: Vec<&[Interval]> = lanes.iter().map(|&idx| stack[idx].b.dims()).collect();
         compiled
@@ -636,14 +937,30 @@ impl DeltaSolver {
             &mut results,
             &mut current,
         );
+        // Satellite-2 pass: one batched f64 tape run precomputes every
+        // surviving lane's midpoint check and split scores.
+        compiled.lane_scores(&results, scratch);
+        let mut pres = std::mem::take(&mut scratch.lane_pre);
         // Take the shared per-box decision lane by lane.
         for (j, &idx) in lanes.iter().enumerate() {
             let b = &boxes[j];
             let contraction = results[j]
                 .take()
                 .expect("contract_batch decides every lane");
-            let res = match self.step_after_contract(compiled, contraction, scratch, width_floor) {
-                BoxStep::Pruned => BoxRes::Pruned,
+            let pre = pres[j].take();
+            let step = self.step_after_contract(
+                compiled,
+                b,
+                contraction,
+                pre,
+                scratch,
+                width_floor,
+                stack[idx].depth,
+                stack[idx].pristine,
+                None,
+            );
+            let res = match step {
+                BoxStep::Pruned | BoxStep::NewtonPruned => BoxRes::Pruned,
                 BoxStep::Sat(mid) => BoxRes::Sat(mid),
                 BoxStep::Split {
                     first,
@@ -651,6 +968,7 @@ impl DeltaSolver {
                     parent,
                     axis,
                     low_first: _,
+                    pristine,
                 } => {
                     let mut children = Vec::with_capacity(2);
                     if !second.is_empty() {
@@ -662,11 +980,6 @@ impl DeltaSolver {
                     let snap = if children.is_empty() {
                         None
                     } else {
-                        // Snapshot the lane's *pure* forward image for the
-                        // children's dirty-slot passes.
-                        let id = scratch.snaps.alloc(children.len() as u32);
-                        let (vals, pbox) = scratch.snaps.store(id);
-                        vals.extend((0..slots).map(|i| pure[i * width + j]));
                         // Contraction-aware refresh: children are halves of
                         // the *contracted* box, so against the raw image
                         // they would re-evaluate every contracted axis'
@@ -688,21 +1001,68 @@ impl DeltaSolver {
                                 > compiled.cone_cost(contraction_mask)
                                     + 2.0 * compiled.cone_cost(split_mask)
                         };
-                        if refresh {
-                            compiled
-                                .itape()
-                                .forward_masked(contraction_mask, parent.dims(), vals);
-                            pbox.extend_from_slice(parent.dims());
-                        } else {
-                            pbox.extend_from_slice(b.dims());
+                        // Snapshot-copy elision: when the lane was seeded
+                        // from a parent snapshot and its dirty-cone
+                        // re-evaluation reproduced that image bitwise
+                        // (common on saturated min/max/clamp cones), the
+                        // children can consume the parent snapshot directly
+                        // — the seeded slots were copied verbatim and the
+                        // recomputed cone came out unchanged, so the stored
+                        // column would equal the parent's. Skip the copy
+                        // and bump the parent's refcount instead.
+                        let alias = (!refresh).then_some(parents[j]).flatten().filter(|&pid| {
+                            let (pvals, _) = scratch.snaps.get(pid);
+                            let deps = compiled.itape().deps();
+                            let m = dirty[j];
+                            (0..slots).all(|i| {
+                                deps[i] & m == 0 || {
+                                    let a = pure[i * width + j];
+                                    let p = pvals[i];
+                                    a.lo.to_bits() == p.lo.to_bits()
+                                        && a.hi.to_bits() == p.hi.to_bits()
+                                }
+                            })
+                        });
+                        match alias {
+                            Some(pid) => {
+                                scratch.snaps.retain(pid, children.len() as u32);
+                                Some(pid)
+                            }
+                            None => {
+                                // Snapshot the lane's *pure* forward image
+                                // for the children's dirty-slot passes.
+                                let id = scratch.snaps.alloc(children.len() as u32);
+                                let (vals, pbox) = scratch.snaps.store(id);
+                                vals.extend((0..slots).map(|i| pure[i * width + j]));
+                                if refresh {
+                                    compiled.itape().forward_masked(
+                                        contraction_mask,
+                                        parent.dims(),
+                                        vals,
+                                    );
+                                    pbox.extend_from_slice(parent.dims());
+                                } else {
+                                    pbox.extend_from_slice(b.dims());
+                                }
+                                Some(id)
+                            }
                         }
-                        Some(id)
                     };
-                    BoxRes::Split { children, snap }
+                    BoxRes::Split {
+                        children,
+                        snap,
+                        pristine,
+                    }
                 }
             };
             stack[idx].state = NodeState::Done(res);
         }
+        // Now that no lane can alias them anymore, release the parent
+        // snapshots every lane seeded from.
+        for pid in parents.iter().take(width).copied().flatten() {
+            scratch.snaps.release(pid);
+        }
+        scratch.lane_pre = pres;
         scratch.soa = soa;
         scratch.soa_pure = pure;
         scratch.lane_dirty = dirty;
@@ -1052,6 +1412,173 @@ mod tests {
                 .solve_compiled_with_stats(&b, &compiled, &mut scratch);
         assert_eq!(scalar, batched);
         assert_eq!(st.nodes, bt.nodes);
+    }
+
+    #[test]
+    fn ladder_widths_agree_with_scalar() {
+        // The escalation ladder is a pure per-box function, so scalar and
+        // batched engines must stay bit-identical at any width with any
+        // rung enabled: outcomes, models, and statistics.
+        let cases = [
+            Formula::single(Atom::new(var(0).powi(2) + var(1).powi(2) + 1.0, Rel::Le)),
+            Formula::new(vec![
+                Atom::new(var(0).powi(2) - 4.0, Rel::Le),
+                Atom::new(var(0) - var(1) - 1.0, Rel::Ge),
+            ]),
+            Formula::new(vec![
+                Atom::new(var(0).exp() - var(1).powi(2) - 1.0, Rel::Ge),
+                Atom::new(var(0).exp() - var(1).powi(2) - 1.0, Rel::Le),
+            ]),
+            Formula::single(Atom::new(
+                var(0) - var(0).powi(2) - var(1).powi(2) - 0.3,
+                Rel::Ge,
+            )),
+        ];
+        let b = BoxDomain::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]);
+        for esc in [
+            Escalation {
+                max_rung: 1,
+                ..Escalation::full()
+            },
+            Escalation::full(),
+        ] {
+            for (i, f) in cases.iter().enumerate() {
+                for budget in [25, 20_000] {
+                    let compiled = CompiledFormula::compile(f);
+                    let mut scratch = SolveScratch::new();
+                    let scalar =
+                        DeltaSolver::new(1e-3, SolveBudget::nodes(budget)).with_escalation(esc);
+                    let (want, want_stats) =
+                        scalar.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+                    for w in [2, 8] {
+                        let batched = scalar.clone().with_batch_width(w);
+                        let (got, got_stats) =
+                            batched.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+                        assert_eq!(want, got, "case {i}, width {w}, budget {budget}");
+                        let k = |s: &SolveStats| (s.nodes, s.pruned, s.branched, s.max_depth);
+                        assert_eq!(
+                            k(&want_stats),
+                            k(&got_stats),
+                            "case {i}, width {w}, budget {budget}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_turns_stall_into_decision() {
+        // x − x² ≥ 0.2501 is unsatisfiable by a 1e-4 margin (max 0.25).
+        // The natural extension's dependency error is first-order in the
+        // box width, so plain HC4 must bisect to width ~1e-4 near the
+        // peak; the ladder's mean-value enclosure is second-order tight
+        // and prunes at width ~1e-2 — orders of magnitude fewer nodes.
+        let f = Formula::single(Atom::new(var(0) - var(0).powi(2) - 0.2501, Rel::Ge));
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let plain = DeltaSolver::new(1e-6, SolveBudget::nodes(200_000));
+        let (_, plain_stats) = plain.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        let ladder = plain.clone().with_escalation(Escalation::full());
+        let (out, stats) = ladder.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        assert_eq!(out, Outcome::Unsat);
+        assert!(
+            stats.nodes < plain_stats.nodes,
+            "ladder {} vs rung-0 {}",
+            stats.nodes,
+            plain_stats.nodes
+        );
+        // A budget between the two: rung 0 times out, the ladder decides.
+        let tight = SolveBudget::nodes(stats.nodes + 1);
+        let plain_tight = DeltaSolver::new(1e-6, tight);
+        assert_eq!(
+            plain_tight.solve_compiled(&b, &compiled, &mut scratch),
+            Outcome::Timeout
+        );
+        assert_eq!(
+            plain_tight
+                .with_escalation(Escalation::full())
+                .solve_compiled(&b, &compiled, &mut scratch),
+            Outcome::Unsat
+        );
+    }
+
+    #[test]
+    fn ladder_trace_records_newton_steps() {
+        // Traced ladder solving must record the rung transforms so
+        // certificates can replay them: every Newton box is a subset of
+        // the box it tightened, and shave bounds stay inside their axis.
+        let f = Formula::single(Atom::new(var(0) - var(0).powi(2) - 0.2501, Rel::Ge));
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]);
+        let compiled = CompiledFormula::compile(&f);
+        let mut scratch = SolveScratch::new();
+        let s =
+            DeltaSolver::new(1e-6, SolveBudget::nodes(200_000)).with_escalation(Escalation::full());
+        let (out, _, trace) = s.solve_compiled_traced(&b, &compiled, &mut scratch);
+        assert_eq!(out, Outcome::Unsat);
+        assert!(trace.complete);
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Newton { .. } | TraceEvent::NewtonPruned)),
+            "ladder trace must contain Newton steps: {:?}",
+            trace.events
+        );
+        // Replay the stack discipline: ladder events transform the current
+        // box; terminal events consume it.
+        let mut stack = vec![b.clone()];
+        for e in &trace.events {
+            let cur = stack.last().expect("event without a box").clone();
+            match e {
+                TraceEvent::Pruned | TraceEvent::NewtonPruned => {
+                    stack.pop();
+                }
+                TraceEvent::Sat { .. } => {
+                    stack.pop();
+                }
+                TraceEvent::Newton { contracted } => {
+                    for i in 0..cur.ndim() {
+                        assert!(contracted.dim(i).lo >= cur.dim(i).lo);
+                        assert!(contracted.dim(i).hi <= cur.dim(i).hi);
+                    }
+                    *stack.last_mut().unwrap() = contracted.clone();
+                }
+                TraceEvent::Shave {
+                    axis,
+                    high_face,
+                    bound,
+                } => {
+                    let d = cur.dim(*axis as usize);
+                    assert!(d.lo < *bound && *bound < d.hi);
+                    let nd = if *high_face {
+                        xcv_interval::Interval::new(d.lo, *bound)
+                    } else {
+                        xcv_interval::Interval::new(*bound, d.hi)
+                    };
+                    let mut nb = cur.clone();
+                    nb.set_dim(*axis as usize, nd);
+                    *stack.last_mut().unwrap() = nb;
+                }
+                TraceEvent::Split {
+                    contracted,
+                    axis,
+                    low_first,
+                } => {
+                    stack.pop();
+                    let (l, r) = contracted.bisect_dim(*axis as usize);
+                    if *low_first {
+                        stack.push(r);
+                        stack.push(l);
+                    } else {
+                        stack.push(l);
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+        assert!(stack.is_empty(), "Unsat trace must consume every box");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Acceptance suite for the contractor escalation ladder (interval-Newton
+//! rung 1, 3B slab shaving rung 2):
+//!
+//! * **rung soundness** (proptest): a point whose exact satisfaction is
+//!   *interval-certified* survives both rungs — `newton_contract` never
+//!   refutes or contracts away a box around it, `shave_3b` never shaves
+//!   it off, and a full-ladder solve never answers `Unsat` on a box
+//!   containing it;
+//! * **engine identity** (proptest): with the ladder armed, the batched
+//!   frontier engine at widths 2 and 8 is bit-identical to the scalar
+//!   DFS — same outcome, same model, same statistics;
+//! * **pinned matrices**: the 45-pair extended and 66-pair ζ-resolved
+//!   matrices verified with and without the ladder. The ladder runs as a
+//!   retry on timed-out boxes, so every table mark must be unchanged or
+//!   strictly better — timeouts may only become decisions; a decided
+//!   mark (`OK`, `CE`) never changes;
+//! * **certificates**: a ladder-armed campaign still emits certificates
+//!   that replay under the independent `xcv_cert` checker, Newton/3B
+//!   steps included.
+
+use proptest::prelude::*;
+use xcverifier::prelude::*;
+use xcverifier::solver::{CompiledFormula, Escalation, SolveScratch, SolveStats};
+
+// ---------------------------------------------------------------------------
+// Random expressions (compact variant of tests/solver_batched.rs)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Recipe {
+    Var(u8),
+    Const(f64),
+    Add(Box<Recipe>, Box<Recipe>),
+    Mul(Box<Recipe>, Box<Recipe>),
+    Div(Box<Recipe>, Box<Recipe>),
+    Neg(Box<Recipe>),
+    PowI(Box<Recipe>, i32),
+    Exp(Box<Recipe>),
+    LnShift(Box<Recipe>),
+    Sqrt(Box<Recipe>),
+    Tanh(Box<Recipe>),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Recipe::Var),
+        (-3.0f64..3.0).prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Div(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Recipe::Neg(Box::new(a))),
+            (inner.clone(), 1i32..4).prop_map(|(a, n)| Recipe::PowI(Box::new(a), n)),
+            inner.clone().prop_map(|a| Recipe::Exp(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::LnShift(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Sqrt(Box::new(a))),
+            inner.prop_map(|a| Recipe::Tanh(Box::new(a))),
+        ]
+    })
+}
+
+fn build(r: &Recipe) -> Expr {
+    match r {
+        Recipe::Var(v) => var(*v as u32),
+        Recipe::Const(c) => constant(*c),
+        Recipe::Add(a, b) => build(a) + build(b),
+        Recipe::Mul(a, b) => build(a) * build(b),
+        Recipe::Div(a, b) => build(a) / build(b),
+        Recipe::Neg(a) => -build(a),
+        Recipe::PowI(a, n) => build(a).powi(*n),
+        Recipe::Exp(a) => (build(a) * 0.25).exp(),
+        Recipe::LnShift(a) => (build(a).powi(2) + 1.0).ln(),
+        Recipe::Sqrt(a) => (build(a).powi(2) + 0.5).sqrt(),
+        Recipe::Tanh(a) => build(a).tanh(),
+    }
+}
+
+fn stats_key(s: &SolveStats) -> (u64, u64, u64, u32) {
+    (s.nodes, s.pruned, s.branched, s.max_depth)
+}
+
+fn contains(b: &BoxDomain, point: &[f64]) -> bool {
+    b.dims()
+        .iter()
+        .zip(point)
+        .all(|(d, &p)| d.lo <= p && p <= d.hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rung soundness: interval-certified exact solutions survive every
+    /// contractor of the ladder, and the assembled ladder never proves
+    /// `Unsat` over a box that contains one.
+    #[test]
+    fn ladder_rungs_keep_certified_solutions(
+        recipe in recipe_strategy(),
+        lo in -0.5f64..0.5,
+        band in 0.05f64..0.5,
+        frac in (0.2f64..0.8, 0.2f64..0.8, 0.2f64..0.8),
+    ) {
+        let e = build(&recipe);
+        // A band formula lo <= e <= lo+band: wide enough to have interior
+        // solutions the f64 sampler below can certify.
+        let f = Formula::new(vec![
+            Atom::new(e.clone() - constant(lo), Rel::Ge),
+            Atom::new(e - constant(lo + band), Rel::Le),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0), (-1.0, 1.0)]);
+        let point: Vec<f64> = b
+            .dims()
+            .iter()
+            .zip([frac.0, frac.1, frac.2])
+            .map(|(d, t)| d.lo + t * d.width())
+            .collect();
+        let mut scratch = SolveScratch::new();
+        // Only certified solutions are load-bearing: an enclosure proof
+        // that `point` satisfies every atom exactly.
+        prop_assume!(compiled.holds_at_certified(&point, &mut scratch));
+        // Rung 1 must neither refute the box nor contract the point away.
+        let contracted = compiled.newton_contract(&b, 2, &mut scratch);
+        prop_assert!(
+            contracted.is_some(),
+            "Newton refuted a box with a certified solution"
+        );
+        prop_assert!(
+            contains(&contracted.unwrap(), &point),
+            "Newton contracted a certified solution away"
+        );
+        // Rung 2 must not shave the point off any face.
+        if let Some(shaved) = compiled.shave_3b(&b, &mut scratch, 0.125, 2, None, |_, _, _| {}) {
+            prop_assert!(contains(&shaved, &point), "3B shaved a certified solution off");
+        }
+        // The assembled ladder: never Unsat over a certified solution.
+        let solver = DeltaSolver::new(1e-3, SolveBudget::nodes(400))
+            .with_escalation(Escalation::full());
+        let (outcome, _) = solver.solve_compiled_with_stats(&b, &compiled, &mut scratch);
+        prop_assert!(
+            !matches!(outcome, Outcome::Unsat),
+            "ladder proved Unsat over a certified solution: {:?}",
+            outcome
+        );
+    }
+
+    /// Engine identity with the ladder armed: batched widths 2 and 8 equal
+    /// the scalar DFS bit for bit — outcomes, models, statistics.
+    #[test]
+    fn ladder_batched_matches_scalar_any_width(
+        recipe in recipe_strategy(),
+        lo in -0.5f64..0.5,
+        band in 0.05f64..0.5,
+        budget in 1u8..4,
+    ) {
+        let e = build(&recipe);
+        let f = Formula::new(vec![
+            Atom::new(e.clone() - constant(lo), Rel::Ge),
+            Atom::new(e - constant(lo + band), Rel::Le),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        let nodes = [30u64, 400, 5_000][(budget % 3) as usize];
+        let scalar = DeltaSolver::new(1e-3, SolveBudget::nodes(nodes))
+            .with_escalation(Escalation::full());
+        let mut scratch = SolveScratch::new();
+        let boxes = [
+            BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0), (-1.0, 1.0)]),
+            BoxDomain::from_bounds(&[(0.0, 0.5), (-1.0, 0.0), (0.2, 0.9)]),
+        ];
+        for b in &boxes {
+            let (want, want_stats) = scalar.solve_compiled_with_stats(b, &compiled, &mut scratch);
+            for w in [2usize, 8] {
+                let batched = scalar.clone().with_batch_width(w);
+                let (got, got_stats) =
+                    batched.solve_compiled_with_stats(b, &compiled, &mut scratch);
+                prop_assert_eq!(&want, &got, "ladder width {} diverged over {}", w, b);
+                prop_assert_eq!(
+                    stats_key(&want_stats),
+                    stats_key(&got_stats),
+                    "ladder width {} stats diverged over {}",
+                    w,
+                    b
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned matrices: marks unchanged-or-strictly-better under the ladder
+// ---------------------------------------------------------------------------
+
+fn quick_config(escalation: Escalation) -> VerifierConfig {
+    let mut solver = DeltaSolver::new(1e-3, SolveBudget::nodes(250)).with_batch_width(8);
+    solver.escalation = escalation;
+    VerifierConfig {
+        split_threshold: 1.25,
+        solver,
+        parallel: false,
+        parallel_depth: 0,
+        max_depth: 1,
+        pair_deadline_ms: None,
+    }
+}
+
+/// The only transitions the ladder may cause: timeouts becoming decisions.
+/// `?` may become anything decided, `OK*` may complete to `OK` or surface
+/// a counterexample the budget had hidden; `OK`, `CE` and `−` are final.
+fn mark_monotone(before: TableMark, after: TableMark) -> bool {
+    use TableMark::*;
+    before == after
+        || matches!(
+            (before, after),
+            (Unknown, Verified | PartiallyVerified | Counterexample)
+                | (PartiallyVerified, Verified | Counterexample)
+        )
+}
+
+fn assert_matrix_monotone(problems: &[EncodedProblem]) {
+    for p in problems {
+        let (plain, _) = Verifier::new(quick_config(Escalation::off())).verify_with_stats(p);
+        let (ladder, _) = Verifier::new(quick_config(Escalation::full())).verify_with_stats(p);
+        assert!(
+            mark_monotone(plain.table_mark(), ladder.table_mark()),
+            "ladder regressed {} / {}: {:?} -> {:?}",
+            p.functional_name(),
+            p.condition.name(),
+            plain.table_mark(),
+            ladder.table_mark()
+        );
+    }
+}
+
+#[test]
+fn pinned_extended_matrix_ladder_marks_monotone() {
+    let problems = Encoder::encode_all_extended();
+    assert_eq!(problems.len(), 45);
+    assert_matrix_monotone(&problems);
+}
+
+#[test]
+fn pinned_spin_matrix_ladder_marks_monotone() {
+    // The ζ-resolved matrix: 4-D cells, support-aware splits, the widest
+    // Newton gradient programs (per-spin s_σ axes).
+    let problems = Encoder::encode_all_spin();
+    assert_eq!(problems.len(), 66);
+    assert_matrix_monotone(&problems);
+}
+
+// ---------------------------------------------------------------------------
+// Certificates: ladder steps replay under the independent checker
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ladder_campaign_certificates_replay() {
+    let config = VerifierConfig {
+        split_threshold: 1.25,
+        // A deliberately tight budget so some boxes time out at rung 0 and
+        // the certificates exercise the retry path's Newton/3B steps.
+        solver: DeltaSolver::new(1e-3, SolveBudget::nodes(600)),
+        parallel: false,
+        parallel_depth: 0,
+        max_depth: 3,
+        pair_deadline_ms: None,
+    };
+    let report = Campaign::builder()
+        .functionals([Dfa::VwnRpa, Dfa::Lyp])
+        .conditions([Condition::EcNonPositivity])
+        .config(config)
+        .escalation(Escalation::full())
+        .emit_certificates(true)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(
+        report.mark("VWN RPA", Condition::EcNonPositivity),
+        Some(TableMark::Verified)
+    );
+    assert_eq!(
+        report.mark("LYP", Condition::EcNonPositivity),
+        Some(TableMark::Counterexample)
+    );
+    for p in &report.pairs {
+        let cert = p
+            .certificate
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} should certify under the ladder", p.functional_name()));
+        let audit = xcverifier::cert::check(cert).expect("ladder certificate replays");
+        assert_eq!(audit.regions, cert.regions.len());
+        // And through the exact JSON `xcvcheck` reads.
+        let back = Certificate::parse(&cert.to_json()).expect("wire format round-trips");
+        xcverifier::cert::check(&back).expect("parsed ladder certificate replays");
+    }
+}
