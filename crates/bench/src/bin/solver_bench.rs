@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! solver_bench [--nodes N] [--depth D] [--batch B] [--out FILE] [--extended] [--spin]
+//! solver_bench --service [--nodes N]     (service cold/warm benchmark only, no JSON)
 //! ```
 //!
 //! For every applicable (functional, condition) pair the PB domain is split
@@ -38,11 +39,14 @@
 //! `BENCH_solver.json`) — the checked-in snapshot tracks the perf
 //! trajectory across PRs.
 //!
-//! The JSON (schema v6; v5 renamed every mode entry's `timeout` count to
+//! The JSON (schema v7; v5 renamed every mode entry's `timeout` count to
 //! `timeouts`, v6 added the `ladder` mode and a top-level `ladder` entry
 //! whose `timeouts` array is the trajectory `[rung 0, ≤ rung 1, ≤ rung 2]`
 //! — the timeout count as each rung of the ladder is enabled over the same
-//! matrix) also carries: a `batched` entry — batch width,
+//! matrix, v7 added the `service` entry: the pinned extended matrix asked
+//! of an in-process `xcv-serve` daemon cold then warm, with the warm pass
+//! asserted mark-identical to an in-process campaign and compile-free)
+//! also carries: a `batched` entry — batch width,
 //! total batched vs scalar-session wall, and a campaign-level TableMark
 //! identity check; a `campaign` entry — the same matrix run as one
 //! [`Campaign`] under matrix-order and under cost-aware scheduling, with
@@ -66,6 +70,7 @@ struct Opts {
     out: String,
     extended: bool,
     spin: bool,
+    service_only: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -76,6 +81,7 @@ fn parse_opts(args: &[String]) -> Opts {
         out: "BENCH_solver.json".into(),
         extended: false,
         spin: false,
+        service_only: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -98,6 +104,7 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--extended" => o.extended = true,
             "--spin" => o.spin = true,
+            "--service" => o.service_only = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -209,9 +216,112 @@ fn campaign_run(
     (t0.elapsed().as_secs_f64(), report)
 }
 
+/// The verification-service benchmark: the pinned extended matrix (45
+/// applicable of 49 cells) asked of an in-process `xcv-serve` daemon cold,
+/// then again warm. The warm pass must answer every applicable pair from
+/// the level-2 result cache (zero solves), with a flat process-global
+/// tape-compile counter, and with marks identical to an in-process
+/// [`Campaign`] over the same matrix under the same flat config — the
+/// service is pure speed, never a different answer. Returns the `service`
+/// JSON entry for the benchmark snapshot.
+fn service_bench(nodes: u64) -> String {
+    use xcv_serve::{Client, Event, Policy, Server, ServerConfig, VerifyRequest};
+    let registry = Registry::extended();
+    // The exact flat config campaign_run measures with, as a shared policy:
+    // the daemon derives its VerifierConfig (and cache keys) from this.
+    let policy = Policy::Flat {
+        delta: 1e-3,
+        max_nodes: nodes,
+        split_threshold: 0.625,
+        max_depth: 2,
+    };
+    let (_, reference) = campaign_run(&registry, nodes, CampaignSchedule::MatrixOrder, None, None);
+    let mut reference_marks: Vec<(String, String, xcv_core::TableMark)> = reference
+        .pairs
+        .iter()
+        .map(|p| (p.functional_name(), p.condition.id().to_string(), p.mark))
+        .collect();
+    reference_marks.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+
+    let mut server = Server::spawn(ServerConfig::default()).expect("bind an ephemeral port");
+    let mut client = Client::connect(server.addr()).expect("connect to in-process daemon");
+    let request = VerifyRequest {
+        functionals: registry.names().iter().map(|n| n.to_string()).collect(),
+        conditions: Vec::new(), // all seven
+        policy,
+    };
+    let pass = |client: &mut Client| {
+        let mut marks = Vec::new();
+        let t0 = Instant::now();
+        let done = client
+            .verify(&request, |e| {
+                if let Event::Pair {
+                    functional,
+                    condition,
+                    mark,
+                    ..
+                } = e
+                {
+                    marks.push((functional.clone(), condition.id().to_string(), *mark));
+                }
+            })
+            .expect("service verify");
+        let wall_s = t0.elapsed().as_secs_f64();
+        marks.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        (wall_s, done, marks)
+    };
+    let (cold_s, cold, cold_marks) = pass(&mut client);
+    let (warm_s, warm, warm_marks) = pass(&mut client);
+    server.shutdown();
+
+    // Hard identities: the service changes wall-clock, never marks.
+    assert_eq!(
+        cold_marks, reference_marks,
+        "service cold marks diverged from the in-process campaign"
+    );
+    assert_eq!(warm_marks, cold_marks, "warm marks diverged from cold");
+    assert_eq!(warm.solved, 0, "warm pass re-solved a cached pair");
+    let compile_delta = warm.compile_count - cold.compile_count;
+    assert_eq!(compile_delta, 0, "warm pass compiled a tape");
+    let applicable = cold.cached + cold.solved;
+    let speedup = cold_s / warm_s.max(1e-6);
+    println!(
+        "service: {} cells ({} applicable), cold {:.0} ms, warm {:.3} ms ({:.0}x), \
+         warm cached {}/{}, warm l1 {}/{} hit, compile delta {}",
+        cold.pairs,
+        applicable,
+        cold_s * 1e3,
+        warm_s * 1e3,
+        speedup,
+        warm.cached,
+        applicable,
+        warm.l1_hits,
+        warm.l1_hits + warm.l1_misses,
+        compile_delta,
+    );
+    format!(
+        "{{\"pairs\": {}, \"applicable\": {}, \"cold_wall_ms\": {:.3}, \"warm_wall_ms\": {:.3}, \
+         \"speedup\": {:.1}, \"cached_warm\": {}, \"l1_hits_warm\": {}, \"l1_misses_warm\": {}, \
+         \"marks_identical\": true, \"compile_count_delta_warm\": {}}}",
+        cold.pairs,
+        applicable,
+        cold_s * 1e3,
+        warm_s * 1e3,
+        speedup,
+        warm.cached,
+        warm.l1_hits,
+        warm.l1_misses,
+        compile_delta,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_opts(&args);
+    if opts.service_only {
+        service_bench(opts.nodes);
+        return;
+    }
     let (problems, registry) = if opts.spin {
         (Encoder::encode_all_spin(), Registry::spin_general())
     } else if opts.extended {
@@ -542,8 +652,11 @@ fn main() {
         total_vs_seed,
         total_seed.wall_s / total_batched.wall_s.max(1e-12),
     );
+    // The service benchmark runs last: it spins its own in-process daemon
+    // and is independent of the per-box modes above.
+    let service_json = service_bench(opts.nodes);
     let json = format!(
-        "{{\n  \"schema\": \"xcv-bench-solver/v6\",\n  \"config\": {{\"nodes_per_box\": {}, \
+        "{{\n  \"schema\": \"xcv-bench-solver/v7\",\n  \"config\": {{\"nodes_per_box\": {}, \
          \"split_depth\": {}, \"delta\": 1e-3, \"pairs\": {}}},\n  \"total\": {{\"session\": {}, \
          \"batched\": {}, \"recompile\": {}, \"seed\": {}, \"ladder\": {}, \
          \"speedup_vs_seed\": {:.2}}},\n  \
@@ -556,6 +669,7 @@ fn main() {
          \"unsat_regressions\": 0}},\n  \"campaign\": \
          {{\"cells\": {}, \"matrix_order_wall_ms\": {:.3}, \"cost_aware_wall_ms\": {:.3}, \
          \"speedup_vs_matrix_order\": {:.2}, \"scheduler\": \"measured-cost-model\"}},\n  \
+         \"service\": {},\n  \
          \"cost_model\": {{\"kind\": \"log-linear\", \"features\": [\"family\", \"2^ndim\", \
          \"condition_class\"], \"weights\": [{:.6}, {:.6}, {:.6}, {:.6}], \"samples\": {}, \
          \"r2\": {:.4}}},\n  \"pairs\": [\n{}\n  ]\n}}\n",
@@ -586,6 +700,7 @@ fn main() {
         matrix_s * 1e3,
         cost_s * 1e3,
         matrix_s / cost_s.max(1e-12),
+        service_json,
         model.weights[0],
         model.weights[1],
         model.weights[2],

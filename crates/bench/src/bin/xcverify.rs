@@ -9,6 +9,8 @@
 //! xcverify --matrix [--emit-certs DIR] [...]  gate the whole extended matrix
 //! xcverify --matrix --shard 0/2 --checkpoint s0.json [...]
 //! xcverify --merge s0.json s1.json            union sharded checkpoints
+//! xcverify --merge --allow-missing s*.json    tolerate absent shards (exit 3)
+//! xcverify --server 127.0.0.1:7878 --matrix   answer from a running xcvserve
 //! xcverify --list [--spin]
 //! ```
 //!
@@ -33,6 +35,15 @@
 //! identical marks. `--shard i/n` runs only the i-th of `n` deterministic
 //! LPT shards; `--merge` unions the shard checkpoints and prints the
 //! combined matrix, sorted, one `functional / condition: mark` per line.
+//! With `--allow-missing`, absent or unreadable shard checkpoints are
+//! reported on stderr and the merge of the rest still prints, exiting 3 —
+//! an incomplete union is auditable but never reads as a green gate.
+//!
+//! `--server ADDR` answers the same query through a running `xcvserve`
+//! daemon instead of solving in-process: identical per-pair output lines,
+//! identical exit codes, identical marks (both paths derive their verifier
+//! configuration from the same [`xcv_serve::Policy`]), but warm queries
+//! return from the daemon's result cache without solving anything.
 //!
 //! Exit status: 0 when every checked condition ran and none was refuted;
 //! 1 when any counterexample is found; 2 on usage errors; 3 when the
@@ -42,10 +53,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xcv_bench::repro_config;
 use xcv_conditions::Condition;
 use xcv_core::{checkpoint_marks, Campaign, CampaignEvent, CampaignReport, SkipReason, TableMark};
 use xcv_functionals::{FunctionalHandle, Registry};
+use xcv_serve::{Client, Event, Policy, VerifyRequest};
 
 /// Resolve a CLI name against the registry (aliases included; the spin
 /// citizens get ASCII aliases so no shell has to type `ζ`).
@@ -84,7 +95,8 @@ fn usage() -> ExitCode {
          [--emit-certs DIR] [--checkpoint PATH] [--shard I/N] [--quiet]\n\
          \u{20}      xcverify --spin [--all]   (gate the whole ζ-resolved matrix)\n\
          \u{20}      xcverify --matrix [--all] (gate the whole extended matrix)\n\
-         \u{20}      xcverify --merge CKPT.json... (union shard checkpoints, print marks)\n\
+         \u{20}      xcverify --merge [--allow-missing] CKPT.json... (union shard checkpoints)\n\
+         \u{20}      xcverify --server ADDR ...  (query a running xcvserve daemon)\n\
          \u{20}      xcverify --list [--spin]\n\
          \u{20}      --expect-pairs N pins the applicable cell count: a grown or \
          shrunken matrix exits 2 before anything runs"
@@ -95,15 +107,26 @@ fn usage() -> ExitCode {
 /// `--merge`: union the per-shard (or interrupted-run) checkpoints and print
 /// the combined matrix, sorted, in the same `functional / condition: mark`
 /// shape the live gate streams — so a two-shard run is auditable against a
-/// single-process run with a plain `diff`.
-fn merge_checkpoints(files: &[String]) -> ExitCode {
+/// single-process run with a plain `diff`. `--allow-missing` downgrades an
+/// absent or unreadable shard from a hard usage error to a reported gap:
+/// the surviving union still prints, but the exit code is 3 — the same
+/// "incomplete gate" verdict a deadline-skipped live run gets.
+fn merge_checkpoints(args: &[String]) -> ExitCode {
+    let allow_missing = args.iter().any(|a| a == "--allow-missing");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--allow-missing").collect();
     if files.is_empty() {
         return usage();
     }
+    let mut missing = Vec::new();
     let mut merged = std::collections::BTreeMap::<(String, String), TableMark>::new();
     for file in files {
         let marks = match checkpoint_marks(file) {
             Ok(m) => m,
+            Err(e) if allow_missing => {
+                eprintln!("--merge: missing shard {file}: {e}");
+                missing.push(file.clone());
+                continue;
+            }
             Err(e) => {
                 eprintln!("--merge {file}: {e}");
                 return ExitCode::from(2);
@@ -125,6 +148,119 @@ fn merge_checkpoints(files: &[String]) -> ExitCode {
     }
     for ((functional, condition), mark) in &merged {
         println!("{functional} / {condition}: {mark}");
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "warning: {} shard checkpoint(s) missing ({}); union is incomplete",
+            missing.len(),
+            missing.join(", ")
+        );
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--server ADDR`: run the gate as a thin client of a running `xcvserve`.
+/// Output lines, counterexample capping, and exit codes match the
+/// in-process path exactly; only the execution engine differs — the daemon
+/// answers warm queries from its result cache without solving.
+fn run_against_server(
+    addr: &str,
+    registry: &Registry,
+    targets: &[FunctionalHandle],
+    conditions: &[Condition],
+    policy: Policy,
+    quiet: bool,
+) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("--server {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let request = VerifyRequest {
+        functionals: targets.iter().map(|f| f.name()).collect(),
+        conditions: conditions.to_vec(),
+        policy,
+    };
+    let mut any_ce = false;
+    let mut unrun: Vec<String> = Vec::new();
+    let mut shown = std::collections::HashMap::<String, usize>::new();
+    let done = client.verify(&request, |event| match event {
+        Event::Counterexample {
+            functional,
+            condition,
+            witness,
+        } => {
+            if quiet {
+                return;
+            }
+            let n = shown
+                .entry(format!("{functional}/{}", condition.name()))
+                .or_insert(0);
+            *n += 1;
+            if *n <= 5 {
+                let coords = match registry.get(functional) {
+                    Some(f) => f.var_space().label_point(witness),
+                    None => witness
+                        .iter()
+                        .map(|v| format!("{v:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                };
+                println!(
+                    "  [{}] counterexample at ({coords})",
+                    short_name(*condition)
+                );
+            }
+        }
+        Event::Pair {
+            functional,
+            condition,
+            mark,
+            skipped,
+            ..
+        } => match skipped {
+            None => {
+                if *mark == TableMark::Counterexample {
+                    any_ce = true;
+                }
+                if !quiet {
+                    println!("{functional} / {condition}: {mark}");
+                }
+            }
+            Some(tag) if tag != "na" && tag != "other_shard" => {
+                unrun.push(format!("{functional}/{}", short_name(*condition)));
+            }
+            Some(_) => {}
+        },
+        _ => {}
+    });
+    let done = match done {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("--server {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        eprintln!(
+            "server cache: {}/{} warm",
+            done.cached,
+            done.cached + done.solved
+        );
+    }
+    if any_ce {
+        return ExitCode::FAILURE;
+    }
+    if !unrun.is_empty() {
+        eprintln!(
+            "warning: {} condition(s) never ran ({}); gate is inconclusive",
+            unrun.len(),
+            unrun.join(", ")
+        );
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }
@@ -162,6 +298,7 @@ fn main() -> ExitCode {
     let mut checkpoint: Option<PathBuf> = None;
     let mut shard: Option<(usize, usize)> = None;
     let mut ladder = false;
+    let mut server: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -241,6 +378,13 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--server" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) => server = Some(addr.clone()),
+                    None => return usage(),
+                }
+            }
             _ => return usage(),
         }
         i += 1;
@@ -298,17 +442,36 @@ fn main() -> ExitCode {
         }
     }
 
+    // Both execution paths — in-process campaign and `--server` daemon —
+    // derive every pair's verifier configuration from this one policy
+    // value, so their marks (and the daemon's cache keys) agree by
+    // construction.
+    let policy = Policy::Gate {
+        budget_ms,
+        threshold,
+    };
+    if let Some(addr) = server {
+        // The daemon owns scheduling and persistence; the flags that steer
+        // the in-process campaign's execution have no server-side meaning.
+        if ladder
+            || checkpoint.is_some()
+            || shard.is_some()
+            || emit_certs.is_some()
+            || deadline_ms.is_some()
+        {
+            eprintln!(
+                "--server is incompatible with --ladder/--checkpoint/--shard/\
+                 --emit-certs/--deadline-ms (the daemon owns execution)"
+            );
+            return ExitCode::from(2);
+        }
+        return run_against_server(&addr, &registry, &targets, &conditions, policy, quiet);
+    }
+
     let mut builder = Campaign::builder()
         .functionals(targets)
         .conditions(conditions)
-        .config_policy(move |f, _| {
-            let max_depth = match f.arity() {
-                4.. => 2, // ζ-resolved: 16 children per split level
-                3 => 3,
-                _ => 5,
-            };
-            repro_config(budget_ms, threshold, max_depth)
-        });
+        .config_policy(move |f, _| policy.verifier_config(f));
     // Start measured when a persisted scheduler model is available (the
     // `cost_model` entry of BENCH_solver.json); ordering only — a stale or
     // absent model never changes any verdict.

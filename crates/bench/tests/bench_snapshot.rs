@@ -1,6 +1,8 @@
 //! Regression pins on the checked-in `BENCH_solver.json` snapshot (written
-//! by the `solver_bench` binary): schema v6 (per-mode `timeouts` counts
-//! plus the escalation-ladder entry and its timeout trajectory), a
+//! by the `solver_bench` binary): schema v7 (per-mode `timeouts` counts,
+//! the escalation-ladder entry and its timeout trajectory, and the
+//! verification-service entry — warm repeat served from cache, marks
+//! identical, zero warm tape compilations), a
 //! persisted measured cost model, the batched-engine guarantee — batched-session wall is faster
 //! than the scalar-session wall *on the snapshot*, with identical tallies
 //! and TableMarks (asserted inside the binary at write time) — and the
@@ -41,9 +43,9 @@ fn number(json: &str, key: &str) -> f64 {
 }
 
 #[test]
-fn snapshot_is_schema_v6_with_a_cost_model() {
+fn snapshot_is_schema_v7_with_a_cost_model() {
     let json = snapshot();
-    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v6\"");
+    assert_eq!(field(&json, "schema"), "\"xcv-bench-solver/v7\"");
     let model = &json[json.find("\"cost_model\"").expect("cost_model entry")..];
     assert_eq!(field(model, "kind"), "\"log-linear\"");
     // Four finite weights, a positive sample count, and a sane r².
@@ -214,4 +216,30 @@ fn snapshot_batched_entry_pins_batched_not_slower_than_scalar() {
     assert!(number(batched, "speedup_vs_session") >= 1.05);
     assert_eq!(field(batched, "marks_identical"), "true");
     assert_eq!(field(batched, "tallies_identical"), "true");
+}
+
+#[test]
+fn snapshot_service_entry_pins_the_warm_cache_contract() {
+    // The v7 `service` entry: the pinned 45-pair extended matrix asked of
+    // an in-process xcv-serve daemon cold, then warm. The warm repeat must
+    // be served entirely from the result cache — every applicable pair
+    // cached, zero tape compilations — with marks asserted identical to an
+    // in-process campaign inside the binary before the file is written
+    // (the `marks_identical` flag records that). The speedup floor is the
+    // service's reason to exist; the measured point at pinning time was
+    // ~250x (cold ~22 s, warm ~90 ms).
+    let json = snapshot();
+    let service = &json[json.find("\"service\"").expect("service entry")..];
+    assert_eq!(number(service, "pairs"), 49.0);
+    assert_eq!(number(service, "applicable"), 45.0);
+    assert_eq!(number(service, "cached_warm"), 45.0);
+    assert_eq!(field(service, "marks_identical"), "true");
+    assert_eq!(number(service, "compile_count_delta_warm"), 0.0);
+    let cold = number(service, "cold_wall_ms");
+    let warm = number(service, "warm_wall_ms");
+    assert!(cold > 0.0 && warm > 0.0);
+    assert!(
+        number(service, "speedup") >= 5.0,
+        "warm service repeat lost its speedup: cold {cold:.0} ms, warm {warm:.1} ms"
+    );
 }

@@ -43,6 +43,7 @@
 //! attaching it).
 
 pub mod json;
+pub mod store;
 
 use json::{escape, fmt_f64, Json};
 use xcv_expr::newton::{newton_contract, NewtonAtom, NewtonScratch};

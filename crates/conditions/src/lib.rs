@@ -85,6 +85,27 @@ impl Condition {
         ]
     }
 
+    /// Short stable identifier (`ec1`..`ec7`, the CLI spelling) — used in
+    /// wire protocols, cache-key renderings, and store file names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Condition::EcNonPositivity => "ec1",
+            Condition::EcScaling => "ec2",
+            Condition::UcMonotonicity => "ec3",
+            Condition::LiebOxford => "ec4",
+            Condition::LiebOxfordExt => "ec5",
+            Condition::TcUpperBound => "ec6",
+            Condition::ConjTcUpperBound => "ec7",
+        }
+    }
+
+    /// The condition with the given [`Condition::id`] (case-insensitive).
+    pub fn from_id(id: &str) -> Option<Condition> {
+        Condition::all()
+            .into_iter()
+            .find(|c| c.id().eq_ignore_ascii_case(id))
+    }
+
     pub fn name(&self) -> &'static str {
         match self {
             Condition::EcNonPositivity => "Ec non-positivity",

@@ -22,6 +22,7 @@
 //! * **reporting** — the result is a structured [`CampaignReport`] that
 //!   `xcv_report` renders directly into the paper's Tables I/II.
 
+use crate::cache::ProblemCache;
 use crate::certify::build_certificate;
 use crate::checkpoint::{self, CheckpointCell, CheckpointRegion};
 use crate::encoder::{EncodedProblem, Encoder};
@@ -327,8 +328,9 @@ fn cost_aware_order(costs: &[f64], workers: usize) -> Vec<usize> {
 type SkippedCell = (FunctionalHandle, Condition, SkipReason);
 
 /// One scheduled matrix cell: modeled cost plus the encoded problem (or its
-/// skip outcome).
-type CampaignCell = (u64, Result<EncodedProblem, SkippedCell>);
+/// skip outcome). Problems sit behind `Arc` so an attached
+/// [`ProblemCache`] can share one compiled instance across campaigns.
+type CampaignCell = (u64, Result<Arc<EncodedProblem>, SkippedCell>);
 
 /// Why a pair was not verified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -610,6 +612,47 @@ fn effective_escalation(
     }
 }
 
+/// Decision rank of a mark for the budget-escalation retry pass: a retry
+/// is accepted only when it climbs this ladder (or ties it with strictly
+/// fewer undecided regions). `Verified` and `Counterexample` are both
+/// fully decided — a retry can never trade one for the other, because the
+/// solver is sound (a counterexample is an exact witness, a verification
+/// an exhaustive cover; more budget cannot contradict either).
+fn mark_rank(mark: TableMark) -> u8 {
+    match mark {
+        TableMark::Unknown | TableMark::NotApplicable => 0,
+        TableMark::PartiallyVerified => 1,
+        TableMark::Verified | TableMark::Counterexample => 2,
+    }
+}
+
+/// Regions of a pair's map still undecided (timeout/inconclusive/cancelled).
+fn undecided_regions(p: &PairOutcome) -> usize {
+    p.map.as_ref().map_or(usize::MAX, |m| {
+        m.regions
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.status,
+                    RegionStatus::Timeout | RegionStatus::Inconclusive | RegionStatus::Cancelled
+                )
+            })
+            .count()
+    })
+}
+
+/// "Marks may only improve": accept the retried outcome over the recorded
+/// one only on a strict improvement — higher mark rank, or the same rank
+/// with strictly fewer undecided regions. Retries that were skipped
+/// (budget/cancel gate) never replace a recorded outcome.
+fn improves(old: &PairOutcome, new: &PairOutcome) -> bool {
+    if new.skipped.is_some() {
+        return false;
+    }
+    let (or, nr) = (mark_rank(old.mark), mark_rank(new.mark));
+    nr > or || (nr == or && undecided_regions(new) < undecided_regions(old))
+}
+
 /// Deterministic LPT assignment of cells to `of` shards: cells ranked by
 /// modeled cost (descending; matrix index breaks ties), each assigned to
 /// the least-loaded shard so far (ties to the lowest shard index). Every
@@ -657,6 +700,8 @@ pub struct CampaignBuilder {
     cost_model: Option<CostModel>,
     batch_width: Option<usize>,
     escalation: Option<xcv_solver::Escalation>,
+    budget_escalation: Option<(f64, u32)>,
+    problem_cache: Option<Arc<ProblemCache>>,
     emit_certificates: bool,
     checkpoint: Option<PathBuf>,
     shard: Option<(usize, usize)>,
@@ -765,6 +810,35 @@ impl CampaignBuilder {
         self
     }
 
+    /// Budget-escalation retry pass: after the first full pass, re-solve
+    /// the still-undecided cells (mark [`TableMark::Unknown`] or
+    /// [`TableMark::PartiallyVerified`]) with node/time budgets multiplied
+    /// by `factor`, up to `max_rounds` times, compounding per round. Marks
+    /// may only improve — a retry whose outcome ranks below (or ties
+    /// without reducing undecided regions) the recorded one is discarded,
+    /// the same retry-on-timeout semantics the contractor ladder uses.
+    /// The global budget and cancellation still gate every retry.
+    ///
+    /// # Panics
+    /// When `factor <= 1.0` (a retry at the same budget can only re-derive
+    /// the same undecided mark — a caller bug).
+    pub fn budget_escalation(mut self, factor: f64, max_rounds: u32) -> Self {
+        assert!(factor > 1.0, "budget escalation factor must exceed 1");
+        self.budget_escalation = Some((factor, max_rounds));
+        self
+    }
+
+    /// Encode cells through a shared [`ProblemCache`] (level 1 of the
+    /// verification service): pairs whose content key is already cached
+    /// reuse the compiled problem instead of re-running encode + tape
+    /// compilation. Attach the same `Arc` to successive campaigns to make
+    /// repeat matrices encode-free (observable as a flat
+    /// [`xcv_solver::compile_count`]).
+    pub fn problem_cache(mut self, cache: Arc<ProblemCache>) -> Self {
+        self.problem_cache = Some(cache);
+        self
+    }
+
     /// Record a solver trace for every verified leaf and attach a
     /// replayable [`Certificate`] to each completed pair (write them out
     /// with [`CampaignReport::write_certificates`]; audit with the
@@ -858,6 +932,8 @@ impl CampaignBuilder {
             cost_model: self.cost_model,
             batch_width: self.batch_width,
             escalation: self.escalation,
+            budget_escalation: self.budget_escalation,
+            problem_cache: self.problem_cache,
             emit_certificates: self.emit_certificates,
             checkpoint: self.checkpoint,
             shard: self.shard,
@@ -878,6 +954,8 @@ pub struct Campaign {
     cost_model: Option<CostModel>,
     batch_width: Option<usize>,
     escalation: Option<xcv_solver::Escalation>,
+    budget_escalation: Option<(f64, u32)>,
+    problem_cache: Option<Arc<ProblemCache>>,
     emit_certificates: bool,
     checkpoint: Option<PathBuf>,
     shard: Option<(usize, usize)>,
@@ -897,6 +975,8 @@ impl Campaign {
             cost_model: None,
             batch_width: None,
             escalation: None,
+            budget_escalation: None,
+            problem_cache: None,
             emit_certificates: false,
             checkpoint: None,
             shard: None,
@@ -933,7 +1013,14 @@ impl Campaign {
             .flat_map(|f| {
                 self.conditions.iter().map(move |&cond| {
                     let cost = pair_cost(f.as_ref(), cond);
-                    let cell = Encoder::encode(f, cond).map_err(|e| {
+                    // An attached problem cache short-circuits encode + tape
+                    // compilation for content-identical pairs; without one,
+                    // encode fresh as before.
+                    let cell = match &self.problem_cache {
+                        Some(cache) => cache.encode(f, cond),
+                        None => Encoder::encode(f, cond).map(Arc::new),
+                    }
+                    .map_err(|e| {
                         // A genuine `−` cell vs. a defective functional
                         // (e.g. metadata promises an exchange part the
                         // implementation lacks): the latter must not render
@@ -1060,7 +1147,7 @@ impl Campaign {
                             );
                             let out = PairOutcome {
                                 cost: *cost,
-                                ..self.run_pair(problem, start, restored.get(&key))
+                                ..self.run_pair(problem.as_ref(), start, restored.get(&key), 1.0)
                             };
                             self.persist(&out, store.as_ref(), key);
                             out
@@ -1071,19 +1158,69 @@ impl Campaign {
             })
             .collect();
         indexed.sort_by_key(|&(i, _)| i);
+        let mut pairs: Vec<PairOutcome> = indexed.into_iter().map(|(_, p)| p).collect();
+        // Budget-escalation retry rounds: re-solve still-undecided cells
+        // with compounded budgets; accept a retry only when it strictly
+        // improves (see `CampaignBuilder::budget_escalation`).
+        if let Some((factor, max_rounds)) = self.budget_escalation {
+            for round in 1..=max_rounds {
+                let scale = factor.powi(round as i32);
+                let retriable: Vec<usize> = pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        p.skipped.is_none()
+                            && matches!(p.mark, TableMark::Unknown | TableMark::PartiallyVerified)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if retriable.is_empty() || self.cancel.is_cancelled() {
+                    break;
+                }
+                if self.remaining_ms(start) == Some(0) {
+                    break;
+                }
+                let retried: Vec<(usize, PairOutcome)> = retriable
+                    .par_iter()
+                    .map(|&i| {
+                        let p = &pairs[i];
+                        let problem = match &cells[i].1 {
+                            Ok(problem) => problem,
+                            Err(_) => unreachable!("retriable cells ran, so they encoded"),
+                        };
+                        let out = PairOutcome {
+                            cost: p.cost,
+                            ..self.run_pair(problem.as_ref(), start, None, scale)
+                        };
+                        (i, out)
+                    })
+                    .collect();
+                for (i, out) in retried {
+                    if improves(&pairs[i], &out) {
+                        let key = (out.functional.name().to_ascii_lowercase(), out.condition);
+                        self.persist(&out, store.as_ref(), key);
+                        pairs[i] = out;
+                    }
+                }
+            }
+        }
         CampaignReport {
             functionals: self.functionals.clone(),
             conditions: self.conditions.clone(),
-            pairs: indexed.into_iter().map(|(_, p)| p).collect(),
+            pairs,
             wall_ms: start.elapsed().as_millis(),
         }
     }
 
+    /// One pair's verification; `budget_scale` multiplies the per-box
+    /// node/time budgets and the pair deadline (1.0 on the primary pass;
+    /// `factor^round` on budget-escalation retries).
     fn run_pair(
         &self,
         problem: &EncodedProblem,
         start: Instant,
         prior: Option<&CheckpointCell>,
+        budget_scale: f64,
     ) -> PairOutcome {
         let name = problem.functional.name();
         let cond = problem.condition;
@@ -1140,6 +1277,18 @@ impl Campaign {
             Some(policy) => policy(problem.functional.as_ref(), cond),
             None => self.config.clone(),
         };
+        if budget_scale != 1.0 {
+            let scale = |v: u64| -> u64 {
+                if v == u64::MAX {
+                    v
+                } else {
+                    (v as f64 * budget_scale).round().min(u64::MAX as f64 / 2.0) as u64
+                }
+            };
+            config.solver.budget.max_nodes = scale(config.solver.budget.max_nodes);
+            config.solver.budget.max_millis = scale(config.solver.budget.max_millis);
+            config.pair_deadline_ms = config.pair_deadline_ms.map(scale);
+        }
         config.pair_deadline_ms = match (config.pair_deadline_ms, remaining) {
             (Some(p), Some(r)) => Some(p.min(r)),
             (p, r) => p.or(r),

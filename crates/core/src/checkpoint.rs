@@ -15,7 +15,6 @@
 //! so a kill at any instant leaves a loadable checkpoint.
 
 use crate::region::{Region, RegionMap, RegionStatus, TableMark};
-use std::io::Write as _;
 use std::path::Path;
 use xcv_cert::json::{escape, fmt_f64, Json};
 use xcv_conditions::Condition;
@@ -144,17 +143,11 @@ pub(crate) fn render(cells: &[&CheckpointCell]) -> String {
     out
 }
 
-/// Write a checkpoint atomically: temp file in the same directory, then
-/// rename over the target, so a kill mid-write never corrupts an existing
-/// checkpoint.
+/// Write a checkpoint atomically (temp file + rename via the shared
+/// [`xcv_cert::store`] primitive), so a kill mid-write never corrupts an
+/// existing checkpoint.
 pub(crate) fn write_atomic(path: &Path, cells: &[&CheckpointCell]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(render(cells).as_bytes())?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
+    xcv_cert::store::write_atomic(path, &render(cells))
 }
 
 fn parse_condition(s: &str) -> Result<Condition, String> {

@@ -27,13 +27,16 @@
 //!   streamed [`CampaignEvent`]s, cancellation, and a structured
 //!   [`CampaignReport`] the report crate renders into Tables I/II.
 
+pub mod cache;
 mod campaign;
 mod certify;
 mod checkpoint;
 mod encoder;
+pub mod presets;
 mod region;
 mod verifier;
 
+pub use cache::{space_fingerprint, ProblemCache, ProblemKey};
 pub use campaign::{
     pair_cost, pair_features, Campaign, CampaignBuilder, CampaignEvent, CampaignReport,
     CampaignSchedule, CancelToken, CostModel, PairOutcome, SkipReason,

@@ -1,0 +1,73 @@
+//! Reproduction presets: the verifier configurations behind the `repro`,
+//! `xcverify`, and `xcvserve` binaries.
+//!
+//! These lived in `xcv-bench` while only the CLI tools consumed them; the
+//! verification daemon moved them here so that a server answering a
+//! "gate-policy" query derives the *same* per-functional configuration the
+//! in-process CLI path derives — parity by construction, not by keeping
+//! two copies in sync. `xcv-bench` re-exports every function, so existing
+//! `xcv_bench::repro_config(...)` call sites are unaffected.
+
+use crate::{Verifier, VerifierConfig};
+use xcv_functionals::{Family, Functional};
+use xcv_solver::{DeltaSolver, SolveBudget};
+
+/// Verifier preset for reproduction runs: per-box wall-clock budget in
+/// milliseconds, recursion floor `t`, and a depth cap.
+pub fn repro_verifier(budget_ms: u64, threshold: f64, max_depth: u32) -> Verifier {
+    Verifier::new(repro_config(budget_ms, threshold, max_depth))
+}
+
+/// The [`VerifierConfig`] behind [`repro_verifier`], for campaign builders.
+pub fn repro_config(budget_ms: u64, threshold: f64, max_depth: u32) -> VerifierConfig {
+    VerifierConfig {
+        split_threshold: threshold,
+        solver: DeltaSolver::new(
+            1e-3,
+            SolveBudget {
+                max_nodes: 60_000,
+                max_millis: budget_ms,
+            },
+        ),
+        parallel: true,
+        parallel_depth: 3,
+        max_depth,
+        // Bound each pair's total run at 400x the per-box budget: enough for
+        // several recursion levels, small enough that broad-timeout cells
+        // (the paper's "?" columns) finish in interactive time.
+        pair_deadline_ms: Some(budget_ms.saturating_mul(400)),
+    }
+}
+
+/// Per-family verifier settings for full-table runs, as a campaign config
+/// policy. 3-D (meta-GGA) domains split into 8 children per level, so their
+/// recursion is capped earlier — the paper's SCAN rows time out at every
+/// size anyway.
+pub fn config_for(f: &dyn Functional, budget_ms: u64) -> VerifierConfig {
+    // Spin-resolved (arity-4) citizens split into 16 children per level —
+    // cap their recursion earliest, whatever the family label says.
+    if f.arity() >= 4 {
+        return repro_config(budget_ms, 1.25, 2);
+    }
+    match f.info().family {
+        Family::Lda => repro_config(budget_ms, 0.05, 8),
+        Family::Gga => repro_config(budget_ms, 0.15, 6),
+        Family::MetaGga => repro_config(budget_ms, 0.625, 3),
+    }
+}
+
+/// Per-family verifier for single-pair runs (the pre-campaign API).
+pub fn verifier_for(f: &dyn Functional, budget_ms: u64) -> Verifier {
+    Verifier::new(config_for(f, budget_ms))
+}
+
+/// The measured scheduler cost model persisted by `solver_bench` — the
+/// `cost_model` entry of `BENCH_solver.json` (`XCV_COST_MODEL` overrides the
+/// path). The `repro`, `xcverify`, and `xcvserve` binaries attach it at
+/// startup so long campaigns start from *measured* weights; `None` (no
+/// file, no entry, or a malformed one) falls back to the hand-weighted
+/// `pair_cost` ranking.
+pub fn load_cost_model() -> Option<crate::CostModel> {
+    let path = std::env::var("XCV_COST_MODEL").unwrap_or_else(|_| "BENCH_solver.json".to_string());
+    crate::CostModel::load_bench_json(path)
+}

@@ -59,6 +59,30 @@ impl Default for VerifierConfig {
     }
 }
 
+impl VerifierConfig {
+    /// A stable 64-bit fingerprint of every field that can change a run's
+    /// *verdict or coverage*: the recursion floor, depth cap, pair
+    /// deadline, and the full [`DeltaSolver::fingerprint`]. `parallel` /
+    /// `parallel_depth` are deliberately excluded — they re-order work
+    /// without changing any region or mark, and a memoized result must
+    /// stay valid across machines with different core counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::cache::fnv1a_str("xcv-verifier-config/v1");
+        let mut eat = |v: u64| h = crate::cache::fnv1a(h, &v.to_le_bytes());
+        eat(self.split_threshold.to_bits());
+        eat(self.max_depth.into());
+        match self.pair_deadline_ms {
+            None => eat(u64::MAX),
+            Some(ms) => {
+                eat(0);
+                eat(ms);
+            }
+        }
+        eat(self.solver.fingerprint());
+        h
+    }
+}
+
 /// Per-call options for [`Verifier::verify_run`] — everything about *one*
 /// run that is not verifier configuration: cooperative cancellation,
 /// certificate trace recording, and the depth offset used when a

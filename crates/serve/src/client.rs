@@ -1,0 +1,90 @@
+//! The thin client: connect, send one line, stream event lines back.
+//!
+//! `xcverify --server` is built on this — it forwards verify events to a
+//! callback (for live per-pair printing) and returns the terminal
+//! [`Done`] summary. A connection handles any number of sequential
+//! requests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{Done, Event, Request, ServerStats, VerifyRequest};
+
+/// One connection to a running `xcvserve`.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        writeln!(self.writer, "{}", req.to_json()).map_err(|e| format!("send: {e}"))
+    }
+
+    fn next_event(&mut self) -> Result<Event, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Err(e) => return Err(format!("recv: {e}")),
+                Ok(0) => return Err("server closed the connection".to_string()),
+                Ok(_) if line.trim().is_empty() => continue,
+                Ok(_) => return Event::parse(line.trim_end()),
+            }
+        }
+    }
+
+    /// Run one verify request, forwarding every streamed event to
+    /// `on_event` as it arrives (the terminal event included), and return
+    /// the final summary. A server-side `error` event is an `Err`.
+    pub fn verify(
+        &mut self,
+        req: &VerifyRequest,
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<Done, String> {
+        self.send(&Request::Verify(req.clone()))?;
+        loop {
+            let event = self.next_event()?;
+            on_event(&event);
+            match event {
+                Event::Done(done) => return Ok(done),
+                Event::Error { message } => return Err(message),
+                _ => {}
+            }
+        }
+    }
+
+    /// Round-trip a ping.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send(&Request::Ping)?;
+        match self.next_event()? {
+            Event::Pong => Ok(()),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+
+    /// Fetch the daemon's lifetime cache statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, String> {
+        self.send(&Request::Stats)?;
+        match self.next_event()? {
+            Event::Stats(s) => Ok(s),
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    /// Ask the daemon to shut down (acknowledged before it stops).
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.send(&Request::Shutdown)?;
+        match self.next_event()? {
+            Event::Ok => Ok(()),
+            other => Err(format!("expected ok, got {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! xcv-serve — the long-running verification daemon (`xcvserve`) and its
+//! line-JSON client.
+//!
+//! A verification campaign's cost is dominated by two front-loaded pieces
+//! of work that are pure functions of the query: encoding/compiling the
+//! (functional, condition) pair into interval tapes, and the
+//! branch-and-prune solve itself. A CI fleet or an interactive user asks
+//! the same queries over and over, so this crate keeps a daemon resident
+//! and answers from a three-level cache:
+//!
+//! * **Level 1 — compiled problems** ([`xcv_core::ProblemCache`]): one
+//!   `Arc<EncodedProblem>` per content key *(DSL source hash, condition,
+//!   VarSpace fingerprint)*. A warm hit skips tape compilation entirely —
+//!   observable as a flat [`xcv_solver::compile_count`].
+//! * **Level 2 — memoized results** ([`store::ResultStore`]): the
+//!   TableMark/witness summary keyed by the level-1 key *plus* the solver
+//!   configuration fingerprint ([`xcv_core::VerifierConfig::fingerprint`]).
+//!   Admission to the on-disk store is cost-driven: only results whose
+//!   solve took at least `admit_ms` are persisted (atomic temp-file +
+//!   rename with a retry ladder); cheap pairs are recomputed on restart. A
+//!   restarted daemon warms its memo from the store directory.
+//! * **Level 3 — in-flight coalescing** ([`store::ResultStore::try_claim`]):
+//!   N concurrent identical queries cost one solve. Claiming is
+//!   non-blocking (`Hit` / `Leader` / `Busy`); a request solves and
+//!   finalizes everything it leads *before* waiting on busy keys, so
+//!   overlapping requests cannot deadlock.
+//!
+//! The wire protocol (line-delimited JSON over localhost TCP, `std::net`
+//! only) is documented in [`proto`]; campaign progress streams back as
+//! incremental event lines, so a thin client renders a server-backed run
+//! exactly like an in-process one. `xcverify --server ADDR` is that thin
+//! client, and answers are configured via the shared [`proto::Policy`] so
+//! the server-backed and in-process paths derive identical
+//! [`xcv_core::VerifierConfig`]s — and therefore identical marks — by
+//! construction.
+//!
+//! ## Cache-key fingerprints
+//!
+//! All fingerprints are FNV-1a over exact bit patterns (no float
+//! formatting), rendered as zero-padded hex in file names and on the wire
+//! (the hand-rolled JSON parses numbers through `f64`, which cannot carry
+//! 64-bit hashes):
+//!
+//! * problem: `{source_hash:016x}-{condition_id}-{space_fp:016x}`
+//! * result: problem key + `-{config_fp:016x}` where `config_fp` covers
+//!   δ, budget, split threshold, depth cap, and deadline — but *not* the
+//!   parallelism knobs, which cannot change marks.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use xcv_serve::{Client, Event, Policy, Server, ServerConfig, VerifyRequest};
+//!
+//! let mut server = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let done = client
+//!     .verify(
+//!         &VerifyRequest {
+//!             functionals: vec!["PBE".into(), "LYP".into()],
+//!             conditions: Vec::new(), // all seven
+//!             policy: Policy::Gate { budget_ms: 100, threshold: 0.3 },
+//!         },
+//!         |event| {
+//!             if let Event::Pair { functional, condition, mark, .. } = event {
+//!                 println!("{functional} / {condition:?}: {mark:?}");
+//!             }
+//!         },
+//!     )
+//!     .unwrap();
+//! assert_eq!(done.cached + done.solved, done.pairs - /* inapplicable */ 3);
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use proto::{Done, Event, Policy, Request, ServerStats, VerifyRequest};
+pub use server::{canonical_name, Server, ServerConfig};
+pub use store::{Claim, ResultKey, ResultStore, StoredResult};

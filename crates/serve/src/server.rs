@@ -1,0 +1,577 @@
+//! The daemon: a localhost TCP accept loop, thread-per-connection request
+//! handling, and the verify path that ties the three cache levels together.
+//!
+//! A verify request walks its matrix in functional-major order and sorts
+//! every applicable pair into one of three buckets with a single
+//! non-blocking [`ResultStore::try_claim`]:
+//!
+//! * **Hit** — replay the memoized answer immediately (started event,
+//!   recorded witnesses, `pair` event with `cached: true`).
+//! * **Leader** — this request owns the solve. All leads for one
+//!   functional run as one [`Campaign`] (compiling through the shared
+//!   level-1 [`ProblemCache`], streaming its events down the wire as they
+//!   happen), and every outcome is finalized into the store.
+//! * **Busy** — another request is already solving the identical key.
+//!   Deferred, and waited on only *after* this request's own leads are
+//!   finalized — the invariant that makes coalescing deadlock-free.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xcv_conditions::Condition;
+use xcv_core::cache::{ProblemCache, ProblemKey};
+use xcv_core::{
+    Campaign, CampaignEvent, CostModel, RegionMap, RegionStatus, SkipReason, TableMark,
+};
+use xcv_functionals::{FunctionalHandle, Registry};
+
+use crate::proto::{Done, Event, Request, ServerStats, VerifyRequest};
+use crate::store::{Claim, ResultKey, ResultStore, StoredResult};
+
+/// Resolve the CLI spellings of functional names to registry names — the
+/// same alias table as `xcverify --dfa`, so a client can send whatever the
+/// CLI accepts. [`Registry::get`] is case-insensitive on the result.
+pub fn canonical_name(name: &str) -> String {
+    match name.to_ascii_uppercase().as_str() {
+        "VWN" | "VWN_RPA" | "VWNRPA" => "VWN RPA".to_string(),
+        "RSCAN" | "RSCAN_REG" => "rSCAN(reg)".to_string(),
+        "PBE_SPIN" | "PBEZ" | "PBE(Z)" => "PBE(ζ)".to_string(),
+        "PW92_SPIN" | "PW92Z" | "PW92(Z)" => "PW92(ζ)".to_string(),
+        "LSDA_X" | "LSDAX" | "LSDA-X" | "LSDA-X(Z)" => "LSDA-X(ζ)".to_string(),
+        "B88_SPIN" | "B88Z" | "B88(Z)" => "B88(ζ)".to_string(),
+        "PBEX_SPIN" | "PBEX" | "PBE-X" | "PBE-X(Z)" => "PBE-X(ζ)".to_string(),
+        _ => name.to_string(),
+    }
+}
+
+/// Daemon configuration.
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Level-2 store directory (`None`: in-memory only, nothing survives
+    /// the process).
+    pub store_dir: Option<PathBuf>,
+    /// Persistence admission threshold: results whose solve took at least
+    /// this many milliseconds are written to `store_dir`; cheaper ones are
+    /// recomputed on restart.
+    pub admit_ms: u64,
+    /// Scheduler cost model for lead campaigns (fitted from a bench run).
+    pub cost_model: Option<CostModel>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: None,
+            admit_ms: 5,
+            cost_model: None,
+        }
+    }
+}
+
+struct State {
+    registry: Registry,
+    problems: Arc<ProblemCache>,
+    results: ResultStore,
+    cost_model: Option<CostModel>,
+}
+
+/// A running daemon. Dropping it shuts the accept loop down.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. The registry is [`Registry::spin_general`]
+    /// — every builtin plus the spin-resolved citizens, a superset of what
+    /// `xcverify` exposes.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            registry: Registry::spin_general(),
+            problems: Arc::new(ProblemCache::new()),
+            results: match &config.store_dir {
+                Some(dir) => ResultStore::open(dir, config.admit_ms),
+                None => ResultStore::in_memory(),
+            },
+            cost_model: config.cost_model,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let state = Arc::clone(&state);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || handle_conn(stream, &state, &stop));
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The actual bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Daemon-lifetime cache statistics.
+    pub fn stats(&self) -> ServerStats {
+        stats_of(&self.state)
+    }
+
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// connection threads finish their current request.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the daemon is shut down (by a `shutdown` request or
+    /// [`Server::shutdown`]).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn stats_of(state: &State) -> ServerStats {
+    let (l1_hits, l1_misses) = state.problems.stats();
+    let (results, result_hits, solves, coalesced, persisted, warm_loaded) =
+        state.results.counters();
+    ServerStats {
+        problems: state.problems.len() as u64,
+        l1_hits,
+        l1_misses,
+        results,
+        result_hits,
+        solves,
+        persisted,
+        warm_loaded,
+        coalesced,
+        compile_count: xcv_solver::compile_count(),
+    }
+}
+
+type Writer = Arc<Mutex<TcpStream>>;
+
+fn send(writer: &Writer, event: &Event) {
+    let mut w = writer.lock().unwrap();
+    // A vanished client must not kill the solve — the result still lands
+    // in the store for the next asker.
+    let _ = writeln!(w, "{}", event.to_json());
+}
+
+fn handle_conn(stream: TcpStream, state: &Arc<State>, stop: &Arc<AtomicBool>) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let writer: Writer = Arc::new(Mutex::new(stream));
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(e) => send(&writer, &Event::Error { message: e }),
+            Ok(Request::Ping) => send(&writer, &Event::Pong),
+            Ok(Request::Stats) => send(&writer, &Event::Stats(stats_of(state))),
+            Ok(Request::Shutdown) => {
+                send(&writer, &Event::Ok);
+                if !stop.swap(true, Ordering::SeqCst) {
+                    if let Ok(addr) = writer.lock().unwrap().local_addr() {
+                        let _ = TcpStream::connect(addr);
+                    }
+                }
+                break;
+            }
+            Ok(Request::Verify(req)) => handle_verify(state, &writer, &req),
+        }
+    }
+}
+
+/// Replay a memoized result as the same event sequence a fresh solve
+/// streams, with `cached` flagged on the terminal pair event. The
+/// functional is named as *this* request spelled it, so cached answers
+/// are indistinguishable from fresh ones to a thin client.
+fn replay(writer: &Writer, functional: &str, condition: Condition, r: &StoredResult, cached: bool) {
+    send(
+        writer,
+        &Event::Started {
+            functional: functional.to_string(),
+            condition,
+        },
+    );
+    for w in &r.witnesses {
+        send(
+            writer,
+            &Event::Counterexample {
+                functional: functional.to_string(),
+                condition,
+                witness: w.clone(),
+            },
+        );
+    }
+    send(
+        writer,
+        &Event::Pair {
+            functional: functional.to_string(),
+            condition,
+            mark: r.mark,
+            wall_ms: r.wall_ms,
+            cached,
+            skipped: None,
+        },
+    );
+}
+
+fn skip_tag(reason: SkipReason) -> &'static str {
+    match reason {
+        SkipReason::NotApplicable => "na",
+        SkipReason::EncodeFailed => "encode_failed",
+        SkipReason::BudgetExhausted => "budget",
+        SkipReason::Cancelled => "cancelled",
+        SkipReason::OtherShard => "other_shard",
+    }
+}
+
+fn region_census(map: &RegionMap) -> [u64; 4] {
+    let mut census = [0u64; 4];
+    for r in &map.regions {
+        census[match r.status {
+            RegionStatus::Verified => 0,
+            RegionStatus::Counterexample(_) => 1,
+            RegionStatus::Inconclusive => 2,
+            RegionStatus::Timeout | RegionStatus::Cancelled => 3,
+        }] += 1;
+    }
+    census
+}
+
+/// One lead pair: the handle, the cell, and its full result key.
+struct Lead {
+    functional: FunctionalHandle,
+    condition: Condition,
+    key: ResultKey,
+}
+
+fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
+    let start = Instant::now();
+    // Resolve every functional up front — an unknown name fails the whole
+    // request before any work happens.
+    let mut handles = Vec::new();
+    for name in &req.functionals {
+        match state.registry.get(&canonical_name(name)) {
+            Some(h) => handles.push(h),
+            None => {
+                send(
+                    writer,
+                    &Event::Error {
+                        message: format!("unknown functional {name:?}"),
+                    },
+                );
+                return;
+            }
+        }
+    }
+    let conditions: Vec<Condition> = if req.conditions.is_empty() {
+        Condition::all().to_vec()
+    } else {
+        req.conditions.clone()
+    };
+    let policy = req.policy;
+    let (l1_hits_0, l1_misses_0) = state.problems.stats();
+    let mut done = Done {
+        pairs: (handles.len() * conditions.len()) as u64,
+        ..Done::default()
+    };
+
+    // Pass 1: claim every applicable pair, matrix order.
+    let mut leads: Vec<Lead> = Vec::new();
+    let mut deferred: Vec<Lead> = Vec::new();
+    for f in &handles {
+        for &condition in &conditions {
+            if !condition.applies_to(f.as_ref()) {
+                send(
+                    writer,
+                    &Event::Pair {
+                        functional: f.name(),
+                        condition,
+                        mark: TableMark::NotApplicable,
+                        wall_ms: 0,
+                        cached: false,
+                        skipped: Some("na".to_string()),
+                    },
+                );
+                continue;
+            }
+            let key = match ProblemKey::of(f, condition) {
+                Ok(k) => k,
+                Err(_) => {
+                    send(
+                        writer,
+                        &Event::Pair {
+                            functional: f.name(),
+                            condition,
+                            mark: TableMark::Unknown,
+                            wall_ms: 0,
+                            cached: false,
+                            skipped: Some("encode_failed".to_string()),
+                        },
+                    );
+                    continue;
+                }
+            };
+            let key = ResultKey {
+                problem: key,
+                config_fp: policy.verifier_config(f.as_ref()).fingerprint(),
+            };
+            let lead = Lead {
+                functional: f.clone(),
+                condition,
+                key,
+            };
+            match state.results.try_claim(key) {
+                Claim::Hit(r) => {
+                    replay(writer, &f.name(), condition, &r, true);
+                    done.cached += 1;
+                }
+                Claim::Leader => leads.push(lead),
+                Claim::Busy => deferred.push(lead),
+            }
+        }
+    }
+
+    // Pass 2: solve the leads, one campaign per functional (a campaign is
+    // a full sub-matrix; different functionals may lead different
+    // condition subsets). Events stream to the client as they happen.
+    let mut by_functional: Vec<(FunctionalHandle, Vec<Lead>)> = Vec::new();
+    for lead in leads {
+        match by_functional
+            .iter_mut()
+            .find(|(f, _)| f.name() == lead.functional.name())
+        {
+            Some((_, group)) => group.push(lead),
+            None => by_functional.push((lead.functional.clone(), vec![lead])),
+        }
+    }
+    for (f, group) in by_functional {
+        let mut builder = Campaign::builder()
+            .functional(f.clone())
+            .conditions(group.iter().map(|l| l.condition))
+            .config_policy(move |f, _| policy.verifier_config(f))
+            .problem_cache(Arc::clone(&state.problems))
+            .on_event({
+                let writer = Arc::clone(writer);
+                move |ev| {
+                    let mapped = match ev {
+                        CampaignEvent::PairStarted {
+                            functional,
+                            condition,
+                        } => Event::Started {
+                            functional: functional.clone(),
+                            condition: *condition,
+                        },
+                        CampaignEvent::CounterexampleFound {
+                            functional,
+                            condition,
+                            witness,
+                        } => Event::Counterexample {
+                            functional: functional.clone(),
+                            condition: *condition,
+                            witness: witness.clone(),
+                        },
+                        CampaignEvent::PairFinished {
+                            functional,
+                            condition,
+                            mark,
+                            wall_ms,
+                        } => Event::Pair {
+                            functional: functional.clone(),
+                            condition: *condition,
+                            mark: *mark,
+                            wall_ms: u64::try_from(*wall_ms).unwrap_or(u64::MAX),
+                            cached: false,
+                            skipped: None,
+                        },
+                        CampaignEvent::PairSkipped {
+                            functional,
+                            condition,
+                            reason,
+                        } => Event::Pair {
+                            functional: functional.clone(),
+                            condition: *condition,
+                            mark: if *reason == SkipReason::NotApplicable {
+                                TableMark::NotApplicable
+                            } else {
+                                TableMark::Unknown
+                            },
+                            wall_ms: 0,
+                            cached: false,
+                            skipped: Some(skip_tag(*reason).to_string()),
+                        },
+                    };
+                    send(&writer, &mapped);
+                }
+            });
+        if let Some(model) = &state.cost_model {
+            builder = builder.cost_model(model.clone());
+        }
+        let keys: HashMap<Condition, ResultKey> =
+            group.iter().map(|l| (l.condition, l.key)).collect();
+        match builder.build() {
+            Ok(campaign) => {
+                let report = campaign.run();
+                for outcome in &report.pairs {
+                    let Some(&key) = keys.get(&outcome.condition) else {
+                        continue;
+                    };
+                    if outcome.skipped.is_some() {
+                        state.results.abandon(key);
+                        continue;
+                    }
+                    done.solved += 1;
+                    let map = outcome.map.as_ref();
+                    state.results.finalize(
+                        key,
+                        StoredResult {
+                            functional: outcome.functional_name(),
+                            condition: outcome.condition,
+                            mark: outcome.mark,
+                            witnesses: map
+                                .map(|m| {
+                                    m.counterexamples()
+                                        .into_iter()
+                                        .map(<[f64]>::to_vec)
+                                        .collect()
+                                })
+                                .unwrap_or_default(),
+                            wall_ms: u64::try_from(outcome.wall_ms).unwrap_or(u64::MAX),
+                            regions: map.map(region_census).unwrap_or_default(),
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                for lead in &group {
+                    state.results.abandon(lead.key);
+                }
+                send(
+                    writer,
+                    &Event::Error {
+                        message: format!("campaign for {}: {e}", f.name()),
+                    },
+                );
+                return;
+            }
+        }
+    }
+
+    // Pass 3: only now — with every owned leadership finalized — block on
+    // the pairs other requests were solving. If a leader abandoned one,
+    // claim it ourselves and solve solo.
+    for lead in deferred {
+        loop {
+            if let Some(r) = state.results.wait_for(lead.key) {
+                replay(writer, &lead.functional.name(), lead.condition, &r, true);
+                done.cached += 1;
+                done.coalesced += 1;
+                break;
+            }
+            match state.results.try_claim(lead.key) {
+                Claim::Hit(r) => {
+                    replay(writer, &lead.functional.name(), lead.condition, &r, true);
+                    done.cached += 1;
+                    break;
+                }
+                Claim::Busy => continue,
+                Claim::Leader => {
+                    let campaign = Campaign::builder()
+                        .functional(lead.functional.clone())
+                        .conditions([lead.condition])
+                        .config_policy(move |f, _| policy.verifier_config(f))
+                        .problem_cache(Arc::clone(&state.problems))
+                        .build();
+                    let Ok(campaign) = campaign else {
+                        state.results.abandon(lead.key);
+                        break;
+                    };
+                    let report = campaign.run();
+                    let Some(outcome) = report
+                        .pairs
+                        .iter()
+                        .find(|p| p.condition == lead.condition && p.skipped.is_none())
+                    else {
+                        state.results.abandon(lead.key);
+                        break;
+                    };
+                    let map = outcome.map.as_ref();
+                    let result = StoredResult {
+                        functional: outcome.functional_name(),
+                        condition: outcome.condition,
+                        mark: outcome.mark,
+                        witnesses: map
+                            .map(|m| {
+                                m.counterexamples()
+                                    .into_iter()
+                                    .map(<[f64]>::to_vec)
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                        wall_ms: u64::try_from(outcome.wall_ms).unwrap_or(u64::MAX),
+                        regions: map.map(region_census).unwrap_or_default(),
+                    };
+                    state.results.finalize(lead.key, result.clone());
+                    done.solved += 1;
+                    replay(
+                        writer,
+                        &lead.functional.name(),
+                        lead.condition,
+                        &result,
+                        false,
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    let (l1_hits_1, l1_misses_1) = state.problems.stats();
+    done.l1_hits = l1_hits_1 - l1_hits_0;
+    done.l1_misses = l1_misses_1 - l1_misses_0;
+    done.compile_count = xcv_solver::compile_count();
+    done.wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    send(writer, &Event::Done(done));
+}

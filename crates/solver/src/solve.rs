@@ -376,6 +376,39 @@ impl DeltaSolver {
         self
     }
 
+    /// A stable 64-bit fingerprint of every field that can change a solve's
+    /// *answer or coverage*: δ, both budget axes, the mean-value switch,
+    /// the batch width, and the full escalation ladder. Two solvers with
+    /// equal fingerprints produce bit-identical outcomes on any compiled
+    /// problem, so memoized result stores key on this (FNV-1a over the
+    /// exact bit patterns — no float rounding in the key).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.delta.to_bits());
+        eat(self.budget.max_nodes);
+        eat(self.budget.max_millis);
+        eat(u64::from(self.mean_value));
+        eat(self.batch_width as u64);
+        let esc = &self.escalation;
+        eat(u64::from(esc.max_rung));
+        eat(esc.stall_gain.to_bits());
+        eat(esc.newton_sweeps as u64);
+        eat(esc.shave_frac.to_bits());
+        eat(u64::from(esc.shave_passes));
+        eat(u64::from(esc.depth_cap));
+        eat(u64::from(esc.shave_stride));
+        eat(esc.newton_width_cap.to_bits());
+        h
+    }
+
     /// Decide `formula` over `domain` (one-shot: compiles the formula, then
     /// solves — callers visiting many boxes should compile once and use
     /// [`DeltaSolver::solve_compiled`]).

@@ -48,6 +48,13 @@
 //!   the independent `xcvcheck` replayer audits that evidence with *only*
 //!   the interval kernels — no solver, no search code (see the
 //!   [certificates quickstart](#replayable-proof-certificates-emit--check)
+//!   below);
+//! * [`serve`] — the verification daemon (`xcvserve`): a long-running
+//!   TCP service over a line-JSON protocol with a three-level cache —
+//!   compiled problems, memoized results (disk-backed, cost-admitted),
+//!   and in-flight request coalescing — so a repeated query answers in
+//!   microseconds with bit-identical marks (see the
+//!   [service quickstart](#verification-as-a-service-the-xcvserve-daemon)
 //!   below).
 //!
 //! ## Quickstart: verify a whole matrix as one campaign
@@ -245,6 +252,49 @@
 //! // (merge with `CampaignReport::merge` or `xcverify --merge`).
 //! ```
 //!
+//! ## Verification-as-a-service: the `xcvserve` daemon
+//!
+//! For repeated queries — CI gates, editor integrations, a fleet of
+//! clients asking about the same functionals — spinning up a process and
+//! recompiling every tape per query is the dominant cost. The [`serve`]
+//! crate keeps one daemon warm instead: `xcvserve` listens on localhost
+//! TCP, speaks a line-JSON protocol (requests in, campaign events
+//! streamed back out), and answers through three cache levels — a
+//! compiled-problem cache keyed by content hash (level 1), a memoized
+//! result store keyed by problem × solver-config fingerprint with
+//! cost-model-driven disk admission and warm restart (level 2), and
+//! in-flight coalescing so N identical concurrent queries share one
+//! solve (level 3). `xcverify --server ADDR` turns the CLI gate into a
+//! thin client of a running daemon with identical output and exit codes;
+//! the warm repeat of the full 45-pair extended matrix answers ~2 orders
+//! of magnitude faster than the cold solve, with marks asserted
+//! bit-identical (the `service` entry of `BENCH_solver.json` pins it).
+//!
+//! ```no_run
+//! use xcverifier::serve::{Client, Event, Policy, Server, ServerConfig, VerifyRequest};
+//!
+//! // An in-process daemon on an ephemeral port (production runs the
+//! // `xcvserve` binary; the wire protocol is the same either way).
+//! let mut server = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let req = VerifyRequest {
+//!     functionals: vec!["PBE".into(), "LYP".into()],
+//!     conditions: Vec::new(), // all seven
+//!     policy: Policy::Gate { budget_ms: 100, threshold: 1e-5 },
+//! };
+//! let done = client.verify(&req, |e| {
+//!     if let Event::Pair { functional, condition, mark, cached, .. } = e {
+//!         println!("{functional} / {condition:?}: {mark:?} (cached: {cached})");
+//!     }
+//! }).unwrap();
+//! // A second identical request is served entirely from the result
+//! // cache: zero solves, zero tape compilations, identical marks.
+//! let warm = client.verify(&req, |_| {}).unwrap();
+//! assert_eq!(warm.solved, 0);
+//! assert_eq!(warm.cached, done.cached + done.solved);
+//! server.shutdown();
+//! ```
+//!
 //! Single pairs still work through [`prelude::Encoder`] /
 //! [`prelude::Verifier`]; campaigns are the batch path. User-defined
 //! functionals join either path by registering a handle:
@@ -275,6 +325,7 @@ pub use xcv_functionals as functionals;
 pub use xcv_grid as grid;
 pub use xcv_interval as interval;
 pub use xcv_report as report;
+pub use xcv_serve as serve;
 pub use xcv_solver as solver;
 
 /// The commonly used types, one `use` away.

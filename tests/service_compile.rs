@@ -1,0 +1,52 @@
+//! The flat-compile-counter contract of a warm service pass, in isolation.
+//!
+//! [`xcv_solver::compile_count`] is process-global, so this assertion gets
+//! its own test binary: with the daemon in-process and nothing else
+//! running, any tape compiled between the cold and warm passes is the
+//! daemon's doing — and a warm pass must compile exactly nothing. This is
+//! the observable proof that level 1 (the compiled-problem cache) and
+//! level 2 (the result store) actually short-circuit the encode pipeline,
+//! not just the solver.
+
+use xcv_functionals::Registry;
+use xcv_serve::{Client, Policy, Server, ServerConfig, VerifyRequest};
+
+#[test]
+fn warm_service_pass_compiles_nothing() {
+    let mut server = Server::spawn(ServerConfig::default()).expect("ephemeral port");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let req = VerifyRequest {
+        functionals: Registry::extended()
+            .names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect(),
+        conditions: Vec::new(),
+        policy: Policy::Flat {
+            delta: 1e-3,
+            max_nodes: 150,
+            split_threshold: 0.625,
+            max_depth: 1,
+        },
+    };
+    let cold = client.verify(&req, |_| {}).expect("cold pass");
+    assert_eq!(
+        cold.solved, 40,
+        "40 distinct problems in the 45-pair matrix"
+    );
+    let compiles_cold = xcv_solver::compile_count();
+    assert_eq!(
+        cold.compile_count, compiles_cold,
+        "the daemon is in-process: its counter is ours"
+    );
+
+    let warm = client.verify(&req, |_| {}).expect("warm pass");
+    assert_eq!(warm.cached, 45);
+    assert_eq!(warm.solved, 0);
+    assert_eq!(
+        warm.compile_count, compiles_cold,
+        "flat compile_count across the warm pass"
+    );
+    assert_eq!(xcv_solver::compile_count(), compiles_cold);
+    server.shutdown();
+}
