@@ -11,6 +11,7 @@
 //! xcverify --merge s0.json s1.json            union sharded checkpoints
 //! xcverify --merge --allow-missing s*.json    tolerate absent shards (exit 3)
 //! xcverify --server 127.0.0.1:7878 --matrix   answer from a running xcvserve
+//! xcverify --server ADDR --fallback-local ... degrade to in-process on failure
 //! xcverify --list [--spin]
 //! ```
 //!
@@ -43,7 +44,10 @@
 //! daemon instead of solving in-process: identical per-pair output lines,
 //! identical exit codes, identical marks (both paths derive their verifier
 //! configuration from the same [`xcv_serve::Policy`]), but warm queries
-//! return from the daemon's result cache without solving anything.
+//! return from the daemon's result cache without solving anything. With
+//! `--fallback-local`, an unreachable or failing daemon degrades to the
+//! in-process path (stderr warning, bit-identical marks) instead of
+//! failing the gate on infrastructure.
 //!
 //! Exit status: 0 when every checked condition ran and none was refuted;
 //! 1 when any counterexample is found; 2 on usage errors; 3 when the
@@ -96,7 +100,7 @@ fn usage() -> ExitCode {
          \u{20}      xcverify --spin [--all]   (gate the whole ζ-resolved matrix)\n\
          \u{20}      xcverify --matrix [--all] (gate the whole extended matrix)\n\
          \u{20}      xcverify --merge [--allow-missing] CKPT.json... (union shard checkpoints)\n\
-         \u{20}      xcverify --server ADDR ...  (query a running xcvserve daemon)\n\
+         \u{20}      xcverify --server ADDR [--fallback-local] ...  (query a running xcvserve daemon)\n\
          \u{20}      xcverify --list [--spin]\n\
          \u{20}      --expect-pairs N pins the applicable cell count: a grown or \
          shrunken matrix exits 2 before anything runs"
@@ -118,7 +122,10 @@ fn merge_checkpoints(args: &[String]) -> ExitCode {
         return usage();
     }
     let mut missing = Vec::new();
-    let mut merged = std::collections::BTreeMap::<(String, String), TableMark>::new();
+    // Each mark remembers which shard file contributed it, so a conflict
+    // names both offending checkpoints — the first thing an operator needs
+    // to triage a mixed-version or mixed-config shard fleet.
+    let mut merged = std::collections::BTreeMap::<(String, String), (TableMark, String)>::new();
     for file in files {
         let marks = match checkpoint_marks(file) {
             Ok(m) => m,
@@ -134,19 +141,23 @@ fn merge_checkpoints(args: &[String]) -> ExitCode {
         };
         for (functional, condition, mark) in marks {
             let key = (functional, condition.to_string());
-            if let Some(prev) = merged.get(&key) {
+            if let Some((prev, prev_file)) = merged.get(&key) {
                 if *prev != mark {
                     eprintln!(
-                        "--merge: conflicting marks for {} / {}: {prev} vs {mark}",
+                        "--merge: conflicting marks for {} / {}: \
+                         {prev} (from {prev_file}) vs {mark} (from {file}); \
+                         shards disagree — were they run with the same \
+                         binary and policy?",
                         key.0, key.1
                     );
                     return ExitCode::from(2);
                 }
+                continue; // keep the first contributor's attribution
             }
-            merged.insert(key, mark);
+            merged.insert(key, (mark, file.to_string()));
         }
     }
-    for ((functional, condition), mark) in &merged {
+    for ((functional, condition), (mark, _)) in &merged {
         println!("{functional} / {condition}: {mark}");
     }
     if !missing.is_empty() {
@@ -164,6 +175,13 @@ fn merge_checkpoints(args: &[String]) -> ExitCode {
 /// Output lines, counterexample capping, and exit codes match the
 /// in-process path exactly; only the execution engine differs — the daemon
 /// answers warm queries from its result cache without solving.
+///
+/// `Err` means the daemon was unusable (connect failure, transport error,
+/// or a server-side `error` event): with `--fallback-local` armed the
+/// caller degrades to the in-process path, so when buffering is requested
+/// all stdout lines are held back until the server run actually completes —
+/// a half-streamed server run followed by a full local run must not print
+/// its pairs twice.
 fn run_against_server(
     addr: &str,
     registry: &Registry,
@@ -171,14 +189,10 @@ fn run_against_server(
     conditions: &[Condition],
     policy: Policy,
     quiet: bool,
-) -> ExitCode {
-    let mut client = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("--server {addr}: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    buffer_output: bool,
+) -> Result<ExitCode, String> {
+    let mut client = Client::connect_retry(addr, 3, std::time::Duration::from_millis(50))
+        .map_err(|e| format!("{e}"))?;
     let request = VerifyRequest {
         functionals: targets.iter().map(|f| f.name()).collect(),
         conditions: conditions.to_vec(),
@@ -187,63 +201,70 @@ fn run_against_server(
     let mut any_ce = false;
     let mut unrun: Vec<String> = Vec::new();
     let mut shown = std::collections::HashMap::<String, usize>::new();
-    let done = client.verify(&request, |event| match event {
-        Event::Counterexample {
-            functional,
-            condition,
-            witness,
-        } => {
-            if quiet {
-                return;
+    let mut held: Vec<String> = Vec::new();
+    let done = client.verify(&request, |event| {
+        let mut out = |line: String| {
+            if buffer_output {
+                held.push(line);
+            } else {
+                println!("{line}");
             }
-            let n = shown
-                .entry(format!("{functional}/{}", condition.name()))
-                .or_insert(0);
-            *n += 1;
-            if *n <= 5 {
-                let coords = match registry.get(functional) {
-                    Some(f) => f.var_space().label_point(witness),
-                    None => witness
-                        .iter()
-                        .map(|v| format!("{v:.4}"))
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                };
-                println!(
-                    "  [{}] counterexample at ({coords})",
-                    short_name(*condition)
-                );
+        };
+        match event {
+            Event::Counterexample {
+                functional,
+                condition,
+                witness,
+            } => {
+                if quiet {
+                    return;
+                }
+                let n = shown
+                    .entry(format!("{functional}/{}", condition.name()))
+                    .or_insert(0);
+                *n += 1;
+                if *n <= 5 {
+                    let coords = match registry.get(functional) {
+                        Some(f) => f.var_space().label_point(witness),
+                        None => witness
+                            .iter()
+                            .map(|v| format!("{v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    };
+                    out(format!(
+                        "  [{}] counterexample at ({coords})",
+                        short_name(*condition)
+                    ));
+                }
             }
+            Event::Pair {
+                functional,
+                condition,
+                mark,
+                skipped,
+                ..
+            } => match skipped {
+                None => {
+                    if *mark == TableMark::Counterexample {
+                        any_ce = true;
+                    }
+                    if !quiet {
+                        out(format!("{functional} / {condition}: {mark}"));
+                    }
+                }
+                Some(tag) if tag != "na" && tag != "other_shard" => {
+                    unrun.push(format!("{functional}/{}", short_name(*condition)));
+                }
+                Some(_) => {}
+            },
+            _ => {}
         }
-        Event::Pair {
-            functional,
-            condition,
-            mark,
-            skipped,
-            ..
-        } => match skipped {
-            None => {
-                if *mark == TableMark::Counterexample {
-                    any_ce = true;
-                }
-                if !quiet {
-                    println!("{functional} / {condition}: {mark}");
-                }
-            }
-            Some(tag) if tag != "na" && tag != "other_shard" => {
-                unrun.push(format!("{functional}/{}", short_name(*condition)));
-            }
-            Some(_) => {}
-        },
-        _ => {}
     });
-    let done = match done {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("--server {addr}: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let done = done?;
+    for line in held {
+        println!("{line}");
+    }
     if !quiet {
         eprintln!(
             "server cache: {}/{} warm",
@@ -252,7 +273,7 @@ fn run_against_server(
         );
     }
     if any_ce {
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
     if !unrun.is_empty() {
         eprintln!(
@@ -260,9 +281,9 @@ fn run_against_server(
             unrun.len(),
             unrun.join(", ")
         );
-        return ExitCode::from(3);
+        return Ok(ExitCode::from(3));
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Parse `--shard I/N` (e.g. `0/2`).
@@ -299,6 +320,7 @@ fn main() -> ExitCode {
     let mut shard: Option<(usize, usize)> = None;
     let mut ladder = false;
     let mut server: Option<String> = None;
+    let mut fallback_local = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -385,6 +407,7 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--fallback-local" => fallback_local = true,
             _ => return usage(),
         }
         i += 1;
@@ -450,7 +473,11 @@ fn main() -> ExitCode {
         budget_ms,
         threshold,
     };
-    if let Some(addr) = server {
+    if fallback_local && server.is_none() {
+        eprintln!("--fallback-local requires --server");
+        return ExitCode::from(2);
+    }
+    if let Some(addr) = &server {
         // The daemon owns scheduling and persistence; the flags that steer
         // the in-process campaign's execution have no server-side meaning.
         if ladder
@@ -465,7 +492,27 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
-        return run_against_server(&addr, &registry, &targets, &conditions, policy, quiet);
+        match run_against_server(
+            addr,
+            &registry,
+            &targets,
+            &conditions,
+            policy,
+            quiet,
+            fallback_local,
+        ) {
+            Ok(code) => return code,
+            Err(e) if fallback_local => {
+                // Degrade, don't die: the in-process path derives its
+                // verifier configuration from the same `policy`, so the
+                // marks are bit-identical — only the cache warmth is lost.
+                eprintln!("--server {addr}: {e}; falling back to in-process verification");
+            }
+            Err(e) => {
+                eprintln!("--server {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let mut builder = Campaign::builder()

@@ -25,15 +25,35 @@ use std::time::Duration;
 
 /// Write `contents` to `path` atomically: temp file in the same directory
 /// (so the rename never crosses filesystems), fsync, then rename over the
-/// target. A kill mid-write never corrupts an existing document.
+/// target. A kill mid-write never corrupts an existing document. On any
+/// failure the temp file is removed — an error path never litters the
+/// store directory with `.tmp` orphans.
 pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
+    let write = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
         f.write_all(contents.as_bytes())?;
         f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
+        std::fs::rename(tmp, path)
+    };
+    write(&tmp).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Move a corrupt document out of the store's way by appending `.bad` to
+/// its file name (`result.json` → `result.json.bad`), so warm-start scans
+/// (which only read `*.json`) stop seeing it while the bytes stay on disk
+/// for postmortem. Returns the quarantine path.
+pub fn quarantine(path: &Path) -> std::io::Result<PathBuf> {
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("quarantine: path has no file name"))?
+        .to_os_string();
+    name.push(".bad");
+    let dest = path.with_file_name(name);
+    std::fs::rename(path, &dest)?;
+    Ok(dest)
 }
 
 /// [`write_atomic`] with a retry ladder: up to `attempts` tries, sleeping
@@ -108,6 +128,40 @@ mod tests {
         let path = PathBuf::from("/nonexistent_xcv_store/doc.json");
         let err = write_atomic_retry(&path, "{}", 3, Duration::from_millis(1));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn failed_writes_leave_no_tmp_orphans() {
+        // Force the *rename* to fail after the temp file was created: the
+        // destination is an existing non-empty directory, which rename(2)
+        // cannot replace with a file. Every retry creates the temp file —
+        // the error path must clean it up each time.
+        let dir = tmp_dir("orphan");
+        let target = dir.join("doc.json");
+        std::fs::create_dir_all(target.join("occupied")).unwrap();
+        let err = write_atomic_retry(&target, "{}", 3, Duration::from_millis(1));
+        assert!(err.is_err(), "rename over a non-empty directory fails");
+        let orphans: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(orphans.is_empty(), "no *.tmp left behind: {orphans:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_renames_out_of_the_json_namespace() {
+        let dir = tmp_dir("quarantine");
+        let path = dir.join("doc.json");
+        std::fs::write(&path, "garbage").unwrap();
+        let dest = quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert!(dest.ends_with("doc.json.bad"));
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "garbage");
+        // The store scan no longer sees it.
+        assert!(read_dir_json(&dir).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

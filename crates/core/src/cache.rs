@@ -119,6 +119,17 @@ impl ProblemCache {
         ProblemCache::default()
     }
 
+    /// The cache map, recovering from mutex poisoning: a panic in a thread
+    /// that held the lock (e.g. an isolated solver panic in a serving
+    /// daemon) must not take the shared cache down with it — the map's
+    /// invariants hold at every await-free lock region, so the poisoned
+    /// state is simply the last consistent one.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<ProblemKey, Arc<EncodedProblem>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Encode `(f, condition)` through the cache: key it by content, return
     /// the shared problem on a hit, run the full encode pipeline (tape
     /// compilation included) only on a miss. Inapplicable pairs error
@@ -129,7 +140,7 @@ impl ProblemCache {
         condition: Condition,
     ) -> Result<Arc<EncodedProblem>, XcvError> {
         let key = ProblemKey::of(f, condition)?;
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        if let Some(hit) = self.map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
@@ -138,13 +149,13 @@ impl ProblemCache {
         // the same key is benign (last insert wins, both Arcs are valid).
         let problem = Arc::new(Encoder::encode(f.clone(), condition)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(key, Arc::clone(&problem));
+        self.map().insert(key, Arc::clone(&problem));
         Ok(problem)
     }
 
     /// Cache lines currently held.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map().len()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -707,6 +707,7 @@ pub struct CampaignBuilder {
     shard: Option<(usize, usize)>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
+    fault_plan: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl CampaignBuilder {
@@ -903,6 +904,16 @@ impl CampaignBuilder {
         self
     }
 
+    /// Attach a deterministic [`crate::fault::FaultPlan`] (test harness
+    /// hook): a plan arming [`crate::fault::FaultSite::SolverPanic`] makes
+    /// scheduled solves panic on the plan's schedule, exercising the
+    /// serving layer's panic isolation. Without a plan (the default, and
+    /// the only production configuration) nothing is injected.
+    pub fn fault_plan(mut self, plan: Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Finish building. Fails with [`XcvError::UnknownFunctional`] when no
     /// functionals were supplied (an empty campaign is always a caller bug)
     /// and with [`XcvError::DuplicateFunctional`] on duplicate names —
@@ -939,6 +950,7 @@ impl CampaignBuilder {
             shard: self.shard,
             on_event: self.on_event,
             cancel: self.cancel,
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -961,6 +973,7 @@ pub struct Campaign {
     shard: Option<(usize, usize)>,
     on_event: Vec<EventCallback>,
     cancel: CancelToken,
+    fault_plan: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl Campaign {
@@ -982,6 +995,7 @@ impl Campaign {
             shard: None,
             on_event: Vec::new(),
             cancel: CancelToken::new(),
+            fault_plan: None,
         }
     }
 
@@ -1049,12 +1063,31 @@ impl Campaign {
             shard_assignment(&costs, of)
         });
         // Checkpoint: restore what a previous (interrupted) run persisted,
-        // and keep a live store rewritten after every pair.
+        // and keep a live store rewritten after every pair. A truncated or
+        // unparseable checkpoint is quarantined (renamed `*.bad`) and the
+        // campaign recomputes from scratch — corruption may cost work,
+        // never correctness and never a crash.
         let restored: HashMap<(String, Condition), CheckpointCell> = self
             .checkpoint
             .as_deref()
             .filter(|p| p.exists())
-            .and_then(|p| checkpoint::load(p).ok())
+            .and_then(|p| match checkpoint::load(p) {
+                Ok(cs) => Some(cs),
+                Err(e) => {
+                    match xcv_cert::store::quarantine(p) {
+                        Ok(dest) => eprintln!(
+                            "xcv: corrupt checkpoint {} ({e}); quarantined to {} and recomputing",
+                            p.display(),
+                            dest.display()
+                        ),
+                        Err(io) => eprintln!(
+                            "xcv: corrupt checkpoint {} ({e}); quarantine failed ({io}), recomputing",
+                            p.display()
+                        ),
+                    }
+                    None
+                }
+            })
             .map(|cs| {
                 cs.into_iter()
                     .map(|c| ((c.functional.to_ascii_lowercase(), c.condition), c))
@@ -1272,6 +1305,14 @@ impl Campaign {
             functional: name.clone(),
             condition: cond,
         });
+        // Fault-injection hook (test harness only): a plan arming
+        // SolverPanic takes down this solve the way a solver bug would —
+        // after the start event, before any result lands.
+        if let Some(plan) = &self.fault_plan {
+            if plan.should_fire(crate::fault::FaultSite::SolverPanic) {
+                panic!("injected fault: solver panic for {name}/{cond:?}");
+            }
+        }
         // Per-pair deadline, clamped to what is left of the global budget.
         let mut config = match &self.config_policy {
             Some(policy) => policy(problem.functional.as_ref(), cond),

@@ -1,0 +1,186 @@
+//! Deterministic fault injection for the serving and campaign layers.
+//!
+//! A [`FaultPlan`] is the single hook the fault-tolerance tests drive:
+//! production code threads an optional plan through the campaign runner
+//! and the daemon, and asks [`FaultPlan::should_fire`] at each injection
+//! site (solver entry, store finalize, event write). A site with no armed
+//! rule never fires, so an absent or empty plan is exactly the
+//! fault-free system.
+//!
+//! Decisions are **deterministic**: each site keeps an arrival ordinal,
+//! and the armed [`FaultRule`] is a pure function of `(seed, site,
+//! ordinal)` — no wall-clock, no global RNG. Under concurrency the
+//! *assignment* of ordinals to threads depends on arrival order, but the
+//! number of injected faults per site is exact (e.g. [`FaultRule::First`]
+//! fires precisely `n` times however the arrivals interleave), which is
+//! what the fault suite asserts on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::{fnv1a, fnv1a_str};
+
+/// Where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic at the start of a pair's solve (inside the campaign runner) —
+    /// models a solver bug taking down a coalescing leader.
+    SolverPanic = 0,
+    /// Synthetic I/O error on the result store's finalize-to-disk path —
+    /// models a full or failing store volume.
+    FinalizeIo = 1,
+    /// Write a torn (truncated) result file instead of the real document —
+    /// models bit rot / a non-atomic filesystem under a kill.
+    StoreCorrupt = 2,
+    /// Stall before writing an event to the client — models a slow
+    /// consumer backing up the wire.
+    ClientStall = 3,
+}
+
+const SITES: usize = 4;
+
+/// When an armed site fires, as a pure function of the arrival ordinal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultRule {
+    /// Fire on the first `n` arrivals at the site, then never again.
+    First(u64),
+    /// Fire whenever `FNV(seed, site, ordinal) % den < num` — a seeded
+    /// deterministic "probability" of `num/den` per arrival.
+    Ratio { num: u32, den: u32 },
+    /// Fire on every arrival.
+    Always,
+}
+
+/// A deterministic fault schedule shared (via `Arc`) by every layer under
+/// test. Construction arms rules per site; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: [Option<FaultRule>; SITES],
+    attempts: [AtomicU64; SITES],
+    fired: [AtomicU64; SITES],
+}
+
+impl FaultPlan {
+    /// An empty plan (no site armed) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Arm `site` with `rule` (builder style).
+    #[must_use]
+    pub fn arm(mut self, site: FaultSite, rule: FaultRule) -> Self {
+        self.rules[site as usize] = Some(rule);
+        self
+    }
+
+    /// Record one arrival at `site` and decide whether the fault fires.
+    /// Unarmed sites still count arrivals (visible via
+    /// [`FaultPlan::attempts`]) but never fire.
+    pub fn should_fire(&self, site: FaultSite) -> bool {
+        let i = site as usize;
+        let ordinal = self.attempts[i].fetch_add(1, Ordering::SeqCst);
+        let Some(rule) = self.rules[i] else {
+            return false;
+        };
+        let fire = match rule {
+            FaultRule::First(n) => ordinal < n,
+            FaultRule::Always => true,
+            FaultRule::Ratio { num, den } => {
+                let mut h = fnv1a_str("xcv-fault/v1");
+                h = fnv1a(h, &self.seed.to_le_bytes());
+                h = fnv1a(h, &[i as u8]);
+                h = fnv1a(h, &ordinal.to_le_bytes());
+                den != 0 && (h % u64::from(den)) < u64::from(num)
+            }
+        };
+        if fire {
+            self.fired[i].fetch_add(1, Ordering::SeqCst);
+        }
+        fire
+    }
+
+    /// Arrivals recorded at `site` so far.
+    pub fn attempts(&self, site: FaultSite) -> u64 {
+        self.attempts[site as usize].load(Ordering::SeqCst)
+    }
+
+    /// Faults actually injected at `site` so far.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site as usize].load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire_but_count_arrivals() {
+        let plan = FaultPlan::new(7);
+        for _ in 0..5 {
+            assert!(!plan.should_fire(FaultSite::SolverPanic));
+        }
+        assert_eq!(plan.attempts(FaultSite::SolverPanic), 5);
+        assert_eq!(plan.fired(FaultSite::SolverPanic), 0);
+    }
+
+    #[test]
+    fn first_n_fires_exactly_n_times() {
+        let plan = FaultPlan::new(0).arm(FaultSite::FinalizeIo, FaultRule::First(3));
+        let fired: Vec<bool> = (0..6)
+            .map(|_| plan.should_fire(FaultSite::FinalizeIo))
+            .collect();
+        assert_eq!(fired, [true, true, true, false, false, false]);
+        assert_eq!(plan.fired(FaultSite::FinalizeIo), 3);
+    }
+
+    #[test]
+    fn ratio_is_deterministic_in_the_seed_and_ordinal() {
+        let a =
+            FaultPlan::new(42).arm(FaultSite::StoreCorrupt, FaultRule::Ratio { num: 1, den: 3 });
+        let b =
+            FaultPlan::new(42).arm(FaultSite::StoreCorrupt, FaultRule::Ratio { num: 1, den: 3 });
+        let fa: Vec<bool> = (0..64)
+            .map(|_| a.should_fire(FaultSite::StoreCorrupt))
+            .collect();
+        let fb: Vec<bool> = (0..64)
+            .map(|_| b.should_fire(FaultSite::StoreCorrupt))
+            .collect();
+        assert_eq!(fa, fb, "same seed, same schedule");
+        assert!(
+            fa.iter().any(|&f| f),
+            "1/3 over 64 arrivals fires at least once"
+        );
+        assert!(fa.iter().any(|&f| !f), "and skips at least once");
+        // A different seed reshuffles the schedule (with overwhelming
+        // likelihood over 64 draws).
+        let c =
+            FaultPlan::new(43).arm(FaultSite::StoreCorrupt, FaultRule::Ratio { num: 1, den: 3 });
+        let fc: Vec<bool> = (0..64)
+            .map(|_| c.should_fire(FaultSite::StoreCorrupt))
+            .collect();
+        assert_ne!(fa, fc, "different seed, different schedule");
+    }
+
+    #[test]
+    fn first_n_is_exact_under_concurrency() {
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::new(1).arm(FaultSite::SolverPanic, FaultRule::First(4)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let plan = Arc::clone(&plan);
+                std::thread::spawn(move || {
+                    (0..16)
+                        .filter(|_| plan.should_fire(FaultSite::SolverPanic))
+                        .count()
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 4, "exactly First(4) injections across all threads");
+        assert_eq!(plan.attempts(FaultSite::SolverPanic), 128);
+    }
+}

@@ -32,6 +32,7 @@ mod campaign;
 mod certify;
 mod checkpoint;
 mod encoder;
+pub mod fault;
 pub mod presets;
 mod region;
 mod verifier;
@@ -44,6 +45,7 @@ pub use campaign::{
 pub use certify::build_certificate;
 pub use checkpoint::checkpoint_marks;
 pub use encoder::{EncodedProblem, Encoder};
+pub use fault::{FaultPlan, FaultRule, FaultSite};
 pub use region::{Region, RegionMap, RegionStatus, TableMark};
 pub use verifier::{RegionDetail, RunOptions, RunOutput, Verifier, VerifierConfig};
 pub use xcv_functionals::XcvError;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xcvserve [--addr HOST:PORT] [--store DIR] [--admit-ms N]
+//!          [--max-conns N] [--deadline-ms N] [--idle-ms N]
 //!          [--port-file PATH] [--quiet]
 //! ```
 //!
@@ -11,6 +12,13 @@
 //!   it at startup (default: in-memory only).
 //! * `--admit-ms N` — persistence admission threshold in milliseconds
 //!   (default 5): cheaper solves are memoized but not written to disk.
+//! * `--max-conns N` — concurrent-connection cap (default 64); past it,
+//!   connections are rejected with an explicit `busy` error line.
+//! * `--deadline-ms N` — per-request wall deadline (default: none); pairs
+//!   not finished in time stream as `skipped: "timeout"` and the request
+//!   degrades gracefully instead of running on.
+//! * `--idle-ms N` — socket read timeout (default 30000): a connection
+//!   idle or wedged mid-line this long is reaped.
 //! * `--port-file PATH` — write the actually-bound address to `PATH`
 //!   (atomic), for scripts that launch with port 0.
 //! * `--quiet` — suppress the startup line.
@@ -24,6 +32,7 @@ use xcv_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: xcvserve [--addr HOST:PORT] [--store DIR] [--admit-ms N] \
+         [--max-conns N] [--deadline-ms N] [--idle-ms N] \
          [--port-file PATH] [--quiet]"
     );
     std::process::exit(2);
@@ -45,6 +54,16 @@ fn main() {
             "--store" => config.store_dir = Some(value().into()),
             "--admit-ms" => {
                 config.admit_ms = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--max-conns" => {
+                config.max_connections = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--deadline-ms" => {
+                config.request_deadline_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--idle-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.read_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
             "--port-file" => port_file = Some(value()),
             "--quiet" => quiet = true,

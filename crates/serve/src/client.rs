@@ -4,9 +4,16 @@
 //! callback (for live per-pair printing) and returns the terminal
 //! [`Done`] summary. A connection handles any number of sequential
 //! requests.
+//!
+//! Resilience: [`Client::connect_retry`] rides out a daemon that is still
+//! binding (or briefly restarting) with a doubling-backoff connect ladder,
+//! transient read interruptions (`EINTR`) are retried in place, and
+//! [`Client::set_read_timeout`] bounds how long a read blocks on a wedged
+//! daemon so the caller can fall back instead of hanging.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::proto::{Done, Event, Request, ServerStats, VerifyRequest};
 
@@ -19,8 +26,42 @@ pub struct Client {
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
+        // Requests are single short lines: flush them immediately instead
+        // of trading a Nagle/delayed-ACK stall for nothing.
+        let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { writer, reader })
+    }
+
+    /// [`Client::connect`] with a retry ladder: up to `attempts` tries,
+    /// sleeping `backoff` then doubling after each refused/failed connect.
+    /// Covers the races a service client actually hits — the daemon still
+    /// binding its port, or restarting under a supervisor — without
+    /// masking a genuinely absent server for more than the ladder's total.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        attempts: u32,
+        backoff: Duration,
+    ) -> std::io::Result<Client> {
+        let mut delay = backoff;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Bound how long any single event read blocks (`None` = forever).
+    /// The two stream handles share one socket, so this covers every read.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     fn send(&mut self, req: &Request) -> Result<(), String> {
@@ -30,11 +71,13 @@ impl Client {
     fn next_event(&mut self) -> Result<Event, String> {
         let mut line = String::new();
         loop {
-            line.clear();
             match self.reader.read_line(&mut line) {
+                // A signal-interrupted read is not a dead server: retry,
+                // keeping whatever partial line already arrived.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(format!("recv: {e}")),
                 Ok(0) => return Err("server closed the connection".to_string()),
-                Ok(_) if line.trim().is_empty() => continue,
+                Ok(_) if line.trim().is_empty() => line.clear(),
                 Ok(_) => return Event::parse(line.trim_end()),
             }
         }

@@ -46,6 +46,49 @@
 //!   δ, budget, split threshold, depth cap, and deadline — but *not* the
 //!   parallelism knobs, which cannot change marks.
 //!
+//! ## Operations & failure modes
+//!
+//! The daemon is built to keep serving through the failures a long-running
+//! service actually meets; the deterministic fault-injection suite
+//! (`tests/service_faults.rs`, driven by [`xcv_core::FaultPlan`]) pins
+//! each of these behaviours:
+//!
+//! * **A panicking solve** (solver bug, poisoned input) is caught at two
+//!   `catch_unwind` boundaries — around each leader campaign and around
+//!   the whole request. Every leadership is held via an RAII
+//!   [`store::LeaderGuard`], so unwinding *abandons* the claims: coalesced
+//!   `Busy` waiters wake, re-claim, and take the solve over. The client
+//!   whose request panicked gets a structured `error` event; everyone
+//!   else gets the correct marks. Shared caches recover from mutex
+//!   poisoning (`PoisonError::into_inner`) and the `stats` counter
+//!   `panics` records every isolated panic.
+//! * **What survives a crash / restart**: results persisted to the store
+//!   directory (solves that reached `admit_ms`) warm the memo on the next
+//!   start; everything else — cheap results, in-flight solves, the
+//!   compiled-problem cache — is recomputed on demand. Identical marks
+//!   either way.
+//! * **Corruption is quarantined, never served**: every stored result
+//!   carries an FNV-1a content checksum (schema `xcv-serve-result/v2`).
+//!   A document that fails to parse or checksum at warm start is renamed
+//!   `*.bad` (kept for postmortem, invisible to later scans), counted in
+//!   `stats.quarantined`, and its pair recomputes. Campaign checkpoint
+//!   files get the same treatment in `xcv_core`.
+//! * **Timeouts and backpressure** (defaults in [`ServerConfig`]): socket
+//!   read timeout 30 s (reaps hung/idle connections — a stalled client
+//!   wedges only itself), write timeout 10 s (a stalled reader's stream
+//!   goes dead; the solve finishes and lands in the store), bounded
+//!   coalescing waits (`wait_timeout`, 120 s) so a wedged leader cannot
+//!   wedge its waiters, request lines capped at 1 MiB, and a
+//!   64-connection cap answered with an explicit `busy` error. An
+//!   optional per-request wall deadline (`request_deadline_ms`) degrades
+//!   gracefully: pairs already solved are answered, the rest stream as
+//!   `skipped: "timeout"` and are tallied in `done.timeouts`.
+//! * **Client-side resilience**: [`Client::connect_retry`] rides out a
+//!   binding/restarting daemon with doubling backoff, and
+//!   `xcverify --server --fallback-local` degrades to the bit-identical
+//!   in-process path (with a stderr warning) when the daemon is
+//!   unreachable mid-campaign.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -79,4 +122,5 @@ pub mod store;
 pub use client::Client;
 pub use proto::{Done, Event, Policy, Request, ServerStats, VerifyRequest};
 pub use server::{canonical_name, Server, ServerConfig};
-pub use store::{Claim, ResultKey, ResultStore, StoredResult};
+pub use store::{Claim, LeaderGuard, ResultKey, ResultStore, StoredResult, WaitOutcome};
+pub use xcv_core::{FaultPlan, FaultRule, FaultSite};

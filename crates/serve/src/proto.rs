@@ -39,7 +39,7 @@
 //! {"event": "pair", "functional": "PBE", "condition": "ec1", "mark": "verified",
 //!  "wall_ms": 12, "cached": false, "skipped": null}
 //! {"event": "done", "pairs": 49, "cached": 45, "solved": 0, "coalesced": 0,
-//!  "l1_hits": 45, "l1_misses": 0, "compile_count": 90, "wall_ms": 3}
+//!  "l1_hits": 45, "l1_misses": 0, "compile_count": 90, "wall_ms": 3, "timeouts": 0}
 //! ```
 //!
 //! `cached: true` marks a level-2 store hit (the pair was answered without
@@ -48,8 +48,10 @@
 //! identically). The `done` counters expose the cache behaviour a client
 //! (or CI) asserts on: `cached`/`solved`/`coalesced` partition the
 //! applicable pairs of this request, `l1_*` are the request's
-//! compiled-problem cache deltas, and `compile_count` is the daemon's
-//! process-global tape-compilation counter — flat across a warm request.
+//! compiled-problem cache deltas, `compile_count` is the daemon's
+//! process-global tape-compilation counter — flat across a warm request —
+//! and `timeouts` counts pairs the request's wall deadline expired on
+//! (each also reported as a `pair` event with `skipped: "timeout"`).
 
 use xcv_cert::json::{escape, fmt_f64, Json};
 use xcv_conditions::Condition;
@@ -278,6 +280,10 @@ pub struct Done {
     /// request ([`xcv_solver::compile_count`]) — flat across a warm repeat.
     pub compile_count: u64,
     pub wall_ms: u64,
+    /// Pairs the request's wall deadline expired on (`skipped: "timeout"`
+    /// pair events): the request degraded gracefully instead of running
+    /// past its deadline — already-solved pairs were still answered.
+    pub timeouts: u64,
 }
 
 /// Daemon-lifetime counters (the `stats` command).
@@ -297,6 +303,12 @@ pub struct ServerStats {
     /// Level 3: requests that waited on an identical in-flight solve.
     pub coalesced: u64,
     pub compile_count: u64,
+    /// Corrupt store documents renamed `*.bad` at warm start (each one
+    /// recomputes on first demand instead of serving garbage).
+    pub quarantined: u64,
+    /// Panics isolated by the per-request / per-solve `catch_unwind`
+    /// boundaries — the daemon kept serving through every one of them.
+    pub panics: u64,
 }
 
 /// One event line of a response stream.
@@ -318,7 +330,8 @@ pub enum Event {
         wall_ms: u64,
         cached: bool,
         /// `None` when the pair actually ran; otherwise the skip tag
-        /// (`na`, `encode_failed`, `budget`, `cancelled`, `other_shard`).
+        /// (`na`, `encode_failed`, `budget`, `cancelled`, `other_shard`,
+        /// `timeout` — the request's wall deadline expired first).
         skipped: Option<String>,
     },
     Done(Done),
@@ -387,7 +400,7 @@ impl Event {
             Event::Done(d) => format!(
                 "{{\"event\": \"done\", \"pairs\": {}, \"cached\": {}, \"solved\": {}, \
                  \"coalesced\": {}, \"l1_hits\": {}, \"l1_misses\": {}, \
-                 \"compile_count\": {}, \"wall_ms\": {}}}",
+                 \"compile_count\": {}, \"wall_ms\": {}, \"timeouts\": {}}}",
                 d.pairs,
                 d.cached,
                 d.solved,
@@ -395,12 +408,14 @@ impl Event {
                 d.l1_hits,
                 d.l1_misses,
                 d.compile_count,
-                d.wall_ms
+                d.wall_ms,
+                d.timeouts
             ),
             Event::Stats(s) => format!(
                 "{{\"event\": \"stats\", \"problems\": {}, \"l1_hits\": {}, \"l1_misses\": {}, \
                  \"results\": {}, \"result_hits\": {}, \"solves\": {}, \"persisted\": {}, \
-                 \"warm_loaded\": {}, \"coalesced\": {}, \"compile_count\": {}}}",
+                 \"warm_loaded\": {}, \"coalesced\": {}, \"compile_count\": {}, \
+                 \"quarantined\": {}, \"panics\": {}}}",
                 s.problems,
                 s.l1_hits,
                 s.l1_misses,
@@ -410,7 +425,9 @@ impl Event {
                 s.persisted,
                 s.warm_loaded,
                 s.coalesced,
-                s.compile_count
+                s.compile_count,
+                s.quarantined,
+                s.panics
             ),
             Event::Pong => "{\"event\": \"pong\"}".to_string(),
             Event::Ok => "{\"event\": \"ok\"}".to_string(),
@@ -468,6 +485,7 @@ impl Event {
                 l1_misses: doc.want("l1_misses")?.as_u64()?,
                 compile_count: doc.want("compile_count")?.as_u64()?,
                 wall_ms: doc.want("wall_ms")?.as_u64()?,
+                timeouts: doc.want("timeouts")?.as_u64()?,
             })),
             "stats" => Ok(Event::Stats(ServerStats {
                 problems: doc.want("problems")?.as_u64()?,
@@ -480,6 +498,8 @@ impl Event {
                 warm_loaded: doc.want("warm_loaded")?.as_u64()?,
                 coalesced: doc.want("coalesced")?.as_u64()?,
                 compile_count: doc.want("compile_count")?.as_u64()?,
+                quarantined: doc.want("quarantined")?.as_u64()?,
+                panics: doc.want("panics")?.as_u64()?,
             })),
             "pong" => Ok(Event::Pong),
             "ok" => Ok(Event::Ok),
@@ -564,8 +584,13 @@ mod tests {
                 l1_misses: 0,
                 compile_count: 90,
                 wall_ms: 3,
+                timeouts: 2,
             }),
-            Event::Stats(ServerStats::default()),
+            Event::Stats(ServerStats {
+                quarantined: 1,
+                panics: 2,
+                ..ServerStats::default()
+            }),
             Event::Pong,
             Event::Ok,
             Event::Error {

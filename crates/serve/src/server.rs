@@ -14,23 +14,43 @@
 //! * **Busy** — another request is already solving the identical key.
 //!   Deferred, and waited on only *after* this request's own leads are
 //!   finalized — the invariant that makes coalescing deadlock-free.
+//!
+//! ## Fault tolerance
+//!
+//! The daemon assumes requests fail: every leadership taken in pass 1 is
+//! held through a [`LeaderGuard`], every campaign and each whole request
+//! runs under `catch_unwind`, and a panic anywhere releases the unwinding
+//! thread's claims so coalesced waiters re-claim and take over the solve
+//! instead of deadlocking. Accepted sockets carry read/write timeouts, an
+//! optional per-request wall deadline degrades gracefully (pairs past the
+//! deadline are reported with `skipped: "timeout"` and counted in the
+//! `done` event), waits on other requests' solves are bounded, request
+//! lines are length-capped, and a connection cap rejects overload with an
+//! explicit `busy` error instead of queueing unboundedly.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 use xcv_conditions::Condition;
 use xcv_core::cache::{ProblemCache, ProblemKey};
 use xcv_core::{
-    Campaign, CampaignEvent, CostModel, RegionMap, RegionStatus, SkipReason, TableMark,
+    Campaign, CampaignEvent, CostModel, FaultPlan, FaultSite, RegionMap, RegionStatus, SkipReason,
+    TableMark,
 };
 use xcv_functionals::{FunctionalHandle, Registry};
 
 use crate::proto::{Done, Event, Request, ServerStats, VerifyRequest};
-use crate::store::{Claim, ResultKey, ResultStore, StoredResult};
+use crate::store::{Claim, ResultKey, ResultStore, StoredResult, WaitOutcome};
+
+/// Longest accepted request line (bytes, newline included). A line past
+/// the cap gets a structured error and the connection is closed — with
+/// the line unterminated there is no resynchronization point.
+const MAX_REQUEST_LINE: u64 = 1 << 20;
 
 /// Resolve the CLI spellings of functional names to registry names — the
 /// same alias table as `xcverify --dfa`, so a client can send whatever the
@@ -62,6 +82,27 @@ pub struct ServerConfig {
     pub admit_ms: u64,
     /// Scheduler cost model for lead campaigns (fitted from a bench run).
     pub cost_model: Option<CostModel>,
+    /// Socket read timeout: a connection idle (or wedged mid-line) this
+    /// long is reaped. `None` disables.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout: an event write blocked this long on a stalled
+    /// client fails (the request keeps solving; results still land in the
+    /// store). `None` disables.
+    pub write_timeout: Option<Duration>,
+    /// Per-request wall deadline: pairs not finished when it expires are
+    /// reported with `skipped: "timeout"` instead of running on. `None`
+    /// disables (the policy's own budgets still apply).
+    pub request_deadline_ms: Option<u64>,
+    /// Concurrent-connection cap: connections past it are rejected with an
+    /// explicit `busy` error line instead of queueing.
+    pub max_connections: usize,
+    /// Upper bound on any single wait for *another* request's in-flight
+    /// solve (pass 3). A wedged leader therefore wedges nobody else for
+    /// longer than this.
+    pub wait_timeout: Duration,
+    /// Deterministic fault-injection plan (test harness hook; `None` in
+    /// production).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +112,12 @@ impl Default for ServerConfig {
             store_dir: None,
             admit_ms: 5,
             cost_model: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            request_deadline_ms: None,
+            max_connections: 64,
+            wait_timeout: Duration::from_secs(120),
+            fault_plan: None,
         }
     }
 }
@@ -80,6 +127,13 @@ struct State {
     problems: Arc<ProblemCache>,
     results: ResultStore,
     cost_model: Option<CostModel>,
+    request_deadline_ms: Option<u64>,
+    wait_timeout: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Panics isolated at the request / campaign `catch_unwind` boundaries.
+    panics: AtomicU64,
+    /// Live connection threads (the accept loop's backpressure gauge).
+    active: AtomicUsize,
 }
 
 /// A running daemon. Dropping it shuts the accept loop down.
@@ -97,15 +151,26 @@ impl Server {
     pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let mut results = match &config.store_dir {
+            Some(dir) => ResultStore::open(dir, config.admit_ms),
+            None => ResultStore::in_memory(),
+        };
+        if let Some(plan) = &config.fault_plan {
+            results.set_fault_plan(Arc::clone(plan));
+        }
         let state = Arc::new(State {
             registry: Registry::spin_general(),
             problems: Arc::new(ProblemCache::new()),
-            results: match &config.store_dir {
-                Some(dir) => ResultStore::open(dir, config.admit_ms),
-                None => ResultStore::in_memory(),
-            },
+            results,
             cost_model: config.cost_model,
+            request_deadline_ms: config.request_deadline_ms,
+            wait_timeout: config.wait_timeout,
+            fault_plan: config.fault_plan,
+            panics: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
         });
+        let max_connections = config.max_connections.max(1);
+        let (read_timeout, write_timeout) = (config.read_timeout, config.write_timeout);
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let state = Arc::clone(&state);
@@ -116,9 +181,43 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // Backpressure: past the cap, answer one explicit busy
+                    // line and drop — never an unbounded thread pile-up,
+                    // never a silent hang on the client side.
+                    let admitted = state
+                        .active
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                            (n < max_connections).then_some(n + 1)
+                        })
+                        .is_ok();
+                    if !admitted {
+                        let mut stream = stream;
+                        let busy = Event::Error {
+                            message: "busy: connection limit reached, retry later".to_string(),
+                        };
+                        let _ = writeln!(stream, "{}", busy.to_json());
+                        continue;
+                    }
+                    let _ = stream.set_read_timeout(read_timeout);
+                    let _ = stream.set_write_timeout(write_timeout);
+                    // Control round trips (ping, stats, the error replies
+                    // the fuzz suite hammers) are latency-bound: without
+                    // this, Nagle + delayed ACK cost ~40ms per turn.
+                    let _ = stream.set_nodelay(true);
                     let state = Arc::clone(&state);
                     let stop = Arc::clone(&stop);
-                    std::thread::spawn(move || handle_conn(stream, &state, &stop));
+                    std::thread::spawn(move || {
+                        // Balance the admission count however the handler
+                        // exits — return, panic, or reap.
+                        struct Slot<'a>(&'a AtomicUsize);
+                        impl Drop for Slot<'_> {
+                            fn drop(&mut self) {
+                                self.0.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let _slot = Slot(&state.active);
+                        handle_conn(stream, &state, &stop);
+                    });
                 }
             })
         };
@@ -169,7 +268,7 @@ impl Drop for Server {
 
 fn stats_of(state: &State) -> ServerStats {
     let (l1_hits, l1_misses) = state.problems.stats();
-    let (results, result_hits, solves, coalesced, persisted, warm_loaded) =
+    let (results, result_hits, solves, coalesced, persisted, warm_loaded, quarantined) =
         state.results.counters();
     ServerStats {
         problems: state.problems.len() as u64,
@@ -182,26 +281,88 @@ fn stats_of(state: &State) -> ServerStats {
         warm_loaded,
         coalesced,
         compile_count: xcv_solver::compile_count(),
+        quarantined,
+        panics: state.panics.load(Ordering::Relaxed),
     }
 }
 
-type Writer = Arc<Mutex<TcpStream>>;
+/// The shared event writer of one connection. Once a write fails the
+/// stream is marked dead and later sends are skipped — a vanished or
+/// stalled client must not block the solve (the result still lands in the
+/// store for the next asker), and with a socket write timeout set, a stall
+/// costs at most one timeout before the stream goes dead.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+    fault_plan: Option<Arc<FaultPlan>>,
+}
+
+type Writer = Arc<ConnWriter>;
+
+impl ConnWriter {
+    fn send(&self, event: &Event) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.should_fire(FaultSite::ClientStall) {
+                // Injected slow consumer: the event write stalls.
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+        let mut w = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        if writeln!(w, "{}", event.to_json()).is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .local_addr()
+    }
+}
 
 fn send(writer: &Writer, event: &Event) {
-    let mut w = writer.lock().unwrap();
-    // A vanished client must not kill the solve — the result still lands
-    // in the store for the next asker.
-    let _ = writeln!(w, "{}", event.to_json());
+    writer.send(event);
 }
 
 fn handle_conn(stream: TcpStream, state: &Arc<State>, stop: &Arc<AtomicBool>) {
     let Ok(reader) = stream.try_clone() else {
         return;
     };
-    let writer: Writer = Arc::new(Mutex::new(stream));
-    for line in BufReader::new(reader).lines() {
-        let Ok(line) = line else { break };
+    let writer: Writer = Arc::new(ConnWriter {
+        stream: Mutex::new(stream),
+        dead: AtomicBool::new(false),
+        fault_plan: state.fault_plan.clone(),
+    });
+    let mut reader = BufReader::new(reader);
+    loop {
+        // Length-capped line read: `take` bounds how much one request line
+        // may buffer, so an unterminated flood cannot balloon memory.
+        let mut line = String::new();
+        match (&mut reader)
+            .take(MAX_REQUEST_LINE + 1)
+            .read_line(&mut line)
+        {
+            // EOF, a reaped idle/hung connection (read timeout), or any
+            // other transport error: the connection is done.
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.len() as u64 > MAX_REQUEST_LINE {
+            send(
+                &writer,
+                &Event::Error {
+                    message: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                },
+            );
+            break; // unterminated line: no resynchronization point
+        }
         if line.trim().is_empty() {
+            // A bare newline is ignored; a partial line at EOF with no
+            // content ends the connection on the next read.
             continue;
         }
         match Request::parse(&line) {
@@ -211,13 +372,33 @@ fn handle_conn(stream: TcpStream, state: &Arc<State>, stop: &Arc<AtomicBool>) {
             Ok(Request::Shutdown) => {
                 send(&writer, &Event::Ok);
                 if !stop.swap(true, Ordering::SeqCst) {
-                    if let Ok(addr) = writer.lock().unwrap().local_addr() {
+                    if let Ok(addr) = writer.local_addr() {
                         let _ = TcpStream::connect(addr);
                     }
                 }
                 break;
             }
-            Ok(Request::Verify(req)) => handle_verify(state, &writer, &req),
+            Ok(Request::Verify(req)) => {
+                // Panic isolation, outer boundary: whatever unwinds out of
+                // the verify path (solver bug, injected fault) is caught
+                // here. Unwinding drops every LeaderGuard the request held,
+                // abandoning its claims so coalesced waiters take over; the
+                // client gets a structured error; the daemon keeps serving.
+                let unwound = catch_unwind(AssertUnwindSafe(|| {
+                    handle_verify(state, &writer, &req);
+                }));
+                if unwound.is_err() {
+                    state.panics.fetch_add(1, Ordering::Relaxed);
+                    send(
+                        &writer,
+                        &Event::Error {
+                            message: "internal panic while serving the request; \
+                                      claims released, daemon still serving"
+                                .to_string(),
+                        },
+                    );
+                }
+            }
         }
     }
 }
@@ -287,8 +468,54 @@ struct Lead {
     key: ResultKey,
 }
 
+/// Emit the `skipped: "timeout"` pair event for a pair the request's wall
+/// deadline expired on.
+fn send_timeout(writer: &Writer, functional: &str, condition: Condition, done: &mut Done) {
+    done.timeouts += 1;
+    send(
+        writer,
+        &Event::Pair {
+            functional: functional.to_string(),
+            condition,
+            mark: TableMark::Unknown,
+            wall_ms: 0,
+            cached: false,
+            skipped: Some("timeout".to_string()),
+        },
+    );
+}
+
+fn stored_result_of(outcome: &xcv_core::PairOutcome) -> StoredResult {
+    let map = outcome.map.as_ref();
+    StoredResult {
+        functional: outcome.functional_name(),
+        condition: outcome.condition,
+        mark: outcome.mark,
+        witnesses: map
+            .map(|m| {
+                m.counterexamples()
+                    .into_iter()
+                    .map(<[f64]>::to_vec)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        wall_ms: u64::try_from(outcome.wall_ms).unwrap_or(u64::MAX),
+        regions: map.map(region_census).unwrap_or_default(),
+    }
+}
+
 fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
     let start = Instant::now();
+    let deadline = state
+        .request_deadline_ms
+        .map(|ms| start + Duration::from_millis(ms));
+    // Milliseconds left before the request deadline (`None` = no deadline).
+    let remaining_ms = |deadline: Option<Instant>| -> Option<u64> {
+        deadline.map(|d| {
+            u64::try_from(d.saturating_duration_since(Instant::now()).as_millis())
+                .unwrap_or(u64::MAX)
+        })
+    };
     // Resolve every functional up front — an unknown name fails the whole
     // request before any work happens.
     let mut handles = Vec::new();
@@ -374,6 +601,15 @@ fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
         }
     }
 
+    // Every leadership goes under an RAII guard *now*: any exit from this
+    // function — early return, deadline, panic unwinding to the connection
+    // boundary — abandons whatever was not finalized, waking coalesced
+    // waiters to re-claim. No path leaks a claim.
+    let mut guards: HashMap<ResultKey, crate::store::LeaderGuard<'_>> = leads
+        .iter()
+        .map(|l| (l.key, state.results.guard(l.key)))
+        .collect();
+
     // Pass 2: solve the leads, one campaign per functional (a campaign is
     // a full sub-matrix; different functionals may lead different
     // condition subsets). Events stream to the client as they happen.
@@ -388,6 +624,16 @@ fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
         }
     }
     for (f, group) in by_functional {
+        // Deadline expired: report this group's pairs as timed out (their
+        // guards abandon the claims) and keep draining the cheap passes —
+        // already-solved answers still go out.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            for lead in &group {
+                guards.remove(&lead.key);
+                send_timeout(writer, &f.name(), lead.condition, &mut done);
+            }
+            continue;
+        }
         let mut builder = Campaign::builder()
             .functional(f.clone())
             .conditions(group.iter().map(|l| l.condition))
@@ -449,45 +695,68 @@ fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
         if let Some(model) = &state.cost_model {
             builder = builder.cost_model(model.clone());
         }
+        if let Some(ms) = remaining_ms(deadline) {
+            // The campaign's own budget machinery enforces the request
+            // deadline: pairs past it are skipped (BudgetExhausted) and
+            // running pairs have their solver deadlines clamped.
+            builder = builder.global_budget_ms(ms);
+        }
+        if let Some(plan) = &state.fault_plan {
+            builder = builder.fault_plan(Arc::clone(plan));
+        }
         let keys: HashMap<Condition, ResultKey> =
             group.iter().map(|l| (l.condition, l.key)).collect();
         match builder.build() {
             Ok(campaign) => {
-                let report = campaign.run();
+                // Panic isolation, inner boundary: a panicking solve (one
+                // worker's panic propagates out of `campaign.run()`) must
+                // release this group's claims and fail the request — the
+                // coalesced waiters re-claim and take the solve over.
+                let report = match catch_unwind(AssertUnwindSafe(|| campaign.run())) {
+                    Ok(report) => report,
+                    Err(_) => {
+                        state.panics.fetch_add(1, Ordering::Relaxed);
+                        drop(guards); // abandon every unfinalized claim
+                        send(
+                            writer,
+                            &Event::Error {
+                                message: format!(
+                                    "campaign for {} panicked; claims released",
+                                    f.name()
+                                ),
+                            },
+                        );
+                        return;
+                    }
+                };
                 for outcome in &report.pairs {
                     let Some(&key) = keys.get(&outcome.condition) else {
                         continue;
                     };
-                    if outcome.skipped.is_some() {
-                        state.results.abandon(key);
+                    let Some(guard) = guards.remove(&key) else {
                         continue;
+                    };
+                    match outcome.skipped {
+                        Some(reason) => {
+                            // Dropping the guard abandons the claim. A skip
+                            // caused by the request deadline counts as a
+                            // timeout in the summary (the pair event already
+                            // streamed with the campaign's own tag).
+                            drop(guard);
+                            if reason == SkipReason::BudgetExhausted && deadline.is_some() {
+                                done.timeouts += 1;
+                            }
+                        }
+                        None => {
+                            done.solved += 1;
+                            guard.finalize(stored_result_of(outcome));
+                        }
                     }
-                    done.solved += 1;
-                    let map = outcome.map.as_ref();
-                    state.results.finalize(
-                        key,
-                        StoredResult {
-                            functional: outcome.functional_name(),
-                            condition: outcome.condition,
-                            mark: outcome.mark,
-                            witnesses: map
-                                .map(|m| {
-                                    m.counterexamples()
-                                        .into_iter()
-                                        .map(<[f64]>::to_vec)
-                                        .collect()
-                                })
-                                .unwrap_or_default(),
-                            wall_ms: u64::try_from(outcome.wall_ms).unwrap_or(u64::MAX),
-                            regions: map.map(region_census).unwrap_or_default(),
-                        },
-                    );
                 }
             }
             Err(e) => {
-                for lead in &group {
-                    state.results.abandon(lead.key);
-                }
+                // The group's guards stay in the map; they abandon when the
+                // function returns, alongside every other group's.
                 send(
                     writer,
                     &Event::Error {
@@ -498,17 +767,33 @@ fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
             }
         }
     }
+    drop(guards); // every lead is finalized or abandoned by here
 
     // Pass 3: only now — with every owned leadership finalized — block on
-    // the pairs other requests were solving. If a leader abandoned one,
-    // claim it ourselves and solve solo.
+    // the pairs other requests were solving, each wait bounded. If a
+    // leader abandoned one, claim it ourselves and solve solo.
     for lead in deferred {
         loop {
-            if let Some(r) = state.results.wait_for(lead.key) {
-                replay(writer, &lead.functional.name(), lead.condition, &r, true);
-                done.cached += 1;
-                done.coalesced += 1;
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                send_timeout(writer, &lead.functional.name(), lead.condition, &mut done);
                 break;
+            }
+            let wait = match remaining_ms(deadline) {
+                Some(ms) => state.wait_timeout.min(Duration::from_millis(ms)),
+                None => state.wait_timeout,
+            };
+            match state.results.wait_for_timeout(lead.key, wait) {
+                WaitOutcome::TimedOut => {
+                    send_timeout(writer, &lead.functional.name(), lead.condition, &mut done);
+                    break;
+                }
+                WaitOutcome::Ready(Some(r)) => {
+                    replay(writer, &lead.functional.name(), lead.condition, &r, true);
+                    done.cached += 1;
+                    done.coalesced += 1;
+                    break;
+                }
+                WaitOutcome::Ready(None) => {}
             }
             match state.results.try_claim(lead.key) {
                 Claim::Hit(r) => {
@@ -518,42 +803,56 @@ fn handle_verify(state: &Arc<State>, writer: &Writer, req: &VerifyRequest) {
                 }
                 Claim::Busy => continue,
                 Claim::Leader => {
-                    let campaign = Campaign::builder()
+                    let guard = state.results.guard(lead.key);
+                    let mut builder = Campaign::builder()
                         .functional(lead.functional.clone())
                         .conditions([lead.condition])
                         .config_policy(move |f, _| policy.verifier_config(f))
-                        .problem_cache(Arc::clone(&state.problems))
-                        .build();
-                    let Ok(campaign) = campaign else {
-                        state.results.abandon(lead.key);
-                        break;
+                        .problem_cache(Arc::clone(&state.problems));
+                    if let Some(ms) = remaining_ms(deadline) {
+                        builder = builder.global_budget_ms(ms);
+                    }
+                    if let Some(plan) = &state.fault_plan {
+                        builder = builder.fault_plan(Arc::clone(plan));
+                    }
+                    let Ok(campaign) = builder.build() else {
+                        break; // guard drop abandons
                     };
-                    let report = campaign.run();
+                    let report = match catch_unwind(AssertUnwindSafe(|| campaign.run())) {
+                        Ok(report) => report,
+                        Err(_) => {
+                            state.panics.fetch_add(1, Ordering::Relaxed);
+                            drop(guard);
+                            send(
+                                writer,
+                                &Event::Error {
+                                    message: format!(
+                                        "solve for {} panicked; claim released",
+                                        lead.functional.name()
+                                    ),
+                                },
+                            );
+                            return;
+                        }
+                    };
                     let Some(outcome) = report
                         .pairs
                         .iter()
                         .find(|p| p.condition == lead.condition && p.skipped.is_none())
                     else {
-                        state.results.abandon(lead.key);
+                        drop(guard); // abandon: skipped or missing
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            send_timeout(
+                                writer,
+                                &lead.functional.name(),
+                                lead.condition,
+                                &mut done,
+                            );
+                        }
                         break;
                     };
-                    let map = outcome.map.as_ref();
-                    let result = StoredResult {
-                        functional: outcome.functional_name(),
-                        condition: outcome.condition,
-                        mark: outcome.mark,
-                        witnesses: map
-                            .map(|m| {
-                                m.counterexamples()
-                                    .into_iter()
-                                    .map(<[f64]>::to_vec)
-                                    .collect()
-                            })
-                            .unwrap_or_default(),
-                        wall_ms: u64::try_from(outcome.wall_ms).unwrap_or(u64::MAX),
-                        regions: map.map(region_census).unwrap_or_default(),
-                    };
-                    state.results.finalize(lead.key, result.clone());
+                    let result = stored_result_of(outcome);
+                    guard.finalize(result.clone());
                     done.solved += 1;
                     replay(
                         writer,

@@ -36,17 +36,17 @@
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 use xcv_cert::json::{escape, fmt_f64, Json};
-use xcv_cert::store::{read_dir_json, write_atomic_retry};
+use xcv_cert::store::{quarantine, read_dir_json, write_atomic, write_atomic_retry};
 use xcv_conditions::Condition;
-use xcv_core::cache::ProblemKey;
-use xcv_core::TableMark;
+use xcv_core::cache::{fnv1a, fnv1a_str, ProblemKey};
+use xcv_core::{FaultPlan, FaultSite, TableMark};
 
 use crate::proto::{mark_tag, parse_mark};
 
-const SCHEMA: &str = "xcv-serve-result/v1";
+const SCHEMA: &str = "xcv-serve-result/v2";
 const PERSIST_ATTEMPTS: u32 = 3;
 const PERSIST_BACKOFF: Duration = Duration::from_millis(10);
 
@@ -85,10 +85,43 @@ pub struct StoredResult {
 }
 
 impl StoredResult {
+    /// FNV-1a content checksum over every field that round-trips through
+    /// the JSON document, key included. Floats hash by exact bit pattern —
+    /// `fmt_f64` renders shortest-round-trip, so the bits survive the
+    /// render/parse cycle and a recomputed checksum on load matches iff
+    /// the document is the one that was finalized. A flipped bit, a torn
+    /// tail, or a hand-edited mark all fail the check and quarantine.
+    fn content_checksum(&self, key: &ResultKey) -> u64 {
+        let mut h = fnv1a_str("xcv-serve-result-checksum/v2");
+        h = fnv1a(h, &key.problem.source_hash.to_le_bytes());
+        h = fnv1a(h, key.problem.condition.id().as_bytes());
+        h = fnv1a(h, &key.problem.space_fp.to_le_bytes());
+        h = fnv1a(h, &key.config_fp.to_le_bytes());
+        h = fnv1a(h, self.functional.as_bytes());
+        h = fnv1a(h, &[0]); // separator: functional name is free-form
+        h = fnv1a(h, mark_tag(self.mark).as_bytes());
+        h = fnv1a(h, &self.wall_ms.to_le_bytes());
+        for r in self.regions {
+            h = fnv1a(h, &r.to_le_bytes());
+        }
+        h = fnv1a(h, &(self.witnesses.len() as u64).to_le_bytes());
+        for w in &self.witnesses {
+            h = fnv1a(h, &(w.len() as u64).to_le_bytes());
+            for v in w {
+                h = fnv1a(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     fn render(&self, key: &ResultKey) -> String {
         let mut out = String::with_capacity(512);
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"checksum\": \"{:016x}\",\n",
+            self.content_checksum(key)
+        ));
         // u64 fingerprints travel as hex strings: the hand-rolled Json
         // parses numbers through f64, which silently rounds above 2^53.
         out.push_str(&format!(
@@ -158,24 +191,30 @@ impl StoredResult {
             .iter()
             .map(|w| w.as_arr()?.iter().map(Json::as_f64).collect())
             .collect::<Result<Vec<Vec<f64>>, _>>()?;
-        Ok((
-            ResultKey {
-                problem: ProblemKey {
-                    source_hash: hex("source_hash")?,
-                    condition,
-                    space_fp: hex("space_fp")?,
-                },
-                config_fp: hex("config_fp")?,
-            },
-            StoredResult {
-                functional: doc.want("functional")?.as_str()?.to_string(),
+        let key = ResultKey {
+            problem: ProblemKey {
+                source_hash: hex("source_hash")?,
                 condition,
-                mark,
-                witnesses,
-                wall_ms: doc.want("wall_ms")?.as_u64()?,
-                regions,
+                space_fp: hex("space_fp")?,
             },
-        ))
+            config_fp: hex("config_fp")?,
+        };
+        let result = StoredResult {
+            functional: doc.want("functional")?.as_str()?.to_string(),
+            condition,
+            mark,
+            witnesses,
+            wall_ms: doc.want("wall_ms")?.as_u64()?,
+            regions,
+        };
+        let stored_sum = hex("checksum")?;
+        let computed = result.content_checksum(&key);
+        if stored_sum != computed {
+            return Err(format!(
+                "checksum mismatch: stored {stored_sum:016x}, content hashes to {computed:016x}"
+            ));
+        }
+        Ok((key, result))
     }
 }
 
@@ -185,11 +224,56 @@ pub enum Claim {
     /// Memoized — here is the answer.
     Hit(StoredResult),
     /// The caller now owns this key's solve and MUST call
-    /// [`ResultStore::finalize`] or [`ResultStore::abandon`].
+    /// [`ResultStore::finalize`] or [`ResultStore::abandon`] — or wrap the
+    /// leadership in a [`LeaderGuard`] so a panic abandons it automatically.
     Leader,
     /// Another request is solving this key; defer and
     /// [`ResultStore::wait_for`] it after finalizing your own leads.
     Busy,
+}
+
+/// The outcome of a bounded wait ([`ResultStore::wait_for_timeout`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaitOutcome {
+    /// The key left the in-flight set: `Some` result, or `None` when the
+    /// leader abandoned it (the caller should re-claim).
+    Ready(Option<StoredResult>),
+    /// The leader was still solving when the timeout expired. The wait
+    /// consumed no leadership — the solve keeps running and a later wait
+    /// or claim can still pick the result up.
+    TimedOut,
+}
+
+/// RAII wrapper around an already-granted leadership: dropping the guard
+/// without [`LeaderGuard::finalize`] abandons the claim and wakes the
+/// coalesced waiters. This is the panic-isolation primitive — a request
+/// thread that unwinds mid-solve releases every leadership it held, so
+/// `Busy` waiters re-claim and take over instead of deadlocking.
+pub struct LeaderGuard<'a> {
+    store: &'a ResultStore,
+    key: ResultKey,
+    done: bool,
+}
+
+impl<'a> LeaderGuard<'a> {
+    /// The guarded key.
+    pub fn key(&self) -> ResultKey {
+        self.key
+    }
+
+    /// Publish the result (consumes the guard; no abandon on drop).
+    pub fn finalize(mut self, result: StoredResult) {
+        self.done = true;
+        self.store.finalize(self.key, result);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.store.abandon(self.key);
+        }
+    }
 }
 
 #[derive(Default)]
@@ -209,6 +293,8 @@ pub struct ResultStore {
     coalesced: AtomicU64,
     persisted: AtomicU64,
     warm_loaded: AtomicU64,
+    quarantined: AtomicU64,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ResultStore {
@@ -235,26 +321,61 @@ impl ResultStore {
             coalesced: AtomicU64::new(0),
             persisted: AtomicU64::new(0),
             warm_loaded: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            fault_plan: None,
         };
         if let Some(dir) = &store.dir {
-            let mut inner = store.inner.lock().unwrap();
+            let mut inner = store.lock_inner();
             for (path, text) in read_dir_json(dir) {
                 match StoredResult::parse(&text) {
                     Ok((key, result)) => {
                         inner.memo.insert(key, result);
                         store.warm_loaded.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(e) => eprintln!("xcvserve: skipping {}: {e}", path.display()),
+                    Err(e) => {
+                        // Corrupt document (torn write under a kill, bit
+                        // rot, schema drift): rename it out of the `.json`
+                        // namespace so no later scan trips on it, and let
+                        // the pair recompute. Never crash, never serve it.
+                        store.quarantined.fetch_add(1, Ordering::Relaxed);
+                        match quarantine(&path) {
+                            Ok(dest) => eprintln!(
+                                "xcvserve: corrupt result {} ({e}); quarantined to {}",
+                                path.display(),
+                                dest.display()
+                            ),
+                            Err(io) => eprintln!(
+                                "xcvserve: corrupt result {} ({e}); quarantine failed: {io}",
+                                path.display()
+                            ),
+                        }
+                    }
                 }
             }
         }
         store
     }
 
+    /// Attach a deterministic [`FaultPlan`] (test harness hook) before the
+    /// store is shared: plans arming [`FaultSite::FinalizeIo`] or
+    /// [`FaultSite::StoreCorrupt`] sabotage the persist path on schedule.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The store's mutable state, recovering from mutex poisoning: every
+    /// lock region here upholds the memo/inflight invariants before
+    /// releasing, so the state a panicking thread left behind is
+    /// consistent — and a daemon that isolated that panic must keep
+    /// serving from it rather than unwinding on every later lock.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Non-blocking claim: memo hit, leadership, or busy. Leadership is
     /// granted at most once per key until finalized/abandoned.
     pub fn try_claim(&self, key: ResultKey) -> Claim {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if let Some(r) = inner.memo.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Claim::Hit(r.clone());
@@ -267,14 +388,54 @@ impl ResultStore {
         Claim::Leader
     }
 
+    /// Wrap an already-granted [`Claim::Leader`] in a [`LeaderGuard`]:
+    /// dropped without finalizing (early return, panic unwinding through
+    /// the caller), the guard abandons the leadership so waiters re-claim.
+    pub fn guard(&self, key: ResultKey) -> LeaderGuard<'_> {
+        LeaderGuard {
+            store: self,
+            key,
+            done: false,
+        }
+    }
+
     /// Block until `key` is no longer in flight, then return its memoized
     /// result (`None` if the leader abandoned it — e.g. the pair failed
     /// to encode or the connection died; the caller should re-claim).
     pub fn wait_for(&self, key: ResultKey) -> Option<StoredResult> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         while inner.inflight.contains(&key) {
-            inner = self.cv.wait(inner).unwrap();
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
+        self.finish_wait(&inner, key)
+    }
+
+    /// [`ResultStore::wait_for`] bounded by `timeout`: a serving thread
+    /// must never block unconditionally on another request's solve — a
+    /// wedged leader would wedge every coalesced connection with it.
+    pub fn wait_for_timeout(&self, key: ResultKey, timeout: Duration) -> WaitOutcome {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock_inner();
+        while inner.inflight.contains(&key) {
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return WaitOutcome::TimedOut;
+            };
+            let (guard, wait) = self
+                .cv
+                .wait_timeout(inner, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if wait.timed_out() && inner.inflight.contains(&key) {
+                return WaitOutcome::TimedOut;
+            }
+        }
+        WaitOutcome::Ready(self.finish_wait(&inner, key))
+    }
+
+    fn finish_wait(&self, inner: &Inner, key: ResultKey) -> Option<StoredResult> {
         let r = inner.memo.get(&key).cloned();
         if r.is_some() {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -289,21 +450,16 @@ impl ResultStore {
     /// reported but never lose the in-memory result.
     pub fn finalize(&self, key: ResultKey, result: StoredResult) {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.lock_inner();
             inner.inflight.remove(&key);
             inner.memo.insert(key, result.clone());
         }
         self.cv.notify_all();
         if let Some(dir) = &self.dir {
             if result.wall_ms >= self.admit_ms {
-                if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
-                    write_atomic_retry(
-                        &dir.join(format!("{key}.json")),
-                        &result.render(&key),
-                        PERSIST_ATTEMPTS,
-                        PERSIST_BACKOFF,
-                    )
-                }) {
+                if let Err(e) =
+                    std::fs::create_dir_all(dir).and_then(|()| self.persist(dir, &key, &result))
+                {
                     eprintln!("xcvserve: persist {key} failed: {e}");
                 } else {
                     self.persisted.fetch_add(1, Ordering::Relaxed);
@@ -312,11 +468,30 @@ impl ResultStore {
         }
     }
 
+    /// The disk half of [`ResultStore::finalize`], with the fault hooks:
+    /// `FinalizeIo` turns the write into a synthetic I/O error (the memo
+    /// keeps the result); `StoreCorrupt` writes a torn document — half the
+    /// rendering — modelling a non-atomic filesystem under a kill, which a
+    /// restart must quarantine rather than serve or crash on.
+    fn persist(&self, dir: &Path, key: &ResultKey, result: &StoredResult) -> std::io::Result<()> {
+        let path = dir.join(format!("{key}.json"));
+        let text = result.render(key);
+        if let Some(plan) = &self.fault_plan {
+            if plan.should_fire(FaultSite::FinalizeIo) {
+                return Err(std::io::Error::other("injected fault: finalize I/O error"));
+            }
+            if plan.should_fire(FaultSite::StoreCorrupt) {
+                return write_atomic(&path, &text[..text.len() / 2]);
+            }
+        }
+        write_atomic_retry(&path, &text, PERSIST_ATTEMPTS, PERSIST_BACKOFF)
+    }
+
     /// Release a leadership without publishing a result (encode failure,
     /// pair skipped, connection torn down mid-solve). Waiters wake and
     /// re-claim.
     pub fn abandon(&self, key: ResultKey) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if inner.inflight.remove(&key) {
             drop(inner);
             self.cv.notify_all();
@@ -324,15 +499,16 @@ impl ResultStore {
     }
 
     /// `(memoized results, memo hits, leader solves, coalesced waits,
-    /// persisted files, warm-loaded files)`.
-    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64) {
+    /// persisted files, warm-loaded files, quarantined files)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
         (
-            self.inner.lock().unwrap().memo.len() as u64,
+            self.lock_inner().memo.len() as u64,
             self.hits.load(Ordering::Relaxed),
             self.solves.load(Ordering::Relaxed),
             self.coalesced.load(Ordering::Relaxed),
             self.persisted.load(Ordering::Relaxed),
             self.warm_loaded.load(Ordering::Relaxed),
+            self.quarantined.load(Ordering::Relaxed),
         )
     }
 
@@ -442,6 +618,129 @@ mod tests {
             warm.try_claim(key(5)),
             Claim::Leader,
             "cheap pair recomputes"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_documents_fail_the_checksum() {
+        let (k, r) = (key(7), result(42));
+        let text = r.render(&k);
+        assert!(StoredResult::parse(&text).is_ok(), "pristine parses");
+        // Flip the mark: still valid JSON, still schema-correct — only the
+        // content checksum can catch it.
+        let tampered = text.replace("\"mark\": \"counterexample\"", "\"mark\": \"verified\"");
+        assert_ne!(tampered, text);
+        let err = StoredResult::parse(&tampered).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // A truncated document fails parse outright (torn write).
+        assert!(StoredResult::parse(&text[..text.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_store_files_are_quarantined_on_warm_start() {
+        let dir = std::env::temp_dir().join(format!("xcv_serve_quar_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let (k, r) = (key(8), result(42));
+        std::fs::write(dir.join(format!("{k}.json")), r.render(&k)).unwrap();
+        // One torn document and one bit-flipped document alongside it.
+        let k2 = key(9);
+        let text = result(42).render(&k2);
+        std::fs::write(dir.join(format!("{k2}.json")), &text[..text.len() / 2]).unwrap();
+        let k3 = key(10);
+        let flipped = result(42)
+            .render(&k3)
+            .replace("\"wall_ms\": 42", "\"wall_ms\": 43");
+        std::fs::write(dir.join(format!("{k3}.json")), flipped).unwrap();
+
+        let store = ResultStore::open(&dir, 10);
+        let (results, .., warm_loaded, quarantined) = store.counters();
+        assert_eq!((results, warm_loaded, quarantined), (1, 1, 2));
+        assert!(
+            matches!(store.try_claim(k), Claim::Hit(_)),
+            "good file serves"
+        );
+        assert_eq!(store.try_claim(k2), Claim::Leader, "torn file recomputes");
+        assert_eq!(
+            store.try_claim(k3),
+            Claim::Leader,
+            "flipped file recomputes"
+        );
+        let bad: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "bad"))
+            .collect();
+        assert_eq!(bad.len(), 2, "both corrupt files renamed *.bad");
+        // A second warm start no longer sees them at all.
+        let again = ResultStore::open(&dir, 10);
+        assert_eq!(
+            again.counters().6,
+            0,
+            "quarantined files stay out of the scan"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_wait_times_out_and_later_wait_picks_up_the_result() {
+        let store = Arc::new(ResultStore::in_memory());
+        let k = key(11);
+        assert_eq!(store.try_claim(k), Claim::Leader);
+        // The leader is "wedged": a bounded waiter gives up on schedule...
+        let t0 = Instant::now();
+        assert_eq!(
+            store.wait_for_timeout(k, Duration::from_millis(30)),
+            WaitOutcome::TimedOut
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // ...without consuming the leadership: finalize still lands and a
+        // later bounded wait returns immediately with the result.
+        store.finalize(k, result(7));
+        assert_eq!(
+            store.wait_for_timeout(k, Duration::from_millis(30)),
+            WaitOutcome::Ready(Some(result(7)))
+        );
+    }
+
+    #[test]
+    fn dropped_leader_guard_abandons_and_wakes_waiters() {
+        let store = Arc::new(ResultStore::in_memory());
+        let k = key(12);
+        assert_eq!(store.try_claim(k), Claim::Leader);
+        let waiter = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.wait_for(k))
+        };
+        // Simulate a panicking leader: the guard unwinds without finalize.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = store.guard(k);
+            panic!("injected: leader dies mid-solve");
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(waiter.join().unwrap(), None, "waiter wakes, sees abandon");
+        assert_eq!(store.try_claim(k), Claim::Leader, "leadership re-claimable");
+        // And a guard that does finalize publishes normally.
+        store.guard(k).finalize(result(5));
+        assert!(matches!(store.try_claim(k), Claim::Hit(_)));
+    }
+
+    #[test]
+    fn finalize_faults_lose_the_file_but_never_the_memo() {
+        let dir = std::env::temp_dir().join(format!("xcv_serve_finfault_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ResultStore::open(&dir, 0);
+        store.set_fault_plan(Arc::new(
+            FaultPlan::new(0).arm(FaultSite::FinalizeIo, xcv_core::FaultRule::First(1)),
+        ));
+        let k = key(13);
+        assert_eq!(store.try_claim(k), Claim::Leader);
+        store.finalize(k, result(9)); // injected I/O error on the write
+        assert_eq!(store.counters().4, 0, "nothing persisted");
+        assert!(
+            matches!(store.try_claim(k), Claim::Hit(r) if r == result(9)),
+            "the in-memory result survives the persist failure"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
